@@ -1,0 +1,2 @@
+# companies asking for less than one million
+Candidates: SELECT Company, Funding FROM Proposal WHERE Funding < 1000000
