@@ -1,0 +1,428 @@
+(* pcqe — command-line front end for the PCQE engine.
+
+   Subcommands:
+     query   run a SQL query over CSV relations under a confidence policy
+             (accepts --workspace DIR or individual --data/--rbac/
+             --policies/--costs flags; --apply accepts the proposal)
+     repl    interactive SQL session over a workspace, with \apply,
+             \explain, \audit and \save
+     plan    show the relational-algebra plan of a SQL query
+     solve   generate a synthetic confidence-increment instance (Table 4
+             parameters) and run one of the four strategy-finding
+             algorithms on it
+     export  print a relation (with confidences) back as CSV
+
+   RBAC file format (one directive per line, '#' comments):
+     role <name>
+     user <name>
+     assign <user> <role>
+     inherit <senior> <junior>
+     grant <role> <action> <resource>
+
+   Policy file format: "<role>, <purpose>, <beta>" per line. *)
+
+module Db = Relational.Database
+
+let ( let* ) = Result.bind
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    Ok s
+  with Sys_error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* CSV data directory loading: every *.csv file becomes a relation named
+   after the file *)
+
+let load_data_dir dir =
+  let* entries =
+    try Ok (Sys.readdir dir) with Sys_error msg -> Error msg
+  in
+  let csvs =
+    Array.to_list entries
+    |> List.filter (fun f -> Filename.check_suffix f ".csv")
+    |> List.sort String.compare
+  in
+  if csvs = [] then Error (Printf.sprintf "no .csv files in %s" dir)
+  else
+    List.fold_left
+      (fun acc file ->
+        let* db = acc in
+        let name = Filename.remove_extension file in
+        Relational.Csv.load_file db ~name (Filename.concat dir file))
+      (Ok Db.empty) csvs
+
+(* cost file: one "<tid> <cost spec>" per line, plus an optional
+   "default <cost spec>" line; '#' comments allowed *)
+let parse_costs text =
+  let lines = String.split_on_char '\n' text in
+  let table : (Lineage.Tid.t, Cost.Cost_model.t) Hashtbl.t = Hashtbl.create 16 in
+  let default = ref (Cost.Cost_model.linear ~rate:100.0) in
+  let rec go lineno = function
+    | [] -> Ok ()
+    | line :: rest -> (
+      let trimmed = String.trim line in
+      if trimmed = "" || trimmed.[0] = '#' then go (lineno + 1) rest
+      else
+        match String.index_opt trimmed ' ' with
+        | None -> Error (Printf.sprintf "costs line %d: missing spec" lineno)
+        | Some i -> (
+          let head = String.sub trimmed 0 i in
+          let spec = String.sub trimmed i (String.length trimmed - i) in
+          match Cost.Cost_model.parse spec with
+          | Error msg -> Error (Printf.sprintf "costs line %d: %s" lineno msg)
+          | Ok cost ->
+            if head = "default" then begin
+              default := cost;
+              go (lineno + 1) rest
+            end
+            else (
+              match Lineage.Tid.of_string head with
+              | Some tid ->
+                Hashtbl.replace table tid cost;
+                go (lineno + 1) rest
+              | None ->
+                Error
+                  (Printf.sprintf "costs line %d: bad tuple id %S" lineno head))))
+  in
+  let* () = go 1 lines in
+  Ok
+    (fun tid ->
+      match Hashtbl.find_opt table tid with Some c -> c | None -> !default)
+
+let solver_of_string = function
+  | "heuristic" -> Ok Optimize.Solver.heuristic
+  | "heuristic-seeded" -> Ok Optimize.Solver.heuristic_seeded
+  | "greedy" -> Ok Optimize.Solver.greedy
+  | "greedy-1p" ->
+    Ok
+      (Optimize.Solver.Greedy
+         { Optimize.Greedy.default_config with two_phase = false })
+  | "dnc" | "divide-and-conquer" -> Ok Optimize.Solver.divide_conquer
+  | "annealing" -> Ok Optimize.Solver.annealing
+  | s -> Error (Printf.sprintf "unknown solver %S" s)
+
+(* ------------------------------------------------------------------ *)
+(* query subcommand *)
+
+let build_context workspace data_dir rbac_file policy_file costs_file solver =
+  let* solver = solver_of_string solver in
+  match workspace with
+  | Some dir ->
+    let* w = Pcqe.Workspace.load ~solver dir in
+    Ok w.Pcqe.Workspace.context
+  | None ->
+    let need what = function
+      | Some v -> Ok v
+      | None ->
+        Error
+          (Printf.sprintf "either --workspace or --%s is required" what)
+    in
+    let* data_dir = need "data" data_dir in
+    let* rbac_file = need "rbac" rbac_file in
+    let* policy_file = need "policies" policy_file in
+    let* db = load_data_dir data_dir in
+    let* rbac_text = read_file rbac_file in
+    let* rbac = Rbac.Config.parse rbac_text in
+    let* policy_text = read_file policy_file in
+    let* policies = Rbac.Policy.parse_store policy_text in
+    let* cost_of =
+      match costs_file with
+      | None -> Ok (fun _ -> Cost.Cost_model.linear ~rate:100.0)
+      | Some path ->
+        let* text = read_file path in
+        parse_costs text
+    in
+    Ok (Pcqe.Engine.make_context ~solver ~cost_of ~db ~rbac ~policies ())
+
+let run_query workspace data_dir rbac_file policy_file costs_file user purpose
+    perc solver apply sql =
+  let result =
+    let* ctx =
+      build_context workspace data_dir rbac_file policy_file costs_file solver
+    in
+    let request =
+      { Pcqe.Engine.query = Pcqe.Query.sql sql; user; purpose; perc }
+    in
+    let* resp = Pcqe.Engine.answer ctx request in
+    print_string (Pcqe.Report.response_to_string resp);
+    match (apply, resp.Pcqe.Engine.proposal) with
+    | true, Some proposal ->
+      let ctx' = Pcqe.Engine.accept_proposal ctx proposal in
+      print_endline "\nApplying the improvement proposal...";
+      let* resp' = Pcqe.Engine.answer ctx' request in
+      print_string (Pcqe.Report.response_to_string resp');
+      Ok ()
+    | true, None ->
+      print_endline "\n(no proposal to apply)";
+      Ok ()
+    | false, _ -> Ok ()
+  in
+  match result with
+  | Ok () -> 0
+  | Error msg ->
+    Printf.eprintf "pcqe: %s\n" msg;
+    1
+
+(* ------------------------------------------------------------------ *)
+(* plan subcommand *)
+
+let run_plan data_dir sql =
+  let result =
+    let* db = load_data_dir data_dir in
+    let* plan = Relational.Sql_planner.compile sql in
+    let* schema = Relational.Algebra.output_schema db plan in
+    let* annotated = Relational.Estimate.explain db plan in
+    Printf.printf "parsed plan:\n%s\n\n" annotated;
+    let* optimized = Relational.Rewrite.optimize db plan in
+    let* () =
+      if optimized <> plan then begin
+        let* annotated' = Relational.Estimate.explain db optimized in
+        Printf.printf "after rewriting:\n%s\n\n" annotated';
+        Ok ()
+      end
+      else Ok ()
+    in
+    Printf.printf "output schema: (%s)\n" (Relational.Schema.to_string schema);
+    Ok ()
+  in
+  match result with
+  | Ok () -> 0
+  | Error msg ->
+    Printf.eprintf "pcqe: %s\n" msg;
+    1
+
+(* ------------------------------------------------------------------ *)
+(* solve subcommand *)
+
+let run_solve size bpr seed beta theta solver =
+  let result =
+    let* solver = solver_of_string solver in
+    let params =
+      {
+        Workload.Synth.default_params with
+        data_size = size;
+        bases_per_result = bpr;
+        beta;
+        theta;
+      }
+    in
+    let problem = Workload.Synth.instance ~params ~seed () in
+    Printf.printf "%s\n" (Optimize.Problem.to_string problem);
+    let out = Optimize.Solver.solve ~algorithm:solver problem in
+    (match out.Optimize.Solver.solution with
+    | Some increments ->
+      Printf.printf
+        "solver: %s\nfeasible: yes\ncost: %.2f\nraised tuples: %d\nsatisfied results: %d\nelapsed: %.3fs\ndetail: %s\n"
+        (Optimize.Solver.algorithm_name solver)
+        out.Optimize.Solver.cost
+        (List.length increments)
+        (List.length out.Optimize.Solver.satisfied)
+        out.Optimize.Solver.elapsed_s out.Optimize.Solver.detail
+    | None ->
+      Printf.printf "solver: %s\nfeasible: no\nelapsed: %.3fs\ndetail: %s\n"
+        (Optimize.Solver.algorithm_name solver)
+        out.Optimize.Solver.elapsed_s out.Optimize.Solver.detail);
+    Ok ()
+  in
+  match result with
+  | Ok () -> 0
+  | Error msg ->
+    Printf.eprintf "pcqe: %s\n" msg;
+    1
+
+(* ------------------------------------------------------------------ *)
+(* repl subcommand *)
+
+let run_repl workspace solver =
+  let result =
+    let* solver = solver_of_string solver in
+    let* w = Pcqe.Workspace.load ~solver workspace in
+    let state = ref (Pcqe.Repl.create w.Pcqe.Workspace.context) in
+    print_endline
+      "pcqe repl -- SQL plus meta commands; \\help for help, \\quit to leave";
+    let running = ref true in
+    while !running do
+      print_string "pcqe> ";
+      match In_channel.input_line stdin with
+      | None -> running := false
+      | Some line -> (
+        match Pcqe.Repl.execute !state line with
+        | Pcqe.Repl.Quit -> running := false
+        | Pcqe.Repl.Reply (state', text) ->
+          state := state';
+          if text <> "" then print_endline text)
+    done;
+    Ok ()
+  in
+  match result with
+  | Ok () -> 0
+  | Error msg ->
+    Printf.eprintf "pcqe: %s\n" msg;
+    1
+
+(* ------------------------------------------------------------------ *)
+(* export subcommand *)
+
+let run_export data_dir relation =
+  let result =
+    let* db = load_data_dir data_dir in
+    match Db.relation db relation with
+    | None -> Error (Printf.sprintf "unknown relation %S" relation)
+    | Some r ->
+      print_string (Relational.Csv.to_string db r);
+      Ok ()
+  in
+  match result with
+  | Ok () -> 0
+  | Error msg ->
+    Printf.eprintf "pcqe: %s\n" msg;
+    1
+
+(* ------------------------------------------------------------------ *)
+(* cmdliner wiring *)
+
+open Cmdliner
+
+let data_arg =
+  Arg.(
+    required
+    & opt (some dir) None
+    & info [ "data" ] ~docv:"DIR" ~doc:"Directory of CSV relations.")
+
+let data_opt_arg =
+  Arg.(
+    value
+    & opt (some dir) None
+    & info [ "data" ] ~docv:"DIR" ~doc:"Directory of CSV relations.")
+
+let workspace_arg =
+  Arg.(
+    value
+    & opt (some dir) None
+    & info [ "workspace" ] ~docv:"DIR"
+        ~doc:
+          "Workspace directory (relations/, rbac.txt, policies.txt, and \
+           optional views.sql, costs.txt, caps.txt); replaces the \
+           individual flags.")
+
+let sql_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL")
+
+let solver_arg =
+  Arg.(
+    value & opt string "dnc"
+    & info [ "solver" ] ~docv:"NAME"
+        ~doc:
+          "Strategy-finding algorithm: heuristic, heuristic-seeded, greedy, \
+           greedy-1p, dnc, or annealing.")
+
+let query_cmd =
+  let rbac_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "rbac" ] ~docv:"FILE" ~doc:"RBAC definition file.")
+  in
+  let policy_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "policies" ] ~docv:"FILE" ~doc:"Confidence policy file.")
+  in
+  let user_arg =
+    Arg.(required & opt (some string) None & info [ "user" ] ~docv:"USER")
+  in
+  let purpose_arg =
+    Arg.(required & opt (some string) None & info [ "purpose" ] ~docv:"PURPOSE")
+  in
+  let perc_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "perc" ] ~docv:"FRACTION"
+          ~doc:"Fraction of results the user needs (theta).")
+  in
+  let costs_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "costs" ] ~docv:"FILE"
+          ~doc:
+            "Per-tuple cost functions: one '<tid> <spec>' per line (specs: \
+             linear R, binomial S, exponential S R, logarithmic S), plus an \
+             optional 'default <spec>' line.")
+  in
+  let apply_arg =
+    Arg.(
+      value & flag
+      & info [ "apply" ]
+          ~doc:"Accept the improvement proposal and show the improved answer.")
+  in
+  let doc = "run a SQL query under RBAC and confidence policies" in
+  Cmd.v
+    (Cmd.info "query" ~doc)
+    Term.(
+      const run_query $ workspace_arg $ data_opt_arg $ rbac_arg $ policy_arg
+      $ costs_arg $ user_arg $ purpose_arg $ perc_arg $ solver_arg $ apply_arg
+      $ sql_arg)
+
+let plan_cmd =
+  let doc = "print the relational-algebra plan of a SQL query" in
+  Cmd.v (Cmd.info "plan" ~doc) Term.(const run_plan $ data_arg $ sql_arg)
+
+let solve_cmd =
+  let size_arg =
+    Arg.(value & opt int 1000 & info [ "size" ] ~docv:"N" ~doc:"Base tuples.")
+  in
+  let bpr_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "bases-per-result" ] ~docv:"N" ~doc:"Base tuples per result.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+  in
+  let beta_arg =
+    Arg.(
+      value & opt float 0.6
+      & info [ "beta" ] ~docv:"B" ~doc:"Confidence threshold.")
+  in
+  let theta_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "theta" ] ~docv:"T" ~doc:"Required fraction of results.")
+  in
+  let doc = "solve a synthetic confidence-increment instance" in
+  Cmd.v
+    (Cmd.info "solve" ~doc)
+    Term.(
+      const run_solve $ size_arg $ bpr_arg $ seed_arg $ beta_arg $ theta_arg
+      $ solver_arg)
+
+let repl_cmd =
+  let ws_arg =
+    Arg.(
+      required
+      & opt (some dir) None
+      & info [ "workspace" ] ~docv:"DIR" ~doc:"Workspace directory.")
+  in
+  let doc = "interactive SQL session over a workspace" in
+  Cmd.v (Cmd.info "repl" ~doc) Term.(const run_repl $ ws_arg $ solver_arg)
+
+let export_cmd =
+  let rel_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"RELATION")
+  in
+  let doc = "print a relation (with confidences) as CSV" in
+  Cmd.v (Cmd.info "export" ~doc) Term.(const run_export $ data_arg $ rel_arg)
+
+let main_cmd =
+  let doc = "policy-compliant query evaluation over confidence-annotated data" in
+  Cmd.group
+    (Cmd.info "pcqe" ~version:"1.0.0" ~doc)
+    [ query_cmd; plan_cmd; solve_cmd; export_cmd; repl_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

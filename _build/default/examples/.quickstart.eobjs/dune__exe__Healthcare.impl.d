@@ -1,0 +1,1 @@
+examples/healthcare.ml: Cost Lineage List Pcqe Printf Rbac Relational Trust

@@ -1,0 +1,1 @@
+examples/multi_query_demo.ml: Cost Float Hashtbl Lineage List Optimize Option Printf String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Pcqe Rbac Relational

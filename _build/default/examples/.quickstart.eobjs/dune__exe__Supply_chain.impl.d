@@ -1,0 +1,1 @@
+examples/supply_chain.ml: Cost Lineage List Pcqe Printf Rbac Relational

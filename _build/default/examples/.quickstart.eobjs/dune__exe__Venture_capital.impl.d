@@ -1,0 +1,1 @@
+examples/venture_capital.ml: Cost Lineage Pcqe Rbac Relational Result

@@ -1,0 +1,1 @@
+examples/venture_capital.mli:

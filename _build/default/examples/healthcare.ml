@@ -1,0 +1,185 @@
+(* Health-care scenario from the paper's introduction (after Malin et al.):
+
+   cancer-registry and administrative data are cheap to obtain but only
+   moderately reliable; patient/physician survey data are more expensive;
+   medical-record data are the most expensive and the most accurate.  The
+   required confidence depends on the purpose: hypothesis generation
+   tolerates medium confidence, evaluating treatment effectiveness does not.
+
+   This example also exercises the confidence-assignment substrate
+   (lib/trust): per-tuple confidences are derived from provenance records
+   (source trust, collection method, staleness, corroboration) rather than
+   set by hand, and each source gets a cost model matching the narrative
+   (registry: binomial; survey: exponential; medical record: logarithmic -
+   certainty is asymptotically expensive). *)
+
+module Db = Relational.Database
+module Tid = Lineage.Tid
+module Prov = Trust.Provenance
+
+let ok = function Ok x -> x | Error m -> failwith m
+
+(* three data providers with different prior trust *)
+let registry = Prov.make_provider "state-cancer-registry" ~trust:0.6
+let survey_org = Prov.make_provider "patient-survey-program" ~trust:0.75
+let hospital = Prov.make_provider "hospital-emr" ~trust:0.95
+
+let record_for source kind ~age_days ~corroborations =
+  Prov.make_record ~source
+    ~path:[ Prov.make_step kind ~fidelity:(Prov.default_fidelity kind) ]
+    ~age_days ~corroborations ()
+
+let build () =
+  let treatments =
+    Relational.Relation.create "Treatments"
+      (Relational.Schema.of_list
+         [
+           ("patient", Relational.Value.TString);
+           ("therapy", Relational.Value.TString);
+           ("source", Relational.Value.TString);
+         ])
+  in
+  let outcomes =
+    Relational.Relation.create "Outcomes"
+      (Relational.Schema.of_list
+         [
+           ("patient", Relational.Value.TString);
+           ("outcome", Relational.Value.TString);
+           ("source", Relational.Value.TString);
+         ])
+  in
+  let db = Db.add_relation (Db.add_relation Db.empty treatments) outcomes in
+  let open Relational.Value in
+  (* insert with a placeholder confidence; trust assignment overwrites it *)
+  let add db rel vs prov =
+    let db, tid = Db.insert db rel vs ~conf:0.5 in
+    Trust.Assignment.assign db [ (tid, prov) ]
+  in
+  let db =
+    add db "Treatments"
+      [ String "p01"; String "chemo-A"; String "registry" ]
+      (record_for registry Prov.Derived ~age_days:400.0 ~corroborations:0)
+  in
+  let db =
+    add db "Treatments"
+      [ String "p02"; String "chemo-A"; String "survey" ]
+      (record_for survey_org Prov.Survey ~age_days:90.0 ~corroborations:1)
+  in
+  let db =
+    add db "Treatments"
+      [ String "p03"; String "chemo-B"; String "emr" ]
+      (record_for hospital Prov.Direct_measurement ~age_days:30.0
+         ~corroborations:2)
+  in
+  let db =
+    add db "Outcomes"
+      [ String "p01"; String "remission"; String "registry" ]
+      (record_for registry Prov.Derived ~age_days:400.0 ~corroborations:0)
+  in
+  let db =
+    add db "Outcomes"
+      [ String "p02"; String "remission"; String "survey" ]
+      (record_for survey_org Prov.Survey ~age_days:60.0 ~corroborations:0)
+  in
+  let db =
+    add db "Outcomes"
+      [ String "p03"; String "progression"; String "emr" ]
+      (record_for hospital Prov.Direct_measurement ~age_days:10.0
+         ~corroborations:1)
+  in
+  db
+
+(* Improving registry data is cheap at first (binomial), survey follow-ups
+   grow exponentially, and chart review approaches certainty only at
+   diverging (logarithmic) cost. *)
+let cost_of db tid =
+  let source_of rel row =
+    let r = Db.relation_exn db rel in
+    match Relational.Relation.find r (Tid.make rel row) with
+    | Some tup -> Relational.Value.to_string (Relational.Tuple.get tup 2)
+    | None -> "emr"
+  in
+  match source_of tid.Tid.rel tid.Tid.row with
+  | "registry" -> Cost.Cost_model.binomial ~scale:40.0
+  | "survey" -> Cost.Cost_model.exponential ~scale:8.0 ~rate:2.0
+  | _ -> Cost.Cost_model.logarithmic ~scale:25.0
+
+let rbac () =
+  let open Rbac.Core_rbac in
+  let m = add_role (add_role empty "researcher") "oncologist" in
+  let m = add_user (add_user m "rita") "omar" in
+  let m = ok (assign_user m ~user:"rita" ~role:"researcher") in
+  let m = ok (assign_user m ~user:"omar" ~role:"oncologist") in
+  let m = ok (grant m ~role:"researcher" { action = "select"; resource = "*" }) in
+  let m = ok (grant m ~role:"oncologist" { action = "select"; resource = "*" }) in
+  m
+
+let policies =
+  Rbac.Policy.of_list
+    [
+      (* hypothesis generation tolerates medium confidence *)
+      Rbac.Policy.make ~role:"researcher" ~purpose:"hypothesis-generation"
+        ~beta:0.3;
+      (* treatment-effectiveness evaluation needs accurate data *)
+      Rbac.Policy.make ~role:"oncologist" ~purpose:"treatment-evaluation"
+        ~beta:0.6;
+    ]
+
+let query =
+  Pcqe.Query.sql
+    "SELECT Treatments.therapy, Outcomes.outcome FROM Treatments JOIN \
+     Outcomes ON Treatments.patient = Outcomes.patient"
+
+let () =
+  let db = build () in
+  let ctx =
+    Pcqe.Engine.make_context ~cost_of:(cost_of db) ~db ~rbac:(rbac ())
+      ~policies ()
+  in
+  print_endline "=== Confidence values assigned from provenance ===";
+  List.iter
+    (fun (tid, c) -> Printf.printf "  %-14s %.3f\n" (Tid.to_string tid) c)
+    (Db.all_confidences db);
+  print_endline
+    "\n=== Researcher, purpose 'hypothesis-generation' (beta = 0.3) ===";
+  (match
+     Pcqe.Engine.answer ctx
+       {
+         Pcqe.Engine.query;
+         user = "rita";
+         purpose = "hypothesis-generation";
+         perc = 1.0;
+       }
+   with
+  | Ok resp -> print_string (Pcqe.Report.response_to_string resp)
+  | Error msg -> failwith msg);
+  print_endline
+    "\n=== Oncologist, purpose 'treatment-evaluation' (beta = 0.6) ===";
+  match
+    Pcqe.Engine.answer ctx
+      {
+        Pcqe.Engine.query;
+        user = "omar";
+        purpose = "treatment-evaluation";
+        perc = 1.0;
+      }
+  with
+  | Error msg -> failwith msg
+  | Ok resp -> (
+    print_string (Pcqe.Report.response_to_string resp);
+    match resp.Pcqe.Engine.proposal with
+    | None -> ()
+    | Some proposal ->
+      let ctx' = Pcqe.Engine.accept_proposal ctx proposal in
+      print_endline "\n=== After the data-quality improvement ===";
+      (match
+         Pcqe.Engine.answer ctx'
+           {
+             Pcqe.Engine.query;
+             user = "omar";
+             purpose = "treatment-evaluation";
+             perc = 1.0;
+           }
+       with
+      | Ok resp' -> print_string (Pcqe.Report.response_to_string resp')
+      | Error msg -> failwith msg))

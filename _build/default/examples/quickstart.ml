@@ -1,0 +1,54 @@
+(* Quickstart: the smallest end-to-end PCQE session.
+
+   1. build a database whose tuples carry confidence values,
+   2. set up RBAC and one confidence policy,
+   3. run a SQL query -- results are filtered by confidence,
+   4. accept the engine's improvement proposal and re-run. *)
+
+let () =
+  (* a single-relation database: sensor readings with confidences *)
+  let readings =
+    Relational.Relation.create "Readings"
+      (Relational.Schema.of_list
+         [ ("sensor", Relational.Value.TString);
+           ("celsius", Relational.Value.TFloat) ])
+  in
+  let db = Relational.Database.add_relation Relational.Database.empty readings in
+  let insert db vs conf = fst (Relational.Database.insert db "Readings" vs ~conf) in
+  let open Relational.Value in
+  let db = insert db [ String "s1"; Float 21.5 ] 0.9 in
+  let db = insert db [ String "s2"; Float 48.0 ] 0.4 in
+  let db = insert db [ String "s3"; Float 47.2 ] 0.55 in
+  (* RBAC: one analyst who may read everything *)
+  let ok = function Ok x -> x | Error m -> failwith m in
+  let rbac =
+    let open Rbac.Core_rbac in
+    let m = add_user (add_role empty "analyst") "ana" in
+    let m = ok (assign_user m ~user:"ana" ~role:"analyst") in
+    ok (grant m ~role:"analyst" { action = "select"; resource = "*" })
+  in
+  (* confidence policy: alerting needs confidence above 0.5 *)
+  let policies =
+    Rbac.Policy.of_list
+      [ Rbac.Policy.make ~role:"analyst" ~purpose:"alerting" ~beta:0.5 ]
+  in
+  let ctx = Pcqe.Engine.make_context ~db ~rbac ~policies () in
+  let request =
+    { Pcqe.Engine.query =
+        Pcqe.Query.sql "SELECT sensor, celsius FROM Readings WHERE celsius > 45";
+      user = "ana";
+      purpose = "alerting";
+      perc = 1.0 }
+  in
+  match Pcqe.Engine.answer ctx request with
+  | Error msg -> failwith msg
+  | Ok resp ->
+    print_string (Pcqe.Report.response_to_string resp);
+    (match resp.Pcqe.Engine.proposal with
+    | None -> ()
+    | Some proposal ->
+      let ctx' = Pcqe.Engine.accept_proposal ctx proposal in
+      print_endline "\nAfter accepting the improvement proposal:";
+      (match Pcqe.Engine.answer ctx' request with
+      | Error msg -> failwith msg
+      | Ok resp' -> print_string (Pcqe.Report.response_to_string resp')))

@@ -1,0 +1,109 @@
+type shape =
+  | Linear of { rate : float }
+  | Binomial of { scale : float; degree : int }
+  | Exponential of { scale : float; rate : float }
+  | Logarithmic of { scale : float }
+
+type t = shape
+
+let validate = function
+  | Linear { rate } ->
+    if rate <= 0.0 then invalid_arg "Cost_model: rate must be positive"
+  | Binomial { scale; degree } ->
+    if scale <= 0.0 then invalid_arg "Cost_model: scale must be positive";
+    if degree < 1 then invalid_arg "Cost_model: degree must be >= 1"
+  | Exponential { scale; rate } ->
+    if scale <= 0.0 then invalid_arg "Cost_model: scale must be positive";
+    if rate <= 0.0 then invalid_arg "Cost_model: rate must be positive"
+  | Logarithmic { scale } ->
+    if scale <= 0.0 then invalid_arg "Cost_model: scale must be positive"
+
+let make shape =
+  validate shape;
+  shape
+
+let shape t = t
+
+let linear ~rate = make (Linear { rate })
+let binomial ~scale = make (Binomial { scale; degree = 2 })
+let exponential ~scale ~rate = make (Exponential { scale; rate })
+let logarithmic ~scale = make (Logarithmic { scale })
+
+let clamp p = Float.max 0.0 (Float.min 1.0 p)
+
+let pow_int x n =
+  let rec go acc x n =
+    if n = 0 then acc
+    else if n land 1 = 1 then go (acc *. x) (x *. x) (n asr 1)
+    else go acc (x *. x) (n asr 1)
+  in
+  go 1.0 x n
+
+let level t p =
+  let p = clamp p in
+  match t with
+  | Linear { rate } -> rate *. p
+  | Binomial { scale; degree } -> scale *. pow_int p degree
+  | Exponential { scale; rate } -> scale *. (exp (rate *. p) -. 1.0)
+  | Logarithmic { scale } ->
+    if p >= 1.0 then infinity else -.scale *. log (1.0 -. p)
+
+let eval t ~from_ ~to_ =
+  if to_ <= from_ then 0.0 else level t to_ -. level t from_
+
+let marginal t ~at ~delta = eval t ~from_:at ~to_:(at +. delta)
+
+let random rng =
+  let scale = Prng.Splitmix.float_in rng 1.0 100.0 in
+  match Prng.Splitmix.int rng 3 with
+  | 0 -> binomial ~scale
+  | 1 -> exponential ~scale:(scale /. 10.0) ~rate:2.0
+  | _ -> logarithmic ~scale
+
+let to_string = function
+  | Linear { rate } -> Printf.sprintf "linear(rate=%g)" rate
+  | Binomial { scale; degree } -> Printf.sprintf "binomial(scale=%g, degree=%d)" scale degree
+  | Exponential { scale; rate } ->
+    Printf.sprintf "exponential(scale=%g, rate=%g)" scale rate
+  | Logarithmic { scale } -> Printf.sprintf "logarithmic(scale=%g)" scale
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let parse spec =
+  let words =
+    String.split_on_char ' ' (String.trim spec)
+    |> List.filter (fun w -> w <> "")
+  in
+  let num what s =
+    match float_of_string_opt s with
+    | Some f when f > 0.0 -> Ok f
+    | _ -> Error (Printf.sprintf "bad %s %S" what s)
+  in
+  let ( let* ) = Result.bind in
+  match words with
+  | [ "linear"; rate ] ->
+    let* rate = num "rate" rate in
+    Ok (linear ~rate)
+  | [ "binomial"; scale ] ->
+    let* scale = num "scale" scale in
+    Ok (binomial ~scale)
+  | [ "exponential"; scale; rate ] ->
+    let* scale = num "scale" scale in
+    let* rate = num "rate" rate in
+    Ok (exponential ~scale ~rate)
+  | [ "logarithmic"; scale ] ->
+    let* scale = num "scale" scale in
+    Ok (logarithmic ~scale)
+  | _ ->
+    Error
+      (Printf.sprintf
+         "bad cost spec %S (expected: linear R | binomial S | exponential S R           | logarithmic S)"
+         spec)
+
+let spec t =
+  match t with
+  | Linear { rate } -> Printf.sprintf "linear %g" rate
+  | Binomial { scale; degree = 2 } -> Printf.sprintf "binomial %g" scale
+  | Binomial { scale; degree } -> Printf.sprintf "binomial %g (degree %d)" scale degree
+  | Exponential { scale; rate } -> Printf.sprintf "exponential %g %g" scale rate
+  | Logarithmic { scale } -> Printf.sprintf "logarithmic %g" scale

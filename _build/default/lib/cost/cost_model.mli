@@ -1,0 +1,70 @@
+(** Cost functions for confidence increments.
+
+    Each base tuple carries a cost function [c]: raising its confidence
+    from [p] to [p*] costs [c p' - c p] where [c] is a non-decreasing
+    function of the confidence level (time, money, auditing effort…).  The
+    paper's experiments draw cost functions from three families — binomial
+    (polynomial), exponential and logarithmic (§5.1); we provide those plus
+    linear (the simplest model, handy in unit tests).
+
+    The logarithmic family diverges as the confidence approaches 1,
+    modelling data that can never be made fully certain; combine it with a
+    confidence cap below 1 or rely on the optimizer's budget pruning.
+
+    All families satisfy, for [0 <= p <= p* <= 1]:
+    - [eval t ~from_:p ~to_:p = 0] (no-op costs nothing);
+    - [eval] is non-negative and non-decreasing in [p*];
+    - [eval t ~from_:a ~to_:c = eval t ~from_:a ~to_:b +
+       eval t ~from_:b ~to_:c] (path independence). *)
+
+type shape =
+  | Linear of { rate : float }
+      (** [c(p) = rate*p] *)
+  | Binomial of { scale : float; degree : int }
+      (** [c(p) = scale*p^degree] — marginal cost grows polynomially;
+          [degree = 2] matches the paper's "binomial" family *)
+  | Exponential of { scale : float; rate : float }
+      (** [c(p) = scale*(e^{rate*p} - 1)] *)
+  | Logarithmic of { scale : float }
+      (** [c(p) = -scale*ln(1 - p)], diverging at [p = 1] *)
+
+type t
+
+val make : shape -> t
+(** @raise Invalid_argument on non-positive [scale]/[rate] or [degree < 1]. *)
+
+val shape : t -> shape
+
+val linear : rate:float -> t
+val binomial : scale:float -> t
+(** Degree-2 polynomial, the paper's default reading of "binomial". *)
+
+val exponential : scale:float -> rate:float -> t
+val logarithmic : scale:float -> t
+
+val level : t -> float -> float
+(** [level t p] is the cumulative cost [c(p)].  [p] is clamped to
+    [\[0, 1\]]; the logarithmic family returns [infinity] at 1. *)
+
+val eval : t -> from_:float -> to_:float -> float
+(** [eval t ~from_ ~to_] is [c(to_) - c(from_)], the cost of raising
+    confidence from [from_] to [to_].  Returns 0 when [to_ <= from_]. *)
+
+val marginal : t -> at:float -> delta:float -> float
+(** [marginal t ~at ~delta] is [eval t ~from_:at ~to_:(at +. delta)]. *)
+
+val random : Prng.Splitmix.t -> t
+(** Draw a random cost function from the paper's three families (binomial,
+    exponential, logarithmic) with scale uniform in [\[1, 100\]] — the
+    §5.1 synthetic setting. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val parse : string -> (t, string) result
+(** [parse spec] reads a whitespace-separated spec:
+    ["linear RATE"], ["binomial SCALE"], ["exponential SCALE RATE"],
+    ["logarithmic SCALE"] — the format the CLI's [--costs] file uses. *)
+
+val spec : t -> string
+(** Inverse of {!parse}. *)

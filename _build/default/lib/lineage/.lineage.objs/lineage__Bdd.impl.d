@@ -1,0 +1,1 @@
+lib/lineage/bdd.ml: Array Formula Hashtbl List Tid

@@ -1,0 +1,1 @@
+lib/lineage/explain.ml: Buffer Float Formula Int List Printf Prob String Tid

@@ -1,0 +1,1 @@
+lib/lineage/explain.mli: Formula Tid

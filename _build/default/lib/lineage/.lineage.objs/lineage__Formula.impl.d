@@ -1,0 +1,1 @@
+lib/lineage/formula.ml: Buffer Format Int List Tid

@@ -1,0 +1,1 @@
+lib/lineage/formula.mli: Format Tid

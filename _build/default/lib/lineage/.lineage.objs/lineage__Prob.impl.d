@@ -1,0 +1,1 @@
+lib/lineage/prob.ml: Formula Hashtbl List Option Prng Tid

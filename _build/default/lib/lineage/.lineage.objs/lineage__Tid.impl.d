@@ -1,0 +1,1 @@
+lib/lineage/tid.ml: Format Hashtbl Int Map Printf Set String

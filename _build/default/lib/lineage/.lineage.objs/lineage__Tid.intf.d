@@ -1,0 +1,1 @@
+lib/lineage/tid.mli: Format Hashtbl Map Set

@@ -1,0 +1,183 @@
+type t =
+  | Leaf of bool
+  | Node of { id : int; level : int; var : Tid.t; lo : t; hi : t }
+
+type manager = {
+  order : Tid.t -> Tid.t -> int;
+  mutable next_id : int;
+  levels : int Tid.Table.t; (* interned variable -> level *)
+  mutable level_vars : Tid.t array; (* level -> variable *)
+  unique : (int * int * int, t) Hashtbl.t; (* (level, lo id, hi id) -> node *)
+  and_cache : (int * int, t) Hashtbl.t;
+  or_cache : (int * int, t) Hashtbl.t;
+  not_cache : (int, t) Hashtbl.t;
+}
+
+let manager ?(order = Tid.compare) () =
+  {
+    order;
+    next_id = 2;
+    levels = Tid.Table.create 64;
+    level_vars = [||];
+    unique = Hashtbl.create 256;
+    and_cache = Hashtbl.create 256;
+    or_cache = Hashtbl.create 256;
+    not_cache = Hashtbl.create 64;
+  }
+
+let zero _ = Leaf false
+let one _ = Leaf true
+
+let node_id = function
+  | Leaf false -> 0
+  | Leaf true -> 1
+  | Node { id; _ } -> id
+
+let node_level = function Leaf _ -> max_int | Node { level; _ } -> level
+
+(* Intern a variable, keeping [level_vars] sorted by [order].  Levels of
+   previously interned variables must stay stable, so we only assign fresh
+   levels at the end; if the new variable sorts before an existing one we
+   still append — the resulting order is "first come, ordered among new
+   arrivals".  For a fixed formula, callers intern variables in sorted
+   order via [of_formula], giving the canonical order. *)
+let intern m v =
+  match Tid.Table.find_opt m.levels v with
+  | Some l -> l
+  | None ->
+    let l = Array.length m.level_vars in
+    Tid.Table.add m.levels v l;
+    m.level_vars <- Array.append m.level_vars [| v |];
+    l
+
+let mk m level var lo hi =
+  if node_id lo = node_id hi then lo
+  else begin
+    let key = (level, node_id lo, node_id hi) in
+    match Hashtbl.find_opt m.unique key with
+    | Some n -> n
+    | None ->
+      let n = Node { id = m.next_id; level; var; lo; hi } in
+      m.next_id <- m.next_id + 1;
+      Hashtbl.add m.unique key n;
+      n
+  end
+
+let var m v =
+  let level = intern m v in
+  mk m level v (Leaf false) (Leaf true)
+
+let rec bnot m b =
+  match b with
+  | Leaf x -> Leaf (not x)
+  | Node { id; level; var; lo; hi } -> (
+    match Hashtbl.find_opt m.not_cache id with
+    | Some r -> r
+    | None ->
+      let r = mk m level var (bnot m lo) (bnot m hi) in
+      Hashtbl.add m.not_cache id r;
+      r)
+
+let rec apply m op cache unit_a absorb a b =
+  match (a, b) with
+  | Leaf x, Leaf y -> Leaf (op x y)
+  | Leaf x, other | other, Leaf x ->
+    if x = unit_a then other else Leaf absorb
+  | _ ->
+    let ka = node_id a and kb = node_id b in
+    let key = if ka <= kb then (ka, kb) else (kb, ka) in
+    (match Hashtbl.find_opt cache key with
+    | Some r -> r
+    | None ->
+      let la = node_level a and lb = node_level b in
+      let r =
+        if la = lb then
+          match (a, b) with
+          | Node na, Node nb ->
+            mk m la na.var
+              (apply m op cache unit_a absorb na.lo nb.lo)
+              (apply m op cache unit_a absorb na.hi nb.hi)
+          | _ -> assert false
+        else if la < lb then
+          match a with
+          | Node na ->
+            mk m la na.var
+              (apply m op cache unit_a absorb na.lo b)
+              (apply m op cache unit_a absorb na.hi b)
+          | _ -> assert false
+        else
+          match b with
+          | Node nb ->
+            mk m lb nb.var
+              (apply m op cache unit_a absorb a nb.lo)
+              (apply m op cache unit_a absorb a nb.hi)
+          | _ -> assert false
+      in
+      Hashtbl.add cache key r;
+      r)
+
+let band m a b = apply m ( && ) m.and_cache true false a b
+let bor m a b = apply m ( || ) m.or_cache false true a b
+
+let of_formula m f =
+  (* Intern all variables in sorted order first so the manager's variable
+     order matches [m.order] for this formula. *)
+  let vs = Tid.Set.elements (Formula.vars f) in
+  let vs = List.sort m.order vs in
+  List.iter (fun v -> ignore (intern m v)) vs;
+  let rec go = function
+    | Formula.True -> Leaf true
+    | Formula.False -> Leaf false
+    | Formula.Var v -> var m v
+    | Formula.Not g -> bnot m (go g)
+    | Formula.And fs ->
+      List.fold_left (fun acc g -> band m acc (go g)) (Leaf true) fs
+    | Formula.Or fs ->
+      List.fold_left (fun acc g -> bor m acc (go g)) (Leaf false) fs
+  in
+  go f
+
+let equal a b = node_id a = node_id b
+let is_zero b = node_id b = 0
+let is_one b = node_id b = 1
+
+let size root =
+  let seen = Hashtbl.create 64 in
+  let rec go = function
+    | Leaf _ -> ()
+    | Node { id; lo; hi; _ } ->
+      if not (Hashtbl.mem seen id) then begin
+        Hashtbl.add seen id ();
+        go lo;
+        go hi
+      end
+  in
+  go root;
+  Hashtbl.length seen
+
+let prob _m p root =
+  let memo = Hashtbl.create 64 in
+  let rec go = function
+    | Leaf true -> 1.0
+    | Leaf false -> 0.0
+    | Node { id; var; lo; hi; _ } -> (
+      match Hashtbl.find_opt memo id with
+      | Some r -> r
+      | None ->
+        let pv = p var in
+        let r = (pv *. go hi) +. ((1.0 -. pv) *. go lo) in
+        Hashtbl.add memo id r;
+        r)
+  in
+  go root
+
+let rec eval assignment = function
+  | Leaf b -> b
+  | Node { var; lo; hi; _ } ->
+    if assignment var then eval assignment hi else eval assignment lo
+
+let sat_count m root ~vars =
+  let n = Tid.Set.cardinal vars in
+  (* probability under the uniform distribution times 2^n *)
+  let p _ = 0.5 in
+  prob m p root *. (2.0 ** float_of_int n)

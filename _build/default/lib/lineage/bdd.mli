@@ -1,0 +1,56 @@
+(** Reduced ordered binary decision diagrams over base tuples.
+
+    A hash-consed OBDD package used as the heavy-duty exact confidence
+    evaluator for non-read-once lineage (e.g. self-joins).  Once a formula
+    is compiled, probability evaluation is linear in the number of BDD
+    nodes, so the same lineage can be re-evaluated cheaply under many
+    different confidence assignments — exactly the access pattern of the
+    strategy-finding algorithms, which repeatedly perturb one base tuple's
+    confidence. *)
+
+type manager
+(** Node store: unique table plus operation caches.  All nodes combined in
+    an operation must come from the same manager. *)
+
+type t
+(** A BDD node handle (valid within its manager). *)
+
+val manager : ?order:(Tid.t -> Tid.t -> int) -> unit -> manager
+(** [manager ()] creates a fresh manager.  [order] fixes the variable order
+    (default {!Tid.compare}); variables encountered first in operations are
+    interned on demand respecting that order. *)
+
+val zero : manager -> t
+val one : manager -> t
+val var : manager -> Tid.t -> t
+
+val bnot : manager -> t -> t
+val band : manager -> t -> t -> t
+val bor : manager -> t -> t -> t
+
+val of_formula : manager -> Formula.t -> t
+(** [of_formula m f] compiles [f] bottom-up. *)
+
+val equal : t -> t -> bool
+(** Constant time thanks to hash-consing: semantic equivalence of BDDs
+    built in the same manager coincides with physical identity. *)
+
+val is_zero : t -> bool
+val is_one : t -> bool
+
+val size : t -> int
+(** Number of distinct internal nodes reachable from the root. *)
+
+val prob : manager -> (Tid.t -> float) -> t -> float
+(** [prob m p b] is the probability that [b] evaluates to true when each
+    variable [v] is independently true with probability [p v].  Linear in
+    {!size}.  The result is memoized per call, not across calls (the
+    assignment changes between calls). *)
+
+val eval : (Tid.t -> bool) -> t -> bool
+(** [eval assignment b] follows one path from the root. *)
+
+val sat_count : manager -> t -> vars:Tid.Set.t -> float
+(** [sat_count m b ~vars] is the number of satisfying assignments of [b]
+    over the variable set [vars] (which must contain all variables of [b]).
+    Returned as a float to tolerate > 62-variable spaces. *)

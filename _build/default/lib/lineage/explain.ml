@@ -1,0 +1,89 @@
+(* DNF with absorption over monotone formulas: terms are sets of tids. *)
+
+let rec dnf = function
+  | Formula.True -> Some [ Tid.Set.empty ]
+  | Formula.False -> Some []
+  | Formula.Var v -> Some [ Tid.Set.singleton v ]
+  | Formula.Not _ -> None
+  | Formula.Or fs ->
+    List.fold_left
+      (fun acc f ->
+        match (acc, dnf f) with
+        | Some terms, Some more -> Some (terms @ more)
+        | _ -> None)
+      (Some []) fs
+  | Formula.And fs ->
+    List.fold_left
+      (fun acc f ->
+        match (acc, dnf f) with
+        | Some terms, Some more ->
+          (* cross product of the term sets *)
+          Some
+            (List.concat_map
+               (fun t -> List.map (fun m -> Tid.Set.union t m) more)
+               terms)
+        | _ -> None)
+      (Some [ Tid.Set.empty ]) fs
+
+(* keep only minimal terms (absorption) *)
+let minimize terms =
+  let minimal t =
+    not
+      (List.exists
+         (fun other -> (not (Tid.Set.equal other t)) && Tid.Set.subset other t)
+         terms)
+  in
+  List.filter minimal terms
+  |> List.sort_uniq (fun a b ->
+         let c = Int.compare (Tid.Set.cardinal a) (Tid.Set.cardinal b) in
+         if c <> 0 then c else Tid.Set.compare a b)
+
+let witnesses f =
+  if not (Formula.is_monotone f) then
+    Error "witnesses are only defined for negation-free lineage"
+  else
+    match dnf f with
+    | Some terms -> Ok (minimize terms)
+    | None -> Error "witnesses are only defined for negation-free lineage"
+
+let top_witnesses ?(k = 5) p f =
+  match witnesses f with
+  | Error _ -> []
+  | Ok terms ->
+    let scored =
+      List.map
+        (fun t -> (t, Tid.Set.fold (fun tid acc -> acc *. p tid) t 1.0))
+        terms
+    in
+    let sorted =
+      List.stable_sort (fun (_, a) (_, b) -> Float.compare b a) scored
+    in
+    List.filteri (fun i _ -> i < k) sorted
+
+let influence p f =
+  Tid.Set.elements (Formula.vars f)
+  |> List.map (fun tid -> (tid, Prob.derivative p f tid))
+  |> List.stable_sort (fun (_, a) (_, b) -> Float.compare b a)
+
+let to_string p f =
+  let buf = Buffer.create 256 in
+  (match top_witnesses p f with
+  | [] ->
+    Buffer.add_string buf
+      "  witnesses: (not available: lineage contains negation)\n"
+  | ws ->
+    Buffer.add_string buf "  witnesses (minimal sufficient tuple sets):\n";
+    List.iter
+      (fun (t, prob) ->
+        Buffer.add_string buf
+          (Printf.sprintf "    {%s}  p=%.4f\n"
+             (String.concat ", " (List.map Tid.to_string (Tid.Set.elements t)))
+             prob))
+      ws);
+  Buffer.add_string buf "  influence (dP/dp per base tuple):\n";
+  List.iter
+    (fun (tid, d) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    %-16s %+.4f\n" (Tid.to_string tid) d))
+    (influence p f);
+  Buffer.contents buf

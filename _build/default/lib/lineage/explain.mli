@@ -1,0 +1,36 @@
+(** Explanations of derived results: why-provenance and influence.
+
+    Two complementary views of a result's lineage:
+
+    - {!witnesses}: the {e minimal witnesses} (prime implicants of a
+      monotone lineage formula) — the minimal sets of base tuples whose
+      joint presence suffices for the result to exist.  This is classic
+      why-provenance; a user asking "why is this row here?" gets one line
+      per witness.
+    - {!influence}: the Birnbaum importance of each base tuple
+      ({!Prob.derivative}) — how much one unit of confidence on that tuple
+      moves the result's confidence.  This ranks where quality-improvement
+      money is best spent and is exactly the quantity the greedy gain
+      normalizes by cost. *)
+
+val witnesses : Formula.t -> (Tid.Set.t list, string) result
+(** [witnesses f] enumerates the minimal witnesses of a {e monotone} [f],
+    sorted by size then lexicographically.  Errors on non-monotone
+    formulas (negation has no witness semantics) with a descriptive
+    message.  Worst case exponential in the formula size — lineage of a
+    single result row is small in practice. *)
+
+val top_witnesses :
+  ?k:int -> (Tid.t -> float) -> Formula.t -> (Tid.Set.t * float) list
+(** [top_witnesses ~k p f] ranks witnesses by the probability that the
+    whole witness is present ([Π p(t)]) and keeps the best [k]
+    (default 5).  Empty on non-monotone formulas. *)
+
+val influence : (Tid.t -> float) -> Formula.t -> (Tid.t * float) list
+(** [influence p f] is every variable of [f] with its Birnbaum importance
+    [∂P(f)/∂p(t)], sorted by decreasing importance.  Works for any
+    formula. *)
+
+val to_string : (Tid.t -> float) -> Formula.t -> string
+(** Multi-line rendering: the witnesses (when monotone) and the top
+    influences — what a CLI "explain" command prints per row. *)

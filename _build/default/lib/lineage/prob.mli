@@ -1,0 +1,52 @@
+(** Confidence (probability) computation for lineage formulas.
+
+    The model is tuple-level independence: base tuple [t] is present with
+    probability [p t], independently of all others.  The confidence of a
+    query result is the probability that its lineage formula is satisfied.
+
+    Three evaluators are provided:
+
+    - {!read_once}: linear time, exact, valid only for read-once formulas;
+    - {!exact}: always exact; decomposes into independent subformulas and
+      falls back to Shannon expansion on shared variables (exponential in
+      the number of shared variables in the worst case — the general
+      problem is #P-hard, cf. Dalvi–Suciu);
+    - {!monte_carlo}: unbiased sampling estimator for formulas too entangled
+      for {!exact}.
+
+    {!confidence} picks the cheapest exact strategy automatically. *)
+
+val read_once : (Tid.t -> float) -> Formula.t -> float
+(** [read_once p f] evaluates [f] bottom-up with
+    [P(And fs) = Π P(f)] and [P(Or fs) = 1 - Π (1 - P(f))].
+    Exact iff [f] is read-once (no variable repeated); callers must ensure
+    this (see {!Formula.is_read_once}). *)
+
+val exact : (Tid.t -> float) -> Formula.t -> float
+(** [exact p f] computes the exact probability of [f].  Uses independent
+    decomposition where sibling subformulas share no variables, and Shannon
+    expansion on the most-shared variable otherwise, with memoization. *)
+
+val shannon_cost_estimate : Formula.t -> int
+(** [shannon_cost_estimate f] is a crude upper bound on the number of
+    Shannon expansions {!exact} may perform ([2^s] capped at [max_int/2],
+    where [s] is the number of variables occurring more than once).  Useful
+    to decide between {!exact} and {!monte_carlo}. *)
+
+val monte_carlo :
+  Prng.Splitmix.t -> samples:int -> (Tid.t -> float) -> Formula.t -> float
+(** [monte_carlo rng ~samples p f] estimates the probability of [f] by
+    drawing [samples] independent worlds.  Standard error is at most
+    [0.5 / sqrt samples]. *)
+
+val derivative : (Tid.t -> float) -> Formula.t -> Tid.t -> float
+(** [derivative p f v] is the partial derivative of the confidence of [f]
+    with respect to [p v].  By Shannon expansion
+    [P(f) = p_v * P(f|v=1) + (1 - p_v) * P(f|v=0)], the derivative is
+    [P(f|v=1) - P(f|v=0)] — the classic Birnbaum importance of [v].
+    Always in [\[-1, 1\]]; 0 when [v] does not occur in [f]; non-negative
+    for monotone [f]. *)
+
+val confidence : (Tid.t -> float) -> Formula.t -> float
+(** [confidence p f] computes the exact confidence of [f], using the linear
+    read-once evaluator when applicable and {!exact} otherwise. *)

@@ -1,0 +1,42 @@
+type t = { rel : string; row : int }
+
+let make rel row = { rel; row }
+
+let compare a b =
+  let c = String.compare a.rel b.rel in
+  if c <> 0 then c else Int.compare a.row b.row
+
+let equal a b = a.row = b.row && String.equal a.rel b.rel
+
+let hash a = Hashtbl.hash (a.rel, a.row)
+
+let to_string a = Printf.sprintf "%s#%d" a.rel a.row
+
+let of_string s =
+  match String.rindex_opt s '#' with
+  | None -> None
+  | Some i -> (
+    let rel = String.sub s 0 i in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    match int_of_string_opt rest with
+    | Some row when rel <> "" -> Some { rel; row }
+    | _ -> None)
+
+let pp ppf a = Format.pp_print_string ppf (to_string a)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Hashed = struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)
+module Table = Hashtbl.Make (Hashed)

@@ -1,0 +1,1 @@
+lib/optimize/annealing.ml: Float Lineage List Prng Problem State

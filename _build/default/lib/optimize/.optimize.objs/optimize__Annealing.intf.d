@@ -1,0 +1,1 @@
+lib/optimize/annealing.mli: Lineage Problem

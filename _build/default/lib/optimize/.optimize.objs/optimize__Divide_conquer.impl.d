@@ -1,0 +1,1 @@
+lib/optimize/divide_conquer.ml: Array Float Fun Greedy Heuristic Lineage List Option Partition Problem State

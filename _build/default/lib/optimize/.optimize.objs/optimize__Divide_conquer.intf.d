@@ -1,0 +1,1 @@
+lib/optimize/divide_conquer.mli: Greedy Lineage Partition Problem

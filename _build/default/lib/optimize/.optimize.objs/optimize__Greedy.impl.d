@@ -1,0 +1,1 @@
+lib/optimize/greedy.ml: Array Float Hashtbl Heap Lineage List Problem State

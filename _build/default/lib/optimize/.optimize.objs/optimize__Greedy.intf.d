@@ -1,0 +1,1 @@
+lib/optimize/greedy.mli: Lineage Problem State

@@ -1,0 +1,1 @@
+lib/optimize/heuristic.ml: Array Cost Float Fun Lineage List Option Problem State

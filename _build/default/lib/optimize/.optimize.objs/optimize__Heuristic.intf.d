@@ -1,0 +1,1 @@
+lib/optimize/heuristic.mli: Lineage Problem

@@ -1,0 +1,1 @@
+lib/optimize/multi_query.ml: Array Cost Float Fun Hashtbl Lineage List Printf Problem Result State

@@ -1,0 +1,1 @@
+lib/optimize/multi_query.mli: Lineage Problem

@@ -1,0 +1,1 @@
+lib/optimize/partition.ml: Array Float Fun Hashtbl Heap Int List Option Printf Problem Set

@@ -1,0 +1,1 @@
+lib/optimize/problem.ml: Array Cost Lineage List Printf Relational Result

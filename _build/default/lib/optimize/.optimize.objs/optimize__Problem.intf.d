@@ -1,0 +1,1 @@
+lib/optimize/problem.mli: Cost Lineage Relational

@@ -1,0 +1,1 @@
+lib/optimize/solver.ml: Annealing Divide_conquer Float Greedy Heuristic Lineage List Printf Problem State Unix

@@ -1,0 +1,1 @@
+lib/optimize/solver.mli: Annealing Divide_conquer Greedy Heuristic Lineage Problem

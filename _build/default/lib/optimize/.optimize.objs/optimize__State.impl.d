@@ -1,0 +1,1 @@
+lib/optimize/state.ml: Array Cost Float Lineage List Printf Problem

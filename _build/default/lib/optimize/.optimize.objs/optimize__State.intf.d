@@ -1,0 +1,1 @@
+lib/optimize/state.mli: Lineage Problem

@@ -1,0 +1,169 @@
+module Sm = Prng.Splitmix
+
+type config = {
+  seed : int;
+  iterations : int;
+  initial_temperature : float;
+  cooling : float;
+  penalty : float;
+  restarts : int;
+}
+
+let default_config =
+  {
+    seed = 1;
+    iterations = 100_000;
+    initial_temperature = 50.0;
+    cooling = 0.9997;
+    penalty = 10_000.0;
+    restarts = 3;
+  }
+
+type outcome = {
+  solution : (Lineage.Tid.t * float) list;
+  cost : float;
+  satisfied : int list;
+  feasible : bool;
+  accepted_moves : int;
+}
+
+(* shortfall of one result: how far below the threshold it sits *)
+let shortfall_of problem conf =
+  Float.max 0.0 (Problem.beta problem -. conf)
+
+(* Energy combines the increment cost, a per-missing-result penalty, and a
+   continuous shortfall term that gives the walk a gradient towards the
+   threshold (without it, every step before a crossing raises energy and
+   the walk freezes on the plateau once the temperature drops). *)
+let energy config st shortfall_sum =
+  let problem = State.problem st in
+  let required = Problem.required problem in
+  let missing = max 0 (required - State.satisfied_count st) in
+  let cost = State.cost st in
+  let base = if cost = infinity then 1e18 else cost in
+  if missing = 0 then base
+  else
+    base
+    +. (config.penalty *. float_of_int missing)
+    +. (config.penalty *. 0.1 *. shortfall_sum)
+
+(* strip increments the requirement does not need (phase-2 style) *)
+let rollback st =
+  let problem = State.problem st in
+  let required = Problem.required problem in
+  List.iter
+    (fun bid ->
+      let continue_ = ref true in
+      while !continue_ && State.satisfied_count st >= required do
+        if State.lower_by_delta st bid then begin
+          if State.satisfied_count st < required then begin
+            ignore (State.raise_by_delta st bid);
+            continue_ := false
+          end
+        end
+        else continue_ := false
+      done)
+    (State.raised_bases st)
+
+let walk config problem rng =
+  let st = State.create problem in
+  let nb = Problem.num_bases problem in
+  let nr = Problem.num_results problem in
+  let required = Problem.required problem in
+  let accepted = ref 0 in
+  (* shortfall sum over all results, maintained incrementally per move *)
+  let shortfall = ref 0.0 in
+  for rid = 0 to nr - 1 do
+    shortfall :=
+      !shortfall +. shortfall_of problem (State.result_confidence st rid)
+  done;
+  let current_energy = ref (energy config st !shortfall) in
+  let best_energy = ref !current_energy in
+  let best_snapshot = ref (State.snapshot st) in
+  let temperature = ref config.initial_temperature in
+  if nb > 0 then
+    for _ = 1 to config.iterations do
+      let bid = Sm.int rng nb in
+      (* drift: push up while the requirement is unmet, down afterwards *)
+      let up_bias =
+        if State.satisfied_count st < required then 0.8 else 0.25
+      in
+      let up = Sm.coin rng up_bias in
+      let affected = Problem.results_of_base problem bid in
+      let old_contrib =
+        List.fold_left
+          (fun acc rid ->
+            acc +. shortfall_of problem (State.result_confidence st rid))
+          0.0 affected
+      in
+      let moved =
+        if up then State.raise_by_delta st bid else State.lower_by_delta st bid
+      in
+      if moved then begin
+        let new_contrib =
+          List.fold_left
+            (fun acc rid ->
+              acc +. shortfall_of problem (State.result_confidence st rid))
+            0.0 affected
+        in
+        let shortfall' = !shortfall -. old_contrib +. new_contrib in
+        let e = energy config st shortfall' in
+        let de = e -. !current_energy in
+        let accept =
+          de <= 0.0
+          || Sm.float rng 1.0 < Float.exp (-.de /. Float.max !temperature 1e-9)
+        in
+        if accept then begin
+          incr accepted;
+          current_energy := e;
+          shortfall := shortfall';
+          if e < !best_energy then begin
+            best_energy := e;
+            best_snapshot := State.snapshot st
+          end
+        end
+        else if up then ignore (State.lower_by_delta st bid)
+        else ignore (State.raise_by_delta st bid)
+      end;
+      temperature := !temperature *. config.cooling
+    done;
+  State.restore st !best_snapshot;
+  if State.satisfied_count st >= required then rollback st;
+  (st, !accepted)
+
+let solve ?(config = default_config) problem =
+  let required = Problem.required problem in
+  let best : (State.t * int) option ref = ref None in
+  for r = 0 to max 0 (config.restarts - 1) do
+    let rng = Sm.of_int (config.seed + (r * 7919)) in
+    let st, accepted = walk config problem rng in
+    let better =
+      match !best with
+      | None -> true
+      | Some (prev, _) ->
+        let fp = State.satisfied_count prev >= required in
+        let fc = State.satisfied_count st >= required in
+        if fc && not fp then true
+        else if fp && not fc then false
+        else State.cost st < State.cost prev
+    in
+    if better then best := Some (st, accepted)
+  done;
+  match !best with
+  | None ->
+    {
+      solution = [];
+      cost = 0.0;
+      satisfied = [];
+      feasible = required = 0;
+      accepted_moves = 0;
+    }
+  | Some (st, accepted) ->
+    let feasible = State.satisfied_count st >= required in
+    {
+      solution = State.solution st;
+      cost = State.cost st;
+      satisfied = State.satisfied_results st;
+      feasible;
+      accepted_moves = accepted;
+    }

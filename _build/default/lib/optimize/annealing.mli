@@ -1,0 +1,40 @@
+(** Simulated-annealing baseline for the confidence-increment problem.
+
+    Not part of the paper — an extra baseline we use to sanity-check the
+    paper's algorithms: a general-purpose randomized search should not beat
+    the domain-specific greedy/D&C by much, and on tiny instances it should
+    approach the branch-and-bound optimum.  The benches compare all four.
+
+    The walk moves one base tuple one δ-step up or down (respecting
+    [\[p0, cap\]], biased upwards while the requirement is unmet and
+    downwards once it is met) and accepts by the Metropolis rule on the
+    penalized objective
+
+    {v energy = cost + penalty * max 0 (required - satisfied) v}
+
+    with a geometric cooling schedule and deterministic PRNG seeding.
+    The best feasible assignment seen anywhere along the walk is returned
+    (after a greedy-style rollback pass to strip useless increments). *)
+
+type config = {
+  seed : int;
+  iterations : int;  (** total moves; default 100_000 *)
+  initial_temperature : float;  (** default 50. *)
+  cooling : float;  (** per-move multiplier; default 0.9997 *)
+  penalty : float;
+      (** energy charged per missing satisfied result (default 10_000 —
+          keep well above any realistic increment cost) *)
+  restarts : int;  (** independent walks; the best outcome wins (default 3) *)
+}
+
+val default_config : config
+
+type outcome = {
+  solution : (Lineage.Tid.t * float) list;
+  cost : float;
+  satisfied : int list;
+  feasible : bool;
+  accepted_moves : int;
+}
+
+val solve : ?config:config -> Problem.t -> outcome

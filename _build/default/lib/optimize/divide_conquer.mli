@@ -1,0 +1,54 @@
+(** The divide-and-conquer algorithm (§4.3, Fig. 10 of the paper).
+
+    1. Partition the intermediate result tuples into groups with the
+       lightweight max-weight merging scheme ({!Partition}).
+    2. Solve each group independently with the two-phase greedy; groups
+       whose base-tuple count is below τ are additionally refined with the
+       branch-and-bound heuristic, seeded with the greedy cost as the
+       initial upper bound (the paper: "the results obtained from the
+       greedy algorithm serve as initial cost upper bounds").  Each group
+       solves for [min(x, required)] results, where [x] is the group's
+       result count.
+    3. Combine: overlapping base tuples take the {e maximum} target
+       confidence across group solutions, which can only increase any
+       result's confidence.
+    4. Refine: roll back increments in ascending-gain* order while the
+       global instance keeps [required] results satisfied (the phase-2
+       style rollback). *)
+
+type quota =
+  | Min_x_y
+      (** the paper's rule: each group solves for [min x y] results, where
+          [x] is the group's result count and [y] the global requirement.
+          Over-satisfies when groups are small and numerous. *)
+  | Proportional
+      (** each group solves for its fair share [ceil (x*y/n)] of the global
+          requirement; a global greedy repair pass covers any shortfall
+          after combination.  Default; ablated against [Min_x_y] in the
+          benches. *)
+
+type config = {
+  partition : Partition.config;
+  tau : int;
+      (** run the per-group heuristic when the group has fewer than [tau]
+          base tuples (default 12) *)
+  greedy : Greedy.config;
+  heuristic_max_nodes : int option;
+      (** node budget for each per-group branch-and-bound (default
+          [Some 50_000]) *)
+  quota : quota;
+}
+
+val default_config : config
+
+type outcome = {
+  solution : (Lineage.Tid.t * float) list;
+  cost : float;
+  satisfied : int list;
+  feasible : bool;
+  num_groups : int;
+  heuristic_groups : int;  (** groups small enough for branch-and-bound *)
+  rollbacks : int;  (** refinement decrements kept *)
+}
+
+val solve : ?config:config -> Problem.t -> outcome

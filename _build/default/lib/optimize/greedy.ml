@@ -1,0 +1,156 @@
+type selection = Full_rescan | Incremental
+
+type config = {
+  two_phase : bool;
+  selection : selection;
+  only_unsatisfied_gain : bool;
+}
+
+let default_config =
+  { two_phase = true; selection = Full_rescan; only_unsatisfied_gain = true }
+
+type outcome = {
+  solution : (Lineage.Tid.t * float) list;
+  cost : float;
+  satisfied : int list;
+  feasible : bool;
+  iterations : int;
+  rollbacks : int;
+}
+
+let compute_gain cfg st bid =
+  State.gain st bid
+    ~only_unsatisfied:cfg.only_unsatisfied_gain
+    (Problem.delta (State.problem st))
+
+(* ------------------------------------------------------------------ *)
+(* Phase 1, full-rescan selection (paper-faithful) *)
+
+let select_full_rescan cfg st =
+  let nb = Problem.num_bases (State.problem st) in
+  let best = ref (-1) and best_gain = ref 0.0 in
+  for bid = 0 to nb - 1 do
+    let g = compute_gain cfg st bid in
+    if g > !best_gain then begin
+      best := bid;
+      best_gain := g
+    end
+  done;
+  if !best >= 0 then Some (!best, !best_gain) else None
+
+let phase1_full_rescan cfg st last_gain =
+  let problem = State.problem st in
+  let required = Problem.required problem in
+  let iterations = ref 0 in
+  let feasible = ref true in
+  while State.satisfied_count st < required && !feasible do
+    match select_full_rescan cfg st with
+    | None -> feasible := false
+    | Some (bid, g) ->
+      if State.raise_by_delta st bid then begin
+        last_gain.(bid) <- g;
+        incr iterations
+      end
+      else feasible := false
+  done;
+  (!iterations, !feasible)
+
+(* ------------------------------------------------------------------ *)
+(* Phase 1, incremental selection: same argmax sequence, maintained in a
+   version-stamped heap.  When base [b] is raised, only gains of bases
+   sharing an affected result with [b] can change. *)
+
+let neighbors problem bid =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun rid ->
+      List.iter
+        (fun b -> Hashtbl.replace seen b ())
+        (Problem.bases_of_result problem rid))
+    (Problem.results_of_base problem bid);
+  Hashtbl.fold (fun b () acc -> b :: acc) seen []
+
+let phase1_incremental cfg st last_gain =
+  let problem = State.problem st in
+  let nb = Problem.num_bases problem in
+  let required = Problem.required problem in
+  let stamp = Array.make nb 0 in
+  let heap : (int * int) Heap.t = Heap.create ~capacity:(nb + 1) () in
+  let push bid =
+    let g = compute_gain cfg st bid in
+    stamp.(bid) <- stamp.(bid) + 1;
+    if g > 0.0 then Heap.push heap g (bid, stamp.(bid))
+  in
+  for bid = 0 to nb - 1 do
+    push bid
+  done;
+  let iterations = ref 0 in
+  let feasible = ref true in
+  while State.satisfied_count st < required && !feasible do
+    match Heap.pop heap with
+    | None -> feasible := false
+    | Some (g, (bid, s)) ->
+      if s = stamp.(bid) then
+        if State.raise_by_delta st bid then begin
+          last_gain.(bid) <- g;
+          incr iterations;
+          List.iter push (neighbors problem bid)
+        end
+        else
+          (* at cap: stamp it out of the heap *)
+          stamp.(bid) <- stamp.(bid) + 1
+      (* stale entry: ignore *)
+  done;
+  (!iterations, !feasible)
+
+(* ------------------------------------------------------------------ *)
+(* Phase 2: rollback in ascending latest-gain* order (Fig. 6, lines 12-19) *)
+
+let phase2 st last_gain =
+  let problem = State.problem st in
+  let required = Problem.required problem in
+  let raised = State.raised_bases st in
+  let order =
+    List.stable_sort
+      (fun a b -> Float.compare last_gain.(a) last_gain.(b))
+      raised
+  in
+  let rollbacks = ref 0 in
+  List.iter
+    (fun bid ->
+      let continue_ = ref true in
+      while !continue_ && State.satisfied_count st >= required do
+        if State.lower_by_delta st bid then
+          if State.satisfied_count st < required then begin
+            (* one step too far: undo *)
+            ignore (State.raise_by_delta st bid);
+            continue_ := false
+          end
+          else incr rollbacks
+        else continue_ := false
+      done)
+    order;
+  !rollbacks
+
+let solve_state ?(config = default_config) st =
+  let problem = State.problem st in
+  let nb = Problem.num_bases problem in
+  let last_gain = Array.make nb 0.0 in
+  let iterations, feasible =
+    match config.selection with
+    | Full_rescan -> phase1_full_rescan config st last_gain
+    | Incremental -> phase1_incremental config st last_gain
+  in
+  let rollbacks =
+    if config.two_phase && feasible then phase2 st last_gain else 0
+  in
+  {
+    solution = State.solution st;
+    cost = State.cost st;
+    satisfied = State.satisfied_results st;
+    feasible;
+    iterations;
+    rollbacks;
+  }
+
+let solve ?config problem = solve_state ?config (State.create problem)

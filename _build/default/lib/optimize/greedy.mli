@@ -1,0 +1,48 @@
+(** The two-phase greedy algorithm (§4.2, Fig. 6 of the paper).
+
+    Phase 1 repeatedly raises by δ the base tuple with maximum
+    [gain* = Σ ΔF_λ / Δcost] until at least [required] intermediate results
+    clear the threshold.  Phase 2 walks the raised tuples in ascending
+    order of their latest gain* and rolls back increments that are not
+    needed to keep [required] results satisfied.
+
+    Two selection strategies are provided:
+    - [Full_rescan] — recompute every base's gain each iteration, exactly
+      as the paper's pseudocode does (O(k) per step); used by the
+      benchmarks that reproduce the paper's scalability figures.
+    - [Incremental] — identical selection sequence, but only the gains
+      invalidated by the last increment (bases sharing a result with it)
+      are recomputed, tracked in a version-stamped max-heap.  Much faster
+      on large instances; our extension, ablated in the benches. *)
+
+type selection = Full_rescan | Incremental
+
+type config = {
+  two_phase : bool;  (** enable the rollback phase (default true) *)
+  selection : selection;  (** default [Full_rescan] *)
+  only_unsatisfied_gain : bool;
+      (** count ΔF only over results still below β (default true); [false]
+          gives the paper's raw formula (2) *)
+}
+
+val default_config : config
+
+type outcome = {
+  solution : (Lineage.Tid.t * float) list;
+      (** target confidence per raised base tuple *)
+  cost : float;
+  satisfied : int list;  (** rids above β under the solution *)
+  feasible : bool;
+      (** [false] when even raising everything to the caps cannot satisfy
+          [required] results; the partial best effort is still returned *)
+  iterations : int;  (** phase-1 increments applied *)
+  rollbacks : int;  (** phase-2 decrements kept *)
+}
+
+val solve : ?config:config -> Problem.t -> outcome
+(** Run on a fresh state. *)
+
+val solve_state : ?config:config -> State.t -> outcome
+(** Run on an existing (possibly pre-modified) state; the state is left at
+    the solution assignment — callers that need the original state back
+    should {!State.snapshot} first. *)

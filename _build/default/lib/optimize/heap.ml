@@ -1,0 +1,78 @@
+type 'a t = {
+  mutable prio : float array;
+  mutable data : 'a option array;
+  mutable size : int;
+}
+
+let create ?(capacity = 16) () =
+  {
+    prio = Array.make (max capacity 1) 0.0;
+    data = Array.make (max capacity 1) None;
+    size = 0;
+  }
+
+let length h = h.size
+let is_empty h = h.size = 0
+
+let grow h =
+  let n = Array.length h.prio in
+  let prio = Array.make (2 * n) 0.0 in
+  let data = Array.make (2 * n) None in
+  Array.blit h.prio 0 prio 0 n;
+  Array.blit h.data 0 data 0 n;
+  h.prio <- prio;
+  h.data <- data
+
+let swap h i j =
+  let p = h.prio.(i) in
+  h.prio.(i) <- h.prio.(j);
+  h.prio.(j) <- p;
+  let d = h.data.(i) in
+  h.data.(i) <- h.data.(j);
+  h.data.(j) <- d
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.prio.(parent) < h.prio.(i) then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let largest = ref i in
+  if l < h.size && h.prio.(l) > h.prio.(!largest) then largest := l;
+  if r < h.size && h.prio.(r) > h.prio.(!largest) then largest := r;
+  if !largest <> i then begin
+    swap h i !largest;
+    sift_down h !largest
+  end
+
+let push h priority payload =
+  if h.size = Array.length h.prio then grow h;
+  h.prio.(h.size) <- priority;
+  h.data.(h.size) <- Some payload;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let p = h.prio.(0) and d = h.data.(0) in
+    h.size <- h.size - 1;
+    h.prio.(0) <- h.prio.(h.size);
+    h.data.(0) <- h.data.(h.size);
+    h.data.(h.size) <- None;
+    if h.size > 0 then sift_down h 0;
+    match d with Some d -> Some (p, d) | None -> assert false
+  end
+
+let peek h =
+  if h.size = 0 then None
+  else match h.data.(0) with Some d -> Some (h.prio.(0), d) | None -> assert false
+
+let clear h =
+  Array.fill h.data 0 h.size None;
+  h.size <- 0

@@ -1,0 +1,22 @@
+(** A mutable binary max-heap with float priorities.
+
+    Used by the lazy-greedy selection loop and the partitioner's max-weight
+    edge extraction.  Stale entries are supported by design: callers may
+    push several entries for the same payload and ignore outdated pops
+    (lazy deletion). *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> float -> 'a -> unit
+(** [push h priority payload]. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Removes and returns the entry with the largest priority. *)
+
+val peek : 'a t -> (float * 'a) option
+
+val clear : 'a t -> unit

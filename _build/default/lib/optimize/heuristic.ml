@@ -1,0 +1,175 @@
+type heuristics = { h1 : bool; h2 : bool; h3 : bool; h4 : bool }
+
+let all_heuristics = { h1 = true; h2 = true; h3 = true; h4 = true }
+let naive = { h1 = false; h2 = false; h3 = false; h4 = false }
+
+let only = function
+  | `H1 -> { naive with h1 = true }
+  | `H2 -> { naive with h2 = true }
+  | `H3 -> { naive with h3 = true }
+  | `H4 -> { naive with h4 = true }
+
+type config = {
+  heuristics : heuristics;
+  initial_bound : float option;
+  max_nodes : int option;
+}
+
+let default_config =
+  { heuristics = all_heuristics; initial_bound = None; max_nodes = None }
+
+type outcome = {
+  solution : (Lineage.Tid.t * float) list option;
+  cost : float;
+  optimal : bool;
+  nodes : int;
+}
+
+(* H1 ordering key: minimum cost at which raising this tuple alone lifts at
+   least one affected result above beta.  When unreachable even at the cap,
+   the paper scales the cap cost by beta / Fmax. *)
+let compute_cost_beta_scratch problem scratch bid =
+  let b = Problem.base problem bid in
+  let beta = Problem.beta problem in
+  let affected = Problem.results_of_base problem bid in
+  let levels = Problem.grid_levels problem bid in
+  let cost_to level =
+    Cost.Cost_model.eval b.Problem.cost ~from_:b.Problem.p0 ~to_:level
+  in
+  let conf_at level rid =
+    scratch.(bid) <- level;
+    let f = Problem.eval_result problem scratch rid in
+    scratch.(bid) <- b.Problem.p0;
+    f
+  in
+  (* cheapest level (over the grid) that satisfies some affected result *)
+  let best =
+    List.fold_left
+      (fun acc level ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+          if List.exists (fun rid -> conf_at level rid > beta) affected then
+            Some (cost_to level)
+          else None)
+      None levels
+  in
+  match best with
+  | Some c -> c
+  | None ->
+    let f_max =
+      List.fold_left
+        (fun acc rid -> Float.max acc (conf_at b.Problem.cap rid))
+        0.0 affected
+    in
+    if f_max <= 0.0 then infinity else cost_to b.Problem.cap /. (f_max /. beta)
+
+let initial_levels problem =
+  Array.init (Problem.num_bases problem) (fun i ->
+      (Problem.base problem i).Problem.p0)
+
+let compute_cost_beta problem bid =
+  compute_cost_beta_scratch problem (initial_levels problem) bid
+
+exception Node_budget_exhausted
+
+let solve ?(config = default_config) problem =
+  let h = config.heuristics in
+  let nb = Problem.num_bases problem in
+  let required = Problem.required problem in
+  let beta = Problem.beta problem in
+  let st = State.create problem in
+  (* search order over bids *)
+  let order = Array.init nb Fun.id in
+  if h.h1 then begin
+    let scratch = initial_levels problem in
+    let keys = Array.init nb (compute_cost_beta_scratch problem scratch) in
+    Array.sort (fun a b -> Float.compare keys.(b) keys.(a)) order
+  end;
+  (* position of each bid in the search order, for H3's "remaining" test *)
+  let pos = Array.make nb 0 in
+  Array.iteri (fun i bid -> pos.(bid) <- i) order;
+  (* H4: cheapest single delta step among bases at order position >= i,
+     taken at their initial level (unassigned bases sit at p0) *)
+  let suffix_min_step = Array.make (nb + 1) infinity in
+  if h.h4 then
+    for i = nb - 1 downto 0 do
+      let b = Problem.base problem order.(i) in
+      let step =
+        Cost.Cost_model.marginal b.Problem.cost ~at:b.Problem.p0
+          ~delta:(Problem.delta problem)
+      in
+      suffix_min_step.(i) <- Float.min step suffix_min_step.(i + 1)
+    done;
+  let best_cost =
+    ref (match config.initial_bound with Some c -> c | None -> infinity)
+  in
+  let best_solution = ref None in
+  let nodes = ref 0 in
+  let budget = Option.value ~default:max_int config.max_nodes in
+  (* H3: can the subtree below order position [i] still satisfy [required]
+     results?  Evaluate every unsatisfied result with all not-yet-assigned
+     bases forced to their caps. *)
+  let h3_scratch = Array.make nb 0.0 in
+  let h3_feasible i =
+    for b = 0 to nb - 1 do
+      h3_scratch.(b) <-
+        (if pos.(b) >= i then (Problem.base problem b).Problem.cap
+         else State.base_level st b)
+    done;
+    let count = ref 0 in
+    let nr = Problem.num_results problem in
+    let rid = ref 0 in
+    while !count < required && !rid < nr do
+      (if State.is_satisfied st !rid then incr count
+       else if Problem.eval_result problem h3_scratch !rid > beta then
+         incr count);
+      incr rid
+    done;
+    !count >= required
+  in
+  let rec search i =
+    if State.satisfied_count st >= required then begin
+      (* complete solution: unassigned bases stay at their initial level *)
+      let c = State.cost st in
+      if c < !best_cost then begin
+        best_cost := c;
+        best_solution := Some (State.solution st)
+      end
+    end
+    else if i < nb then begin
+      let current = State.cost st in
+      if current >= !best_cost then () (* incumbent pruning, always on *)
+      else if h.h4 && current +. suffix_min_step.(i) >= !best_cost then ()
+      else if h.h3 && not (h3_feasible i) then ()
+      else begin
+        let bid = order.(i) in
+        let affected = Problem.results_of_base problem bid in
+        let levels = Problem.grid_levels problem bid in
+        (try
+           List.iter
+             (fun level ->
+               incr nodes;
+               if !nodes > budget then raise Node_budget_exhausted;
+               State.set_base st bid level;
+               search (i + 1);
+               (* H2: if every affected result is already above beta, higher
+                  values of this base cannot help anything new *)
+               if
+                 h.h2
+                 && List.for_all (fun rid -> State.is_satisfied st rid) affected
+               then raise Exit)
+             levels
+         with Exit -> ());
+        State.set_base st bid (Problem.base problem bid).Problem.p0
+      end
+    end
+  in
+  let optimal =
+    try
+      search 0;
+      true
+    with Node_budget_exhausted -> false
+  in
+  let cost = match !best_solution with Some _ -> !best_cost | None -> infinity in
+  { solution = !best_solution; cost; optimal; nodes = !nodes }

@@ -1,0 +1,64 @@
+(** The heuristic branch-and-bound algorithm (§4.1 of the paper).
+
+    Depth-first search over grid-discretized confidence assignments, one
+    base tuple per tree level, trying values in increasing order starting
+    from the tuple's current confidence.  A node whose partial assignment
+    already satisfies [required] results is a solution (remaining tuples
+    stay at their initial level); the cheapest solution found so far is the
+    incumbent used for cost-bound pruning.
+
+    The four domain heuristics are individually switchable, matching the
+    paper's Fig. 11 (a)/(d) ablation:
+
+    - {b H1} (ordering): sort base tuples in descending order of costβ —
+      the minimum cost at which raising this tuple alone pushes at least
+      one affected result above β (or, when unreachable, the cap cost
+      scaled by β / Fmax).  Expensive tuples end up near the root, cheap
+      ones near the leaves, so the leftmost descents find cheap incumbents
+      quickly.
+    - {b H2} (sibling pruning): once every result affected by the current
+      tuple is already above β, higher values of this tuple are pointless —
+      prune its right siblings.
+    - {b H3} (infeasibility pruning): if raising all unassigned tuples to
+      their caps still satisfies fewer than [required] results, prune the
+      subtree.
+    - {b H4} (cost-bound pruning): if the current cost plus the cheapest
+      possible single future increment already exceeds the incumbent,
+      prune.
+
+    "Naive" (all four off) still prunes on the incumbent cost alone, as in
+    the paper's baseline. *)
+
+type heuristics = { h1 : bool; h2 : bool; h3 : bool; h4 : bool }
+
+val all_heuristics : heuristics
+val naive : heuristics
+val only : [ `H1 | `H2 | `H3 | `H4 ] -> heuristics
+
+type config = {
+  heuristics : heuristics;
+  initial_bound : float option;
+      (** incumbent cost before the search starts, e.g. the greedy
+          solution's cost (Fig. 11(d)); [None] = unbounded *)
+  max_nodes : int option;
+      (** stop after exploring this many nodes; the outcome is then marked
+          non-optimal.  [None] = exhaustive. *)
+}
+
+val default_config : config
+(** All heuristics on, no initial bound, no node limit. *)
+
+type outcome = {
+  solution : (Lineage.Tid.t * float) list option;
+      (** [None] when no feasible assignment was found *)
+  cost : float;  (** cost of [solution]; [infinity] when none *)
+  optimal : bool;
+      (** the search ran to completion (no [max_nodes] cutoff), so
+          [solution] is a global optimum of the discretized problem *)
+  nodes : int;  (** search-tree nodes explored *)
+}
+
+val compute_cost_beta : Problem.t -> int -> float
+(** The H1 ordering key costβ of one base tuple (exposed for tests). *)
+
+val solve : ?config:config -> Problem.t -> outcome

@@ -1,0 +1,199 @@
+module Tid = Lineage.Tid
+
+type t = {
+  queries : Problem.t array;
+  tids : Tid.t array; (* distinct base tuples, in first-seen order *)
+  info : Problem.base array; (* representative record per distinct base *)
+  locations : (int * int) list array; (* global idx -> (query, bid) *)
+  delta : float;
+}
+
+let ( let* ) = Result.bind
+
+let same_cost a b = Cost.Cost_model.shape a = Cost.Cost_model.shape b
+
+let combine instances =
+  let* () = if instances = [] then Error "no instances" else Ok () in
+  let queries = Array.of_list instances in
+  let delta = Problem.delta queries.(0) in
+  let* () =
+    if
+      Array.for_all
+        (fun q -> Float.abs (Problem.delta q -. delta) < 1e-12)
+        queries
+    then Ok ()
+    else Error "instances disagree on delta"
+  in
+  let index : int Tid.Table.t = Tid.Table.create 64 in
+  let info_tbl : (int, Problem.base) Hashtbl.t = Hashtbl.create 64 in
+  let locs_tbl : (int, (int * int) list) Hashtbl.t = Hashtbl.create 64 in
+  let count = ref 0 in
+  let add qi bid (b : Problem.base) =
+    match Tid.Table.find_opt index b.Problem.tid with
+    | Some g ->
+      let existing = Hashtbl.find info_tbl g in
+      if
+        Float.abs (existing.Problem.p0 -. b.Problem.p0) > 1e-12
+        || Float.abs (existing.Problem.cap -. b.Problem.cap) > 1e-12
+        || not (same_cost existing.Problem.cost b.Problem.cost)
+      then
+        failwith
+          (Printf.sprintf "base %s differs between queries"
+             (Tid.to_string b.Problem.tid))
+      else Hashtbl.replace locs_tbl g ((qi, bid) :: Hashtbl.find locs_tbl g)
+    | None ->
+      let g = !count in
+      Tid.Table.add index b.Problem.tid g;
+      incr count;
+      Hashtbl.add info_tbl g b;
+      Hashtbl.add locs_tbl g [ (qi, bid) ]
+  in
+  try
+    Array.iteri
+      (fun qi q ->
+        Array.iteri (fun bid b -> add qi bid b) (Problem.bases q))
+      queries;
+    let n = !count in
+    Ok
+      {
+        queries;
+        tids = Array.init n (fun g -> (Hashtbl.find info_tbl g).Problem.tid);
+        info = Array.init n (fun g -> Hashtbl.find info_tbl g);
+        locations = Array.init n (fun g -> List.rev (Hashtbl.find locs_tbl g));
+        delta;
+      }
+  with Failure msg -> Error msg
+
+let num_queries t = Array.length t.queries
+let num_bases t = Array.length t.tids
+
+type outcome = {
+  solution : (Tid.t * float) list;
+  cost : float;
+  satisfied_per_query : int list;
+  feasible : bool;
+  iterations : int;
+}
+
+let solve ?(two_phase = true) t =
+  let states = Array.map State.create t.queries in
+  let ng = num_bases t in
+  let level = Array.map (fun b -> b.Problem.p0) t.info in
+  let all_satisfied () =
+    Array.for_all2
+      (fun q st -> State.satisfied_count st >= Problem.required q)
+      t.queries states
+  in
+  let set_global g p =
+    level.(g) <- p;
+    List.iter (fun (qi, bid) -> State.set_base states.(qi) bid p) t.locations.(g)
+  in
+  (* joint gain*: sum of per-query unsatisfied-result confidence gains per
+     unit cost of one delta step *)
+  let gain g =
+    let b = t.info.(g) in
+    let cur = level.(g) in
+    let target = Float.min b.Problem.cap (cur +. t.delta) in
+    if target <= cur +. 1e-12 then 0.0
+    else begin
+      let dcost = Cost.Cost_model.eval b.Problem.cost ~from_:cur ~to_:target in
+      if dcost <= 0.0 || dcost = infinity then 0.0
+      else begin
+        let sum = ref 0.0 in
+        List.iter
+          (fun (qi, bid) ->
+            let st = states.(qi) in
+            let q = t.queries.(qi) in
+            if State.satisfied_count st < Problem.required q then
+              List.iter
+                (fun rid ->
+                  if not (State.is_satisfied st rid) then begin
+                    let f =
+                      State.confidence_with_override st ~rid ~bid ~level:target
+                    in
+                    sum := !sum +. (f -. State.result_confidence st rid)
+                  end)
+                (Problem.results_of_base q bid))
+          t.locations.(g);
+        !sum /. dcost
+      end
+    end
+  in
+  let last_gain = Array.make ng 0.0 in
+  let iterations = ref 0 in
+  let feasible = ref true in
+  while (not (all_satisfied ())) && !feasible do
+    let best = ref (-1) and best_gain = ref 0.0 in
+    for g = 0 to ng - 1 do
+      let gg = gain g in
+      if gg > !best_gain then begin
+        best := g;
+        best_gain := gg
+      end
+    done;
+    if !best < 0 then feasible := false
+    else begin
+      let b = t.info.(!best) in
+      set_global !best (Float.min b.Problem.cap (level.(!best) +. t.delta));
+      last_gain.(!best) <- !best_gain;
+      incr iterations
+    end
+  done;
+  (* phase 2: rollback in ascending last-gain order while every query stays
+     satisfied *)
+  if two_phase && !feasible then begin
+    let raised =
+      List.filter
+        (fun g -> level.(g) > t.info.(g).Problem.p0 +. 1e-12)
+        (List.init ng Fun.id)
+    in
+    let order =
+      List.stable_sort
+        (fun a b -> Float.compare last_gain.(a) last_gain.(b))
+        raised
+    in
+    List.iter
+      (fun g ->
+        let b = t.info.(g) in
+        let continue_ = ref true in
+        while !continue_ && all_satisfied () do
+          let next = level.(g) -. t.delta in
+          if next <= b.Problem.p0 +. 1e-12 then begin
+            if level.(g) > b.Problem.p0 then begin
+              set_global g b.Problem.p0;
+              if not (all_satisfied ()) then set_global g (b.Problem.p0 +. t.delta)
+            end;
+            continue_ := false
+          end
+          else begin
+            set_global g next;
+            if not (all_satisfied ()) then begin
+              set_global g (next +. t.delta);
+              continue_ := false
+            end
+          end
+        done)
+      order
+  end;
+  let cost =
+    Array.to_list t.info
+    |> List.mapi (fun g b ->
+           Cost.Cost_model.eval b.Problem.cost ~from_:b.Problem.p0 ~to_:level.(g))
+    |> List.fold_left ( +. ) 0.0
+  in
+  let solution =
+    List.filter_map
+      (fun g ->
+        if level.(g) > t.info.(g).Problem.p0 +. 1e-12 then
+          Some (t.tids.(g), level.(g))
+        else None)
+      (List.init ng Fun.id)
+  in
+  {
+    solution;
+    cost;
+    satisfied_per_query =
+      Array.to_list (Array.map State.satisfied_count states);
+    feasible = !feasible && all_satisfied ();
+    iterations = !iterations;
+  }

@@ -1,0 +1,34 @@
+(** Multi-query extension (§4.3, closing remarks).
+
+    When a user issues several queries in a short period, the increments
+    should be planned jointly: raising one base tuple can help results of
+    multiple queries at once.  Per the paper, the search space becomes the
+    union of the distinct base tuples of all queries, and a solution must
+    meet {e every} query's requirement.
+
+    We represent the joint instance as a list of single-query instances
+    sharing base tuples by {!Lineage.Tid.t} identity, and provide a joint
+    greedy solver (gain* sums ΔF across all queries' unsatisfied results)
+    with the usual two-phase rollback. *)
+
+type t
+
+val combine : Problem.t list -> (t, string) result
+(** [combine instances] builds the joint instance.  Base tuples appearing
+    in several instances must agree on [p0], [cap] and cost function;
+    instances must agree on [delta].  Fails otherwise. *)
+
+val num_queries : t -> int
+val num_bases : t -> int
+(** Distinct base tuples across all queries. *)
+
+type outcome = {
+  solution : (Lineage.Tid.t * float) list;
+  cost : float;
+  satisfied_per_query : int list;  (** satisfied count per query, in order *)
+  feasible : bool;  (** every query meets its requirement *)
+  iterations : int;
+}
+
+val solve : ?two_phase:bool -> t -> outcome
+(** Joint two-phase greedy. *)

@@ -1,0 +1,221 @@
+type edge_semantics = Shared_count | Union_size
+
+type config = {
+  gamma : float;
+  max_group_bases : int option;
+  semantics : edge_semantics;
+}
+
+let default_config =
+  { gamma = 2.0; max_group_bases = Some 256; semantics = Shared_count }
+
+type t = {
+  groups : int list array;
+  group_of : int array;
+  group_bases : int list array;
+}
+
+module IntSet = Set.Make (Int)
+
+(* Union-find over result ids, with path compression. *)
+let find parent i =
+  let rec go i = if parent.(i) = i then i else go parent.(i) in
+  let root = go i in
+  let rec compress i =
+    if parent.(i) <> root then begin
+      let next = parent.(i) in
+      parent.(i) <- root;
+      compress next
+    end
+  in
+  compress i;
+  root
+
+let partition ?(config = default_config) problem =
+  let nr = Problem.num_results problem in
+  let parent = Array.init nr Fun.id in
+  let bases =
+    Array.init nr (fun rid ->
+        IntSet.of_list (Problem.bases_of_result problem rid))
+  in
+  (* initial pairwise weights via the inverted index: results sharing a
+     base form a clique, so the pair count accumulates |Gi ∩ Gj| *)
+  let pair_weight : (int * int, float) Hashtbl.t = Hashtbl.create 256 in
+  for bid = 0 to Problem.num_bases problem - 1 do
+    let rids = Problem.results_of_base problem bid in
+    let rec pairs = function
+      | [] -> ()
+      | r :: rest ->
+        List.iter
+          (fun r' ->
+            let key = if r < r' then (r, r') else (r', r) in
+            Hashtbl.replace pair_weight key
+              (1.0 +. Option.value ~default:0.0 (Hashtbl.find_opt pair_weight key)))
+          rest;
+        pairs rest
+    in
+    pairs rids
+  done;
+  (* group adjacency: root -> (root -> weight); weights merge additively
+     (the paper: the edge to a merged group is the sum of member edges) *)
+  let adj : (int, (int, float) Hashtbl.t) Hashtbl.t = Hashtbl.create nr in
+  let adj_of root =
+    match Hashtbl.find_opt adj root with
+    | Some h -> h
+    | None ->
+      let h = Hashtbl.create 4 in
+      Hashtbl.add adj root h;
+      h
+  in
+  let edge_weight a b =
+    match config.semantics with
+    | Shared_count ->
+      Option.value ~default:0.0 (Hashtbl.find_opt pair_weight (min a b, max a b))
+    | Union_size ->
+      let w =
+        Option.value ~default:0.0 (Hashtbl.find_opt pair_weight (min a b, max a b))
+      in
+      if w > 0.0 then float_of_int (IntSet.cardinal (IntSet.union bases.(a) bases.(b)))
+      else 0.0
+  in
+  let heap : (int * int) Heap.t = Heap.create ~capacity:(Hashtbl.length pair_weight + 1) () in
+  Hashtbl.iter
+    (fun (a, b) _ ->
+      let w = edge_weight a b in
+      if w > 0.0 then begin
+        Hashtbl.replace (adj_of a) b w;
+        Hashtbl.replace (adj_of b) a w;
+        Heap.push heap w (a, b)
+      end)
+    pair_weight;
+  let size_ok a b =
+    match config.max_group_bases with
+    | None -> true
+    | Some limit -> IntSet.cardinal (IntSet.union bases.(a) bases.(b)) <= limit
+  in
+  let current_weight ra rb =
+    match Hashtbl.find_opt adj ra with
+    | None -> None
+    | Some h -> Hashtbl.find_opt h rb
+  in
+  let continue_ = ref true in
+  while !continue_ do
+    match Heap.pop heap with
+    | None -> continue_ := false
+    | Some (w, (a, b)) -> (
+      let ra = find parent a and rb = find parent b in
+      if ra <> rb then
+        match current_weight ra rb with
+        | None -> () (* stale: groups no longer adjacent under these roots *)
+        | Some w_now ->
+          if Float.abs (w_now -. w) > 1e-9 then
+            () (* stale weight: a fresher entry is (or was) in the heap *)
+          else if w_now < config.gamma then continue_ := false
+          else if size_ok ra rb then begin
+            (* merge rb into ra *)
+            parent.(rb) <- ra;
+            bases.(ra) <- IntSet.union bases.(ra) bases.(rb);
+            let ha = adj_of ra in
+            (* absorb rb's adjacency, summing weights *)
+            (match Hashtbl.find_opt adj rb with
+            | None -> ()
+            | Some hb ->
+              Hashtbl.iter
+                (fun n wbn ->
+                  let n = find parent n in
+                  if n <> ra then begin
+                    let wan = Option.value ~default:0.0 (Hashtbl.find_opt ha n) in
+                    let w' = wan +. wbn in
+                    Hashtbl.replace ha n w';
+                    let hn = adj_of n in
+                    Hashtbl.remove hn rb;
+                    Hashtbl.replace hn ra w';
+                    Heap.push heap w' (ra, n)
+                  end)
+                hb;
+              Hashtbl.remove adj rb);
+            Hashtbl.remove ha rb
+          end
+          else begin
+            (* size-guard refusal: drop the edge so it is not retried *)
+            Hashtbl.remove (adj_of ra) rb;
+            Hashtbl.remove (adj_of rb) ra
+          end)
+  done;
+  (* collect groups *)
+  let group_ids = Hashtbl.create 16 in
+  let group_count = ref 0 in
+  let group_of = Array.make nr 0 in
+  for rid = 0 to nr - 1 do
+    let root = find parent rid in
+    let gid =
+      match Hashtbl.find_opt group_ids root with
+      | Some g -> g
+      | None ->
+        let g = !group_count in
+        Hashtbl.add group_ids root g;
+        incr group_count;
+        g
+    in
+    group_of.(rid) <- gid
+  done;
+  let groups = Array.make !group_count [] in
+  for rid = nr - 1 downto 0 do
+    groups.(group_of.(rid)) <- rid :: groups.(group_of.(rid))
+  done;
+  let group_bases =
+    Array.map
+      (fun members ->
+        IntSet.elements
+          (List.fold_left
+             (fun acc rid ->
+               IntSet.union acc
+                 (IntSet.of_list (Problem.bases_of_result problem rid)))
+             IntSet.empty members))
+      groups
+  in
+  { groups; group_of; group_bases }
+
+let num_groups t = Array.length t.groups
+
+let check problem t =
+  let nr = Problem.num_results problem in
+  let seen = Array.make nr false in
+  let ok = ref (Ok ()) in
+  Array.iteri
+    (fun gid members ->
+      List.iter
+        (fun rid ->
+          if rid < 0 || rid >= nr then
+            ok := Error (Printf.sprintf "group %d: rid %d out of range" gid rid)
+          else if seen.(rid) then
+            ok := Error (Printf.sprintf "rid %d appears in two groups" rid)
+          else begin
+            seen.(rid) <- true;
+            if t.group_of.(rid) <> gid then
+              ok := Error (Printf.sprintf "group_of(%d) inconsistent" rid)
+          end)
+        members)
+    t.groups;
+  Array.iteri
+    (fun rid covered ->
+      if not covered then
+        ok := Error (Printf.sprintf "rid %d missing from partition" rid))
+    seen;
+  (match !ok with
+  | Ok () ->
+    Array.iteri
+      (fun gid members ->
+        let expect =
+          IntSet.elements
+            (List.fold_left
+               (fun acc rid ->
+                 IntSet.union acc
+                   (IntSet.of_list (Problem.bases_of_result problem rid)))
+               IntSet.empty members)
+        in
+        if expect <> t.group_bases.(gid) then
+          ok := Error (Printf.sprintf "group %d: base union mismatch" gid))
+      t.groups
+  | Error _ -> ());
+  !ok

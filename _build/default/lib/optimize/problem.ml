@@ -1,0 +1,246 @@
+module Tid = Lineage.Tid
+module Formula = Lineage.Formula
+
+type base = { tid : Tid.t; p0 : float; cap : float; cost : Cost.Cost_model.t }
+
+type result_tuple = { rid : int; formula : Formula.t }
+
+type t = {
+  beta : float;
+  required : int;
+  delta : float;
+  bases : base array;
+  results : result_tuple array;
+  base_index : int Tid.Table.t;
+  results_of_base : int list array;
+  bases_of_result : int list array;
+  compiled : (float array -> float) array;
+      (* per-result confidence evaluator over the bid-indexed level array *)
+}
+
+(* Compile a formula into a closure over the level array.  Read-once
+   formulas get a direct arithmetic tree; entangled ones are compiled once
+   into an OBDD whose probability evaluation is linear in the BDD size on
+   every call (the solvers re-evaluate the same lineage under thousands of
+   different assignments); pathological formulas whose BDD explodes fall
+   back to per-call Shannon expansion. *)
+let bdd_size_cap = 10_000
+
+let compile base_index formula =
+  if Formula.is_read_once formula then begin
+    let rec go = function
+      | Formula.True -> fun _ -> 1.0
+      | Formula.False -> fun _ -> 0.0
+      | Formula.Var tid ->
+        let bid = Tid.Table.find base_index tid in
+        fun levels -> levels.(bid)
+      | Formula.Not f ->
+        let g = go f in
+        fun levels -> 1.0 -. g levels
+      | Formula.And fs ->
+        let gs = Array.of_list (List.map go fs) in
+        fun levels ->
+          let acc = ref 1.0 in
+          for i = 0 to Array.length gs - 1 do
+            acc := !acc *. gs.(i) levels
+          done;
+          !acc
+      | Formula.Or fs ->
+        let gs = Array.of_list (List.map go fs) in
+        fun levels ->
+          let acc = ref 1.0 in
+          for i = 0 to Array.length gs - 1 do
+            acc := !acc *. (1.0 -. gs.(i) levels)
+          done;
+          1.0 -. !acc
+    in
+    go formula
+  end
+  else begin
+    let shannon levels =
+      let lookup tid =
+        match Tid.Table.find_opt base_index tid with
+        | Some bid -> levels.(bid)
+        | None -> 0.0
+      in
+      Lineage.Prob.exact lookup formula
+    in
+    let manager = Lineage.Bdd.manager () in
+    let bdd = Lineage.Bdd.of_formula manager formula in
+    if Lineage.Bdd.size bdd > bdd_size_cap then shannon
+    else
+      fun levels ->
+        Lineage.Bdd.prob manager
+          (fun tid ->
+            match Tid.Table.find_opt base_index tid with
+            | Some bid -> levels.(bid)
+            | None -> 0.0)
+          bdd
+  end
+
+let ( let* ) = Result.bind
+
+let make ?(delta = 0.1) ~beta ~required ~bases ~formulas () =
+  let* () =
+    if not (beta >= 0.0 && beta <= 1.0) then
+      Error (Printf.sprintf "beta %g outside [0,1]" beta)
+    else Ok ()
+  in
+  let* () =
+    if delta <= 0.0 || delta > 1.0 then
+      Error (Printf.sprintf "delta %g outside (0,1]" delta)
+    else Ok ()
+  in
+  let n = List.length formulas in
+  let* () =
+    if required < 0 || required > n then
+      Error (Printf.sprintf "required %d outside [0,%d]" required n)
+    else Ok ()
+  in
+  let* () =
+    List.fold_left
+      (fun acc b ->
+        let* () = acc in
+        if not (b.p0 >= 0.0 && b.p0 <= b.cap && b.cap <= 1.0) then
+          Error
+            (Printf.sprintf "base %s: need 0 <= p0 (%g) <= cap (%g) <= 1"
+               (Tid.to_string b.tid) b.p0 b.cap)
+        else Ok ())
+      (Ok ()) bases
+  in
+  let bases = Array.of_list bases in
+  let base_index = Tid.Table.create (Array.length bases) in
+  let* () =
+    try
+      Array.iteri
+        (fun i b ->
+          if Tid.Table.mem base_index b.tid then
+            failwith (Printf.sprintf "duplicate base tuple %s" (Tid.to_string b.tid));
+          Tid.Table.add base_index b.tid i)
+        bases;
+      Ok ()
+    with Failure msg -> Error msg
+  in
+  let results =
+    Array.of_list (List.mapi (fun rid formula -> { rid; formula }) formulas)
+  in
+  let results_of_base = Array.make (Array.length bases) [] in
+  let bases_of_result = Array.make (Array.length results) [] in
+  let* () =
+    try
+      Array.iter
+        (fun r ->
+          let vars = Formula.vars r.formula in
+          Tid.Set.iter
+            (fun v ->
+              match Tid.Table.find_opt base_index v with
+              | None ->
+                failwith
+                  (Printf.sprintf "result %d references unknown base %s" r.rid
+                     (Tid.to_string v))
+              | Some bid ->
+                results_of_base.(bid) <- r.rid :: results_of_base.(bid);
+                bases_of_result.(r.rid) <- bid :: bases_of_result.(r.rid))
+            vars)
+        results;
+      Ok ()
+    with Failure msg -> Error msg
+  in
+  Array.iteri (fun i l -> results_of_base.(i) <- List.rev l) results_of_base;
+  Array.iteri (fun i l -> bases_of_result.(i) <- List.rev l) bases_of_result;
+  let compiled = Array.map (fun r -> compile base_index r.formula) results in
+  Ok
+    {
+      beta;
+      required;
+      delta;
+      bases;
+      results;
+      base_index;
+      results_of_base;
+      bases_of_result;
+      compiled;
+    }
+
+let make_exn ?delta ~beta ~required ~bases ~formulas () =
+  match make ?delta ~beta ~required ~bases ~formulas () with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Problem.make: " ^ msg)
+
+let of_query_results ?delta ?required ~theta ~beta ~cost_of ~cap_of db
+    (res : Relational.Eval.annotated) =
+  let* () =
+    if not (theta >= 0.0 && theta <= 1.0) then
+      Error (Printf.sprintf "theta %g outside [0,1]" theta)
+    else Ok ()
+  in
+  let rows = Array.of_list res.Relational.Eval.rows in
+  let n = Array.length rows in
+  let conf_of row =
+    Lineage.Prob.confidence
+      (Relational.Database.confidence_fn db)
+      row.Relational.Eval.lineage
+  in
+  let failing = ref [] and satisfied = ref 0 in
+  Array.iteri
+    (fun i row ->
+      if conf_of row > beta then incr satisfied else failing := i :: !failing)
+    rows;
+  let failing = List.rev !failing in
+  let required =
+    match required with
+    | Some r -> r
+    | None ->
+      let want = int_of_float (ceil (theta *. float_of_int n)) in
+      max 0 (min (List.length failing) (want - !satisfied))
+  in
+  (* collect base tuples of failing results *)
+  let formulas =
+    List.map (fun i -> rows.(i).Relational.Eval.lineage) failing
+  in
+  let tid_set =
+    List.fold_left
+      (fun acc f -> Tid.Set.union acc (Formula.vars f))
+      Tid.Set.empty formulas
+  in
+  let bases =
+    List.map
+      (fun tid ->
+        {
+          tid;
+          p0 = Relational.Database.confidence db tid;
+          cap = cap_of tid;
+          cost = cost_of tid;
+        })
+      (Tid.Set.elements tid_set)
+  in
+  let* t = make ?delta ~beta ~required ~bases ~formulas () in
+  Ok (t, failing)
+
+let beta t = t.beta
+let required t = t.required
+let delta t = t.delta
+let num_bases t = Array.length t.bases
+let num_results t = Array.length t.results
+let base t i = t.bases.(i)
+let result t i = t.results.(i)
+let bases t = t.bases
+let results t = t.results
+let bid_of_tid t tid = Tid.Table.find_opt t.base_index tid
+let results_of_base t i = t.results_of_base.(i)
+let bases_of_result t i = t.bases_of_result.(i)
+
+let eval_result t levels rid = t.compiled.(rid) levels
+
+let grid_levels t bid =
+  let b = t.bases.(bid) in
+  let rec go acc level =
+    if level >= b.cap -. 1e-12 then List.rev (b.cap :: acc)
+    else go (level :: acc) (level +. t.delta)
+  in
+  go [] b.p0
+
+let to_string t =
+  Printf.sprintf
+    "instance: %d base tuple(s), %d result(s), beta=%g, required=%d, delta=%g"
+    (num_bases t) (num_results t) t.beta t.required t.delta

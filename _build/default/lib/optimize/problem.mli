@@ -1,0 +1,101 @@
+(** The confidence-increment optimization problem (§3.2 of the paper).
+
+    Given intermediate query results λ₁…λₙ whose confidence is below the
+    policy threshold β, and the base tuples Λ⁰ they derive from, find
+    target confidences p* minimizing
+
+    {v Σ  c_x(p*_x) - c_x(p_x)   over raised base tuples x v}
+
+    subject to at least [required] results reaching confidence above β and
+    [p_x <= p*_x <= cap_x].  Confidence increments are explored on a grid of
+    step [delta] (the paper's granularity, default 0.1).
+
+    This module is the shared, immutable description of an instance; the
+    solvers operate on a mutable {!State.t} view of it. *)
+
+type base = {
+  tid : Lineage.Tid.t;
+  p0 : float;  (** initial confidence *)
+  cap : float;  (** maximum achievable confidence (<= 1) *)
+  cost : Cost.Cost_model.t;
+}
+
+type result_tuple = {
+  rid : int;  (** dense index, assigned by {!make} *)
+  formula : Lineage.Formula.t;  (** lineage over the instance's base tuples *)
+}
+
+type t
+
+val make :
+  ?delta:float ->
+  beta:float ->
+  required:int ->
+  bases:base list ->
+  formulas:Lineage.Formula.t list ->
+  unit ->
+  (t, string) result
+(** [make ~beta ~required ~bases ~formulas ()] validates and indexes an
+    instance.  Every variable of every formula must be listed in [bases];
+    [required] must be in [\[0, length formulas\]]; each base must satisfy
+    [0 <= p0 <= cap <= 1].  [delta] defaults to 0.1. *)
+
+val make_exn :
+  ?delta:float ->
+  beta:float ->
+  required:int ->
+  bases:base list ->
+  formulas:Lineage.Formula.t list ->
+  unit ->
+  t
+
+val of_query_results :
+  ?delta:float ->
+  ?required:int ->
+  theta:float ->
+  beta:float ->
+  cost_of:(Lineage.Tid.t -> Cost.Cost_model.t) ->
+  cap_of:(Lineage.Tid.t -> float) ->
+  Relational.Database.t ->
+  Relational.Eval.annotated ->
+  (t * int list, string) result
+(** [of_query_results ~theta ~beta ~cost_of ~cap_of db res] builds the
+    instance the policy-evaluation component hands to strategy finding:
+    results of [res] with confidence <= β become the instance's intermediate
+    results; [required] defaults to [⌈θ*n⌉ - satisfied] where [n] counts all
+    results (the paper's [(θ - θ′)*n]), clamped to the number of failing
+    results.  Also returns the indices (into [res.rows]) of the failing
+    rows, in instance order. *)
+
+(** {1 Accessors} *)
+
+val beta : t -> float
+val required : t -> int
+val delta : t -> float
+val num_bases : t -> int
+val num_results : t -> int
+val base : t -> int -> base
+val result : t -> int -> result_tuple
+val bases : t -> base array
+val results : t -> result_tuple array
+
+val bid_of_tid : t -> Lineage.Tid.t -> int option
+val results_of_base : t -> int -> int list
+(** Results whose lineage mentions the base (the inverted index driving
+    incremental re-evaluation). *)
+
+val bases_of_result : t -> int -> int list
+
+val eval_result : t -> float array -> int -> float
+(** [eval_result t levels rid] is the confidence of result [rid] when base
+    [bid] has confidence [levels.(bid)].  Formulas are compiled once at
+    {!make} time: read-once lineage evaluates in linear time directly over
+    the array; entangled lineage falls back to exact Shannon expansion.
+    This is the hot path of every solver. *)
+
+val grid_levels : t -> int -> float list
+(** [grid_levels t bid] is the increasing list of confidence levels the
+    grid allows for [bid]: [p0; p0+δ; …] ending exactly at [cap]. *)
+
+val to_string : t -> string
+(** One-line summary: sizes, β, required, δ. *)

@@ -1,0 +1,122 @@
+type algorithm =
+  | Heuristic of Heuristic.config
+  | Greedy of Greedy.config
+  | Divide_conquer of Divide_conquer.config
+  | Annealing of Annealing.config
+
+let heuristic = Heuristic Heuristic.default_config
+
+(* initial_bound = None is replaced by the greedy cost at solve time *)
+let heuristic_seeded =
+  Heuristic { Heuristic.default_config with initial_bound = Some nan }
+
+let greedy = Greedy Greedy.default_config
+
+let divide_conquer = Divide_conquer Divide_conquer.default_config
+
+let annealing = Annealing Annealing.default_config
+
+let algorithm_name = function
+  | Heuristic { initial_bound = Some _; _ } -> "heuristic(seeded)"
+  | Heuristic _ -> "heuristic"
+  | Greedy { two_phase; selection; _ } ->
+    Printf.sprintf "greedy(%s%s)"
+      (if two_phase then "two-phase" else "one-phase")
+      (match selection with
+      | Greedy.Full_rescan -> ""
+      | Greedy.Incremental -> ", incremental")
+  | Divide_conquer _ -> "divide-and-conquer"
+  | Annealing _ -> "simulated-annealing"
+
+type outcome = {
+  solution : (Lineage.Tid.t * float) list option;
+  cost : float;
+  satisfied : int list;
+  optimal : bool;
+  elapsed_s : float;
+  detail : string;
+}
+
+let satisfied_of_solution problem solution =
+  let st = State.create problem in
+  List.iter
+    (fun (tid, level) ->
+      match Problem.bid_of_tid problem tid with
+      | Some bid -> State.set_base st bid level
+      | None -> ())
+    solution;
+  State.satisfied_results st
+
+let solve ?(algorithm = divide_conquer) problem =
+  let t0 = Unix.gettimeofday () in
+  let outcome =
+    match algorithm with
+    | Heuristic cfg ->
+      let cfg =
+        match cfg.Heuristic.initial_bound with
+        | Some b when Float.is_nan b ->
+          (* seeded variant: run greedy first for the upper bound *)
+          let g = Greedy.solve problem in
+          {
+            cfg with
+            Heuristic.initial_bound =
+              (if g.Greedy.feasible then Some g.Greedy.cost else None);
+          }
+        | _ -> cfg
+      in
+      let out = Heuristic.solve ~config:cfg problem in
+      let satisfied =
+        match out.Heuristic.solution with
+        | Some s -> satisfied_of_solution problem s
+        | None -> []
+      in
+      {
+        solution = out.Heuristic.solution;
+        cost = out.Heuristic.cost;
+        satisfied;
+        optimal = out.Heuristic.optimal && out.Heuristic.solution <> None;
+        elapsed_s = 0.0;
+        detail = Printf.sprintf "nodes=%d" out.Heuristic.nodes;
+      }
+    | Greedy cfg ->
+      let out = Greedy.solve ~config:cfg problem in
+      {
+        solution = (if out.Greedy.feasible then Some out.Greedy.solution else None);
+        cost = (if out.Greedy.feasible then out.Greedy.cost else infinity);
+        satisfied = out.Greedy.satisfied;
+        optimal = false;
+        elapsed_s = 0.0;
+        detail =
+          Printf.sprintf "iterations=%d rollbacks=%d" out.Greedy.iterations
+            out.Greedy.rollbacks;
+      }
+    | Divide_conquer cfg ->
+      let out = Divide_conquer.solve ~config:cfg problem in
+      {
+        solution =
+          (if out.Divide_conquer.feasible then Some out.Divide_conquer.solution
+           else None);
+        cost =
+          (if out.Divide_conquer.feasible then out.Divide_conquer.cost
+           else infinity);
+        satisfied = out.Divide_conquer.satisfied;
+        optimal = false;
+        elapsed_s = 0.0;
+        detail =
+          Printf.sprintf "groups=%d heuristic_groups=%d rollbacks=%d"
+            out.Divide_conquer.num_groups out.Divide_conquer.heuristic_groups
+            out.Divide_conquer.rollbacks;
+      }
+    | Annealing cfg ->
+      let out = Annealing.solve ~config:cfg problem in
+      {
+        solution =
+          (if out.Annealing.feasible then Some out.Annealing.solution else None);
+        cost = (if out.Annealing.feasible then out.Annealing.cost else infinity);
+        satisfied = out.Annealing.satisfied;
+        optimal = false;
+        elapsed_s = 0.0;
+        detail = Printf.sprintf "accepted_moves=%d" out.Annealing.accepted_moves;
+      }
+  in
+  { outcome with elapsed_s = Unix.gettimeofday () -. t0 }

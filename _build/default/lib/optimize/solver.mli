@@ -1,0 +1,42 @@
+(** Uniform entry point over the three strategy-finding algorithms.
+
+    Wraps {!Heuristic}, {!Greedy} and {!Divide_conquer} behind one
+    algorithm type and one outcome type, with wall-clock timing — the shape
+    the PCQE engine and the benchmarks consume. *)
+
+type algorithm =
+  | Heuristic of Heuristic.config
+  | Greedy of Greedy.config
+  | Divide_conquer of Divide_conquer.config
+  | Annealing of Annealing.config
+      (** extra randomized baseline, not in the paper (see {!Annealing}) *)
+
+val heuristic : algorithm
+(** All four heuristics, no bound, exhaustive. *)
+
+val heuristic_seeded : algorithm
+(** All four heuristics with the greedy cost as initial bound (computed
+    internally before the search, as in Fig. 11(d)). *)
+
+val greedy : algorithm
+(** Two-phase greedy with the paper-faithful full-rescan selection. *)
+
+val divide_conquer : algorithm
+
+val annealing : algorithm
+
+val algorithm_name : algorithm -> string
+
+type outcome = {
+  solution : (Lineage.Tid.t * float) list option;
+      (** raised base tuples with target confidences; [None] if infeasible *)
+  cost : float;  (** [infinity] when infeasible *)
+  satisfied : int list;  (** rids satisfied under the solution *)
+  optimal : bool;  (** guaranteed optimal on the δ-grid (heuristic only) *)
+  elapsed_s : float;
+  detail : string;  (** algorithm-specific one-liner (nodes, iterations…) *)
+}
+
+val solve : ?algorithm:algorithm -> Problem.t -> outcome
+(** [solve problem] runs the chosen algorithm (default {!divide_conquer} —
+    the paper's best scaling choice) and times it. *)

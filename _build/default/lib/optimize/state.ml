@@ -1,0 +1,185 @@
+module Tid = Lineage.Tid
+
+type t = {
+  problem : Problem.t;
+  p : float array; (* current level per base *)
+  conf : float array; (* cached confidence per result *)
+  sat : bool array;
+  mutable satisfied : int;
+  (* cost accounting: per-base contributions are *replaced*, never
+     delta-adjusted, so an infinite contribution (a logarithmic cost model
+     at confidence 1) can be entered and left again without producing
+     inf - inf = NaN *)
+  cost_contrib : float array;
+  mutable finite_cost : float;
+  mutable infinite_contribs : int;
+}
+
+let eval_result st rid = Problem.eval_result st.problem st.p rid
+
+let create problem =
+  let nb = Problem.num_bases problem and nr = Problem.num_results problem in
+  let st =
+    {
+      problem;
+      p = Array.init nb (fun i -> (Problem.base problem i).Problem.p0);
+      conf = Array.make nr 0.0;
+      sat = Array.make nr false;
+      satisfied = 0;
+      cost_contrib = Array.make nb 0.0;
+      finite_cost = 0.0;
+      infinite_contribs = 0;
+    }
+  in
+  let beta = Problem.beta problem in
+  for rid = 0 to nr - 1 do
+    let c = eval_result st rid in
+    st.conf.(rid) <- c;
+    if c > beta then begin
+      st.sat.(rid) <- true;
+      st.satisfied <- st.satisfied + 1
+    end
+  done;
+  st
+
+let problem st = st.problem
+
+let base_level st bid = st.p.(bid)
+
+let refresh_result st rid =
+  let beta = Problem.beta st.problem in
+  let c = eval_result st rid in
+  st.conf.(rid) <- c;
+  let now_sat = c > beta in
+  if now_sat && not st.sat.(rid) then begin
+    st.sat.(rid) <- true;
+    st.satisfied <- st.satisfied + 1
+  end
+  else if (not now_sat) && st.sat.(rid) then begin
+    st.sat.(rid) <- false;
+    st.satisfied <- st.satisfied - 1
+  end
+
+let set_base st bid p =
+  let b = Problem.base st.problem bid in
+  if p < b.Problem.p0 -. 1e-9 || p > b.Problem.cap +. 1e-9 then
+    invalid_arg
+      (Printf.sprintf "State.set_base: %g outside [%g, %g] for %s" p
+         b.Problem.p0 b.Problem.cap
+         (Tid.to_string b.Problem.tid));
+  let p = Float.max b.Problem.p0 (Float.min b.Problem.cap p) in
+  let old = st.p.(bid) in
+  if Float.abs (p -. old) > 0.0 then begin
+    let new_contrib =
+      Cost.Cost_model.eval b.Problem.cost ~from_:b.Problem.p0 ~to_:p
+    in
+    let old_contrib = st.cost_contrib.(bid) in
+    if old_contrib = infinity then
+      st.infinite_contribs <- st.infinite_contribs - 1
+    else st.finite_cost <- st.finite_cost -. old_contrib;
+    if new_contrib = infinity then
+      st.infinite_contribs <- st.infinite_contribs + 1
+    else st.finite_cost <- st.finite_cost +. new_contrib;
+    st.cost_contrib.(bid) <- new_contrib;
+    st.p.(bid) <- p;
+    List.iter (refresh_result st) (Problem.results_of_base st.problem bid)
+  end
+
+(* Delta steps stay on the grid {p0 + k*delta} ∪ {cap}: a step down from a
+   clamped cap lands on the largest grid level below it, so greedy
+   solutions remain inside the branch-and-bound search space. *)
+let raise_by_delta st bid =
+  let b = Problem.base st.problem bid in
+  let delta = Problem.delta st.problem in
+  let cur = st.p.(bid) in
+  if cur >= b.Problem.cap -. 1e-12 then false
+  else begin
+    let k = int_of_float (Float.floor (((cur -. b.Problem.p0) /. delta) +. 1e-9)) in
+    let target = b.Problem.p0 +. (float_of_int (k + 1) *. delta) in
+    set_base st bid (Float.min b.Problem.cap target);
+    true
+  end
+
+let lower_by_delta st bid =
+  let b = Problem.base st.problem bid in
+  let delta = Problem.delta st.problem in
+  let cur = st.p.(bid) in
+  if cur <= b.Problem.p0 +. 1e-12 then false
+  else begin
+    let k = int_of_float (Float.floor (((cur -. b.Problem.p0) /. delta) -. 1e-9)) in
+    let target = b.Problem.p0 +. (float_of_int k *. delta) in
+    set_base st bid (Float.max b.Problem.p0 target);
+    true
+  end
+
+let result_confidence st rid = st.conf.(rid)
+
+let is_satisfied st rid = st.sat.(rid)
+
+let satisfied_count st = st.satisfied
+
+let satisfied_results st =
+  let acc = ref [] in
+  for rid = Array.length st.sat - 1 downto 0 do
+    if st.sat.(rid) then acc := rid :: !acc
+  done;
+  !acc
+
+let cost st = if st.infinite_contribs > 0 then infinity else st.finite_cost
+
+let raised_bases st =
+  let acc = ref [] in
+  for bid = Array.length st.p - 1 downto 0 do
+    if st.p.(bid) > (Problem.base st.problem bid).Problem.p0 +. 1e-12 then
+      acc := bid :: !acc
+  done;
+  !acc
+
+let solution st =
+  List.map
+    (fun bid -> ((Problem.base st.problem bid).Problem.tid, st.p.(bid)))
+    (raised_bases st)
+
+let snapshot st = Array.copy st.p
+
+let restore st saved =
+  Array.iteri
+    (fun bid p -> if Float.abs (p -. st.p.(bid)) > 0.0 then set_base st bid p)
+    saved
+
+let reset st =
+  for bid = 0 to Array.length st.p - 1 do
+    let p0 = (Problem.base st.problem bid).Problem.p0 in
+    if st.p.(bid) <> p0 then set_base st bid p0
+  done
+
+let confidence_with_override st ~rid ~bid ~level =
+  let saved = st.p.(bid) in
+  st.p.(bid) <- level;
+  let f = Problem.eval_result st.problem st.p rid in
+  st.p.(bid) <- saved;
+  f
+
+let gain st bid ?(only_unsatisfied = false) dp =
+  let b = Problem.base st.problem bid in
+  let cur = st.p.(bid) in
+  let target = Float.min b.Problem.cap (cur +. dp) in
+  if target <= cur +. 1e-12 then 0.0
+  else begin
+    let dcost = Cost.Cost_model.eval b.Problem.cost ~from_:cur ~to_:target in
+    if dcost <= 0.0 || Float.is_nan dcost || dcost = infinity then 0.0
+    else begin
+      let sum = ref 0.0 in
+      let saved = st.p.(bid) in
+      st.p.(bid) <- target;
+      List.iter
+        (fun rid ->
+          if not (only_unsatisfied && st.sat.(rid)) then begin
+            let f_new = Problem.eval_result st.problem st.p rid in
+            sum := !sum +. (f_new -. st.conf.(rid))
+          end)
+        (Problem.results_of_base st.problem bid);
+      st.p.(bid) <- saved;
+      !sum /. dcost
+    end
+  end

@@ -1,0 +1,70 @@
+(** Mutable assignment state shared by all solvers.
+
+    Tracks the current confidence of every base tuple, lazily re-evaluates
+    affected result confidences when a base changes (using the problem's
+    inverted index), and maintains the satisfied count and total cost
+    incrementally.  A result is {e satisfied} when its confidence is
+    strictly above β (the paper's "higher than the threshold"). *)
+
+type t
+
+val create : Problem.t -> t
+(** Fresh state at the initial confidences. *)
+
+val problem : t -> Problem.t
+
+val base_level : t -> int -> float
+(** Current confidence of a base tuple. *)
+
+val set_base : t -> int -> float -> unit
+(** [set_base st bid p] sets a base tuple's confidence.
+    @raise Invalid_argument if [p] is outside [\[p0, cap\]] (the optimizer
+    may roll increments back, but never below the initial level). *)
+
+val raise_by_delta : t -> int -> bool
+(** [raise_by_delta st bid] raises the base by one grid step (clamped to
+    the cap).  Returns [false] (and does nothing) when already at cap. *)
+
+val lower_by_delta : t -> int -> bool
+(** Inverse of {!raise_by_delta}; stops at [p0]. *)
+
+val result_confidence : t -> int -> float
+(** Confidence of result [rid] under the current assignment (cached). *)
+
+val is_satisfied : t -> int -> bool
+
+val satisfied_count : t -> int
+
+val satisfied_results : t -> int list
+(** Ascending rids. *)
+
+val cost : t -> float
+(** Total increment cost of the current assignment vs the initial one. *)
+
+val raised_bases : t -> int list
+(** Bids whose level is currently above their initial confidence,
+    ascending. *)
+
+val solution : t -> (Lineage.Tid.t * float) list
+(** Target levels for raised bases only — the strategy reported to the
+    user ("increase tuple X to confidence p"). *)
+
+val snapshot : t -> float array
+(** Copy of the current per-base levels (index = bid). *)
+
+val restore : t -> float array -> unit
+(** Restore a {!snapshot}.  O(changed bases) re-evaluation. *)
+
+val reset : t -> unit
+(** Back to the initial assignment. *)
+
+val confidence_with_override : t -> rid:int -> bid:int -> level:float -> float
+(** [confidence_with_override st ~rid ~bid ~level] is the confidence of
+    [rid] if base [bid] were at [level], without changing the state. *)
+
+val gain : t -> int -> ?only_unsatisfied:bool -> float -> float
+(** [gain st bid dp] is the paper's gain*: [Σ ΔF_λ / Δcost] over the
+    results affected by [bid] when raising it by [dp] (clamped at cap).
+    [only_unsatisfied] (default [false], the paper's definition) restricts
+    the sum to results not yet above β.  Returns 0 when the base cannot be
+    raised or the cost of the step is infinite. *)

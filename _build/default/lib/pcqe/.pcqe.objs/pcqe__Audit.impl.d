@@ -1,0 +1,1 @@
+lib/pcqe/audit.ml: Buffer Engine Lineage List Option Printf Result String

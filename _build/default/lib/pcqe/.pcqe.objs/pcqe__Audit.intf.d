@@ -1,0 +1,1 @@
+lib/pcqe/audit.mli: Engine Lineage

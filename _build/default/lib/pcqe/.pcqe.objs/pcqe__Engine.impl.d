@@ -1,0 +1,1 @@
+lib/pcqe/engine.ml: Cost Float Lineage List Optimize Option Printf Query Rbac Relational Result String

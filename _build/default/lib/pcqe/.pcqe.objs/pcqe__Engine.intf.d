@@ -1,0 +1,1 @@
+lib/pcqe/engine.mli: Cost Lineage Optimize Query Rbac Relational

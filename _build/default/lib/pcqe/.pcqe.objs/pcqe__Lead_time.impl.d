@@ -1,0 +1,1 @@
+lib/pcqe/lead_time.ml: Array Buffer Cost Engine Float Lineage List Printf Relational

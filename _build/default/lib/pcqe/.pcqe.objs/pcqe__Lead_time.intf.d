@@ -1,0 +1,1 @@
+lib/pcqe/lead_time.mli: Cost Engine Lineage Relational

@@ -1,0 +1,1 @@
+lib/pcqe/query.mli: Relational

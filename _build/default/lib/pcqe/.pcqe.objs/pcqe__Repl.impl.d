@@ -1,0 +1,1 @@
+lib/pcqe/repl.ml: Audit Buffer Cost Engine Filename Lineage List Optimize Option Printf Query Rbac Relational Report Result String Workspace

@@ -1,0 +1,1 @@
+lib/pcqe/repl.mli: Audit Engine

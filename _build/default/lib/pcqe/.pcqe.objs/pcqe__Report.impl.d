@@ -1,0 +1,1 @@
+lib/pcqe/report.ml: Array Buffer Engine Lineage List Printf Rbac Relational String

@@ -1,0 +1,1 @@
+lib/pcqe/report.mli: Engine

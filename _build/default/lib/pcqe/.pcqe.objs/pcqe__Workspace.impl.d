@@ -1,0 +1,1 @@
+lib/pcqe/workspace.ml: Array Buffer Cost Engine Filename Lineage List Optimize Option Printf Rbac Relational Result String Sys Unix

@@ -1,0 +1,1 @@
+lib/pcqe/workspace.mli: Cost Engine Lineage Optimize

@@ -1,0 +1,205 @@
+module Tid = Lineage.Tid
+
+type event =
+  | Query of {
+      user : string;
+      purpose : string;
+      sql : string;
+      threshold : float option;
+      released : int;
+      withheld : int;
+      proposal_cost : float option;
+    }
+  | Improvement of {
+      user : string;
+      cost : float;
+      increments : (Tid.t * float) list;
+    }
+  | Denied of { user : string; reason : string }
+
+type entry = { seq : int; event : event }
+
+type t = { next : int; rev_entries : entry list }
+
+let empty = { next = 0; rev_entries = [] }
+
+let entries t = List.rev t.rev_entries
+let length t = t.next
+
+let record t event =
+  { next = t.next + 1; rev_entries = { seq = t.next; event } :: t.rev_entries }
+
+let record_answer t ~user ~purpose ~sql (resp : Engine.response) =
+  record t
+    (Query
+       {
+         user;
+         purpose;
+         sql;
+         threshold = resp.Engine.threshold;
+         released = List.length resp.Engine.released;
+         withheld = resp.Engine.withheld;
+         proposal_cost =
+           Option.map (fun p -> p.Engine.cost) resp.Engine.proposal;
+       })
+
+let record_acceptance t ~user (proposal : Engine.proposal) =
+  record t
+    (Improvement
+       {
+         user;
+         cost = proposal.Engine.cost;
+         increments = proposal.Engine.increments;
+       })
+
+let record_denial t ~user ~reason = record t (Denied { user; reason })
+
+let event_user = function
+  | Query { user; _ } | Improvement { user; _ } | Denied { user; _ } -> user
+
+let events_for_user t user =
+  List.filter (fun e -> String.equal (event_user e.event) user) (entries t)
+
+let event_to_string = function
+  | Query { user; purpose; sql; threshold; released; withheld; proposal_cost }
+    ->
+    Printf.sprintf
+      "query user=%s purpose=%s threshold=%s released=%d withheld=%d%s sql=%s"
+      user purpose
+      (match threshold with Some b -> Printf.sprintf "%g" b | None -> "-")
+      released withheld
+      (match proposal_cost with
+      | Some c -> Printf.sprintf " proposal_cost=%.2f" c
+      | None -> "")
+      sql
+  | Improvement { user; cost; increments } ->
+    Printf.sprintf "improvement user=%s cost=%.2f increments=%s" user cost
+      (String.concat ","
+         (List.map
+            (fun (tid, p) -> Printf.sprintf "%s->%g" (Tid.to_string tid) p)
+            increments))
+  | Denied { user; reason } -> Printf.sprintf "denied user=%s reason=%s" user reason
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "Audit trail (%d entries):\n" (length t));
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (Printf.sprintf "  #%04d %s\n" e.seq (event_to_string e.event)))
+    (entries t);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* persistence: tab-separated fields, one entry per line (sql and reason
+   may contain spaces, so they come last) *)
+
+let render t =
+  String.concat "\n"
+    (List.map
+       (fun e ->
+         match e.event with
+         | Query { user; purpose; sql; threshold; released; withheld; proposal_cost } ->
+           Printf.sprintf "Q\t%d\t%s\t%s\t%s\t%d\t%d\t%s\t%s" e.seq user purpose
+             (match threshold with Some b -> Printf.sprintf "%g" b | None -> "-")
+             released withheld
+             (match proposal_cost with
+             | Some c -> Printf.sprintf "%g" c
+             | None -> "-")
+             sql
+         | Improvement { user; cost; increments } ->
+           Printf.sprintf "I\t%d\t%s\t%g\t%s" e.seq user cost
+             (String.concat ","
+                (List.map
+                   (fun (tid, p) -> Printf.sprintf "%s->%g" (Tid.to_string tid) p)
+                   increments))
+         | Denied { user; reason } ->
+           Printf.sprintf "D\t%d\t%s\t%s" e.seq user reason)
+       (entries t))
+
+let parse text =
+  let ( let* ) = Result.bind in
+  let parse_float_opt = function
+    | "-" -> Ok None
+    | s -> (
+      match float_of_string_opt s with
+      | Some f -> Ok (Some f)
+      | None -> Error (Printf.sprintf "bad number %S" s))
+  in
+  let parse_increments = function
+    | "" -> Ok []
+    | s ->
+      List.fold_left
+        (fun acc part ->
+          let* incs = acc in
+          match String.index_opt part '-' with
+          | Some i
+            when i + 1 < String.length part && part.[i + 1] = '>' -> (
+            let tid_s = String.sub part 0 i in
+            let p_s = String.sub part (i + 2) (String.length part - i - 2) in
+            match (Tid.of_string tid_s, float_of_string_opt p_s) with
+            | Some tid, Some p -> Ok ((tid, p) :: incs)
+            | _ -> Error (Printf.sprintf "bad increment %S" part))
+          | _ -> Error (Printf.sprintf "bad increment %S" part))
+        (Ok []) (String.split_on_char ',' s)
+      |> Result.map List.rev
+  in
+  let parse_line lineno line =
+    let fields = String.split_on_char '\t' line in
+    match fields with
+    | "Q" :: seq :: user :: purpose :: threshold :: released :: withheld
+      :: proposal_cost :: sql_parts ->
+      let sql = String.concat "\t" sql_parts in
+      let* seq =
+        Option.to_result ~none:(Printf.sprintf "line %d: bad seq" lineno)
+          (int_of_string_opt seq)
+      in
+      let* threshold = parse_float_opt threshold in
+      let* proposal_cost = parse_float_opt proposal_cost in
+      let* released =
+        Option.to_result ~none:(Printf.sprintf "line %d: bad released" lineno)
+          (int_of_string_opt released)
+      in
+      let* withheld =
+        Option.to_result ~none:(Printf.sprintf "line %d: bad withheld" lineno)
+          (int_of_string_opt withheld)
+      in
+      Ok
+        {
+          seq;
+          event =
+            Query { user; purpose; sql; threshold; released; withheld; proposal_cost };
+        }
+    | [ "I"; seq; user; cost; increments ] ->
+      let* seq =
+        Option.to_result ~none:(Printf.sprintf "line %d: bad seq" lineno)
+          (int_of_string_opt seq)
+      in
+      let* cost =
+        Option.to_result ~none:(Printf.sprintf "line %d: bad cost" lineno)
+          (float_of_string_opt cost)
+      in
+      let* increments = parse_increments increments in
+      Ok { seq; event = Improvement { user; cost; increments } }
+    | "D" :: seq :: user :: reason_parts ->
+      let* seq =
+        Option.to_result ~none:(Printf.sprintf "line %d: bad seq" lineno)
+          (int_of_string_opt seq)
+      in
+      Ok { seq; event = Denied { user; reason = String.concat "\t" reason_parts } }
+    | _ -> Error (Printf.sprintf "line %d: unrecognized entry" lineno)
+  in
+  let lines =
+    String.split_on_char '\n' text |> List.filter (fun l -> String.trim l <> "")
+  in
+  let* entries =
+    List.fold_left
+      (fun acc (lineno, line) ->
+        let* es = acc in
+        let* e = parse_line lineno line in
+        Ok (e :: es))
+      (Ok [])
+      (List.mapi (fun i l -> (i + 1, l)) lines)
+    |> Result.map List.rev
+  in
+  let next = List.fold_left (fun acc e -> max acc (e.seq + 1)) 0 entries in
+  Ok { next; rev_entries = List.rev entries }

@@ -1,0 +1,60 @@
+(** Audit trail for policy-compliant query evaluation.
+
+    Compliance frameworks need evidence: who asked what, under which
+    policy, what was withheld, what improvement was proposed and whether
+    it was accepted.  This module records those events in an append-only
+    log with monotonically increasing sequence numbers (no wall-clock
+    timestamps — determinism keeps the trail reproducible and testable;
+    callers that need real time can wrap entries).
+
+    The log is a value: recording returns a new log, so it composes with
+    the functional engine.  {!to_string} renders an evidence report;
+    {!parse}/{!render} give a line-oriented persistence format. *)
+
+type event =
+  | Query of {
+      user : string;
+      purpose : string;
+      sql : string;
+      threshold : float option;
+      released : int;
+      withheld : int;
+      proposal_cost : float option;
+    }  (** one {!Engine.answer} call and its policy outcome *)
+  | Improvement of {
+      user : string;
+      cost : float;
+      increments : (Lineage.Tid.t * float) list;
+    }  (** an accepted proposal (data-quality improvement) *)
+  | Denied of { user : string; reason : string }
+      (** an RBAC denial or validation failure *)
+
+type entry = { seq : int; event : event }
+
+type t
+
+val empty : t
+val entries : t -> entry list
+(** Oldest first. *)
+
+val length : t -> int
+
+val record : t -> event -> t
+
+val record_answer :
+  t -> user:string -> purpose:string -> sql:string -> Engine.response -> t
+(** Convenience: derive a [Query] event from a response. *)
+
+val record_acceptance : t -> user:string -> Engine.proposal -> t
+
+val record_denial : t -> user:string -> reason:string -> t
+
+val events_for_user : t -> string -> entry list
+
+val to_string : t -> string
+(** Human-readable evidence report. *)
+
+val render : t -> string
+(** Machine-readable, one entry per line; inverse of {!parse}. *)
+
+val parse : string -> (t, string) result

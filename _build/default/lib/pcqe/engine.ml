@@ -1,0 +1,207 @@
+module Tid = Lineage.Tid
+module Db = Relational.Database
+
+type context = {
+  db : Db.t;
+  rbac : Rbac.Core_rbac.t;
+  policies : Rbac.Policy.store;
+  views : Relational.Views.t;
+  cost_of : Tid.t -> Cost.Cost_model.t;
+  cap_of : Tid.t -> float;
+  solver : Optimize.Solver.algorithm;
+  delta : float;
+}
+
+let make_context ?(solver = Optimize.Solver.divide_conquer) ?(delta = 0.1)
+    ?cost_of ?cap_of ?(views = Relational.Views.empty) ~db ~rbac ~policies () =
+  let default_cost = Cost.Cost_model.linear ~rate:100.0 in
+  {
+    db;
+    rbac;
+    policies;
+    views;
+    cost_of = Option.value cost_of ~default:(fun _ -> default_cost);
+    cap_of = Option.value cap_of ~default:(fun _ -> 1.0);
+    solver;
+    delta;
+  }
+
+type request = { query : Query.t; user : string; purpose : string; perc : float }
+
+type released = {
+  tuple : Relational.Tuple.t;
+  lineage : Lineage.Formula.t;
+  confidence : float;
+}
+
+type proposal = {
+  increments : (Tid.t * float) list;
+  cost : float;
+  projected_release : int;
+  solver_name : string;
+  solver_detail : string;
+  elapsed_s : float;
+}
+
+type response = {
+  schema : Relational.Schema.t;
+  released : released list;
+  withheld : int;
+  threshold : float option;
+  applied_policies : Rbac.Policy.t list;
+  proposal : proposal option;
+  infeasible : bool;
+}
+
+let ( let* ) = Result.bind
+
+let check_rbac_with ~who ~check plan =
+  let denied =
+    List.filter
+      (fun rel -> not (check { Rbac.Core_rbac.action = "select"; resource = rel }))
+      (Relational.Algebra.base_relations plan)
+  in
+  if denied = [] then Ok ()
+  else
+    Error
+      (Printf.sprintf "access denied: %s lacks select on %s" who
+         (String.concat ", " denied))
+
+let check_rbac ctx ~user plan =
+  if not (List.mem user (Rbac.Core_rbac.users ctx.rbac)) then
+    Error (Printf.sprintf "unknown user %S" user)
+  else
+    check_rbac_with
+      ~who:(Printf.sprintf "user %S" user)
+      ~check:(fun p -> Rbac.Core_rbac.check ctx.rbac ~user p)
+      plan
+
+let answer_common ctx ~check_access ~roles ~query ~purpose ~perc =
+  let* () =
+    if perc >= 0.0 && perc <= 1.0 then Ok ()
+    else Error (Printf.sprintf "perc %g outside [0,1]" perc)
+  in
+  let* plan = Query.to_plan query in
+  let plan = Relational.Views.expand ctx.views plan in
+  let* plan = Relational.Rewrite.optimize ctx.db plan in
+  (* (1) traditional access control over the base relations *)
+  let* () = check_access plan in
+  (* (2) lineage-carrying query evaluation + confidence computation *)
+  let* res = Relational.Eval.run ctx.db plan in
+  let with_conf = Relational.Eval.with_confidence ctx.db res in
+  (* (3) policy evaluation: select the policy by role and purpose *)
+  let applied_policies = Rbac.Policy.applicable ctx.policies ~roles ~purpose in
+  let threshold =
+    Rbac.Policy.effective_threshold ctx.policies ~roles ~purpose
+  in
+  let released, withheld =
+    match threshold with
+    | None ->
+      ( List.map
+          (fun (r, c) ->
+            {
+              tuple = r.Relational.Eval.tuple;
+              lineage = r.Relational.Eval.lineage;
+              confidence = c;
+            })
+          with_conf,
+        0 )
+    | Some beta ->
+      let rel, wh =
+        List.partition (fun (_, c) -> c > beta) with_conf
+      in
+      ( List.map
+          (fun (r, c) ->
+            {
+              tuple = r.Relational.Eval.tuple;
+              lineage = r.Relational.Eval.lineage;
+              confidence = c;
+            })
+          rel,
+        List.length wh )
+  in
+  (* (4) strategy finding when fewer than perc of the results pass *)
+  let n = List.length with_conf in
+  let need = int_of_float (ceil (perc *. float_of_int n)) in
+  let* proposal, infeasible =
+    match threshold with
+    | Some beta when List.length released < need && withheld > 0 ->
+      let* problem, _failing =
+        Optimize.Problem.of_query_results ~delta:ctx.delta ~theta:perc ~beta
+          ~cost_of:ctx.cost_of ~cap_of:ctx.cap_of ctx.db res
+      in
+      let out = Optimize.Solver.solve ~algorithm:ctx.solver problem in
+      (match out.Optimize.Solver.solution with
+      | Some increments ->
+        (* project the release count by re-evaluating *every* result under
+           the raised confidences: with non-monotone lineage (outer joins,
+           NOT IN) an increment can push a previously-passing row back
+           below the threshold, so counting satisfied new rows alone would
+           overestimate *)
+        let raised = Tid.Table.create 16 in
+        List.iter (fun (tid, p) -> Tid.Table.replace raised tid p) increments;
+        let conf_after tid =
+          let current = Db.confidence ctx.db tid in
+          match Tid.Table.find_opt raised tid with
+          | Some target -> Float.max current target
+          | None -> current
+        in
+        let projected_release =
+          List.fold_left
+            (fun acc row ->
+              if
+                Lineage.Prob.confidence conf_after row.Relational.Eval.lineage
+                > beta
+              then acc + 1
+              else acc)
+            0 res.Relational.Eval.rows
+        in
+        Ok
+          ( Some
+              {
+                increments;
+                cost = out.Optimize.Solver.cost;
+                projected_release;
+                solver_name = Optimize.Solver.algorithm_name ctx.solver;
+                solver_detail = out.Optimize.Solver.detail;
+                elapsed_s = out.Optimize.Solver.elapsed_s;
+              },
+            false )
+      | None -> Ok (None, true))
+    | _ -> Ok (None, false)
+  in
+  Ok
+    {
+      schema = res.Relational.Eval.schema;
+      released;
+      withheld;
+      threshold;
+      applied_policies;
+      proposal;
+      infeasible;
+    }
+
+let answer ctx request =
+  let check_access plan = check_rbac ctx ~user:request.user plan in
+  let roles = Rbac.Core_rbac.authorized_roles ctx.rbac request.user in
+  answer_common ctx ~check_access ~roles ~query:request.query
+    ~purpose:request.purpose ~perc:request.perc
+
+let answer_session ctx session query ~purpose ~perc =
+  let check_access plan =
+    check_rbac_with
+      ~who:
+        (Printf.sprintf "session of %S" (Rbac.Core_rbac.session_user session))
+      ~check:(fun p -> Rbac.Core_rbac.check_session ctx.rbac session p)
+      plan
+  in
+  (* session roles plus their juniors select the policies *)
+  let roles =
+    List.concat_map
+      (fun r -> r :: Rbac.Core_rbac.junior_roles ctx.rbac r)
+      (Rbac.Core_rbac.session_roles session)
+  in
+  answer_common ctx ~check_access ~roles ~query ~purpose ~perc
+
+let accept_proposal ctx proposal =
+  { ctx with db = Db.apply_increments ctx.db proposal.increments }

@@ -1,0 +1,97 @@
+(** The policy-compliant query evaluation engine — the paper's Fig. 1.
+
+    A {!context} bundles the five framework components:
+    confidence-annotated {e database}, {e RBAC} model (traditional access
+    control over base relations), {e confidence-policy} store, per-tuple
+    {e cost functions} and confidence {e caps} (for strategy finding), and
+    the configured strategy-finding {e solver}.
+
+    A user request is [⟨Q, pu, perc⟩] (§3.2): a query, a purpose, and the
+    fraction of results the user needs back.  {!answer} runs the full data
+    flow: RBAC check → lineage-carrying evaluation → confidence computation
+    → policy filtering → (if too few results pass) strategy finding, whose
+    increment proposal and cost are reported back.  {!accept_proposal}
+    implements the data-quality-improvement step: apply the increments and
+    re-answer. *)
+
+type context = {
+  db : Relational.Database.t;
+  rbac : Rbac.Core_rbac.t;
+  policies : Rbac.Policy.store;
+  views : Relational.Views.t;
+      (** named views, expanded before evaluation (quality-view style) *)
+  cost_of : Lineage.Tid.t -> Cost.Cost_model.t;
+  cap_of : Lineage.Tid.t -> float;
+  solver : Optimize.Solver.algorithm;
+  delta : float;
+}
+
+val make_context :
+  ?solver:Optimize.Solver.algorithm ->
+  ?delta:float ->
+  ?cost_of:(Lineage.Tid.t -> Cost.Cost_model.t) ->
+  ?cap_of:(Lineage.Tid.t -> float) ->
+  ?views:Relational.Views.t ->
+  db:Relational.Database.t ->
+  rbac:Rbac.Core_rbac.t ->
+  policies:Rbac.Policy.store ->
+  unit ->
+  context
+(** Defaults: divide-and-conquer solver, δ = 0.1, linear cost of rate 100,
+    cap 1.0 for every tuple. *)
+
+type request = {
+  query : Query.t;  (** SQL text or a prebuilt algebra plan *)
+  user : string;
+  purpose : string;
+  perc : float;  (** θ — fraction of results the user needs, in [\[0,1\]] *)
+}
+
+type released = {
+  tuple : Relational.Tuple.t;
+  lineage : Lineage.Formula.t;
+  confidence : float;
+}
+
+type proposal = {
+  increments : (Lineage.Tid.t * float) list;
+      (** target confidence per base tuple *)
+  cost : float;
+  projected_release : int;
+      (** results that would clear the threshold after applying *)
+  solver_name : string;
+  solver_detail : string;
+  elapsed_s : float;
+}
+
+type response = {
+  schema : Relational.Schema.t;
+  released : released list;  (** results above the threshold, returned now *)
+  withheld : int;  (** results filtered out by the policy *)
+  threshold : float option;
+      (** effective β; [None] when no policy applies (nothing filtered) *)
+  applied_policies : Rbac.Policy.t list;
+  proposal : proposal option;
+      (** present when fewer than [perc] of the results were released and
+          strategy finding found (or attempted) a remedy *)
+  infeasible : bool;
+      (** [true] when strategy finding could not meet the requirement even
+          at the confidence caps *)
+}
+
+val answer : context -> request -> (response, string) result
+(** Run the full PCQE data flow.  Errors: RBAC denial, SQL/plan errors,
+    unknown user.  Policy selection considers {e all} of the user's
+    authorized roles (assigned plus inherited). *)
+
+val answer_session :
+  context -> Rbac.Core_rbac.session -> Query.t -> purpose:string ->
+  perc:float -> (response, string) result
+(** Like {!answer}, but under an RBAC session: only the session's
+    activated roles (and their juniors) carry permissions and select
+    confidence policies — the least-privilege variant. *)
+
+val accept_proposal : context -> proposal -> context
+(** Data-quality improvement: apply the proposal's increments to the
+    database (respecting caps) and return the updated context — re-run
+    {!answer} to get the improved result set. *)

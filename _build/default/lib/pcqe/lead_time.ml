@@ -1,0 +1,75 @@
+module Tid = Lineage.Tid
+
+type task = { tid : Tid.t; from_ : float; to_ : float; duration : float }
+
+type schedule = {
+  tasks : (task * int) list;
+  workers : int;
+  makespan : float;
+  total_work : float;
+}
+
+let tasks_of_increments ~time_of ~current increments =
+  List.filter_map
+    (fun (tid, target) ->
+      let from_ = current tid in
+      if target <= from_ +. 1e-12 then None
+      else
+        let duration =
+          Cost.Cost_model.eval (time_of tid) ~from_ ~to_:target
+        in
+        if duration <= 0.0 then None
+        else Some { tid; from_; to_ = target; duration })
+    increments
+
+let tasks_of_proposal ~time_of db (proposal : Engine.proposal) =
+  tasks_of_increments ~time_of
+    ~current:(Relational.Database.confidence db)
+    proposal.Engine.increments
+
+let schedule ~workers tasks =
+  if workers < 1 then invalid_arg "Lead_time.schedule: workers must be >= 1";
+  (* LPT: sort descending by duration, always assign to the least-loaded
+     worker *)
+  let sorted =
+    List.stable_sort (fun a b -> Float.compare b.duration a.duration) tasks
+  in
+  let load = Array.make workers 0.0 in
+  let assigned =
+    List.map
+      (fun task ->
+        let best = ref 0 in
+        for w = 1 to workers - 1 do
+          if load.(w) < load.(!best) then best := w
+        done;
+        load.(!best) <- load.(!best) +. task.duration;
+        (task, !best))
+      sorted
+  in
+  let makespan = Array.fold_left Float.max 0.0 load in
+  let total_work = List.fold_left (fun acc t -> acc +. t.duration) 0.0 tasks in
+  { tasks = assigned; workers; makespan; total_work }
+
+let lead_time ~time_of ~workers db proposal =
+  (schedule ~workers (tasks_of_proposal ~time_of db proposal)).makespan
+
+let to_string s =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "Improvement schedule: %d task(s) on %d worker(s), makespan %.2f \
+        (total work %.2f)\n"
+       (List.length s.tasks) s.workers s.makespan s.total_work);
+  for w = 0 to s.workers - 1 do
+    let mine = List.filter (fun (_, aw) -> aw = w) s.tasks in
+    if mine <> [] then begin
+      Buffer.add_string buf (Printf.sprintf "  worker %d:\n" w);
+      List.iter
+        (fun (t, _) ->
+          Buffer.add_string buf
+            (Printf.sprintf "    %-16s %.2f -> %.2f   (%.2f)\n"
+               (Tid.to_string t.tid) t.from_ t.to_ t.duration))
+        mine
+    end
+  done;
+  Buffer.contents buf

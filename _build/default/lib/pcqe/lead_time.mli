@@ -1,0 +1,61 @@
+(** Lead-time planning for data-quality improvement.
+
+    The paper's conclusion sketches this as future work: "since actually
+    improving data quality may take some time, the user can submit the
+    query in advance ... and statistics can be used to let the user know
+    how much time in advance he needs to issue the query".
+
+    This module implements that estimate.  Each base tuple gets a {e time
+    model} — the same non-decreasing cumulative shape as a cost model
+    ({!Cost.Cost_model.t}), measuring hours instead of money — and a
+    proposal's increments become improvement {e tasks}.  Tasks are
+    scheduled on [workers] parallel improvement channels (auditors, survey
+    teams, …) with the classic LPT (longest processing time first) greedy,
+    a 4/3-approximation of the optimal makespan.  The resulting makespan is
+    the lead time to quote to the user. *)
+
+type task = {
+  tid : Lineage.Tid.t;
+  from_ : float;  (** current confidence *)
+  to_ : float;  (** proposed target confidence *)
+  duration : float;  (** improvement time, in the time model's unit *)
+}
+
+type schedule = {
+  tasks : (task * int) list;  (** task, assigned worker (0-based) *)
+  workers : int;
+  makespan : float;  (** completion time of the busiest worker *)
+  total_work : float;  (** sum of all durations *)
+}
+
+val tasks_of_increments :
+  time_of:(Lineage.Tid.t -> Cost.Cost_model.t) ->
+  current:(Lineage.Tid.t -> float) ->
+  (Lineage.Tid.t * float) list ->
+  task list
+(** [tasks_of_increments ~time_of ~current increments] builds one task per
+    raised tuple; increments that do not raise the current confidence get
+    duration 0 and are dropped. *)
+
+val tasks_of_proposal :
+  time_of:(Lineage.Tid.t -> Cost.Cost_model.t) ->
+  Relational.Database.t ->
+  Engine.proposal ->
+  task list
+(** Convenience wrapper reading current confidences from the database. *)
+
+val schedule : workers:int -> task list -> schedule
+(** LPT scheduling.  @raise Invalid_argument when [workers < 1]. *)
+
+val lead_time :
+  time_of:(Lineage.Tid.t -> Cost.Cost_model.t) ->
+  workers:int ->
+  Relational.Database.t ->
+  Engine.proposal ->
+  float
+(** [lead_time ~time_of ~workers db proposal] is the makespan — how long
+    before the expected time of data use the query (and the improvement
+    order) must be submitted. *)
+
+val to_string : schedule -> string
+(** Per-worker task listing plus the makespan. *)

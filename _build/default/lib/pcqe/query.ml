@@ -1,0 +1,12 @@
+type t = Sql of string | Plan of Relational.Algebra.t
+
+let sql s = Sql s
+let plan p = Plan p
+
+let to_plan = function
+  | Sql s -> Relational.Sql_planner.compile s
+  | Plan p -> Ok p
+
+let to_string = function
+  | Sql s -> s
+  | Plan p -> Relational.Algebra.to_string p

@@ -1,0 +1,11 @@
+(** Query input accepted by the engine: SQL text or a prebuilt plan. *)
+
+type t = Sql of string | Plan of Relational.Algebra.t
+
+val sql : string -> t
+val plan : Relational.Algebra.t -> t
+
+val to_plan : t -> (Relational.Algebra.t, string) result
+(** Compile SQL text when needed. *)
+
+val to_string : t -> string

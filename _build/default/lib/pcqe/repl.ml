@@ -1,0 +1,212 @@
+module Db = Relational.Database
+
+type t = {
+  ctx : Engine.context;
+  user : string option;
+  purpose : string;
+  perc : float;
+  last_proposal : Engine.proposal option;
+  last_sql : string option;
+  audit : Audit.t;
+}
+
+type outcome = Reply of t * string | Quit
+
+let create ctx =
+  {
+    ctx;
+    user = None;
+    purpose = "adhoc";
+    perc = 1.0;
+    last_proposal = None;
+    last_sql = None;
+    audit = Audit.empty;
+  }
+
+let context t = t.ctx
+
+let audit t = t.audit
+
+let help_text =
+  {|Meta commands:
+  \user <name>        act as this user
+  \purpose <purpose>  set the query purpose
+  \perc <fraction>    set the required result fraction (theta)
+  \solver <name>      heuristic | greedy | dnc | annealing
+  \apply              accept the last improvement proposal
+  \explain            lineage explanations for the last query
+  \tables             list relations (with cardinalities)
+  \views              list registered views
+  \policies           list confidence policies
+  \whoami             show the session settings
+  \help               this text
+  \quit               leave
+Anything else is SQL, answered under the current user and purpose.|}
+
+let solver_of_string = function
+  | "heuristic" -> Some Optimize.Solver.heuristic
+  | "heuristic-seeded" -> Some Optimize.Solver.heuristic_seeded
+  | "greedy" -> Some Optimize.Solver.greedy
+  | "dnc" | "divide-and-conquer" -> Some Optimize.Solver.divide_conquer
+  | "annealing" -> Some Optimize.Solver.annealing
+  | _ -> None
+
+let run_sql t sql =
+  match t.user with
+  | None ->
+    Reply (t, "no user set: \\user <name> first (see \\help)")
+  | Some user -> (
+    let request =
+      { Engine.query = Query.sql sql; user; purpose = t.purpose; perc = t.perc }
+    in
+    match Engine.answer t.ctx request with
+    | Error msg ->
+      Reply
+        ( { t with audit = Audit.record_denial t.audit ~user ~reason:msg },
+          "error: " ^ msg )
+    | Ok resp ->
+      let text = Report.response_to_string ~max_rows:50 resp in
+      let t =
+        {
+          t with
+          last_proposal = resp.Engine.proposal;
+          last_sql = Some sql;
+          audit =
+            Audit.record_answer t.audit ~user ~purpose:t.purpose ~sql resp;
+        }
+      in
+      let text =
+        match resp.Engine.proposal with
+        | Some _ -> text ^ "(\\apply to accept the proposal)\n"
+        | None -> text
+      in
+      Reply (t, String.trim text))
+
+let meta t line =
+  let words =
+    String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
+  in
+  match words with
+  | [ "\\quit" ] | [ "\\q" ] | [ "\\exit" ] -> Quit
+  | [ "\\help" ] | [ "\\h" ] -> Reply (t, help_text)
+  | [ "\\user"; name ] -> Reply ({ t with user = Some name }, "acting as " ^ name)
+  | [ "\\purpose"; purpose ] ->
+    Reply ({ t with purpose }, "purpose set to " ^ purpose)
+  | [ "\\perc"; value ] -> (
+    match float_of_string_opt value with
+    | Some p when p >= 0.0 && p <= 1.0 ->
+      Reply ({ t with perc = p }, Printf.sprintf "perc set to %g" p)
+    | _ -> Reply (t, Printf.sprintf "bad fraction %S (need [0,1])" value))
+  | [ "\\solver"; name ] -> (
+    match solver_of_string name with
+    | Some solver ->
+      Reply
+        ( { t with ctx = { t.ctx with Engine.solver } },
+          "solver set to " ^ Optimize.Solver.algorithm_name solver )
+    | None -> Reply (t, Printf.sprintf "unknown solver %S" name))
+  | [ "\\apply" ] -> (
+    match t.last_proposal with
+    | None -> Reply (t, "no pending proposal")
+    | Some proposal ->
+      let ctx = Engine.accept_proposal t.ctx proposal in
+      let audit =
+        Audit.record_acceptance t.audit
+          ~user:(Option.value ~default:"(unset)" t.user)
+          proposal
+      in
+      Reply
+        ( { t with ctx; last_proposal = None; audit },
+          Printf.sprintf "applied %d increment(s) at cost %.2f"
+            (List.length proposal.Engine.increments)
+            proposal.Engine.cost ))
+  | [ "\\explain" ] -> (
+    match t.last_sql with
+    | None -> Reply (t, "no previous query to explain")
+    | Some sql -> (
+      let ( let* ) = Result.bind in
+      let result =
+        let* plan = Relational.Sql_planner.compile sql in
+        let plan = Relational.Views.expand t.ctx.Engine.views plan in
+        let* plan = Relational.Rewrite.optimize t.ctx.Engine.db plan in
+        let* res = Relational.Eval.run t.ctx.Engine.db plan in
+        let p = Db.confidence_fn t.ctx.Engine.db in
+        let buf = Buffer.create 512 in
+        List.iteri
+          (fun i row ->
+            if i < 20 then begin
+              Buffer.add_string buf
+                (Printf.sprintf "%s  confidence %.4f\n"
+                   (Relational.Tuple.to_string row.Relational.Eval.tuple)
+                   (Relational.Eval.confidence t.ctx.Engine.db row));
+              Buffer.add_string buf
+                (Lineage.Explain.to_string p row.Relational.Eval.lineage)
+            end)
+          res.Relational.Eval.rows;
+        if List.length res.Relational.Eval.rows > 20 then
+          Buffer.add_string buf "... (first 20 rows only)\n";
+        Ok (Buffer.contents buf)
+      in
+      match result with
+      | Ok text -> Reply (t, String.trim text)
+      | Error msg -> Reply (t, "error: " ^ msg)))
+  | [ "\\audit" ] -> Reply (t, String.trim (Audit.to_string t.audit))
+  | [ "\\save"; dir ] -> (
+    let w =
+      {
+        Workspace.context = t.ctx;
+        cost_specs = [];
+        default_cost = Cost.Cost_model.linear ~rate:100.0;
+        caps = [];
+      }
+    in
+    match Workspace.save dir w with
+    | Ok () ->
+      (* persist the session's audit trail alongside the workspace *)
+      let audit_path = Filename.concat dir "audit.log" in
+      (try
+         let oc = open_out_bin audit_path in
+         output_string oc (Audit.render t.audit ^ "\n");
+         close_out oc
+       with Sys_error _ -> ());
+      Reply (t, "saved workspace (and audit.log) to " ^ dir)
+    | Error msg -> Reply (t, "save failed: " ^ msg))
+  | [ "\\tables" ] ->
+    let lines =
+      List.map
+        (fun name ->
+          let rel = Db.relation_exn t.ctx.Engine.db name in
+          Printf.sprintf "  %-20s %d row(s)  (%s)" name
+            (Relational.Relation.cardinality rel)
+            (Relational.Schema.to_string (Relational.Relation.schema rel)))
+        (Db.relation_names t.ctx.Engine.db)
+    in
+    Reply (t, if lines = [] then "no relations" else String.concat "\n" lines)
+  | [ "\\views" ] ->
+    let names = Relational.Views.names t.ctx.Engine.views in
+    Reply
+      ( t,
+        if names = [] then "no views"
+        else String.concat "\n" (List.map (fun n -> "  " ^ n) names) )
+  | [ "\\policies" ] ->
+    let ps = Rbac.Policy.to_list t.ctx.Engine.policies in
+    Reply
+      ( t,
+        if ps = [] then "no policies"
+        else
+          String.concat "\n"
+            (List.map (fun p -> "  " ^ Rbac.Policy.to_string p) ps) )
+  | [ "\\whoami" ] ->
+    Reply
+      ( t,
+        Printf.sprintf "user=%s purpose=%s perc=%g solver=%s"
+          (Option.value ~default:"(unset)" t.user)
+          t.purpose t.perc
+          (Optimize.Solver.algorithm_name t.ctx.Engine.solver) )
+  | cmd :: _ -> Reply (t, Printf.sprintf "unknown command %s (try \\help)" cmd)
+  | [] -> Reply (t, "")
+
+let execute t line =
+  let line = String.trim line in
+  if line = "" then Reply (t, "")
+  else if line.[0] = '\\' then meta t line
+  else run_sql t line

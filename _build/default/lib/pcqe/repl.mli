@@ -1,0 +1,45 @@
+(** Interactive session logic for the [pcqe repl] command.
+
+    The REPL state machine is pure (state in, state and output text out),
+    so the whole command surface is unit-testable; the CLI wraps it in a
+    stdin loop.
+
+    Input lines are either SQL (executed under the current user/purpose
+    through the full PCQE pipeline) or meta commands:
+
+    {v \user <name>          act as this user
+       \purpose <purpose>    set the query purpose
+       \perc <fraction>      set the required result fraction (theta)
+       \solver <name>        heuristic | greedy | dnc | annealing
+       \apply                accept the last improvement proposal
+       \explain              lineage explanations for the last query:
+                             minimal witnesses and per-tuple influence
+       \audit                show this session's audit trail
+       \save <dir>           save the workspace (with improvements) and
+                             the audit log
+       \tables               list relations (with cardinalities)
+       \views                list registered views
+       \policies             list confidence policies
+       \whoami               show the session settings
+       \help                 this text
+       \quit                 leave (the CLI handles it) v} *)
+
+type t
+
+val create : Engine.context -> t
+(** Fresh state: no user, purpose ["adhoc"], perc 1.0. *)
+
+val context : t -> Engine.context
+(** The current engine context (updated by [\apply]). *)
+
+val audit : t -> Audit.t
+(** Every query, denial and accepted improvement of this session. *)
+
+type outcome =
+  | Reply of t * string  (** new state and text to print *)
+  | Quit  (** the user asked to leave *)
+
+val execute : t -> string -> outcome
+(** [execute t line] processes one input line.  Errors (bad SQL, RBAC
+    denials, unknown meta commands) are reported in the reply text; the
+    state survives them. *)

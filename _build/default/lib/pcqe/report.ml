@@ -1,0 +1,89 @@
+let table headers body =
+  let rows = headers :: body in
+  let ncols = List.length headers in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)))
+    rows;
+  let line =
+    "+"
+    ^ String.concat "+"
+        (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths))
+    ^ "+"
+  in
+  let render cells =
+    "|"
+    ^ String.concat "|"
+        (List.mapi (fun i cell -> Printf.sprintf " %-*s " widths.(i) cell) cells)
+    ^ "|"
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (line ^ "\n" ^ render headers ^ "\n" ^ line ^ "\n");
+  List.iter (fun r -> Buffer.add_string buf (render r ^ "\n")) body;
+  Buffer.add_string buf line;
+  Buffer.contents buf
+
+let proposal_to_string (p : Engine.proposal) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "Improvement proposal (%s, %.3fs, %s):\n  total cost: %.2f\n  would release %d result(s)\n"
+       p.Engine.solver_name p.Engine.elapsed_s p.Engine.solver_detail
+       p.Engine.cost p.Engine.projected_release);
+  List.iter
+    (fun (tid, target) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  raise %s to confidence %.2f\n"
+           (Lineage.Tid.to_string tid) target))
+    p.Engine.increments;
+  Buffer.contents buf
+
+let response_to_string ?max_rows (r : Engine.response) =
+  let buf = Buffer.create 512 in
+  (match r.Engine.threshold with
+  | Some beta ->
+    Buffer.add_string buf
+      (Printf.sprintf "Policy threshold in force: confidence > %g\n" beta);
+    List.iter
+      (fun p ->
+        Buffer.add_string buf
+          (Printf.sprintf "  applied policy %s\n" (Rbac.Policy.to_string p)))
+      r.Engine.applied_policies
+  | None ->
+    Buffer.add_string buf "No confidence policy applies to this request.\n");
+  let all_rows = r.Engine.released in
+  let shown, elided =
+    match max_rows with
+    | Some n when List.length all_rows > n ->
+      (List.filteri (fun i _ -> i < n) all_rows, List.length all_rows - n)
+    | _ -> (all_rows, 0)
+  in
+  if shown = [] then Buffer.add_string buf "Released results: none\n"
+  else begin
+    let headers =
+      Relational.Schema.column_names r.Engine.schema @ [ "confidence" ]
+    in
+    let body =
+      List.map
+        (fun (row : Engine.released) ->
+          List.map Relational.Value.to_string
+            (Array.to_list (Relational.Tuple.values row.Engine.tuple))
+          @ [ Printf.sprintf "%.4f" row.Engine.confidence ])
+        shown
+    in
+    Buffer.add_string buf (table headers body);
+    Buffer.add_char buf '\n';
+    if elided > 0 then
+      Buffer.add_string buf (Printf.sprintf "... %d more row(s)\n" elided)
+  end;
+  if r.Engine.withheld > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "%d result(s) withheld by the confidence policy.\n"
+         r.Engine.withheld);
+  (match r.Engine.proposal with
+  | Some p -> Buffer.add_string buf (proposal_to_string p)
+  | None ->
+    if r.Engine.infeasible then
+      Buffer.add_string buf
+        "No feasible confidence-improvement strategy exists (caps too low).\n");
+  Buffer.contents buf

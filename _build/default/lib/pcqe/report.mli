@@ -1,0 +1,10 @@
+(** Human-readable rendering of engine responses — what the CLI and the
+    examples print. *)
+
+val response_to_string : ?max_rows:int -> Engine.response -> string
+(** Render a {!Engine.response}: the released rows as a table with
+    confidence values, the applied policies and threshold, the withheld
+    count, and (when present) the improvement proposal with its per-tuple
+    increments and total cost.  [max_rows] truncates the table. *)
+
+val proposal_to_string : Engine.proposal -> string

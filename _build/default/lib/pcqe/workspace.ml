@@ -1,0 +1,244 @@
+module Tid = Lineage.Tid
+module Db = Relational.Database
+
+type t = {
+  context : Engine.context;
+  cost_specs : (Tid.t * Cost.Cost_model.t) list;
+  default_cost : Cost.Cost_model.t;
+  caps : (Tid.t * float) list;
+}
+
+let ( let* ) = Result.bind
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    Ok s
+  with Sys_error msg -> Error msg
+
+let read_optional path =
+  if Sys.file_exists path then Result.map Option.some (read_file path)
+  else Ok None
+
+let data_lines text =
+  String.split_on_char '\n' text
+  |> List.mapi (fun i line -> (i + 1, String.trim line))
+  |> List.filter (fun (_, l) -> l <> "" && l.[0] <> '#')
+
+(* "<tid> <rest>" split *)
+let split_head line =
+  match String.index_opt line ' ' with
+  | None -> None
+  | Some i ->
+    Some
+      ( String.sub line 0 i,
+        String.trim (String.sub line i (String.length line - i)) )
+
+let parse_costs text =
+  let table = ref [] in
+  let default = ref (Cost.Cost_model.linear ~rate:100.0) in
+  let* () =
+    List.fold_left
+      (fun acc (lineno, line) ->
+        let* () = acc in
+        match split_head line with
+        | None -> Error (Printf.sprintf "costs.txt:%d: missing spec" lineno)
+        | Some (head, spec) -> (
+          match Cost.Cost_model.parse spec with
+          | Error msg -> Error (Printf.sprintf "costs.txt:%d: %s" lineno msg)
+          | Ok cost ->
+            if head = "default" then begin
+              default := cost;
+              Ok ()
+            end
+            else (
+              match Tid.of_string head with
+              | Some tid ->
+                table := (tid, cost) :: !table;
+                Ok ()
+              | None ->
+                Error (Printf.sprintf "costs.txt:%d: bad tuple id %S" lineno head))))
+      (Ok ()) (data_lines text)
+  in
+  Ok (List.rev !table, !default)
+
+let parse_caps text =
+  List.fold_left
+    (fun acc (lineno, line) ->
+      let* caps = acc in
+      match split_head line with
+      | None -> Error (Printf.sprintf "caps.txt:%d: missing value" lineno)
+      | Some (head, value) -> (
+        match (Tid.of_string head, float_of_string_opt value) with
+        | Some tid, Some cap when cap >= 0.0 && cap <= 1.0 ->
+          Ok ((tid, cap) :: caps)
+        | Some _, _ -> Error (Printf.sprintf "caps.txt:%d: bad cap %S" lineno value)
+        | None, _ -> Error (Printf.sprintf "caps.txt:%d: bad tuple id %S" lineno head)))
+    (Ok []) (data_lines text)
+  |> Result.map List.rev
+
+let parse_views text =
+  List.fold_left
+    (fun acc (lineno, line) ->
+      let* views = acc in
+      match String.index_opt line ':' with
+      | None -> Error (Printf.sprintf "views.sql:%d: expected 'name: SELECT ...'" lineno)
+      | Some i -> (
+        let name = String.trim (String.sub line 0 i) in
+        let sql = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+        if name = "" then Error (Printf.sprintf "views.sql:%d: empty view name" lineno)
+        else
+          match Relational.Views.of_sql views ~name sql with
+          | Ok views -> Ok views
+          | Error msg -> Error (Printf.sprintf "views.sql:%d: %s" lineno msg)))
+    (Ok Relational.Views.empty)
+    (data_lines text)
+
+let load_relations dir =
+  let rel_dir = Filename.concat dir "relations" in
+  let* entries =
+    try Ok (Sys.readdir rel_dir)
+    with Sys_error msg -> Error ("relations/: " ^ msg)
+  in
+  let csvs =
+    Array.to_list entries
+    |> List.filter (fun f -> Filename.check_suffix f ".csv")
+    |> List.sort String.compare
+  in
+  if csvs = [] then Error (Printf.sprintf "no .csv files in %s" rel_dir)
+  else
+    List.fold_left
+      (fun acc file ->
+        let* db = acc in
+        let name = Filename.remove_extension file in
+        Relational.Csv.load_file db ~name (Filename.concat rel_dir file))
+      (Ok Db.empty) csvs
+
+let load ?(solver = Optimize.Solver.divide_conquer) dir =
+  let* db = load_relations dir in
+  let* rbac_text = read_file (Filename.concat dir "rbac.txt") in
+  let* rbac = Rbac.Config.parse rbac_text in
+  let* policy_text = read_file (Filename.concat dir "policies.txt") in
+  let* policies = Rbac.Policy.parse_store policy_text in
+  let* views =
+    let* t = read_optional (Filename.concat dir "views.sql") in
+    match t with
+    | None -> Ok Relational.Views.empty
+    | Some text -> parse_views text
+  in
+  let* cost_specs, default_cost =
+    let* t = read_optional (Filename.concat dir "costs.txt") in
+    match t with
+    | None -> Ok ([], Cost.Cost_model.linear ~rate:100.0)
+    | Some text -> parse_costs text
+  in
+  let* caps =
+    let* t = read_optional (Filename.concat dir "caps.txt") in
+    match t with None -> Ok [] | Some text -> parse_caps text
+  in
+  let* db =
+    List.fold_left
+      (fun acc (tid, cap) ->
+        let* db = acc in
+        match Db.set_confidence_cap db tid cap with
+        | db -> Ok db
+        | exception Invalid_argument msg -> Error ("caps.txt: " ^ msg))
+      (Ok db) caps
+  in
+  let cost_table = Tid.Table.create (List.length cost_specs) in
+  List.iter (fun (tid, c) -> Tid.Table.replace cost_table tid c) cost_specs;
+  let cost_of tid =
+    Option.value ~default:default_cost (Tid.Table.find_opt cost_table tid)
+  in
+  let cap_table = Tid.Table.create (List.length caps) in
+  List.iter (fun (tid, c) -> Tid.Table.replace cap_table tid c) caps;
+  let cap_of tid = Option.value ~default:1.0 (Tid.Table.find_opt cap_table tid) in
+  let context =
+    Engine.make_context ~solver ~cost_of ~cap_of ~views ~db ~rbac ~policies ()
+  in
+  Ok { context; cost_specs; default_cost; caps }
+
+let write_file path content =
+  try
+    let oc = open_out_bin path in
+    output_string oc content;
+    close_out oc;
+    Ok ()
+  with Sys_error msg -> Error msg
+
+let mkdir_p path =
+  try
+    if not (Sys.file_exists path) then Unix.mkdir path 0o755;
+    Ok ()
+  with Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let save dir t =
+  let ctx = t.context in
+  let* () = mkdir_p dir in
+  let rel_dir = Filename.concat dir "relations" in
+  let* () = mkdir_p rel_dir in
+  let* () =
+    List.fold_left
+      (fun acc name ->
+        let* () = acc in
+        let rel = Db.relation_exn ctx.Engine.db name in
+        write_file
+          (Filename.concat rel_dir (name ^ ".csv"))
+          (Relational.Csv.to_string ctx.Engine.db rel))
+      (Ok ())
+      (Db.relation_names ctx.Engine.db)
+  in
+  let* () =
+    write_file (Filename.concat dir "rbac.txt")
+      (Rbac.Config.to_string ctx.Engine.rbac)
+  in
+  let* () =
+    write_file
+      (Filename.concat dir "policies.txt")
+      (Rbac.Policy.store_to_string ctx.Engine.policies ^ "\n")
+  in
+  let* () =
+    let lines =
+      List.filter_map
+        (fun name ->
+          (* views were registered from SQL or plans; persist the plan's
+             textual rendering as a comment when it cannot round-trip *)
+          Option.map
+            (fun _ -> name)
+            (Relational.Views.find ctx.Engine.views name))
+        (Relational.Views.names ctx.Engine.views)
+    in
+    if lines = [] then Ok ()
+    else
+      (* plans do not reliably round-trip to SQL; persist the original
+         definitions only when the caller keeps views.sql under its own
+         control.  We emit a marker file so saves are lossless for
+         view-free workspaces and explicit for others. *)
+      write_file
+        (Filename.concat dir "views.sql.readme")
+        ("# views present in the loaded context: "
+        ^ String.concat ", " lines
+        ^ "\n# re-create views.sql by hand; plan-level views do not round-trip to SQL\n")
+  in
+  let* () =
+    let buf = Buffer.create 128 in
+    Buffer.add_string buf
+      (Printf.sprintf "default %s\n" (Cost.Cost_model.spec t.default_cost));
+    List.iter
+      (fun (tid, c) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s %s\n" (Tid.to_string tid) (Cost.Cost_model.spec c)))
+      t.cost_specs;
+    write_file (Filename.concat dir "costs.txt") (Buffer.contents buf)
+  in
+  if t.caps = [] then Ok ()
+  else
+    write_file (Filename.concat dir "caps.txt")
+      (String.concat "\n"
+         (List.map
+            (fun (tid, cap) -> Printf.sprintf "%s %g" (Tid.to_string tid) cap)
+            t.caps)
+      ^ "\n")

@@ -1,0 +1,37 @@
+(** On-disk workspaces: everything an engine context needs, in one
+    directory of plain-text files.
+
+    {v workspace/
+         relations/<Name>.csv   one relation per file; optional
+                                __confidence:real column
+         rbac.txt               RBAC directives ({!Rbac.Config})
+         policies.txt           confidence policies ({!Rbac.Policy})
+         views.sql              optional: "name: SELECT ..." per line
+         costs.txt              optional: "<tid> <cost spec>" per line,
+                                plus "default <cost spec>"
+                                ({!Cost.Cost_model.parse})
+         caps.txt               optional: "<tid> <max confidence>" per line v}
+
+    Blank lines and [#] comments are accepted everywhere.  {!load} builds
+    a ready {!Engine.context}; {!save} writes the state back (relations
+    with their current confidences, policies, RBAC, views — cost functions
+    and caps are written from the snapshot taken at load time, since the
+    context only holds them as functions). *)
+
+type t = {
+  context : Engine.context;
+  cost_specs : (Lineage.Tid.t * Cost.Cost_model.t) list;
+  default_cost : Cost.Cost_model.t;
+  caps : (Lineage.Tid.t * float) list;
+}
+
+val load : ?solver:Optimize.Solver.algorithm -> string -> (t, string) result
+(** [load dir] reads every file of the layout above.  [relations/],
+    [rbac.txt] and [policies.txt] are required; the rest default to
+    empty.  Errors carry the offending file and line. *)
+
+val save : string -> t -> (unit, string) result
+(** [save dir t] writes the workspace back (creating [dir] and
+    [dir/relations] as needed).  Relations are exported with their
+    {e current} confidences, so a load → improve → save cycle persists the
+    data-quality improvements. *)

@@ -1,0 +1,101 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let of_int seed = create (Int64.of_int seed)
+
+let copy t = { state = t.state }
+
+(* The 64-bit finalizer from SplitMix64 (variant of Stafford's Mix13). *)
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let seed = next_int64 t in
+  create (mix64 seed)
+
+let bits30 t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 34)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Splitmix.int: bound must be positive";
+  if bound land (bound - 1) = 0 then
+    (* power of two: mask is exactly uniform *)
+    bits30 t land (bound - 1)
+  else begin
+    (* rejection sampling over 30-bit outputs *)
+    let rec loop () =
+      let r = bits30 t in
+      let v = r mod bound in
+      if r - v > 0x3FFFFFFF - bound + 1 then loop () else v
+    in
+    loop ()
+  end
+
+let int_in t lo hi =
+  if lo > hi then invalid_arg "Splitmix.int_in: lo > hi";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  (* 53 random bits into [0, 1), scaled. *)
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits /. 9007199254740992.0 *. bound
+
+let float_in t lo hi = lo +. float t (hi -. lo)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let coin t p =
+  if p <= 0.0 then false
+  else if p >= 1.0 then true
+  else float t 1.0 < p
+
+let choice t arr =
+  if Array.length arr = 0 then invalid_arg "Splitmix.choice: empty array";
+  arr.(int t (Array.length arr))
+
+let shuffle_in_place t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let sample_without_replacement t k n =
+  if k < 0 || k > n then
+    invalid_arg "Splitmix.sample_without_replacement: need 0 <= k <= n";
+  let pool = Array.init n (fun i -> i) in
+  (* partial Fisher–Yates: only the first k slots need to be fixed *)
+  for i = 0 to k - 1 do
+    let j = int_in t i (n - 1) in
+    let tmp = pool.(i) in
+    pool.(i) <- pool.(j);
+    pool.(j) <- tmp
+  done;
+  Array.sub pool 0 k
+
+let gaussian t ~mu ~sigma =
+  (* Box–Muller; guard against log 0 by never drawing exactly 0. *)
+  let rec nonzero () =
+    let u = float t 1.0 in
+    if u = 0.0 then nonzero () else u
+  in
+  let u1 = nonzero () and u2 = float t 1.0 in
+  let r = sqrt (-2.0 *. log u1) in
+  mu +. (sigma *. r *. cos (2.0 *. Float.pi *. u2))
+
+let exponential t ~rate =
+  if rate <= 0.0 then invalid_arg "Splitmix.exponential: rate must be positive";
+  let rec nonzero () =
+    let u = float t 1.0 in
+    if u = 0.0 then nonzero () else u
+  in
+  -.log (nonzero ()) /. rate

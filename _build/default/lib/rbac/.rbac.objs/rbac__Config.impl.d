@@ -1,0 +1,1 @@
+lib/rbac/config.ml: Buffer Core_rbac List Printf String

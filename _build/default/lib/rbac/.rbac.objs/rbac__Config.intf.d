@@ -1,0 +1,1 @@
+lib/rbac/config.mli: Core_rbac

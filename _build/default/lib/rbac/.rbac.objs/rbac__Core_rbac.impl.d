@@ -1,0 +1,1 @@
+lib/rbac/core_rbac.ml: List Map Option Printf Set String

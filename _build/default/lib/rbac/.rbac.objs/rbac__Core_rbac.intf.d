@@ -1,0 +1,1 @@
+lib/rbac/core_rbac.mli:

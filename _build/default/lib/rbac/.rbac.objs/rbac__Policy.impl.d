@@ -1,0 +1,1 @@
+lib/rbac/policy.ml: Float Format List Printf String

@@ -1,0 +1,1 @@
+lib/rbac/policy.mli: Format

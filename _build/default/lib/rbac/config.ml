@@ -1,0 +1,63 @@
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let rec go m lineno = function
+    | [] -> Ok m
+    | line :: rest -> (
+      let fail msg = Error (Printf.sprintf "line %d: %s" lineno msg) in
+      let words =
+        String.split_on_char ' ' (String.trim line)
+        |> List.filter (fun w -> w <> "")
+      in
+      match words with
+      | [] -> go m (lineno + 1) rest
+      | w :: _ when String.length w > 0 && w.[0] = '#' -> go m (lineno + 1) rest
+      | [ "role"; name ] -> go (Core_rbac.add_role m name) (lineno + 1) rest
+      | [ "user"; name ] -> go (Core_rbac.add_user m name) (lineno + 1) rest
+      | [ "assign"; user; role ] -> (
+        match Core_rbac.assign_user m ~user ~role with
+        | Ok m -> go m (lineno + 1) rest
+        | Error msg -> fail msg)
+      | [ "inherit"; senior; junior ] -> (
+        match Core_rbac.add_inheritance m ~senior ~junior with
+        | Ok m -> go m (lineno + 1) rest
+        | Error msg -> fail msg)
+      | [ "grant"; role; action; resource ] -> (
+        match Core_rbac.grant m ~role { Core_rbac.action; resource } with
+        | Ok m -> go m (lineno + 1) rest
+        | Error msg -> fail msg)
+      | _ -> fail (Printf.sprintf "unrecognized directive %S" (String.trim line)))
+  in
+  go Core_rbac.empty 1 lines
+
+let to_string m =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun role -> Buffer.add_string buf (Printf.sprintf "role %s\n" role))
+    (Core_rbac.roles m);
+  List.iter
+    (fun user -> Buffer.add_string buf (Printf.sprintf "user %s\n" user))
+    (Core_rbac.users m);
+  List.iter
+    (fun senior ->
+      List.iter
+        (fun junior ->
+          Buffer.add_string buf (Printf.sprintf "inherit %s %s\n" senior junior))
+        (Core_rbac.direct_juniors m senior))
+    (Core_rbac.roles m);
+  List.iter
+    (fun user ->
+      List.iter
+        (fun role ->
+          Buffer.add_string buf (Printf.sprintf "assign %s %s\n" user role))
+        (Core_rbac.user_roles m user))
+    (Core_rbac.users m);
+  List.iter
+    (fun role ->
+      List.iter
+        (fun p ->
+          Buffer.add_string buf
+            (Printf.sprintf "grant %s %s %s\n" role p.Core_rbac.action
+               p.Core_rbac.resource))
+        (Core_rbac.direct_permissions m role))
+    (Core_rbac.roles m);
+  Buffer.contents buf

@@ -1,0 +1,20 @@
+(** Textual RBAC configuration format.
+
+    One directive per line; blank lines and [#] comments are ignored:
+
+    {v role <name>
+       user <name>
+       assign <user> <role>
+       inherit <senior> <junior>
+       grant <role> <action> <resource> v}
+
+    Used by the CLI's [--rbac] flag; exposed here so the format is testable
+    and reusable. *)
+
+val parse : string -> (Core_rbac.t, string) result
+(** [parse text] builds a model, failing with a [line N: ...] message on
+    the first bad directive. *)
+
+val to_string : Core_rbac.t -> string
+(** Render a model back into the textual format (roles, users,
+    inheritance edges, assignments, grants — a parseable round trip). *)

@@ -1,0 +1,146 @@
+module StrMap = Map.Make (String)
+module StrSet = Set.Make (String)
+
+type permission = { action : string; resource : string }
+
+type t = {
+  role_set : StrSet.t;
+  user_set : StrSet.t;
+  juniors : StrSet.t StrMap.t; (* role -> direct juniors *)
+  user_assignments : StrSet.t StrMap.t; (* user -> direct roles *)
+  grants : permission list StrMap.t; (* role -> direct permissions *)
+}
+
+type session = { suser : string; sroles : string list }
+
+let empty =
+  {
+    role_set = StrSet.empty;
+    user_set = StrSet.empty;
+    juniors = StrMap.empty;
+    user_assignments = StrMap.empty;
+    grants = StrMap.empty;
+  }
+
+let add_role t role = { t with role_set = StrSet.add role t.role_set }
+let add_user t user = { t with user_set = StrSet.add user t.user_set }
+
+let roles t = StrSet.elements t.role_set
+let users t = StrSet.elements t.user_set
+
+let direct_juniors_set t role =
+  Option.value ~default:StrSet.empty (StrMap.find_opt role t.juniors)
+
+(* transitive closure of juniors, excluding the starting role *)
+let closure t role =
+  let rec go visited frontier =
+    match frontier with
+    | [] -> visited
+    | r :: rest ->
+      let next =
+        StrSet.fold
+          (fun j acc -> if StrSet.mem j visited then acc else j :: acc)
+          (direct_juniors_set t r) rest
+      in
+      go (StrSet.union visited (direct_juniors_set t r)) next
+  in
+  go StrSet.empty [ role ]
+
+let junior_roles t role = StrSet.elements (StrSet.remove role (closure t role))
+
+let direct_juniors t role = StrSet.elements (direct_juniors_set t role)
+
+let direct_permissions t role =
+  List.rev (Option.value ~default:[] (StrMap.find_opt role t.grants))
+
+let add_inheritance t ~senior ~junior =
+  if not (StrSet.mem senior t.role_set) then
+    Error (Printf.sprintf "unknown role %S" senior)
+  else if not (StrSet.mem junior t.role_set) then
+    Error (Printf.sprintf "unknown role %S" junior)
+  else if String.equal senior junior then
+    Error "a role cannot inherit from itself"
+  else if StrSet.mem senior (closure t junior) then
+    Error
+      (Printf.sprintf "inheritance %s -> %s would create a cycle" senior junior)
+  else
+    Ok
+      {
+        t with
+        juniors =
+          StrMap.add senior
+            (StrSet.add junior (direct_juniors_set t senior))
+            t.juniors;
+      }
+
+let assign_user t ~user ~role =
+  if not (StrSet.mem user t.user_set) then
+    Error (Printf.sprintf "unknown user %S" user)
+  else if not (StrSet.mem role t.role_set) then
+    Error (Printf.sprintf "unknown role %S" role)
+  else
+    let existing =
+      Option.value ~default:StrSet.empty (StrMap.find_opt user t.user_assignments)
+    in
+    Ok
+      {
+        t with
+        user_assignments = StrMap.add user (StrSet.add role existing) t.user_assignments;
+      }
+
+let grant t ~role perm =
+  if not (StrSet.mem role t.role_set) then
+    Error (Printf.sprintf "unknown role %S" role)
+  else
+    let existing = Option.value ~default:[] (StrMap.find_opt role t.grants) in
+    if List.mem perm existing then Ok t
+    else Ok { t with grants = StrMap.add role (perm :: existing) t.grants }
+
+let user_roles t user =
+  StrSet.elements
+    (Option.value ~default:StrSet.empty (StrMap.find_opt user t.user_assignments))
+
+let authorized_roles t user =
+  let direct =
+    Option.value ~default:StrSet.empty (StrMap.find_opt user t.user_assignments)
+  in
+  StrSet.elements
+    (StrSet.fold
+       (fun r acc -> StrSet.union acc (StrSet.add r (closure t r)))
+       direct StrSet.empty)
+
+let role_permissions t role =
+  let all = StrSet.add role (closure t role) in
+  StrSet.fold
+    (fun r acc -> Option.value ~default:[] (StrMap.find_opt r t.grants) @ acc)
+    all []
+
+let matches granted requested =
+  (granted.action = "*" || String.equal granted.action requested.action)
+  && (granted.resource = "*" || String.equal granted.resource requested.resource)
+
+let check_roles t role_list perm =
+  List.exists
+    (fun r -> List.exists (fun g -> matches g perm) (role_permissions t r))
+    role_list
+
+let check t ~user perm = check_roles t (authorized_roles t user) perm
+
+let open_session t ~user ~roles =
+  if not (StrSet.mem user t.user_set) then
+    Error (Printf.sprintf "unknown user %S" user)
+  else
+    let authorized = authorized_roles t user in
+    let unauthorized =
+      List.filter (fun r -> not (List.mem r authorized)) roles
+    in
+    if unauthorized <> [] then
+      Error
+        (Printf.sprintf "user %S is not authorized for role(s): %s" user
+           (String.concat ", " unauthorized))
+    else Ok { suser = user; sroles = roles }
+
+let session_user s = s.suser
+let session_roles s = s.sroles
+
+let check_session t s perm = check_roles t s.sroles perm

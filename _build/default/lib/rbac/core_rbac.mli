@@ -1,0 +1,75 @@
+(** Core role-based access control (NIST RBAC, Ferraiolo et al. 2001).
+
+    The paper positions confidence policies as "a natural extension to
+    RBAC"; this module is the RBAC substrate: users, roles, a role
+    hierarchy (senior roles inherit the permissions of their juniors),
+    user–role assignment, sessions with activated roles, and
+    permission–role assignment with permission checking.
+
+    All operations are functional: they return an updated model. *)
+
+type permission = { action : string; resource : string }
+(** e.g. [{action = "select"; resource = "Proposal"}].  The resource ["*"]
+    and action ["*"] act as wildcards when checking. *)
+
+type t
+
+val empty : t
+
+(** {1 Administration} *)
+
+val add_role : t -> string -> t
+(** Idempotent. *)
+
+val add_user : t -> string -> t
+(** Idempotent. *)
+
+val add_inheritance : t -> senior:string -> junior:string -> (t, string) result
+(** [add_inheritance t ~senior ~junior] makes [senior] inherit all of
+    [junior]'s permissions.  Fails on unknown roles or if the edge would
+    create a cycle. *)
+
+val assign_user : t -> user:string -> role:string -> (t, string) result
+val grant : t -> role:string -> permission -> (t, string) result
+
+val roles : t -> string list
+val users : t -> string list
+
+(** {1 Queries} *)
+
+val user_roles : t -> string -> string list
+(** Directly assigned roles (no hierarchy closure). *)
+
+val authorized_roles : t -> string -> string list
+(** Assigned roles plus everything they inherit (descending the hierarchy:
+    a user with a senior role is also authorized for its junior roles). *)
+
+val junior_roles : t -> string -> string list
+(** All (transitive) juniors of a role, excluding itself. *)
+
+val direct_juniors : t -> string -> string list
+(** Only the directly declared inheritance edges. *)
+
+val direct_permissions : t -> string -> permission list
+(** Permissions granted to the role itself, without inheritance. *)
+
+val role_permissions : t -> string -> permission list
+(** Direct plus inherited permissions. *)
+
+val check : t -> user:string -> permission -> bool
+(** [check t ~user p] holds when any authorized role of [user] carries a
+    permission matching [p] (wildcards allowed on the granted side). *)
+
+(** {1 Sessions} *)
+
+type session
+
+val open_session : t -> user:string -> roles:string list -> (session, string) result
+(** Activate a subset of the user's authorized roles (NIST: session roles
+    must be authorized for the user). *)
+
+val session_user : session -> string
+val session_roles : session -> string list
+
+val check_session : t -> session -> permission -> bool
+(** Like {!check} but only the activated roles (and their juniors) count. *)

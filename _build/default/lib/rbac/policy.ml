@@ -1,0 +1,67 @@
+type t = { role : string; purpose : string; beta : float }
+
+let make ~role ~purpose ~beta =
+  if beta < 0.0 then invalid_arg "Policy.make: negative threshold";
+  { role; purpose; beta }
+
+let to_string p = Printf.sprintf "<%s, %s, %g>" p.role p.purpose p.beta
+
+let pp ppf p = Format.pp_print_string ppf (to_string p)
+
+type store = t list
+
+let empty_store = []
+let add store p = p :: store
+let of_list ps = List.rev ps
+let to_list store = List.rev store
+
+let role_matches policy_role roles =
+  policy_role = "*" || List.exists (String.equal policy_role) roles
+
+let purpose_matches policy_purpose purpose =
+  policy_purpose = "*" || String.equal policy_purpose purpose
+
+let applicable store ~roles ~purpose =
+  List.rev
+    (List.filter
+       (fun p -> role_matches p.role roles && purpose_matches p.purpose purpose)
+       store)
+
+let effective_threshold store ~roles ~purpose =
+  match applicable store ~roles ~purpose with
+  | [] -> None
+  | ps -> Some (List.fold_left (fun acc p -> Float.max acc p.beta) 0.0 ps)
+
+let parse_line line =
+  match String.split_on_char ',' line with
+  | [ role; purpose; beta ] -> (
+    let role = String.trim role
+    and purpose = String.trim purpose
+    and beta = String.trim beta in
+    if role = "" then Error "empty role"
+    else if purpose = "" then Error "empty purpose"
+    else
+      match float_of_string_opt beta with
+      | Some b when b >= 0.0 -> Ok { role; purpose; beta = b }
+      | _ -> Error (Printf.sprintf "bad threshold %S" beta))
+  | _ -> Error (Printf.sprintf "expected 'role, purpose, beta': %S" line)
+
+let parse_store text =
+  let lines = String.split_on_char '\n' text in
+  let rec go store lineno = function
+    | [] -> Ok (List.rev store)
+    | line :: rest ->
+      let trimmed = String.trim line in
+      if trimmed = "" || trimmed.[0] = '#' then go store (lineno + 1) rest
+      else (
+        match parse_line trimmed with
+        | Ok p -> go (p :: store) (lineno + 1) rest
+        | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg))
+  in
+  go [] 1 lines
+
+let store_to_string store =
+  String.concat "\n"
+    (List.map
+       (fun p -> Printf.sprintf "%s, %s, %g" p.role p.purpose p.beta)
+       (to_list store))

@@ -1,0 +1,50 @@
+(** Confidence policies (Definition 1 of the paper).
+
+    A confidence policy ⟨role, purpose, β⟩ states that a user acting under
+    [role], querying for [purpose], may only access query results whose
+    confidence value is higher than [β].  Policies complement conventional
+    RBAC: RBAC gates access to base relations {e before} evaluation,
+    confidence policies gate {e results after} evaluation.
+
+    Selection: a policy applies to a request when its role matches one of
+    the requester's activated-or-inherited roles (or is the wildcard ["*"])
+    and its purpose matches the request purpose (or is ["*"]).  When several
+    policies apply, the {e most restrictive} one wins — the effective
+    threshold is the maximum β, mirroring the paper's intuition that more
+    critical usages carry higher thresholds. *)
+
+type t = { role : string; purpose : string; beta : float }
+
+val make : role:string -> purpose:string -> beta:float -> t
+(** @raise Invalid_argument if [beta] is negative. *)
+
+val to_string : t -> string
+(** ⟨role, purpose, β⟩ rendering, e.g. ["<Manager, investment, 0.06>"]. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Policy stores} *)
+
+type store
+
+val empty_store : store
+val add : store -> t -> store
+val of_list : t list -> store
+val to_list : store -> t list
+
+val applicable : store -> roles:string list -> purpose:string -> t list
+(** All policies matching any of [roles] and the [purpose]. *)
+
+val effective_threshold :
+  store -> roles:string list -> purpose:string -> float option
+(** Maximum β over {!applicable} policies; [None] when no policy applies
+    (access unrestricted by confidence). *)
+
+(** {1 Textual format}
+
+    One policy per line: [role, purpose, beta].  Blank lines and lines
+    starting with [#] are ignored. *)
+
+val parse_line : string -> (t, string) result
+val parse_store : string -> (store, string) result
+val store_to_string : store -> string

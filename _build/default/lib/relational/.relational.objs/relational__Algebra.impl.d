@@ -1,0 +1,1 @@
+lib/relational/algebra.ml: Buffer Database Expr Format List Option Printf Relation Result Schema String Value

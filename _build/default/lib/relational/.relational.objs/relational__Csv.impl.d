@@ -1,0 +1,1 @@
+lib/relational/csv.ml: Array Buffer Database List Printf Relation Result Schema String Tuple Value

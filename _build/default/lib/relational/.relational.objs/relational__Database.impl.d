@@ -1,0 +1,1 @@
+lib/relational/database.ml: Float Lineage List Map Option Printf Relation String

@@ -1,0 +1,1 @@
+lib/relational/estimate.ml: Algebra Buffer Database Expr Float Hashtbl List Printf Relation Result Schema String Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/estimate.mli: Algebra Database

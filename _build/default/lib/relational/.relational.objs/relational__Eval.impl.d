@@ -1,0 +1,1 @@
+lib/relational/eval.ml: Algebra Array Buffer Database Expr Hashtbl Lineage List Option Printf Relation Result Schema String Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/expr.ml: Format Hashtbl List Printf Result Schema String Tuple Value

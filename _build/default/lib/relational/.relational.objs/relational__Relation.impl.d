@@ -1,0 +1,1 @@
+lib/relational/relation.ml: Array Buffer Format Lineage List Printf Schema String Tuple Value

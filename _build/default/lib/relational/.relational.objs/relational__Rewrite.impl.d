@@ -1,0 +1,1 @@
+lib/relational/rewrite.ml: Algebra Expr List Result Schema Value

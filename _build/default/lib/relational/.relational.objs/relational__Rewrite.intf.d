@@ -1,0 +1,1 @@
+lib/relational/rewrite.mli: Algebra Database

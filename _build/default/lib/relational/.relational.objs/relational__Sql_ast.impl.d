@@ -1,0 +1,1 @@
+lib/relational/sql_ast.ml: Algebra Buffer Expr List Option Printf String

@@ -1,0 +1,1 @@
+lib/relational/sql_planner.ml: Algebra List Option Printf Result Schema Sql_ast Sql_parser String

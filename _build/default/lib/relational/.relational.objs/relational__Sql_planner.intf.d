@@ -1,0 +1,1 @@
+lib/relational/sql_planner.mli: Algebra Sql_ast

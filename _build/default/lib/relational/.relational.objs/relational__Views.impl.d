@@ -1,0 +1,1 @@
+lib/relational/views.ml: Algebra List Map Printf Set Sql_planner String

@@ -1,0 +1,1 @@
+lib/relational/views.mli: Algebra

@@ -1,0 +1,380 @@
+type order = Asc | Desc
+
+type agg_fun =
+  | Count
+  | CountStar
+  | Sum
+  | Avg
+  | Min
+  | Max
+  | Expected_count
+  | Expected_sum
+
+type agg = { fn : agg_fun; arg : string option; out : string }
+
+type t =
+  | Scan of string
+  | Select of Expr.t * t
+  | Select_sub of cond * t
+  | Project of string list * t
+  | Join of Expr.t option * t * t
+  | Left_join of Expr.t * t * t
+  | Union of t * t
+  | Intersect of t * t
+  | Diff of t * t
+  | Rename of string * t
+  | Distinct of t
+  | Order_by of (string * order) list * t
+  | Limit of int * t
+  | Group_by of string list * agg list * t
+
+and cond =
+  | Pred of Expr.t
+  | In_sub of Expr.t * t
+  | Exists_sub of t
+  | Not_c of cond
+  | And_c of cond * cond
+  | Or_c of cond * cond
+
+let scan name = Scan name
+let select pred plan = Select (pred, plan)
+let project cols plan = Project (cols, plan)
+let join pred a b = Join (Some pred, a, b)
+let left_join pred a b = Left_join (pred, a, b)
+let cross a b = Join (None, a, b)
+
+let agg_fun_name = function
+  | Count -> "COUNT"
+  | CountStar -> "COUNT(*)"
+  | Sum -> "SUM"
+  | Avg -> "AVG"
+  | Min -> "MIN"
+  | Max -> "MAX"
+  | Expected_count -> "ECOUNT(*)"
+  | Expected_sum -> "ESUM"
+
+let rec cond_as_expr = function
+  | Pred e -> Some e
+  | In_sub _ | Exists_sub _ -> None
+  | Not_c c -> Option.map (fun e -> Expr.Not e) (cond_as_expr c)
+  | And_c (a, b) -> (
+    match (cond_as_expr a, cond_as_expr b) with
+    | Some ea, Some eb -> Some (Expr.And (ea, eb))
+    | _ -> None)
+  | Or_c (a, b) -> (
+    match (cond_as_expr a, cond_as_expr b) with
+    | Some ea, Some eb -> Some (Expr.Or (ea, eb))
+    | _ -> None)
+
+let ( let* ) = Result.bind
+
+let lookup schema name =
+  match Schema.find_index schema name with
+  | Ok i -> Ok i
+  | Error (Schema.Not_found_col n) ->
+    Error (Printf.sprintf "unknown column %S" n)
+  | Error (Schema.Ambiguous (n, cands)) ->
+    Error
+      (Printf.sprintf "ambiguous column %S (matches %s)" n
+         (String.concat ", " cands))
+
+let agg_output_ty schema a =
+  match a.fn with
+  | CountStar -> Ok Value.TInt
+  | Expected_count -> Ok Value.TFloat
+  | Expected_sum -> (
+    match a.arg with
+    | None -> Error "ESUM requires an argument column"
+    | Some c ->
+      let* i = lookup schema c in
+      (match (Schema.column_at schema i).Schema.cty with
+      | Value.TInt | Value.TFloat -> Ok Value.TFloat
+      | _ -> Error (Printf.sprintf "ESUM over non-numeric column %S" c)))
+  | Count -> (
+    match a.arg with
+    | None -> Error "COUNT requires an argument column"
+    | Some c ->
+      let* _ = lookup schema c in
+      Ok Value.TInt)
+  | Sum | Avg | Min | Max -> (
+    match a.arg with
+    | None -> Error (agg_fun_name a.fn ^ " requires an argument column")
+    | Some c ->
+      let* i = lookup schema c in
+      let ty = (Schema.column_at schema i).Schema.cty in
+      (match (a.fn, ty) with
+      | (Min | Max), _ -> Ok ty
+      | (Sum | Avg), (Value.TInt | Value.TFloat) ->
+        Ok (if a.fn = Avg then Value.TFloat else ty)
+      | (Sum | Avg), _ ->
+        Error
+          (Printf.sprintf "%s over non-numeric column %S" (agg_fun_name a.fn) c)
+      | _ -> assert false))
+
+let rec output_schema db plan =
+  match plan with
+  | Scan name -> (
+    match Database.relation db name with
+    | Some r -> Ok (Schema.qualify name (Relation.schema r))
+    | None -> Error (Printf.sprintf "unknown relation %S" name))
+  | Select (pred, p) ->
+    let* s = output_schema db p in
+    (* type-check the predicate's column references *)
+    let* () =
+      List.fold_left
+        (fun acc c ->
+          let* () = acc in
+          let* _ = lookup s c in
+          Ok ())
+        (Ok ()) (Expr.columns pred)
+    in
+    Ok s
+  | Select_sub (cond, p) ->
+    let* s = output_schema db p in
+    let* () = check_cond db s cond in
+    Ok s
+  | Project (cols, p) ->
+    let* s = output_schema db p in
+    let* s', _ =
+      match Schema.project s cols with
+      | Ok x -> Ok x
+      | Error (Schema.Not_found_col n) ->
+        Error (Printf.sprintf "unknown column %S in projection" n)
+      | Error (Schema.Ambiguous (n, cands)) ->
+        Error
+          (Printf.sprintf "ambiguous column %S (matches %s)" n
+             (String.concat ", " cands))
+    in
+    Ok s'
+  | Join (pred, a, b) ->
+    let* sa = output_schema db a in
+    let* sb = output_schema db b in
+    let* s =
+      match Schema.concat sa sb with
+      | s -> Ok s
+      | exception Invalid_argument msg -> Error msg
+    in
+    let* () =
+      match pred with
+      | None -> Ok ()
+      | Some e ->
+        List.fold_left
+          (fun acc c ->
+            let* () = acc in
+            let* _ = lookup s c in
+            Ok ())
+          (Ok ()) (Expr.columns e)
+    in
+    Ok s
+  | Left_join (pred, a, b) ->
+    let* sa = output_schema db a in
+    let* sb = output_schema db b in
+    let* s =
+      match Schema.concat sa sb with
+      | s -> Ok s
+      | exception Invalid_argument msg -> Error msg
+    in
+    let* () =
+      List.fold_left
+        (fun acc c ->
+          let* () = acc in
+          let* _ = lookup s c in
+          Ok ())
+        (Ok ()) (Expr.columns pred)
+    in
+    Ok s
+  | Union (a, b) | Intersect (a, b) | Diff (a, b) ->
+    let* sa = output_schema db a in
+    let* sb = output_schema db b in
+    if Schema.union_compatible sa sb then Ok sa
+    else
+      Error
+        (Printf.sprintf "set operation over incompatible schemas (%s) vs (%s)"
+           (Schema.to_string sa) (Schema.to_string sb))
+  | Rename (alias, p) ->
+    let* s = output_schema db p in
+    Ok (Schema.qualify alias s)
+  | Distinct p -> output_schema db p
+  | Order_by (keys, p) ->
+    let* s = output_schema db p in
+    let* () =
+      List.fold_left
+        (fun acc (c, _) ->
+          let* () = acc in
+          let* _ = lookup s c in
+          Ok ())
+        (Ok ()) keys
+    in
+    Ok s
+  | Limit (n, p) ->
+    if n < 0 then Error "LIMIT must be non-negative" else output_schema db p
+  | Group_by (keys, aggs, p) ->
+    let* s = output_schema db p in
+    let* key_cols =
+      List.fold_left
+        (fun acc c ->
+          let* cols = acc in
+          let* i = lookup s c in
+          Ok ({ (Schema.column_at s i) with Schema.cname = c } :: cols))
+        (Ok []) keys
+    in
+    let* agg_cols =
+      List.fold_left
+        (fun acc a ->
+          let* cols = acc in
+          let* ty = agg_output_ty s a in
+          Ok ({ Schema.cname = a.out; cty = ty } :: cols))
+        (Ok []) aggs
+    in
+    (try Ok (Schema.make (List.rev key_cols @ List.rev agg_cols))
+     with Invalid_argument msg -> Error msg)
+
+and check_cond db s = function
+  | Pred e ->
+    List.fold_left
+      (fun acc c ->
+        let* () = acc in
+        let* _ = lookup s c in
+        Ok ())
+      (Ok ()) (Expr.columns e)
+  | In_sub (e, sub) ->
+    let* () =
+      List.fold_left
+        (fun acc c ->
+          let* () = acc in
+          let* _ = lookup s c in
+          Ok ())
+        (Ok ()) (Expr.columns e)
+    in
+    let* sub_schema = output_schema db sub in
+    if Schema.arity sub_schema <> 1 then
+      Error
+        (Printf.sprintf "IN subquery must return one column, got (%s)"
+           (Schema.to_string sub_schema))
+    else Ok ()
+  | Exists_sub sub ->
+    let* _ = output_schema db sub in
+    Ok ()
+  | Not_c c -> check_cond db s c
+  | And_c (a, b) | Or_c (a, b) ->
+    let* () = check_cond db s a in
+    check_cond db s b
+
+let base_relations plan =
+  let acc = ref [] in
+  let add n = if not (List.mem n !acc) then acc := n :: !acc in
+  let rec go = function
+    | Scan n -> add n
+    | Select (_, p) | Project (_, p) | Rename (_, p) | Distinct p
+    | Order_by (_, p) | Limit (_, p) | Group_by (_, _, p) ->
+      go p
+    | Select_sub (c, p) ->
+      go_cond c;
+      go p
+    | Join (_, a, b)
+    | Left_join (_, a, b)
+    | Union (a, b)
+    | Intersect (a, b)
+    | Diff (a, b) ->
+      go a;
+      go b
+  and go_cond = function
+    | Pred _ -> ()
+    | In_sub (_, sub) -> go sub
+    | Exists_sub sub -> go sub
+    | Not_c c -> go_cond c
+    | And_c (a, b) | Or_c (a, b) ->
+      go_cond a;
+      go_cond b
+  in
+  go plan;
+  List.rev !acc
+
+let rec cond_to_string = function
+  | Pred e -> Expr.to_string e
+  | In_sub (e, _) -> Printf.sprintf "(%s IN <subquery>)" (Expr.to_string e)
+  | Exists_sub _ -> "(EXISTS <subquery>)"
+  | Not_c c -> Printf.sprintf "(NOT %s)" (cond_to_string c)
+  | And_c (a, b) ->
+    Printf.sprintf "(%s AND %s)" (cond_to_string a) (cond_to_string b)
+  | Or_c (a, b) ->
+    Printf.sprintf "(%s OR %s)" (cond_to_string a) (cond_to_string b)
+
+let to_string plan =
+  let buf = Buffer.create 128 in
+  let pad depth = String.make (2 * depth) ' ' in
+  let rec go depth plan =
+    Buffer.add_string buf (pad depth);
+    (match plan with
+    | Scan n -> Buffer.add_string buf (Printf.sprintf "Scan %s\n" n)
+    | Select (e, p) ->
+      Buffer.add_string buf (Printf.sprintf "Select %s\n" (Expr.to_string e));
+      go (depth + 1) p
+    | Select_sub (c, p) ->
+      Buffer.add_string buf (Printf.sprintf "SelectSub %s\n" (cond_to_string c));
+      go (depth + 1) p
+    | Project (cols, p) ->
+      Buffer.add_string buf
+        (Printf.sprintf "Project [%s]\n" (String.concat ", " cols));
+      go (depth + 1) p
+    | Join (pred, a, b) ->
+      Buffer.add_string buf
+        (match pred with
+        | Some e -> Printf.sprintf "Join on %s\n" (Expr.to_string e)
+        | None -> "Cross\n");
+      go (depth + 1) a;
+      go (depth + 1) b
+    | Left_join (pred, a, b) ->
+      Buffer.add_string buf
+        (Printf.sprintf "LeftJoin on %s\n" (Expr.to_string pred));
+      go (depth + 1) a;
+      go (depth + 1) b
+    | Union (a, b) ->
+      Buffer.add_string buf "Union\n";
+      go (depth + 1) a;
+      go (depth + 1) b
+    | Intersect (a, b) ->
+      Buffer.add_string buf "Intersect\n";
+      go (depth + 1) a;
+      go (depth + 1) b
+    | Diff (a, b) ->
+      Buffer.add_string buf "Diff\n";
+      go (depth + 1) a;
+      go (depth + 1) b
+    | Rename (alias, p) ->
+      Buffer.add_string buf (Printf.sprintf "Rename %s\n" alias);
+      go (depth + 1) p
+    | Distinct p ->
+      Buffer.add_string buf "Distinct\n";
+      go (depth + 1) p
+    | Order_by (keys, p) ->
+      Buffer.add_string buf
+        (Printf.sprintf "OrderBy [%s]\n"
+           (String.concat ", "
+              (List.map
+                 (fun (c, o) -> c ^ (match o with Asc -> " asc" | Desc -> " desc"))
+                 keys)));
+      go (depth + 1) p
+    | Limit (n, p) ->
+      Buffer.add_string buf (Printf.sprintf "Limit %d\n" n);
+      go (depth + 1) p
+    | Group_by (keys, aggs, p) ->
+      Buffer.add_string buf
+        (Printf.sprintf "GroupBy [%s] aggs [%s]\n" (String.concat ", " keys)
+           (String.concat ", "
+              (List.map
+                 (fun a ->
+                   Printf.sprintf "%s(%s) as %s" (agg_fun_name a.fn)
+                     (Option.value ~default:"*" a.arg)
+                     a.out)
+                 aggs)));
+      go (depth + 1) p);
+  in
+  go 0 plan;
+  (* drop trailing newline *)
+  let s = Buffer.contents buf in
+  if String.length s > 0 && s.[String.length s - 1] = '\n' then
+    String.sub s 0 (String.length s - 1)
+  else s
+
+let pp ppf plan = Format.pp_print_string ppf (to_string plan)

@@ -1,0 +1,104 @@
+(** Relational algebra plans.
+
+    The evaluator ({!Eval}) interprets these plans bottom-up, producing
+    result tuples annotated with lineage formulas.  Set semantics is used
+    throughout (as in the paper and in Trio-style lineage systems):
+    duplicate-eliminating operators merge lineage with disjunction.
+
+    Aggregation uses {e existence} lineage: a group's lineage is the
+    disjunction of its members' lineages, i.e. the confidence of a group row
+    is the probability that the group is non-empty.  The paper does not
+    evaluate aggregates; this choice keeps the confidence semantics
+    well-defined and is documented in DESIGN.md. *)
+
+type order = Asc | Desc
+
+type agg_fun =
+  | Count
+  | CountStar
+  | Sum
+  | Avg
+  | Min
+  | Max
+  | Expected_count
+      (** ECOUNT star: the expected number of group members present,
+          [Σ P(lineage_i)] under tuple independence — the standard
+          probabilistic-database aggregate semantics *)
+  | Expected_sum
+      (** [ESUM(col)]: [Σ P(lineage_i) * v_i] over non-NULL members *)
+
+type agg = { fn : agg_fun; arg : string option; out : string }
+(** [arg] is [None] only for [CountStar].  [out] names the result column. *)
+
+type t =
+  | Scan of string  (** base relation by name *)
+  | Select of Expr.t * t
+  | Select_sub of cond * t
+      (** selection whose condition contains (uncorrelated) subqueries;
+          see {!cond} for the membership-event semantics *)
+  | Project of string list * t  (** duplicate-eliminating projection *)
+  | Join of Expr.t option * t * t  (** theta join; [None] = cross product *)
+  | Left_join of Expr.t * t * t
+      (** left outer join: unmatched left rows are padded with NULLs; the
+          padded row's lineage is [l ∧ ¬(∨ matching right lineages)] *)
+  | Union of t * t
+  | Intersect of t * t
+  | Diff of t * t
+  | Rename of string * t  (** re-qualify all columns with a new alias *)
+  | Distinct of t
+  | Order_by of (string * order) list * t
+  | Limit of int * t
+  | Group_by of string list * agg list * t
+
+(** Conditions with embedded subqueries.
+
+    Plain predicates ([Pred]) evaluate deterministically per row; the
+    subquery forms are {e membership events} whose truth depends on which
+    subquery rows exist in a possible world:
+
+    - [In_sub (e, sub)] holds when some sub-row equal to [e]'s value is
+      present — it contributes the disjunction of the matching sub-rows'
+      lineages to the outer row's lineage;
+    - [Exists_sub sub] holds when the (uncorrelated) subquery is non-empty.
+
+    Boolean combinations compose at the formula level, so e.g.
+    [Not_c (In_sub ...)] contributes a negated disjunction (SQL [NOT IN]).
+    A NULL left-hand value never matches ([In_sub] is false, its negation
+    true) — a deliberate simplification of SQL's 3-valued [NOT IN].
+    Subqueries must be uncorrelated (they cannot reference outer columns);
+    correlation is reported as an unknown-column error at evaluation. *)
+and cond =
+  | Pred of Expr.t
+  | In_sub of Expr.t * t
+  | Exists_sub of t
+  | Not_c of cond
+  | And_c of cond * cond
+  | Or_c of cond * cond
+
+val scan : string -> t
+val select : Expr.t -> t -> t
+val project : string list -> t -> t
+val join : Expr.t -> t -> t -> t
+val left_join : Expr.t -> t -> t -> t
+val cross : t -> t -> t
+
+val agg_fun_name : agg_fun -> string
+
+val cond_to_string : cond -> string
+
+val cond_as_expr : cond -> Expr.t option
+(** [Some e] when the condition contains no subqueries (so a plain
+    [Select] suffices); used by the SQL planner. *)
+
+val output_schema : Database.t -> t -> (Schema.t, string) result
+(** [output_schema db plan] infers the result schema without evaluating.
+    Fails with a message for unknown relations/columns, arity mismatches in
+    set operations, or aggregates over non-numeric columns. *)
+
+val base_relations : t -> string list
+(** Names of relations scanned by the plan, without duplicates. *)
+
+val to_string : t -> string
+(** Multi-line indented plan rendering. *)
+
+val pp : Format.formatter -> t -> unit

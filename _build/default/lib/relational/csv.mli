@@ -1,0 +1,33 @@
+(** CSV import/export for relations, with an optional confidence column.
+
+    Format: the first line is the header [name:type,...]; subsequent lines
+    are rows.  Fields containing commas, quotes or newlines are
+    double-quoted with embedded quotes doubled (RFC-4180 style).  A column
+    literally named [__confidence] (of type real) is not stored in the
+    relation; it sets each tuple's confidence instead (default
+    [default_conf] when the column is absent). *)
+
+val parse_line : string -> string list
+(** Split one CSV record into raw fields (quotes resolved).  Exposed for
+    tests. *)
+
+val render_line : string list -> string
+(** Inverse of {!parse_line}. *)
+
+val relation_of_string :
+  name:string -> ?default_conf:float -> string -> (Relation.t * (Lineage.Tid.t * float) list, string) result
+(** [relation_of_string ~name csv] parses a full CSV document into a
+    relation plus the per-tuple confidences to record in the database.
+    [default_conf] defaults to [1.0]. *)
+
+val load_into :
+  Database.t -> name:string -> ?default_conf:float -> string -> (Database.t, string) result
+(** [load_into db ~name csv] parses and registers the relation and its
+    confidences into [db]. *)
+
+val load_file :
+  Database.t -> name:string -> ?default_conf:float -> string -> (Database.t, string) result
+(** [load_file db ~name path] reads [path] and delegates to {!load_into}. *)
+
+val to_string : Database.t -> Relation.t -> string
+(** Export a relation (with its [__confidence] column) as CSV. *)

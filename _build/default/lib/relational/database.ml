@@ -1,0 +1,99 @@
+module Tid = Lineage.Tid
+module StrMap = Map.Make (String)
+
+type t = {
+  relations : Relation.t StrMap.t;
+  confidences : float Tid.Map.t;
+  caps : float Tid.Map.t;
+}
+
+let empty =
+  { relations = StrMap.empty; confidences = Tid.Map.empty; caps = Tid.Map.empty }
+
+let add_relation db r =
+  { db with relations = StrMap.add (Relation.name r) r db.relations }
+
+let relation db name = StrMap.find_opt name db.relations
+
+let relation_exn db name =
+  match relation db name with
+  | Some r -> r
+  | None -> invalid_arg (Printf.sprintf "Database: unknown relation %S" name)
+
+let relation_names db = List.map fst (StrMap.bindings db.relations)
+let mem_relation db name = StrMap.mem name db.relations
+
+let check_conf what p =
+  if not (p >= 0.0 && p <= 1.0) then
+    invalid_arg (Printf.sprintf "Database: %s %g outside [0,1]" what p)
+
+let insert db rel_name vs ~conf =
+  check_conf "confidence" conf;
+  let r = relation_exn db rel_name in
+  let r, tid = Relation.insert_values r vs in
+  ( {
+      db with
+      relations = StrMap.add rel_name r db.relations;
+      confidences = Tid.Map.add tid conf db.confidences;
+    },
+    tid )
+
+let seed_confidence db tid p =
+  check_conf "confidence" p;
+  let exists =
+    match relation db tid.Tid.rel with
+    | Some r -> Relation.find r tid <> None
+    | None -> false
+  in
+  if not exists then
+    invalid_arg
+      (Printf.sprintf "Database.seed_confidence: tuple %s not stored"
+         (Tid.to_string tid));
+  { db with confidences = Tid.Map.add tid p db.confidences }
+
+let confidence db tid =
+  Option.value ~default:0.0 (Tid.Map.find_opt tid db.confidences)
+
+let confidence_cap db tid =
+  Option.value ~default:1.0 (Tid.Map.find_opt tid db.caps)
+
+let set_confidence db tid p =
+  check_conf "confidence" p;
+  if not (Tid.Map.mem tid db.confidences) then
+    invalid_arg
+      (Printf.sprintf "Database.set_confidence: unknown tuple %s"
+         (Tid.to_string tid));
+  let cap = confidence_cap db tid in
+  if p > cap +. 1e-12 then
+    invalid_arg
+      (Printf.sprintf "Database.set_confidence: %g exceeds cap %g of %s" p cap
+         (Tid.to_string tid));
+  { db with confidences = Tid.Map.add tid (Float.min p cap) db.confidences }
+
+let set_confidence_cap db tid cap =
+  check_conf "cap" cap;
+  let current = confidence db tid in
+  if cap < current -. 1e-12 then
+    invalid_arg
+      (Printf.sprintf
+         "Database.set_confidence_cap: cap %g below current confidence %g" cap
+         current);
+  { db with caps = Tid.Map.add tid cap db.caps }
+
+let confidence_fn db tid = confidence db tid
+
+let all_confidences db = Tid.Map.bindings db.confidences
+
+let apply_increments db targets =
+  List.fold_left
+    (fun db (tid, target) ->
+      let current = confidence db tid in
+      if target < current -. 1e-9 then
+        invalid_arg
+          (Printf.sprintf
+             "Database.apply_increments: target %g below current %g for %s"
+             target current (Tid.to_string tid))
+      else
+        let cap = confidence_cap db tid in
+        set_confidence db tid (Float.min target cap))
+    db targets

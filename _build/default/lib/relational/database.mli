@@ -1,0 +1,62 @@
+(** Databases: a collection of named relations plus the confidence table.
+
+    The confidence table implements the paper's first framework element:
+    every base tuple carries a confidence value in [\[0,1\]], and optionally
+    a cap — the maximum confidence the tuple can ever reach ("1 or its
+    maximum possible confidence level", §4.1).  The data-quality-improvement
+    component raises confidences through {!set_confidence}, respecting the
+    cap. *)
+
+type t
+
+val empty : t
+
+val add_relation : t -> Relation.t -> t
+(** [add_relation db r] adds or replaces the relation named [Relation.name r]. *)
+
+val relation : t -> string -> Relation.t option
+val relation_exn : t -> string -> Relation.t
+(** @raise Invalid_argument when the relation is unknown. *)
+
+val relation_names : t -> string list
+val mem_relation : t -> string -> bool
+
+val insert : t -> string -> Value.t list -> conf:float -> t * Lineage.Tid.t
+(** [insert db rel vs ~conf] inserts a row into [rel] with initial
+    confidence [conf].
+    @raise Invalid_argument on unknown relation, non-conforming tuple, or
+    confidence outside [\[0,1\]]. *)
+
+val seed_confidence : t -> Lineage.Tid.t -> float -> t
+(** [seed_confidence db tid p] records the initial confidence of a tuple
+    that was inserted into a relation outside {!insert} (bulk loaders).
+    Unlike {!set_confidence} it does not require an existing entry.
+    @raise Invalid_argument if [p] is outside [\[0,1\]] or the tuple does
+    not exist in its relation. *)
+
+val confidence : t -> Lineage.Tid.t -> float
+(** [confidence db tid] is the stored confidence (0.0 for unknown tuples —
+    an absent tuple is never present in any possible world). *)
+
+val confidence_cap : t -> Lineage.Tid.t -> float
+(** Maximum confidence this tuple can be raised to (default 1.0). *)
+
+val set_confidence : t -> Lineage.Tid.t -> float -> t
+(** [set_confidence db tid p] updates the confidence.
+    @raise Invalid_argument if [p] is outside [\[0, cap\]] or [tid] has no
+    confidence entry. *)
+
+val set_confidence_cap : t -> Lineage.Tid.t -> float -> t
+(** @raise Invalid_argument if the cap is outside [\[current confidence, 1\]]. *)
+
+val confidence_fn : t -> Lineage.Tid.t -> float
+(** [confidence_fn db] is {!confidence} partially applied — the assignment
+    passed to {!Lineage.Prob.confidence}. *)
+
+val all_confidences : t -> (Lineage.Tid.t * float) list
+
+val apply_increments : t -> (Lineage.Tid.t * float) list -> t
+(** [apply_increments db deltas] raises each listed tuple's confidence to
+    the given *target* value (not a delta); values are clamped to the
+    tuple's cap and must not decrease existing confidence.
+    @raise Invalid_argument on a decreasing update. *)

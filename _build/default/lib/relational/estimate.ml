@@ -1,0 +1,185 @@
+let ( let* ) = Result.bind
+
+(* Distinct values of a (resolvable) column when the subplan is a plain
+   scan chain over one base relation; [None] when the column cannot be
+   traced to base data cheaply. *)
+let rec ndv db plan column =
+  match plan with
+  | Algebra.Scan name -> (
+    match Database.relation db name with
+    | None -> None
+    | Some rel -> (
+      let schema = Schema.qualify name (Relation.schema rel) in
+      match Schema.find_index schema column with
+      | Error _ -> None
+      | Ok i ->
+        let seen = Hashtbl.create 64 in
+        Relation.iter
+          (fun _ tup -> Hashtbl.replace seen (Value.hash (Tuple.get tup i)) ())
+          rel;
+        Some (float_of_int (max 1 (Hashtbl.length seen)))))
+  | Algebra.Select (_, p)
+  | Algebra.Select_sub (_, p)
+  | Algebra.Order_by (_, p)
+  | Algebra.Limit (_, p)
+  | Algebra.Distinct p ->
+    ndv db p column
+  | Algebra.Rename (alias, p) ->
+    (* strip the alias qualifier and retry against the child *)
+    let bare = Schema.unqualified column in
+    let qualifier_matches =
+      match String.index_opt column '.' with
+      | None -> true
+      | Some i -> String.sub column 0 i = alias
+    in
+    if qualifier_matches then ndv db p bare else None
+  | _ -> None
+
+let eq_selectivity db plan column =
+  match ndv db plan column with Some n -> 1.0 /. n | None -> 0.1
+
+(* selectivity of a predicate against a given subplan (for ndv lookups) *)
+let rec selectivity db plan e =
+  match e with
+  | Expr.Lit (Value.Bool true) -> 1.0
+  | Expr.Lit (Value.Bool false) -> 0.0
+  | Expr.Cmp (Expr.Eq, Expr.Col c, Expr.Lit _)
+  | Expr.Cmp (Expr.Eq, Expr.Lit _, Expr.Col c) ->
+    eq_selectivity db plan c
+  | Expr.Cmp (Expr.Eq, _, _) -> 0.1
+  | Expr.Cmp (Expr.Neq, _, _) -> 0.9
+  | Expr.Cmp (_, _, _) -> 0.3
+  | Expr.Between (_, _, _) -> 0.25
+  | Expr.Like (_, _) -> 0.25
+  | Expr.In (_, vs) -> Float.min 1.0 (0.1 *. float_of_int (List.length vs))
+  | Expr.IsNull _ -> 0.05
+  | Expr.IsNotNull _ -> 0.95
+  | Expr.And (a, b) -> selectivity db plan a *. selectivity db plan b
+  | Expr.Not a -> 1.0 -. selectivity db plan a
+  | Expr.Or (a, b) ->
+    let sa = selectivity db plan a and sb = selectivity db plan b in
+    Float.min 1.0 (sa +. sb -. (sa *. sb))
+  | Expr.Lit _ | Expr.Col _ | Expr.Arith _ | Expr.Neg _ -> 0.5
+
+let rec cond_selectivity db plan = function
+  | Algebra.Pred e -> selectivity db plan e
+  | Algebra.In_sub (_, _) -> 0.3
+  | Algebra.Exists_sub _ -> 0.5
+  | Algebra.Not_c c -> 1.0 -. cond_selectivity db plan c
+  | Algebra.And_c (a, b) -> cond_selectivity db plan a *. cond_selectivity db plan b
+  | Algebra.Or_c (a, b) ->
+    let sa = cond_selectivity db plan a and sb = cond_selectivity db plan b in
+    Float.min 1.0 (sa +. sb -. (sa *. sb))
+
+let join_selectivity db a b pred =
+  match pred with
+  | Some (Expr.Cmp (Expr.Eq, Expr.Col x, Expr.Col y)) ->
+    let n =
+      match (ndv db a x, ndv db b y, ndv db a y, ndv db b x) with
+      | Some na, Some nb, _, _ | _, _, Some na, Some nb -> Float.max na nb
+      | _ -> 10.0
+    in
+    1.0 /. n
+  | Some e -> selectivity db (Algebra.cross a b) e
+  | None -> 1.0
+
+let rec cardinality db plan =
+  (* validate the schema once so estimates fail on what evaluation would *)
+  let* _ = Algebra.output_schema db plan in
+  card db plan
+
+and card db plan =
+  match plan with
+  | Algebra.Scan name ->
+    Ok (float_of_int (Relation.cardinality (Database.relation_exn db name)))
+  | Algebra.Select (e, p) ->
+    let* c = card db p in
+    Ok (c *. selectivity db p e)
+  | Algebra.Select_sub (cond, p) ->
+    let* c = card db p in
+    Ok (c *. cond_selectivity db p cond)
+  | Algebra.Project (_, p) | Algebra.Distinct p ->
+    let* c = card db p in
+    Ok (Float.max (Float.min c 1.0) (c *. 0.7))
+  | Algebra.Join (pred, a, b) ->
+    let* ca = card db a in
+    let* cb = card db b in
+    Ok (ca *. cb *. join_selectivity db a b pred)
+  | Algebra.Left_join (pred, a, b) ->
+    let* ca = card db a in
+    let* cb = card db b in
+    (* every left row appears at least once *)
+    Ok (Float.max ca (ca *. cb *. join_selectivity db a b (Some pred)))
+  | Algebra.Union (a, b) ->
+    let* ca = card db a in
+    let* cb = card db b in
+    Ok (0.9 *. (ca +. cb))
+  | Algebra.Intersect (a, b) ->
+    let* ca = card db a in
+    let* cb = card db b in
+    Ok (0.3 *. Float.min ca cb)
+  | Algebra.Diff (a, _) -> card db a
+  | Algebra.Rename (_, p) -> card db p
+  | Algebra.Order_by (_, p) -> card db p
+  | Algebra.Limit (n, p) ->
+    let* c = card db p in
+    Ok (Float.min (float_of_int n) c)
+  | Algebra.Group_by (keys, _, p) ->
+    let* c = card db p in
+    if keys = [] then Ok (Float.min c 1.0) else Ok (Float.max 1.0 (c *. 0.3))
+
+let explain db plan =
+  let* _ = Algebra.output_schema db plan in
+  let buf = Buffer.create 256 in
+  let pad depth = String.make (2 * depth) ' ' in
+  let annotate depth label p =
+    let est = match card db p with Ok c -> c | Error _ -> nan in
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s   [~%.0f rows]\n" (pad depth) label est)
+  in
+  let rec go depth p =
+    (match p with
+    | Algebra.Scan n -> annotate depth (Printf.sprintf "Scan %s" n) p
+    | Algebra.Select (e, _) ->
+      annotate depth (Printf.sprintf "Select %s" (Expr.to_string e)) p
+    | Algebra.Select_sub (c, _) ->
+      annotate depth
+        (Printf.sprintf "SelectSub %s" (Algebra.cond_to_string c))
+        p
+    | Algebra.Project (cols, _) ->
+      annotate depth (Printf.sprintf "Project [%s]" (String.concat ", " cols)) p
+    | Algebra.Join (Some e, _, _) ->
+      annotate depth (Printf.sprintf "Join on %s" (Expr.to_string e)) p
+    | Algebra.Join (None, _, _) -> annotate depth "Cross" p
+    | Algebra.Left_join (e, _, _) ->
+      annotate depth (Printf.sprintf "LeftJoin on %s" (Expr.to_string e)) p
+    | Algebra.Union _ -> annotate depth "Union" p
+    | Algebra.Intersect _ -> annotate depth "Intersect" p
+    | Algebra.Diff _ -> annotate depth "Diff" p
+    | Algebra.Rename (a, _) -> annotate depth (Printf.sprintf "Rename %s" a) p
+    | Algebra.Distinct _ -> annotate depth "Distinct" p
+    | Algebra.Order_by (_, _) -> annotate depth "OrderBy" p
+    | Algebra.Limit (n, _) -> annotate depth (Printf.sprintf "Limit %d" n) p
+    | Algebra.Group_by (keys, _, _) ->
+      annotate depth (Printf.sprintf "GroupBy [%s]" (String.concat ", " keys)) p);
+    match p with
+    | Algebra.Scan _ -> ()
+    | Algebra.Select (_, x)
+    | Algebra.Select_sub (_, x)
+    | Algebra.Project (_, x)
+    | Algebra.Rename (_, x)
+    | Algebra.Distinct x
+    | Algebra.Order_by (_, x)
+    | Algebra.Limit (_, x)
+    | Algebra.Group_by (_, _, x) ->
+      go (depth + 1) x
+    | Algebra.Join (_, a, b)
+    | Algebra.Left_join (_, a, b)
+    | Algebra.Union (a, b)
+    | Algebra.Intersect (a, b)
+    | Algebra.Diff (a, b) ->
+      go (depth + 1) a;
+      go (depth + 1) b
+  in
+  go 0 plan;
+  Ok (String.trim (Buffer.contents buf))

@@ -1,0 +1,21 @@
+(** Heuristic cardinality estimation for plans.
+
+    Textbook selectivity heuristics over the base relations' true
+    cardinalities — no histograms, but equality selectivity uses the
+    actual number of distinct values in base columns when the predicate
+    compares a column with a literal over a direct scan chain.  Used by
+    the CLI's [plan] command to annotate EXPLAIN output; the estimates are
+    advisory (the evaluator never relies on them for correctness).
+
+    Fixed selectivities: equality 1/ndv (fallback 0.1), range/LIKE 0.3,
+    IS NULL 0.05, duplicate elimination keeps 0.7, group-by keeps 0.3,
+    equi-join matches 1/max(ndv); conjunction multiplies, disjunction
+    adds (capped), negation complements. *)
+
+val cardinality : Database.t -> Algebra.t -> (float, string) result
+(** [cardinality db plan] estimates the result size.  Errors only on
+    schema errors (unknown relation/column). *)
+
+val explain : Database.t -> Algebra.t -> (string, string) result
+(** [explain db plan] renders the plan with one [~N rows] annotation per
+    operator — the CLI's EXPLAIN. *)

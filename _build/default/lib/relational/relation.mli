@@ -1,0 +1,44 @@
+(** Base relations: a named schema plus stored tuples with stable ids.
+
+    Tuples keep the identifier assigned at insertion time for their whole
+    life; deleting a tuple never renumbers the others.  Identifiers are the
+    variables of lineage formulas, so stability is essential. *)
+
+type t
+
+val create : string -> Schema.t -> t
+(** [create name schema] is an empty relation. *)
+
+val name : t -> string
+val schema : t -> Schema.t
+val cardinality : t -> int
+
+val insert : t -> Tuple.t -> t * Lineage.Tid.t
+(** [insert r tup] appends [tup], returning the new relation and the fresh
+    tuple id.
+    @raise Invalid_argument if [tup] does not conform to the schema. *)
+
+val insert_values : t -> Value.t list -> t * Lineage.Tid.t
+(** [insert_values r vs] is [insert r (Tuple.of_list vs)]. *)
+
+val insert_all : t -> Tuple.t list -> t * Lineage.Tid.t list
+
+val delete : t -> Lineage.Tid.t -> t
+(** [delete r tid] removes the tuple; a no-op if absent. *)
+
+val update : t -> Lineage.Tid.t -> Tuple.t -> t
+(** [update r tid tup] replaces the tuple stored under [tid].
+    @raise Invalid_argument if [tid] is absent or [tup] does not conform. *)
+
+val find : t -> Lineage.Tid.t -> Tuple.t option
+
+val tuples : t -> (Lineage.Tid.t * Tuple.t) list
+(** In insertion order. *)
+
+val iter : (Lineage.Tid.t -> Tuple.t -> unit) -> t -> unit
+val fold : ('a -> Lineage.Tid.t -> Tuple.t -> 'a) -> 'a -> t -> 'a
+
+val to_string : t -> string
+(** A small ASCII table, for examples and the CLI. *)
+
+val pp : Format.formatter -> t -> unit

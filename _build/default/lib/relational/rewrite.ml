@@ -1,0 +1,164 @@
+let ( let* ) = Result.bind
+
+(* Can every column of [e] be resolved (unambiguously) in [schema]? *)
+let resolvable schema e =
+  List.for_all
+    (fun c -> match Schema.find_index schema c with Ok _ -> true | Error _ -> false)
+    (Expr.columns e)
+
+(* One bottom-up rewriting pass.  Returns the new plan and whether any rule
+   fired. *)
+let rec pass db plan =
+  match plan with
+  | Algebra.Scan _ -> Ok (plan, false)
+  | Algebra.Select (p, child) -> (
+    let* child, changed = pass db child in
+    let keep = Ok (Algebra.Select (p, child), changed) in
+    (* never rewrite a selection the evaluator would reject: pushing an
+       unresolvable predicate below could turn an error into an answer *)
+    let* valid_above =
+      match Algebra.output_schema db child with
+      | Ok sc -> Ok (resolvable sc p)
+      | Error _ -> Ok false
+    in
+    if not valid_above then keep
+    else
+      match child with
+      (* trivial predicate *)
+      | _ when p = Expr.Lit (Value.Bool true) -> Ok (child, true)
+      (* merge adjacent selections *)
+      | Algebra.Select (q, x) -> Ok (Algebra.Select (Expr.And (p, q), x), true)
+      (* push below ordering *)
+      | Algebra.Order_by (keys, x) ->
+        Ok (Algebra.Order_by (keys, Algebra.Select (p, x)), true)
+      (* push through projection when the columns survive below *)
+      | Algebra.Project (cols, x) ->
+        let* sx = Algebra.output_schema db x in
+        if resolvable sx p then
+          Ok (Algebra.Project (cols, Algebra.Select (p, x)), true)
+        else keep
+      (* push into the matching side of an inner join *)
+      | Algebra.Join (c, a, b) ->
+        let* sa = Algebra.output_schema db a in
+        let* sb = Algebra.output_schema db b in
+        if resolvable sa p && not (resolvable sb p) then
+          Ok (Algebra.Join (c, Algebra.Select (p, a), b), true)
+        else if resolvable sb p && not (resolvable sa p) then
+          Ok (Algebra.Join (c, a, Algebra.Select (p, b)), true)
+        else keep
+      (* left outer join: only left-side predicates may move *)
+      | Algebra.Left_join (c, a, b) ->
+        let* sa = Algebra.output_schema db a in
+        let* sb = Algebra.output_schema db b in
+        if resolvable sa p && not (resolvable sb p) then
+          Ok (Algebra.Left_join (c, Algebra.Select (p, a), b), true)
+        else keep
+      (* push into both sides of set operations -- only when the predicate
+         resolves under both children's column names *)
+      | Algebra.Union (a, b) | Algebra.Intersect (a, b) | Algebra.Diff (a, b)
+        ->
+        let* sa = Algebra.output_schema db a in
+        let* sb = Algebra.output_schema db b in
+        if resolvable sa p && resolvable sb p then
+          let rebuild a b =
+            match child with
+            | Algebra.Union _ -> Algebra.Union (a, b)
+            | Algebra.Intersect _ -> Algebra.Intersect (a, b)
+            | _ -> Algebra.Diff (a, b)
+          in
+          Ok (rebuild (Algebra.Select (p, a)) (Algebra.Select (p, b)), true)
+        else keep
+      (* push below distinct *)
+      | Algebra.Distinct x -> Ok (Algebra.Distinct (Algebra.Select (p, x)), true)
+      | _ -> keep)
+  | Algebra.Project (cols, child) -> (
+    let* child, changed = pass db child in
+    match child with
+    (* projection already eliminates duplicates *)
+    | Algebra.Distinct x -> Ok (Algebra.Project (cols, x), true)
+    | _ -> Ok (Algebra.Project (cols, child), changed))
+  | Algebra.Join (c, a, b) ->
+    let* a, ca = pass db a in
+    let* b, cb = pass db b in
+    Ok (Algebra.Join (c, a, b), ca || cb)
+  | Algebra.Left_join (c, a, b) ->
+    let* a, ca = pass db a in
+    let* b, cb = pass db b in
+    Ok (Algebra.Left_join (c, a, b), ca || cb)
+  | Algebra.Union (a, b) ->
+    let* a, ca = pass db a in
+    let* b, cb = pass db b in
+    Ok (Algebra.Union (a, b), ca || cb)
+  | Algebra.Intersect (a, b) ->
+    let* a, ca = pass db a in
+    let* b, cb = pass db b in
+    Ok (Algebra.Intersect (a, b), ca || cb)
+  | Algebra.Diff (a, b) ->
+    let* a, ca = pass db a in
+    let* b, cb = pass db b in
+    Ok (Algebra.Diff (a, b), ca || cb)
+  | Algebra.Rename (alias, child) ->
+    let* child, changed = pass db child in
+    Ok (Algebra.Rename (alias, child), changed)
+  | Algebra.Distinct child -> (
+    let* child, changed = pass db child in
+    match child with
+    (* distinct over duplicate-free children is a no-op *)
+    | Algebra.Distinct _ | Algebra.Project _ | Algebra.Group_by _ ->
+      Ok (child, true)
+    | _ -> Ok (Algebra.Distinct child, changed))
+  | Algebra.Order_by (keys, child) ->
+    let* child, changed = pass db child in
+    Ok (Algebra.Order_by (keys, child), changed)
+  | Algebra.Limit (n, child) -> (
+    let* child, changed = pass db child in
+    match child with
+    | Algebra.Limit (m, x) -> Ok (Algebra.Limit (min n m, x), true)
+    | _ -> Ok (Algebra.Limit (n, child), changed))
+  | Algebra.Group_by (keys, aggs, child) ->
+    let* child, changed = pass db child in
+    Ok (Algebra.Group_by (keys, aggs, child), changed)
+  | Algebra.Select_sub (cond, child) ->
+    (* conservative: optimize the child and any subquery plans, but do not
+       move the subquery-bearing selection itself *)
+    let* child, changed = pass db child in
+    let rec pass_cond c =
+      match c with
+      | Algebra.Pred _ -> Ok (c, false)
+      | Algebra.In_sub (e, sub) ->
+        let* sub, ch = pass db sub in
+        Ok (Algebra.In_sub (e, sub), ch)
+      | Algebra.Exists_sub sub ->
+        let* sub, ch = pass db sub in
+        Ok (Algebra.Exists_sub sub, ch)
+      | Algebra.Not_c c ->
+        let* c, ch = pass_cond c in
+        Ok (Algebra.Not_c c, ch)
+      | Algebra.And_c (a, b) ->
+        let* a, ca = pass_cond a in
+        let* b, cb = pass_cond b in
+        Ok (Algebra.And_c (a, b), ca || cb)
+      | Algebra.Or_c (a, b) ->
+        let* a, ca = pass_cond a in
+        let* b, cb = pass_cond b in
+        Ok (Algebra.Or_c (a, b), ca || cb)
+    in
+    let* cond, cc = pass_cond cond in
+    Ok (Algebra.Select_sub (cond, child), changed || cc)
+
+let fixpoint db plan =
+  let rec go plan budget =
+    if budget = 0 then Ok plan
+    else
+      let* plan', changed = pass db plan in
+      if changed then go plan' (budget - 1) else Ok plan'
+  in
+  go plan 50
+
+let optimize = fixpoint
+
+let push_selections db plan =
+  (* the full pass set is already dominated by selection pushdown; exposed
+     separately in case callers want to rewrite without the structural
+     cleanups -- currently the same fixpoint *)
+  fixpoint db plan

@@ -1,0 +1,28 @@
+(** Algebraic plan rewriting (a small rule-based query optimizer).
+
+    The engine evaluates plans as written; this module applies standard
+    semantics-preserving rewrites so that SQL compiled naively (selection
+    above a chain of joins) still evaluates efficiently:
+
+    - adjacent selections merge ([σp(σq(x)) = σ(p ∧ q)(x)]);
+    - selections push below order-by, through projections and set
+      operations, into the matching side of inner joins, and into the left
+      side of left outer joins (left-column predicates only);
+    - [Distinct] collapses over duplicate-eliminating children;
+    - nested [Limit]s collapse to the smaller bound;
+    - trivially-true selections disappear.
+
+    Rewrites never change the annotated result: the same tuples with the
+    same lineage, up to row order before an explicit ORDER BY (the test
+    suite checks this differentially on random plans).
+
+    Pushing decisions need column resolution, so rewriting takes the
+    database (for base-relation schemas) and can fail on the same name
+    errors evaluation would report. *)
+
+val optimize : Database.t -> Algebra.t -> (Algebra.t, string) result
+(** [optimize db plan] applies the rules bottom-up to a fixpoint (bounded
+    by a generous iteration cap). *)
+
+val push_selections : Database.t -> Algebra.t -> (Algebra.t, string) result
+(** Selection pushdown only — exposed for tests and ablation. *)

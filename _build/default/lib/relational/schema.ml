@@ -1,0 +1,111 @@
+type column = { cname : string; cty : Value.ty }
+
+type t = { cols : column array }
+
+let make cols =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun c ->
+      let key = String.lowercase_ascii c.cname in
+      if Hashtbl.mem seen key then
+        invalid_arg (Printf.sprintf "Schema.make: duplicate column %S" c.cname);
+      Hashtbl.add seen key ())
+    cols;
+  { cols = Array.of_list cols }
+
+let of_list pairs = make (List.map (fun (cname, cty) -> { cname; cty }) pairs)
+
+let columns s = Array.to_list s.cols
+let arity s = Array.length s.cols
+let column_names s = List.map (fun c -> c.cname) (columns s)
+
+let unqualified name =
+  match String.rindex_opt name '.' with
+  | None -> name
+  | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+
+let qualifier name =
+  match String.rindex_opt name '.' with
+  | None -> None
+  | Some i -> Some (String.sub name 0 i)
+
+type lookup_error = Not_found_col of string | Ambiguous of string * string list
+
+let norm = String.lowercase_ascii
+
+let find_index s name =
+  let matches = ref [] in
+  let nname = norm name in
+  Array.iteri
+    (fun i c ->
+      let cn = norm c.cname in
+      let hit =
+        if String.contains name '.' then
+          (* qualified request: exact match, or bare schema column whose
+             name equals the unqualified part *)
+          cn = nname
+          || (qualifier c.cname = None && cn = norm (unqualified name))
+        else
+          (* bare request: match unqualified part of the schema column *)
+          norm (unqualified c.cname) = nname
+      in
+      if hit then matches := i :: !matches)
+    s.cols;
+  match List.rev !matches with
+  | [ i ] -> Ok i
+  | [] -> Error (Not_found_col name)
+  | is -> Error (Ambiguous (name, List.map (fun i -> s.cols.(i).cname) is))
+
+let find_index_exn s name =
+  match find_index s name with
+  | Ok i -> i
+  | Error (Not_found_col n) ->
+    invalid_arg (Printf.sprintf "Schema: unknown column %S" n)
+  | Error (Ambiguous (n, cands)) ->
+    invalid_arg
+      (Printf.sprintf "Schema: ambiguous column %S (matches %s)" n
+         (String.concat ", " cands))
+
+let mem s name = match find_index s name with Ok _ -> true | Error _ -> false
+
+let column_at s i = s.cols.(i)
+
+let qualify rel s =
+  {
+    cols =
+      Array.map
+        (fun c -> { c with cname = rel ^ "." ^ unqualified c.cname })
+        s.cols;
+  }
+
+let concat a b =
+  make (columns a @ columns b)
+
+let project s names =
+  let rec go acc_cols acc_idx = function
+    | [] -> Ok (make (List.rev acc_cols), Array.of_list (List.rev acc_idx))
+    | name :: rest -> (
+      match find_index s name with
+      | Ok i -> go ({ (column_at s i) with cname = name } :: acc_cols) (i :: acc_idx) rest
+      | Error e -> Error e)
+  in
+  go [] [] names
+
+let restrict_to_indices s idx =
+  { cols = Array.map (fun i -> s.cols.(i)) idx }
+
+let union_compatible a b =
+  arity a = arity b
+  && Array.for_all2 (fun ca cb -> ca.cty = cb.cty) a.cols b.cols
+
+let equal a b =
+  arity a = arity b
+  && Array.for_all2
+       (fun ca cb -> norm ca.cname = norm cb.cname && ca.cty = cb.cty)
+       a.cols b.cols
+
+let to_string s =
+  String.concat ", "
+    (List.map (fun c -> Printf.sprintf "%s:%s" c.cname (Value.ty_name c.cty)) (columns s))
+
+let pp ppf s = Format.pp_print_string ppf (to_string s)

@@ -1,0 +1,63 @@
+(** Relation schemas: ordered, typed, possibly qualified column lists.
+
+    A column name may be qualified (["Proposal.Funding"]) or bare
+    (["Funding"]).  Column lookup by a bare name succeeds when exactly one
+    column matches; lookup by a qualified name requires an exact match.
+    Ambiguous bare lookups are reported as errors, matching SQL name
+    resolution. *)
+
+type column = { cname : string; cty : Value.ty }
+
+type t
+
+val make : column list -> t
+(** [make cols] builds a schema.
+    @raise Invalid_argument on duplicate column names. *)
+
+val of_list : (string * Value.ty) list -> t
+(** [of_list pairs] is [make] applied to record-ified pairs. *)
+
+val columns : t -> column list
+val arity : t -> int
+val column_names : t -> string list
+
+val mem : t -> string -> bool
+(** [mem s name] is [true] if {!find_index} would succeed. *)
+
+type lookup_error = Not_found_col of string | Ambiguous of string * string list
+
+val find_index : t -> string -> (int, lookup_error) result
+(** [find_index s name] resolves [name] to a column position.  A qualified
+    [name] must match a qualified column exactly, or match the unqualified
+    part when the schema column is bare.  A bare [name] matches any column
+    whose unqualified part equals it; multiple matches are ambiguous. *)
+
+val find_index_exn : t -> string -> int
+(** @raise Invalid_argument with a descriptive message on lookup failure. *)
+
+val column_at : t -> int -> column
+
+val qualify : string -> t -> t
+(** [qualify rel s] prefixes every bare column name with ["rel."]; already
+    qualified names are re-qualified with the new relation name. *)
+
+val unqualified : string -> string
+(** [unqualified "R.c"] is ["c"]; bare names are returned unchanged. *)
+
+val concat : t -> t -> t
+(** [concat a b] appends the columns of [b] after [a].
+    @raise Invalid_argument on a duplicate (fully qualified) name. *)
+
+val project : t -> string list -> (t * int array, lookup_error) result
+(** [project s names] is the sub-schema selecting [names] in order, plus the
+    source index of each projected column. *)
+
+val restrict_to_indices : t -> int array -> t
+
+val union_compatible : t -> t -> bool
+(** [union_compatible a b] holds when arities match and column types agree
+    position-wise (names may differ, as in SQL UNION). *)
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,113 @@
+type select_item =
+  | Star
+  | Column of string * string option
+  | Aggregate of Algebra.agg_fun * string option * string option
+
+type join_kind = Inner_join | Left_outer_join
+
+type cond =
+  | Cpred of Expr.t
+  | Cin of Expr.t * t
+  | Cexists of t
+  | Cnot of cond
+  | Cand of cond * cond
+  | Cor of cond * cond
+
+and table_ref =
+  | Tref of { table : string; alias : string option }
+  | Tsub of { sub : t; salias : string }
+
+and join_clause = { jkind : join_kind; jtable : table_ref; jcond : Expr.t }
+
+and select_stmt = {
+  distinct : bool;
+  items : select_item list;
+  from : table_ref;
+  joins : join_clause list;
+  cross : table_ref list;
+  where : cond option;
+  group_by : string list;
+  having : Expr.t option;
+  order_by : (string * Algebra.order) list;
+  limit : int option;
+}
+
+and t =
+  | Select of select_stmt
+  | Union of t * t
+  | Intersect of t * t
+  | Except of t * t
+
+let item_to_string = function
+  | Star -> "*"
+  | Column (c, None) -> c
+  | Column (c, Some a) -> Printf.sprintf "%s AS %s" c a
+  | Aggregate (fn, arg, alias) ->
+    let base =
+      match fn with
+      | Algebra.CountStar -> "COUNT(*)"
+      | _ ->
+        Printf.sprintf "%s(%s)" (Algebra.agg_fun_name fn)
+          (Option.value ~default:"*" arg)
+    in
+    (match alias with None -> base | Some a -> base ^ " AS " ^ a)
+
+
+
+let rec table_ref_to_string = function
+  | Tref { table; alias = None } -> table
+  | Tref { table; alias = Some a } -> table ^ " AS " ^ a
+  | Tsub { sub; salias } -> Printf.sprintf "(%s) AS %s" (to_string sub) salias
+
+and cond_to_string = function
+  | Cpred e -> Expr.to_string e
+  | Cin (e, sub) -> Printf.sprintf "(%s IN (%s))" (Expr.to_string e) (to_string sub)
+  | Cexists sub -> Printf.sprintf "(EXISTS (%s))" (to_string sub)
+  | Cnot c -> Printf.sprintf "(NOT %s)" (cond_to_string c)
+  | Cand (a, b) -> Printf.sprintf "(%s AND %s)" (cond_to_string a) (cond_to_string b)
+  | Cor (a, b) -> Printf.sprintf "(%s OR %s)" (cond_to_string a) (cond_to_string b)
+
+and select_to_string s =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "SELECT ";
+  if s.distinct then Buffer.add_string buf "DISTINCT ";
+  Buffer.add_string buf (String.concat ", " (List.map item_to_string s.items));
+  Buffer.add_string buf (" FROM " ^ table_ref_to_string s.from);
+  List.iter
+    (fun t -> Buffer.add_string buf (", " ^ table_ref_to_string t))
+    s.cross;
+  List.iter
+    (fun j ->
+      Buffer.add_string buf
+        (Printf.sprintf " %s %s ON %s"
+           (match j.jkind with
+           | Inner_join -> "JOIN"
+           | Left_outer_join -> "LEFT JOIN")
+           (table_ref_to_string j.jtable)
+           (Expr.to_string j.jcond)))
+    s.joins;
+  Option.iter
+    (fun c -> Buffer.add_string buf (" WHERE " ^ cond_to_string c))
+    s.where;
+  if s.group_by <> [] then
+    Buffer.add_string buf (" GROUP BY " ^ String.concat ", " s.group_by);
+  Option.iter
+    (fun e -> Buffer.add_string buf (" HAVING " ^ Expr.to_string e))
+    s.having;
+  if s.order_by <> [] then
+    Buffer.add_string buf
+      (" ORDER BY "
+      ^ String.concat ", "
+          (List.map
+             (fun (c, o) ->
+               c ^ match o with Algebra.Asc -> " ASC" | Algebra.Desc -> " DESC")
+             s.order_by));
+  Option.iter (fun n -> Buffer.add_string buf (Printf.sprintf " LIMIT %d" n)) s.limit;
+  Buffer.contents buf
+
+and to_string = function
+  | Select s -> select_to_string s
+  | Union (a, b) -> Printf.sprintf "(%s) UNION (%s)" (to_string a) (to_string b)
+  | Intersect (a, b) ->
+    Printf.sprintf "(%s) INTERSECT (%s)" (to_string a) (to_string b)
+  | Except (a, b) -> Printf.sprintf "(%s) EXCEPT (%s)" (to_string a) (to_string b)

@@ -1,0 +1,51 @@
+(** Abstract syntax for the SQL subset, produced by {!Sql_parser} and
+    consumed by {!Sql_planner}. *)
+
+type select_item =
+  | Star  (** [SELECT *] *)
+  | Column of string * string option  (** column, optional AS alias *)
+  | Aggregate of Algebra.agg_fun * string option * string option
+      (** function, argument column ([None] for COUNT star), optional alias *)
+
+type join_kind = Inner_join | Left_outer_join
+
+type cond =
+  | Cpred of Expr.t  (** plain predicate *)
+  | Cin of Expr.t * t  (** [e IN (subquery)] *)
+  | Cexists of t  (** [EXISTS (subquery)] *)
+  | Cnot of cond
+  | Cand of cond * cond
+  | Cor of cond * cond
+
+and table_ref =
+  | Tref of { table : string; alias : string option }
+      (** base relation or view, optionally aliased *)
+  | Tsub of { sub : t; salias : string }
+      (** derived table: [FROM (SELECT ...) AS salias] *)
+
+and join_clause = { jkind : join_kind; jtable : table_ref; jcond : Expr.t }
+
+and select_stmt = {
+  distinct : bool;
+  items : select_item list;
+  from : table_ref;  (** first FROM entry *)
+  joins : join_clause list;  (** explicit JOIN … ON … *)
+  cross : table_ref list;  (** comma-separated FROM entries after the first *)
+  where : cond option;
+      (** WHERE condition; may embed uncorrelated IN/EXISTS subqueries *)
+  group_by : string list;
+  having : Expr.t option;
+  order_by : (string * Algebra.order) list;
+  limit : int option;
+}
+
+and t =
+  | Select of select_stmt
+  | Union of t * t
+  | Intersect of t * t
+  | Except of t * t
+
+val to_string : t -> string
+(** Round-trippable-ish SQL rendering, for error messages and logs. *)
+
+val cond_to_string : cond -> string

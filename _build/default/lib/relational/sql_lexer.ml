@@ -1,0 +1,173 @@
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | KW of string
+  | STAR
+  | COMMA
+  | LPAREN
+  | RPAREN
+  | EQ
+  | NEQ
+  | LT
+  | LEQ
+  | GT
+  | GEQ
+  | PLUS
+  | MINUS
+  | SLASH
+  | SEMI
+  | EOF
+
+let keywords =
+  [
+    "SELECT"; "DISTINCT"; "FROM"; "WHERE"; "AND"; "OR"; "NOT"; "AS"; "JOIN";
+    "INNER"; "LEFT"; "OUTER"; "ON"; "GROUP"; "BY"; "ORDER"; "ASC"; "DESC"; "LIMIT"; "UNION";
+    "INTERSECT"; "EXCEPT"; "IS"; "NULL"; "LIKE"; "IN"; "EXISTS"; "BETWEEN"; "TRUE";
+    "FALSE"; "COUNT"; "SUM"; "AVG"; "MIN"; "MAX"; "ECOUNT"; "ESUM"; "HAVING";
+  ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize s =
+  let n = String.length s in
+  let toks = ref [] in
+  let err = ref None in
+  let emit t = toks := t :: !toks in
+  let i = ref 0 in
+  let fail msg = err := Some (Printf.sprintf "lex error at %d: %s" !i msg) in
+  while !err = None && !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char s.[!i] do
+        incr i
+      done;
+      (* allow one qualification dot: ident.ident *)
+      if
+        !i < n - 1
+        && s.[!i] = '.'
+        && is_ident_start s.[!i + 1]
+      then begin
+        incr i;
+        while !i < n && is_ident_char s.[!i] do
+          incr i
+        done
+      end;
+      let word = String.sub s start (!i - start) in
+      let upper = String.uppercase_ascii word in
+      if List.mem upper keywords then emit (KW upper) else emit (IDENT word)
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit s.[!i] do
+        incr i
+      done;
+      let is_float =
+        !i < n - 1 && s.[!i] = '.' && is_digit s.[!i + 1]
+      in
+      if is_float then begin
+        incr i;
+        while !i < n && is_digit s.[!i] do
+          incr i
+        done;
+        (* exponent *)
+        if !i < n && (s.[!i] = 'e' || s.[!i] = 'E') then begin
+          incr i;
+          if !i < n && (s.[!i] = '+' || s.[!i] = '-') then incr i;
+          while !i < n && is_digit s.[!i] do
+            incr i
+          done
+        end;
+        match float_of_string_opt (String.sub s start (!i - start)) with
+        | Some f -> emit (FLOAT f)
+        | None -> fail "malformed number"
+      end
+      else
+        match int_of_string_opt (String.sub s start (!i - start)) with
+        | Some v -> emit (INT v)
+        | None -> fail "malformed integer"
+    end
+    else if c = '\'' then begin
+      (* string literal with '' escaping *)
+      let buf = Buffer.create 16 in
+      incr i;
+      let closed = ref false in
+      while (not !closed) && !err = None do
+        if !i >= n then fail "unterminated string literal"
+        else if s.[!i] = '\'' then
+          if !i + 1 < n && s.[!i + 1] = '\'' then begin
+            Buffer.add_char buf '\'';
+            i := !i + 2
+          end
+          else begin
+            closed := true;
+            incr i
+          end
+        else begin
+          Buffer.add_char buf s.[!i];
+          incr i
+        end
+      done;
+      if !err = None then emit (STRING (Buffer.contents buf))
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub s !i 2 else "" in
+      match two with
+      | "<=" ->
+        emit LEQ;
+        i := !i + 2
+      | ">=" ->
+        emit GEQ;
+        i := !i + 2
+      | "<>" | "!=" ->
+        emit NEQ;
+        i := !i + 2
+      | _ -> (
+        (match c with
+        | '*' -> emit STAR
+        | ',' -> emit COMMA
+        | '(' -> emit LPAREN
+        | ')' -> emit RPAREN
+        | '=' -> emit EQ
+        | '<' -> emit LT
+        | '>' -> emit GT
+        | '+' -> emit PLUS
+        | '-' -> emit MINUS
+        | '/' -> emit SLASH
+        | ';' -> emit SEMI
+        | c -> fail (Printf.sprintf "unexpected character %C" c));
+        incr i)
+    end
+  done;
+  match !err with
+  | Some msg -> Error msg
+  | None -> Ok (List.rev (EOF :: !toks))
+
+let token_to_string = function
+  | IDENT s -> s
+  | INT i -> string_of_int i
+  | FLOAT f -> string_of_float f
+  | STRING s -> "'" ^ s ^ "'"
+  | KW k -> k
+  | STAR -> "*"
+  | COMMA -> ","
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | EQ -> "="
+  | NEQ -> "<>"
+  | LT -> "<"
+  | LEQ -> "<="
+  | GT -> ">"
+  | GEQ -> ">="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | SLASH -> "/"
+  | SEMI -> ";"
+  | EOF -> "<eof>"

@@ -1,0 +1,37 @@
+(** Lexer for the SQL subset.
+
+    Produces a token list consumed by {!Sql_parser}.  Keywords are
+    recognized case-insensitively; identifiers keep their original case.
+    Qualified names ([t.c]) are lexed as a single [IDENT] when the dot is
+    immediately surrounded by identifier characters. *)
+
+type token =
+  | IDENT of string  (** possibly qualified: [Proposal.Funding] *)
+  | INT of int
+  | FLOAT of float
+  | STRING of string  (** single-quoted, quotes already stripped *)
+  | KW of string  (** uppercased keyword: [SELECT], [FROM], … *)
+  | STAR
+  | COMMA
+  | LPAREN
+  | RPAREN
+  | EQ
+  | NEQ
+  | LT
+  | LEQ
+  | GT
+  | GEQ
+  | PLUS
+  | MINUS
+  | SLASH
+  | SEMI
+  | EOF
+
+val keywords : string list
+(** Every word lexed as [KW]. *)
+
+val tokenize : string -> (token list, string) result
+(** [tokenize s] lexes the whole input (ending with [EOF]).  Errors carry
+    the offending position. *)
+
+val token_to_string : token -> string

@@ -1,0 +1,440 @@
+module L = Sql_lexer
+
+exception Parse_error of string
+
+type state = { mutable toks : L.token list }
+
+let peek st = match st.toks with [] -> L.EOF | t :: _ -> t
+
+let advance st =
+  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let fail_tok expected st =
+  raise
+    (Parse_error
+       (Printf.sprintf "expected %s, found %s" expected
+          (L.token_to_string (peek st))))
+
+let expect st tok what =
+  if peek st = tok then advance st else fail_tok what st
+
+let expect_kw st kw = expect st (L.KW kw) kw
+
+let accept st tok =
+  if peek st = tok then begin
+    advance st;
+    true
+  end
+  else false
+
+let accept_kw st kw = accept st (L.KW kw)
+
+let ident st =
+  match peek st with
+  | L.IDENT s ->
+    advance st;
+    s
+  | _ -> fail_tok "identifier" st
+
+(* ------------------------------------------------------------------ *)
+(* Expressions *)
+
+let agg_of_kw = function
+  | "COUNT" -> Some Algebra.Count
+  | "SUM" -> Some Algebra.Sum
+  | "AVG" -> Some Algebra.Avg
+  | "MIN" -> Some Algebra.Min
+  | "MAX" -> Some Algebra.Max
+  | "ECOUNT" -> Some Algebra.Expected_count
+  | "ESUM" -> Some Algebra.Expected_sum
+  | _ -> None
+
+let rec parse_or st =
+  let lhs = parse_and st in
+  if accept_kw st "OR" then Expr.Or (lhs, parse_or st) else lhs
+
+and parse_and st =
+  let lhs = parse_not st in
+  if accept_kw st "AND" then Expr.And (lhs, parse_and st) else lhs
+
+and parse_not st =
+  if accept_kw st "NOT" then Expr.Not (parse_not st) else parse_predicate st
+
+and parse_predicate st =
+  let lhs = parse_additive st in
+  parse_predicate_tail st lhs
+
+and parse_predicate_tail st lhs =
+  match peek st with
+  | L.EQ ->
+    advance st;
+    Expr.Cmp (Expr.Eq, lhs, parse_additive st)
+  | L.NEQ ->
+    advance st;
+    Expr.Cmp (Expr.Neq, lhs, parse_additive st)
+  | L.LT ->
+    advance st;
+    Expr.Cmp (Expr.Lt, lhs, parse_additive st)
+  | L.LEQ ->
+    advance st;
+    Expr.Cmp (Expr.Leq, lhs, parse_additive st)
+  | L.GT ->
+    advance st;
+    Expr.Cmp (Expr.Gt, lhs, parse_additive st)
+  | L.GEQ ->
+    advance st;
+    Expr.Cmp (Expr.Geq, lhs, parse_additive st)
+  | L.KW "IS" ->
+    advance st;
+    let negated = accept_kw st "NOT" in
+    expect_kw st "NULL";
+    if negated then Expr.IsNotNull lhs else Expr.IsNull lhs
+  | L.KW "LIKE" ->
+    advance st;
+    (match peek st with
+    | L.STRING p ->
+      advance st;
+      Expr.Like (lhs, p)
+    | _ -> fail_tok "string pattern after LIKE" st)
+  | L.KW "BETWEEN" ->
+    advance st;
+    let lo = parse_additive st in
+    expect_kw st "AND";
+    let hi = parse_additive st in
+    Expr.Between (lhs, lo, hi)
+  | L.KW "IN" ->
+    advance st;
+    expect st L.LPAREN "(";
+    let vs = parse_in_values st in
+    expect st L.RPAREN ")";
+    Expr.In (lhs, vs)
+  | _ -> lhs
+
+and parse_in_values st =
+  let rec values acc =
+    let v =
+      match peek st with
+      | L.INT i ->
+        advance st;
+        Value.Int i
+      | L.FLOAT f ->
+        advance st;
+        Value.Float f
+      | L.STRING s ->
+        advance st;
+        Value.String s
+      | L.KW "TRUE" ->
+        advance st;
+        Value.Bool true
+      | L.KW "FALSE" ->
+        advance st;
+        Value.Bool false
+      | L.KW "NULL" ->
+        advance st;
+        Value.Null
+      | _ -> fail_tok "literal in IN list" st
+    in
+    if accept st L.COMMA then values (v :: acc) else List.rev (v :: acc)
+  in
+  values []
+
+and parse_additive st =
+  let rec loop lhs =
+    match peek st with
+    | L.PLUS ->
+      advance st;
+      loop (Expr.Arith (Expr.Add, lhs, parse_multiplicative st))
+    | L.MINUS ->
+      advance st;
+      loop (Expr.Arith (Expr.Sub, lhs, parse_multiplicative st))
+    | _ -> lhs
+  in
+  loop (parse_multiplicative st)
+
+and parse_multiplicative st =
+  let rec loop lhs =
+    match peek st with
+    | L.STAR ->
+      advance st;
+      loop (Expr.Arith (Expr.Mul, lhs, parse_unary st))
+    | L.SLASH ->
+      advance st;
+      loop (Expr.Arith (Expr.Div, lhs, parse_unary st))
+    | _ -> lhs
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  if accept st L.MINUS then Expr.Neg (parse_unary st) else parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | L.INT i ->
+    advance st;
+    Expr.Lit (Value.Int i)
+  | L.FLOAT f ->
+    advance st;
+    Expr.Lit (Value.Float f)
+  | L.STRING s ->
+    advance st;
+    Expr.Lit (Value.String s)
+  | L.KW "TRUE" ->
+    advance st;
+    Expr.Lit (Value.Bool true)
+  | L.KW "FALSE" ->
+    advance st;
+    Expr.Lit (Value.Bool false)
+  | L.KW "NULL" ->
+    advance st;
+    Expr.Lit Value.Null
+  | L.IDENT c ->
+    advance st;
+    Expr.Col c
+  | L.LPAREN ->
+    advance st;
+    let e = parse_or st in
+    expect st L.RPAREN ")";
+    e
+  | _ -> fail_tok "expression" st
+
+(* ------------------------------------------------------------------ *)
+(* SELECT statements *)
+
+let rec parse_select_item st =
+  match peek st with
+  | L.STAR ->
+    advance st;
+    Sql_ast.Star
+  | L.KW kw when agg_of_kw kw <> None ->
+    let fn = Option.get (agg_of_kw kw) in
+    advance st;
+    expect st L.LPAREN "(";
+    let fn, arg =
+      if peek st = L.STAR then begin
+        advance st;
+        match fn with
+        | Algebra.Count -> (Algebra.CountStar, None)
+        | Algebra.Expected_count -> (Algebra.Expected_count, None)
+        | _ ->
+          raise
+            (Parse_error
+               (Printf.sprintf "%s(*) is not supported" (Algebra.agg_fun_name fn)))
+      end
+      else if fn = Algebra.Expected_count then
+        raise (Parse_error "ECOUNT only supports ECOUNT(*)")
+      else (fn, Some (ident st))
+    in
+    expect st L.RPAREN ")";
+    let alias = if accept_kw st "AS" then Some (ident st) else None in
+    Sql_ast.Aggregate (fn, arg, alias)
+  | L.IDENT c ->
+    advance st;
+    let alias = if accept_kw st "AS" then Some (ident st) else None in
+    Sql_ast.Column (c, alias)
+  | _ -> fail_tok "select item" st
+
+and parse_table_ref st =
+  if peek st = L.LPAREN then begin
+    advance st;
+    let sub = parse_query st in
+    expect st L.RPAREN ")";
+    ignore (accept_kw st "AS");
+    let salias = ident st in
+    Sql_ast.Tsub { sub; salias }
+  end
+  else begin
+    let table = ident st in
+    let alias =
+      if accept_kw st "AS" then Some (ident st)
+      else
+        match peek st with
+        | L.IDENT a ->
+          advance st;
+          Some a
+        | _ -> None
+    in
+    Sql_ast.Tref { table; alias }
+  end
+
+(* WHERE-level conditions: boolean combinations of plain predicates and
+   (uncorrelated) IN / EXISTS subqueries *)
+and parse_cond_or st =
+  let lhs = parse_cond_and st in
+  if accept_kw st "OR" then Sql_ast.Cor (lhs, parse_cond_or st) else lhs
+
+and parse_cond_and st =
+  let lhs = parse_cond_not st in
+  if accept_kw st "AND" then Sql_ast.Cand (lhs, parse_cond_and st) else lhs
+
+and parse_cond_not st =
+  if accept_kw st "NOT" then Sql_ast.Cnot (parse_cond_not st)
+  else parse_cond_pred st
+
+and parse_cond_pred st =
+  if accept_kw st "EXISTS" then begin
+    expect st L.LPAREN "(";
+    let sub = parse_query st in
+    expect st L.RPAREN ")";
+    Sql_ast.Cexists sub
+  end
+  else begin
+    let lhs = parse_additive st in
+    let negated =
+      if peek st = L.KW "NOT" then begin
+        advance st;
+        (* only "NOT IN" is valid in this position *)
+        if peek st <> L.KW "IN" then fail_tok "IN after NOT" st;
+        true
+      end
+      else false
+    in
+    match peek st with
+    | L.KW "IN" -> (
+      advance st;
+      expect st L.LPAREN "(";
+      match peek st with
+      | L.KW "SELECT" | L.LPAREN ->
+        let sub = parse_query st in
+        expect st L.RPAREN ")";
+        let c = Sql_ast.Cin (lhs, sub) in
+        if negated then Sql_ast.Cnot c else c
+      | _ ->
+        let vs = parse_in_values st in
+        expect st L.RPAREN ")";
+        let e = Expr.In (lhs, vs) in
+        Sql_ast.Cpred (if negated then Expr.Not e else e))
+    | _ ->
+      if negated then fail_tok "IN after NOT" st
+      else Sql_ast.Cpred (parse_predicate_tail st lhs)
+  end
+
+and parse_select st =
+  expect_kw st "SELECT";
+  let distinct = accept_kw st "DISTINCT" in
+  let rec items acc =
+    let item = parse_select_item st in
+    if accept st L.COMMA then items (item :: acc) else List.rev (item :: acc)
+  in
+  let items = items [] in
+  expect_kw st "FROM";
+  let from = parse_table_ref st in
+  let cross = ref [] and joins = ref [] in
+  let rec from_tail () =
+    if accept st L.COMMA then begin
+      cross := !cross @ [ parse_table_ref st ];
+      from_tail ()
+    end
+    else if accept_kw st "INNER" then begin
+      expect_kw st "JOIN";
+      join_tail Sql_ast.Inner_join
+    end
+    else if accept_kw st "LEFT" then begin
+      ignore (accept_kw st "OUTER");
+      expect_kw st "JOIN";
+      join_tail Sql_ast.Left_outer_join
+    end
+    else if accept_kw st "JOIN" then join_tail Sql_ast.Inner_join
+  and join_tail jkind =
+    let jtable = parse_table_ref st in
+    expect_kw st "ON";
+    let jcond = parse_or st in
+    joins := !joins @ [ { Sql_ast.jkind; jtable; jcond } ];
+    from_tail ()
+  in
+  from_tail ();
+  let where = if accept_kw st "WHERE" then Some (parse_cond_or st) else None in
+  let group_by =
+    if accept_kw st "GROUP" then begin
+      expect_kw st "BY";
+      let rec cols acc =
+        let c = ident st in
+        if accept st L.COMMA then cols (c :: acc) else List.rev (c :: acc)
+      in
+      cols []
+    end
+    else []
+  in
+  let having = if accept_kw st "HAVING" then Some (parse_or st) else None in
+  let order_by =
+    if accept_kw st "ORDER" then begin
+      expect_kw st "BY";
+      let rec keys acc =
+        let c = ident st in
+        let o =
+          if accept_kw st "DESC" then Algebra.Desc
+          else begin
+            ignore (accept_kw st "ASC");
+            Algebra.Asc
+          end
+        in
+        if accept st L.COMMA then keys ((c, o) :: acc) else List.rev ((c, o) :: acc)
+      in
+      keys []
+    end
+    else []
+  in
+  let limit =
+    if accept_kw st "LIMIT" then begin
+      match peek st with
+      | L.INT n when n >= 0 ->
+        advance st;
+        Some n
+      | _ -> fail_tok "non-negative integer after LIMIT" st
+    end
+    else None
+  in
+  {
+    Sql_ast.distinct;
+    items;
+    from;
+    joins = !joins;
+    cross = !cross;
+    where;
+    group_by;
+    having;
+    order_by;
+    limit;
+  }
+
+and parse_query st =
+  let lhs = parse_query_atom st in
+  if accept_kw st "UNION" then Sql_ast.Union (lhs, parse_query st)
+  else if accept_kw st "INTERSECT" then Sql_ast.Intersect (lhs, parse_query st)
+  else if accept_kw st "EXCEPT" then Sql_ast.Except (lhs, parse_query st)
+  else lhs
+
+and parse_query_atom st =
+  if peek st = L.LPAREN then begin
+    advance st;
+    let q = parse_query st in
+    expect st L.RPAREN ")";
+    q
+  end
+  else Sql_ast.Select (parse_select st)
+
+let parse sql =
+  match L.tokenize sql with
+  | Error msg -> Error msg
+  | Ok toks -> (
+    let st = { toks } in
+    try
+      let q = parse_query st in
+      ignore (accept st L.SEMI);
+      if peek st <> L.EOF then
+        Error
+          (Printf.sprintf "trailing input at %s" (L.token_to_string (peek st)))
+      else Ok q
+    with Parse_error msg -> Error ("parse error: " ^ msg))
+
+let parse_expr s =
+  match L.tokenize s with
+  | Error msg -> Error msg
+  | Ok toks -> (
+    let st = { toks } in
+    try
+      let e = parse_or st in
+      if peek st <> L.EOF then
+        Error
+          (Printf.sprintf "trailing input at %s" (L.token_to_string (peek st)))
+      else Ok e
+    with Parse_error msg -> Error ("parse error: " ^ msg))

@@ -1,0 +1,24 @@
+(** Recursive-descent parser for the SQL subset.
+
+    Grammar (informal):
+    {v
+    query   ::= select { (UNION | INTERSECT | EXCEPT) select } [';']
+    select  ::= SELECT [DISTINCT] items FROM tref { ',' tref }
+                { JOIN tref ON expr } [WHERE expr]
+                [GROUP BY col { ',' col }] [HAVING expr]
+                [ORDER BY col [ASC|DESC] { ',' ... }] [LIMIT int]
+    items   ::= '*' | item { ',' item }
+    item    ::= col [AS ident] | AGG '(' col ')' [AS ident] | COUNT '(' '*' ')'
+    tref    ::= ident [AS ident | ident]
+    expr    ::= standard precedence: OR < AND < NOT < comparison < '+','-'
+                < '*','/' < unary '-'; primaries are literals, columns,
+                parenthesised expressions; predicates include LIKE, IN,
+                BETWEEN, IS [NOT] NULL
+    v} *)
+
+val parse : string -> (Sql_ast.t, string) result
+(** [parse sql] lexes and parses one query. *)
+
+val parse_expr : string -> (Expr.t, string) result
+(** [parse_expr s] parses a standalone expression — used by the policy DSL
+    and the CLI. *)

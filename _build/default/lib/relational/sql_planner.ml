@@ -1,0 +1,150 @@
+let ( let* ) = Result.bind
+
+let default_agg_name fn arg =
+  let base =
+    match fn with
+    | Algebra.CountStar -> "count_star"
+    | Algebra.Expected_count -> "ecount_star"
+    | _ -> String.lowercase_ascii (Algebra.agg_fun_name fn)
+  in
+  match arg with
+  | None -> base
+  | Some c -> base ^ "_" ^ Schema.unqualified c
+
+
+
+let split_items items =
+  let rec go cols aggs star = function
+    | [] -> Ok (List.rev cols, List.rev aggs, star)
+    | Sql_ast.Star :: rest -> go cols aggs true rest
+    | Sql_ast.Column (c, None) :: rest -> go (c :: cols) aggs star rest
+    | Sql_ast.Column (c, Some _) :: _ ->
+      Error
+        (Printf.sprintf
+           "column alias on %S: AS is only supported on aggregates in this \
+            subset" c)
+    | Sql_ast.Aggregate (fn, arg, alias) :: rest ->
+      let out = Option.value alias ~default:(default_agg_name fn arg) in
+      go cols ({ Algebra.fn; arg; out } :: aggs) star rest
+  in
+  go [] [] false items
+
+let rec plan_table_ref = function
+  | Sql_ast.Tref { table; alias = None } -> Ok (Algebra.Scan table)
+  | Sql_ast.Tref { table; alias = Some a } ->
+    Ok (Algebra.Rename (a, Algebra.Scan table))
+  | Sql_ast.Tsub { sub; salias } ->
+    let* sub = plan sub in
+    Ok (Algebra.Rename (salias, sub))
+
+and plan_from (s : Sql_ast.select_stmt) =
+  let* base = plan_table_ref s.from in
+  let* with_cross =
+    List.fold_left
+      (fun acc t ->
+        let* acc = acc in
+        let* t = plan_table_ref t in
+        Ok (Algebra.Join (None, acc, t)))
+      (Ok base) s.cross
+  in
+  List.fold_left
+    (fun acc { Sql_ast.jkind; jtable; jcond } ->
+      let* acc = acc in
+      let* t = plan_table_ref jtable in
+      match jkind with
+      | Sql_ast.Inner_join -> Ok (Algebra.Join (Some jcond, acc, t))
+      | Sql_ast.Left_outer_join -> Ok (Algebra.Left_join (jcond, acc, t)))
+    (Ok with_cross) s.joins
+
+and plan_cond = function
+  | Sql_ast.Cpred e -> Ok (Algebra.Pred e)
+  | Sql_ast.Cin (e, sub) ->
+    let* sub = plan sub in
+    Ok (Algebra.In_sub (e, sub))
+  | Sql_ast.Cexists sub ->
+    let* sub = plan sub in
+    Ok (Algebra.Exists_sub sub)
+  | Sql_ast.Cnot c ->
+    let* c = plan_cond c in
+    Ok (Algebra.Not_c c)
+  | Sql_ast.Cand (a, b) ->
+    let* a = plan_cond a in
+    let* b = plan_cond b in
+    Ok (Algebra.And_c (a, b))
+  | Sql_ast.Cor (a, b) ->
+    let* a = plan_cond a in
+    let* b = plan_cond b in
+    Ok (Algebra.Or_c (a, b))
+
+and plan_select (s : Sql_ast.select_stmt) =
+  let* cols, aggs, star = split_items s.items in
+  let* p = plan_from s in
+  let* p =
+    match s.where with
+    | None -> Ok p
+    | Some c -> (
+      let* cond = plan_cond c in
+      match Algebra.cond_as_expr cond with
+      | Some e -> Ok (Algebra.Select (e, p))
+      | None -> Ok (Algebra.Select_sub (cond, p)))
+  in
+  let* p, projected =
+    if aggs <> [] || s.group_by <> [] then begin
+      (* every non-aggregate select column must be a grouping key *)
+      let missing =
+        List.filter
+          (fun c ->
+            not
+              (List.exists
+                 (fun k -> String.lowercase_ascii k = String.lowercase_ascii c)
+                 s.group_by))
+          cols
+      in
+      if missing <> [] then
+        Error
+          (Printf.sprintf "column(s) %s must appear in GROUP BY"
+             (String.concat ", " missing))
+      else if star then Error "SELECT * cannot be combined with GROUP BY"
+      else begin
+        let p = Algebra.Group_by (s.group_by, aggs, p) in
+        let p =
+          match s.having with None -> p | Some e -> Algebra.Select (e, p)
+        in
+        (* project to the select-list order when it differs from keys@aggs *)
+        let natural =
+          s.group_by @ List.map (fun a -> a.Algebra.out) aggs
+        in
+        let requested = cols @ List.map (fun a -> a.Algebra.out) aggs in
+        if requested = natural then Ok (p, true)
+        else Ok (Algebra.Project (requested, p), true)
+      end
+    end
+    else if s.having <> None then Error "HAVING requires GROUP BY or aggregates"
+    else if star then Ok ((if s.distinct then Algebra.Distinct p else p), true)
+    else Ok (Algebra.Project (cols, p), true)
+  in
+  ignore projected;
+  let p =
+    if s.order_by = [] then p else Algebra.Order_by (s.order_by, p)
+  in
+  let p = match s.limit with None -> p | Some n -> Algebra.Limit (n, p) in
+  Ok p
+
+and plan = function
+  | Sql_ast.Select s -> plan_select s
+  | Sql_ast.Union (a, b) ->
+    let* pa = plan a in
+    let* pb = plan b in
+    Ok (Algebra.Union (pa, pb))
+  | Sql_ast.Intersect (a, b) ->
+    let* pa = plan a in
+    let* pb = plan b in
+    Ok (Algebra.Intersect (pa, pb))
+  | Sql_ast.Except (a, b) ->
+    let* pa = plan a in
+    let* pb = plan b in
+    Ok (Algebra.Diff (pa, pb))
+
+let compile sql =
+  let* ast = Sql_parser.parse sql in
+  plan ast

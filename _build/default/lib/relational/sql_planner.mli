@@ -1,0 +1,25 @@
+(** Translate parsed SQL into relational-algebra plans.
+
+    Planning is purely syntactic (no database access); name resolution and
+    type checking happen when the plan's schema is inferred or the plan is
+    evaluated.  Limitations of the subset are reported as [Error]:
+    column aliases on plain (non-aggregate) select items, and non-grouped
+    columns mixed with aggregates. *)
+
+val plan : Sql_ast.t -> (Algebra.t, string) result
+(** [plan ast] builds the algebra plan:
+    - FROM items combine with cross products, JOIN … ON with theta joins;
+      aliased tables are wrapped in [Rename];
+    - WHERE becomes [Select];
+    - aggregates/GROUP BY become [Group_by] (HAVING becomes a [Select] above
+      it, referencing aggregate output columns by their [AS] names);
+    - the select list becomes a duplicate-eliminating [Project] (set
+      semantics, as in the paper) unless it is [*];
+    - ORDER BY / LIMIT wrap the result. *)
+
+val compile : string -> (Algebra.t, string) result
+(** [compile sql] is parse + plan. *)
+
+val default_agg_name : Algebra.agg_fun -> string option -> string
+(** Output column name used when an aggregate has no alias:
+    COUNT star gives ["count_star"], SUM over f gives ["sum_f"] *)

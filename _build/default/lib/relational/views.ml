@@ -1,0 +1,74 @@
+module StrMap = Map.Make (String)
+module StrSet = Set.Make (String)
+
+type t = Algebra.t StrMap.t
+
+let empty = StrMap.empty
+
+let find views name = StrMap.find_opt name views
+let names views = List.map fst (StrMap.bindings views)
+let remove views name = StrMap.remove name views
+
+(* All view names reachable from [plan] through the store. *)
+let rec reachable views seen plan =
+  List.fold_left
+    (fun seen name ->
+      if StrSet.mem name seen then seen
+      else
+        match StrMap.find_opt name views with
+        | None -> seen
+        | Some definition ->
+          reachable views (StrSet.add name seen) definition)
+    seen
+    (Algebra.base_relations plan)
+
+let add views name plan =
+  (* adding [name := plan] is safe iff [name] is not reachable from [plan]
+     through the store as it will be after the update *)
+  let candidate = StrMap.add name plan views in
+  let reached = reachable candidate StrSet.empty plan in
+  if StrSet.mem name reached then
+    Error (Printf.sprintf "view %S would be recursive" name)
+  else Ok candidate
+
+let expand views plan =
+  let rec go expanding plan =
+    match plan with
+    | Algebra.Scan name -> (
+      match StrMap.find_opt name views with
+      | Some definition when not (StrSet.mem name expanding) ->
+        Algebra.Rename (name, go (StrSet.add name expanding) definition)
+      | _ -> plan)
+    | Algebra.Select (p, x) -> Algebra.Select (p, go expanding x)
+    | Algebra.Select_sub (c, x) ->
+      let rec go_cond c =
+        match c with
+        | Algebra.Pred _ -> c
+        | Algebra.In_sub (e, sub) -> Algebra.In_sub (e, go expanding sub)
+        | Algebra.Exists_sub sub -> Algebra.Exists_sub (go expanding sub)
+        | Algebra.Not_c c -> Algebra.Not_c (go_cond c)
+        | Algebra.And_c (a, b) -> Algebra.And_c (go_cond a, go_cond b)
+        | Algebra.Or_c (a, b) -> Algebra.Or_c (go_cond a, go_cond b)
+      in
+      Algebra.Select_sub (go_cond c, go expanding x)
+    | Algebra.Project (cols, x) -> Algebra.Project (cols, go expanding x)
+    | Algebra.Join (c, a, b) -> Algebra.Join (c, go expanding a, go expanding b)
+    | Algebra.Left_join (c, a, b) ->
+      Algebra.Left_join (c, go expanding a, go expanding b)
+    | Algebra.Union (a, b) -> Algebra.Union (go expanding a, go expanding b)
+    | Algebra.Intersect (a, b) ->
+      Algebra.Intersect (go expanding a, go expanding b)
+    | Algebra.Diff (a, b) -> Algebra.Diff (go expanding a, go expanding b)
+    | Algebra.Rename (alias, x) -> Algebra.Rename (alias, go expanding x)
+    | Algebra.Distinct x -> Algebra.Distinct (go expanding x)
+    | Algebra.Order_by (keys, x) -> Algebra.Order_by (keys, go expanding x)
+    | Algebra.Limit (n, x) -> Algebra.Limit (n, go expanding x)
+    | Algebra.Group_by (keys, aggs, x) ->
+      Algebra.Group_by (keys, aggs, go expanding x)
+  in
+  go StrSet.empty plan
+
+let of_sql views ~name sql =
+  match Sql_planner.compile sql with
+  | Ok plan -> add views name plan
+  | Error msg -> Error msg

@@ -1,0 +1,36 @@
+(** Named views: stored query plans expanded before evaluation.
+
+    Our take on the "quality views" of Missier et al. (VLDB 2006), the
+    closest related work the paper discusses: a view encapsulates a
+    quality-relevant query under a name.  Scanning the name behaves exactly
+    like evaluating the stored plan wrapped in a [Rename] (so the view's
+    columns are qualified with the view name, as a base relation's would
+    be).  Because expansion happens at the plan level, view results carry
+    lineage and confidence like any other derived tuples, and confidence
+    policies apply to them uniformly — the key difference being that the
+    paper's framework adds the dynamic confidence-increment loop on top,
+    which Missier et al.'s views lack.
+
+    A store is immutable; names may shadow base relations only at
+    expansion time resolution order: views win. *)
+
+type t
+
+val empty : t
+
+val add : t -> string -> Algebra.t -> (t, string) result
+(** [add views name plan] registers or replaces a view.  Fails when the
+    definition would make [name] (mutually) recursive through other
+    views. *)
+
+val find : t -> string -> Algebra.t option
+val names : t -> string list
+val remove : t -> string -> t
+
+val expand : t -> Algebra.t -> Algebra.t
+(** [expand views plan] replaces every [Scan v] where [v] is a view with
+    [Rename (v, definition)], recursively (definitions may reference other
+    views; {!add} guarantees the recursion terminates). *)
+
+val of_sql : t -> name:string -> string -> (t, string) result
+(** [of_sql views ~name sql] compiles the SQL text and registers it. *)

@@ -1,0 +1,1 @@
+lib/trust/assignment.ml: Float List Map Option Provenance Relational String

@@ -1,0 +1,1 @@
+lib/trust/assignment.mli: Lineage Provenance Relational

@@ -1,0 +1,1 @@
+lib/trust/provenance.mli:

@@ -1,0 +1,86 @@
+type params = { half_life_days : float; corroboration_strength : float }
+
+let default_params = { half_life_days = 3650.0; corroboration_strength = 0.3 }
+
+let score ?(params = default_params) (r : Provenance.record) =
+  let path_fidelity =
+    List.fold_left (fun acc s -> acc *. s.Provenance.fidelity) 1.0 r.path
+  in
+  let staleness = 2.0 ** (-.r.age_days /. params.half_life_days) in
+  let base = r.source.Provenance.trust *. path_fidelity *. staleness in
+  let boost =
+    (1.0 -. params.corroboration_strength) ** float_of_int r.corroborations
+  in
+  let conf = 1.0 -. ((1.0 -. base) *. boost) in
+  Float.max 0.0 (Float.min 1.0 conf)
+
+let assign ?params db records =
+  List.fold_left
+    (fun db (tid, record) ->
+      Relational.Database.seed_confidence db tid (score ?params record))
+    db records
+
+type claim = { claim_provider : string; claim_key : string; claim_value : string }
+
+module StrMap = Map.Make (String)
+
+let refine ?(iterations = 10) ?(damping = 0.2) priors claims =
+  if iterations < 0 then invalid_arg "Assignment.refine: negative iterations";
+  if not (damping >= 0.0 && damping <= 1.0) then
+    invalid_arg "Assignment.refine: damping outside [0,1]";
+  let trust = ref (StrMap.of_seq (List.to_seq priors)) in
+  (* claims grouped by key: key -> (value -> providers) *)
+  let by_key =
+    List.fold_left
+      (fun acc c ->
+        let values = Option.value ~default:StrMap.empty (StrMap.find_opt c.claim_key acc) in
+        let provs =
+          Option.value ~default:[] (StrMap.find_opt c.claim_value values)
+        in
+        StrMap.add c.claim_key (StrMap.add c.claim_value (c.claim_provider :: provs) values) acc)
+      StrMap.empty claims
+  in
+  let provider_claims =
+    List.fold_left
+      (fun acc c ->
+        let l = Option.value ~default:[] (StrMap.find_opt c.claim_provider acc) in
+        StrMap.add c.claim_provider ((c.claim_key, c.claim_value) :: l) acc)
+      StrMap.empty claims
+  in
+  for _ = 1 to iterations do
+    (* vote of a (key, value) pair: the trust mass supporting this value
+       relative to the trust mass behind every value claimed for the key --
+       a lone dissenter against trusted agreement scores low *)
+    let vote key value =
+      match StrMap.find_opt key by_key with
+      | None -> 0.0
+      | Some values -> (
+        let mass provs =
+          List.fold_left
+            (fun acc p ->
+              acc +. Option.value ~default:0.5 (StrMap.find_opt p !trust))
+            0.0 provs
+        in
+        let total =
+          StrMap.fold (fun _ provs acc -> acc +. mass provs) values 0.0
+        in
+        match StrMap.find_opt value values with
+        | None -> 0.0
+        | Some provs -> if total <= 0.0 then 0.0 else mass provs /. total)
+    in
+    let next =
+      StrMap.mapi
+        (fun pid prior_trust ->
+          match StrMap.find_opt pid provider_claims with
+          | None | Some [] -> prior_trust
+          | Some cs ->
+            let evidence =
+              List.fold_left (fun acc (k, v) -> acc +. vote k v) 0.0 cs
+              /. float_of_int (List.length cs)
+            in
+            (damping *. prior_trust) +. ((1.0 -. damping) *. evidence))
+        !trust
+    in
+    trust := next
+  done;
+  List.map (fun (pid, _) -> (pid, StrMap.find pid !trust)) priors

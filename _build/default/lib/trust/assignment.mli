@@ -1,0 +1,56 @@
+(** Confidence assignment (the paper's first framework element).
+
+    Turns {!Provenance.record}s into confidence values.  The model follows
+    the structure of Dai et al. (SDM 2008): the base confidence is the
+    provider's trustworthiness attenuated by every processing step's
+    fidelity and by staleness, then boosted towards 1 by independent
+    corroborating sources.
+
+    Formally, with provider trust [t], step fidelities [f_1 … f_k],
+    age [a] (days), decay half-life [h], and [c] corroborations of strength
+    [s]:
+
+    {v base = t * Π f_i * 2^(-a/h)
+       conf = 1 - (1 - base) * (1 - s)^c v}
+
+    The module also provides {!refine}, a fixed-point iteration that
+    re-estimates provider trust from the agreement between tuples asserted
+    by multiple providers (a miniature of the source-truth-discovery loop in
+    the SDM 2008 paper). *)
+
+type params = {
+  half_life_days : float;  (** staleness half-life; default 3650 *)
+  corroboration_strength : float;  (** per-source boost [s]; default 0.3 *)
+}
+
+val default_params : params
+
+val score : ?params:params -> Provenance.record -> float
+(** [score record] is the confidence implied by [record], in [\[0,1\]]. *)
+
+val assign :
+  ?params:params ->
+  Relational.Database.t ->
+  (Lineage.Tid.t * Provenance.record) list ->
+  Relational.Database.t
+(** [assign db records] seeds the confidence of every listed tuple with its
+    provenance score. *)
+
+type claim = { claim_provider : string; claim_key : string; claim_value : string }
+(** An assertion by a provider: "the item identified by [claim_key] has
+    value [claim_value]".  Agreement across providers on the same key drives
+    {!refine}. *)
+
+val refine :
+  ?iterations:int ->
+  ?damping:float ->
+  (string * float) list ->
+  claim list ->
+  (string * float) list
+(** [refine priors claims] runs truth-discovery iterations: a value's vote
+    is the trust mass of its supporters divided by the trust mass behind
+    every value claimed for the same key; a provider's new trust is the
+    damped mean vote of the values it asserted.  Returns the refined
+    provider trust map, same keys as [priors].  Defaults: 10 iterations,
+    damping 0.2 (trust moves 80% towards the evidence each round).
+    Providers without claims keep their prior. *)

@@ -1,0 +1,49 @@
+type provider = { pid : string; trust : float }
+
+type method_kind =
+  | Direct_measurement
+  | Survey
+  | Derived
+  | Web_scrape
+  | Manual_entry
+
+type step = { kind : method_kind; fidelity : float }
+
+type record = {
+  source : provider;
+  path : step list;
+  age_days : float;
+  corroborations : int;
+}
+
+let check_unit what x =
+  if not (x >= 0.0 && x <= 1.0) then
+    invalid_arg (Printf.sprintf "Provenance: %s %g outside [0,1]" what x)
+
+let make_provider pid ~trust =
+  check_unit "provider trust" trust;
+  { pid; trust }
+
+let make_step kind ~fidelity =
+  check_unit "step fidelity" fidelity;
+  { kind; fidelity }
+
+let make_record ~source ?(path = []) ?(age_days = 0.0) ?(corroborations = 0) ()
+    =
+  if age_days < 0.0 then invalid_arg "Provenance: negative age";
+  if corroborations < 0 then invalid_arg "Provenance: negative corroborations";
+  { source; path; age_days; corroborations }
+
+let method_kind_name = function
+  | Direct_measurement -> "direct-measurement"
+  | Survey -> "survey"
+  | Derived -> "derived"
+  | Web_scrape -> "web-scrape"
+  | Manual_entry -> "manual-entry"
+
+let default_fidelity = function
+  | Direct_measurement -> 0.98
+  | Survey -> 0.85
+  | Derived -> 0.9
+  | Web_scrape -> 0.7
+  | Manual_entry -> 0.8

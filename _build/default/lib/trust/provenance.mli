@@ -1,0 +1,54 @@
+(** Provenance records for base tuples.
+
+    The paper obtains confidence values from the provenance-based trust
+    model of Dai et al. (SDM 2008): the trustworthiness of a data item
+    depends on the trustworthiness of the providers it came from and on the
+    way it was collected.  We implement that substrate as a small
+    provenance model: each base tuple has a {e source provider} and passed
+    through a sequence of {e processing steps}, each with a fidelity factor.
+
+    This module only stores the records; {!Assignment} turns them into
+    confidence values. *)
+
+type provider = {
+  pid : string;
+  trust : float;  (** prior trustworthiness of the provider, in [\[0,1\]] *)
+}
+
+type method_kind =
+  | Direct_measurement  (** e.g. audited financial statement *)
+  | Survey  (** self-reported data *)
+  | Derived  (** computed from other records *)
+  | Web_scrape  (** harvested from public sources *)
+  | Manual_entry  (** typed in by an operator *)
+
+type step = {
+  kind : method_kind;
+  fidelity : float;
+      (** multiplicative confidence retention of this step, in [\[0,1\]] *)
+}
+
+type record = {
+  source : provider;
+  path : step list;  (** processing steps, source first *)
+  age_days : float;  (** staleness of the item *)
+  corroborations : int;  (** independent sources agreeing with the item *)
+}
+
+val make_provider : string -> trust:float -> provider
+(** @raise Invalid_argument if [trust] is outside [\[0,1\]]. *)
+
+val make_step : method_kind -> fidelity:float -> step
+(** @raise Invalid_argument if [fidelity] is outside [\[0,1\]]. *)
+
+val make_record :
+  source:provider -> ?path:step list -> ?age_days:float ->
+  ?corroborations:int -> unit -> record
+(** Defaults: empty path, zero age, zero corroborations.
+    @raise Invalid_argument on negative [age_days] or [corroborations]. *)
+
+val method_kind_name : method_kind -> string
+
+val default_fidelity : method_kind -> float
+(** A reasonable default fidelity per collection method (direct measurement
+    highest, web scrape lowest), used when callers have no calibration. *)

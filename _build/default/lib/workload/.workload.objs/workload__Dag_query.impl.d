@@ -1,0 +1,1 @@
+lib/workload/dag_query.ml: Array Lineage List Prng

@@ -1,0 +1,1 @@
+lib/workload/dag_query.mli: Lineage Prng

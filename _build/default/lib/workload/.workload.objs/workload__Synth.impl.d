@@ -1,0 +1,1 @@
+lib/workload/synth.ml: Array Cost Dag_query Float Lineage List Optimize Option Printf Prng

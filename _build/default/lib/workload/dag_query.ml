@@ -1,0 +1,77 @@
+module Formula = Lineage.Formula
+module Sm = Prng.Splitmix
+
+let random_monotone_tree rng tids =
+  if tids = [] then invalid_arg "Dag_query.random_monotone_tree: no leaves";
+  let leaves = Array.of_list (List.map Formula.var tids) in
+  Sm.shuffle_in_place rng leaves;
+  let pool = ref (Array.to_list leaves) in
+  let take n =
+    let rec go acc n rest =
+      if n = 0 then (List.rev acc, rest)
+      else
+        match rest with
+        | [] -> (List.rev acc, [])
+        | x :: xs -> go (x :: acc) (n - 1) xs
+    in
+    go [] n !pool
+  in
+  while List.length !pool > 1 do
+    let arity = min (List.length !pool) (Sm.int_in rng 2 3) in
+    let children, rest = take arity in
+    let node =
+      if Sm.bool rng then Formula.conj children else Formula.disj children
+    in
+    (* insert the combined node at a random position to avoid degenerate
+       left-comb shapes *)
+    let rest = Array.of_list rest in
+    let position = Sm.int rng (Array.length rest + 1) in
+    let out = ref [] in
+    Array.iteri
+      (fun i f ->
+        if i = position then out := node :: !out;
+        out := f :: !out)
+      rest;
+    if position = Array.length rest then out := node :: !out;
+    pool := List.rev !out
+  done;
+  List.hd !pool
+
+let random_dag rng ~sharing tids =
+  if tids = [] then invalid_arg "Dag_query.random_dag: no leaves";
+  if not (sharing >= 0.0 && sharing <= 1.0) then
+    invalid_arg "Dag_query.random_dag: sharing outside [0,1]";
+  let leaves = Array.of_list (List.map Formula.var tids) in
+  Sm.shuffle_in_place rng leaves;
+  let pool = ref (Array.to_list leaves) in
+  let used : Formula.t list ref = ref [] in
+  let take n =
+    let rec go acc n rest =
+      if n = 0 then (List.rev acc, rest)
+      else
+        match rest with
+        | [] -> (List.rev acc, [])
+        | x :: xs -> go (x :: acc) (n - 1) xs
+    in
+    go [] n !pool
+  in
+  while List.length !pool > 1 do
+    let arity = min (List.length !pool) (Sm.int_in rng 2 3) in
+    let children, rest = take arity in
+    let children =
+      if !used <> [] && Sm.coin rng sharing then
+        Sm.choice rng (Array.of_list !used) :: children
+      else children
+    in
+    let node =
+      if Sm.bool rng then Formula.conj children else Formula.disj children
+    in
+    used := children @ !used;
+    pool := rest @ [ node ]
+  done;
+  List.hd !pool
+
+let conjunctive tids = Lineage.Formula.conj (List.map Lineage.Formula.var tids)
+
+let dnf_of_groups groups =
+  Lineage.Formula.disj (List.map conjunctive groups)

@@ -1,0 +1,28 @@
+(** Random query DAGs.
+
+    The paper's experiments "use randomly generated DAGs to represent
+    queries" (§5.1): each intermediate result's confidence function is a
+    random monotone ∧/∨ combination of its base tuples.  This module
+    generates such formulas. *)
+
+val random_monotone_tree :
+  Prng.Splitmix.t -> Lineage.Tid.t list -> Lineage.Formula.t
+(** [random_monotone_tree rng tids] builds a random read-once ∧/∨ tree
+    whose leaves are exactly [tids] (each occurring once): leaves are
+    shuffled, then repeatedly combined by And/Or nodes of arity 2–3 chosen
+    uniformly until a single root remains.
+    @raise Invalid_argument on an empty list. *)
+
+val random_dag :
+  Prng.Splitmix.t -> sharing:float -> Lineage.Tid.t list -> Lineage.Formula.t
+(** [random_dag rng ~sharing tids] like {!random_monotone_tree}, but with
+    probability [sharing] per combination step one already-used subformula
+    is reused as an extra child, producing non-read-once lineage (as a join
+    DAG would).  [sharing = 0.] degenerates to a tree. *)
+
+val conjunctive : Lineage.Tid.t list -> Lineage.Formula.t
+(** Plain conjunction — the lineage a multi-way join produces. *)
+
+val dnf_of_groups : Lineage.Tid.t list list -> Lineage.Formula.t
+(** [dnf_of_groups groups] is an Or of Ands — the lineage of a
+    duplicate-eliminating projection over a join. *)

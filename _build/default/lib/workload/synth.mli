@@ -1,0 +1,41 @@
+(** Synthetic instance generator reproducing the paper's §5.1 setting
+    (Table 4).
+
+    - base tuples get "a randomly generated confidence value around 0.1"
+      (uniform in [0.05, 0.15]) and a random cost function from the
+      binomial / exponential / logarithmic families;
+    - each intermediate result tuple is associated with [bases_per_result]
+      base tuples drawn from the pool, combined by a random monotone ∧/∨
+      DAG ({!Dag_query});
+    - the required count follows the paper's [(θ - θ')*n] with θ' the
+      fraction of results initially above β.
+
+    The number of result tuples is not stated in the paper; we derive it
+    from an average {e coverage} (how many results each base tuple touches,
+    default 2.0): [n = max 4 (round (coverage * k / bases_per_result))]. *)
+
+type params = {
+  data_size : int;  (** k — distinct base tuples (Table 4 row 1) *)
+  bases_per_result : int;  (** Table 4 row 2; default 5 *)
+  delta : float;  (** Table 4 row 3; default 0.1 *)
+  theta : float;  (** Table 4 row 4; default 0.5 *)
+  beta : float;  (** Table 4 row 5; default 0.6 *)
+  coverage : float;  (** avg results per base tuple; default 2.0 *)
+  p0_lo : float;  (** default 0.05 *)
+  p0_hi : float;  (** default 0.15 *)
+}
+
+val default_params : params
+(** Table 4 defaults: 10K base tuples, 5 per result, δ=0.1, θ=50%, β=0.6. *)
+
+val table4 : params -> (string * string) list
+(** Parameter table (name, value) as printed by the bench harness. *)
+
+val instance : ?params:params -> seed:int -> unit -> Optimize.Problem.t
+(** [instance ~seed ()] generates one deterministic instance. *)
+
+val small_instance :
+  ?num_bases:int -> ?num_results:int -> ?required:int -> ?beta:float ->
+  ?bases_per_result:int -> seed:int -> unit -> Optimize.Problem.t
+(** The Fig. 11 (a)/(d) micro-instance: 10 base tuples, 8 results of 5
+    base tuples each, at least 3 results above β=0.6. *)

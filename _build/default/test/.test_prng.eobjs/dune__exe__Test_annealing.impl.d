@@ -1,0 +1,1 @@
+test/test_annealing.ml: Alcotest Cost Float Lineage List Optimize Printf Workload

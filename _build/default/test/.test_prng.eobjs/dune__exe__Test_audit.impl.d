@@ -1,0 +1,1 @@
+test/test_audit.ml: Alcotest Database Lineage List Pcqe Rbac Relation Relational Schema String Value

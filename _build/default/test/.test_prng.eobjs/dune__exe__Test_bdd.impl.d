@@ -1,0 +1,1 @@
+test/test_bdd.ml: Alcotest Array Float Lineage List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Cost Float List Prng QCheck QCheck_alcotest

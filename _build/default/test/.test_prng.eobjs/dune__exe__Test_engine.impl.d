@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Cost Lineage List Optimize Option Pcqe Rbac Relational String

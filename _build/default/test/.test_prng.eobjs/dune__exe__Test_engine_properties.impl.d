@@ -1,0 +1,1 @@
+test/test_engine_properties.ml: Alcotest Cost Float Lineage List Pcqe Prng QCheck QCheck_alcotest Rbac Relational

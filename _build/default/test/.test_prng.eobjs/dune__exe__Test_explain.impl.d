@@ -1,0 +1,1 @@
+test/test_explain.ml: Alcotest Array Fmt Lineage List QCheck QCheck_alcotest String

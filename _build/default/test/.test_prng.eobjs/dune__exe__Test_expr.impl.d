@@ -1,0 +1,1 @@
+test/test_expr.ml: Alcotest QCheck QCheck_alcotest Relational String

@@ -1,0 +1,1 @@
+test/test_formula.ml: Alcotest Lineage List QCheck QCheck_alcotest

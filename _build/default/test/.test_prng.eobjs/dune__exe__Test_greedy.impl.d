@@ -1,0 +1,1 @@
+test/test_greedy.ml: Alcotest Cost Float Lineage List Optimize Printf Workload

@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest List Optimize Option QCheck QCheck_alcotest

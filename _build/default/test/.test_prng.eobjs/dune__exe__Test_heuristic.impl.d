@@ -1,0 +1,1 @@
+test/test_heuristic.ml: Alcotest Array Cost Float Lineage List Optimize Printf Workload

@@ -1,0 +1,1 @@
+test/test_lead_time.ml: Alcotest Cost Database Lineage List Pcqe Relation Relational Schema String Value

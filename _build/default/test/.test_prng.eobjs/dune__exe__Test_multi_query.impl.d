@@ -1,0 +1,1 @@
+test/test_multi_query.ml: Alcotest Cost Float Lineage List Optimize Printf

@@ -1,0 +1,1 @@
+test/test_outer_join.ml: Alcotest Lineage List Relational

@@ -1,0 +1,1 @@
+test/test_partition.ml: Alcotest Array Cost Lineage List Optimize QCheck QCheck_alcotest Workload

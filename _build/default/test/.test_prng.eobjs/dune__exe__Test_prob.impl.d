@@ -1,0 +1,1 @@
+test/test_prob.ml: Alcotest Array Float Lineage List Printf Prng QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_problem_state.ml: Alcotest Algebra Array Cost Database Eval Lineage List Optimize Prng Relation Relational Schema Value Workload

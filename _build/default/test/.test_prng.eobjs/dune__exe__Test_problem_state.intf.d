@@ -1,0 +1,1 @@
+test/test_problem_state.mli:

@@ -1,0 +1,1 @@
+test/test_rbac_config.ml: Alcotest Database List Pcqe Rbac Relation Relational Schema String Value

@@ -1,0 +1,1 @@
+test/test_repl.ml: Alcotest Filename Lineage List Pcqe Printf Rbac Relational String Sys Unix

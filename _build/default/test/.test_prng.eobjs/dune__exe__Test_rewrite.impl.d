@@ -1,0 +1,1 @@
+test/test_rewrite.ml: Alcotest Lineage List QCheck QCheck_alcotest Relational

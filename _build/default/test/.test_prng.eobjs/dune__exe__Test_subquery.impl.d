@@ -1,0 +1,1 @@
+test/test_subquery.ml: Alcotest Lineage List Relational

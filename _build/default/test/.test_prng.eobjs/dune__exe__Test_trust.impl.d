@@ -1,0 +1,1 @@
+test/test_trust.ml: Alcotest List QCheck QCheck_alcotest Relational Trust

@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest List Option QCheck QCheck_alcotest Relational

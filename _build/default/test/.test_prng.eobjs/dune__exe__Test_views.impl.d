@@ -1,0 +1,1 @@
+test/test_views.ml: Alcotest Lineage List Pcqe Rbac Relational

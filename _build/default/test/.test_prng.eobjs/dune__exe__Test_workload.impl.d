@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Lineage List Optimize Printf Prng QCheck QCheck_alcotest Workload

@@ -1,0 +1,1 @@
+test/test_workspace.ml: Alcotest Filename Lineage List Option Pcqe Printf Random Relational String Sys Unix

@@ -1,0 +1,120 @@
+(* Tests for the simulated-annealing baseline. *)
+
+module Problem = Optimize.Problem
+module State = Optimize.State
+module A = Optimize.Annealing
+module H = Optimize.Heuristic
+module Greedy = Optimize.Greedy
+module F = Lineage.Formula
+module Tid = Lineage.Tid
+module C = Cost.Cost_model
+
+let t i = Tid.make "b" i
+let v i = F.var (t i)
+
+let verify problem (out : A.outcome) =
+  let st = State.create problem in
+  List.iter
+    (fun (tid, level) ->
+      match Problem.bid_of_tid problem tid with
+      | Some bid -> State.set_base st bid level
+      | None -> Alcotest.fail "unknown base in solution")
+    out.A.solution;
+  Alcotest.(check bool) "requirement met" true
+    (State.satisfied_count st >= Problem.required problem);
+  Alcotest.(check bool) "cost matches replay" true
+    (Float.abs (State.cost st -. out.A.cost) < 1e-6)
+
+let test_deterministic () =
+  let p = Workload.Synth.small_instance ~seed:3 () in
+  let a = A.solve p and b = A.solve p in
+  Alcotest.(check bool) "same feasibility" a.A.feasible b.A.feasible;
+  Alcotest.(check (float 1e-9)) "same cost" a.A.cost b.A.cost
+
+let test_feasible_on_small_instances () =
+  for seed = 0 to 9 do
+    let p = Workload.Synth.small_instance ~seed () in
+    let out = A.solve p in
+    Alcotest.(check bool) (Printf.sprintf "seed %d feasible" seed) true
+      out.A.feasible;
+    verify p out
+  done
+
+let test_near_optimal_on_tiny_instances () =
+  (* the walk should land within 3x of the exact optimum on easy cases *)
+  for seed = 0 to 4 do
+    let p =
+      Workload.Synth.small_instance ~num_bases:4 ~num_results:3 ~required:2
+        ~bases_per_result:3 ~seed ()
+    in
+    let exact = H.solve p in
+    let sa = A.solve p in
+    match exact.H.solution with
+    | Some _ ->
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: %.2f within 3x of %.2f" seed sa.A.cost
+           exact.H.cost)
+        true
+        (sa.A.feasible && sa.A.cost <= (3.0 *. exact.H.cost) +. 1e-6)
+    | None -> ()
+  done
+
+let test_infeasible_detected () =
+  let p =
+    Problem.make_exn ~beta:0.9 ~required:1
+      ~bases:
+        [ { Problem.tid = t 0; p0 = 0.1; cap = 0.3; cost = C.linear ~rate:1.0 } ]
+      ~formulas:[ v 0 ] ()
+  in
+  let out = A.solve p in
+  Alcotest.(check bool) "infeasible" false out.A.feasible
+
+let test_already_satisfied_is_free () =
+  let p =
+    Problem.make_exn ~beta:0.05 ~required:1
+      ~bases:
+        [ { Problem.tid = t 0; p0 = 0.5; cap = 1.0; cost = C.linear ~rate:1.0 } ]
+      ~formulas:[ v 0 ] ()
+  in
+  let out = A.solve p in
+  Alcotest.(check bool) "feasible" true out.A.feasible;
+  Alcotest.(check (float 1e-9)) "free" 0.0 out.A.cost
+
+let test_solver_facade () =
+  let p = Workload.Synth.small_instance ~seed:5 () in
+  let out = Optimize.Solver.solve ~algorithm:Optimize.Solver.annealing p in
+  Alcotest.(check bool) "solution through facade" true
+    (out.Optimize.Solver.solution <> None);
+  Alcotest.(check string) "name" "simulated-annealing"
+    (Optimize.Solver.algorithm_name Optimize.Solver.annealing)
+
+let test_never_beats_exact () =
+  for seed = 10 to 14 do
+    let p =
+      Workload.Synth.small_instance ~num_bases:4 ~num_results:3 ~required:2
+        ~bases_per_result:3 ~seed ()
+    in
+    let exact = H.solve p in
+    let sa = A.solve p in
+    if sa.A.feasible && exact.H.solution <> None then
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: %.4f >= %.4f" seed sa.A.cost exact.H.cost)
+        true
+        (sa.A.cost >= exact.H.cost -. 1e-6)
+  done
+
+let () =
+  Alcotest.run "annealing"
+    [
+      ( "annealing",
+        [
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "feasible" `Quick test_feasible_on_small_instances;
+          Alcotest.test_case "near optimal on tiny" `Quick
+            test_near_optimal_on_tiny_instances;
+          Alcotest.test_case "infeasible" `Quick test_infeasible_detected;
+          Alcotest.test_case "already satisfied" `Quick test_already_satisfied_is_free;
+          Alcotest.test_case "solver facade" `Quick test_solver_facade;
+          Alcotest.test_case "never beats exact" `Quick test_never_beats_exact;
+        ] );
+    ]

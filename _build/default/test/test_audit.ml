@@ -1,0 +1,130 @@
+(* Tests for the audit trail. *)
+
+module A = Pcqe.Audit
+module Tid = Lineage.Tid
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let sample_query ?(user = "alice") ?(withheld = 1) () =
+  A.Query
+    {
+      user;
+      purpose = "investment";
+      sql = "SELECT x FROM T WHERE a = 'b c'";
+      threshold = Some 0.06;
+      released = 2;
+      withheld;
+      proposal_cost = Some 10.0;
+    }
+
+let sample_improvement =
+  A.Improvement
+    {
+      user = "alice";
+      cost = 10.0;
+      increments = [ (Tid.make "Proposal" 2, 0.5); (Tid.make "Info" 0, 0.2) ];
+    }
+
+let sample_denial = A.Denied { user = "mallory"; reason = "lacks select on T" }
+
+let test_sequencing () =
+  let log = A.empty in
+  Alcotest.(check int) "empty" 0 (A.length log);
+  let log = A.record log (sample_query ()) in
+  let log = A.record log sample_improvement in
+  let log = A.record log sample_denial in
+  Alcotest.(check int) "three entries" 3 (A.length log);
+  Alcotest.(check (list int)) "sequence numbers" [ 0; 1; 2 ]
+    (List.map (fun e -> e.A.seq) (A.entries log))
+
+let test_filter_by_user () =
+  let log = A.record A.empty (sample_query ()) in
+  let log = A.record log sample_denial in
+  let log = A.record log (sample_query ~user:"bob" ()) in
+  Alcotest.(check int) "alice has one" 1 (List.length (A.events_for_user log "alice"));
+  Alcotest.(check int) "mallory has one" 1
+    (List.length (A.events_for_user log "mallory"));
+  Alcotest.(check int) "nobody" 0 (List.length (A.events_for_user log "eve"))
+
+let test_to_string () =
+  let log = A.record A.empty (sample_query ()) in
+  let text = A.to_string log in
+  Alcotest.(check bool) "mentions the user" true (contains ~needle:"alice" text);
+  Alcotest.(check bool) "mentions withheld" true (contains ~needle:"withheld=1" text)
+
+let test_render_parse_roundtrip () =
+  let log =
+    List.fold_left A.record A.empty
+      [ sample_query (); sample_improvement; sample_denial; sample_query ~user:"bob" ~withheld:0 () ]
+  in
+  match A.parse (A.render log) with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok log' ->
+    Alcotest.(check int) "same length" (A.length log) (A.length log');
+    Alcotest.(check string) "same rendering" (A.render log) (A.render log');
+    (* appending after a reload continues the sequence *)
+    let log'' = A.record log' sample_denial in
+    Alcotest.(check int) "sequence continues" 5 (A.length log'')
+
+let test_parse_errors () =
+  List.iter
+    (fun text ->
+      match A.parse text with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "expected failure: %s" text)
+    [ "X\t0\tu"; "Q\tnot-a-number\tu\tp\t-\t0\t0\t-\tsql"; "I\t0\tu\tbad\t" ]
+
+let test_record_answer_and_acceptance () =
+  (* drive the helpers through a real engine response *)
+  let open Relational in
+  let r = Relation.create "T" (Schema.of_list [ ("x", Value.TInt) ]) in
+  let db = Database.add_relation Database.empty r in
+  let db, _ = Database.insert db "T" [ Value.Int 1 ] ~conf:0.3 in
+  let ok = function Ok x -> x | Error m -> Alcotest.failf "unexpected: %s" m in
+  let rbac =
+    let open Rbac.Core_rbac in
+    let m = add_user (add_role empty "a") "u" in
+    let m = ok (assign_user m ~user:"u" ~role:"a") in
+    ok (grant m ~role:"a" { action = "select"; resource = "*" })
+  in
+  let policies =
+    Rbac.Policy.of_list [ Rbac.Policy.make ~role:"a" ~purpose:"p" ~beta:0.5 ]
+  in
+  let ctx = Pcqe.Engine.make_context ~db ~rbac ~policies () in
+  let sql = "SELECT x FROM T" in
+  let resp =
+    ok
+      (Pcqe.Engine.answer ctx
+         { Pcqe.Engine.query = Pcqe.Query.sql sql; user = "u"; purpose = "p"; perc = 1.0 })
+  in
+  let log = A.record_answer A.empty ~user:"u" ~purpose:"p" ~sql resp in
+  let log =
+    match resp.Pcqe.Engine.proposal with
+    | Some proposal -> A.record_acceptance log ~user:"u" proposal
+    | None -> Alcotest.fail "expected proposal"
+  in
+  Alcotest.(check int) "two entries" 2 (A.length log);
+  let text = A.to_string log in
+  Alcotest.(check bool) "query logged" true (contains ~needle:"threshold=0.5" text);
+  Alcotest.(check bool) "improvement logged" true (contains ~needle:"improvement" text);
+  (* roundtrip through persistence *)
+  match A.parse (A.render log) with
+  | Ok log' -> Alcotest.(check string) "roundtrip" (A.render log) (A.render log')
+  | Error msg -> Alcotest.fail msg
+
+let () =
+  Alcotest.run "audit"
+    [
+      ( "audit",
+        [
+          Alcotest.test_case "sequencing" `Quick test_sequencing;
+          Alcotest.test_case "filter by user" `Quick test_filter_by_user;
+          Alcotest.test_case "report" `Quick test_to_string;
+          Alcotest.test_case "persistence roundtrip" `Quick test_render_parse_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "engine helpers" `Quick test_record_answer_and_acceptance;
+        ] );
+    ]

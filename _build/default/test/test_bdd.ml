@@ -1,0 +1,138 @@
+(* Tests for the OBDD package: semantics, canonicity, probability. *)
+
+module B = Lineage.Bdd
+module F = Lineage.Formula
+module P = Lineage.Prob
+module Tid = Lineage.Tid
+
+let v i = F.var (Tid.make "t" i)
+
+let test_constants () =
+  let m = B.manager () in
+  Alcotest.(check bool) "zero" true (B.is_zero (B.zero m));
+  Alcotest.(check bool) "one" true (B.is_one (B.one m));
+  Alcotest.(check bool) "not zero = one" true (B.is_one (B.bnot m (B.zero m)))
+
+let test_var_semantics () =
+  let m = B.manager () in
+  let x = B.var m (Tid.make "t" 0) in
+  Alcotest.(check bool) "x true" true (B.eval (fun _ -> true) x);
+  Alcotest.(check bool) "x false" false (B.eval (fun _ -> false) x)
+
+let test_canonicity () =
+  let m = B.manager () in
+  (* a & b == b & a; a | !a == 1; (a & b) | (a & !b) == a *)
+  let a = B.var m (Tid.make "t" 0) and b = B.var m (Tid.make "t" 1) in
+  Alcotest.(check bool) "commutativity" true
+    (B.equal (B.band m a b) (B.band m b a));
+  Alcotest.(check bool) "excluded middle" true
+    (B.is_one (B.bor m a (B.bnot m a)));
+  Alcotest.(check bool) "contradiction" true
+    (B.is_zero (B.band m a (B.bnot m a)));
+  let lhs = B.bor m (B.band m a b) (B.band m a (B.bnot m b)) in
+  Alcotest.(check bool) "shannon recombination" true (B.equal lhs a)
+
+let test_of_formula_equivalences () =
+  let m = B.manager () in
+  (* distribution: a & (b | c) == (a & b) | (a & c) *)
+  let f1 = F.conj [ v 0; F.disj [ v 1; v 2 ] ] in
+  let f2 = F.disj [ F.conj [ v 0; v 1 ]; F.conj [ v 0; v 2 ] ] in
+  Alcotest.(check bool) "distribution" true
+    (B.equal (B.of_formula m f1) (B.of_formula m f2));
+  (* de morgan *)
+  let g1 = F.neg (F.conj [ v 0; v 1 ]) in
+  let g2 = F.disj [ F.neg (v 0); F.neg (v 1) ] in
+  Alcotest.(check bool) "de morgan" true
+    (B.equal (B.of_formula m g1) (B.of_formula m g2))
+
+let test_size () =
+  let m = B.manager () in
+  let f = F.conj [ v 0; v 1; v 2 ] in
+  Alcotest.(check int) "conjunction has n nodes" 3 (B.size (B.of_formula m f))
+
+let test_prob_paper_example () =
+  let m = B.manager () in
+  let f = F.conj [ F.disj [ v 2; v 3 ]; v 13 ] in
+  let p tid =
+    match tid.Tid.row with 2 -> 0.3 | 3 -> 0.4 | 13 -> 0.1 | _ -> 0.0
+  in
+  Alcotest.(check (float 1e-12)) "p38 via BDD" 0.058
+    (B.prob m p (B.of_formula m f))
+
+let test_sat_count () =
+  let m = B.manager () in
+  let f = F.disj [ v 0; v 1 ] in
+  let vars = F.vars f in
+  Alcotest.(check (float 1e-9)) "3 of 4 assignments" 3.0
+    (B.sat_count m (B.of_formula m f) ~vars);
+  (* over a larger var set the count scales by the free variables *)
+  let vars5 = Tid.Set.add (Tid.make "t" 9) vars in
+  Alcotest.(check (float 1e-9)) "free var doubles" 6.0
+    (B.sat_count m (B.of_formula m f) ~vars:vars5)
+
+let gen_formula =
+  QCheck.Gen.(
+    sized
+    @@ fix (fun self n ->
+           if n <= 1 then map (fun i -> v i) (int_range 0 3)
+           else
+             frequency
+               [
+                 (2, map (fun i -> v i) (int_range 0 3));
+                 (1, map F.neg (self (n / 2)));
+                 (2, map F.conj (list_size (int_range 2 3) (self (n / 2))));
+                 (2, map F.disj (list_size (int_range 2 3) (self (n / 2))));
+               ]))
+
+let arb_formula = QCheck.make ~print:F.to_string gen_formula
+
+let qcheck_bdd_eval_matches_formula_eval =
+  QCheck.Test.make ~name:"BDD eval matches formula eval" ~count:300
+    (QCheck.pair arb_formula (QCheck.list_of_size (QCheck.Gen.return 4) QCheck.bool))
+    (fun (f, bits) ->
+      let m = B.manager () in
+      let b = B.of_formula m f in
+      let assignment tid = List.nth bits tid.Tid.row in
+      F.eval assignment f = B.eval assignment b)
+
+let qcheck_bdd_prob_matches_exact =
+  QCheck.Test.make ~name:"BDD prob matches Shannon exact" ~count:300 arb_formula
+    (fun f ->
+      let m = B.manager () in
+      let p tid = [| 0.17; 0.5; 0.83; 0.31 |].(tid.Tid.row) in
+      Float.abs (B.prob m p (B.of_formula m f) -. P.exact p f) < 1e-9)
+
+let qcheck_equivalent_formulas_identical_bdds =
+  QCheck.Test.make ~name:"semantic equivalence = physical identity" ~count:200
+    (QCheck.pair arb_formula arb_formula)
+    (fun (f, g) ->
+      let m = B.manager () in
+      let bf = B.of_formula m f and bg = B.of_formula m g in
+      (* check equivalence by brute force over 4 vars *)
+      let equivalent = ref true in
+      for mask = 0 to 15 do
+        let assignment tid = mask land (1 lsl tid.Tid.row) <> 0 in
+        if F.eval assignment f <> F.eval assignment g then equivalent := false
+      done;
+      B.equal bf bg = !equivalent)
+
+let () =
+  Alcotest.run "bdd"
+    [
+      ( "bdd",
+        [
+          Alcotest.test_case "constants" `Quick test_constants;
+          Alcotest.test_case "variables" `Quick test_var_semantics;
+          Alcotest.test_case "canonicity" `Quick test_canonicity;
+          Alcotest.test_case "formula equivalences" `Quick test_of_formula_equivalences;
+          Alcotest.test_case "size" `Quick test_size;
+          Alcotest.test_case "paper probability" `Quick test_prob_paper_example;
+          Alcotest.test_case "sat count" `Quick test_sat_count;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest qcheck_bdd_eval_matches_formula_eval;
+          QCheck_alcotest.to_alcotest qcheck_bdd_prob_matches_exact;
+          QCheck_alcotest.to_alcotest qcheck_equivalent_formulas_identical_bdds;
+        ] );
+    ]

@@ -1,0 +1,173 @@
+(* Tests for cost-function families. *)
+
+module C = Cost.Cost_model
+
+let families =
+  [
+    ("linear", C.linear ~rate:10.0);
+    ("binomial", C.binomial ~scale:10.0);
+    ("exponential", C.exponential ~scale:5.0 ~rate:2.0);
+    ("logarithmic", C.logarithmic ~scale:5.0);
+  ]
+
+let test_validation () =
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "rejected" true
+        (try
+           ignore (f ());
+           false
+         with Invalid_argument _ -> true))
+    [
+      (fun () -> C.linear ~rate:0.0);
+      (fun () -> C.binomial ~scale:(-1.0));
+      (fun () -> C.exponential ~scale:1.0 ~rate:0.0);
+      (fun () -> C.logarithmic ~scale:0.0);
+      (fun () -> C.make (C.Binomial { scale = 1.0; degree = 0 }));
+    ]
+
+let test_noop_is_free () =
+  List.iter
+    (fun (name, c) ->
+      Alcotest.(check (float 0.0)) (name ^ " noop") 0.0
+        (C.eval c ~from_:0.3 ~to_:0.3);
+      Alcotest.(check (float 0.0)) (name ^ " backwards") 0.0
+        (C.eval c ~from_:0.5 ~to_:0.3))
+    families
+
+let test_linear_values () =
+  let c = C.linear ~rate:100.0 in
+  (* the paper's tuple 03: +0.1 confidence costs 10 *)
+  Alcotest.(check (float 1e-9)) "rate 100, +0.1 costs 10" 10.0
+    (C.eval c ~from_:0.4 ~to_:0.5)
+
+let test_binomial_marginal_grows () =
+  let c = C.binomial ~scale:10.0 in
+  let low = C.marginal c ~at:0.1 ~delta:0.1 in
+  let high = C.marginal c ~at:0.8 ~delta:0.1 in
+  Alcotest.(check bool) "marginal increasing" true (high > low);
+  Alcotest.(check (float 1e-9)) "quadratic value" (10.0 *. ((0.2 ** 2.0) -. (0.1 ** 2.0))) low
+
+let test_exponential_values () =
+  let c = C.exponential ~scale:1.0 ~rate:1.0 in
+  Alcotest.(check (float 1e-9)) "level" (Float.exp 0.5 -. 1.0) (C.level c 0.5)
+
+let test_logarithmic_diverges () =
+  let c = C.logarithmic ~scale:1.0 in
+  Alcotest.(check (float 1e-9)) "level at 0" 0.0 (C.level c 0.0);
+  Alcotest.(check bool) "infinite at 1" true (C.level c 1.0 = infinity);
+  Alcotest.(check bool) "finite below 1" true (C.level c 0.999 < infinity)
+
+let test_level_clamps () =
+  let c = C.linear ~rate:10.0 in
+  Alcotest.(check (float 1e-9)) "above 1 clamped" (C.level c 1.0) (C.level c 7.0);
+  Alcotest.(check (float 1e-9)) "below 0 clamped" 0.0 (C.level c (-3.0))
+
+let test_random_families () =
+  let rng = Prng.Splitmix.of_int 5 in
+  let seen_binomial = ref false
+  and seen_exponential = ref false
+  and seen_logarithmic = ref false in
+  for _ = 1 to 100 do
+    match C.shape (C.random rng) with
+    | C.Binomial _ -> seen_binomial := true
+    | C.Exponential _ -> seen_exponential := true
+    | C.Logarithmic _ -> seen_logarithmic := true
+    | C.Linear _ -> Alcotest.fail "random never draws linear"
+  done;
+  Alcotest.(check bool) "all three families drawn" true
+    (!seen_binomial && !seen_exponential && !seen_logarithmic)
+
+let test_to_string () =
+  Alcotest.(check string) "linear" "linear(rate=10)" (C.to_string (C.linear ~rate:10.0));
+  Alcotest.(check string) "binomial" "binomial(scale=2, degree=2)"
+    (C.to_string (C.binomial ~scale:2.0))
+
+let test_parse_specs () =
+  List.iter
+    (fun (spec, expect) ->
+      match C.parse spec with
+      | Ok c -> Alcotest.(check string) spec expect (C.to_string c)
+      | Error msg -> Alcotest.failf "%s: %s" spec msg)
+    [
+      ("linear 10", "linear(rate=10)");
+      ("binomial 5", "binomial(scale=5, degree=2)");
+      ("exponential 2 3", "exponential(scale=2, rate=3)");
+      ("logarithmic 7", "logarithmic(scale=7)");
+      ("  linear   10  ", "linear(rate=10)");
+    ];
+  List.iter
+    (fun spec ->
+      match C.parse spec with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "expected failure: %s" spec)
+    [ ""; "linear"; "linear x"; "linear -1"; "linear 0"; "cubic 3"; "exponential 2" ]
+
+let test_spec_roundtrip () =
+  let rng = Prng.Splitmix.of_int 77 in
+  for _ = 1 to 50 do
+    let c = C.random rng in
+    match C.parse (C.spec c) with
+    | Ok c' -> Alcotest.(check string) "roundtrip" (C.to_string c) (C.to_string c')
+    | Error msg -> Alcotest.failf "roundtrip failed: %s" msg
+  done
+
+let arb_family =
+  QCheck.make
+    ~print:(fun i -> fst (List.nth families i))
+    QCheck.Gen.(int_range 0 3)
+
+let qcheck_monotone =
+  QCheck.Test.make ~name:"eval non-decreasing in target" ~count:500
+    (QCheck.triple arb_family
+       (QCheck.float_range 0.0 0.99)
+       (QCheck.float_range 0.0 0.99))
+    (fun (i, a, b) ->
+      let _, c = List.nth families i in
+      let lo = Float.min a b and hi = Float.max a b in
+      C.eval c ~from_:0.0 ~to_:hi >= C.eval c ~from_:0.0 ~to_:lo -. 1e-12)
+
+let qcheck_path_independence =
+  QCheck.Test.make ~name:"cost is path independent" ~count:500
+    (QCheck.triple arb_family
+       (QCheck.float_range 0.0 0.9)
+       (QCheck.float_range 0.0 0.9))
+    (fun (i, a, b) ->
+      let _, c = List.nth families i in
+      let lo = Float.min a b and hi = Float.max a b in
+      let mid = (lo +. hi) /. 2.0 in
+      let direct = C.eval c ~from_:lo ~to_:hi in
+      let stepped = C.eval c ~from_:lo ~to_:mid +. C.eval c ~from_:mid ~to_:hi in
+      Float.abs (direct -. stepped) < 1e-9)
+
+let qcheck_nonnegative =
+  QCheck.Test.make ~name:"cost is non-negative" ~count:500
+    (QCheck.triple arb_family (QCheck.float_range 0.0 0.99) (QCheck.float_range 0.0 0.99))
+    (fun (i, a, b) ->
+      let _, c = List.nth families i in
+      C.eval c ~from_:a ~to_:b >= 0.0)
+
+let () =
+  Alcotest.run "cost"
+    [
+      ( "families",
+        [
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "noop free" `Quick test_noop_is_free;
+          Alcotest.test_case "linear" `Quick test_linear_values;
+          Alcotest.test_case "binomial marginal" `Quick test_binomial_marginal_grows;
+          Alcotest.test_case "exponential" `Quick test_exponential_values;
+          Alcotest.test_case "log diverges" `Quick test_logarithmic_diverges;
+          Alcotest.test_case "clamping" `Quick test_level_clamps;
+          Alcotest.test_case "random families" `Quick test_random_families;
+          Alcotest.test_case "to_string" `Quick test_to_string;
+          Alcotest.test_case "parse specs" `Quick test_parse_specs;
+          Alcotest.test_case "spec roundtrip" `Quick test_spec_roundtrip;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest qcheck_monotone;
+          QCheck_alcotest.to_alcotest qcheck_path_independence;
+          QCheck_alcotest.to_alcotest qcheck_nonnegative;
+        ] );
+    ]

@@ -1,0 +1,106 @@
+(* Tests for CSV import/export. *)
+
+module C = Relational.Csv
+module Db = Relational.Database
+module R = Relational.Relation
+module V = Relational.Value
+
+let test_parse_line_simple () =
+  Alcotest.(check (list string)) "plain" [ "a"; "b"; "c" ] (C.parse_line "a,b,c")
+
+let test_parse_line_quoted () =
+  Alcotest.(check (list string)) "comma inside quotes" [ "a,b"; "c" ]
+    (C.parse_line "\"a,b\",c");
+  Alcotest.(check (list string)) "escaped quote" [ "say \"hi\"" ]
+    (C.parse_line "\"say \"\"hi\"\"\"");
+  Alcotest.(check (list string)) "empty fields" [ ""; ""; "" ] (C.parse_line ",,")
+
+let test_render_roundtrip () =
+  let fields = [ "plain"; "with,comma"; "with\"quote"; "" ] in
+  Alcotest.(check (list string)) "roundtrip" fields
+    (C.parse_line (C.render_line fields))
+
+let test_relation_of_string () =
+  let csv = "name:string,age:int\nalice,30\nbob,25\n" in
+  match C.relation_of_string ~name:"People" csv with
+  | Error msg -> Alcotest.fail msg
+  | Ok (rel, confs) ->
+    Alcotest.(check int) "2 rows" 2 (R.cardinality rel);
+    Alcotest.(check int) "2 confs" 2 (List.length confs);
+    List.iter
+      (fun (_, c) -> Alcotest.(check (float 0.0)) "default conf" 1.0 c)
+      confs
+
+let test_confidence_column () =
+  let csv = "name:string,__confidence:real\nalice,0.25\nbob,0.75\n" in
+  match C.relation_of_string ~name:"P" csv with
+  | Error msg -> Alcotest.fail msg
+  | Ok (rel, confs) ->
+    Alcotest.(check int) "confidence column not stored" 1
+      (Relational.Schema.arity (R.schema rel));
+    Alcotest.(check (list (float 1e-9))) "confidences" [ 0.25; 0.75 ]
+      (List.map snd confs)
+
+let test_nulls_and_types () =
+  let csv = "a:int,b:real,c:bool\n1,2.5,true\n,NULL,\n" in
+  match C.relation_of_string ~name:"T" csv with
+  | Error msg -> Alcotest.fail msg
+  | Ok (rel, _) -> (
+    match R.tuples rel with
+    | [ _; (_, t2) ] ->
+      Alcotest.(check bool) "null int" true
+        (V.equal (Relational.Tuple.get t2 0) V.Null);
+      Alcotest.(check bool) "null bool" true
+        (V.equal (Relational.Tuple.get t2 2) V.Null)
+    | _ -> Alcotest.fail "expected 2 rows")
+
+let test_errors () =
+  List.iter
+    (fun (what, csv) ->
+      match C.relation_of_string ~name:"T" csv with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "expected failure: %s" what)
+    [
+      ("empty", "");
+      ("missing type", "a\n1\n");
+      ("unknown type", "a:blob\n1\n");
+      ("wrong arity", "a:int\n1,2\n");
+      ("bad value", "a:int\nxyz\n");
+      ("bad confidence", "a:int,__confidence:real\n1,7.5\n");
+      ("string confidence col", "a:int,__confidence:string\n1,x\n");
+    ]
+
+let test_load_into_and_export () =
+  let csv = "name:string,n:int,__confidence:real\nalice,1,0.5\nbob,2,0.9\n" in
+  match C.load_into Db.empty ~name:"P" csv with
+  | Error msg -> Alcotest.fail msg
+  | Ok db ->
+    let rel = Db.relation_exn db "P" in
+    Alcotest.(check int) "loaded" 2 (R.cardinality rel);
+    Alcotest.(check (float 1e-9)) "confidence loaded" 0.5
+      (Db.confidence db (Lineage.Tid.make "P" 0));
+    (* export and re-import: same data *)
+    let out = C.to_string db rel in
+    (match C.load_into Db.empty ~name:"P" out with
+    | Error msg -> Alcotest.fail msg
+    | Ok db2 ->
+      Alcotest.(check (float 1e-9)) "roundtrip confidence" 0.9
+        (Db.confidence db2 (Lineage.Tid.make "P" 1));
+      Alcotest.(check int) "roundtrip rows" 2
+        (R.cardinality (Db.relation_exn db2 "P")))
+
+let () =
+  Alcotest.run "csv"
+    [
+      ( "csv",
+        [
+          Alcotest.test_case "parse simple" `Quick test_parse_line_simple;
+          Alcotest.test_case "parse quoted" `Quick test_parse_line_quoted;
+          Alcotest.test_case "render roundtrip" `Quick test_render_roundtrip;
+          Alcotest.test_case "relation parse" `Quick test_relation_of_string;
+          Alcotest.test_case "confidence column" `Quick test_confidence_column;
+          Alcotest.test_case "nulls and types" `Quick test_nulls_and_types;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "load and export" `Quick test_load_into_and_export;
+        ] );
+    ]

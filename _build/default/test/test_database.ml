@@ -1,0 +1,130 @@
+(* Tests for the database: relation registry and the confidence table. *)
+
+module Db = Relational.Database
+module R = Relational.Relation
+module V = Relational.Value
+module S = Relational.Schema
+module Tid = Lineage.Tid
+
+let schema = S.of_list [ ("x", V.TInt) ]
+
+let db_with_r () = Db.add_relation Db.empty (R.create "R" schema)
+
+let test_relation_registry () =
+  let db = db_with_r () in
+  Alcotest.(check bool) "mem" true (Db.mem_relation db "R");
+  Alcotest.(check bool) "not mem" false (Db.mem_relation db "S");
+  Alcotest.(check (list string)) "names" [ "R" ] (Db.relation_names db);
+  Alcotest.(check bool) "relation_exn raises" true
+    (try
+       ignore (Db.relation_exn db "S");
+       false
+     with Invalid_argument _ -> true)
+
+let test_insert_records_confidence () =
+  let db = db_with_r () in
+  let db, tid = Db.insert db "R" [ V.Int 1 ] ~conf:0.42 in
+  Alcotest.(check (float 1e-9)) "stored" 0.42 (Db.confidence db tid);
+  Alcotest.(check (float 1e-9)) "unknown tuple is 0" 0.0
+    (Db.confidence db (Tid.make "R" 99))
+
+let test_insert_validates () =
+  let db = db_with_r () in
+  Alcotest.(check bool) "bad confidence" true
+    (try
+       ignore (Db.insert db "R" [ V.Int 1 ] ~conf:1.5);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad relation" true
+    (try
+       ignore (Db.insert db "S" [ V.Int 1 ] ~conf:0.5);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad arity" true
+    (try
+       ignore (Db.insert db "R" [ V.Int 1; V.Int 2 ] ~conf:0.5);
+       false
+     with Invalid_argument _ -> true)
+
+let test_set_confidence () =
+  let db = db_with_r () in
+  let db, tid = Db.insert db "R" [ V.Int 1 ] ~conf:0.2 in
+  let db = Db.set_confidence db tid 0.7 in
+  Alcotest.(check (float 1e-9)) "updated" 0.7 (Db.confidence db tid);
+  Alcotest.(check bool) "unknown tuple rejected" true
+    (try
+       ignore (Db.set_confidence db (Tid.make "R" 9) 0.5);
+       false
+     with Invalid_argument _ -> true)
+
+let test_caps () =
+  let db = db_with_r () in
+  let db, tid = Db.insert db "R" [ V.Int 1 ] ~conf:0.2 in
+  Alcotest.(check (float 1e-9)) "default cap" 1.0 (Db.confidence_cap db tid);
+  let db = Db.set_confidence_cap db tid 0.8 in
+  Alcotest.(check (float 1e-9)) "cap stored" 0.8 (Db.confidence_cap db tid);
+  Alcotest.(check bool) "raising beyond cap rejected" true
+    (try
+       ignore (Db.set_confidence db tid 0.9);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "cap below current rejected" true
+    (try
+       ignore (Db.set_confidence_cap db tid 0.1);
+       false
+     with Invalid_argument _ -> true)
+
+let test_seed_confidence () =
+  let r = R.create "R" schema in
+  let r, tid = R.insert r (Relational.Tuple.of_list [ V.Int 5 ]) in
+  let db = Db.add_relation Db.empty r in
+  let db = Db.seed_confidence db tid 0.33 in
+  Alcotest.(check (float 1e-9)) "seeded" 0.33 (Db.confidence db tid);
+  Alcotest.(check bool) "seed for unstored tuple rejected" true
+    (try
+       ignore (Db.seed_confidence db (Tid.make "R" 44) 0.5);
+       false
+     with Invalid_argument _ -> true)
+
+let test_apply_increments () =
+  let db = db_with_r () in
+  let db, t0 = Db.insert db "R" [ V.Int 1 ] ~conf:0.2 in
+  let db, t1 = Db.insert db "R" [ V.Int 2 ] ~conf:0.3 in
+  let db = Db.apply_increments db [ (t0, 0.5); (t1, 0.6) ] in
+  Alcotest.(check (float 1e-9)) "t0" 0.5 (Db.confidence db t0);
+  Alcotest.(check (float 1e-9)) "t1" 0.6 (Db.confidence db t1);
+  Alcotest.(check bool) "decrease rejected" true
+    (try
+       ignore (Db.apply_increments db [ (t0, 0.1) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_apply_increments_clamps_to_cap () =
+  let db = db_with_r () in
+  let db, t0 = Db.insert db "R" [ V.Int 1 ] ~conf:0.2 in
+  let db = Db.set_confidence_cap db t0 0.6 in
+  let db = Db.apply_increments db [ (t0, 0.9) ] in
+  Alcotest.(check (float 1e-9)) "clamped to cap" 0.6 (Db.confidence db t0)
+
+let test_all_confidences () =
+  let db = db_with_r () in
+  let db, _ = Db.insert db "R" [ V.Int 1 ] ~conf:0.2 in
+  let db, _ = Db.insert db "R" [ V.Int 2 ] ~conf:0.4 in
+  Alcotest.(check int) "two entries" 2 (List.length (Db.all_confidences db))
+
+let () =
+  Alcotest.run "database"
+    [
+      ( "database",
+        [
+          Alcotest.test_case "registry" `Quick test_relation_registry;
+          Alcotest.test_case "insert" `Quick test_insert_records_confidence;
+          Alcotest.test_case "validation" `Quick test_insert_validates;
+          Alcotest.test_case "set confidence" `Quick test_set_confidence;
+          Alcotest.test_case "caps" `Quick test_caps;
+          Alcotest.test_case "seed" `Quick test_seed_confidence;
+          Alcotest.test_case "apply increments" `Quick test_apply_increments;
+          Alcotest.test_case "cap clamping" `Quick test_apply_increments_clamps_to_cap;
+          Alcotest.test_case "all confidences" `Quick test_all_confidences;
+        ] );
+    ]

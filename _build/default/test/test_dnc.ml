@@ -1,0 +1,159 @@
+(* Tests for the divide-and-conquer solver. *)
+
+module Problem = Optimize.Problem
+module State = Optimize.State
+module D = Optimize.Divide_conquer
+module Greedy = Optimize.Greedy
+module H = Optimize.Heuristic
+module F = Lineage.Formula
+module Tid = Lineage.Tid
+module C = Cost.Cost_model
+
+let t i = Tid.make "b" i
+let v i = F.var (t i)
+
+let verify problem solution =
+  let st = State.create problem in
+  List.iter
+    (fun (tid, level) ->
+      match Problem.bid_of_tid problem tid with
+      | Some bid -> State.set_base st bid level
+      | None -> Alcotest.fail "unknown base in solution")
+    solution;
+  st
+
+let test_paper_example () =
+  let bases =
+    [
+      { Problem.tid = t 2; p0 = 0.3; cap = 1.0; cost = C.linear ~rate:1000.0 };
+      { Problem.tid = t 3; p0 = 0.4; cap = 1.0; cost = C.linear ~rate:100.0 };
+      { Problem.tid = t 13; p0 = 0.1; cap = 1.0; cost = C.linear ~rate:2000.0 };
+    ]
+  in
+  let formula = F.conj [ F.disj [ v 2; v 3 ]; v 13 ] in
+  let p = Problem.make_exn ~beta:0.06 ~required:1 ~bases ~formulas:[ formula ] () in
+  let out = D.solve p in
+  Alcotest.(check bool) "feasible" true out.D.feasible;
+  (* single result: one group, small enough for the exact heuristic *)
+  Alcotest.(check int) "one group" 1 out.D.num_groups;
+  Alcotest.(check int) "heuristic refinement ran" 1 out.D.heuristic_groups;
+  Alcotest.(check (float 1e-6)) "optimal cost 10" 10.0 out.D.cost
+
+let test_feasibility_and_validity_on_random_instances () =
+  for seed = 0 to 14 do
+    let p =
+      Workload.Synth.small_instance ~num_bases:25 ~num_results:14 ~required:7
+        ~bases_per_result:4 ~seed ()
+    in
+    let out = D.solve p in
+    let g = Greedy.solve p in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d feasibility agrees" seed)
+      g.Greedy.feasible out.D.feasible;
+    if out.D.feasible then begin
+      let st = verify p out.D.solution in
+      Alcotest.(check bool) "requirement met" true
+        (State.satisfied_count st >= Problem.required p);
+      Alcotest.(check bool) "reported cost matches replay" true
+        (Float.abs (State.cost st -. out.D.cost) < 1e-6)
+    end
+  done
+
+let test_cost_reasonable_vs_greedy () =
+  (* D&C should land in the same ballpark as global greedy *)
+  let total_d = ref 0.0 and total_g = ref 0.0 in
+  for seed = 20 to 29 do
+    let p =
+      Workload.Synth.small_instance ~num_bases:30 ~num_results:16 ~required:8
+        ~bases_per_result:4 ~seed ()
+    in
+    let d = D.solve p and g = Greedy.solve p in
+    if d.D.feasible && g.Greedy.feasible then begin
+      total_d := !total_d +. d.D.cost;
+      total_g := !total_g +. g.Greedy.cost
+    end
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "aggregate D&C %.1f within 2x of greedy %.1f" !total_d !total_g)
+    true
+    (!total_d <= 2.0 *. !total_g +. 1e-6)
+
+let test_quota_ablation () =
+  (* the paper's min(x,y) quota must still produce valid solutions *)
+  for seed = 30 to 35 do
+    let p =
+      Workload.Synth.small_instance ~num_bases:25 ~num_results:14 ~required:7
+        ~bases_per_result:4 ~seed ()
+    in
+    let out =
+      D.solve ~config:{ D.default_config with quota = D.Min_x_y } p
+    in
+    if out.D.feasible then begin
+      let st = verify p out.D.solution in
+      Alcotest.(check bool) "requirement met" true
+        (State.satisfied_count st >= Problem.required p)
+    end
+  done
+
+let test_tau_zero_disables_heuristic () =
+  let p =
+    Workload.Synth.small_instance ~num_bases:10 ~num_results:6 ~required:3
+      ~bases_per_result:3 ~seed:40 ()
+  in
+  let out = D.solve ~config:{ D.default_config with tau = 0 } p in
+  Alcotest.(check int) "no heuristic groups" 0 out.D.heuristic_groups
+
+let test_infeasible_instance () =
+  let p =
+    Problem.make_exn ~beta:0.9 ~required:1
+      ~bases:[ { Problem.tid = t 0; p0 = 0.1; cap = 0.3; cost = C.linear ~rate:1.0 } ]
+      ~formulas:[ v 0 ] ()
+  in
+  let out = D.solve p in
+  Alcotest.(check bool) "infeasible" false out.D.feasible
+
+let test_already_satisfied () =
+  let p =
+    Problem.make_exn ~beta:0.05 ~required:1
+      ~bases:[ { Problem.tid = t 0; p0 = 0.5; cap = 1.0; cost = C.linear ~rate:1.0 } ]
+      ~formulas:[ v 0 ] ()
+  in
+  let out = D.solve p in
+  Alcotest.(check bool) "feasible" true out.D.feasible;
+  Alcotest.(check (float 1e-9)) "free" 0.0 out.D.cost
+
+let test_matches_optimum_on_tiny_instances () =
+  (* with a single small group, D&C's heuristic refinement should find the
+     grid optimum *)
+  for seed = 50 to 55 do
+    let p =
+      Workload.Synth.small_instance ~num_bases:5 ~num_results:3 ~required:2
+        ~bases_per_result:3 ~seed ()
+    in
+    let d = D.solve p in
+    let h = H.solve p in
+    match h.H.solution with
+    | Some _ when d.D.feasible && d.D.num_groups = 1 ->
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: %.4f close to optimal %.4f" seed d.D.cost h.H.cost)
+        true
+        (d.D.cost <= h.H.cost +. 1e-6)
+    | _ -> ()
+  done
+
+let () =
+  Alcotest.run "divide-and-conquer"
+    [
+      ( "dnc",
+        [
+          Alcotest.test_case "paper example" `Quick test_paper_example;
+          Alcotest.test_case "random validity" `Quick
+            test_feasibility_and_validity_on_random_instances;
+          Alcotest.test_case "cost vs greedy" `Quick test_cost_reasonable_vs_greedy;
+          Alcotest.test_case "quota ablation" `Quick test_quota_ablation;
+          Alcotest.test_case "tau disables heuristic" `Quick test_tau_zero_disables_heuristic;
+          Alcotest.test_case "infeasible" `Quick test_infeasible_instance;
+          Alcotest.test_case "already satisfied" `Quick test_already_satisfied;
+          Alcotest.test_case "tiny optimality" `Quick test_matches_optimum_on_tiny_instances;
+        ] );
+    ]

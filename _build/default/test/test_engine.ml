@@ -1,0 +1,203 @@
+(* End-to-end tests for the PCQE engine: the full Fig. 1 data flow on the
+   paper's running example, RBAC interaction, policy selection, strategy
+   finding and data-quality improvement. *)
+
+module Db = Relational.Database
+module V = Relational.Value
+module S = Relational.Schema
+module Tid = Lineage.Tid
+module E = Pcqe.Engine
+
+let ok = function Ok x -> x | Error msg -> Alcotest.failf "unexpected: %s" msg
+
+(* the venture-capital database of Section 3.1 *)
+let build_db () =
+  let proposal =
+    Relational.Relation.create "Proposal"
+      (S.of_list
+         [ ("Company", V.TString); ("Prop", V.TString); ("Funding", V.TFloat) ])
+  in
+  let info =
+    Relational.Relation.create "CompanyInfo"
+      (S.of_list [ ("Company", V.TString); ("Income", V.TFloat) ])
+  in
+  let db = Db.add_relation (Db.add_relation Db.empty proposal) info in
+  let ins db rel vs conf = fst (Db.insert db rel vs ~conf) in
+  let db = ins db "Proposal" [ V.String "A"; V.String "p0"; V.Float 2e6 ] 0.5 in
+  let db = ins db "Proposal" [ V.String "X"; V.String "p1"; V.Float 8e5 ] 0.3 in
+  let db = ins db "Proposal" [ V.String "X"; V.String "p2"; V.Float 5e5 ] 0.4 in
+  let db = ins db "CompanyInfo" [ V.String "A"; V.Float 5e6 ] 0.2 in
+  let db = ins db "CompanyInfo" [ V.String "X"; V.Float 1e6 ] 0.1 in
+  db
+
+let cost_of tid =
+  if tid.Tid.rel = "Proposal" && tid.Tid.row = 1 then
+    Cost.Cost_model.linear ~rate:1000.0
+  else if tid.Tid.rel = "Proposal" && tid.Tid.row = 2 then
+    Cost.Cost_model.linear ~rate:100.0
+  else Cost.Cost_model.linear ~rate:2000.0
+
+let build_rbac () =
+  let open Rbac.Core_rbac in
+  let m = add_role (add_role empty "Manager") "Secretary" in
+  let m = add_user (add_user m "alice") "bob" in
+  let m = ok (assign_user m ~user:"alice" ~role:"Manager") in
+  let m = ok (assign_user m ~user:"bob" ~role:"Secretary") in
+  let m = ok (grant m ~role:"Manager" { action = "select"; resource = "*" }) in
+  let m =
+    ok (grant m ~role:"Secretary" { action = "select"; resource = "Proposal" })
+  in
+  m
+
+let policies =
+  Rbac.Policy.of_list
+    [
+      Rbac.Policy.make ~role:"Secretary" ~purpose:"analysis" ~beta:0.05;
+      Rbac.Policy.make ~role:"Manager" ~purpose:"investment" ~beta:0.06;
+    ]
+
+let sql =
+  "SELECT CompanyInfo.Company, CompanyInfo.Income FROM Proposal JOIN \
+   CompanyInfo ON Proposal.Company = CompanyInfo.Company WHERE \
+   Proposal.Funding < 1000000"
+
+let ctx () =
+  E.make_context ~cost_of ~db:(build_db ()) ~rbac:(build_rbac ()) ~policies ()
+
+let request user purpose perc =
+  { E.query = Pcqe.Query.sql sql; user; purpose; perc }
+
+let test_manager_filtered_with_proposal () =
+  let resp = ok (E.answer (ctx ()) (request "alice" "investment" 1.0)) in
+  Alcotest.(check (option (float 1e-9))) "threshold 0.06" (Some 0.06)
+    resp.E.threshold;
+  Alcotest.(check int) "nothing released" 0 (List.length resp.E.released);
+  Alcotest.(check int) "one withheld" 1 resp.E.withheld;
+  Alcotest.(check bool) "not infeasible" false resp.E.infeasible;
+  match resp.E.proposal with
+  | None -> Alcotest.fail "expected an improvement proposal"
+  | Some p ->
+    Alcotest.(check (float 1e-6)) "paper's cheap fix costs 10" 10.0 p.E.cost;
+    (match p.E.increments with
+    | [ (tid, level) ] ->
+      Alcotest.(check string) "raises tuple 03" "Proposal#2" (Tid.to_string tid);
+      Alcotest.(check (float 1e-9)) "to 0.5" 0.5 level
+    | _ -> Alcotest.fail "expected exactly one increment");
+    Alcotest.(check int) "would release the result" 1 p.E.projected_release
+
+let test_accept_proposal_improves () =
+  let c = ctx () in
+  let resp = ok (E.answer c (request "alice" "investment" 1.0)) in
+  let p = Option.get resp.E.proposal in
+  let c' = E.accept_proposal c p in
+  let resp' = ok (E.answer c' (request "alice" "investment" 1.0)) in
+  Alcotest.(check int) "released after improvement" 1
+    (List.length resp'.E.released);
+  Alcotest.(check int) "nothing withheld" 0 resp'.E.withheld;
+  Alcotest.(check bool) "no further proposal" true (resp'.E.proposal = None);
+  match resp'.E.released with
+  | [ row ] ->
+    Alcotest.(check (float 1e-9)) "confidence 0.065" 0.065 row.E.confidence
+  | _ -> Alcotest.fail "expected one row"
+
+let test_secretary_passes_lower_threshold () =
+  (* bob (Secretary) can only select Proposal, not CompanyInfo *)
+  let resp = E.answer (ctx ()) (request "bob" "analysis" 1.0) in
+  match resp with
+  | Error msg ->
+    Alcotest.(check bool) "rbac denial mentions CompanyInfo" true
+      (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "expected RBAC denial"
+
+let test_secretary_with_full_grant () =
+  let rbac =
+    let open Rbac.Core_rbac in
+    let m = build_rbac () in
+    ok (grant m ~role:"Secretary" { action = "select"; resource = "CompanyInfo" })
+  in
+  let c = E.make_context ~cost_of ~db:(build_db ()) ~rbac ~policies () in
+  let resp = ok (E.answer c (request "bob" "analysis" 1.0)) in
+  Alcotest.(check (option (float 1e-9))) "threshold 0.05" (Some 0.05)
+    resp.E.threshold;
+  Alcotest.(check int) "released under P1" 1 (List.length resp.E.released);
+  match resp.E.released with
+  | [ row ] -> Alcotest.(check (float 1e-9)) "p38" 0.058 row.E.confidence
+  | _ -> Alcotest.fail "expected one row"
+
+let test_unknown_user () =
+  match E.answer (ctx ()) (request "mallory" "investment" 1.0) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown user must be rejected"
+
+let test_no_policy_returns_everything () =
+  let resp = ok (E.answer (ctx ()) (request "alice" "browsing" 1.0)) in
+  Alcotest.(check (option (float 1e-9))) "no threshold" None resp.E.threshold;
+  Alcotest.(check int) "released" 1 (List.length resp.E.released);
+  Alcotest.(check int) "none withheld" 0 resp.E.withheld;
+  Alcotest.(check bool) "no proposal" true (resp.E.proposal = None)
+
+let test_perc_zero_suppresses_proposal () =
+  let resp = ok (E.answer (ctx ()) (request "alice" "investment" 0.0)) in
+  Alcotest.(check bool) "no proposal needed" true (resp.E.proposal = None)
+
+let test_perc_validation () =
+  match E.answer (ctx ()) (request "alice" "investment" 1.5) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "perc > 1 must be rejected"
+
+let test_bad_sql_reported () =
+  match
+    E.answer (ctx ())
+      { E.query = Pcqe.Query.sql "SELEKT nonsense"; user = "alice";
+        purpose = "investment"; perc = 1.0 }
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad SQL must be rejected"
+
+let test_infeasible_when_capped () =
+  let c = ctx () in
+  (* cap every base tuple at its current confidence: nothing can improve *)
+  let c = { c with E.cap_of = (fun tid -> Db.confidence c.E.db tid) } in
+  let resp = ok (E.answer c (request "alice" "investment" 1.0)) in
+  Alcotest.(check bool) "infeasible" true resp.E.infeasible;
+  Alcotest.(check bool) "no proposal" true (resp.E.proposal = None)
+
+let test_report_rendering () =
+  let resp = ok (E.answer (ctx ()) (request "alice" "investment" 1.0)) in
+  let text = Pcqe.Report.response_to_string resp in
+  let contains needle =
+    let n = String.length needle and h = String.length text in
+    let rec go i = i + n <= h && (String.sub text i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "mentions threshold" true (contains "0.06");
+  Alcotest.(check bool) "mentions withheld" true (contains "withheld");
+  Alcotest.(check bool) "mentions the increment" true (contains "Proposal#2")
+
+let test_solver_choice_greedy () =
+  let c = { (ctx ()) with E.solver = Optimize.Solver.greedy } in
+  let resp = ok (E.answer c (request "alice" "investment" 1.0)) in
+  match resp.E.proposal with
+  | Some p -> Alcotest.(check (float 1e-6)) "greedy also finds cost 10" 10.0 p.E.cost
+  | None -> Alcotest.fail "expected proposal"
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "pcqe",
+        [
+          Alcotest.test_case "manager filtered + proposal" `Quick
+            test_manager_filtered_with_proposal;
+          Alcotest.test_case "accept proposal" `Quick test_accept_proposal_improves;
+          Alcotest.test_case "rbac denial" `Quick test_secretary_passes_lower_threshold;
+          Alcotest.test_case "secretary threshold" `Quick test_secretary_with_full_grant;
+          Alcotest.test_case "unknown user" `Quick test_unknown_user;
+          Alcotest.test_case "no policy" `Quick test_no_policy_returns_everything;
+          Alcotest.test_case "perc zero" `Quick test_perc_zero_suppresses_proposal;
+          Alcotest.test_case "perc validation" `Quick test_perc_validation;
+          Alcotest.test_case "bad sql" `Quick test_bad_sql_reported;
+          Alcotest.test_case "infeasible caps" `Quick test_infeasible_when_capped;
+          Alcotest.test_case "report rendering" `Quick test_report_rendering;
+          Alcotest.test_case "greedy solver" `Quick test_solver_choice_greedy;
+        ] );
+    ]

@@ -1,0 +1,179 @@
+(* Property tests of the whole PCQE pipeline on randomly generated
+   databases, queries and policies.
+
+   The invariants:
+   1. soundness  - no released result has confidence <= the effective
+      threshold (the security property of the whole system);
+   2. completeness - released + withheld accounts for every query result;
+   3. proposals deliver - accepting a proposal and re-asking releases at
+      least [ceil (perc * n)] results (or at least as many as projected);
+   4. improvement monotone - accepting a proposal never lowers any stored
+      confidence;
+   5. determinism - answering twice gives identical releases. *)
+
+module Db = Relational.Database
+module V = Relational.Value
+module S = Relational.Schema
+module R = Relational.Relation
+module Sm = Prng.Splitmix
+module E = Pcqe.Engine
+
+let ok = function Ok x -> x | Error m -> Alcotest.failf "unexpected: %s" m
+
+(* random database: two relations with random sizes, values, confidences *)
+let random_db rng =
+  let r = R.create "R" (S.of_list [ ("k", V.TString); ("n", V.TInt) ]) in
+  let s = R.create "S" (S.of_list [ ("k", V.TString); ("m", V.TInt) ]) in
+  let db = Db.add_relation (Db.add_relation Db.empty r) s in
+  let keys = [| "a"; "b"; "c"; "d" |] in
+  let fill db rel count =
+    let rec go db i =
+      if i = 0 then db
+      else
+        let vs =
+          [ V.String (Sm.choice rng keys); V.Int (Sm.int_in rng 0 9) ]
+        in
+        let conf = Sm.float_in rng 0.05 0.95 in
+        go (fst (Db.insert db rel vs ~conf)) (i - 1)
+    in
+    go db count
+  in
+  let db = fill db "R" (Sm.int_in rng 1 8) in
+  fill db "S" (Sm.int_in rng 0 6)
+
+let queries =
+  [|
+    "SELECT k, n FROM R";
+    "SELECT k FROM R WHERE n > 3";
+    "SELECT R.k, S.m FROM R JOIN S ON R.k = S.k";
+    "SELECT R.k, S.m FROM R LEFT JOIN S ON R.k = S.k";
+    "SELECT n FROM R WHERE R.k IN (SELECT k FROM S)";
+    "SELECT k FROM R UNION SELECT k FROM S";
+    "SELECT k, COUNT(*) AS c FROM R GROUP BY k";
+  |]
+
+let mk_ctx rng db beta =
+  let rbac =
+    let open Rbac.Core_rbac in
+    let m = add_user (add_role empty "analyst") "u" in
+    let m = ok (assign_user m ~user:"u" ~role:"analyst") in
+    ok (grant m ~role:"analyst" { action = "select"; resource = "*" })
+  in
+  let policies =
+    Rbac.Policy.of_list [ Rbac.Policy.make ~role:"analyst" ~purpose:"task" ~beta ]
+  in
+  (* one fixed model per relation, chosen up front: cost_of must be a pure
+     function of the tuple id (the engine may call it many times) *)
+  let model_r =
+    if Sm.bool rng then Cost.Cost_model.linear ~rate:(float_of_int (Sm.int_in rng 1 100))
+    else Cost.Cost_model.binomial ~scale:(float_of_int (Sm.int_in rng 1 100))
+  in
+  let model_s =
+    if Sm.bool rng then Cost.Cost_model.linear ~rate:(float_of_int (Sm.int_in rng 1 100))
+    else Cost.Cost_model.binomial ~scale:(float_of_int (Sm.int_in rng 1 100))
+  in
+  let cost_of tid =
+    if tid.Lineage.Tid.rel = "R" then model_r else model_s
+  in
+  E.make_context ~cost_of ~db ~rbac ~policies ()
+
+let scenario seed =
+  let rng = Sm.of_int seed in
+  let db = random_db rng in
+  let beta = Sm.float_in rng 0.1 0.9 in
+  let sql = Sm.choice rng queries in
+  let perc = Sm.float_in rng 0.0 1.0 in
+  let ctx = mk_ctx rng db beta in
+  let request =
+    { E.query = Pcqe.Query.sql sql; user = "u"; purpose = "task"; perc }
+  in
+  (ctx, request, beta)
+
+let qcheck_soundness =
+  QCheck.Test.make ~name:"released results exceed the threshold" ~count:300
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let ctx, request, beta = scenario seed in
+      match E.answer ctx request with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok resp ->
+        List.for_all (fun r -> r.E.confidence > beta) resp.E.released)
+
+let qcheck_accounting =
+  QCheck.Test.make ~name:"released + withheld covers every result" ~count:300
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let ctx, request, _ = scenario seed in
+      match E.answer ctx request with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok resp -> (
+        (* recompute the result count independently *)
+        match Pcqe.Query.to_plan request.E.query with
+        | Error _ -> false
+        | Ok plan -> (
+          match Relational.Eval.run ctx.E.db plan with
+          | Error _ -> false
+          | Ok res ->
+            List.length resp.E.released + resp.E.withheld
+            = List.length res.Relational.Eval.rows)))
+
+let qcheck_proposal_delivers =
+  QCheck.Test.make ~name:"accepted proposals release the projection" ~count:300
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let ctx, request, _ = scenario seed in
+      match E.answer ctx request with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok resp -> (
+        match resp.E.proposal with
+        | None -> QCheck.assume_fail ()
+        | Some proposal -> (
+          let ctx' = E.accept_proposal ctx proposal in
+          match E.answer ctx' request with
+          | Error _ -> false
+          | Ok resp' ->
+            List.length resp'.E.released >= proposal.E.projected_release)))
+
+let qcheck_improvement_monotone =
+  QCheck.Test.make ~name:"improvement never lowers a confidence" ~count:300
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let ctx, request, _ = scenario seed in
+      match E.answer ctx request with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok resp -> (
+        match resp.E.proposal with
+        | None -> QCheck.assume_fail ()
+        | Some proposal ->
+          let ctx' = E.accept_proposal ctx proposal in
+          List.for_all
+            (fun (tid, before) -> Db.confidence ctx'.E.db tid >= before -. 1e-12)
+            (Db.all_confidences ctx.E.db)))
+
+let qcheck_deterministic =
+  QCheck.Test.make ~name:"answering is deterministic" ~count:200
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let ctx, request, _ = scenario seed in
+      match (E.answer ctx request, E.answer ctx request) with
+      | Ok a, Ok b ->
+        List.length a.E.released = List.length b.E.released
+        && a.E.withheld = b.E.withheld
+        && List.for_all2
+             (fun x y -> Float.abs (x.E.confidence -. y.E.confidence) < 1e-12)
+             a.E.released b.E.released
+      | Error _, Error _ -> true
+      | _ -> false)
+
+let () =
+  Alcotest.run "engine-properties"
+    [
+      ( "invariants",
+        [
+          QCheck_alcotest.to_alcotest qcheck_soundness;
+          QCheck_alcotest.to_alcotest qcheck_accounting;
+          QCheck_alcotest.to_alcotest qcheck_proposal_delivers;
+          QCheck_alcotest.to_alcotest qcheck_improvement_monotone;
+          QCheck_alcotest.to_alcotest qcheck_deterministic;
+        ] );
+    ]

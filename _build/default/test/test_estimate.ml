@@ -1,0 +1,123 @@
+(* Tests for the heuristic cardinality estimator. *)
+
+module A = Relational.Algebra
+module Est = Relational.Estimate
+module X = Relational.Expr
+module V = Relational.Value
+module S = Relational.Schema
+module Db = Relational.Database
+module R = Relational.Relation
+
+let mk_db () =
+  let r = R.create "R" (S.of_list [ ("k", V.TString); ("n", V.TInt) ]) in
+  let s = R.create "S" (S.of_list [ ("k", V.TString) ]) in
+  let db = Db.add_relation (Db.add_relation Db.empty r) s in
+  let ins db rel vs = fst (Db.insert db rel vs ~conf:0.5) in
+  (* R: 10 rows, k has 2 distinct values *)
+  let db = ref db in
+  for i = 1 to 10 do
+    db := ins !db "R" [ V.String (if i mod 2 = 0 then "a" else "b"); V.Int i ]
+  done;
+  for _ = 1 to 4 do
+    db := ins !db "S" [ V.String "a" ]
+  done;
+  !db
+
+let est db plan =
+  match Est.cardinality db plan with
+  | Ok c -> c
+  | Error msg -> Alcotest.failf "estimate failed: %s" msg
+
+let test_scan () =
+  let db = mk_db () in
+  Alcotest.(check (float 1e-9)) "R" 10.0 (est db (A.scan "R"));
+  Alcotest.(check (float 1e-9)) "S" 4.0 (est db (A.scan "S"))
+
+let test_equality_uses_ndv () =
+  let db = mk_db () in
+  (* k has 2 distinct values: equality keeps 1/2 of rows *)
+  let plan = A.Select (X.(col "k" =% str "a"), A.scan "R") in
+  Alcotest.(check (float 1e-9)) "ndv-based" 5.0 (est db plan);
+  (* n has 10 distinct values *)
+  let plan = A.Select (X.(col "n" =% int 3), A.scan "R") in
+  Alcotest.(check (float 1e-9)) "1/10" 1.0 (est db plan)
+
+let test_range_and_conjunction () =
+  let db = mk_db () in
+  let plan = A.Select (X.(col "n" >% int 5), A.scan "R") in
+  Alcotest.(check (float 1e-9)) "range 0.3" 3.0 (est db plan);
+  let plan =
+    A.Select (X.(And (col "n" >% int 5, col "k" =% str "a")), A.scan "R")
+  in
+  Alcotest.(check (float 1e-9)) "conjunction multiplies" 1.5 (est db plan)
+
+let test_cross_and_equijoin () =
+  let db = mk_db () in
+  Alcotest.(check (float 1e-9)) "cross" 40.0
+    (est db (A.cross (A.scan "R") (A.scan "S")));
+  (* equi-join selectivity 1 / max(ndv) = 1/2 *)
+  let plan = A.join X.(col "R.k" =% col "S.k") (A.scan "R") (A.scan "S") in
+  Alcotest.(check (float 1e-9)) "equi join" 20.0 (est db plan)
+
+let test_left_join_lower_bound () =
+  let db = mk_db () in
+  (* an empty right side: left join still keeps every left row *)
+  let empty_right = A.Select (X.(col "k" =% str "zz"), A.scan "S") in
+  let plan = A.left_join X.(col "R.k" =% col "S.k") (A.scan "R") empty_right in
+  Alcotest.(check bool) "at least |R|" true (est db plan >= 10.0)
+
+let test_limit_and_groupby () =
+  let db = mk_db () in
+  Alcotest.(check (float 1e-9)) "limit caps" 3.0
+    (est db (A.Limit (3, A.scan "R")));
+  Alcotest.(check (float 1e-9)) "limit no-op when bigger" 10.0
+    (est db (A.Limit (100, A.scan "R")));
+  let g = A.Group_by ([], [ { A.fn = A.CountStar; arg = None; out = "c" } ], A.scan "R") in
+  Alcotest.(check (float 1e-9)) "global group is 1" 1.0 (est db g)
+
+let test_monotone_under_selection () =
+  (* adding a conjunct never increases the estimate *)
+  let db = mk_db () in
+  let base = A.Select (X.(col "n" >% int 2), A.scan "R") in
+  let tighter = A.Select (X.(And (col "n" >% int 2, col "k" =% str "a")), A.scan "R") in
+  Alcotest.(check bool) "tighter <= base" true (est db tighter <= est db base)
+
+let test_explain_renders_estimates () =
+  let db = mk_db () in
+  let plan = A.Select (X.(col "k" =% str "a"), A.scan "R") in
+  match Est.explain db plan with
+  | Error msg -> Alcotest.fail msg
+  | Ok text ->
+    let contains needle =
+      let n = String.length needle and h = String.length text in
+      let rec go i = i + n <= h && (String.sub text i n = needle || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "select row count" true (contains "[~5 rows]");
+    Alcotest.(check bool) "scan row count" true (contains "[~10 rows]")
+
+let test_errors_propagate () =
+  let db = mk_db () in
+  (match Est.cardinality db (A.scan "Nope") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown relation must fail");
+  match Est.cardinality db (A.Select (X.col "zz", A.scan "R")) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown column must fail"
+
+let () =
+  Alcotest.run "estimate"
+    [
+      ( "estimate",
+        [
+          Alcotest.test_case "scan" `Quick test_scan;
+          Alcotest.test_case "equality ndv" `Quick test_equality_uses_ndv;
+          Alcotest.test_case "range/conjunction" `Quick test_range_and_conjunction;
+          Alcotest.test_case "cross/equijoin" `Quick test_cross_and_equijoin;
+          Alcotest.test_case "left join bound" `Quick test_left_join_lower_bound;
+          Alcotest.test_case "limit/groupby" `Quick test_limit_and_groupby;
+          Alcotest.test_case "selection monotone" `Quick test_monotone_under_selection;
+          Alcotest.test_case "explain" `Quick test_explain_renders_estimates;
+          Alcotest.test_case "errors" `Quick test_errors_propagate;
+        ] );
+    ]

@@ -1,0 +1,178 @@
+(* Tests for the two-phase greedy algorithm. *)
+
+module Problem = Optimize.Problem
+module State = Optimize.State
+module Greedy = Optimize.Greedy
+module F = Lineage.Formula
+module Tid = Lineage.Tid
+module C = Cost.Cost_model
+
+let t i = Tid.make "b" i
+let v i = F.var (t i)
+
+let base ?(p0 = 0.1) ?(cap = 1.0) ?(rate = 100.0) i =
+  { Problem.tid = t i; p0; cap; cost = C.linear ~rate }
+
+let verify_solution problem (out : Greedy.outcome) =
+  (* replay the solution on a fresh state and check the requirement *)
+  let st = State.create problem in
+  List.iter
+    (fun (tid, level) ->
+      match Problem.bid_of_tid problem tid with
+      | Some bid -> State.set_base st bid level
+      | None -> Alcotest.fail "solution names unknown base")
+    out.Greedy.solution;
+  Alcotest.(check bool) "replayed cost matches" true
+    (Float.abs (State.cost st -. out.Greedy.cost) < 1e-6);
+  Alcotest.(check bool) "requirement met" true
+    (State.satisfied_count st >= Problem.required problem)
+
+let test_paper_example () =
+  (* tuples 02 (p 0.3, expensive) and 03 (p 0.4, cheap), 13 (p 0.1);
+     result = (b2 | b3) & b13, threshold 0.06 *)
+  let bases =
+    [
+      { Problem.tid = t 2; p0 = 0.3; cap = 1.0; cost = C.linear ~rate:1000.0 };
+      { Problem.tid = t 3; p0 = 0.4; cap = 1.0; cost = C.linear ~rate:100.0 };
+      { Problem.tid = t 13; p0 = 0.1; cap = 1.0; cost = C.linear ~rate:2000.0 };
+    ]
+  in
+  let formula = F.conj [ F.disj [ v 2; v 3 ]; v 13 ] in
+  let p = Problem.make_exn ~beta:0.06 ~required:1 ~bases ~formulas:[ formula ] () in
+  let out = Greedy.solve p in
+  Alcotest.(check bool) "feasible" true out.Greedy.feasible;
+  (* the cheap fix: raise tuple 03 by one step, cost 10 *)
+  Alcotest.(check (float 1e-6)) "cost 10" 10.0 out.Greedy.cost;
+  (match out.Greedy.solution with
+  | [ (tid, level) ] ->
+    Alcotest.(check string) "raises tuple 03" "b#3" (Tid.to_string tid);
+    Alcotest.(check (float 1e-9)) "to 0.5" 0.5 level
+  | _ -> Alcotest.fail "expected single increment");
+  verify_solution p out
+
+let test_already_satisfied () =
+  let p =
+    Problem.make_exn ~beta:0.05 ~required:1
+      ~bases:[ base ~p0:0.5 0 ]
+      ~formulas:[ v 0 ] ()
+  in
+  let out = Greedy.solve p in
+  Alcotest.(check bool) "feasible" true out.Greedy.feasible;
+  Alcotest.(check (float 0.0)) "free" 0.0 out.Greedy.cost;
+  Alcotest.(check int) "no iterations" 0 out.Greedy.iterations
+
+let test_required_zero () =
+  let p =
+    Problem.make_exn ~beta:0.9 ~required:0 ~bases:[ base 0 ] ~formulas:[ v 0 ] ()
+  in
+  let out = Greedy.solve p in
+  Alcotest.(check bool) "trivially feasible" true out.Greedy.feasible;
+  Alcotest.(check (float 0.0)) "free" 0.0 out.Greedy.cost
+
+let test_infeasible_cap () =
+  (* cap 0.4 < beta 0.5: unreachable *)
+  let p =
+    Problem.make_exn ~beta:0.5 ~required:1
+      ~bases:[ base ~cap:0.4 0 ]
+      ~formulas:[ v 0 ] ()
+  in
+  let out = Greedy.solve p in
+  Alcotest.(check bool) "infeasible" false out.Greedy.feasible
+
+let test_prefers_cheap_base () =
+  (* r = b0 | b1, b0 ten times cheaper: greedy must raise b0 *)
+  let p =
+    Problem.make_exn ~beta:0.5 ~required:1
+      ~bases:[ base ~rate:10.0 0; base ~rate:100.0 1 ]
+      ~formulas:[ F.disj [ v 0; v 1 ] ]
+      ()
+  in
+  let out = Greedy.solve p in
+  Alcotest.(check bool) "feasible" true out.Greedy.feasible;
+  List.iter
+    (fun (tid, _) ->
+      Alcotest.(check string) "only cheap base" "b#0" (Tid.to_string tid))
+    out.Greedy.solution;
+  verify_solution p out
+
+let test_two_phase_not_worse () =
+  (* the second phase may only reduce cost *)
+  for seed = 0 to 14 do
+    let p = Workload.Synth.small_instance ~num_bases:12 ~num_results:8 ~seed () in
+    let one =
+      Greedy.solve ~config:{ Greedy.default_config with two_phase = false } p
+    in
+    let two = Greedy.solve p in
+    if one.Greedy.feasible then begin
+      Alcotest.(check bool) "two-phase also feasible" true two.Greedy.feasible;
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: %.2f <= %.2f" seed two.Greedy.cost one.Greedy.cost)
+        true
+        (two.Greedy.cost <= one.Greedy.cost +. 1e-9)
+    end
+  done
+
+let test_incremental_matches_full_rescan () =
+  (* the incremental heap selection must reproduce the full-rescan result *)
+  for seed = 20 to 29 do
+    let p = Workload.Synth.small_instance ~num_bases:15 ~num_results:10 ~seed () in
+    let full = Greedy.solve p in
+    let incr =
+      Greedy.solve
+        ~config:{ Greedy.default_config with selection = Greedy.Incremental }
+        p
+    in
+    Alcotest.(check bool) "same feasibility" full.Greedy.feasible incr.Greedy.feasible;
+    if full.Greedy.feasible then
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: costs %.3f vs %.3f" seed full.Greedy.cost
+           incr.Greedy.cost)
+        true
+        (Float.abs (full.Greedy.cost -. incr.Greedy.cost) < 1e-6)
+  done
+
+let test_solution_is_valid_on_random_instances () =
+  for seed = 100 to 119 do
+    let p = Workload.Synth.small_instance ~num_bases:20 ~num_results:12 ~seed () in
+    let out = Greedy.solve p in
+    if out.Greedy.feasible then verify_solution p out
+  done
+
+let test_raw_gain_variant_still_works () =
+  let p = Workload.Synth.small_instance ~seed:5 () in
+  let out =
+    Greedy.solve
+      ~config:{ Greedy.default_config with only_unsatisfied_gain = false }
+      p
+  in
+  if out.Greedy.feasible then verify_solution p out
+
+let test_solve_state_leaves_solution_applied () =
+  let p =
+    Problem.make_exn ~beta:0.5 ~required:1
+      ~bases:[ base ~rate:10.0 0 ]
+      ~formulas:[ v 0 ] ()
+  in
+  let st = State.create p in
+  let out = Greedy.solve_state st in
+  Alcotest.(check bool) "feasible" true out.Greedy.feasible;
+  Alcotest.(check bool) "state holds the solution" true
+    (State.satisfied_count st >= 1)
+
+let () =
+  Alcotest.run "greedy"
+    [
+      ( "greedy",
+        [
+          Alcotest.test_case "paper example" `Quick test_paper_example;
+          Alcotest.test_case "already satisfied" `Quick test_already_satisfied;
+          Alcotest.test_case "required zero" `Quick test_required_zero;
+          Alcotest.test_case "infeasible cap" `Quick test_infeasible_cap;
+          Alcotest.test_case "prefers cheap" `Quick test_prefers_cheap_base;
+          Alcotest.test_case "two-phase not worse" `Quick test_two_phase_not_worse;
+          Alcotest.test_case "incremental = full" `Quick test_incremental_matches_full_rescan;
+          Alcotest.test_case "random validity" `Quick test_solution_is_valid_on_random_instances;
+          Alcotest.test_case "raw gain variant" `Quick test_raw_gain_variant_still_works;
+          Alcotest.test_case "solve_state" `Quick test_solve_state_leaves_solution_applied;
+        ] );
+    ]

@@ -1,0 +1,79 @@
+(* Tests for the binary max-heap. *)
+
+module H = Optimize.Heap
+
+let test_empty () =
+  let h = H.create () in
+  Alcotest.(check bool) "empty" true (H.is_empty h);
+  Alcotest.(check int) "length 0" 0 (H.length h);
+  Alcotest.(check bool) "pop none" true (H.pop h = None);
+  Alcotest.(check bool) "peek none" true (H.peek h = None)
+
+let test_push_pop_ordering () =
+  let h = H.create () in
+  List.iter (fun (p, v) -> H.push h p v) [ (1.0, "a"); (5.0, "b"); (3.0, "c") ];
+  Alcotest.(check int) "length" 3 (H.length h);
+  Alcotest.(check bool) "peek max" true (H.peek h = Some (5.0, "b"));
+  let order = List.init 3 (fun _ -> Option.get (H.pop h)) in
+  Alcotest.(check (list string)) "descending priority" [ "b"; "c"; "a" ]
+    (List.map snd order)
+
+let test_duplicate_priorities () =
+  let h = H.create () in
+  H.push h 2.0 "x";
+  H.push h 2.0 "y";
+  let a = Option.get (H.pop h) and b = Option.get (H.pop h) in
+  Alcotest.(check bool) "both come out" true
+    (List.sort compare [ snd a; snd b ] = [ "x"; "y" ])
+
+let test_growth () =
+  let h = H.create ~capacity:2 () in
+  for i = 1 to 1000 do
+    H.push h (float_of_int (i mod 37)) i
+  done;
+  Alcotest.(check int) "all stored" 1000 (H.length h);
+  (* drain is sorted non-increasing *)
+  let prev = ref infinity in
+  for _ = 1 to 1000 do
+    let p, _ = Option.get (H.pop h) in
+    Alcotest.(check bool) "non-increasing" true (p <= !prev);
+    prev := p
+  done
+
+let test_clear () =
+  let h = H.create () in
+  H.push h 1.0 "a";
+  H.clear h;
+  Alcotest.(check bool) "cleared" true (H.is_empty h)
+
+let qcheck_heap_sorts =
+  QCheck.Test.make ~name:"heap drain equals descending sort" ~count:200
+    QCheck.(list (QCheck.float_range (-100.0) 100.0))
+    (fun priorities ->
+      let h = H.create () in
+      List.iteri (fun i p -> H.push h p i) priorities;
+      let drained = ref [] in
+      let rec drain () =
+        match H.pop h with
+        | Some (p, _) ->
+          drained := p :: !drained;
+          drain ()
+        | None -> ()
+      in
+      drain ();
+      (* drained was collected in reverse, so it should be ascending *)
+      List.rev !drained = List.sort (fun a b -> compare b a) priorities)
+
+let () =
+  Alcotest.run "heap"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "ordering" `Quick test_push_pop_ordering;
+          Alcotest.test_case "duplicates" `Quick test_duplicate_priorities;
+          Alcotest.test_case "growth" `Quick test_growth;
+          Alcotest.test_case "clear" `Quick test_clear;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest qcheck_heap_sorts ]);
+    ]

@@ -1,0 +1,226 @@
+(* Tests for the branch-and-bound heuristic: optimality on the grid, the
+   individual heuristics H1-H4 preserving the optimum, greedy seeding, and
+   the node budget. *)
+
+module Problem = Optimize.Problem
+module State = Optimize.State
+module H = Optimize.Heuristic
+module Greedy = Optimize.Greedy
+module F = Lineage.Formula
+module Tid = Lineage.Tid
+module C = Cost.Cost_model
+
+let t i = Tid.make "b" i
+let v i = F.var (t i)
+
+(* exhaustive reference: enumerate every grid assignment *)
+let brute_force_optimum problem =
+  let nb = Problem.num_bases problem in
+  let st = State.create problem in
+  let levels = Array.init nb (fun bid -> Array.of_list (Problem.grid_levels problem bid)) in
+  let best = ref infinity in
+  let rec go bid =
+    if State.satisfied_count st >= Problem.required problem then begin
+      if State.cost st < !best then best := State.cost st
+    end
+    else if bid < nb then begin
+      Array.iter
+        (fun level ->
+          State.set_base st bid level;
+          go (bid + 1))
+        levels.(bid);
+      State.set_base st bid (Problem.base problem bid).Problem.p0
+    end
+  in
+  go 0;
+  !best
+
+let tiny ~seed =
+  Workload.Synth.small_instance ~num_bases:4 ~num_results:3 ~required:2
+    ~bases_per_result:3 ~seed ()
+
+let test_paper_example_optimal () =
+  let bases =
+    [
+      { Problem.tid = t 2; p0 = 0.3; cap = 1.0; cost = C.linear ~rate:1000.0 };
+      { Problem.tid = t 3; p0 = 0.4; cap = 1.0; cost = C.linear ~rate:100.0 };
+      { Problem.tid = t 13; p0 = 0.1; cap = 1.0; cost = C.linear ~rate:2000.0 };
+    ]
+  in
+  let formula = F.conj [ F.disj [ v 2; v 3 ]; v 13 ] in
+  let p = Problem.make_exn ~beta:0.06 ~required:1 ~bases ~formulas:[ formula ] () in
+  let out = H.solve p in
+  Alcotest.(check bool) "optimal flag" true out.H.optimal;
+  Alcotest.(check (float 1e-6)) "optimal cost 10" 10.0 out.H.cost;
+  match out.H.solution with
+  | Some [ (tid, level) ] ->
+    Alcotest.(check string) "raises tuple 03" "b#3" (Tid.to_string tid);
+    Alcotest.(check (float 1e-9)) "to 0.5" 0.5 level
+  | _ -> Alcotest.fail "expected a single increment"
+
+let test_matches_brute_force () =
+  for seed = 0 to 9 do
+    let p = tiny ~seed in
+    let reference = brute_force_optimum p in
+    let out = H.solve p in
+    let got = out.H.cost in
+    if reference = infinity then
+      Alcotest.(check bool) "both infeasible" true (out.H.solution = None)
+    else
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: %.4f = %.4f" seed got reference)
+        true
+        (Float.abs (got -. reference) < 1e-6)
+  done
+
+let test_each_heuristic_preserves_optimum () =
+  let variants =
+    [
+      ("naive", H.naive);
+      ("h1", H.only `H1);
+      ("h2", H.only `H2);
+      ("h3", H.only `H3);
+      ("h4", H.only `H4);
+      ("all", H.all_heuristics);
+    ]
+  in
+  for seed = 10 to 15 do
+    let p = tiny ~seed in
+    let reference = (H.solve p).H.cost in
+    List.iter
+      (fun (name, heuristics) ->
+        let out =
+          H.solve
+            ~config:{ H.heuristics; initial_bound = None; max_nodes = None }
+            p
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d %s: %.4f = %.4f" seed name out.H.cost reference)
+          true
+          (Float.abs (out.H.cost -. reference) < 1e-6
+          || (out.H.cost = infinity && reference = infinity)))
+      variants
+  done
+
+let test_heuristics_reduce_nodes () =
+  (* "All" must explore no more nodes than "Naive" on a non-trivial case *)
+  let p =
+    Workload.Synth.small_instance ~num_bases:6 ~num_results:5 ~required:3
+      ~bases_per_result:4 ~seed:77 ()
+  in
+  let naive =
+    H.solve ~config:{ H.heuristics = H.naive; initial_bound = None; max_nodes = None } p
+  in
+  let all = H.solve p in
+  Alcotest.(check bool)
+    (Printf.sprintf "nodes %d <= %d" all.H.nodes naive.H.nodes)
+    true
+    (all.H.nodes <= naive.H.nodes)
+
+let test_greedy_seed_preserves_optimum_and_prunes () =
+  for seed = 16 to 20 do
+    let p = tiny ~seed in
+    let plain = H.solve p in
+    let g = Greedy.solve p in
+    if g.Greedy.feasible then begin
+      let seeded =
+        H.solve
+          ~config:
+            {
+              H.heuristics = H.all_heuristics;
+              initial_bound = Some g.Greedy.cost;
+              max_nodes = None;
+            }
+          p
+      in
+      (* seeding with a feasible bound cannot hide the optimum... *)
+      let seeded_cost =
+        match seeded.H.solution with
+        | Some _ -> seeded.H.cost
+        | None -> g.Greedy.cost (* nothing cheaper than greedy exists *)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: seeded %.4f = plain %.4f" seed seeded_cost plain.H.cost)
+        true
+        (Float.abs (seeded_cost -. plain.H.cost) < 1e-6);
+      (* ...and should not explore more nodes *)
+      Alcotest.(check bool) "fewer or equal nodes" true
+        (seeded.H.nodes <= plain.H.nodes)
+    end
+  done
+
+let test_greedy_never_beats_heuristic () =
+  for seed = 21 to 30 do
+    let p = tiny ~seed in
+    let h = H.solve p in
+    let g = Greedy.solve p in
+    if g.Greedy.feasible && h.H.solution <> None then
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: greedy %.4f >= optimal %.4f" seed g.Greedy.cost h.H.cost)
+        true
+        (g.Greedy.cost >= h.H.cost -. 1e-6)
+  done
+
+let test_node_budget_cuts_off () =
+  let p =
+    Workload.Synth.small_instance ~num_bases:10 ~num_results:8 ~required:4
+      ~bases_per_result:5 ~seed:50 ()
+  in
+  let out =
+    H.solve
+      ~config:{ H.heuristics = H.naive; initial_bound = None; max_nodes = Some 50 }
+      p
+  in
+  Alcotest.(check bool) "not optimal" false out.H.optimal;
+  Alcotest.(check bool) "respected budget" true (out.H.nodes <= 51)
+
+let test_infeasible () =
+  let p =
+    Problem.make_exn ~beta:0.9 ~required:1
+      ~bases:[ { Problem.tid = t 0; p0 = 0.1; cap = 0.5; cost = C.linear ~rate:1.0 } ]
+      ~formulas:[ v 0 ] ()
+  in
+  let out = H.solve p in
+  Alcotest.(check bool) "no solution" true (out.H.solution = None);
+  Alcotest.(check bool) "cost infinite" true (out.H.cost = infinity);
+  Alcotest.(check bool) "still optimal (complete search)" true out.H.optimal
+
+let test_cost_beta_ordering_key () =
+  (* b0 cheap and directly satisfying; b1 can never satisfy alone *)
+  let p =
+    Problem.make_exn ~beta:0.5 ~required:1
+      ~bases:
+        [
+          { Problem.tid = t 0; p0 = 0.1; cap = 1.0; cost = C.linear ~rate:10.0 };
+          { Problem.tid = t 1; p0 = 0.1; cap = 0.3; cost = C.linear ~rate:10.0 };
+        ]
+      ~formulas:[ F.disj [ v 0; v 1 ] ]
+      ()
+  in
+  let k0 = H.compute_cost_beta p 0 in
+  let k1 = H.compute_cost_beta p 1 in
+  (* b0 reaches beta at level 0.5 already (the other disjunct sits at 0.1):
+     1 - 0.5*0.9 = 0.55 > 0.5, for cost 10 * (0.5 - 0.1) = 4 *)
+  Alcotest.(check (float 1e-6)) "direct cost" 4.0 k0;
+  (* b1 cannot reach beta: Fmax = 1 - 0.7*0.9 = 0.37 at its cap 0.3, so the
+     paper's adjustment scales the cap cost 10*(0.3-0.1) = 2 by
+     beta / Fmax = 0.5 / 0.37 *)
+  Alcotest.(check (float 1e-6)) "scaled key" (2.0 /. (0.37 /. 0.5)) k1
+
+let () =
+  Alcotest.run "heuristic"
+    [
+      ( "branch-and-bound",
+        [
+          Alcotest.test_case "paper example" `Quick test_paper_example_optimal;
+          Alcotest.test_case "matches brute force" `Slow test_matches_brute_force;
+          Alcotest.test_case "heuristics preserve optimum" `Slow
+            test_each_heuristic_preserves_optimum;
+          Alcotest.test_case "heuristics prune" `Quick test_heuristics_reduce_nodes;
+          Alcotest.test_case "greedy seeding" `Slow test_greedy_seed_preserves_optimum_and_prunes;
+          Alcotest.test_case "greedy never beats optimum" `Quick test_greedy_never_beats_heuristic;
+          Alcotest.test_case "node budget" `Quick test_node_budget_cuts_off;
+          Alcotest.test_case "infeasible" `Quick test_infeasible;
+          Alcotest.test_case "cost-beta key" `Quick test_cost_beta_ordering_key;
+        ] );
+    ]

@@ -1,0 +1,115 @@
+(* Tests for lead-time planning (the paper's future-work sketch). *)
+
+module L = Pcqe.Lead_time
+module Tid = Lineage.Tid
+module C = Cost.Cost_model
+
+let t i = Tid.make "x" i
+
+let task i d = { L.tid = t i; from_ = 0.1; to_ = 0.5; duration = d }
+
+let test_tasks_of_increments () =
+  let time_of _ = C.linear ~rate:10.0 in
+  let current tid = if tid.Tid.row = 0 then 0.2 else 0.5 in
+  let tasks =
+    L.tasks_of_increments ~time_of ~current
+      [ (t 0, 0.6); (t 1, 0.5) (* no-op: already there *); (t 2, 0.4) (* lower *) ]
+  in
+  match tasks with
+  | [ task ] ->
+    Alcotest.(check bool) "only the real increment" true (Tid.equal task.L.tid (t 0));
+    (* linear rate 10: 0.2 -> 0.6 takes 4 *)
+    Alcotest.(check (float 1e-9)) "duration" 4.0 task.L.duration
+  | _ -> Alcotest.failf "expected one task, got %d" (List.length tasks)
+
+let test_schedule_single_worker_sums () =
+  let s = L.schedule ~workers:1 [ task 0 3.0; task 1 1.0; task 2 2.0 ] in
+  Alcotest.(check (float 1e-9)) "serial makespan" 6.0 s.L.makespan;
+  Alcotest.(check (float 1e-9)) "total work" 6.0 s.L.total_work
+
+let test_schedule_lpt () =
+  (* durations 5,4,3,3,3 on 2 workers: LPT gives {5,3} and {4,3,3} -> 10?
+     no: LPT assigns 5->w0, 4->w1, 3->w1? loads: w0=5, w1=4; next 3 -> w1(4)
+     is least? w1=4 < w0=5 -> w1=7; next 3 -> w0=5 -> w0=8; next 3 -> w1=7 ->
+     w1=10... wait recompute: tasks 5,4,3,3,3; after 5->w0(5), 4->w1(4),
+     3->w1 is least(4)->7, 3->w0(5)->8, 3->w1(7)? w1=7 < w0=8 -> w1=10.
+     makespan 10.  optimum is 9 ({5,4} and {3,3,3}). *)
+  let tasks = [ task 0 5.0; task 1 4.0; task 2 3.0; task 3 3.0; task 4 3.0 ] in
+  let s = L.schedule ~workers:2 tasks in
+  Alcotest.(check (float 1e-9)) "LPT makespan" 10.0 s.L.makespan;
+  (* bounds: max duration <= makespan <= total *)
+  Alcotest.(check bool) "lower bound" true (s.L.makespan >= 5.0);
+  Alcotest.(check bool) "upper bound" true (s.L.makespan <= 18.0)
+
+let test_schedule_many_workers () =
+  let tasks = [ task 0 3.0; task 1 1.0; task 2 2.0 ] in
+  let s = L.schedule ~workers:10 tasks in
+  Alcotest.(check (float 1e-9)) "bounded by longest task" 3.0 s.L.makespan
+
+let test_schedule_validation () =
+  Alcotest.(check bool) "workers >= 1" true
+    (try
+       ignore (L.schedule ~workers:0 []);
+       false
+     with Invalid_argument _ -> true)
+
+let test_empty () =
+  let s = L.schedule ~workers:3 [] in
+  Alcotest.(check (float 1e-9)) "empty makespan" 0.0 s.L.makespan
+
+let test_makespan_monotone_in_workers () =
+  let tasks = List.init 10 (fun i -> task i (float_of_int (1 + (i mod 4)))) in
+  let m1 = (L.schedule ~workers:1 tasks).L.makespan in
+  let m2 = (L.schedule ~workers:2 tasks).L.makespan in
+  let m4 = (L.schedule ~workers:4 tasks).L.makespan in
+  Alcotest.(check bool) "more workers never slower" true (m1 >= m2 && m2 >= m4)
+
+(* end-to-end: lead time of the venture-capital proposal *)
+let test_proposal_lead_time () =
+  let open Relational in
+  let r = Relation.create "R" (Schema.of_list [ ("k", Value.TString) ]) in
+  let db = Database.add_relation Database.empty r in
+  let db, tid = Database.insert db "R" [ Value.String "a" ] ~conf:0.4 in
+  let proposal =
+    {
+      Pcqe.Engine.increments = [ (tid, 0.5) ];
+      cost = 10.0;
+      projected_release = 1;
+      solver_name = "test";
+      solver_detail = "";
+      elapsed_s = 0.0;
+    }
+  in
+  (* improving takes 30 days per 0.1 of confidence *)
+  let time_of _ = C.linear ~rate:300.0 in
+  let lead = L.lead_time ~time_of ~workers:1 db proposal in
+  Alcotest.(check (float 1e-6)) "30 days of lead time" 30.0 lead
+
+let test_to_string_mentions_makespan () =
+  let s = L.schedule ~workers:2 [ task 0 3.0; task 1 1.0 ] in
+  let text = L.to_string s in
+  let contains needle =
+    let n = String.length needle and h = String.length text in
+    let rec go i = i + n <= h && (String.sub text i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "mentions makespan" true (contains "makespan 3.00");
+  Alcotest.(check bool) "mentions a task" true (contains "x#0")
+
+let () =
+  Alcotest.run "lead-time"
+    [
+      ( "lead-time",
+        [
+          Alcotest.test_case "tasks of increments" `Quick test_tasks_of_increments;
+          Alcotest.test_case "single worker" `Quick test_schedule_single_worker_sums;
+          Alcotest.test_case "LPT" `Quick test_schedule_lpt;
+          Alcotest.test_case "many workers" `Quick test_schedule_many_workers;
+          Alcotest.test_case "validation" `Quick test_schedule_validation;
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "worker monotonicity" `Quick
+            test_makespan_monotone_in_workers;
+          Alcotest.test_case "proposal lead time" `Quick test_proposal_lead_time;
+          Alcotest.test_case "rendering" `Quick test_to_string_mentions_makespan;
+        ] );
+    ]

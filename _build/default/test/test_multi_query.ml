@@ -1,0 +1,144 @@
+(* Tests for the multi-query extension. *)
+
+module Problem = Optimize.Problem
+module M = Optimize.Multi_query
+module Greedy = Optimize.Greedy
+module F = Lineage.Formula
+module Tid = Lineage.Tid
+module C = Cost.Cost_model
+
+let t name i = Tid.make name i
+
+let base ?(p0 = 0.3) ?(rate = 100.0) tid =
+  { Problem.tid; p0; cap = 1.0; cost = C.linear ~rate }
+
+let shared = t "shared" 0
+let a_priv = t "qa" 0
+let b_priv = t "qb" 0
+
+let qa ?(beta = 0.6) () =
+  Problem.make_exn ~beta ~required:1
+    ~bases:[ base shared ~rate:60.0; base a_priv ~rate:50.0 ]
+    ~formulas:[ F.disj [ F.var a_priv; F.var shared ] ]
+    ()
+
+let qb ?(beta = 0.6) () =
+  Problem.make_exn ~beta ~required:1
+    ~bases:[ base shared ~rate:60.0; base b_priv ~rate:50.0 ]
+    ~formulas:[ F.disj [ F.var b_priv; F.var shared ] ]
+    ()
+
+let test_combine_counts () =
+  match M.combine [ qa (); qb () ] with
+  | Error msg -> Alcotest.fail msg
+  | Ok joint ->
+    Alcotest.(check int) "2 queries" 2 (M.num_queries joint);
+    Alcotest.(check int) "3 distinct bases" 3 (M.num_bases joint)
+
+let test_combine_rejects_conflicts () =
+  let qa = qa () in
+  let conflicting =
+    Problem.make_exn ~beta:0.6 ~required:1
+      ~bases:[ base shared ~p0:0.9 (* different p0 for the shared tuple *) ]
+      ~formulas:[ F.var shared ]
+      ()
+  in
+  (match M.combine [ qa; conflicting ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "conflicting base must be rejected");
+  match M.combine [] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty list must be rejected"
+
+let test_joint_solves_both () =
+  match M.combine [ qa (); qb () ] with
+  | Error msg -> Alcotest.fail msg
+  | Ok joint ->
+    let out = M.solve joint in
+    Alcotest.(check bool) "feasible" true out.M.feasible;
+    Alcotest.(check (list int)) "both queries satisfied" [ 1; 1 ]
+      out.M.satisfied_per_query
+
+let test_joint_exploits_sharing () =
+  match M.combine [ qa (); qb () ] with
+  | Error msg -> Alcotest.fail msg
+  | Ok joint ->
+    let joint_out = M.solve joint in
+    let ga = Greedy.solve (qa ()) and gb = Greedy.solve (qb ()) in
+    Alcotest.(check bool) "independent feasible" true
+      (ga.Greedy.feasible && gb.Greedy.feasible);
+    let independent = ga.Greedy.cost +. gb.Greedy.cost in
+    Alcotest.(check bool)
+      (Printf.sprintf "joint %.1f < independent %.1f" joint_out.M.cost independent)
+      true
+      (joint_out.M.cost < independent -. 1e-9);
+    (* and it should do so by raising the shared tuple *)
+    Alcotest.(check bool) "raises the shared tuple" true
+      (List.exists (fun (tid, _) -> Tid.equal tid shared) joint_out.M.solution)
+
+let test_single_query_degenerates_to_greedy () =
+  let q = qa () in
+  match M.combine [ q ] with
+  | Error msg -> Alcotest.fail msg
+  | Ok joint ->
+    let out = M.solve joint in
+    let g = Greedy.solve q in
+    Alcotest.(check bool) "same feasibility" g.Greedy.feasible out.M.feasible;
+    Alcotest.(check bool)
+      (Printf.sprintf "similar cost %.2f vs %.2f" out.M.cost g.Greedy.cost)
+      true
+      (Float.abs (out.M.cost -. g.Greedy.cost) < 1e-6)
+
+let test_two_phase_rollback () =
+  match M.combine [ qa (); qb () ] with
+  | Error msg -> Alcotest.fail msg
+  | Ok joint ->
+    let one = M.solve ~two_phase:false joint in
+    let two = M.solve joint in
+    Alcotest.(check bool) "rollback only helps" true
+      (two.M.cost <= one.M.cost +. 1e-9)
+
+let test_infeasible_query_detected () =
+  let dead =
+    Problem.make_exn ~beta:0.9 ~required:1
+      ~bases:
+        [ { Problem.tid = t "dead" 0; p0 = 0.1; cap = 0.2; cost = C.linear ~rate:1.0 } ]
+      ~formulas:[ F.var (t "dead" 0) ]
+      ()
+  in
+  match M.combine [ qa (); dead ] with
+  | Error msg -> Alcotest.fail msg
+  | Ok joint ->
+    let out = M.solve joint in
+    Alcotest.(check bool) "joint infeasible" false out.M.feasible
+
+let test_already_satisfied_queries () =
+  let easy =
+    Problem.make_exn ~beta:0.1 ~required:1
+      ~bases:[ base shared ]
+      ~formulas:[ F.var shared ]
+      ()
+  in
+  match M.combine [ easy ] with
+  | Error msg -> Alcotest.fail msg
+  | Ok joint ->
+    let out = M.solve joint in
+    Alcotest.(check bool) "feasible" true out.M.feasible;
+    Alcotest.(check (float 0.0)) "no cost" 0.0 out.M.cost;
+    Alcotest.(check int) "no iterations" 0 out.M.iterations
+
+let () =
+  Alcotest.run "multi-query"
+    [
+      ( "multi-query",
+        [
+          Alcotest.test_case "combine" `Quick test_combine_counts;
+          Alcotest.test_case "conflicts" `Quick test_combine_rejects_conflicts;
+          Alcotest.test_case "solves both" `Quick test_joint_solves_both;
+          Alcotest.test_case "exploits sharing" `Quick test_joint_exploits_sharing;
+          Alcotest.test_case "single query" `Quick test_single_query_degenerates_to_greedy;
+          Alcotest.test_case "two-phase" `Quick test_two_phase_rollback;
+          Alcotest.test_case "infeasible" `Quick test_infeasible_query_detected;
+          Alcotest.test_case "already satisfied" `Quick test_already_satisfied_queries;
+        ] );
+    ]

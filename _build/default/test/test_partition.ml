@@ -1,0 +1,180 @@
+(* Tests for the result-tuple graph partitioner. *)
+
+module Problem = Optimize.Problem
+module Partition = Optimize.Partition
+module F = Lineage.Formula
+module Tid = Lineage.Tid
+module C = Cost.Cost_model
+
+let t i = Tid.make "b" i
+let v i = F.var (t i)
+
+let base i = { Problem.tid = t i; p0 = 0.1; cap = 1.0; cost = C.linear ~rate:10.0 }
+
+let mk ~nbases formulas =
+  Problem.make_exn ~beta:0.5
+    ~required:(min 1 (List.length formulas))
+    ~bases:(List.init nbases base) ~formulas ()
+
+(* Fig. 8 style instance: r0 and r1 share 3 bases; r1 and r2 share 1 *)
+let fig8 () =
+  mk ~nbases:7
+    [
+      F.conj [ v 0; v 1; v 2 ] (* r0 *);
+      F.disj [ v 0; v 1; v 2; v 3 ] (* r1: shares 0,1,2 with r0 *);
+      F.conj [ v 3; v 4 ] (* r2: shares 3 with r1 *);
+      F.disj [ v 5; v 6 ] (* r3: independent *);
+    ]
+
+let test_gamma_2_merges_heavy_edge_only () =
+  let p = fig8 () in
+  let parts =
+    Partition.partition
+      ~config:{ Partition.default_config with gamma = 2.0 }
+      p
+  in
+  (match Partition.check p parts with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  (* r0-r1 (weight 3) merge; r2 and r3 stay alone *)
+  Alcotest.(check int) "3 groups" 3 (Partition.num_groups parts);
+  Alcotest.(check int) "r0 and r1 together" parts.Partition.group_of.(0)
+    parts.Partition.group_of.(1);
+  Alcotest.(check bool) "r2 separate" true
+    (parts.Partition.group_of.(2) <> parts.Partition.group_of.(0))
+
+let test_gamma_1_merges_chains () =
+  let p = fig8 () in
+  let parts =
+    Partition.partition
+      ~config:{ Partition.default_config with gamma = 1.0 }
+      p
+  in
+  (* weight-1 edge r1-r2 also merges; r3 remains alone *)
+  Alcotest.(check int) "2 groups" 2 (Partition.num_groups parts);
+  Alcotest.(check int) "chain merged" parts.Partition.group_of.(0)
+    parts.Partition.group_of.(2)
+
+let test_gamma_huge_all_singletons () =
+  let p = fig8 () in
+  let parts =
+    Partition.partition
+      ~config:{ Partition.default_config with gamma = 100.0 }
+      p
+  in
+  Alcotest.(check int) "every result alone" 4 (Partition.num_groups parts)
+
+let test_independent_results_never_merge () =
+  let p =
+    mk ~nbases:6
+      [ F.conj [ v 0; v 1 ]; F.conj [ v 2; v 3 ]; F.conj [ v 4; v 5 ] ]
+  in
+  let parts =
+    Partition.partition ~config:{ Partition.default_config with gamma = 0.5 } p
+  in
+  Alcotest.(check int) "no shared bases, no merges" 3 (Partition.num_groups parts)
+
+let test_max_group_bases_guard () =
+  let p = fig8 () in
+  (* with a limit of 4 bases: r0+r1 (union {0,1,2,3}) fits, but absorbing
+     r2 (adds base 4) would exceed it and must be refused even though its
+     edge weight passes gamma = 1 *)
+  let parts =
+    Partition.partition
+      ~config:
+        { Partition.default_config with gamma = 1.0; max_group_bases = Some 4 }
+      p
+  in
+  (match Partition.check p parts with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  Alcotest.(check int) "three groups" 3 (Partition.num_groups parts);
+  Alcotest.(check int) "r0 and r1 merged" parts.Partition.group_of.(0)
+    parts.Partition.group_of.(1);
+  Alcotest.(check bool) "r2 kept out by the size guard" true
+    (parts.Partition.group_of.(2) <> parts.Partition.group_of.(1));
+  Array.iter
+    (fun bids ->
+      Alcotest.(check bool) "merged groups respect the limit" true
+        (List.length bids <= 4))
+    parts.Partition.group_bases
+
+let test_group_bases_content () =
+  let p = fig8 () in
+  let parts =
+    Partition.partition ~config:{ Partition.default_config with gamma = 2.0 } p
+  in
+  let g01 = parts.Partition.group_of.(0) in
+  Alcotest.(check (list int)) "merged base set" [ 0; 1; 2; 3 ]
+    parts.Partition.group_bases.(g01)
+
+let test_summed_weights_cascade () =
+  (* r0-r1 share 2; r2 shares 1 with each of r0 and r1.  After merging
+     r0+r1 (weight 2), the edge to r2 sums to 2 and merges as well. *)
+  let p =
+    mk ~nbases:5
+      [
+        F.conj [ v 0; v 1; v 2 ];
+        F.disj [ v 0; v 1; v 3 ];
+        F.conj [ v 2; v 3; v 4 ];
+      ]
+  in
+  let parts =
+    Partition.partition ~config:{ Partition.default_config with gamma = 2.0 } p
+  in
+  Alcotest.(check int) "cascade into one group" 1 (Partition.num_groups parts)
+
+let test_union_semantics_ablation () =
+  let p = fig8 () in
+  let parts =
+    Partition.partition
+      ~config:
+        {
+          Partition.default_config with
+          gamma = 4.0;
+          semantics = Partition.Union_size;
+        }
+      p
+  in
+  (match Partition.check p parts with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  (* under union semantics the r1-r2 edge weighs |{0,1,2,3} u {3,4}| = 5 and
+     merges first; the summed edge from r0 then reaches gamma as well, so
+     only the independent r3 stays out *)
+  Alcotest.(check int) "union weights merge more" 2 (Partition.num_groups parts)
+
+let qcheck_partition_always_valid =
+  QCheck.Test.make ~name:"partition is a valid cover on random instances"
+    ~count:60
+    QCheck.(pair (int_range 0 10_000) (int_range 1 4))
+    (fun (seed, gamma) ->
+      let p =
+        Workload.Synth.small_instance ~num_bases:15 ~num_results:10
+          ~bases_per_result:4 ~seed ()
+      in
+      let parts =
+        Partition.partition
+          ~config:
+            { Partition.default_config with gamma = float_of_int gamma }
+          p
+      in
+      match Partition.check p parts with Ok () -> true | Error _ -> false)
+
+let () =
+  Alcotest.run "partition"
+    [
+      ( "partition",
+        [
+          Alcotest.test_case "gamma 2" `Quick test_gamma_2_merges_heavy_edge_only;
+          Alcotest.test_case "gamma 1 chain" `Quick test_gamma_1_merges_chains;
+          Alcotest.test_case "gamma huge" `Quick test_gamma_huge_all_singletons;
+          Alcotest.test_case "independent stay apart" `Quick
+            test_independent_results_never_merge;
+          Alcotest.test_case "size guard" `Quick test_max_group_bases_guard;
+          Alcotest.test_case "group bases" `Quick test_group_bases_content;
+          Alcotest.test_case "summed cascade" `Quick test_summed_weights_cascade;
+          Alcotest.test_case "union ablation" `Quick test_union_semantics_ablation;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest qcheck_partition_always_valid ]);
+    ]

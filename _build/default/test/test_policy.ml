@@ -1,0 +1,108 @@
+(* Tests for confidence policies and policy stores. *)
+
+module P = Rbac.Policy
+
+let p1 = P.make ~role:"Secretary" ~purpose:"analysis" ~beta:0.05
+let p2 = P.make ~role:"Manager" ~purpose:"investment" ~beta:0.06
+
+let store = P.of_list [ p1; p2 ]
+
+let test_make_validation () =
+  Alcotest.(check bool) "negative beta rejected" true
+    (try
+       ignore (P.make ~role:"r" ~purpose:"p" ~beta:(-0.1));
+       false
+     with Invalid_argument _ -> true)
+
+let test_to_string () =
+  Alcotest.(check string) "paper form" "<Manager, investment, 0.06>"
+    (P.to_string p2)
+
+let test_applicable_by_role_and_purpose () =
+  Alcotest.(check int) "manager+investment" 1
+    (List.length (P.applicable store ~roles:[ "Manager" ] ~purpose:"investment"));
+  Alcotest.(check int) "manager+analysis: none" 0
+    (List.length (P.applicable store ~roles:[ "Manager" ] ~purpose:"analysis"));
+  Alcotest.(check int) "multi-role" 1
+    (List.length
+       (P.applicable store ~roles:[ "Manager"; "Secretary" ] ~purpose:"analysis"))
+
+let test_effective_threshold_max_wins () =
+  let s =
+    P.of_list
+      [
+        P.make ~role:"analyst" ~purpose:"report" ~beta:0.3;
+        P.make ~role:"analyst" ~purpose:"report" ~beta:0.7;
+      ]
+  in
+  Alcotest.(check (option (float 1e-9))) "most restrictive" (Some 0.7)
+    (P.effective_threshold s ~roles:[ "analyst" ] ~purpose:"report")
+
+let test_effective_threshold_none () =
+  Alcotest.(check (option (float 1e-9))) "no policy applies" None
+    (P.effective_threshold store ~roles:[ "Clerk" ] ~purpose:"analysis")
+
+let test_wildcards () =
+  let s =
+    P.of_list
+      [
+        P.make ~role:"*" ~purpose:"audit" ~beta:0.9;
+        P.make ~role:"intern" ~purpose:"*" ~beta:0.5;
+      ]
+  in
+  Alcotest.(check (option (float 1e-9))) "wildcard role" (Some 0.9)
+    (P.effective_threshold s ~roles:[ "anything" ] ~purpose:"audit");
+  Alcotest.(check (option (float 1e-9))) "wildcard purpose" (Some 0.5)
+    (P.effective_threshold s ~roles:[ "intern" ] ~purpose:"whatever");
+  Alcotest.(check (option (float 1e-9))) "both apply, max" (Some 0.9)
+    (P.effective_threshold s ~roles:[ "intern" ] ~purpose:"audit")
+
+let test_parse_line () =
+  (match P.parse_line "Manager, investment, 0.06" with
+  | Ok p ->
+    Alcotest.(check string) "parsed" "<Manager, investment, 0.06>" (P.to_string p)
+  | Error msg -> Alcotest.fail msg);
+  List.iter
+    (fun line ->
+      match P.parse_line line with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "expected failure: %s" line)
+    [ ""; "just-two, fields"; "a, b, not-a-number"; "a, b, -1"; ", b, 0.5" ]
+
+let test_parse_store_roundtrip () =
+  let text = "# policies\nSecretary, analysis, 0.05\n\nManager, investment, 0.06\n" in
+  match P.parse_store text with
+  | Error msg -> Alcotest.fail msg
+  | Ok s ->
+    Alcotest.(check int) "two policies" 2 (List.length (P.to_list s));
+    (* roundtrip through the printer *)
+    (match P.parse_store (P.store_to_string s) with
+    | Ok s2 ->
+      Alcotest.(check int) "roundtrip" 2 (List.length (P.to_list s2));
+      Alcotest.(check (option (float 1e-9))) "same threshold" (Some 0.06)
+        (P.effective_threshold s2 ~roles:[ "Manager" ] ~purpose:"investment")
+    | Error msg -> Alcotest.fail msg)
+
+let test_parse_store_reports_line () =
+  match P.parse_store "ok, fine, 0.5\nbroken line\n" with
+  | Error msg ->
+    Alcotest.(check bool) "mentions line 2" true
+      (String.length msg >= 6 && String.sub msg 0 6 = "line 2")
+  | Ok _ -> Alcotest.fail "expected failure"
+
+let () =
+  Alcotest.run "policy"
+    [
+      ( "policy",
+        [
+          Alcotest.test_case "validation" `Quick test_make_validation;
+          Alcotest.test_case "to_string" `Quick test_to_string;
+          Alcotest.test_case "applicable" `Quick test_applicable_by_role_and_purpose;
+          Alcotest.test_case "max threshold" `Quick test_effective_threshold_max_wins;
+          Alcotest.test_case "no policy" `Quick test_effective_threshold_none;
+          Alcotest.test_case "wildcards" `Quick test_wildcards;
+          Alcotest.test_case "parse line" `Quick test_parse_line;
+          Alcotest.test_case "store roundtrip" `Quick test_parse_store_roundtrip;
+          Alcotest.test_case "error line numbers" `Quick test_parse_store_reports_line;
+        ] );
+    ]

@@ -1,0 +1,201 @@
+(* Tests for the SplitMix64 generator. *)
+
+module Sm = Prng.Splitmix
+
+let test_determinism () =
+  let a = Sm.of_int 42 and b = Sm.of_int 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Sm.next_int64 a) (Sm.next_int64 b)
+  done
+
+let test_different_seeds_differ () =
+  let a = Sm.of_int 1 and b = Sm.of_int 2 in
+  let same = ref 0 in
+  for _ = 1 to 20 do
+    if Sm.next_int64 a = Sm.next_int64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 3)
+
+let test_copy_is_independent () =
+  let a = Sm.of_int 7 in
+  ignore (Sm.next_int64 a);
+  let b = Sm.copy a in
+  Alcotest.(check int64) "copy continues identically" (Sm.next_int64 a)
+    (Sm.next_int64 b);
+  (* advancing one does not affect the other *)
+  ignore (Sm.next_int64 a);
+  ignore (Sm.next_int64 a);
+  let va = Sm.next_int64 a in
+  let vb = Sm.next_int64 b in
+  Alcotest.(check bool) "desynchronized" true (va <> vb)
+
+let test_split_independence () =
+  let a = Sm.of_int 9 in
+  let b = Sm.split a in
+  let equal = ref 0 in
+  for _ = 1 to 50 do
+    if Sm.next_int64 a = Sm.next_int64 b then incr equal
+  done;
+  Alcotest.(check int) "split streams do not collide" 0 !equal
+
+let test_int_bounds_exhaustive () =
+  let rng = Sm.of_int 3 in
+  for bound = 1 to 40 do
+    for _ = 1 to 50 do
+      let v = Sm.int rng bound in
+      if v < 0 || v >= bound then
+        Alcotest.failf "int %d out of [0,%d)" v bound
+    done
+  done
+
+let test_int_rejects_nonpositive () =
+  let rng = Sm.of_int 4 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Splitmix.int: bound must be positive")
+    (fun () -> ignore (Sm.int rng 0))
+
+let test_int_in () =
+  let rng = Sm.of_int 5 in
+  for _ = 1 to 200 do
+    let v = Sm.int_in rng (-3) 7 in
+    Alcotest.(check bool) "in range" true (v >= -3 && v <= 7)
+  done
+
+let test_int_covers_all_values () =
+  let rng = Sm.of_int 6 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 500 do
+    seen.(Sm.int rng 5) <- true
+  done;
+  Alcotest.(check bool) "all residues reachable" true (Array.for_all Fun.id seen)
+
+let test_float_range () =
+  let rng = Sm.of_int 7 in
+  for _ = 1 to 1000 do
+    let v = Sm.float rng 2.5 in
+    Alcotest.(check bool) "in [0, 2.5)" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_float_in_range () =
+  let rng = Sm.of_int 8 in
+  for _ = 1 to 1000 do
+    let v = Sm.float_in rng 0.05 0.15 in
+    Alcotest.(check bool) "in [0.05, 0.15)" true (v >= 0.05 && v < 0.15)
+  done
+
+let test_coin_extremes () =
+  let rng = Sm.of_int 9 in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "p=0 never true" false (Sm.coin rng 0.0);
+    Alcotest.(check bool) "p=1 always true" true (Sm.coin rng 1.0)
+  done
+
+let test_coin_mean () =
+  let rng = Sm.of_int 10 in
+  let hits = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Sm.coin rng 0.3 then incr hits
+  done;
+  let mean = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %.3f close to 0.3" mean)
+    true
+    (Float.abs (mean -. 0.3) < 0.02)
+
+let test_shuffle_is_permutation () =
+  let rng = Sm.of_int 11 in
+  let arr = Array.init 50 Fun.id in
+  Sm.shuffle_in_place rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 50 Fun.id) sorted
+
+let test_sample_without_replacement () =
+  let rng = Sm.of_int 12 in
+  for _ = 1 to 50 do
+    let s = Sm.sample_without_replacement rng 10 30 in
+    Alcotest.(check int) "k elements" 10 (Array.length s);
+    let sorted = Array.copy s in
+    Array.sort compare sorted;
+    Array.iteri
+      (fun i v ->
+        Alcotest.(check bool) "in range" true (v >= 0 && v < 30);
+        if i > 0 then
+          Alcotest.(check bool) "distinct" true (sorted.(i - 1) <> v))
+      sorted
+  done
+
+let test_sample_edge_cases () =
+  let rng = Sm.of_int 13 in
+  Alcotest.(check int) "k=0" 0 (Array.length (Sm.sample_without_replacement rng 0 5));
+  let all = Sm.sample_without_replacement rng 5 5 in
+  let sorted = Array.copy all in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "k=n is a permutation" [| 0; 1; 2; 3; 4 |] sorted;
+  Alcotest.check_raises "k>n rejected"
+    (Invalid_argument "Splitmix.sample_without_replacement: need 0 <= k <= n")
+    (fun () -> ignore (Sm.sample_without_replacement rng 6 5))
+
+let test_gaussian_moments () =
+  let rng = Sm.of_int 14 in
+  let n = 20_000 in
+  let sum = ref 0.0 and sumsq = ref 0.0 in
+  for _ = 1 to n do
+    let v = Sm.gaussian rng ~mu:3.0 ~sigma:2.0 in
+    sum := !sum +. v;
+    sumsq := !sumsq +. (v *. v)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sumsq /. float_of_int n) -. (mean *. mean) in
+  Alcotest.(check bool) "mean ~ 3" true (Float.abs (mean -. 3.0) < 0.1);
+  Alcotest.(check bool) "variance ~ 4" true (Float.abs (var -. 4.0) < 0.3)
+
+let test_exponential_mean () =
+  let rng = Sm.of_int 15 in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    let v = Sm.exponential rng ~rate:2.0 in
+    Alcotest.(check bool) "non-negative" true (v >= 0.0);
+    sum := !sum +. v
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean ~ 0.5" true (Float.abs (mean -. 0.5) < 0.05)
+
+let qcheck_int_uniformish =
+  QCheck.Test.make ~name:"choice picks every element eventually" ~count:50
+    QCheck.(int_range 1 20)
+    (fun n ->
+      let rng = Sm.of_int n in
+      let arr = Array.init n Fun.id in
+      let seen = Array.make n false in
+      for _ = 1 to 100 * n do
+        seen.(Sm.choice rng arr) <- true
+      done;
+      Array.for_all Fun.id seen)
+
+let () =
+  Alcotest.run "prng"
+    [
+      ( "splitmix",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seeds differ" `Quick test_different_seeds_differ;
+          Alcotest.test_case "copy" `Quick test_copy_is_independent;
+          Alcotest.test_case "split" `Quick test_split_independence;
+          Alcotest.test_case "int bounds" `Quick test_int_bounds_exhaustive;
+          Alcotest.test_case "int rejects <=0" `Quick test_int_rejects_nonpositive;
+          Alcotest.test_case "int_in" `Quick test_int_in;
+          Alcotest.test_case "int coverage" `Quick test_int_covers_all_values;
+          Alcotest.test_case "float range" `Quick test_float_range;
+          Alcotest.test_case "float_in range" `Quick test_float_in_range;
+          Alcotest.test_case "coin extremes" `Quick test_coin_extremes;
+          Alcotest.test_case "coin mean" `Quick test_coin_mean;
+          Alcotest.test_case "shuffle permutation" `Quick test_shuffle_is_permutation;
+          Alcotest.test_case "sampling distinct" `Quick test_sample_without_replacement;
+          Alcotest.test_case "sampling edges" `Quick test_sample_edge_cases;
+          Alcotest.test_case "gaussian moments" `Slow test_gaussian_moments;
+          Alcotest.test_case "exponential mean" `Slow test_exponential_mean;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest qcheck_int_uniformish ]);
+    ]

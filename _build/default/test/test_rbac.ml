@@ -1,0 +1,132 @@
+(* Tests for the RBAC substrate: hierarchy, assignment, permissions,
+   sessions. *)
+
+module R = Rbac.Core_rbac
+
+let ok = function Ok x -> x | Error msg -> Alcotest.failf "unexpected: %s" msg
+
+let err what = function
+  | Error _ -> ()
+  | Ok _ -> Alcotest.failf "expected failure: %s" what
+
+let base_model () =
+  let m = R.empty in
+  let m = R.add_role m "employee" in
+  let m = R.add_role m "manager" in
+  let m = R.add_role m "director" in
+  let m = R.add_user m "alice" in
+  let m = R.add_user m "bob" in
+  let m = ok (R.add_inheritance m ~senior:"manager" ~junior:"employee") in
+  let m = ok (R.add_inheritance m ~senior:"director" ~junior:"manager") in
+  m
+
+let test_roles_and_users () =
+  let m = base_model () in
+  Alcotest.(check (list string)) "roles sorted" [ "director"; "employee"; "manager" ]
+    (R.roles m);
+  Alcotest.(check (list string)) "users" [ "alice"; "bob" ] (R.users m)
+
+let test_idempotent_adds () =
+  let m = R.add_role (R.add_role R.empty "r") "r" in
+  Alcotest.(check (list string)) "single role" [ "r" ] (R.roles m)
+
+let test_assignment_validation () =
+  let m = base_model () in
+  err "unknown user" (R.assign_user m ~user:"nobody" ~role:"manager");
+  err "unknown role" (R.assign_user m ~user:"alice" ~role:"nothing")
+
+let test_inheritance_validation () =
+  let m = base_model () in
+  err "self inheritance" (R.add_inheritance m ~senior:"manager" ~junior:"manager");
+  err "cycle" (R.add_inheritance m ~senior:"employee" ~junior:"director");
+  err "unknown senior" (R.add_inheritance m ~senior:"zz" ~junior:"manager")
+
+let test_junior_closure () =
+  let m = base_model () in
+  Alcotest.(check (list string)) "director's juniors" [ "employee"; "manager" ]
+    (R.junior_roles m "director");
+  Alcotest.(check (list string)) "employee has none" [] (R.junior_roles m "employee")
+
+let test_authorized_roles () =
+  let m = base_model () in
+  let m = ok (R.assign_user m ~user:"alice" ~role:"director") in
+  Alcotest.(check (list string)) "direct only" [ "director" ] (R.user_roles m "alice");
+  Alcotest.(check (list string)) "with inheritance"
+    [ "director"; "employee"; "manager" ]
+    (R.authorized_roles m "alice")
+
+let test_permission_inheritance () =
+  let m = base_model () in
+  let m = ok (R.grant m ~role:"employee" { R.action = "select"; resource = "T" }) in
+  let m = ok (R.assign_user m ~user:"alice" ~role:"director") in
+  let m = ok (R.assign_user m ~user:"bob" ~role:"employee") in
+  Alcotest.(check bool) "senior inherits" true
+    (R.check m ~user:"alice" { R.action = "select"; resource = "T" });
+  Alcotest.(check bool) "junior has it directly" true
+    (R.check m ~user:"bob" { R.action = "select"; resource = "T" });
+  Alcotest.(check bool) "junior lacks unrelated" false
+    (R.check m ~user:"bob" { R.action = "delete"; resource = "T" })
+
+let test_permission_no_reverse_inheritance () =
+  let m = base_model () in
+  let m = ok (R.grant m ~role:"director" { R.action = "approve"; resource = "*" }) in
+  let m = ok (R.assign_user m ~user:"bob" ~role:"employee") in
+  Alcotest.(check bool) "junior does not get senior perms" false
+    (R.check m ~user:"bob" { R.action = "approve"; resource = "X" })
+
+let test_wildcards () =
+  let m = base_model () in
+  let m = ok (R.grant m ~role:"manager" { R.action = "*"; resource = "Reports" }) in
+  let m = ok (R.grant m ~role:"employee" { R.action = "select"; resource = "*" }) in
+  let m = ok (R.assign_user m ~user:"alice" ~role:"manager") in
+  Alcotest.(check bool) "action wildcard" true
+    (R.check m ~user:"alice" { R.action = "update"; resource = "Reports" });
+  Alcotest.(check bool) "resource wildcard via junior" true
+    (R.check m ~user:"alice" { R.action = "select"; resource = "Anything" });
+  Alcotest.(check bool) "no match" false
+    (R.check m ~user:"alice" { R.action = "update"; resource = "Other" })
+
+let test_grant_validation_and_idempotence () =
+  let m = base_model () in
+  err "unknown role" (R.grant m ~role:"zz" { R.action = "a"; resource = "b" });
+  let p = { R.action = "select"; resource = "T" } in
+  let m = ok (R.grant m ~role:"employee" p) in
+  let m = ok (R.grant m ~role:"employee" p) in
+  Alcotest.(check int) "no duplicate grants" 1
+    (List.length (R.role_permissions m "employee"))
+
+let test_sessions () =
+  let m = base_model () in
+  let m = ok (R.assign_user m ~user:"alice" ~role:"director") in
+  let m = ok (R.grant m ~role:"manager" { R.action = "sign"; resource = "*" }) in
+  (* activating an inherited role is allowed *)
+  let s = ok (R.open_session m ~user:"alice" ~roles:[ "manager" ]) in
+  Alcotest.(check string) "session user" "alice" (R.session_user s);
+  Alcotest.(check (list string)) "session roles" [ "manager" ] (R.session_roles s);
+  Alcotest.(check bool) "session perm" true
+    (R.check_session m s { R.action = "sign"; resource = "x" });
+  (* a session restricted to employee does not see manager permissions *)
+  let s2 = ok (R.open_session m ~user:"alice" ~roles:[ "employee" ]) in
+  Alcotest.(check bool) "least privilege" false
+    (R.check_session m s2 { R.action = "sign"; resource = "x" });
+  err "unauthorized role" (R.open_session m ~user:"bob" ~roles:[ "manager" ]);
+  err "unknown user" (R.open_session m ~user:"zz" ~roles:[])
+
+let () =
+  Alcotest.run "rbac"
+    [
+      ( "rbac",
+        [
+          Alcotest.test_case "roles/users" `Quick test_roles_and_users;
+          Alcotest.test_case "idempotent" `Quick test_idempotent_adds;
+          Alcotest.test_case "assignment validation" `Quick test_assignment_validation;
+          Alcotest.test_case "inheritance validation" `Quick test_inheritance_validation;
+          Alcotest.test_case "junior closure" `Quick test_junior_closure;
+          Alcotest.test_case "authorized roles" `Quick test_authorized_roles;
+          Alcotest.test_case "permission inheritance" `Quick test_permission_inheritance;
+          Alcotest.test_case "no reverse inheritance" `Quick test_permission_no_reverse_inheritance;
+          Alcotest.test_case "wildcards" `Quick test_wildcards;
+          Alcotest.test_case "grants" `Quick test_grant_validation_and_idempotence;
+          Alcotest.test_case "sessions" `Quick test_sessions;
+        ] );
+    ]

@@ -1,0 +1,136 @@
+(* Tests for the textual RBAC configuration format and session-scoped
+   engine answering. *)
+
+module C = Rbac.Config
+module R = Rbac.Core_rbac
+
+let sample =
+  {|# corporate model
+role employee
+role manager
+user alice
+user bob
+inherit manager employee
+assign alice manager
+assign bob employee
+grant employee select Proposal
+grant manager select *
+|}
+
+let parse_ok text =
+  match C.parse text with
+  | Ok m -> m
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+
+let test_parse () =
+  let m = parse_ok sample in
+  Alcotest.(check (list string)) "roles" [ "employee"; "manager" ] (R.roles m);
+  Alcotest.(check (list string)) "users" [ "alice"; "bob" ] (R.users m);
+  Alcotest.(check (list string)) "alice inherits employee"
+    [ "employee"; "manager" ]
+    (R.authorized_roles m "alice");
+  Alcotest.(check bool) "grant applied" true
+    (R.check m ~user:"bob" { R.action = "select"; resource = "Proposal" })
+
+let test_parse_errors () =
+  List.iter
+    (fun (what, text) ->
+      match C.parse text with
+      | Error msg ->
+        Alcotest.(check bool)
+          (what ^ " reports a line")
+          true
+          (String.length msg >= 4 && String.sub msg 0 4 = "line")
+      | Ok _ -> Alcotest.failf "expected failure: %s" what)
+    [
+      ("bad directive", "frobnicate x\n");
+      ("assign unknown user", "role r\nassign ghost r\n");
+      ("inherit cycle", "role a\nrole b\ninherit a b\ninherit b a\n");
+      ("grant unknown role", "grant ghost select *\n");
+    ]
+
+let test_comments_and_blanks () =
+  let m = parse_ok "# only comments\n\n   \nrole r\n" in
+  Alcotest.(check (list string)) "one role" [ "r" ] (R.roles m)
+
+let test_roundtrip () =
+  let m = parse_ok sample in
+  let m2 = parse_ok (C.to_string m) in
+  Alcotest.(check (list string)) "roles survive" (R.roles m) (R.roles m2);
+  Alcotest.(check (list string)) "users survive" (R.users m) (R.users m2);
+  Alcotest.(check (list string)) "hierarchy survives"
+    (R.junior_roles m "manager")
+    (R.junior_roles m2 "manager");
+  Alcotest.(check bool) "grants survive" true
+    (R.check m2 ~user:"bob" { R.action = "select"; resource = "Proposal" });
+  Alcotest.(check bool) "wildcard grant survives" true
+    (R.check m2 ~user:"alice" { R.action = "select"; resource = "Whatever" })
+
+(* session-scoped engine answering *)
+let test_answer_session () =
+  let open Relational in
+  let r = Relation.create "T" (Schema.of_list [ ("x", Value.TInt) ]) in
+  let db = Database.add_relation Database.empty r in
+  let db, _ = Database.insert db "T" [ Value.Int 1 ] ~conf:0.9 in
+  let rbac =
+    parse_ok
+      {|role junior
+role senior
+user u
+inherit senior junior
+assign u senior
+grant junior select T
+|}
+  in
+  let policies =
+    Rbac.Policy.of_list
+      [
+        Rbac.Policy.make ~role:"senior" ~purpose:"p" ~beta:0.95;
+        Rbac.Policy.make ~role:"junior" ~purpose:"p" ~beta:0.5;
+      ]
+  in
+  let ctx = Pcqe.Engine.make_context ~db ~rbac ~policies () in
+  let query = Pcqe.Query.sql "SELECT x FROM T" in
+  (* full-user answer applies the senior policy too (max beta = 0.95) *)
+  (match
+     Pcqe.Engine.answer ctx { Pcqe.Engine.query; user = "u"; purpose = "p"; perc = 0.0 }
+   with
+  | Ok resp ->
+    Alcotest.(check (option (float 1e-9))) "max over all roles" (Some 0.95)
+      resp.Pcqe.Engine.threshold;
+    Alcotest.(check int) "0.9 < 0.95: withheld" 1 resp.Pcqe.Engine.withheld
+  | Error msg -> Alcotest.fail msg);
+  (* a session activating only the junior role sees only the junior policy *)
+  let session =
+    match Rbac.Core_rbac.open_session rbac ~user:"u" ~roles:[ "junior" ] with
+    | Ok s -> s
+    | Error msg -> Alcotest.fail msg
+  in
+  (match Pcqe.Engine.answer_session ctx session query ~purpose:"p" ~perc:0.0 with
+  | Ok resp ->
+    Alcotest.(check (option (float 1e-9))) "junior threshold" (Some 0.5)
+      resp.Pcqe.Engine.threshold;
+    Alcotest.(check int) "released" 1 (List.length resp.Pcqe.Engine.released)
+  | Error msg -> Alcotest.fail msg);
+  (* a session with no roles has no select permission *)
+  let empty_session =
+    match Rbac.Core_rbac.open_session rbac ~user:"u" ~roles:[] with
+    | Ok s -> s
+    | Error msg -> Alcotest.fail msg
+  in
+  match Pcqe.Engine.answer_session ctx empty_session query ~purpose:"p" ~perc:0.0 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty session must be denied"
+
+let () =
+  Alcotest.run "rbac-config"
+    [
+      ( "config",
+        [
+          Alcotest.test_case "parse" `Quick test_parse;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "comments" `Quick test_comments_and_blanks;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+        ] );
+      ("sessions", [ Alcotest.test_case "answer_session" `Quick test_answer_session ]);
+    ]

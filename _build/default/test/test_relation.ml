@@ -1,0 +1,117 @@
+(* Tests for base relations: tid stability, insert/delete/update. *)
+
+module R = Relational.Relation
+module V = Relational.Value
+module S = Relational.Schema
+module Tid = Lineage.Tid
+
+let schema = S.of_list [ ("name", V.TString); ("n", V.TInt) ]
+
+let row name n = Relational.Tuple.of_list [ V.String name; V.Int n ]
+
+let test_insert_assigns_sequential_tids () =
+  let r = R.create "R" schema in
+  let r, t0 = R.insert r (row "a" 1) in
+  let r, t1 = R.insert r (row "b" 2) in
+  ignore r;
+  Alcotest.(check string) "t0" "R#0" (Tid.to_string t0);
+  Alcotest.(check string) "t1" "R#1" (Tid.to_string t1)
+
+let test_insert_type_check () =
+  let r = R.create "R" schema in
+  Alcotest.(check bool) "bad tuple rejected" true
+    (try
+       ignore (R.insert r (Relational.Tuple.of_list [ V.Int 1; V.Int 2 ]));
+       false
+     with Invalid_argument _ -> true)
+
+let test_delete_keeps_other_tids () =
+  let r = R.create "R" schema in
+  let r, t0 = R.insert r (row "a" 1) in
+  let r, t1 = R.insert r (row "b" 2) in
+  let r = R.delete r t0 in
+  Alcotest.(check int) "one left" 1 (R.cardinality r);
+  Alcotest.(check bool) "t1 still resolvable" true (R.find r t1 <> None);
+  (* a fresh insert must not reuse the deleted id *)
+  let _, t2 = R.insert r (row "c" 3) in
+  Alcotest.(check string) "fresh id" "R#2" (Tid.to_string t2)
+
+let test_delete_missing_is_noop () =
+  let r = R.create "R" schema in
+  let r, _ = R.insert r (row "a" 1) in
+  let r' = R.delete r (Tid.make "R" 99) in
+  Alcotest.(check int) "unchanged" (R.cardinality r) (R.cardinality r')
+
+let test_update () =
+  let r = R.create "R" schema in
+  let r, t0 = R.insert r (row "a" 1) in
+  let r = R.update r t0 (row "a" 42) in
+  (match R.find r t0 with
+  | Some t ->
+    Alcotest.(check bool) "updated" true
+      (V.equal (Relational.Tuple.get t 1) (V.Int 42))
+  | None -> Alcotest.fail "tuple vanished");
+  Alcotest.(check bool) "update of missing tid rejected" true
+    (try
+       ignore (R.update r (Tid.make "R" 7) (row "x" 0));
+       false
+     with Invalid_argument _ -> true)
+
+let test_tuples_in_insertion_order () =
+  let r = R.create "R" schema in
+  let r, _ = R.insert r (row "a" 1) in
+  let r, _ = R.insert r (row "b" 2) in
+  let r, _ = R.insert r (row "c" 3) in
+  let names =
+    List.map
+      (fun (_, t) -> V.to_string (Relational.Tuple.get t 0))
+      (R.tuples r)
+  in
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] names
+
+let test_functional_updates () =
+  let r0 = R.create "R" schema in
+  let r1, _ = R.insert r0 (row "a" 1) in
+  Alcotest.(check int) "original untouched" 0 (R.cardinality r0);
+  Alcotest.(check int) "new has one" 1 (R.cardinality r1)
+
+let test_fold () =
+  let r = R.create "R" schema in
+  let r, _ = R.insert r (row "a" 1) in
+  let r, _ = R.insert r (row "b" 2) in
+  let total =
+    R.fold
+      (fun acc _ t ->
+        match Relational.Tuple.get t 1 with V.Int n -> acc + n | _ -> acc)
+      0 r
+  in
+  Alcotest.(check int) "sum" 3 total
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let test_to_string_contains_rows () =
+  let r = R.create "R" schema in
+  let r, _ = R.insert r (row "hello" 7) in
+  let s = R.to_string r in
+  Alcotest.(check bool) "mentions value" true (contains ~needle:"hello" s);
+  Alcotest.(check bool) "mentions tid" true (contains ~needle:"R#0" s)
+
+let () =
+  Alcotest.run "relation"
+    [
+      ( "relation",
+        [
+          Alcotest.test_case "sequential tids" `Quick test_insert_assigns_sequential_tids;
+          Alcotest.test_case "type check" `Quick test_insert_type_check;
+          Alcotest.test_case "delete stability" `Quick test_delete_keeps_other_tids;
+          Alcotest.test_case "delete missing" `Quick test_delete_missing_is_noop;
+          Alcotest.test_case "update" `Quick test_update;
+          Alcotest.test_case "insertion order" `Quick test_tuples_in_insertion_order;
+          Alcotest.test_case "functional" `Quick test_functional_updates;
+          Alcotest.test_case "fold" `Quick test_fold;
+          Alcotest.test_case "to_string" `Quick test_to_string_contains_rows;
+        ] );
+    ]

@@ -1,0 +1,185 @@
+(* Tests for the REPL state machine (pure command processor). *)
+
+module Repl = Pcqe.Repl
+module E = Pcqe.Engine
+module Db = Relational.Database
+module V = Relational.Value
+module S = Relational.Schema
+module Tid = Lineage.Tid
+
+let ok = function Ok x -> x | Error m -> Alcotest.failf "unexpected: %s" m
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let mk_state () =
+  let r = Relational.Relation.create "T" (S.of_list [ ("x", V.TInt) ]) in
+  let db = Db.add_relation Db.empty r in
+  let db, _ = Db.insert db "T" [ V.Int 1 ] ~conf:0.9 in
+  let db, _ = Db.insert db "T" [ V.Int 2 ] ~conf:0.3 in
+  let rbac =
+    let open Rbac.Core_rbac in
+    let m = add_user (add_role empty "analyst") "u" in
+    let m = ok (assign_user m ~user:"u" ~role:"analyst") in
+    ok (grant m ~role:"analyst" { action = "select"; resource = "*" })
+  in
+  let policies =
+    Rbac.Policy.of_list [ Rbac.Policy.make ~role:"analyst" ~purpose:"p" ~beta:0.5 ]
+  in
+  Repl.create (E.make_context ~db ~rbac ~policies ())
+
+let step state line =
+  match Repl.execute state line with
+  | Repl.Reply (s, text) -> (s, text)
+  | Repl.Quit -> Alcotest.fail "unexpected quit"
+
+let test_quit_variants () =
+  let s = mk_state () in
+  List.iter
+    (fun line ->
+      match Repl.execute s line with
+      | Repl.Quit -> ()
+      | Repl.Reply _ -> Alcotest.failf "%s should quit" line)
+    [ "\\quit"; "\\q"; "\\exit" ]
+
+let test_requires_user () =
+  let s = mk_state () in
+  let _, text = step s "SELECT x FROM T" in
+  Alcotest.(check bool) "asks for a user" true (contains ~needle:"\\user" text)
+
+let test_full_session () =
+  let s = mk_state () in
+  let s, text = step s "\\user u" in
+  Alcotest.(check bool) "ack" true (contains ~needle:"acting as u" text);
+  let s, _ = step s "\\purpose p" in
+  let s, text = step s "SELECT x FROM T" in
+  Alcotest.(check bool) "released row shown" true (contains ~needle:"(1" text || contains ~needle:"| 1" text);
+  Alcotest.(check bool) "withheld reported" true (contains ~needle:"withheld" text);
+  Alcotest.(check bool) "proposal hint" true (contains ~needle:"\\apply" text);
+  (* accept the proposal and re-query *)
+  let s, text = step s "\\apply" in
+  Alcotest.(check bool) "applied" true (contains ~needle:"applied" text);
+  let s, text = step s "SELECT x FROM T" in
+  Alcotest.(check bool) "nothing withheld now" false (contains ~needle:"withheld" text);
+  ignore s
+
+let test_apply_without_proposal () =
+  let s = mk_state () in
+  let _, text = step s "\\apply" in
+  Alcotest.(check bool) "no pending" true (contains ~needle:"no pending" text)
+
+let test_meta_listings () =
+  let s = mk_state () in
+  let _, text = step s "\\tables" in
+  Alcotest.(check bool) "lists T" true (contains ~needle:"T" text);
+  let _, text = step s "\\policies" in
+  Alcotest.(check bool) "lists policy" true (contains ~needle:"analyst" text);
+  let _, text = step s "\\views" in
+  Alcotest.(check bool) "no views" true (contains ~needle:"no views" text);
+  let _, text = step s "\\whoami" in
+  Alcotest.(check bool) "unset user" true (contains ~needle:"(unset)" text)
+
+let test_solver_switch () =
+  let s = mk_state () in
+  let s, text = step s "\\solver greedy" in
+  Alcotest.(check bool) "ack" true (contains ~needle:"greedy" text);
+  let _, text = step s "\\solver bogus" in
+  Alcotest.(check bool) "rejects bogus" true (contains ~needle:"unknown solver" text)
+
+let test_perc_validation () =
+  let s = mk_state () in
+  let _, text = step s "\\perc 2" in
+  Alcotest.(check bool) "rejected" true (contains ~needle:"bad fraction" text);
+  let _, text = step s "\\perc 0.5" in
+  Alcotest.(check bool) "accepted" true (contains ~needle:"0.5" text)
+
+let test_bad_sql_does_not_kill_state () =
+  let s = mk_state () in
+  let s, _ = step s "\\user u" in
+  let s, text = step s "SELEKT nonsense" in
+  Alcotest.(check bool) "error reported" true (contains ~needle:"error" text);
+  (* still functional afterwards *)
+  let _, text = step s "\\whoami" in
+  Alcotest.(check bool) "alive" true (contains ~needle:"user=u" text)
+
+let test_explain () =
+  let s = mk_state () in
+  let _, text = step s "\\explain" in
+  Alcotest.(check bool) "needs a query first" true
+    (contains ~needle:"no previous query" text);
+  let s, _ = step s "\\user u" in
+  let s, _ = step s "\\purpose p" in
+  let s, _ = step s "SELECT x FROM T" in
+  let _, text = step s "\\explain" in
+  Alcotest.(check bool) "witness section" true (contains ~needle:"witnesses" text);
+  Alcotest.(check bool) "influence section" true (contains ~needle:"influence" text);
+  Alcotest.(check bool) "mentions tuples" true (contains ~needle:"T#0" text)
+
+let test_audit_trail () =
+  let s = mk_state () in
+  let _, text = step s "\\audit" in
+  Alcotest.(check bool) "starts empty" true (contains ~needle:"0 entries" text);
+  let s, _ = step s "\\user u" in
+  let s, _ = step s "\\purpose p" in
+  let s, _ = step s "SELECT x FROM T" in
+  let s, _ = step s "\\apply" in
+  let s, _ = step s "SELEKT broken" in
+  let _, text = step s "\\audit" in
+  Alcotest.(check bool) "query logged" true (contains ~needle:"query user=u" text);
+  Alcotest.(check bool) "improvement logged" true (contains ~needle:"improvement" text);
+  Alcotest.(check bool) "denial logged" true (contains ~needle:"denied" text);
+  Alcotest.(check int) "three events" 3 (Pcqe.Audit.length (Repl.audit s))
+
+let test_save () =
+  let s = mk_state () in
+  let s, _ = step s "\\user u" in
+  let s, _ = step s "\\purpose p" in
+  let s, _ = step s "SELECT x FROM T" in
+  let s, _ = step s "\\apply" in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pcqe_repl_save_%d" (Unix.getpid ()))
+  in
+  let s, text = step s ("\\save " ^ dir) in
+  ignore s;
+  Alcotest.(check bool) "ack" true (contains ~needle:"saved workspace" text);
+  Alcotest.(check bool) "relation exported" true
+    (Sys.file_exists (Filename.concat dir "relations/T.csv"));
+  Alcotest.(check bool) "audit exported" true
+    (Sys.file_exists (Filename.concat dir "audit.log"));
+  (* the audit log parses back *)
+  let ic = open_in (Filename.concat dir "audit.log") in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match Pcqe.Audit.parse text with
+  | Ok log -> Alcotest.(check int) "two events" 2 (Pcqe.Audit.length log)
+  | Error msg -> Alcotest.fail msg
+
+let test_unknown_meta_and_blank () =
+  let s = mk_state () in
+  let _, text = step s "\\frobnicate" in
+  Alcotest.(check bool) "unknown hint" true (contains ~needle:"\\help" text);
+  let _, text = step s "   " in
+  Alcotest.(check string) "blank line" "" text
+
+let () =
+  Alcotest.run "repl"
+    [
+      ( "repl",
+        [
+          Alcotest.test_case "quit" `Quick test_quit_variants;
+          Alcotest.test_case "requires user" `Quick test_requires_user;
+          Alcotest.test_case "full session" `Quick test_full_session;
+          Alcotest.test_case "apply without proposal" `Quick test_apply_without_proposal;
+          Alcotest.test_case "listings" `Quick test_meta_listings;
+          Alcotest.test_case "solver switch" `Quick test_solver_switch;
+          Alcotest.test_case "perc validation" `Quick test_perc_validation;
+          Alcotest.test_case "bad sql" `Quick test_bad_sql_does_not_kill_state;
+          Alcotest.test_case "explain" `Quick test_explain;
+          Alcotest.test_case "audit" `Quick test_audit_trail;
+          Alcotest.test_case "save" `Quick test_save;
+          Alcotest.test_case "unknown meta" `Quick test_unknown_meta_and_blank;
+        ] );
+    ]

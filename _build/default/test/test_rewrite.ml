@@ -1,0 +1,225 @@
+(* Tests for the plan rewriter: rule-level checks plus differential testing
+   (optimized plans must produce identical annotated results on random
+   databases and plans). *)
+
+module A = Relational.Algebra
+module E = Relational.Eval
+module X = Relational.Expr
+module V = Relational.Value
+module S = Relational.Schema
+module Db = Relational.Database
+module R = Relational.Relation
+module Rw = Relational.Rewrite
+module F = Lineage.Formula
+
+let mk_db () =
+  let r = R.create "R" (S.of_list [ ("k", V.TString); ("n", V.TInt) ]) in
+  let s = R.create "S" (S.of_list [ ("k", V.TString); ("m", V.TInt) ]) in
+  let db = Db.add_relation (Db.add_relation Db.empty r) s in
+  let ins db rel vs conf = fst (Db.insert db rel vs ~conf) in
+  let db = ins db "R" [ V.String "a"; V.Int 1 ] 0.9 in
+  let db = ins db "R" [ V.String "a"; V.Int 2 ] 0.8 in
+  let db = ins db "R" [ V.String "b"; V.Int 3 ] 0.7 in
+  let db = ins db "S" [ V.String "a"; V.Int 10 ] 0.6 in
+  let db = ins db "S" [ V.String "b"; V.Int 20 ] 0.5 in
+  db
+
+let optimize db p =
+  match Rw.optimize db p with
+  | Ok p -> p
+  | Error msg -> Alcotest.failf "rewrite failed: %s" msg
+
+let run db p =
+  match E.run db p with
+  | Ok r -> r
+  | Error msg -> Alcotest.failf "eval failed: %s" msg
+
+(* same multiset of (tuple, lineage) pairs, order-insensitive *)
+let same_results a b =
+  let norm res =
+    List.sort compare
+      (List.map
+         (fun r ->
+           (Relational.Tuple.to_string r.E.tuple, F.to_string (F.simplify r.E.lineage)))
+         res.E.rows)
+  in
+  norm a = norm b
+
+let check_equivalent db plan =
+  let before = run db plan in
+  let after = run db (optimize db plan) in
+  Alcotest.(check bool) "same annotated results" true (same_results before after)
+
+let test_merge_selects () =
+  let db = mk_db () in
+  let plan =
+    A.Select (X.(col "n" >% int 1), A.Select (X.(col "k" =% str "a"), A.scan "R"))
+  in
+  let opt = optimize db plan in
+  (match opt with
+  | A.Select (X.And (_, _), A.Scan "R") -> ()
+  | _ -> Alcotest.failf "expected merged selection:\n%s" (A.to_string opt));
+  check_equivalent db plan
+
+let test_push_into_join () =
+  let db = mk_db () in
+  let plan =
+    A.Select
+      ( X.(col "R.n" >% int 1),
+        A.Join (Some X.(col "R.k" =% col "S.k"), A.scan "R", A.scan "S") )
+  in
+  let opt = optimize db plan in
+  (match opt with
+  | A.Join (_, A.Select (_, A.Scan "R"), A.Scan "S") -> ()
+  | _ -> Alcotest.failf "selection did not move:\n%s" (A.to_string opt));
+  check_equivalent db plan
+
+let test_push_right_side () =
+  let db = mk_db () in
+  let plan =
+    A.Select
+      ( X.(col "S.m" >% int 15),
+        A.Join (Some X.(col "R.k" =% col "S.k"), A.scan "R", A.scan "S") )
+  in
+  (match optimize db plan with
+  | A.Join (_, A.Scan "R", A.Select (_, A.Scan "S")) -> ()
+  | opt -> Alcotest.failf "expected right push:\n%s" (A.to_string opt));
+  check_equivalent db plan
+
+let test_ambiguous_predicate_stays () =
+  let db = mk_db () in
+  (* k is ambiguous across both sides: must not push *)
+  let plan =
+    A.Select
+      ( X.(col "R.k" =% col "S.k"),
+        A.Join (None, A.scan "R", A.scan "S") )
+  in
+  (match optimize db plan with
+  | A.Select (_, A.Join (None, A.Scan "R", A.Scan "S")) -> ()
+  | opt -> Alcotest.failf "cross-side predicate moved:\n%s" (A.to_string opt));
+  check_equivalent db plan
+
+let test_left_join_pushes_left_only () =
+  let db = mk_db () in
+  let cond = X.(col "R.k" =% col "S.k") in
+  let left_pred = A.Select (X.(col "R.n" >% int 1), A.Left_join (cond, A.scan "R", A.scan "S")) in
+  (match optimize db left_pred with
+  | A.Left_join (_, A.Select (_, A.Scan "R"), A.Scan "S") -> ()
+  | opt -> Alcotest.failf "left predicate should push:\n%s" (A.to_string opt));
+  check_equivalent db left_pred;
+  (* right-column predicate must NOT push through an outer join *)
+  let right_pred = A.Select (X.(IsNotNull (col "S.m")), A.Left_join (cond, A.scan "R", A.scan "S")) in
+  (match optimize db right_pred with
+  | A.Select (_, A.Left_join (_, A.Scan "R", A.Scan "S")) -> ()
+  | opt -> Alcotest.failf "right predicate moved through outer join:\n%s" (A.to_string opt));
+  check_equivalent db right_pred
+
+let test_push_through_union () =
+  let db = mk_db () in
+  let plan =
+    A.Select
+      ( X.(col "k" =% str "a"),
+        A.Union (A.Project ([ "k" ], A.scan "R"), A.Project ([ "k" ], A.scan "S")) )
+  in
+  (match optimize db plan with
+  | A.Union (A.Project (_, A.Select (_, _)), A.Project (_, A.Select (_, _))) -> ()
+  | opt -> Alcotest.failf "expected push through union and projections:\n%s" (A.to_string opt));
+  check_equivalent db plan
+
+let test_distinct_collapse () =
+  let db = mk_db () in
+  let plan = A.Distinct (A.Project ([ "k" ], A.scan "R")) in
+  (match optimize db plan with
+  | A.Project ([ "k" ], A.Scan "R") -> ()
+  | opt -> Alcotest.failf "distinct not collapsed:\n%s" (A.to_string opt));
+  check_equivalent db plan
+
+let test_limit_collapse () =
+  let db = mk_db () in
+  let plan = A.Limit (5, A.Limit (2, A.scan "R")) in
+  (match optimize db plan with
+  | A.Limit (2, A.Scan "R") -> ()
+  | opt -> Alcotest.failf "limits not merged:\n%s" (A.to_string opt));
+  check_equivalent db plan
+
+let test_select_true_removed () =
+  let db = mk_db () in
+  let plan = A.Select (X.bool true, A.scan "R") in
+  match optimize db plan with
+  | A.Scan "R" -> ()
+  | opt -> Alcotest.failf "trivial selection kept:\n%s" (A.to_string opt)
+
+let test_invalid_predicate_not_pushed () =
+  let db = mk_db () in
+  (* the predicate references a column removed by the projection: the plan
+     is invalid and must stay invalid *)
+  let plan = A.Select (X.(col "n" >% int 1), A.Project ([ "k" ], A.scan "R")) in
+  let opt = optimize db plan in
+  (match E.run db opt with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "rewriting must not make an invalid plan valid");
+  match E.run db plan with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "sanity: the original plan should be invalid"
+
+(* differential testing on randomly generated plans *)
+let arb_plan =
+  let open QCheck.Gen in
+  let pred =
+    oneof
+      [
+        return X.(col "n" >% int 1);
+        return X.(col "k" =% str "a");
+        return X.(col "n" <% int 3);
+        return X.(IsNotNull (col "k"));
+      ]
+  in
+  let base = oneof [ return (A.scan "R"); return (A.scan "R") ] in
+  let rec gen n =
+    if n <= 1 then base
+    else
+      frequency
+        [
+          (2, base);
+          (3, map2 (fun p x -> A.Select (p, x)) pred (gen (n - 1)));
+          (1, map (fun x -> A.Project ([ "k" ], x)) (gen (n - 1)));
+          (1, map (fun x -> A.Distinct x) (gen (n - 1)));
+          (1, map (fun x -> A.Order_by ([ ("k", A.Asc) ], x)) (gen (n - 1)));
+          (1, map2 (fun a b -> A.Union (a, b)) (gen (n / 2)) (gen (n / 2)));
+          (1, map2 (fun a b -> A.Diff (a, b)) (gen (n / 2)) (gen (n / 2)));
+        ]
+  in
+  QCheck.make ~print:A.to_string (sized_size (int_range 1 10) gen)
+
+let qcheck_differential =
+  QCheck.Test.make ~name:"optimized plans evaluate identically" ~count:100
+    arb_plan
+    (fun plan ->
+      let db = mk_db () in
+      match (E.run db plan, Rw.optimize db plan) with
+      | Ok before, Ok opt -> (
+        match E.run db opt with
+        | Ok after -> same_results before after
+        | Error _ -> false)
+      | Error _, _ -> QCheck.assume_fail ()
+      | _, Error _ -> false)
+
+let () =
+  Alcotest.run "rewrite"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "merge selects" `Quick test_merge_selects;
+          Alcotest.test_case "push into join (left)" `Quick test_push_into_join;
+          Alcotest.test_case "push into join (right)" `Quick test_push_right_side;
+          Alcotest.test_case "ambiguous stays" `Quick test_ambiguous_predicate_stays;
+          Alcotest.test_case "outer join" `Quick test_left_join_pushes_left_only;
+          Alcotest.test_case "union" `Quick test_push_through_union;
+          Alcotest.test_case "distinct collapse" `Quick test_distinct_collapse;
+          Alcotest.test_case "limit collapse" `Quick test_limit_collapse;
+          Alcotest.test_case "trivial select" `Quick test_select_true_removed;
+          Alcotest.test_case "invalid stays invalid" `Quick
+            test_invalid_predicate_not_pushed;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest qcheck_differential ]);
+    ]

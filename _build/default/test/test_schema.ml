@@ -1,0 +1,135 @@
+(* Tests for schema construction, column resolution and combinators. *)
+
+module S = Relational.Schema
+module V = Relational.Value
+
+let mk = S.of_list
+
+let test_duplicate_rejected () =
+  Alcotest.(check bool) "duplicate rejected" true
+    (try
+       ignore (mk [ ("a", V.TInt); ("A", V.TString) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_basic_accessors () =
+  let s = mk [ ("a", V.TInt); ("b", V.TString) ] in
+  Alcotest.(check int) "arity" 2 (S.arity s);
+  Alcotest.(check (list string)) "names" [ "a"; "b" ] (S.column_names s);
+  Alcotest.(check string) "column_at" "b" (S.column_at s 1).S.cname
+
+let test_bare_lookup () =
+  let s = mk [ ("a", V.TInt); ("b", V.TString) ] in
+  (match S.find_index s "b" with
+  | Ok 1 -> ()
+  | _ -> Alcotest.fail "expected index 1");
+  match S.find_index s "z" with
+  | Error (S.Not_found_col "z") -> ()
+  | _ -> Alcotest.fail "expected not found"
+
+let test_case_insensitive_lookup () =
+  let s = mk [ ("Funding", V.TFloat) ] in
+  match S.find_index s "funding" with
+  | Ok 0 -> ()
+  | _ -> Alcotest.fail "case-insensitive lookup failed"
+
+let test_qualified_lookup () =
+  let s = mk [ ("T.a", V.TInt); ("U.a", V.TInt); ("b", V.TString) ] in
+  (match S.find_index s "T.a" with
+  | Ok 0 -> ()
+  | _ -> Alcotest.fail "qualified exact match");
+  (match S.find_index s "a" with
+  | Error (S.Ambiguous ("a", cols)) ->
+    Alcotest.(check (list string)) "ambiguous candidates" [ "T.a"; "U.a" ] cols
+  | _ -> Alcotest.fail "expected ambiguity");
+  match S.find_index s "U.b" with
+  | Ok 2 -> () (* bare schema column matches any qualifier's base name *)
+  | _ -> Alcotest.fail "qualified lookup of bare column"
+
+let test_find_index_exn_messages () =
+  let s = mk [ ("a", V.TInt) ] in
+  Alcotest.(check bool) "exn on missing" true
+    (try
+       ignore (S.find_index_exn s "zz");
+       false
+     with Invalid_argument msg -> String.length msg > 0)
+
+let test_qualify () =
+  let s = mk [ ("a", V.TInt); ("T.b", V.TString) ] in
+  let q = S.qualify "R" s in
+  Alcotest.(check (list string)) "requalified" [ "R.a"; "R.b" ] (S.column_names q)
+
+let test_unqualified () =
+  Alcotest.(check string) "strips" "c" (S.unqualified "R.c");
+  Alcotest.(check string) "bare unchanged" "c" (S.unqualified "c")
+
+let test_concat () =
+  let a = mk [ ("x", V.TInt) ] and b = mk [ ("y", V.TString) ] in
+  let c = S.concat a b in
+  Alcotest.(check (list string)) "concat order" [ "x"; "y" ] (S.column_names c);
+  Alcotest.(check bool) "duplicate in concat rejected" true
+    (try
+       ignore (S.concat a a);
+       false
+     with Invalid_argument _ -> true)
+
+let test_project () =
+  let s = mk [ ("a", V.TInt); ("b", V.TString); ("c", V.TBool) ] in
+  match S.project s [ "c"; "a" ] with
+  | Ok (s', idx) ->
+    Alcotest.(check (list string)) "projected names" [ "c"; "a" ] (S.column_names s');
+    Alcotest.(check (array int)) "source indices" [| 2; 0 |] idx
+  | Error _ -> Alcotest.fail "projection failed"
+
+let test_project_missing () =
+  let s = mk [ ("a", V.TInt) ] in
+  match S.project s [ "nope" ] with
+  | Error (S.Not_found_col "nope") -> ()
+  | _ -> Alcotest.fail "expected error"
+
+let test_restrict_to_indices () =
+  let s = mk [ ("a", V.TInt); ("b", V.TString) ] in
+  let r = S.restrict_to_indices s [| 1 |] in
+  Alcotest.(check (list string)) "restricted" [ "b" ] (S.column_names r)
+
+let test_union_compatible () =
+  let a = mk [ ("a", V.TInt); ("b", V.TString) ] in
+  let b = mk [ ("x", V.TInt); ("y", V.TString) ] in
+  let c = mk [ ("x", V.TString); ("y", V.TString) ] in
+  Alcotest.(check bool) "names may differ" true (S.union_compatible a b);
+  Alcotest.(check bool) "types must match" false (S.union_compatible a c);
+  Alcotest.(check bool) "arity must match" false
+    (S.union_compatible a (mk [ ("a", V.TInt) ]))
+
+let test_equal () =
+  let a = mk [ ("a", V.TInt) ] in
+  Alcotest.(check bool) "case-insensitive equal" true
+    (S.equal a (mk [ ("A", V.TInt) ]));
+  Alcotest.(check bool) "different type" false (S.equal a (mk [ ("a", V.TFloat) ]))
+
+let test_to_string () =
+  let s = mk [ ("a", V.TInt); ("b", V.TString) ] in
+  Alcotest.(check string) "rendering" "a:int, b:string" (S.to_string s)
+
+let () =
+  Alcotest.run "schema"
+    [
+      ( "schema",
+        [
+          Alcotest.test_case "duplicate rejected" `Quick test_duplicate_rejected;
+          Alcotest.test_case "accessors" `Quick test_basic_accessors;
+          Alcotest.test_case "bare lookup" `Quick test_bare_lookup;
+          Alcotest.test_case "case-insensitive" `Quick test_case_insensitive_lookup;
+          Alcotest.test_case "qualified lookup" `Quick test_qualified_lookup;
+          Alcotest.test_case "exn messages" `Quick test_find_index_exn_messages;
+          Alcotest.test_case "qualify" `Quick test_qualify;
+          Alcotest.test_case "unqualified" `Quick test_unqualified;
+          Alcotest.test_case "concat" `Quick test_concat;
+          Alcotest.test_case "project" `Quick test_project;
+          Alcotest.test_case "project missing" `Quick test_project_missing;
+          Alcotest.test_case "restrict" `Quick test_restrict_to_indices;
+          Alcotest.test_case "union compatible" `Quick test_union_compatible;
+          Alcotest.test_case "equal" `Quick test_equal;
+          Alcotest.test_case "to_string" `Quick test_to_string;
+        ] );
+    ]

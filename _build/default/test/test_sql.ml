@@ -1,0 +1,326 @@
+(* Tests for the SQL front end: lexer, parser, planner, and end-to-end
+   execution against the algebra evaluator. *)
+
+module L = Relational.Sql_lexer
+module P = Relational.Sql_parser
+module Pl = Relational.Sql_planner
+module A = Relational.Algebra
+module E = Relational.Eval
+module V = Relational.Value
+module S = Relational.Schema
+module Db = Relational.Database
+module R = Relational.Relation
+
+(* ------------------------------------------------------------------ *)
+(* lexer *)
+
+let tok = Alcotest.testable (Fmt.of_to_string L.token_to_string) ( = )
+
+let lex s =
+  match L.tokenize s with
+  | Ok ts -> ts
+  | Error msg -> Alcotest.failf "lex error: %s" msg
+
+let test_lex_basics () =
+  Alcotest.(check (list tok)) "select star"
+    [ L.KW "SELECT"; L.STAR; L.KW "FROM"; L.IDENT "t"; L.EOF ]
+    (lex "select * from t")
+
+let test_lex_qualified_ident () =
+  Alcotest.(check (list tok)) "dotted ident"
+    [ L.IDENT "Proposal.Funding"; L.EOF ]
+    (lex "Proposal.Funding")
+
+let test_lex_numbers () =
+  Alcotest.(check (list tok)) "int and float"
+    [ L.INT 42; L.FLOAT 2.5; L.FLOAT 1e3; L.EOF ]
+    (lex "42 2.5 1.0e3")
+
+let test_lex_strings () =
+  Alcotest.(check (list tok)) "quoted string with escape"
+    [ L.STRING "it's"; L.EOF ]
+    (lex "'it''s'");
+  match L.tokenize "'unterminated" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unterminated string must fail"
+
+let test_lex_operators () =
+  Alcotest.(check (list tok)) "two-char ops"
+    [ L.LEQ; L.GEQ; L.NEQ; L.NEQ; L.LT; L.GT; L.EQ; L.EOF ]
+    (lex "<= >= <> != < > =")
+
+let test_lex_keywords_case_insensitive () =
+  Alcotest.(check (list tok)) "mixed case"
+    [ L.KW "SELECT"; L.KW "WHERE"; L.EOF ]
+    (lex "SeLeCt wHeRe")
+
+let test_lex_bad_char () =
+  match L.tokenize "select @" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad character must fail"
+
+(* ------------------------------------------------------------------ *)
+(* parser *)
+
+let parse s =
+  match P.parse s with
+  | Ok q -> q
+  | Error msg -> Alcotest.failf "parse error: %s" msg
+
+let test_parse_simple_select () =
+  match parse "SELECT a, b FROM t WHERE a > 3" with
+  | Relational.Sql_ast.Select s ->
+    Alcotest.(check int) "2 items" 2 (List.length s.Relational.Sql_ast.items);
+    Alcotest.(check bool) "has where" true (s.Relational.Sql_ast.where <> None)
+  | _ -> Alcotest.fail "expected plain select"
+  [@@warning "-4"]
+
+let test_parse_join () =
+  match parse "SELECT a FROM t JOIN u ON t.x = u.x JOIN v ON u.y = v.y" with
+  | Relational.Sql_ast.Select s ->
+    Alcotest.(check int) "two joins" 2 (List.length s.Relational.Sql_ast.joins)
+  | _ -> Alcotest.fail "expected select"
+  [@@warning "-4"]
+
+let test_parse_aliases () =
+  match parse "SELECT a FROM t AS x, u y" with
+  | Relational.Sql_ast.Select s ->
+    (match s.Relational.Sql_ast.from with
+    | Relational.Sql_ast.Tref { table = "t"; alias = Some "x" } -> ()
+    | _ -> Alcotest.fail "AS alias");
+    (match s.Relational.Sql_ast.cross with
+    | [ Relational.Sql_ast.Tref { table = "u"; alias = Some "y" } ] -> ()
+    | _ -> Alcotest.fail "implicit alias")
+  | _ -> Alcotest.fail "expected select"
+  [@@warning "-4"]
+
+let test_parse_group_order_limit () =
+  match
+    parse
+      "SELECT k, COUNT(*) AS c FROM t GROUP BY k HAVING c > 1 ORDER BY k DESC \
+       LIMIT 5"
+  with
+  | Relational.Sql_ast.Select s ->
+    Alcotest.(check (list string)) "group" [ "k" ] s.Relational.Sql_ast.group_by;
+    Alcotest.(check bool) "having" true (s.Relational.Sql_ast.having <> None);
+    Alcotest.(check (option int)) "limit" (Some 5) s.Relational.Sql_ast.limit;
+    (match s.Relational.Sql_ast.order_by with
+    | [ ("k", A.Desc) ] -> ()
+    | _ -> Alcotest.fail "order by desc")
+  | _ -> Alcotest.fail "expected select"
+  [@@warning "-4"]
+
+let test_parse_set_operations () =
+  (match parse "SELECT a FROM t UNION SELECT a FROM u" with
+  | Relational.Sql_ast.Union _ -> ()
+  | _ -> Alcotest.fail "union");
+  (match parse "SELECT a FROM t EXCEPT SELECT a FROM u" with
+  | Relational.Sql_ast.Except _ -> ()
+  | _ -> Alcotest.fail "except");
+  match parse "(SELECT a FROM t) INTERSECT (SELECT a FROM u)" with
+  | Relational.Sql_ast.Intersect _ -> ()
+  | _ -> Alcotest.fail "intersect"
+  [@@warning "-4"]
+
+let test_parse_errors () =
+  List.iter
+    (fun sql ->
+      match P.parse sql with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "expected parse failure: %s" sql)
+    [
+      "SELECT";
+      "SELECT a";
+      "SELECT a FROM";
+      "SELECT a FROM t WHERE";
+      "SELECT a FROM t LIMIT -1";
+      "SELECT a FROM t JOIN";
+      "SELECT SUM(*) FROM t";
+    ]
+
+let test_parse_expr_precedence () =
+  match P.parse_expr "a = 1 OR b = 2 AND c = 3" with
+  | Ok (Relational.Expr.Or (_, Relational.Expr.And (_, _))) -> ()
+  | Ok e -> Alcotest.failf "wrong tree: %s" (Relational.Expr.to_string e)
+  | Error msg -> Alcotest.fail msg
+  [@@warning "-4"]
+
+let test_parse_expr_arith_precedence () =
+  match P.parse_expr "1 + 2 * 3 = 7" with
+  | Ok e ->
+    Alcotest.(check string) "mul binds tighter" "((1 + (2 * 3)) = 7)"
+      (Relational.Expr.to_string e)
+  | Error msg -> Alcotest.fail msg
+
+let test_parse_predicates () =
+  List.iter
+    (fun s ->
+      match P.parse_expr s with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.failf "%s: %s" s msg)
+    [
+      "a IS NULL";
+      "a IS NOT NULL";
+      "name LIKE 'St%'";
+      "n IN (1, 2, 3)";
+      "n BETWEEN 1 AND 10";
+      "NOT (a = 1)";
+      "-n < 3";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* planner + end-to-end *)
+
+let mk_db () =
+  let t = R.create "t" (S.of_list [ ("k", V.TString); ("n", V.TInt) ]) in
+  let u = R.create "u" (S.of_list [ ("k", V.TString); ("m", V.TInt) ]) in
+  let db = Db.add_relation (Db.add_relation Db.empty t) u in
+  let ins db rel vs conf = fst (Db.insert db rel vs ~conf) in
+  let db = ins db "t" [ V.String "a"; V.Int 1 ] 0.9 in
+  let db = ins db "t" [ V.String "a"; V.Int 2 ] 0.8 in
+  let db = ins db "t" [ V.String "b"; V.Int 3 ] 0.7 in
+  let db = ins db "u" [ V.String "a"; V.Int 10 ] 0.6 in
+  db
+
+let run_sql db sql =
+  match Pl.compile sql with
+  | Error msg -> Alcotest.failf "compile: %s" msg
+  | Ok plan -> (
+    match E.run db plan with
+    | Ok res -> res
+    | Error msg -> Alcotest.failf "eval: %s" msg)
+
+let rows res = List.map (fun r -> Relational.Tuple.to_string r.E.tuple) res.E.rows
+
+let test_e2e_select_where () =
+  let db = mk_db () in
+  let res = run_sql db "SELECT k FROM t WHERE n >= 2" in
+  Alcotest.(check (list string)) "rows" [ "(a)"; "(b)" ] (rows res)
+
+let test_e2e_star () =
+  let db = mk_db () in
+  let res = run_sql db "SELECT * FROM t" in
+  Alcotest.(check int) "all rows" 3 (List.length res.E.rows);
+  Alcotest.(check (list string)) "schema" [ "t.k"; "t.n" ]
+    (S.column_names res.E.schema)
+
+let test_e2e_join () =
+  let db = mk_db () in
+  let res = run_sql db "SELECT t.n, u.m FROM t JOIN u ON t.k = u.k" in
+  Alcotest.(check (list string)) "joined" [ "(1, 10)"; "(2, 10)" ] (rows res)
+
+let test_e2e_group_by () =
+  let db = mk_db () in
+  let res =
+    run_sql db "SELECT k, COUNT(*) AS c, SUM(n) AS s FROM t GROUP BY k"
+  in
+  Alcotest.(check (list string)) "grouped" [ "(a, 2, 3)"; "(b, 1, 3)" ] (rows res)
+
+let test_e2e_having () =
+  let db = mk_db () in
+  let res =
+    run_sql db "SELECT k, COUNT(*) AS c FROM t GROUP BY k HAVING c > 1"
+  in
+  Alcotest.(check (list string)) "filtered group" [ "(a, 2)" ] (rows res)
+
+let test_e2e_order_limit () =
+  let db = mk_db () in
+  let res = run_sql db "SELECT n FROM t ORDER BY n DESC LIMIT 2" in
+  Alcotest.(check (list string)) "top-2" [ "(3)"; "(2)" ] (rows res)
+
+let test_e2e_union_except () =
+  let db = mk_db () in
+  let res = run_sql db "SELECT k FROM t UNION SELECT k FROM u" in
+  Alcotest.(check (list string)) "union" [ "(a)"; "(b)" ] (rows res);
+  let res = run_sql db "SELECT k FROM t EXCEPT SELECT k FROM u" in
+  (* probabilistic difference keeps 'a' with negated lineage *)
+  Alcotest.(check int) "except keeps annotated rows" 2 (List.length res.E.rows)
+
+let test_e2e_distinct_alias_table () =
+  let db = mk_db () in
+  let res = run_sql db "SELECT DISTINCT x.k FROM t AS x" in
+  Alcotest.(check (list string)) "aliased" [ "(a)"; "(b)" ] (rows res)
+
+let test_e2e_like_in () =
+  let db = mk_db () in
+  let res = run_sql db "SELECT n FROM t WHERE k LIKE 'a%' AND n IN (1, 3)" in
+  Alcotest.(check (list string)) "like+in" [ "(1)" ] (rows res)
+
+let test_e2e_derived_table () =
+  let db = mk_db () in
+  let res =
+    run_sql db
+      "SELECT big.k FROM (SELECT k, n FROM t WHERE n >= 2) AS big WHERE big.n = 3"
+  in
+  Alcotest.(check (list string)) "derived table" [ "(b)" ] (rows res);
+  (* derived table joined with a base relation *)
+  let res =
+    run_sql db
+      "SELECT d.k, u.m FROM (SELECT k FROM t) d JOIN u ON d.k = u.k"
+  in
+  Alcotest.(check (list string)) "derived join" [ "(a, 10)" ] (rows res)
+
+let test_derived_table_requires_alias () =
+  match P.parse "SELECT k FROM (SELECT k FROM t)" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "derived table without alias must fail"
+
+let test_planner_errors () =
+  List.iter
+    (fun sql ->
+      match Pl.compile sql with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "expected planner failure: %s" sql)
+    [
+      "SELECT k AS x FROM t" (* column aliases unsupported *);
+      "SELECT k, n FROM t GROUP BY k" (* n not grouped *);
+      "SELECT * FROM t GROUP BY k";
+      "SELECT k FROM t HAVING k = 'a'" (* having without group *);
+    ]
+
+let test_default_agg_names () =
+  Alcotest.(check string) "count star" "count_star" (Pl.default_agg_name A.CountStar None);
+  Alcotest.(check string) "sum" "sum_n" (Pl.default_agg_name A.Sum (Some "t.n"))
+
+let () =
+  Alcotest.run "sql"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "basics" `Quick test_lex_basics;
+          Alcotest.test_case "qualified" `Quick test_lex_qualified_ident;
+          Alcotest.test_case "numbers" `Quick test_lex_numbers;
+          Alcotest.test_case "strings" `Quick test_lex_strings;
+          Alcotest.test_case "operators" `Quick test_lex_operators;
+          Alcotest.test_case "keywords" `Quick test_lex_keywords_case_insensitive;
+          Alcotest.test_case "bad char" `Quick test_lex_bad_char;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "simple select" `Quick test_parse_simple_select;
+          Alcotest.test_case "joins" `Quick test_parse_join;
+          Alcotest.test_case "aliases" `Quick test_parse_aliases;
+          Alcotest.test_case "group/order/limit" `Quick test_parse_group_order_limit;
+          Alcotest.test_case "set ops" `Quick test_parse_set_operations;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "bool precedence" `Quick test_parse_expr_precedence;
+          Alcotest.test_case "arith precedence" `Quick test_parse_expr_arith_precedence;
+          Alcotest.test_case "predicates" `Quick test_parse_predicates;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "select/where" `Quick test_e2e_select_where;
+          Alcotest.test_case "star" `Quick test_e2e_star;
+          Alcotest.test_case "join" `Quick test_e2e_join;
+          Alcotest.test_case "group by" `Quick test_e2e_group_by;
+          Alcotest.test_case "having" `Quick test_e2e_having;
+          Alcotest.test_case "order/limit" `Quick test_e2e_order_limit;
+          Alcotest.test_case "union/except" `Quick test_e2e_union_except;
+          Alcotest.test_case "distinct/alias" `Quick test_e2e_distinct_alias_table;
+          Alcotest.test_case "like/in" `Quick test_e2e_like_in;
+          Alcotest.test_case "derived tables" `Quick test_e2e_derived_table;
+          Alcotest.test_case "derived alias required" `Quick test_derived_table_requires_alias;
+          Alcotest.test_case "planner errors" `Quick test_planner_errors;
+          Alcotest.test_case "agg names" `Quick test_default_agg_names;
+        ] );
+    ]

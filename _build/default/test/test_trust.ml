@@ -1,0 +1,143 @@
+(* Tests for the provenance-based confidence assignment substrate. *)
+
+module Prov = Trust.Provenance
+module A = Trust.Assignment
+
+let provider trust = Prov.make_provider "p" ~trust
+
+let record ?(path = []) ?(age_days = 0.0) ?(corroborations = 0) trust =
+  Prov.make_record ~source:(provider trust) ~path ~age_days ~corroborations ()
+
+let test_validation () =
+  Alcotest.(check bool) "trust out of range" true
+    (try
+       ignore (Prov.make_provider "x" ~trust:1.2);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "fidelity out of range" true
+    (try
+       ignore (Prov.make_step Prov.Survey ~fidelity:(-0.1));
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "negative age" true
+    (try
+       ignore (Prov.make_record ~source:(provider 0.5) ~age_days:(-1.0) ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_score_base_case () =
+  (* no path, no age, no corroboration: score = provider trust *)
+  Alcotest.(check (float 1e-9)) "pure trust" 0.8 (A.score (record 0.8))
+
+let test_score_monotone_in_trust () =
+  Alcotest.(check bool) "higher trust, higher confidence" true
+    (A.score (record 0.9) > A.score (record 0.5))
+
+let test_path_attenuates () =
+  let step = Prov.make_step Prov.Web_scrape ~fidelity:0.7 in
+  Alcotest.(check (float 1e-9)) "one step multiplies" 0.56
+    (A.score (record ~path:[ step ] 0.8));
+  let two = [ step; Prov.make_step Prov.Survey ~fidelity:0.5 ] in
+  Alcotest.(check (float 1e-9)) "steps compose" 0.28
+    (A.score (record ~path:two 0.8))
+
+let test_staleness_decays () =
+  let params = { A.default_params with half_life_days = 100.0 } in
+  let fresh = A.score ~params (record 0.8) in
+  let old = A.score ~params (record ~age_days:100.0 0.8) in
+  Alcotest.(check (float 1e-9)) "half-life halves" (fresh /. 2.0) old
+
+let test_corroboration_boosts () =
+  let zero = A.score (record 0.5) in
+  let one = A.score (record ~corroborations:1 0.5) in
+  let two = A.score (record ~corroborations:2 0.5) in
+  Alcotest.(check bool) "boosting" true (zero < one && one < two);
+  Alcotest.(check bool) "never exceeds 1" true (two <= 1.0);
+  (* closed form: 1 - (1-0.5)*(0.7^2) *)
+  Alcotest.(check (float 1e-9)) "closed form" (1.0 -. (0.5 *. 0.49)) two
+
+let test_default_fidelity_ordering () =
+  Alcotest.(check bool) "direct measurement most faithful" true
+    (Prov.default_fidelity Prov.Direct_measurement
+    > Prov.default_fidelity Prov.Survey);
+  Alcotest.(check bool) "web scrape least" true
+    (Prov.default_fidelity Prov.Web_scrape < Prov.default_fidelity Prov.Manual_entry)
+
+let test_assign_writes_database () =
+  let r =
+    Relational.Relation.create "R"
+      (Relational.Schema.of_list [ ("x", Relational.Value.TInt) ])
+  in
+  let r, tid = Relational.Relation.insert r (Relational.Tuple.of_list [ Relational.Value.Int 1 ]) in
+  let db = Relational.Database.add_relation Relational.Database.empty r in
+  let db = A.assign db [ (tid, record 0.8) ] in
+  Alcotest.(check (float 1e-9)) "assigned" 0.8 (Relational.Database.confidence db tid)
+
+let test_refine_rewards_agreement () =
+  let priors = [ ("honest1", 0.5); ("honest2", 0.5); ("liar", 0.5) ] in
+  let claim p k v = { A.claim_provider = p; claim_key = k; claim_value = v } in
+  let claims =
+    [
+      claim "honest1" "x" "1";
+      claim "honest2" "x" "1";
+      claim "liar" "x" "999";
+      claim "honest1" "y" "2";
+      claim "honest2" "y" "2";
+      claim "liar" "y" "888";
+    ]
+  in
+  let refined = A.refine priors claims in
+  let get p = List.assoc p refined in
+  Alcotest.(check bool) "agreeing providers gain trust" true
+    (get "honest1" > get "liar");
+  Alcotest.(check bool) "trust stays in [0,1]" true
+    (List.for_all (fun (_, t) -> t >= 0.0 && t <= 1.0) refined)
+
+let test_refine_keeps_prior_without_claims () =
+  let refined = A.refine [ ("silent", 0.42) ] [] in
+  Alcotest.(check (float 1e-9)) "unchanged" 0.42 (List.assoc "silent" refined)
+
+let test_refine_zero_iterations () =
+  let refined =
+    A.refine ~iterations:0
+      [ ("a", 0.3) ]
+      [ { A.claim_provider = "a"; claim_key = "k"; claim_value = "v" } ]
+  in
+  Alcotest.(check (float 1e-9)) "no movement" 0.3 (List.assoc "a" refined)
+
+let qcheck_score_in_unit_interval =
+  QCheck.Test.make ~name:"score lies in [0,1]" ~count:300
+    QCheck.(
+      quad (float_range 0.0 1.0) (float_range 0.0 1.0) (float_range 0.0 3650.0)
+        (int_range 0 5))
+    (fun (trust, fidelity, age_days, corroborations) ->
+      let s =
+        A.score
+          (record
+             ~path:[ Prov.make_step Prov.Survey ~fidelity ]
+             ~age_days ~corroborations trust)
+      in
+      s >= 0.0 && s <= 1.0)
+
+let () =
+  Alcotest.run "trust"
+    [
+      ( "assignment",
+        [
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "base case" `Quick test_score_base_case;
+          Alcotest.test_case "monotone in trust" `Quick test_score_monotone_in_trust;
+          Alcotest.test_case "path attenuation" `Quick test_path_attenuates;
+          Alcotest.test_case "staleness" `Quick test_staleness_decays;
+          Alcotest.test_case "corroboration" `Quick test_corroboration_boosts;
+          Alcotest.test_case "fidelity defaults" `Quick test_default_fidelity_ordering;
+          Alcotest.test_case "assign to db" `Quick test_assign_writes_database;
+        ] );
+      ( "refine",
+        [
+          Alcotest.test_case "rewards agreement" `Quick test_refine_rewards_agreement;
+          Alcotest.test_case "no claims" `Quick test_refine_keeps_prior_without_claims;
+          Alcotest.test_case "zero iterations" `Quick test_refine_zero_iterations;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest qcheck_score_in_unit_interval ]);
+    ]

@@ -1,0 +1,151 @@
+(* Tests for typed values: ordering, SQL three-valued comparison,
+   conversion, parsing and printing. *)
+
+module V = Relational.Value
+
+let v = Alcotest.testable V.pp V.equal
+
+let test_type_of () =
+  Alcotest.(check (option string))
+    "int" (Some "int")
+    (Option.map V.ty_name (V.type_of (V.Int 3)));
+  Alcotest.(check (option string))
+    "null has no type" None
+    (Option.map V.ty_name (V.type_of V.Null))
+
+let test_ty_parsing () =
+  List.iter
+    (fun (s, expect) ->
+      Alcotest.(check (option string))
+        s expect
+        (Option.map V.ty_name (V.ty_of_string s)))
+    [
+      ("int", Some "int");
+      ("INTEGER", Some "int");
+      ("real", Some "real");
+      ("float", Some "real");
+      ("double", Some "real");
+      ("string", Some "string");
+      ("text", Some "string");
+      ("varchar", Some "string");
+      ("bool", Some "bool");
+      ("boolean", Some "bool");
+      ("blob", None);
+    ]
+
+let test_conforms () =
+  Alcotest.(check bool) "null conforms everywhere" true (V.conforms V.Null V.TBool);
+  Alcotest.(check bool) "int in float column" true (V.conforms (V.Int 2) V.TFloat);
+  Alcotest.(check bool) "float not in int column" false
+    (V.conforms (V.Float 2.0) V.TInt);
+  Alcotest.(check bool) "string mismatch" false (V.conforms (V.String "x") V.TInt)
+
+let test_coerce () =
+  Alcotest.(check (option v)) "int to float" (Some (V.Float 3.0))
+    (V.coerce (V.Int 3) V.TFloat);
+  Alcotest.(check (option v)) "identity" (Some (V.Int 3)) (V.coerce (V.Int 3) V.TInt);
+  Alcotest.(check (option v)) "string to int fails" None
+    (V.coerce (V.String "3") V.TInt);
+  Alcotest.(check (option v)) "null stays null" (Some V.Null) (V.coerce V.Null V.TInt)
+
+let test_total_order () =
+  Alcotest.(check bool) "null smallest" true (V.compare V.Null (V.Bool false) < 0);
+  Alcotest.(check bool) "bool < number" true (V.compare (V.Bool true) (V.Int 0) < 0);
+  Alcotest.(check bool) "number < string" true (V.compare (V.Float 9.9) (V.String "") < 0);
+  Alcotest.(check int) "cross numeric equal" 0 (V.compare (V.Int 2) (V.Float 2.0));
+  Alcotest.(check bool) "cross numeric order" true (V.compare (V.Int 2) (V.Float 2.5) < 0);
+  Alcotest.(check bool) "string order" true (V.compare (V.String "a") (V.String "b") < 0)
+
+let test_hash_consistent_with_equal () =
+  Alcotest.(check int) "Int 5 and Float 5.0 hash equal" (V.hash (V.Int 5))
+    (V.hash (V.Float 5.0));
+  Alcotest.(check bool) "and are equal" true (V.equal (V.Int 5) (V.Float 5.0))
+
+let test_cmp_sql_null () =
+  let flag, _ = V.cmp_sql V.Null (V.Int 3) in
+  Alcotest.(check bool) "null comparison unknown" true (flag = V.Unknown3);
+  let flag, _ = V.cmp_sql (V.Int 3) V.Null in
+  Alcotest.(check bool) "null right" true (flag = V.Unknown3)
+
+let test_cmp_sql_incompatible () =
+  Alcotest.(check bool) "bool vs string raises" true
+    (try
+       ignore (V.cmp_sql (V.Bool true) (V.String "x"));
+       false
+     with Invalid_argument _ -> true)
+
+let test_three_valued_logic () =
+  let t = V.True3 and f = V.False3 and u = V.Unknown3 in
+  Alcotest.(check bool) "f and u = f" true (V.and3 f u = f);
+  Alcotest.(check bool) "t and u = u" true (V.and3 t u = u);
+  Alcotest.(check bool) "t or u = t" true (V.or3 t u = t);
+  Alcotest.(check bool) "f or u = u" true (V.or3 f u = u);
+  Alcotest.(check bool) "not u = u" true (V.not3 u = u);
+  Alcotest.(check bool) "is_true only true" true
+    (V.is_true t && (not (V.is_true f)) && not (V.is_true u))
+
+let test_to_string () =
+  Alcotest.(check string) "null" "NULL" (V.to_string V.Null);
+  Alcotest.(check string) "int" "42" (V.to_string (V.Int 42));
+  Alcotest.(check string) "float keeps .0" "3.0" (V.to_string (V.Float 3.0));
+  Alcotest.(check string) "string unquoted" "abc" (V.to_string (V.String "abc"))
+
+let test_to_sql_quoting () =
+  Alcotest.(check string) "plain" "'abc'" (V.to_sql (V.String "abc"));
+  Alcotest.(check string) "embedded quote doubled" "'it''s'"
+    (V.to_sql (V.String "it's"));
+  Alcotest.(check string) "number unquoted" "42" (V.to_sql (V.Int 42))
+
+let test_of_string_as () =
+  Alcotest.(check (option v)) "int" (Some (V.Int 12)) (V.of_string_as V.TInt "12");
+  Alcotest.(check (option v)) "negative int" (Some (V.Int (-3)))
+    (V.of_string_as V.TInt "-3");
+  Alcotest.(check (option v)) "float" (Some (V.Float 2.5)) (V.of_string_as V.TFloat "2.5");
+  Alcotest.(check (option v)) "bool yes" (Some (V.Bool true)) (V.of_string_as V.TBool "yes");
+  Alcotest.(check (option v)) "bool 0" (Some (V.Bool false)) (V.of_string_as V.TBool "0");
+  Alcotest.(check (option v)) "empty is null" (Some V.Null) (V.of_string_as V.TInt "");
+  Alcotest.(check (option v)) "NULL keyword" (Some V.Null) (V.of_string_as V.TString "null");
+  Alcotest.(check (option v)) "garbage int" None (V.of_string_as V.TInt "12x");
+  Alcotest.(check (option v)) "string passthrough" (Some (V.String "12x"))
+    (V.of_string_as V.TString "12x")
+
+let qcheck_compare_total_order =
+  let gen =
+    QCheck.Gen.(
+      oneof
+        [
+          return V.Null;
+          map (fun b -> V.Bool b) bool;
+          map (fun i -> V.Int i) (int_range (-100) 100);
+          map (fun f -> V.Float f) (float_range (-100.0) 100.0);
+          map (fun s -> V.String s) (string_size (int_range 0 5));
+        ])
+  in
+  let arb = QCheck.make ~print:V.to_string gen in
+  QCheck.Test.make ~name:"compare is antisymmetric and transitive-ish" ~count:500
+    (QCheck.triple arb arb arb)
+    (fun (a, b, c) ->
+      let sgn x = compare x 0 in
+      sgn (V.compare a b) = -sgn (V.compare b a)
+      && ((not (V.compare a b <= 0 && V.compare b c <= 0)) || V.compare a c <= 0))
+
+let () =
+  Alcotest.run "value"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "type_of" `Quick test_type_of;
+          Alcotest.test_case "type parsing" `Quick test_ty_parsing;
+          Alcotest.test_case "conforms" `Quick test_conforms;
+          Alcotest.test_case "coerce" `Quick test_coerce;
+          Alcotest.test_case "total order" `Quick test_total_order;
+          Alcotest.test_case "hash/equal" `Quick test_hash_consistent_with_equal;
+          Alcotest.test_case "cmp_sql null" `Quick test_cmp_sql_null;
+          Alcotest.test_case "cmp_sql incompatible" `Quick test_cmp_sql_incompatible;
+          Alcotest.test_case "3VL" `Quick test_three_valued_logic;
+          Alcotest.test_case "to_string" `Quick test_to_string;
+          Alcotest.test_case "to_sql" `Quick test_to_sql_quoting;
+          Alcotest.test_case "of_string_as" `Quick test_of_string_as;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest qcheck_compare_total_order ]);
+    ]

@@ -1,0 +1,145 @@
+(* Tests for the synthetic workload generator and random query DAGs. *)
+
+module Synth = Workload.Synth
+module Dag = Workload.Dag_query
+module Problem = Optimize.Problem
+module F = Lineage.Formula
+module Tid = Lineage.Tid
+module Sm = Prng.Splitmix
+
+let tids n = List.init n (Tid.make "x")
+
+let test_tree_leaves_exact () =
+  let rng = Sm.of_int 1 in
+  for n = 1 to 20 do
+    let leaves = tids n in
+    let f = Dag.random_monotone_tree rng leaves in
+    Alcotest.(check int)
+      (Printf.sprintf "%d leaves" n)
+      n (F.var_count f);
+    Alcotest.(check bool) "read-once" true (F.is_read_once f);
+    Alcotest.(check bool) "monotone" true (F.is_monotone f)
+  done
+
+let test_tree_rejects_empty () =
+  let rng = Sm.of_int 2 in
+  Alcotest.(check bool) "empty rejected" true
+    (try
+       ignore (Dag.random_monotone_tree rng []);
+       false
+     with Invalid_argument _ -> true)
+
+let test_dag_sharing () =
+  let rng = Sm.of_int 3 in
+  (* with sharing = 0 the DAG degenerates to a read-once tree *)
+  let f0 = Dag.random_dag rng ~sharing:0.0 (tids 8) in
+  Alcotest.(check bool) "no sharing is read-once" true (F.is_read_once f0);
+  (* with sharing = 1 at least one subformula should be reused *)
+  let shared = ref false in
+  for seed = 0 to 9 do
+    let rng = Sm.of_int seed in
+    let f = Dag.random_dag rng ~sharing:1.0 (tids 8) in
+    if not (F.is_read_once f) then shared := true
+  done;
+  Alcotest.(check bool) "sharing produces reuse" true !shared
+
+let test_conjunctive_and_dnf () =
+  let f = Dag.conjunctive (tids 3) in
+  Alcotest.(check string) "conj" "x#0 & x#1 & x#2" (F.to_string f);
+  let g = Dag.dnf_of_groups [ tids 2; [ Tid.make "x" 5 ] ] in
+  Alcotest.(check string) "dnf" "x#0 & x#1 | x#5" (F.to_string g)
+
+let test_instance_determinism () =
+  let params = { Synth.default_params with data_size = 100 } in
+  let a = Synth.instance ~params ~seed:9 () in
+  let b = Synth.instance ~params ~seed:9 () in
+  Alcotest.(check int) "same bases" (Problem.num_bases a) (Problem.num_bases b);
+  Alcotest.(check int) "same results" (Problem.num_results a) (Problem.num_results b);
+  Alcotest.(check int) "same required" (Problem.required a) (Problem.required b);
+  (* formulas identical *)
+  Array.iteri
+    (fun i r ->
+      Alcotest.(check bool) "formula equal" true
+        (F.equal r.Problem.formula (Problem.result b i).Problem.formula))
+    (Problem.results a)
+
+let test_instance_shape () =
+  let params =
+    { Synth.default_params with data_size = 500; bases_per_result = 5 }
+  in
+  let p = Synth.instance ~params ~seed:3 () in
+  Alcotest.(check int) "bases = data_size" 500 (Problem.num_bases p);
+  (* n = coverage * k / bpr = 2*500/5 = 200 *)
+  Alcotest.(check int) "results from coverage" 200 (Problem.num_results p);
+  Alcotest.(check bool) "required within range" true
+    (Problem.required p >= 0 && Problem.required p <= Problem.num_results p);
+  (* confidence values around 0.1 *)
+  Array.iter
+    (fun b ->
+      Alcotest.(check bool) "p0 in [0.05, 0.15)" true
+        (b.Problem.p0 >= 0.05 && b.Problem.p0 < 0.15))
+    (Problem.bases p);
+  (* every result mentions at most bpr bases *)
+  Array.iter
+    (fun r ->
+      Alcotest.(check bool) "bpr respected" true (F.var_count r.Problem.formula <= 5))
+    (Problem.results p)
+
+let test_required_matches_theta () =
+  let params = { Synth.default_params with data_size = 200; theta = 1.0 } in
+  let p = Synth.instance ~params ~seed:11 () in
+  (* theta = 1: everything below beta must be required *)
+  let st = Optimize.State.create p in
+  let unsatisfied = Problem.num_results p - Optimize.State.satisfied_count st in
+  Alcotest.(check int) "required = unsatisfied" unsatisfied (Problem.required p)
+
+let test_small_instance () =
+  let p = Synth.small_instance ~seed:1 () in
+  Alcotest.(check int) "10 bases" 10 (Problem.num_bases p);
+  Alcotest.(check int) "8 results" 8 (Problem.num_results p);
+  Alcotest.(check int) "requires 3" 3 (Problem.required p);
+  Alcotest.(check (float 1e-9)) "beta 0.6" 0.6 (Problem.beta p)
+
+let test_table4 () =
+  let rows = Synth.table4 Synth.default_params in
+  Alcotest.(check int) "five parameters" 5 (List.length rows);
+  Alcotest.(check (option string)) "theta row" (Some "50%")
+    (List.assoc_opt "Percentage of required results (theta)" rows)
+
+let qcheck_instances_valid =
+  QCheck.Test.make ~name:"generated instances are internally consistent"
+    ~count:30
+    QCheck.(int_range 0 5_000)
+    (fun seed ->
+      let params =
+        { Synth.default_params with data_size = 60; bases_per_result = 4 }
+      in
+      let p = Synth.instance ~params ~seed () in
+      (* every formula var resolves to a base *)
+      Array.for_all
+        (fun r ->
+          Tid.Set.for_all
+            (fun tid -> Problem.bid_of_tid p tid <> None)
+            (F.vars r.Problem.formula))
+        (Problem.results p))
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "dag",
+        [
+          Alcotest.test_case "tree leaves" `Quick test_tree_leaves_exact;
+          Alcotest.test_case "empty rejected" `Quick test_tree_rejects_empty;
+          Alcotest.test_case "sharing" `Quick test_dag_sharing;
+          Alcotest.test_case "conjunctive/dnf" `Quick test_conjunctive_and_dnf;
+        ] );
+      ( "synth",
+        [
+          Alcotest.test_case "determinism" `Quick test_instance_determinism;
+          Alcotest.test_case "shape" `Quick test_instance_shape;
+          Alcotest.test_case "required/theta" `Quick test_required_matches_theta;
+          Alcotest.test_case "small instance" `Quick test_small_instance;
+          Alcotest.test_case "table 4" `Quick test_table4;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest qcheck_instances_valid ]);
+    ]
