@@ -15,6 +15,8 @@
      sweep-edge  A3: intersection vs union edge weights
      sweep-solvers A4: all four solvers incl. the annealing baseline
      sweep-rewrite A5: evaluation time, naive plan vs rewritten plan
+     solvers-json  write BENCH_solvers.json: structured solver telemetry
+                   and engine per-stage span timings, machine-readable
      micro       Bechamel micro-benchmarks of the hot paths
 
    `dune exec bench/main.exe` runs everything except the slowest points;
@@ -391,6 +393,117 @@ let micro () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* solvers-json: machine-readable artifact with the four solvers'
+   structured telemetry and the engine's per-stage span timings *)
+
+let solvers_json_path = "BENCH_solvers.json"
+
+let solvers_json () =
+  header (Printf.sprintf "solvers-json: writing %s" solvers_json_path);
+  let fields_json fields =
+    String.concat ","
+      (List.map (fun (k, v) -> Printf.sprintf "%S:%g" k v) fields)
+  in
+  (* all four solvers, each on the largest instance it handles comfortably:
+     the exact heuristic gets the paper's small instance, the scalable
+     three get the 1K default *)
+  let small = Synth.small_instance ~seed:23 () in
+  let p1k =
+    Synth.instance ~params:{ Synth.default_params with data_size = 1000 }
+      ~seed:23 ()
+  in
+  let solver_entry (algorithm, problem, size) =
+    let obs = Obs.wall () in
+    let out = Optimize.Solver.solve ~algorithm ~obs problem in
+    let name = Optimize.Solver.algorithm_name algorithm in
+    row "  %-22s %8.3f s  %s\n" name out.Optimize.Solver.elapsed_s
+      out.Optimize.Solver.detail;
+    Printf.sprintf
+      "    {\"solver\":%S,\"size\":%d,\"elapsed_s\":%g,\"feasible\":%b,\"cost\":%g,\"stats\":{%s}}"
+      name size out.Optimize.Solver.elapsed_s
+      (out.Optimize.Solver.solution <> None)
+      out.Optimize.Solver.cost
+      (fields_json (Optimize.Solver.stats_fields out.Optimize.Solver.stats))
+  in
+  let solver_entries =
+    List.map solver_entry
+      [
+        (Optimize.Solver.heuristic, small, Problem.num_bases small);
+        (Optimize.Solver.greedy, p1k, Problem.num_bases p1k);
+        (Optimize.Solver.divide_conquer, p1k, Problem.num_bases p1k);
+        (Optimize.Solver.annealing, p1k, Problem.num_bases p1k);
+      ]
+  in
+  (* engine stage timings: a small end-to-end query whose low confidences
+     force the whole pipeline, strategy finding included *)
+  let stage_entries =
+    let open Relational in
+    let r =
+      Relation.create "R"
+        (Schema.of_list [ ("k", Value.TInt); ("n", Value.TInt) ])
+    in
+    let db = Database.add_relation Database.empty r in
+    let rng = Prng.Splitmix.of_int 7 in
+    let db =
+      List.fold_left
+        (fun db i ->
+          fst
+            (Database.insert db "R"
+               [ Value.Int i; Value.Int (Prng.Splitmix.int rng 100) ]
+               ~conf:0.5))
+        db
+        (List.init 200 Fun.id)
+    in
+    let rbac =
+      match
+        Rbac.Config.parse
+          "role Analyst\nuser ann\nassign ann Analyst\ngrant Analyst select *\n"
+      with
+      | Ok r -> r
+      | Error m -> failwith m
+    in
+    let policies =
+      match Rbac.Policy.parse_store "Analyst, analysis, 0.6" with
+      | Ok s -> s
+      | Error m -> failwith m
+    in
+    let obs = Obs.wall () in
+    let ctx = Pcqe.Engine.make_context ~obs ~db ~rbac ~policies () in
+    let request =
+      {
+        Pcqe.Engine.query = Pcqe.Query.sql "SELECT k FROM R WHERE n < 50";
+        user = "ann";
+        purpose = "analysis";
+        perc = 0.9;
+      }
+    in
+    (match Pcqe.Engine.answer ctx request with
+    | Ok _ -> ()
+    | Error m -> failwith m);
+    let sink, get = Obs.Sink.memory () in
+    Obs.drain obs sink;
+    List.filter_map
+      (function
+        | Obs.Sink.Span { path; elapsed; _ } ->
+          Some
+            (Printf.sprintf "    {\"stage\":%S,\"elapsed_s\":%g}"
+               (String.concat "/" path) elapsed)
+        | _ -> None)
+      (get ())
+  in
+  let oc = open_out solvers_json_path in
+  output_string oc "{\n  \"solvers\": [\n";
+  output_string oc (String.concat ",\n" solver_entries);
+  output_string oc "\n  ],\n  \"engine_stages\": [\n";
+  output_string oc (String.concat ",\n" stage_entries);
+  output_string oc "\n  ]\n}\n";
+  close_out oc;
+  row "  wrote %d solver entries and %d engine stages to %s\n"
+    (List.length solver_entries)
+    (List.length stage_entries)
+    solvers_json_path
+
+(* ------------------------------------------------------------------ *)
 
 let all_panels ~full () =
   table4 ();
@@ -403,6 +516,7 @@ let all_panels ~full () =
   sweep_edge ();
   sweep_solvers ();
   sweep_rewrite ();
+  solvers_json ();
   micro ()
 
 let () =
@@ -425,6 +539,7 @@ let () =
         | "sweep-edge" -> sweep_edge ()
         | "sweep-solvers" -> sweep_solvers ()
         | "sweep-rewrite" -> sweep_rewrite ()
+        | "solvers-json" -> solvers_json ()
         | "micro" -> micro ()
         | other -> Printf.eprintf "unknown panel %S\n" other)
       panels

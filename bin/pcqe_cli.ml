@@ -139,28 +139,56 @@ let build_context workspace data_dir rbac_file policy_file costs_file solver =
     in
     Ok (Pcqe.Engine.make_context ~solver ~cost_of ~db ~rbac ~policies ())
 
+(* when --trace or --metrics-out asks for observability, build a
+   wall-clock handle and write the JSONL records out on exit *)
+let with_obs ~trace ~metrics_out f =
+  if (not trace) && metrics_out = None then f None
+  else begin
+    let obs = Obs.wall () in
+    let result = f (Some obs) in
+    match metrics_out with
+    | None -> result
+    | Some path -> (
+      try
+        let oc = open_out path in
+        Obs.drain obs (Obs.Sink.jsonl oc);
+        close_out oc;
+        result
+      with Sys_error msg -> (
+        match result with
+        | Ok () -> Error (Printf.sprintf "cannot write metrics: %s" msg)
+        | Error _ -> result))
+  end
+
 let run_query workspace data_dir rbac_file policy_file costs_file user purpose
-    perc solver apply sql =
+    perc solver apply trace metrics_out sql =
   let result =
     let* ctx =
       build_context workspace data_dir rbac_file policy_file costs_file solver
     in
-    let request =
-      { Pcqe.Engine.query = Pcqe.Query.sql sql; user; purpose; perc }
-    in
-    let* resp = Pcqe.Engine.answer ctx request in
-    print_string (Pcqe.Report.response_to_string resp);
-    match (apply, resp.Pcqe.Engine.proposal) with
-    | true, Some proposal ->
-      let ctx' = Pcqe.Engine.accept_proposal ctx proposal in
-      print_endline "\nApplying the improvement proposal...";
-      let* resp' = Pcqe.Engine.answer ctx' request in
-      print_string (Pcqe.Report.response_to_string resp');
-      Ok ()
-    | true, None ->
-      print_endline "\n(no proposal to apply)";
-      Ok ()
-    | false, _ -> Ok ()
+    with_obs ~trace ~metrics_out (fun obs ->
+        let ctx = { ctx with Pcqe.Engine.obs } in
+        let request =
+          { Pcqe.Engine.query = Pcqe.Query.sql sql; user; purpose; perc }
+        in
+        let* resp = Pcqe.Engine.answer ctx request in
+        print_string (Pcqe.Report.response_to_string resp);
+        (match (trace, obs) with
+        | true, Some o ->
+          print_string
+            (Pcqe.Report.timed_to_string ~response:resp ~with_metrics:true o)
+        | _ -> ());
+        match (apply, resp.Pcqe.Engine.proposal) with
+        | true, Some proposal ->
+          let ctx' = Pcqe.Engine.accept_proposal ctx proposal in
+          print_endline "\nApplying the improvement proposal...";
+          let* resp' = Pcqe.Engine.answer ctx' request in
+          print_string (Pcqe.Report.response_to_string resp');
+          Ok ()
+        | true, None ->
+          print_endline "\n(no proposal to apply)";
+          Ok ()
+        | false, _ -> Ok ())
   in
   match result with
   | Ok () -> 0
@@ -199,7 +227,7 @@ let run_plan data_dir sql =
 (* ------------------------------------------------------------------ *)
 (* solve subcommand *)
 
-let run_solve size bpr seed beta theta solver =
+let run_solve size bpr seed beta theta solver trace metrics_out =
   let result =
     let* solver = solver_of_string solver in
     let params =
@@ -213,7 +241,8 @@ let run_solve size bpr seed beta theta solver =
     in
     let problem = Workload.Synth.instance ~params ~seed () in
     Printf.printf "%s\n" (Optimize.Problem.to_string problem);
-    let out = Optimize.Solver.solve ~algorithm:solver problem in
+    with_obs ~trace ~metrics_out (fun obs ->
+    let out = Optimize.Solver.solve ~algorithm:solver ?obs problem in
     (match out.Optimize.Solver.solution with
     | Some increments ->
       Printf.printf
@@ -227,7 +256,10 @@ let run_solve size bpr seed beta theta solver =
       Printf.printf "solver: %s\nfeasible: no\nelapsed: %.3fs\ndetail: %s\n"
         (Optimize.Solver.algorithm_name solver)
         out.Optimize.Solver.elapsed_s out.Optimize.Solver.detail);
-    Ok ()
+    (match (trace, obs) with
+    | true, Some o -> print_string (Obs.report o)
+    | _ -> ());
+    Ok ())
   in
   match result with
   | Ok () -> 0
@@ -320,6 +352,21 @@ let solver_arg =
           "Strategy-finding algorithm: heuristic, heuristic-seeded, greedy, \
            greedy-1p, dnc, or annealing.")
 
+let trace_arg =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:
+          "Print the timed plan: a nested span tree with per-stage elapsed \
+           times, plus the solver counters and histograms.")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:"Write the recorded spans, counters and histograms as JSONL.")
+
 let query_cmd =
   let rbac_arg =
     Arg.(
@@ -367,7 +414,7 @@ let query_cmd =
     Term.(
       const run_query $ workspace_arg $ data_opt_arg $ rbac_arg $ policy_arg
       $ costs_arg $ user_arg $ purpose_arg $ perc_arg $ solver_arg $ apply_arg
-      $ sql_arg)
+      $ trace_arg $ metrics_out_arg $ sql_arg)
 
 let plan_cmd =
   let doc = "print the relational-algebra plan of a SQL query" in
@@ -400,7 +447,7 @@ let solve_cmd =
     (Cmd.info "solve" ~doc)
     Term.(
       const run_solve $ size_arg $ bpr_arg $ seed_arg $ beta_arg $ theta_arg
-      $ solver_arg)
+      $ solver_arg $ trace_arg $ metrics_out_arg)
 
 let repl_cmd =
   let ws_arg =

@@ -1,0 +1,9 @@
+type t = unit -> float
+
+let wall = Unix.gettimeofday
+
+let counter ?(step = 1.0) () =
+  let ticks = ref (-1.0) in
+  fun () ->
+    ticks := !ticks +. 1.0;
+    !ticks *. step

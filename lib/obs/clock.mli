@@ -1,0 +1,21 @@
+(** Pluggable time source for the observability layer.
+
+    Spans never read the wall clock directly: they call whatever clock the
+    tracer was built with.  Tests (and anything that must be reproducible,
+    like the audit trail) use {!counter}, a deterministic monotonic counter
+    that advances by one per reading; the CLI, REPL and benchmarks use
+    {!wall}.  This mirrors [Audit]'s no-wall-clock design: enabling
+    observability never makes a run nondeterministic unless the caller
+    explicitly opts into real time. *)
+
+type t = unit -> float
+(** A clock is any monotone float source.  Units are seconds for {!wall}
+    and "ticks" for {!counter}. *)
+
+val wall : t
+(** [Unix.gettimeofday]. *)
+
+val counter : ?step:float -> unit -> t
+(** A fresh deterministic clock: successive readings return [0.0], [step],
+    [2. *. step], … ([step] defaults to [1.0]).  Each call to [counter]
+    creates an independent counter. *)

@@ -1,0 +1,106 @@
+(* growable float array; histograms keep every observation so that exact
+   order statistics stay available (our series are small: spans, group
+   sizes, per-query row counts) *)
+type series = { mutable data : float array; mutable len : int }
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  histograms : (string, series) Hashtbl.t;
+}
+
+let create () = { counters = Hashtbl.create 16; histograms = Hashtbl.create 16 }
+
+let incr t ?(by = 1) name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.replace t.counters name (ref by)
+
+let observe t name v =
+  let s =
+    match Hashtbl.find_opt t.histograms name with
+    | Some s -> s
+    | None ->
+      let s = { data = Array.make 16 0.0; len = 0 } in
+      Hashtbl.replace t.histograms name s;
+      s
+  in
+  if s.len = Array.length s.data then begin
+    let bigger = Array.make (2 * s.len) 0.0 in
+    Array.blit s.data 0 bigger 0 s.len;
+    s.data <- bigger
+  end;
+  s.data.(s.len) <- v;
+  s.len <- s.len + 1
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+type histogram = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+(* nearest-rank percentile over a sorted array *)
+let percentile sorted q =
+  let n = Array.length sorted in
+  let rank = int_of_float (ceil (q *. float_of_int n)) in
+  sorted.(Stdlib.min (n - 1) (Stdlib.max 0 (rank - 1)))
+
+let summarize s =
+  if s.len = 0 then None
+  else begin
+    let sorted = Array.sub s.data 0 s.len in
+    Array.sort Float.compare sorted;
+    let sum = Array.fold_left ( +. ) 0.0 sorted in
+    Some
+      {
+        count = s.len;
+        sum;
+        min = sorted.(0);
+        max = sorted.(s.len - 1);
+        mean = sum /. float_of_int s.len;
+        p50 = percentile sorted 0.5;
+        p90 = percentile sorted 0.9;
+        p99 = percentile sorted 0.99;
+      }
+  end
+
+let histogram t name =
+  match Hashtbl.find_opt t.histograms name with
+  | Some s -> summarize s
+  | None -> None
+
+let counters t =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counters []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let histograms t =
+  Hashtbl.fold
+    (fun name s acc ->
+      match summarize s with Some h -> (name, h) :: acc | None -> acc)
+    t.histograms []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.histograms
+
+let render t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (name, v) -> Buffer.add_string buf (Printf.sprintf "%-40s %d\n" name v))
+    (counters t);
+  List.iter
+    (fun (name, h) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "%-40s count=%d sum=%g min=%g mean=%g p50=%g p90=%g p99=%g max=%g\n"
+           name h.count h.sum h.min h.mean h.p50 h.p90 h.p99 h.max))
+    (histograms t);
+  Buffer.contents buf

@@ -1,0 +1,52 @@
+(** Named counters and histograms.
+
+    A registry is a mutable bag of metrics identified by dotted names
+    (["engine.queries"], ["heuristic.h3_prunes"], ["dnc.group_size"]).
+    Counters are monotone integers; histograms record every observation
+    and report order statistics on demand (nearest-rank percentiles).
+
+    Recording is cheap — one hashtable probe plus an integer add or an
+    array push — so solvers can bump counters inside their inner loops.
+    Registries are not thread-safe; use one per engine context. *)
+
+type t
+
+val create : unit -> t
+
+val incr : t -> ?by:int -> string -> unit
+(** Add [by] (default 1) to the named counter, creating it at 0 first. *)
+
+val observe : t -> string -> float -> unit
+(** Record one observation into the named histogram. *)
+
+val counter : t -> string -> int
+(** Current value of the counter; [0] when it was never incremented. *)
+
+type histogram = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+val histogram : t -> string -> histogram option
+(** Summary of the named histogram; [None] when it has no observations. *)
+
+val percentile : float array -> float -> float
+(** [percentile sorted q] is the nearest-rank [q]-percentile ([q] in
+    [0,1]) of a sorted non-empty array (exposed for tests). *)
+
+val counters : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+val histograms : t -> (string * histogram) list
+(** All non-empty histograms, sorted by name. *)
+
+val reset : t -> unit
+
+val render : t -> string
+(** Human-readable dump: counters first, then histogram summaries. *)

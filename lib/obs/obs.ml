@@ -1,0 +1,33 @@
+module Clock = Clock
+module Trace = Trace
+module Metrics = Metrics
+module Sink = Sink
+
+type t = { trace : Trace.t; metrics : Metrics.t }
+
+let create ?clock () =
+  let clock = match clock with Some c -> c | None -> Clock.counter () in
+  { trace = Trace.create ~clock (); metrics = Metrics.create () }
+
+let deterministic () = create ()
+
+let wall () = create ~clock:Clock.wall ()
+
+let span t ?attrs name f =
+  match t with None -> f () | Some o -> Trace.span o.trace ?attrs name f
+
+let add_attr t key value =
+  match t with None -> () | Some o -> Trace.add_attr o.trace key value
+
+let incr t ?by name =
+  match t with None -> () | Some o -> Metrics.incr o.metrics ?by name
+
+let observe t name v =
+  match t with None -> () | Some o -> Metrics.observe o.metrics name v
+
+let drain t sink = Sink.drain ~trace:t.trace ~metrics:t.metrics sink
+
+let report t =
+  let spans = Trace.render t.trace in
+  let metrics = Metrics.render t.metrics in
+  if metrics = "" then spans else spans ^ "\n" ^ metrics

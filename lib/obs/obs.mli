@@ -1,0 +1,43 @@
+(** End-to-end observability: tracing + metrics behind one handle.
+
+    The engine, the solvers, the CLI and the benchmarks all take an
+    optional [Obs.t].  [None] means observability is fully disabled: the
+    option-taking helpers below ({!span}, {!incr}, {!observe},
+    {!add_attr}) are no-ops that allocate nothing, so the instrumented
+    code pays a single [match] per call site when tracing is off.
+
+    Clocks are pluggable ({!Clock}): {!deterministic} (the default) never
+    reads wall time, so enabling observability cannot make a test run
+    nondeterministic; {!wall} is for the CLI, REPL and benchmarks. *)
+
+module Clock = Clock
+module Trace = Trace
+module Metrics = Metrics
+module Sink = Sink
+
+type t = { trace : Trace.t; metrics : Metrics.t }
+
+val create : ?clock:Clock.t -> unit -> t
+(** Fresh tracer + registry sharing [clock] (default: deterministic
+    counter). *)
+
+val deterministic : unit -> t
+(** [create ()] with a fresh counter clock — reproducible runs. *)
+
+val wall : unit -> t
+(** [create ~clock:Clock.wall ()] — real timings for humans. *)
+
+(* Option-taking helpers: the instrumented code threads a [t option] and
+   never branches itself. *)
+
+val span : t option -> ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+val add_attr : t option -> string -> string -> unit
+val incr : t option -> ?by:int -> string -> unit
+val observe : t option -> string -> float -> unit
+
+val drain : t -> Sink.t -> unit
+(** Stream completed spans and all metrics into the sink, then close it. *)
+
+val report : t -> string
+(** Span tree ({!Trace.render}) followed by the metrics dump
+    ({!Metrics.render}). *)

@@ -1,0 +1,291 @@
+type record =
+  | Span of {
+      path : string list;
+      start : float;
+      elapsed : float;
+      attrs : (string * string) list;
+    }
+  | Counter of { name : string; value : int }
+  | Histogram of { name : string; stats : Metrics.histogram }
+
+type t = { emit : record -> unit; close : unit -> unit }
+
+let memory () =
+  let acc = ref [] in
+  ( { emit = (fun r -> acc := r :: !acc); close = (fun () -> ()) },
+    fun () -> List.rev !acc )
+
+let report buf =
+  let emit = function
+    | Span { path; elapsed; attrs; _ } ->
+      Buffer.add_string buf
+        (Printf.sprintf "span  %-36s %10.3f ms" (String.concat "/" path)
+           (1000.0 *. elapsed));
+      List.iter
+        (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "  %s=%s" k v))
+        attrs;
+      Buffer.add_char buf '\n'
+    | Counter { name; value } ->
+      Buffer.add_string buf (Printf.sprintf "count %-36s %10d\n" name value)
+    | Histogram { name; stats } ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "hist  %-36s count=%d mean=%g p50=%g p90=%g p99=%g max=%g\n" name
+           stats.Metrics.count stats.Metrics.mean stats.Metrics.p50
+           stats.Metrics.p90 stats.Metrics.p99 stats.Metrics.max)
+  in
+  { emit; close = (fun () -> ()) }
+
+(* ------------------------------------------------------------------ *)
+(* JSON line protocol.  We deliberately avoid a JSON dependency: records
+   are flat objects (one level of nesting for span attrs), so a small
+   hand-rolled encoder/decoder suffices and keeps the library leaf-level. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* round-trippable float: shortest decimal that reads back exactly *)
+let float_str f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.17g" f
+
+let record_to_json = function
+  | Span { path; start; elapsed; attrs } ->
+    let attrs_json =
+      String.concat ","
+        (List.map
+           (fun (k, v) -> Printf.sprintf "\"%s\":\"%s\"" (escape k) (escape v))
+           attrs)
+    in
+    Printf.sprintf
+      "{\"type\":\"span\",\"path\":\"%s\",\"start\":%s,\"elapsed\":%s,\"attrs\":{%s}}"
+      (escape (String.concat "/" path))
+      (float_str start) (float_str elapsed) attrs_json
+  | Counter { name; value } ->
+    Printf.sprintf "{\"type\":\"counter\",\"name\":\"%s\",\"value\":%d}"
+      (escape name) value
+  | Histogram { name; stats } ->
+    Printf.sprintf
+      "{\"type\":\"histogram\",\"name\":\"%s\",\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s,\"mean\":%s,\"p50\":%s,\"p90\":%s,\"p99\":%s}"
+      (escape name) stats.Metrics.count (float_str stats.Metrics.sum)
+      (float_str stats.Metrics.min) (float_str stats.Metrics.max)
+      (float_str stats.Metrics.mean) (float_str stats.Metrics.p50)
+      (float_str stats.Metrics.p90) (float_str stats.Metrics.p99)
+
+(* --- minimal JSON value parser (objects, strings, numbers) --- *)
+
+type jvalue = Jstring of string | Jnumber of float | Jobject of (string * jvalue) list
+
+exception Bad of string
+
+let parse_json (s : string) : jvalue =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let skip_ws () =
+    while !pos < n && (s.[!pos] = ' ' || s.[!pos] = '\t') do
+      advance ()
+    done
+  in
+  let expect c =
+    if peek () = Some c then advance ()
+    else fail (Printf.sprintf "expected %c" c)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some '"' -> Buffer.add_char buf '"'; advance ()
+        | Some '\\' -> Buffer.add_char buf '\\'; advance ()
+        | Some 'n' -> Buffer.add_char buf '\n'; advance ()
+        | Some 'r' -> Buffer.add_char buf '\r'; advance ()
+        | Some 't' -> Buffer.add_char buf '\t'; advance ()
+        | Some 'u' ->
+          advance ();
+          if !pos + 4 > n then fail "bad \\u escape";
+          let hex = String.sub s !pos 4 in
+          (match int_of_string_opt ("0x" ^ hex) with
+          | Some code when code < 0x80 -> Buffer.add_char buf (Char.chr code)
+          | Some _ -> fail "non-ascii \\u escape"
+          | None -> fail "bad \\u escape");
+          pos := !pos + 4
+        | _ -> fail "bad escape");
+        go ()
+      | Some c ->
+        Buffer.add_char buf c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let numchar c =
+      (c >= '0' && c <= '9')
+      || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+      || c = 'n' || c = 'a' || c = 'i' || c = 'f'
+      (* nan / inf(inity), which %.17g can produce *)
+      || c = 't' || c = 'y'
+    in
+    while !pos < n && numchar s.[!pos] do
+      advance ()
+    done;
+    let text = String.sub s start (!pos - start) in
+    match float_of_string_opt text with
+    | Some f -> f
+    | None -> fail (Printf.sprintf "bad number %S" text)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> Jstring (parse_string ())
+    | Some '{' -> parse_object ()
+    | Some _ -> Jnumber (parse_number ())
+    | None -> fail "unexpected end of input"
+  and parse_object () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then begin
+      advance ();
+      Jobject []
+    end
+    else begin
+      let fields = ref [] in
+      let rec members () =
+        skip_ws ();
+        let key = parse_string () in
+        skip_ws ();
+        expect ':';
+        let v = parse_value () in
+        fields := (key, v) :: !fields;
+        skip_ws ();
+        match peek () with
+        | Some ',' -> advance (); members ()
+        | Some '}' -> advance ()
+        | _ -> fail "expected , or }"
+      in
+      members ();
+      Jobject (List.rev !fields)
+    end
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing input";
+  v
+
+let record_of_json line =
+  try
+    let fields =
+      match parse_json (String.trim line) with
+      | Jobject fs -> fs
+      | _ -> raise (Bad "not an object")
+    in
+    let str key =
+      match List.assoc_opt key fields with
+      | Some (Jstring s) -> s
+      | _ -> raise (Bad (Printf.sprintf "missing string field %S" key))
+    in
+    let num key =
+      match List.assoc_opt key fields with
+      | Some (Jnumber f) -> f
+      | _ -> raise (Bad (Printf.sprintf "missing number field %S" key))
+    in
+    match str "type" with
+    | "span" ->
+      let attrs =
+        match List.assoc_opt "attrs" fields with
+        | Some (Jobject kvs) ->
+          List.map
+            (function
+              | k, Jstring v -> (k, v)
+              | k, _ -> raise (Bad (Printf.sprintf "non-string attr %S" k)))
+            kvs
+        | None -> []
+        | Some _ -> raise (Bad "attrs is not an object")
+      in
+      Ok
+        (Span
+           {
+             path = String.split_on_char '/' (str "path");
+             start = num "start";
+             elapsed = num "elapsed";
+             attrs;
+           })
+    | "counter" ->
+      Ok (Counter { name = str "name"; value = int_of_float (num "value") })
+    | "histogram" ->
+      Ok
+        (Histogram
+           {
+             name = str "name";
+             stats =
+               {
+                 Metrics.count = int_of_float (num "count");
+                 sum = num "sum";
+                 min = num "min";
+                 max = num "max";
+                 mean = num "mean";
+                 p50 = num "p50";
+                 p90 = num "p90";
+                 p99 = num "p99";
+               };
+           })
+    | other -> Error (Printf.sprintf "unknown record type %S" other)
+  with Bad msg -> Error msg
+
+let jsonl oc =
+  {
+    emit =
+      (fun r ->
+        output_string oc (record_to_json r);
+        output_char oc '\n');
+    close = (fun () -> flush oc);
+  }
+
+let drain ?trace ?metrics sink =
+  (match trace with
+  | None -> ()
+  | Some tr ->
+    let rec go rev_path (s : Trace.span) =
+      let rev_path = s.Trace.name :: rev_path in
+      sink.emit
+        (Span
+           {
+             path = List.rev rev_path;
+             start = s.Trace.start;
+             elapsed = s.Trace.elapsed;
+             attrs = s.Trace.attrs;
+           });
+      List.iter (go rev_path) s.Trace.children
+    in
+    List.iter (go []) (Trace.roots tr));
+  (match metrics with
+  | None -> ()
+  | Some m ->
+    List.iter (fun (name, value) -> sink.emit (Counter { name; value })) (Metrics.counters m);
+    List.iter
+      (fun (name, stats) -> sink.emit (Histogram { name; stats }))
+      (Metrics.histograms m));
+  sink.close ()

@@ -1,0 +1,44 @@
+(** Pluggable consumers of a finished observation set.
+
+    A sink receives a flat stream of {!record}s — spans (flattened with
+    their root-to-leaf path), counters, and histogram summaries — so it
+    never needs to understand tracer internals.  Three implementations:
+
+    - {!memory} collects records into a list (tests);
+    - {!report} renders a human-readable summary into a buffer;
+    - {!jsonl} writes one JSON object per line (machine-readable; the
+      line protocol round-trips through {!record_of_json}). *)
+
+type record =
+  | Span of {
+      path : string list;  (** root-to-leaf span names *)
+      start : float;
+      elapsed : float;
+      attrs : (string * string) list;
+    }
+  | Counter of { name : string; value : int }
+  | Histogram of { name : string; stats : Metrics.histogram }
+
+type t = { emit : record -> unit; close : unit -> unit }
+
+val memory : unit -> t * (unit -> record list)
+(** A sink plus a function returning everything emitted so far, in emit
+    order. *)
+
+val report : Buffer.t -> t
+(** Human-readable rendering appended to the buffer. *)
+
+val jsonl : out_channel -> t
+(** One JSON object per record per line.  [close] flushes but does not
+    close the channel (the caller owns it). *)
+
+val drain : ?trace:Trace.t -> ?metrics:Metrics.t -> t -> unit
+(** Walk the tracer's completed spans (preorder) and the registry's
+    counters and histograms into the sink, then [close] it. *)
+
+val record_to_json : record -> string
+(** Single-line JSON encoding of one record. *)
+
+val record_of_json : string -> (record, string) result
+(** Inverse of {!record_to_json} (used by tests and external readers of
+    the line protocol). *)

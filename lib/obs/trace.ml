@@ -1,0 +1,75 @@
+type span = {
+  name : string;
+  start : float;
+  elapsed : float;
+  attrs : (string * string) list;
+  children : span list;
+}
+
+(* an open span under construction; children and attrs accumulate reversed *)
+type frame = {
+  f_name : string;
+  f_start : float;
+  mutable f_attrs : (string * string) list;
+  mutable f_children : span list;
+}
+
+type t = {
+  clock : Clock.t;
+  mutable stack : frame list;  (* innermost first *)
+  mutable rev_roots : span list;
+}
+
+let create ?clock () =
+  let clock = match clock with Some c -> c | None -> Clock.counter () in
+  { clock; stack = []; rev_roots = [] }
+
+let add_attr t key value =
+  match t.stack with
+  | [] -> ()
+  | f :: _ -> f.f_attrs <- (key, value) :: f.f_attrs
+
+let close t frame =
+  let stop = t.clock () in
+  let s =
+    {
+      name = frame.f_name;
+      start = frame.f_start;
+      elapsed = stop -. frame.f_start;
+      attrs = List.rev frame.f_attrs;
+      children = List.rev frame.f_children;
+    }
+  in
+  (match t.stack with
+  | f :: rest when f == frame -> t.stack <- rest
+  | _ -> ());
+  match t.stack with
+  | [] -> t.rev_roots <- s :: t.rev_roots
+  | parent :: _ -> parent.f_children <- s :: parent.f_children
+
+let span t ?(attrs = []) name f =
+  let frame =
+    { f_name = name; f_start = t.clock (); f_attrs = List.rev attrs; f_children = [] }
+  in
+  t.stack <- frame :: t.stack;
+  Fun.protect ~finally:(fun () -> close t frame) f
+
+let roots t = List.rev t.rev_roots
+
+let reset t = t.rev_roots <- []
+
+let default_time e = Printf.sprintf "%.3f ms" (1000.0 *. e)
+
+let render ?(time = default_time) t =
+  let buf = Buffer.create 256 in
+  let rec go indent s =
+    let label = indent ^ s.name in
+    Buffer.add_string buf (Printf.sprintf "%-36s %12s" label (time s.elapsed));
+    List.iter
+      (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "  %s=%s" k v))
+      s.attrs;
+    Buffer.add_char buf '\n';
+    List.iter (go (indent ^ "  ")) s.children
+  in
+  List.iter (go "") (roots t);
+  Buffer.contents buf

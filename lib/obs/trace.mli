@@ -1,0 +1,48 @@
+(** Nested span tracing.
+
+    A tracer records a forest of named spans.  [span t name f] opens a
+    span, runs [f], and closes the span when [f] returns or raises; spans
+    opened while another span is running become its children, so the
+    engine's per-stage sections nest under the request's root span exactly
+    as they nest dynamically.
+
+    Timing comes from the tracer's {!Clock.t}: two readings per span
+    (open and close).  With the default deterministic counter clock the
+    elapsed value of a leaf span is exactly [1.0] and every run of the
+    same code produces the same tree — tests can assert on it. *)
+
+type span = {
+  name : string;
+  start : float;  (** clock reading when the span opened *)
+  elapsed : float;  (** close reading minus [start] *)
+  attrs : (string * string) list;  (** in the order they were added *)
+  children : span list;  (** in the order they completed *)
+}
+
+type t
+
+val create : ?clock:Clock.t -> unit -> t
+(** Fresh tracer with no spans.  [clock] defaults to a fresh
+    deterministic {!Clock.counter}. *)
+
+val span : t -> ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [span t name f] runs [f ()] inside a new span.  Exception-safe: the
+    span is closed (and recorded) even when [f] raises. *)
+
+val add_attr : t -> string -> string -> unit
+(** Attach a key/value pair to the innermost open span; ignored when no
+    span is open. *)
+
+val roots : t -> span list
+(** Completed top-level spans, oldest first.  Spans still open are not
+    included. *)
+
+val reset : t -> unit
+(** Drop all completed spans (open spans are unaffected and will be
+    recorded into the cleared tracer when they close). *)
+
+val render : ?time:(float -> string) -> t -> string
+(** Human-readable tree, one span per line, children indented under their
+    parent with per-span elapsed time and attributes.  [time] formats the
+    elapsed value (default: [Printf.sprintf "%.3f ms" (1000. *. e)], right
+    for the wall clock). *)

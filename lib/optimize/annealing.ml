@@ -19,12 +19,30 @@ let default_config =
     restarts = 3;
   }
 
+type stats = {
+  accepted_moves : int;  (** summed over all restarts *)
+  rejected_moves : int;
+  uphill_accepts : int;  (** accepted moves that increased the energy *)
+  restarts : int;
+  final_temperature : float;  (** temperature when the last walk ended *)
+}
+
+let empty_stats =
+  {
+    accepted_moves = 0;
+    rejected_moves = 0;
+    uphill_accepts = 0;
+    restarts = 0;
+    final_temperature = 0.0;
+  }
+
 type outcome = {
   solution : (Lineage.Tid.t * float) list;
   cost : float;
   satisfied : int list;
   feasible : bool;
   accepted_moves : int;
+  stats : stats;
 }
 
 (* shortfall of one result: how far below the threshold it sits *)
@@ -71,6 +89,8 @@ let walk config problem rng =
   let nr = Problem.num_results problem in
   let required = Problem.required problem in
   let accepted = ref 0 in
+  let rejected = ref 0 in
+  let uphill = ref 0 in
   (* shortfall sum over all results, maintained incrementally per move *)
   let shortfall = ref 0.0 in
   for rid = 0 to nr - 1 do
@@ -115,6 +135,7 @@ let walk config problem rng =
         in
         if accept then begin
           incr accepted;
+          if de > 0.0 then incr uphill;
           current_energy := e;
           shortfall := shortfall';
           if e < !best_energy then begin
@@ -122,21 +143,34 @@ let walk config problem rng =
             best_snapshot := State.snapshot st
           end
         end
-        else if up then ignore (State.lower_by_delta st bid)
-        else ignore (State.raise_by_delta st bid)
+        else begin
+          incr rejected;
+          if up then ignore (State.lower_by_delta st bid)
+          else ignore (State.raise_by_delta st bid)
+        end
       end;
       temperature := !temperature *. config.cooling
     done;
   State.restore st !best_snapshot;
   if State.satisfied_count st >= required then rollback st;
-  (st, !accepted)
+  (st, !accepted, !rejected, !uphill, !temperature)
 
-let solve ?(config = default_config) problem =
+let solve ?(config = default_config) ?metrics problem =
   let required = Problem.required problem in
   let best : (State.t * int) option ref = ref None in
+  let total_accepted = ref 0 in
+  let total_rejected = ref 0 in
+  let total_uphill = ref 0 in
+  let restarts_run = ref 0 in
+  let last_temperature = ref config.initial_temperature in
   for r = 0 to max 0 (config.restarts - 1) do
     let rng = Sm.of_int (config.seed + (r * 7919)) in
-    let st, accepted = walk config problem rng in
+    let st, accepted, rejected, uphill, final_temp = walk config problem rng in
+    incr restarts_run;
+    total_accepted := !total_accepted + accepted;
+    total_rejected := !total_rejected + rejected;
+    total_uphill := !total_uphill + uphill;
+    last_temperature := final_temp;
     let better =
       match !best with
       | None -> true
@@ -149,6 +183,22 @@ let solve ?(config = default_config) problem =
     in
     if better then best := Some (st, accepted)
   done;
+  let stats =
+    {
+      accepted_moves = !total_accepted;
+      rejected_moves = !total_rejected;
+      uphill_accepts = !total_uphill;
+      restarts = !restarts_run;
+      final_temperature = !last_temperature;
+    }
+  in
+  (match metrics with
+  | None -> ()
+  | Some m ->
+    Obs.Metrics.incr m ~by:!total_accepted "annealing.accepted_moves";
+    Obs.Metrics.incr m ~by:!total_rejected "annealing.rejected_moves";
+    Obs.Metrics.incr m ~by:!total_uphill "annealing.uphill_accepts";
+    Obs.Metrics.incr m ~by:!restarts_run "annealing.restarts");
   match !best with
   | None ->
     {
@@ -157,6 +207,7 @@ let solve ?(config = default_config) problem =
       satisfied = [];
       feasible = required = 0;
       accepted_moves = 0;
+      stats;
     }
   | Some (st, accepted) ->
     let feasible = State.satisfied_count st >= required in
@@ -166,4 +217,5 @@ let solve ?(config = default_config) problem =
       satisfied = State.satisfied_results st;
       feasible;
       accepted_moves = accepted;
+      stats;
     }

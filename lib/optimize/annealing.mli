@@ -29,12 +29,27 @@ type config = {
 
 val default_config : config
 
+type stats = {
+  accepted_moves : int;  (** summed over all restarts *)
+  rejected_moves : int;
+  uphill_accepts : int;
+      (** accepted moves that increased the energy — the exploration the
+          Metropolis rule buys; collapses towards 0 as the walk cools *)
+  restarts : int;  (** walks actually run *)
+  final_temperature : float;  (** temperature when the last walk ended *)
+}
+
+val empty_stats : stats
+
 type outcome = {
   solution : (Lineage.Tid.t * float) list;
   cost : float;
   satisfied : int list;
   feasible : bool;
-  accepted_moves : int;
+  accepted_moves : int;  (** of the winning restart only *)
+  stats : stats;
 }
 
-val solve : ?config:config -> Problem.t -> outcome
+val solve : ?config:config -> ?metrics:Obs.Metrics.t -> Problem.t -> outcome
+(** [metrics] additionally accumulates the same telemetry as
+    [annealing.*] counters. *)

@@ -19,6 +19,29 @@ let default_config =
     quota = Proportional;
   }
 
+type stats = {
+  num_groups : int;
+  heuristic_groups : int;
+  rollbacks : int;
+  largest_group : int;  (** bases in the biggest partition group *)
+  smallest_group : int;
+  mean_group_size : float;
+  repair_iterations : int;  (** greedy increments spent closing the quota gap *)
+  swaps_applied : int;  (** local-search group replacements kept *)
+}
+
+let empty_stats =
+  {
+    num_groups = 0;
+    heuristic_groups = 0;
+    rollbacks = 0;
+    largest_group = 0;
+    smallest_group = 0;
+    mean_group_size = 0.0;
+    repair_iterations = 0;
+    swaps_applied = 0;
+  }
+
 type outcome = {
   solution : (Tid.t * float) list;
   cost : float;
@@ -27,6 +50,7 @@ type outcome = {
   num_groups : int;
   heuristic_groups : int;
   rollbacks : int;
+  stats : stats;
 }
 
 (* Build the sub-instance of one partition group.
@@ -92,17 +116,26 @@ let refine st =
     order;
   !rollbacks
 
-let solve ?(config = default_config) problem =
+let solve ?(config = default_config) ?metrics problem =
   let parts = Partition.partition ~config:config.partition problem in
   let num_groups = Partition.num_groups parts in
   let heuristic_groups = ref 0 in
+  let group_sizes =
+    Array.map (fun bids -> List.length bids) parts.Partition.group_bases
+  in
+  (match metrics with
+  | None -> ()
+  | Some m ->
+    Array.iter
+      (fun size -> Obs.Metrics.observe m "dnc.group_size" (float_of_int size))
+      group_sizes);
   (* per-group solutions: (cost, members, increments) *)
   let group_solutions =
     Array.mapi
       (fun gid members ->
         let group_bids = parts.Partition.group_bases.(gid) in
         let sub = subproblem config problem members group_bids in
-        let greedy_out = Greedy.solve ~config:config.greedy sub in
+        let greedy_out = Greedy.solve ~config:config.greedy ?metrics sub in
         let solution, cost =
           if List.length group_bids < config.tau then begin
             incr heuristic_groups;
@@ -118,7 +151,7 @@ let solve ?(config = default_config) problem =
                     initial_bound = bound;
                     max_nodes = config.heuristic_max_nodes;
                   }
-                sub
+                ?metrics sub
             in
             match h_out.Heuristic.solution with
             | Some s when h_out.Heuristic.cost < greedy_out.Greedy.cost ->
@@ -197,8 +230,11 @@ let solve ?(config = default_config) problem =
   let repair_config =
     { config.greedy with Greedy.selection = Greedy.Incremental }
   in
-  if State.satisfied_count st < Problem.required problem then
-    ignore (Greedy.solve_state ~config:repair_config st);
+  let repair_iterations = ref 0 in
+  if State.satisfied_count st < Problem.required problem then begin
+    let out = Greedy.solve_state ~config:repair_config ?metrics st in
+    repair_iterations := !repair_iterations + out.Greedy.iterations
+  end;
   (* swap local search: partition-local quotas can strand effort in groups
      whose results are expensive to lift.  Tentatively zero out the worst
      cost-per-result group solutions one at a time, let the global greedy
@@ -217,6 +253,7 @@ let solve ?(config = default_config) problem =
              (cost_per group_solutions.(b))
              (cost_per group_solutions.(a)))
   in
+  let swaps_applied = ref 0 in
   let rec swap_loop tried = function
     | [] -> ()
     | gid :: rest when tried < trials ->
@@ -225,12 +262,17 @@ let solve ?(config = default_config) problem =
       let saved = State.snapshot st in
       kept.(gid) <- false;
       List.iter (fun (tid, _) -> sync_base tid) solution;
-      if State.satisfied_count st < Problem.required problem then
-        ignore (Greedy.solve_state ~config:repair_config st);
+      if State.satisfied_count st < Problem.required problem then begin
+        let out = Greedy.solve_state ~config:repair_config ?metrics st in
+        repair_iterations := !repair_iterations + out.Greedy.iterations
+      end;
       if
         State.satisfied_count st >= Problem.required problem
         && State.cost st < before_cost -. 1e-9
-      then swap_loop (tried + 1) rest
+      then begin
+        incr swaps_applied;
+        swap_loop (tried + 1) rest
+      end
       else begin
         kept.(gid) <- true;
         State.restore st saved;
@@ -241,6 +283,31 @@ let solve ?(config = default_config) problem =
   swap_loop 0 by_realized_cost;
   (* final polish: the paper's per-base delta rollback *)
   let rollbacks = refine st in
+  let stats =
+    {
+      num_groups;
+      heuristic_groups = !heuristic_groups;
+      rollbacks;
+      largest_group = Array.fold_left max 0 group_sizes;
+      smallest_group =
+        (if num_groups = 0 then 0 else Array.fold_left min max_int group_sizes);
+      mean_group_size =
+        (if num_groups = 0 then 0.0
+         else
+           float_of_int (Array.fold_left ( + ) 0 group_sizes)
+           /. float_of_int num_groups);
+      repair_iterations = !repair_iterations;
+      swaps_applied = !swaps_applied;
+    }
+  in
+  (match metrics with
+  | None -> ()
+  | Some m ->
+    Obs.Metrics.incr m ~by:num_groups "dnc.groups";
+    Obs.Metrics.incr m ~by:!heuristic_groups "dnc.heuristic_groups";
+    Obs.Metrics.incr m ~by:rollbacks "dnc.rollbacks";
+    Obs.Metrics.incr m ~by:!repair_iterations "dnc.repair_iterations";
+    Obs.Metrics.incr m ~by:!swaps_applied "dnc.swaps_applied");
   {
     solution = State.solution st;
     cost = State.cost st;
@@ -249,4 +316,5 @@ let solve ?(config = default_config) problem =
     num_groups;
     heuristic_groups = !heuristic_groups;
     rollbacks;
+    stats;
   }

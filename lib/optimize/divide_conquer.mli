@@ -41,14 +41,34 @@ type config = {
 
 val default_config : config
 
+type stats = {
+  num_groups : int;
+  heuristic_groups : int;
+  rollbacks : int;
+  largest_group : int;  (** base tuples in the biggest partition group *)
+  smallest_group : int;
+  mean_group_size : float;
+  repair_iterations : int;
+      (** greedy increments spent closing the proportional-quota shortfall
+          (global repair plus swap-local-search repairs) *)
+  swaps_applied : int;  (** local-search group replacements kept *)
+}
+
+val empty_stats : stats
+
 type outcome = {
   solution : (Lineage.Tid.t * float) list;
   cost : float;
   satisfied : int list;
   feasible : bool;
-  num_groups : int;
+  num_groups : int;  (** = [stats.num_groups] *)
   heuristic_groups : int;  (** groups small enough for branch-and-bound *)
   rollbacks : int;  (** refinement decrements kept *)
+  stats : stats;
 }
 
-val solve : ?config:config -> Problem.t -> outcome
+val solve : ?config:config -> ?metrics:Obs.Metrics.t -> Problem.t -> outcome
+(** [metrics] additionally receives a [dnc.group_size] histogram (one
+    observation per partition group), [dnc.*] counters, and — because the
+    per-group sub-solvers share the registry — aggregated [greedy.*] and
+    [heuristic.*] counters across all groups. *)

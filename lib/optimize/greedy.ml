@@ -9,6 +9,30 @@ type config = {
 let default_config =
   { two_phase = true; selection = Full_rescan; only_unsatisfied_gain = true }
 
+type stats = {
+  iterations : int;
+  rollbacks : int;
+  gain_evaluations : int;
+  heap_pushes : int;
+  stale_pops : int;
+}
+
+let empty_stats =
+  {
+    iterations = 0;
+    rollbacks = 0;
+    gain_evaluations = 0;
+    heap_pushes = 0;
+    stale_pops = 0;
+  }
+
+(* selection-work counters threaded through both phase-1 variants *)
+type counters = {
+  mutable c_gain_evals : int;
+  mutable c_heap_pushes : int;
+  mutable c_stale_pops : int;
+}
+
 type outcome = {
   solution : (Lineage.Tid.t * float) list;
   cost : float;
@@ -16,9 +40,11 @@ type outcome = {
   feasible : bool;
   iterations : int;
   rollbacks : int;
+  stats : stats;
 }
 
-let compute_gain cfg st bid =
+let compute_gain cfg cnt st bid =
+  cnt.c_gain_evals <- cnt.c_gain_evals + 1;
   State.gain st bid
     ~only_unsatisfied:cfg.only_unsatisfied_gain
     (Problem.delta (State.problem st))
@@ -26,11 +52,11 @@ let compute_gain cfg st bid =
 (* ------------------------------------------------------------------ *)
 (* Phase 1, full-rescan selection (paper-faithful) *)
 
-let select_full_rescan cfg st =
+let select_full_rescan cfg cnt st =
   let nb = Problem.num_bases (State.problem st) in
   let best = ref (-1) and best_gain = ref 0.0 in
   for bid = 0 to nb - 1 do
-    let g = compute_gain cfg st bid in
+    let g = compute_gain cfg cnt st bid in
     if g > !best_gain then begin
       best := bid;
       best_gain := g
@@ -38,13 +64,13 @@ let select_full_rescan cfg st =
   done;
   if !best >= 0 then Some (!best, !best_gain) else None
 
-let phase1_full_rescan cfg st last_gain =
+let phase1_full_rescan cfg cnt st last_gain =
   let problem = State.problem st in
   let required = Problem.required problem in
   let iterations = ref 0 in
   let feasible = ref true in
   while State.satisfied_count st < required && !feasible do
-    match select_full_rescan cfg st with
+    match select_full_rescan cfg cnt st with
     | None -> feasible := false
     | Some (bid, g) ->
       if State.raise_by_delta st bid then begin
@@ -70,16 +96,19 @@ let neighbors problem bid =
     (Problem.results_of_base problem bid);
   Hashtbl.fold (fun b () acc -> b :: acc) seen []
 
-let phase1_incremental cfg st last_gain =
+let phase1_incremental cfg cnt st last_gain =
   let problem = State.problem st in
   let nb = Problem.num_bases problem in
   let required = Problem.required problem in
   let stamp = Array.make nb 0 in
   let heap : (int * int) Heap.t = Heap.create ~capacity:(nb + 1) () in
   let push bid =
-    let g = compute_gain cfg st bid in
+    let g = compute_gain cfg cnt st bid in
     stamp.(bid) <- stamp.(bid) + 1;
-    if g > 0.0 then Heap.push heap g (bid, stamp.(bid))
+    if g > 0.0 then begin
+      cnt.c_heap_pushes <- cnt.c_heap_pushes + 1;
+      Heap.push heap g (bid, stamp.(bid))
+    end
   in
   for bid = 0 to nb - 1 do
     push bid
@@ -90,7 +119,7 @@ let phase1_incremental cfg st last_gain =
     match Heap.pop heap with
     | None -> feasible := false
     | Some (g, (bid, s)) ->
-      if s = stamp.(bid) then
+      if s = stamp.(bid) then begin
         if State.raise_by_delta st bid then begin
           last_gain.(bid) <- g;
           incr iterations;
@@ -99,7 +128,8 @@ let phase1_incremental cfg st last_gain =
         else
           (* at cap: stamp it out of the heap *)
           stamp.(bid) <- stamp.(bid) + 1
-      (* stale entry: ignore *)
+      end
+      else cnt.c_stale_pops <- cnt.c_stale_pops + 1
   done;
   (!iterations, !feasible)
 
@@ -132,18 +162,36 @@ let phase2 st last_gain =
     order;
   !rollbacks
 
-let solve_state ?(config = default_config) st =
+let solve_state ?(config = default_config) ?metrics st =
   let problem = State.problem st in
   let nb = Problem.num_bases problem in
   let last_gain = Array.make nb 0.0 in
+  let cnt = { c_gain_evals = 0; c_heap_pushes = 0; c_stale_pops = 0 } in
   let iterations, feasible =
     match config.selection with
-    | Full_rescan -> phase1_full_rescan config st last_gain
-    | Incremental -> phase1_incremental config st last_gain
+    | Full_rescan -> phase1_full_rescan config cnt st last_gain
+    | Incremental -> phase1_incremental config cnt st last_gain
   in
   let rollbacks =
     if config.two_phase && feasible then phase2 st last_gain else 0
   in
+  let stats =
+    {
+      iterations;
+      rollbacks;
+      gain_evaluations = cnt.c_gain_evals;
+      heap_pushes = cnt.c_heap_pushes;
+      stale_pops = cnt.c_stale_pops;
+    }
+  in
+  (match metrics with
+  | None -> ()
+  | Some m ->
+    Obs.Metrics.incr m ~by:iterations "greedy.iterations";
+    Obs.Metrics.incr m ~by:rollbacks "greedy.rollbacks";
+    Obs.Metrics.incr m ~by:cnt.c_gain_evals "greedy.gain_evaluations";
+    Obs.Metrics.incr m ~by:cnt.c_heap_pushes "greedy.heap_pushes";
+    Obs.Metrics.incr m ~by:cnt.c_stale_pops "greedy.stale_pops");
   {
     solution = State.solution st;
     cost = State.cost st;
@@ -151,6 +199,8 @@ let solve_state ?(config = default_config) st =
     feasible;
     iterations;
     rollbacks;
+    stats;
   }
 
-let solve ?config problem = solve_state ?config (State.create problem)
+let solve ?config ?metrics problem =
+  solve_state ?config ?metrics (State.create problem)

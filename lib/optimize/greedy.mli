@@ -27,6 +27,19 @@ type config = {
 
 val default_config : config
 
+type stats = {
+  iterations : int;  (** phase-1 increments applied *)
+  rollbacks : int;  (** phase-2 decrements kept *)
+  gain_evaluations : int;
+      (** gain* computations — the dominant selection work; full-rescan
+          pays O(k) of these per iteration, incremental only the
+          invalidated neighborhood *)
+  heap_pushes : int;  (** incremental selection only *)
+  stale_pops : int;  (** version-stamped entries discarded on pop *)
+}
+
+val empty_stats : stats
+
 type outcome = {
   solution : (Lineage.Tid.t * float) list;
       (** target confidence per raised base tuple *)
@@ -35,14 +48,16 @@ type outcome = {
   feasible : bool;
       (** [false] when even raising everything to the caps cannot satisfy
           [required] results; the partial best effort is still returned *)
-  iterations : int;  (** phase-1 increments applied *)
-  rollbacks : int;  (** phase-2 decrements kept *)
+  iterations : int;  (** phase-1 increments applied (= [stats.iterations]) *)
+  rollbacks : int;  (** phase-2 decrements kept (= [stats.rollbacks]) *)
+  stats : stats;
 }
 
-val solve : ?config:config -> Problem.t -> outcome
-(** Run on a fresh state. *)
+val solve : ?config:config -> ?metrics:Obs.Metrics.t -> Problem.t -> outcome
+(** Run on a fresh state.  [metrics] additionally accumulates the same
+    telemetry as [greedy.*] counters. *)
 
-val solve_state : ?config:config -> State.t -> outcome
+val solve_state : ?config:config -> ?metrics:Obs.Metrics.t -> State.t -> outcome
 (** Run on an existing (possibly pre-modified) state; the state is left at
     the solution assignment — callers that need the original state back
     should {!State.snapshot} first. *)

@@ -18,11 +18,33 @@ type config = {
 let default_config =
   { heuristics = all_heuristics; initial_bound = None; max_nodes = None }
 
+type stats = {
+  nodes : int;
+  bound_updates : int;
+  incumbent_prunes : int;
+  h1_ordered : bool;
+  h2_prunes : int;
+  h3_prunes : int;
+  h4_prunes : int;
+}
+
+let empty_stats =
+  {
+    nodes = 0;
+    bound_updates = 0;
+    incumbent_prunes = 0;
+    h1_ordered = false;
+    h2_prunes = 0;
+    h3_prunes = 0;
+    h4_prunes = 0;
+  }
+
 type outcome = {
   solution : (Lineage.Tid.t * float) list option;
   cost : float;
   optimal : bool;
   nodes : int;
+  stats : stats;
 }
 
 (* H1 ordering key: minimum cost at which raising this tuple alone lifts at
@@ -73,7 +95,7 @@ let compute_cost_beta problem bid =
 
 exception Node_budget_exhausted
 
-let solve ?(config = default_config) problem =
+let solve ?(config = default_config) ?metrics problem =
   let h = config.heuristics in
   let nb = Problem.num_bases problem in
   let required = Problem.required problem in
@@ -106,6 +128,11 @@ let solve ?(config = default_config) problem =
   in
   let best_solution = ref None in
   let nodes = ref 0 in
+  let bound_updates = ref 0 in
+  let incumbent_prunes = ref 0 in
+  let h2_prunes = ref 0 in
+  let h3_prunes = ref 0 in
+  let h4_prunes = ref 0 in
   let budget = Option.value ~default:max_int config.max_nodes in
   (* H3: can the subtree below order position [i] still satisfy [required]
      results?  Evaluate every unsatisfied result with all not-yet-assigned
@@ -134,14 +161,17 @@ let solve ?(config = default_config) problem =
       let c = State.cost st in
       if c < !best_cost then begin
         best_cost := c;
-        best_solution := Some (State.solution st)
+        best_solution := Some (State.solution st);
+        incr bound_updates
       end
     end
     else if i < nb then begin
       let current = State.cost st in
-      if current >= !best_cost then () (* incumbent pruning, always on *)
-      else if h.h4 && current +. suffix_min_step.(i) >= !best_cost then ()
-      else if h.h3 && not (h3_feasible i) then ()
+      if current >= !best_cost then
+        incr incumbent_prunes (* incumbent pruning, always on *)
+      else if h.h4 && current +. suffix_min_step.(i) >= !best_cost then
+        incr h4_prunes
+      else if h.h3 && not (h3_feasible i) then incr h3_prunes
       else begin
         let bid = order.(i) in
         let affected = Problem.results_of_base problem bid in
@@ -158,7 +188,10 @@ let solve ?(config = default_config) problem =
                if
                  h.h2
                  && List.for_all (fun rid -> State.is_satisfied st rid) affected
-               then raise Exit)
+               then begin
+                 incr h2_prunes;
+                 raise Exit
+               end)
              levels
          with Exit -> ());
         State.set_base st bid (Problem.base problem bid).Problem.p0
@@ -172,4 +205,24 @@ let solve ?(config = default_config) problem =
     with Node_budget_exhausted -> false
   in
   let cost = match !best_solution with Some _ -> !best_cost | None -> infinity in
-  { solution = !best_solution; cost; optimal; nodes = !nodes }
+  let stats =
+    {
+      nodes = !nodes;
+      bound_updates = !bound_updates;
+      incumbent_prunes = !incumbent_prunes;
+      h1_ordered = h.h1;
+      h2_prunes = !h2_prunes;
+      h3_prunes = !h3_prunes;
+      h4_prunes = !h4_prunes;
+    }
+  in
+  (match metrics with
+  | None -> ()
+  | Some m ->
+    Obs.Metrics.observe m "heuristic.nodes" (float_of_int !nodes);
+    Obs.Metrics.incr m ~by:!bound_updates "heuristic.bound_updates";
+    Obs.Metrics.incr m ~by:!incumbent_prunes "heuristic.incumbent_prunes";
+    Obs.Metrics.incr m ~by:!h2_prunes "heuristic.h2_prunes";
+    Obs.Metrics.incr m ~by:!h3_prunes "heuristic.h3_prunes";
+    Obs.Metrics.incr m ~by:!h4_prunes "heuristic.h4_prunes");
+  { solution = !best_solution; cost; optimal; nodes = !nodes; stats }

@@ -48,6 +48,18 @@ type config = {
 val default_config : config
 (** All heuristics on, no initial bound, no node limit. *)
 
+type stats = {
+  nodes : int;  (** search-tree nodes explored *)
+  bound_updates : int;  (** times a cheaper incumbent replaced the bound *)
+  incumbent_prunes : int;  (** subtrees cut by the always-on cost bound *)
+  h1_ordered : bool;  (** H1 prunes nothing — it orders the search *)
+  h2_prunes : int;  (** right-sibling cuts (all affected already above β) *)
+  h3_prunes : int;  (** infeasible-subtree cuts *)
+  h4_prunes : int;  (** cheapest-future-step cost-bound cuts *)
+}
+
+val empty_stats : stats
+
 type outcome = {
   solution : (Lineage.Tid.t * float) list option;
       (** [None] when no feasible assignment was found *)
@@ -55,10 +67,15 @@ type outcome = {
   optimal : bool;
       (** the search ran to completion (no [max_nodes] cutoff), so
           [solution] is a global optimum of the discretized problem *)
-  nodes : int;  (** search-tree nodes explored *)
+  nodes : int;  (** search-tree nodes explored (= [stats.nodes]) *)
+  stats : stats;  (** per-heuristic telemetry for Fig. 11-style ablations *)
 }
 
 val compute_cost_beta : Problem.t -> int -> float
 (** The H1 ordering key costβ of one base tuple (exposed for tests). *)
 
-val solve : ?config:config -> Problem.t -> outcome
+val solve : ?config:config -> ?metrics:Obs.Metrics.t -> Problem.t -> outcome
+(** [metrics], when given, also receives the same telemetry as
+    [heuristic.*] counters and a [heuristic.nodes] histogram — useful when
+    one registry aggregates over many solves (divide-and-conquer calls
+    this per group). *)

@@ -28,12 +28,67 @@ let algorithm_name = function
   | Divide_conquer _ -> "divide-and-conquer"
   | Annealing _ -> "simulated-annealing"
 
+type stats =
+  | Heuristic_stats of Heuristic.stats
+  | Greedy_stats of Greedy.stats
+  | Divide_conquer_stats of Divide_conquer.stats
+  | Annealing_stats of Annealing.stats
+
+let stats_fields = function
+  | Heuristic_stats s ->
+    [
+      ("nodes", float_of_int s.Heuristic.nodes);
+      ("bound_updates", float_of_int s.Heuristic.bound_updates);
+      ("incumbent_prunes", float_of_int s.Heuristic.incumbent_prunes);
+      ("h1_ordered", if s.Heuristic.h1_ordered then 1.0 else 0.0);
+      ("h2_prunes", float_of_int s.Heuristic.h2_prunes);
+      ("h3_prunes", float_of_int s.Heuristic.h3_prunes);
+      ("h4_prunes", float_of_int s.Heuristic.h4_prunes);
+    ]
+  | Greedy_stats s ->
+    [
+      ("iterations", float_of_int s.Greedy.iterations);
+      ("rollbacks", float_of_int s.Greedy.rollbacks);
+      ("gain_evaluations", float_of_int s.Greedy.gain_evaluations);
+      ("heap_pushes", float_of_int s.Greedy.heap_pushes);
+      ("stale_pops", float_of_int s.Greedy.stale_pops);
+    ]
+  | Divide_conquer_stats s ->
+    [
+      ("groups", float_of_int s.Divide_conquer.num_groups);
+      ("heuristic_groups", float_of_int s.Divide_conquer.heuristic_groups);
+      ("rollbacks", float_of_int s.Divide_conquer.rollbacks);
+      ("largest_group", float_of_int s.Divide_conquer.largest_group);
+      ("smallest_group", float_of_int s.Divide_conquer.smallest_group);
+      ("mean_group_size", s.Divide_conquer.mean_group_size);
+      ("repair_iterations", float_of_int s.Divide_conquer.repair_iterations);
+      ("swaps_applied", float_of_int s.Divide_conquer.swaps_applied);
+    ]
+  | Annealing_stats s ->
+    [
+      ("accepted_moves", float_of_int s.Annealing.accepted_moves);
+      ("rejected_moves", float_of_int s.Annealing.rejected_moves);
+      ("uphill_accepts", float_of_int s.Annealing.uphill_accepts);
+      ("restarts", float_of_int s.Annealing.restarts);
+      ("final_temperature", s.Annealing.final_temperature);
+    ]
+
+let render_stats stats =
+  String.concat " "
+    (List.map
+       (fun (k, v) ->
+         if Float.is_integer v && Float.abs v < 1e15 then
+           Printf.sprintf "%s=%d" k (int_of_float v)
+         else Printf.sprintf "%s=%g" k v)
+       (stats_fields stats))
+
 type outcome = {
   solution : (Lineage.Tid.t * float) list option;
   cost : float;
   satisfied : int list;
   optimal : bool;
   elapsed_s : float;
+  stats : stats;
   detail : string;
 }
 
@@ -47,16 +102,16 @@ let satisfied_of_solution problem solution =
     solution;
   State.satisfied_results st
 
-let solve ?(algorithm = divide_conquer) problem =
-  let t0 = Unix.gettimeofday () in
-  let outcome =
+let solve ?(algorithm = divide_conquer) ?obs problem =
+  let metrics = Option.map (fun (o : Obs.t) -> o.Obs.metrics) obs in
+  let run () =
     match algorithm with
     | Heuristic cfg ->
       let cfg =
         match cfg.Heuristic.initial_bound with
         | Some b when Float.is_nan b ->
           (* seeded variant: run greedy first for the upper bound *)
-          let g = Greedy.solve problem in
+          let g = Greedy.solve ?metrics problem in
           {
             cfg with
             Heuristic.initial_bound =
@@ -64,34 +119,37 @@ let solve ?(algorithm = divide_conquer) problem =
           }
         | _ -> cfg
       in
-      let out = Heuristic.solve ~config:cfg problem in
+      let out = Heuristic.solve ~config:cfg ?metrics problem in
       let satisfied =
         match out.Heuristic.solution with
         | Some s -> satisfied_of_solution problem s
         | None -> []
       in
+      let stats = Heuristic_stats out.Heuristic.stats in
       {
         solution = out.Heuristic.solution;
         cost = out.Heuristic.cost;
         satisfied;
         optimal = out.Heuristic.optimal && out.Heuristic.solution <> None;
         elapsed_s = 0.0;
-        detail = Printf.sprintf "nodes=%d" out.Heuristic.nodes;
+        stats;
+        detail = render_stats stats;
       }
     | Greedy cfg ->
-      let out = Greedy.solve ~config:cfg problem in
+      let out = Greedy.solve ~config:cfg ?metrics problem in
+      let stats = Greedy_stats out.Greedy.stats in
       {
         solution = (if out.Greedy.feasible then Some out.Greedy.solution else None);
         cost = (if out.Greedy.feasible then out.Greedy.cost else infinity);
         satisfied = out.Greedy.satisfied;
         optimal = false;
         elapsed_s = 0.0;
-        detail =
-          Printf.sprintf "iterations=%d rollbacks=%d" out.Greedy.iterations
-            out.Greedy.rollbacks;
+        stats;
+        detail = render_stats stats;
       }
     | Divide_conquer cfg ->
-      let out = Divide_conquer.solve ~config:cfg problem in
+      let out = Divide_conquer.solve ~config:cfg ?metrics problem in
+      let stats = Divide_conquer_stats out.Divide_conquer.stats in
       {
         solution =
           (if out.Divide_conquer.feasible then Some out.Divide_conquer.solution
@@ -102,13 +160,12 @@ let solve ?(algorithm = divide_conquer) problem =
         satisfied = out.Divide_conquer.satisfied;
         optimal = false;
         elapsed_s = 0.0;
-        detail =
-          Printf.sprintf "groups=%d heuristic_groups=%d rollbacks=%d"
-            out.Divide_conquer.num_groups out.Divide_conquer.heuristic_groups
-            out.Divide_conquer.rollbacks;
+        stats;
+        detail = render_stats stats;
       }
     | Annealing cfg ->
-      let out = Annealing.solve ~config:cfg problem in
+      let out = Annealing.solve ~config:cfg ?metrics problem in
+      let stats = Annealing_stats out.Annealing.stats in
       {
         solution =
           (if out.Annealing.feasible then Some out.Annealing.solution else None);
@@ -116,7 +173,14 @@ let solve ?(algorithm = divide_conquer) problem =
         satisfied = out.Annealing.satisfied;
         optimal = false;
         elapsed_s = 0.0;
-        detail = Printf.sprintf "accepted_moves=%d" out.Annealing.accepted_moves;
+        stats;
+        detail = render_stats stats;
       }
+  in
+  let t0 = Unix.gettimeofday () in
+  let outcome =
+    Obs.span obs
+      ~attrs:[ ("algorithm", algorithm_name algorithm) ]
+      "solve" run
   in
   { outcome with elapsed_s = Unix.gettimeofday () -. t0 }

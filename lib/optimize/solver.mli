@@ -27,6 +27,21 @@ val annealing : algorithm
 
 val algorithm_name : algorithm -> string
 
+type stats =
+  | Heuristic_stats of Heuristic.stats
+  | Greedy_stats of Greedy.stats
+  | Divide_conquer_stats of Divide_conquer.stats
+  | Annealing_stats of Annealing.stats
+      (** structured per-algorithm telemetry; what [detail] used to
+          flatten into a string *)
+
+val stats_fields : stats -> (string * float) list
+(** Flat labeled numbers, for metrics sinks and the JSONL bench artifact
+    (booleans become 0/1). *)
+
+val render_stats : stats -> string
+(** ["k1=v1 k2=v2 …"] — the human-readable one-liner. *)
+
 type outcome = {
   solution : (Lineage.Tid.t * float) list option;
       (** raised base tuples with target confidences; [None] if infeasible *)
@@ -34,9 +49,13 @@ type outcome = {
   satisfied : int list;  (** rids satisfied under the solution *)
   optimal : bool;  (** guaranteed optimal on the δ-grid (heuristic only) *)
   elapsed_s : float;
-  detail : string;  (** algorithm-specific one-liner (nodes, iterations…) *)
+  stats : stats;  (** structured solver telemetry *)
+  detail : string;  (** [render_stats stats], kept for display call sites *)
 }
 
-val solve : ?algorithm:algorithm -> Problem.t -> outcome
+val solve : ?algorithm:algorithm -> ?obs:Obs.t -> Problem.t -> outcome
 (** [solve problem] runs the chosen algorithm (default {!divide_conquer} —
-    the paper's best scaling choice) and times it. *)
+    the paper's best scaling choice) and times it.  With [obs], the run is
+    recorded as a ["solve"] span (attribute [algorithm]) and the solver's
+    counters/histograms land in the registry — including the sub-solver
+    telemetry divide-and-conquer generates per group. *)

@@ -10,10 +10,12 @@ type context = {
   cap_of : Tid.t -> float;
   solver : Optimize.Solver.algorithm;
   delta : float;
+  obs : Obs.t option;
 }
 
 let make_context ?(solver = Optimize.Solver.divide_conquer) ?(delta = 0.1)
-    ?cost_of ?cap_of ?(views = Relational.Views.empty) ~db ~rbac ~policies () =
+    ?cost_of ?cap_of ?(views = Relational.Views.empty) ?obs ~db ~rbac ~policies
+    () =
   let default_cost = Cost.Cost_model.linear ~rate:100.0 in
   {
     db;
@@ -24,6 +26,7 @@ let make_context ?(solver = Optimize.Solver.divide_conquer) ?(delta = 0.1)
     cap_of = Option.value cap_of ~default:(fun _ -> 1.0);
     solver;
     delta;
+    obs;
   }
 
 type request = { query : Query.t; user : string; purpose : string; perc : float }
@@ -39,6 +42,7 @@ type proposal = {
   cost : float;
   projected_release : int;
   solver_name : string;
+  solver_stats : Optimize.Solver.stats;
   solver_detail : string;
   elapsed_s : float;
 }
@@ -47,6 +51,7 @@ type response = {
   schema : Relational.Schema.t;
   released : released list;
   withheld : int;
+  requested : int;
   threshold : float option;
   applied_policies : Rbac.Policy.t list;
   proposal : proposal option;
@@ -77,109 +82,156 @@ let check_rbac ctx ~user plan =
       plan
 
 let answer_common ctx ~check_access ~roles ~query ~purpose ~perc =
-  let* () =
-    if perc >= 0.0 && perc <= 1.0 then Ok ()
-    else Error (Printf.sprintf "perc %g outside [0,1]" perc)
-  in
-  let* plan = Query.to_plan query in
-  let plan = Relational.Views.expand ctx.views plan in
-  let* plan = Relational.Rewrite.optimize ctx.db plan in
-  (* (1) traditional access control over the base relations *)
-  let* () = check_access plan in
-  (* (2) lineage-carrying query evaluation + confidence computation *)
-  let* res = Relational.Eval.run ctx.db plan in
-  let with_conf = Relational.Eval.with_confidence ctx.db res in
-  (* (3) policy evaluation: select the policy by role and purpose *)
-  let applied_policies = Rbac.Policy.applicable ctx.policies ~roles ~purpose in
-  let threshold =
-    Rbac.Policy.effective_threshold ctx.policies ~roles ~purpose
-  in
-  let released, withheld =
-    match threshold with
-    | None ->
-      ( List.map
-          (fun (r, c) ->
-            {
-              tuple = r.Relational.Eval.tuple;
-              lineage = r.Relational.Eval.lineage;
-              confidence = c;
-            })
-          with_conf,
-        0 )
-    | Some beta ->
-      let rel, wh =
-        List.partition (fun (_, c) -> c > beta) with_conf
+  let obs = ctx.obs in
+  Obs.span obs "answer" (fun () ->
+      Obs.incr obs "engine.queries";
+      let* () =
+        if perc >= 0.0 && perc <= 1.0 then Ok ()
+        else Error (Printf.sprintf "perc %g outside [0,1]" perc)
       in
-      ( List.map
-          (fun (r, c) ->
-            {
-              tuple = r.Relational.Eval.tuple;
-              lineage = r.Relational.Eval.lineage;
-              confidence = c;
-            })
-          rel,
-        List.length wh )
-  in
-  (* (4) strategy finding when fewer than perc of the results pass *)
-  let n = List.length with_conf in
-  let need = int_of_float (ceil (perc *. float_of_int n)) in
-  let* proposal, infeasible =
-    match threshold with
-    | Some beta when List.length released < need && withheld > 0 ->
-      let* problem, _failing =
-        Optimize.Problem.of_query_results ~delta:ctx.delta ~theta:perc ~beta
-          ~cost_of:ctx.cost_of ~cap_of:ctx.cap_of ctx.db res
+      let* plan = Obs.span obs "parse/plan" (fun () -> Query.to_plan query) in
+      let plan =
+        Obs.span obs "view-expand" (fun () ->
+            Relational.Views.expand ctx.views plan)
       in
-      let out = Optimize.Solver.solve ~algorithm:ctx.solver problem in
-      (match out.Optimize.Solver.solution with
-      | Some increments ->
-        (* project the release count by re-evaluating *every* result under
-           the raised confidences: with non-monotone lineage (outer joins,
-           NOT IN) an increment can push a previously-passing row back
-           below the threshold, so counting satisfied new rows alone would
-           overestimate *)
-        let raised = Tid.Table.create 16 in
-        List.iter (fun (tid, p) -> Tid.Table.replace raised tid p) increments;
-        let conf_after tid =
-          let current = Db.confidence ctx.db tid in
-          match Tid.Table.find_opt raised tid with
-          | Some target -> Float.max current target
-          | None -> current
-        in
-        let projected_release =
-          List.fold_left
-            (fun acc row ->
-              if
-                Lineage.Prob.confidence conf_after row.Relational.Eval.lineage
-                > beta
-              then acc + 1
-              else acc)
-            0 res.Relational.Eval.rows
-        in
-        Ok
-          ( Some
-              {
-                increments;
-                cost = out.Optimize.Solver.cost;
-                projected_release;
-                solver_name = Optimize.Solver.algorithm_name ctx.solver;
-                solver_detail = out.Optimize.Solver.detail;
-                elapsed_s = out.Optimize.Solver.elapsed_s;
-              },
-            false )
-      | None -> Ok (None, true))
-    | _ -> Ok (None, false)
-  in
-  Ok
-    {
-      schema = res.Relational.Eval.schema;
-      released;
-      withheld;
-      threshold;
-      applied_policies;
-      proposal;
-      infeasible;
-    }
+      let* plan =
+        Obs.span obs "rewrite" (fun () -> Relational.Rewrite.optimize ctx.db plan)
+      in
+      (* (1) traditional access control over the base relations *)
+      let* () = Obs.span obs "rbac" (fun () -> check_access plan) in
+      (* (2) lineage-carrying query evaluation + confidence computation *)
+      let* res =
+        Obs.span obs "eval" (fun () ->
+            let r = Relational.Eval.run ctx.db plan in
+            (match r with
+            | Ok res ->
+              let rows = List.length res.Relational.Eval.rows in
+              Obs.add_attr obs "rows" (string_of_int rows);
+              Obs.observe obs "engine.rows" (float_of_int rows)
+            | Error _ -> ());
+            r)
+      in
+      let with_conf =
+        Obs.span obs "confidence" (fun () ->
+            Relational.Eval.with_confidence ctx.db res)
+      in
+      (* (3) policy evaluation: select the policy by role and purpose *)
+      let applied_policies =
+        Rbac.Policy.applicable ctx.policies ~roles ~purpose
+      in
+      let threshold =
+        Rbac.Policy.effective_threshold ctx.policies ~roles ~purpose
+      in
+      let released, withheld =
+        Obs.span obs "policy-filter" (fun () ->
+            let released, withheld =
+              match threshold with
+              | None ->
+                ( List.map
+                    (fun (r, c) ->
+                      {
+                        tuple = r.Relational.Eval.tuple;
+                        lineage = r.Relational.Eval.lineage;
+                        confidence = c;
+                      })
+                    with_conf,
+                  0 )
+              | Some beta ->
+                let rel, wh =
+                  List.partition (fun (_, c) -> c > beta) with_conf
+                in
+                ( List.map
+                    (fun (r, c) ->
+                      {
+                        tuple = r.Relational.Eval.tuple;
+                        lineage = r.Relational.Eval.lineage;
+                        confidence = c;
+                      })
+                    rel,
+                  List.length wh )
+            in
+            Obs.add_attr obs "released" (string_of_int (List.length released));
+            Obs.add_attr obs "withheld" (string_of_int withheld);
+            Obs.incr obs ~by:(List.length released) "engine.released";
+            Obs.incr obs ~by:withheld "engine.withheld";
+            (released, withheld))
+      in
+      (* (4) strategy finding when fewer than perc of the results pass;
+         [need] is the request's floor on released results and is reported
+         back as [requested] so callers never recompute the ceil *)
+      let n = List.length with_conf in
+      let need = int_of_float (ceil (perc *. float_of_int n)) in
+      let* proposal, infeasible =
+        match threshold with
+        | Some beta when List.length released < need && withheld > 0 ->
+          Obs.span obs "strategy-finding" (fun () ->
+              let* problem, _failing =
+                Optimize.Problem.of_query_results ~delta:ctx.delta ~theta:perc
+                  ~beta ~cost_of:ctx.cost_of ~cap_of:ctx.cap_of ctx.db res
+              in
+              let out =
+                Optimize.Solver.solve ~algorithm:ctx.solver ?obs problem
+              in
+              match out.Optimize.Solver.solution with
+              | Some increments ->
+                (* project the release count by re-evaluating *every* result
+                   under the raised confidences: with non-monotone lineage
+                   (outer joins, NOT IN) an increment can push a previously-
+                   passing row back below the threshold, so counting
+                   satisfied new rows alone would overestimate *)
+                let raised = Tid.Table.create 16 in
+                List.iter
+                  (fun (tid, p) -> Tid.Table.replace raised tid p)
+                  increments;
+                let conf_after tid =
+                  let current = Db.confidence ctx.db tid in
+                  match Tid.Table.find_opt raised tid with
+                  | Some target -> Float.max current target
+                  | None -> current
+                in
+                let projected_release =
+                  List.fold_left
+                    (fun acc row ->
+                      if
+                        Lineage.Prob.confidence conf_after
+                          row.Relational.Eval.lineage
+                        > beta
+                      then acc + 1
+                      else acc)
+                    0 res.Relational.Eval.rows
+                in
+                Obs.add_attr obs "solver"
+                  (Optimize.Solver.algorithm_name ctx.solver);
+                Obs.incr obs "engine.proposals";
+                Ok
+                  ( Some
+                      {
+                        increments;
+                        cost = out.Optimize.Solver.cost;
+                        projected_release;
+                        solver_name = Optimize.Solver.algorithm_name ctx.solver;
+                        solver_stats = out.Optimize.Solver.stats;
+                        solver_detail = out.Optimize.Solver.detail;
+                        elapsed_s = out.Optimize.Solver.elapsed_s;
+                      },
+                    false )
+              | None ->
+                Obs.incr obs "engine.infeasible";
+                Ok (None, true))
+        | _ -> Ok (None, false)
+      in
+      Obs.span obs "projection" (fun () ->
+          Ok
+            {
+              schema = res.Relational.Eval.schema;
+              released;
+              withheld;
+              requested = need;
+              threshold;
+              applied_policies;
+              proposal;
+              infeasible;
+            }))
 
 let answer ctx request =
   let check_access plan = check_rbac ctx ~user:request.user plan in

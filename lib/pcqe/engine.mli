@@ -24,6 +24,9 @@ type context = {
   cap_of : Lineage.Tid.t -> float;
   solver : Optimize.Solver.algorithm;
   delta : float;
+  obs : Obs.t option;
+      (** observability handle; [None] (the default) disables tracing and
+          metrics entirely — the engine then allocates no spans *)
 }
 
 val make_context :
@@ -32,13 +35,14 @@ val make_context :
   ?cost_of:(Lineage.Tid.t -> Cost.Cost_model.t) ->
   ?cap_of:(Lineage.Tid.t -> float) ->
   ?views:Relational.Views.t ->
+  ?obs:Obs.t ->
   db:Relational.Database.t ->
   rbac:Rbac.Core_rbac.t ->
   policies:Rbac.Policy.store ->
   unit ->
   context
 (** Defaults: divide-and-conquer solver, δ = 0.1, linear cost of rate 100,
-    cap 1.0 for every tuple. *)
+    cap 1.0 for every tuple, observability off. *)
 
 type request = {
   query : Query.t;  (** SQL text or a prebuilt algebra plan *)
@@ -60,7 +64,9 @@ type proposal = {
   projected_release : int;
       (** results that would clear the threshold after applying *)
   solver_name : string;
-  solver_detail : string;
+  solver_stats : Optimize.Solver.stats;
+      (** structured solver telemetry (nodes, prunes, iterations, …) *)
+  solver_detail : string;  (** rendering of [solver_stats] *)
   elapsed_s : float;
 }
 
@@ -68,6 +74,9 @@ type response = {
   schema : Relational.Schema.t;
   released : released list;  (** results above the threshold, returned now *)
   withheld : int;  (** results filtered out by the policy *)
+  requested : int;
+      (** ⌈perc · n⌉ — how many results the request needs released; computed
+          once here so callers and reports never redo the ceil *)
   threshold : float option;
       (** effective β; [None] when no policy applies (nothing filtered) *)
   applied_policies : Rbac.Policy.t list;
@@ -82,7 +91,15 @@ type response = {
 val answer : context -> request -> (response, string) result
 (** Run the full PCQE data flow.  Errors: RBAC denial, SQL/plan errors,
     unknown user.  Policy selection considers {e all} of the user's
-    authorized roles (assigned plus inherited). *)
+    authorized roles (assigned plus inherited).
+
+    With [ctx.obs] set, each run records a root ["answer"] span with child
+    spans ["parse/plan"], ["view-expand"], ["rewrite"], ["rbac"], ["eval"]
+    (attr [rows]), ["confidence"], ["policy-filter"] (attrs [released],
+    [withheld]), ["strategy-finding"] (when the solver runs; contains the
+    solver's own ["solve"] span), and ["projection"], plus [engine.*]
+    counters.  Observability is strictly observe-only: responses are
+    identical with it on or off (property-tested). *)
 
 val answer_session :
   context -> Rbac.Core_rbac.session -> Query.t -> purpose:string ->

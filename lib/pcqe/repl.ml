@@ -8,6 +8,8 @@ type t = {
   last_proposal : Engine.proposal option;
   last_sql : string option;
   audit : Audit.t;
+  obs : Obs.t;  (* session-lifetime registry; trace reset per query *)
+  timing : bool;
 }
 
 type outcome = Reply of t * string | Quit
@@ -21,6 +23,8 @@ let create ctx =
     last_proposal = None;
     last_sql = None;
     audit = Audit.empty;
+    obs = Obs.wall ();
+    timing = false;
   }
 
 let context t = t.ctx
@@ -35,6 +39,8 @@ let help_text =
   \solver <name>      heuristic | greedy | dnc | annealing
   \apply              accept the last improvement proposal
   \explain            lineage explanations for the last query
+  \timing on|off      print the per-stage timed plan after each query
+  \metrics            show the counters and histograms accumulated so far
   \tables             list relations (with cardinalities)
   \views              list registered views
   \policies           list confidence policies
@@ -59,13 +65,27 @@ let run_sql t sql =
     let request =
       { Engine.query = Query.sql sql; user; purpose = t.purpose; perc = t.perc }
     in
-    match Engine.answer t.ctx request with
+    let ctx =
+      if t.timing then begin
+        (* fresh span tree per query; the metrics registry accumulates
+           across the session (inspect with \metrics) *)
+        Obs.Trace.reset t.obs.Obs.trace;
+        { t.ctx with Engine.obs = Some t.obs }
+      end
+      else t.ctx
+    in
+    match Engine.answer ctx request with
     | Error msg ->
       Reply
         ( { t with audit = Audit.record_denial t.audit ~user ~reason:msg },
           "error: " ^ msg )
     | Ok resp ->
       let text = Report.response_to_string ~max_rows:50 resp in
+      let text =
+        if t.timing then
+          text ^ Report.timed_to_string ~response:resp t.obs
+        else text
+      in
       let t =
         {
           t with
@@ -149,6 +169,19 @@ let meta t line =
       match result with
       | Ok text -> Reply (t, String.trim text)
       | Error msg -> Reply (t, "error: " ^ msg)))
+  | [ "\\timing"; "on" ] ->
+    Reply ({ t with timing = true }, "timing on: every query prints its timed plan")
+  | [ "\\timing"; "off" ] -> Reply ({ t with timing = false }, "timing off")
+  | [ "\\timing" ] ->
+    Reply (t, Printf.sprintf "timing is %s (\\timing on|off)"
+             (if t.timing then "on" else "off"))
+  | [ "\\metrics" ] ->
+    let text = Obs.Metrics.render t.obs.Obs.metrics in
+    Reply
+      ( t,
+        if text = "" then
+          "no metrics recorded yet (\\timing on, then run a query)"
+        else String.trim text )
   | [ "\\audit" ] -> Reply (t, String.trim (Audit.to_string t.audit))
   | [ "\\save"; dir ] -> (
     let w =
@@ -209,4 +242,8 @@ let execute t line =
   let line = String.trim line in
   if line = "" then Reply (t, "")
   else if line.[0] = '\\' then meta t line
+  else if line.[0] = '.' then
+    (* psql-style backslash commands also answer to a dot prefix
+       (".timing on", ".metrics") *)
+    meta t ("\\" ^ String.sub line 1 (String.length line - 1))
   else run_sql t line

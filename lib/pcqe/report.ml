@@ -78,12 +78,41 @@ let response_to_string ?max_rows (r : Engine.response) =
   end;
   if r.Engine.withheld > 0 then
     Buffer.add_string buf
-      (Printf.sprintf "%d result(s) withheld by the confidence policy.\n"
-         r.Engine.withheld);
+      (Printf.sprintf
+         "%d result(s) withheld by the confidence policy (%d released of the \
+          %d the request requires).\n"
+         r.Engine.withheld
+         (List.length r.Engine.released)
+         r.Engine.requested);
   (match r.Engine.proposal with
   | Some p -> Buffer.add_string buf (proposal_to_string p)
   | None ->
     if r.Engine.infeasible then
       Buffer.add_string buf
         "No feasible confidence-improvement strategy exists (caps too low).\n");
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* EXPLAIN ANALYZE-style timed plan: the engine's span tree (per-stage
+   elapsed time, rows in/out as span attributes) plus the release
+   accounting of the response it timed *)
+
+let timed_to_string ?response ?(with_metrics = false) (obs : Obs.t) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "Timed plan (per-stage elapsed, rows in/out):\n";
+  Buffer.add_string buf (Obs.Trace.render obs.Obs.trace);
+  (match response with
+  | None -> ()
+  | Some (r : Engine.response) ->
+    Buffer.add_string buf
+      (Printf.sprintf "released=%d withheld=%d requested=%d\n"
+         (List.length r.Engine.released)
+         r.Engine.withheld r.Engine.requested));
+  if with_metrics then begin
+    let metrics = Obs.Metrics.render obs.Obs.metrics in
+    if metrics <> "" then begin
+      Buffer.add_string buf "Metrics:\n";
+      Buffer.add_string buf metrics
+    end
+  end;
   Buffer.contents buf

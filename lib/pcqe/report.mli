@@ -8,3 +8,11 @@ val response_to_string : ?max_rows:int -> Engine.response -> string
     increments and total cost.  [max_rows] truncates the table. *)
 
 val proposal_to_string : Engine.proposal -> string
+
+val timed_to_string :
+  ?response:Engine.response -> ?with_metrics:bool -> Obs.t -> string
+(** EXPLAIN ANALYZE-style timed plan: the span tree recorded during
+    {!Engine.answer} (per-stage elapsed time with rows in/out attributes),
+    the response's release accounting, and — with [with_metrics] (default
+    false) — the metrics dump.  Meaningful after answering with
+    [ctx.obs = Some obs]. *)

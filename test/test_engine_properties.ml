@@ -9,7 +9,8 @@
       least [ceil (perc * n)] results (or at least as many as projected);
    4. improvement monotone - accepting a proposal never lowers any stored
       confidence;
-   5. determinism - answering twice gives identical releases. *)
+   5. determinism - answering twice gives identical releases;
+   6. observe-only - enabling observability changes no response field. *)
 
 module Db = Relational.Database
 module V = Relational.Value
@@ -165,6 +166,48 @@ let qcheck_deterministic =
       | Error _, Error _ -> true
       | _ -> false)
 
+(* observability must be strictly observe-only: the same request answered
+   with tracing and metrics enabled (deterministic counter clock) yields a
+   response identical in every field to the plain one *)
+let qcheck_obs_transparent =
+  let same_proposal (a : E.proposal option) (b : E.proposal option) =
+    match (a, b) with
+    | None, None -> true
+    | Some p, Some q ->
+      p.E.increments = q.E.increments
+      && Float.abs (p.E.cost -. q.E.cost) < 1e-12
+      && p.E.projected_release = q.E.projected_release
+      && p.E.solver_name = q.E.solver_name
+      && p.E.solver_detail = q.E.solver_detail
+    | _ -> false
+  in
+  QCheck.Test.make ~name:"enabling observability changes no answer" ~count:200
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let ctx, request, _ = scenario seed in
+      let obs = Obs.deterministic () in
+      let traced = { ctx with E.obs = Some obs } in
+      match (E.answer ctx request, E.answer traced request) with
+      | Ok a, Ok b ->
+        a.E.schema = b.E.schema
+        && a.E.withheld = b.E.withheld
+        && a.E.requested = b.E.requested
+        && a.E.threshold = b.E.threshold
+        && a.E.infeasible = b.E.infeasible
+        && List.length a.E.released = List.length b.E.released
+        && List.for_all2
+             (fun x y ->
+               x.E.tuple = y.E.tuple
+               && Float.abs (x.E.confidence -. y.E.confidence) < 1e-12)
+             a.E.released b.E.released
+        && same_proposal a.E.proposal b.E.proposal
+        (* and the traced run actually recorded the pipeline *)
+        && (match Obs.Trace.roots obs.Obs.trace with
+           | [ root ] -> root.Obs.Trace.name = "answer"
+           | _ -> false)
+      | Error a, Error b -> a = b
+      | _ -> false)
+
 let () =
   Alcotest.run "engine-properties"
     [
@@ -175,5 +218,6 @@ let () =
           QCheck_alcotest.to_alcotest qcheck_proposal_delivers;
           QCheck_alcotest.to_alcotest qcheck_improvement_monotone;
           QCheck_alcotest.to_alcotest qcheck_deterministic;
+          QCheck_alcotest.to_alcotest qcheck_obs_transparent;
         ] );
     ]

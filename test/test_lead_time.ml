@@ -76,6 +76,7 @@ let test_proposal_lead_time () =
       cost = 10.0;
       projected_release = 1;
       solver_name = "test";
+      solver_stats = Optimize.Solver.Greedy_stats Optimize.Greedy.empty_stats;
       solver_detail = "";
       elapsed_s = 0.0;
     }

@@ -1,0 +1,236 @@
+(* Unit tests for the observability library: deterministic clock, span
+   nesting (incl. exception safety), histogram percentiles, and the JSONL
+   record round-trip. *)
+
+module T = Obs.Trace
+module M = Obs.Metrics
+module Sink = Obs.Sink
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+(* --- clock --- *)
+
+let test_counter_clock () =
+  let c = Obs.Clock.counter () in
+  Alcotest.(check (float 0.0)) "first reading" 0.0 (c ());
+  Alcotest.(check (float 0.0)) "second reading" 1.0 (c ());
+  Alcotest.(check (float 0.0)) "third reading" 2.0 (c ());
+  let c = Obs.Clock.counter ~step:0.5 () in
+  ignore (c ());
+  Alcotest.(check (float 0.0)) "stepped reading" 0.5 (c ())
+
+(* --- span nesting --- *)
+
+let test_span_nesting () =
+  let t = T.create () in
+  let result =
+    T.span t "outer" (fun () ->
+        T.span t "first" (fun () -> ());
+        T.span t ~attrs:[ ("k", "v") ] "second" (fun () -> ());
+        42)
+  in
+  Alcotest.(check int) "span returns the body's value" 42 result;
+  match T.roots t with
+  | [ outer ] ->
+    Alcotest.(check string) "root name" "outer" outer.T.name;
+    Alcotest.(check (list string))
+      "children in order" [ "first"; "second" ]
+      (List.map (fun s -> s.T.name) outer.T.children);
+    (* counter clock: every leaf span takes exactly one tick *)
+    List.iter
+      (fun s -> Alcotest.(check (float 0.0)) "leaf elapsed" 1.0 s.T.elapsed)
+      outer.T.children;
+    let second = List.nth outer.T.children 1 in
+    Alcotest.(check (list (pair string string)))
+      "attrs survive" [ ("k", "v") ] second.T.attrs
+  | roots -> Alcotest.failf "expected one root, got %d" (List.length roots)
+
+let test_span_exception_safety () =
+  let t = T.create () in
+  (try
+     T.span t "outer" (fun () ->
+         T.span t "inner" (fun () -> failwith "boom"))
+   with Failure _ -> ());
+  (* both spans closed despite the exception; nesting preserved *)
+  match T.roots t with
+  | [ outer ] ->
+    Alcotest.(check string) "root closed" "outer" outer.T.name;
+    Alcotest.(check (list string))
+      "inner closed under it" [ "inner" ]
+      (List.map (fun s -> s.T.name) outer.T.children);
+    (* and the stack is clean: a new span becomes a fresh root *)
+    T.span t "after" (fun () -> ());
+    Alcotest.(check int) "two roots now" 2 (List.length (T.roots t))
+  | roots -> Alcotest.failf "expected one root, got %d" (List.length roots)
+
+let test_add_attr_targets_open_span () =
+  let t = T.create () in
+  T.span t "outer" (fun () ->
+      T.span t "inner" (fun () -> T.add_attr t "rows" "7"));
+  match T.roots t with
+  | [ outer ] ->
+    let inner = List.hd outer.T.children in
+    Alcotest.(check (list (pair string string)))
+      "attr landed on the innermost span" [ ("rows", "7") ] inner.T.attrs;
+    Alcotest.(check (list (pair string string))) "outer untouched" [] outer.T.attrs
+  | _ -> Alcotest.fail "expected one root"
+
+let test_render_and_reset () =
+  let t = T.create () in
+  T.span t "answer" (fun () -> T.span t "eval" (fun () -> ()));
+  let text = T.render t in
+  Alcotest.(check bool) "mentions root" true (contains ~needle:"answer" text);
+  Alcotest.(check bool) "indents child" true (contains ~needle:"  eval" text);
+  T.reset t;
+  Alcotest.(check int) "reset clears roots" 0 (List.length (T.roots t))
+
+(* --- metrics --- *)
+
+let test_counters () =
+  let m = M.create () in
+  M.incr m "a";
+  M.incr m ~by:4 "a";
+  M.incr m "b";
+  Alcotest.(check int) "accumulated" 5 (M.counter m "a");
+  Alcotest.(check int) "independent" 1 (M.counter m "b");
+  Alcotest.(check int) "absent reads zero" 0 (M.counter m "c")
+
+let test_histogram_percentiles () =
+  let m = M.create () in
+  for i = 1 to 100 do
+    M.observe m "lat" (float_of_int i)
+  done;
+  match M.histogram m "lat" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some h ->
+    Alcotest.(check int) "count" 100 h.M.count;
+    Alcotest.(check (float 0.0)) "min" 1.0 h.M.min;
+    Alcotest.(check (float 0.0)) "max" 100.0 h.M.max;
+    Alcotest.(check (float 1e-9)) "mean" 50.5 h.M.mean;
+    (* nearest-rank percentiles over 1..100 *)
+    Alcotest.(check (float 0.0)) "p50" 50.0 h.M.p50;
+    Alcotest.(check (float 0.0)) "p90" 90.0 h.M.p90;
+    Alcotest.(check (float 0.0)) "p99" 99.0 h.M.p99
+
+let test_histogram_single_observation () =
+  let m = M.create () in
+  M.observe m "x" 3.5;
+  match M.histogram m "x" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some h ->
+    Alcotest.(check int) "count" 1 h.M.count;
+    List.iter
+      (fun (label, v) -> Alcotest.(check (float 0.0)) label 3.5 v)
+      [ ("min", h.M.min); ("max", h.M.max); ("p50", h.M.p50); ("p99", h.M.p99) ]
+
+(* --- JSONL round-trip --- *)
+
+let roundtrip r =
+  match Sink.record_of_json (Sink.record_to_json r) with
+  | Ok r' -> r'
+  | Error msg -> Alcotest.failf "decode failed: %s" msg
+
+let test_jsonl_roundtrip_span () =
+  let r =
+    Sink.Span
+      {
+        path = [ "answer"; "eval" ];
+        start = 3.0;
+        elapsed = 0.0012345678901234567;
+        attrs = [ ("rows", "42"); ("weird \"key\"", "line\nbreak\ttab\\") ];
+      }
+  in
+  Alcotest.(check bool) "span round-trips exactly" true (roundtrip r = r)
+
+let test_jsonl_roundtrip_counter_histogram () =
+  let c = Sink.Counter { name = "engine.queries"; value = 17 } in
+  Alcotest.(check bool) "counter round-trips" true (roundtrip c = c);
+  let h =
+    Sink.Histogram
+      {
+        name = "heuristic.nodes";
+        stats =
+          {
+            M.count = 3;
+            sum = 6.25;
+            min = 1.0;
+            max = 3.25;
+            mean = 2.0833333333333335;
+            p50 = 2.0;
+            p90 = 3.25;
+            p99 = 3.25;
+          };
+      }
+  in
+  Alcotest.(check bool) "histogram round-trips" true (roundtrip h = h)
+
+let test_jsonl_rejects_garbage () =
+  (match Sink.record_of_json "{\"type\":\"martian\"}" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted unknown record type");
+  match Sink.record_of_json "not json at all" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted non-JSON input"
+
+(* --- drain through a memory sink --- *)
+
+let test_drain_preorder () =
+  let obs = Obs.deterministic () in
+  Obs.span (Some obs) "answer" (fun () ->
+      Obs.span (Some obs) "eval" (fun () -> ());
+      Obs.incr (Some obs) "engine.queries";
+      Obs.observe (Some obs) "engine.rows" 4.0);
+  let sink, get = Sink.memory () in
+  Obs.drain obs sink;
+  let paths =
+    List.filter_map
+      (function Sink.Span { path; _ } -> Some (String.concat "/" path) | _ -> None)
+      (get ())
+  in
+  Alcotest.(check (list string))
+    "preorder parent-first paths" [ "answer"; "answer/eval" ] paths;
+  let counters =
+    List.filter_map
+      (function Sink.Counter { name; value } -> Some (name, value) | _ -> None)
+      (get ())
+  in
+  Alcotest.(check (list (pair string int)))
+    "counter drained" [ ("engine.queries", 1) ] counters
+
+(* --- no-op helpers allocate nothing when disabled --- *)
+
+let test_disabled_is_noop () =
+  Alcotest.(check int) "span runs the body" 9 (Obs.span None "x" (fun () -> 9));
+  Obs.incr None "c";
+  Obs.observe None "h" 1.0;
+  Obs.add_attr None "k" "v"
+
+let () =
+  Alcotest.run "obs"
+    [
+      ("clock", [ ("counter", `Quick, test_counter_clock) ]);
+      ( "trace",
+        [
+          ("nesting", `Quick, test_span_nesting);
+          ("exception safety", `Quick, test_span_exception_safety);
+          ("add_attr", `Quick, test_add_attr_targets_open_span);
+          ("render/reset", `Quick, test_render_and_reset);
+        ] );
+      ( "metrics",
+        [
+          ("counters", `Quick, test_counters);
+          ("percentiles", `Quick, test_histogram_percentiles);
+          ("single observation", `Quick, test_histogram_single_observation);
+        ] );
+      ( "sink",
+        [
+          ("span round-trip", `Quick, test_jsonl_roundtrip_span);
+          ("counter/histogram round-trip", `Quick, test_jsonl_roundtrip_counter_histogram);
+          ("rejects garbage", `Quick, test_jsonl_rejects_garbage);
+          ("drain preorder", `Quick, test_drain_preorder);
+          ("disabled is a no-op", `Quick, test_disabled_is_noop);
+        ] );
+    ]
