@@ -15,8 +15,11 @@
      sweep-edge  A3: intersection vs union edge weights
      sweep-solvers A4: all four solvers incl. the annealing baseline
      sweep-rewrite A5: evaluation time, naive plan vs rewritten plan
+     sweep-jobs  parallel D&C / Monte-Carlo scaling at jobs 1,2,4,8
+                 (restrict with --jobs N); writes BENCH_parallel.json
      solvers-json  write BENCH_solvers.json: structured solver telemetry
                    and engine per-stage span timings, machine-readable
+     smoke       every panel at tiny sizes (run by `dune runtest`)
      micro       Bechamel micro-benchmarks of the hot paths
 
    `dune exec bench/main.exe` runs everything except the slowest points;
@@ -70,14 +73,13 @@ let heuristic_variants =
     ("All", H.all_heuristics);
   ]
 
-let fig11_ad ~seeded () =
+let fig11_ad ?(seeds = [ 1; 2; 3; 4; 5 ]) ?(max_nodes = None) ~seeded () =
   header
     (if seeded then
        "Figure 11(d): heuristic variants, greedy cost as initial bound"
      else "Figure 11(a): heuristic variants, no initial bound");
   row "  small instance: 10 base tuples, 8 results, >=3 above beta=0.6\n";
   row "  %-8s %14s %14s %14s\n" "variant" "time (ms)" "nodes" "cost";
-  let seeds = [ 1; 2; 3; 4; 5 ] in
   List.iter
     (fun (name, heuristics) ->
       let times = ref [] and nodes = ref [] and costs = ref [] in
@@ -94,8 +96,7 @@ let fig11_ad ~seeded () =
           let out, dt =
             time (fun () ->
                 H.solve
-                  ~config:
-                    { H.heuristics; initial_bound = bound; max_nodes = None }
+                  ~config:{ H.heuristics; initial_bound = bound; max_nodes }
                   p)
           in
           times := dt :: !times;
@@ -116,7 +117,7 @@ let fig11_ad ~seeded () =
 (* ------------------------------------------------------------------ *)
 (* Figure 11 (b) and (e): one-phase vs two-phase greedy *)
 
-let fig11_be () =
+let fig11_be ?(sizes = [ 1000; 3000; 5000; 7000; 9000 ]) () =
   header "Figure 11(b)+(e): one-phase vs two-phase greedy";
   row "  %-8s %14s %14s %14s %14s %10s\n" "size" "1p time(s)" "2p time(s)"
     "1p cost" "2p cost" "saving";
@@ -136,7 +137,7 @@ let fig11_be () =
         (100.0
         *. (one.Greedy.cost -. two.Greedy.cost)
         /. Float.max one.Greedy.cost 1e-9))
-    [ 1000; 3000; 5000; 7000; 9000 ];
+    sizes;
   row "  expected shape: similar response time (phase 2 is cheap), two-phase\n";
   row "  cost clearly below one-phase (the paper reports >30%% savings).\n"
 
@@ -145,7 +146,7 @@ let fig11_be () =
 
 let bpr_for_size size = if size < 10_000 then 5 else size / 1000
 
-let fig11_cf ~full () =
+let fig11_cf ?(sizes = [ 10; 1000; 5000; 10_000; 50_000; 100_000 ]) ~full () =
   header "Figure 11(c)+(f): heuristic vs greedy vs divide-and-conquer";
   row "  (heuristic only runs at tiny sizes; '-' = not run%s)\n"
     (if full then "" else "; pass --full for greedy at 50K/100K");
@@ -191,7 +192,7 @@ let fig11_cf ~full () =
       in
       row "  %-8d %12s %12s %12.3f %14s %14s %14.1f\n" size (fmt_t heur)
         (fmt_t greedy) dnc_t (fmt_c heur) (fmt_c greedy) dnc.D.cost)
-    [ 10; 1000; 5000; 10_000; 50_000; 100_000 ];
+    sizes;
   row "  expected shape: heuristic explodes beyond tiny sizes; greedy is\n";
   row "  fastest on small inputs, D&C overtakes it as size grows and the\n";
   row "  gap widens; heuristic cost is optimal, the other two land close.\n"
@@ -199,29 +200,33 @@ let fig11_cf ~full () =
 (* ------------------------------------------------------------------ *)
 (* A1: base-tuples-per-result sweep at 10K (Table 4 row 2) *)
 
-let sweep_bpr () =
-  header "A1: base tuples per result sweep (10K base tuples)";
+let sweep_bpr ?(size = 10_000) ?(bprs = [ 5; 10; 25; 50; 100 ]) () =
+  header (Printf.sprintf "A1: base tuples per result sweep (%d base tuples)" size);
   row "  %-8s %14s %14s %14s %14s\n" "bpr" "greedy t(s)" "dnc t(s)"
     "greedy cost" "dnc cost";
   List.iter
     (fun bpr ->
       let params =
-        { Synth.default_params with data_size = 10_000; bases_per_result = bpr }
+        { Synth.default_params with data_size = size; bases_per_result = bpr }
       in
       let p = Synth.instance ~params ~seed:11 () in
       let g, tg = time (fun () -> Greedy.solve p) in
       let d, td = time (fun () -> D.solve p) in
       row "  %-8d %14.3f %14.3f %14.1f %14.1f\n" bpr tg td g.Greedy.cost
         d.D.cost)
-    [ 5; 10; 25; 50; 100 ]
+    bprs
 
 (* ------------------------------------------------------------------ *)
 (* A2: partition gamma / tau sensitivity for D&C *)
 
-let sweep_gamma () =
+let sweep_gamma ?(size = 10_000) () =
   header "A2: D&C sensitivity to gamma (merge threshold) and tau";
-  let p = Synth.instance ~seed:13 () in
-  row "  10K instance; default gamma=2, tau=12\n";
+  let p =
+    Synth.instance
+      ~params:{ Synth.default_params with data_size = size }
+      ~seed:13 ()
+  in
+  row "  %d-base-tuple instance; default gamma=2, tau=12\n" size;
   row "  %-10s %-6s %12s %12s %10s\n" "gamma" "tau" "time (s)" "cost" "groups";
   List.iter
     (fun gamma ->
@@ -243,10 +248,14 @@ let sweep_gamma () =
 (* ------------------------------------------------------------------ *)
 (* A3: edge-weight semantics ablation *)
 
-let sweep_edge () =
+let sweep_edge ?(size = 10_000) () =
   header
     "A3: partition edge weights, shared-count (prose) vs union (pseudocode)";
-  let p = Synth.instance ~seed:17 () in
+  let p =
+    Synth.instance
+      ~params:{ Synth.default_params with data_size = size }
+      ~seed:17 ()
+  in
   row "  %-14s %12s %12s %10s\n" "semantics" "time (s)" "cost" "groups";
   List.iter
     (fun (name, semantics) ->
@@ -266,10 +275,12 @@ let sweep_edge () =
 (* ------------------------------------------------------------------ *)
 (* A4: all four solvers head to head (annealing is our extra baseline) *)
 
-let sweep_solvers () =
-  header "A4: solver comparison including the annealing baseline (1K)";
+let sweep_solvers ?(size = 1000) ?(annealing_iters = 2_000_000) () =
+  header
+    (Printf.sprintf
+       "A4: solver comparison including the annealing baseline (%d)" size);
   let p =
-    Synth.instance ~params:{ Synth.default_params with data_size = 1000 }
+    Synth.instance ~params:{ Synth.default_params with data_size = size }
       ~seed:23 ()
   in
   row "  %-22s %12s %14s %10s\n" "solver" "time (s)" "cost" "feasible";
@@ -291,7 +302,7 @@ let sweep_solvers () =
       Optimize.Solver.divide_conquer;
       Optimize.Solver.Annealing
         { Optimize.Annealing.default_config with
-          iterations = 2_000_000; restarts = 1 };
+          iterations = annealing_iters; restarts = 1 };
     ];
   row "  expected shape: the domain-specific algorithms beat the generic\n";
   row "  randomized baseline on cost at comparable or better time.\n"
@@ -299,7 +310,7 @@ let sweep_solvers () =
 (* ------------------------------------------------------------------ *)
 (* A5: effect of the plan rewriter (selection pushdown) *)
 
-let sweep_rewrite () =
+let sweep_rewrite ?(rows = 400) () =
   header "A5: plan rewriter, naive vs optimized evaluation";
   let open Relational in
   let rng = Prng.Splitmix.of_int 99 in
@@ -315,8 +326,8 @@ let sweep_rewrite () =
     in
     go db count
   in
-  let db = fill db "R" 400 in
-  let db = fill db "S" 400 in
+  let db = fill db "R" rows in
+  let db = fill db "S" rows in
   (* naive plan: selective predicates above a band join (non-equality, so
      the nested loop is unavoidable and join input size is what matters) *)
   let plan =
@@ -342,13 +353,13 @@ let sweep_rewrite () =
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the hot paths *)
 
-let micro () =
+let micro ?(quota = 0.5) ?(size = 1000) () =
   header "Micro-benchmarks (Bechamel, monotonic clock)";
   let open Bechamel in
   let open Toolkit in
   let p =
     Synth.instance
-      ~params:{ Synth.default_params with data_size = 1000 }
+      ~params:{ Synth.default_params with data_size = size }
       ~seed:3 ()
   in
   let st = Optimize.State.create p in
@@ -379,7 +390,7 @@ let micro () =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) () in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg instances test in
@@ -393,12 +404,148 @@ let micro () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* sweep-jobs: parallel divide-and-conquer and Monte-Carlo scaling.
+
+   For each workload size, solves the same instance at every jobs level
+   and checks the outcome (cost, increments, stats) is bit-identical to
+   the jobs=1 run — the subsystem's determinism contract — while
+   recording wall time and speedup.  Written to BENCH_parallel.json. *)
+
+let parallel_json_path = "BENCH_parallel.json"
+
+let hist_json = function
+  | None -> "null"
+  | Some (h : Obs.Metrics.histogram) ->
+    Printf.sprintf
+      "{\"count\":%d,\"sum\":%g,\"min\":%g,\"max\":%g,\"mean\":%g,\"p50\":%g,\"p90\":%g,\"p99\":%g}"
+      h.Obs.Metrics.count h.sum h.min h.max h.mean h.p50 h.p90 h.p99
+
+let sweep_jobs ?(sizes = [ 10_000; 50_000; 100_000 ])
+    ?(jobs_levels = [ 1; 2; 4; 8 ]) ?(mc_samples = 400_000) () =
+  header "sweep-jobs: parallel D&C / Monte-Carlo scaling";
+  let cores = Domain.recommended_domain_count () in
+  row "  host cores: %d (Domain.recommended_domain_count); speedups above\n"
+    cores;
+  row "  the core count are not expected — identical outcomes are.\n";
+  let dnc_entries = ref [] in
+  List.iter
+    (fun size ->
+      let params =
+        {
+          Synth.default_params with
+          data_size = size;
+          bases_per_result = bpr_for_size size;
+        }
+      in
+      row "  -- %d base tuples --\n" size;
+      row "  %-6s %12s %10s %14s %12s %10s\n" "jobs" "solve t(s)" "speedup"
+        "cost" "increments" "identical";
+      let baseline = ref None in
+      List.iter
+        (fun jobs ->
+          let run pool =
+            let problem = Synth.instance ?pool ~params ~seed:29 () in
+            let metrics = Obs.Metrics.create () in
+            let out, dt = time (fun () -> D.solve ~metrics ?pool ~now problem) in
+            (out, metrics, dt)
+          in
+          let out, metrics, dt =
+            if jobs <= 1 then run None
+            else Exec.Pool.with_pool ~jobs (fun p -> run (Some p))
+          in
+          let fingerprint = (out.D.cost, out.D.solution, out.D.stats) in
+          let t1, identical =
+            match !baseline with
+            | None ->
+              baseline := Some (dt, fingerprint);
+              (dt, true)
+            | Some (t1, fp1) -> (t1, fp1 = fingerprint)
+          in
+          let speedup = t1 /. Float.max dt 1e-9 in
+          row "  %-6d %12.3f %9.2fx %14.1f %12d %10b\n" jobs dt speedup
+            out.D.cost
+            (List.length out.D.solution)
+            identical;
+          dnc_entries :=
+            Printf.sprintf
+              "    {\"size\":%d,\"jobs\":%d,\"solve_s\":%g,\"speedup\":%g,\"cost\":%g,\"increments\":%d,\"identical\":%b,\"group_solve_s\":%s}"
+              size jobs dt speedup out.D.cost
+              (List.length out.D.solution)
+              identical
+              (hist_json (Obs.Metrics.histogram metrics "dnc.group_solve_s"))
+            :: !dnc_entries)
+        jobs_levels)
+    sizes;
+  (* Monte-Carlo confidence over one result formula of the first size *)
+  let mc_entries =
+    match sizes with
+    | [] -> []
+    | size :: _ ->
+      let params =
+        {
+          Synth.default_params with
+          data_size = size;
+          bases_per_result = bpr_for_size size;
+        }
+      in
+      let p = Synth.instance ~params ~seed:29 () in
+      let formula = (Problem.result p 0).Problem.formula in
+      let db_p tid =
+        match Problem.bid_of_tid p tid with
+        | Some bid -> (Problem.base p bid).Problem.p0
+        | None -> 0.0
+      in
+      row "  -- Monte-Carlo confidence (%d samples, one formula) --\n"
+        mc_samples;
+      row "  %-6s %12s %10s %14s %10s\n" "jobs" "mc t(s)" "speedup" "estimate"
+        "identical";
+      let run pool =
+        time (fun () ->
+            Lineage.Prob.monte_carlo ?pool
+              (Prng.Splitmix.of_int 31)
+              ~samples:mc_samples db_p formula)
+      in
+      let baseline = ref None in
+      List.map
+        (fun jobs ->
+          let est, dt =
+            if jobs <= 1 then run None
+            else Exec.Pool.with_pool ~jobs (fun p -> run (Some p))
+          in
+          let t1, identical =
+            match !baseline with
+            | None ->
+              baseline := Some (dt, est);
+              (dt, true)
+            | Some (t1, est1) -> (t1, est1 = est)
+          in
+          let speedup = t1 /. Float.max dt 1e-9 in
+          row "  %-6d %12.3f %9.2fx %14.6f %10b\n" jobs dt speedup est
+            identical;
+          Printf.sprintf
+            "    {\"jobs\":%d,\"samples\":%d,\"estimate\":%g,\"elapsed_s\":%g,\"speedup\":%g,\"identical\":%b}"
+            jobs mc_samples est dt speedup identical)
+        jobs_levels
+  in
+  let oc = open_out parallel_json_path in
+  Printf.fprintf oc "{\n  \"cores\": %d,\n  \"dnc\": [\n" cores;
+  output_string oc (String.concat ",\n" (List.rev !dnc_entries));
+  output_string oc "\n  ],\n  \"monte_carlo\": [\n";
+  output_string oc (String.concat ",\n" mc_entries);
+  output_string oc "\n  ]\n}\n";
+  close_out oc;
+  row "  wrote %d D&C points and %d Monte-Carlo points to %s\n"
+    (List.length !dnc_entries)
+    (List.length mc_entries)
+    parallel_json_path
+
+(* ------------------------------------------------------------------ *)
 (* solvers-json: machine-readable artifact with the four solvers'
    structured telemetry and the engine's per-stage span timings *)
 
 let solvers_json_path = "BENCH_solvers.json"
 
-let solvers_json () =
+let solvers_json ?(size = 1000) () =
   header (Printf.sprintf "solvers-json: writing %s" solvers_json_path);
   let fields_json fields =
     String.concat ","
@@ -409,7 +556,7 @@ let solvers_json () =
      three get the 1K default *)
   let small = Synth.small_instance ~seed:23 () in
   let p1k =
-    Synth.instance ~params:{ Synth.default_params with data_size = 1000 }
+    Synth.instance ~params:{ Synth.default_params with data_size = size }
       ~seed:23 ()
   in
   let solver_entry (algorithm, problem, size) =
@@ -505,7 +652,24 @@ let solvers_json () =
 
 (* ------------------------------------------------------------------ *)
 
-let all_panels ~full () =
+(* smoke: every panel at tiny sizes, cheap enough to run under `dune
+   runtest` — keeps the harness and both JSON artifact writers honest *)
+let smoke () =
+  table4 ();
+  fig11_ad ~seeds:[ 1 ] ~max_nodes:(Some 5_000) ~seeded:false ();
+  fig11_ad ~seeds:[ 1 ] ~max_nodes:(Some 5_000) ~seeded:true ();
+  fig11_be ~sizes:[ 200 ] ();
+  fig11_cf ~sizes:[ 10; 200 ] ~full:false ();
+  sweep_bpr ~size:200 ~bprs:[ 5 ] ();
+  sweep_gamma ~size:200 ();
+  sweep_edge ~size:200 ();
+  sweep_solvers ~size:200 ~annealing_iters:20_000 ();
+  sweep_rewrite ~rows:40 ();
+  sweep_jobs ~sizes:[ 500 ] ~jobs_levels:[ 1; 2 ] ~mc_samples:20_000 ();
+  solvers_json ~size:200 ();
+  micro ~quota:0.05 ~size:200 ()
+
+let all_panels ~full ~jobs_levels () =
   table4 ();
   fig11_ad ~seeded:false ();
   fig11_ad ~seeded:true ();
@@ -516,16 +680,41 @@ let all_panels ~full () =
   sweep_edge ();
   sweep_solvers ();
   sweep_rewrite ();
+  sweep_jobs
+    ~sizes:(if full then [ 10_000; 50_000; 100_000 ] else [ 10_000 ])
+    ~jobs_levels ();
   solvers_json ();
   micro ()
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let full = List.mem "--full" args in
-  let panels = List.filter (fun a -> a <> "--full") args in
+  (* --jobs N restricts the sweep-jobs levels to [1; N] (N>1), e.g. to
+     match the host's core count *)
+  let jobs_override =
+    let rec go = function
+      | "--jobs" :: n :: _ -> int_of_string_opt n
+      | _ :: rest -> go rest
+      | [] -> None
+    in
+    go args
+  in
+  let jobs_levels =
+    match jobs_override with
+    | Some n when n > 1 -> [ 1; n ]
+    | Some _ -> [ 1 ]
+    | None -> [ 1; 2; 4; 8 ]
+  in
+  let rec strip = function
+    | [] -> []
+    | "--jobs" :: _ :: rest -> strip rest
+    | "--full" :: rest -> strip rest
+    | a :: rest -> a :: strip rest
+  in
+  let panels = strip args in
   Printf.printf
     "PCQE benchmark harness - reproduces Dai et al., SDM@VLDB 2009, Section 5\n";
-  if panels = [] then all_panels ~full ()
+  if panels = [] then all_panels ~full ~jobs_levels ()
   else
     List.iter
       (function
@@ -539,7 +728,9 @@ let () =
         | "sweep-edge" -> sweep_edge ()
         | "sweep-solvers" -> sweep_solvers ()
         | "sweep-rewrite" -> sweep_rewrite ()
+        | "sweep-jobs" -> sweep_jobs ~jobs_levels ()
         | "solvers-json" -> solvers_json ()
+        | "smoke" -> smoke ()
         | "micro" -> micro ()
         | other -> Printf.eprintf "unknown panel %S\n" other)
       panels

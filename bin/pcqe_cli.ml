@@ -161,10 +161,15 @@ let with_obs ~trace ~metrics_out f =
   end
 
 let run_query workspace data_dir rbac_file policy_file costs_file user purpose
-    perc solver apply trace metrics_out sql =
+    perc solver jobs apply trace metrics_out sql =
   let result =
     let* ctx =
       build_context workspace data_dir rbac_file policy_file costs_file solver
+    in
+    let ctx =
+      match jobs with
+      | None -> ctx
+      | Some j -> { ctx with Pcqe.Engine.jobs = Exec.resolve_jobs ~jobs:j () }
     in
     with_obs ~trace ~metrics_out (fun obs ->
         let ctx = { ctx with Pcqe.Engine.obs } in
@@ -227,7 +232,7 @@ let run_plan data_dir sql =
 (* ------------------------------------------------------------------ *)
 (* solve subcommand *)
 
-let run_solve size bpr seed beta theta solver trace metrics_out =
+let run_solve size bpr seed beta theta solver jobs trace metrics_out =
   let result =
     let* solver = solver_of_string solver in
     let params =
@@ -239,10 +244,12 @@ let run_solve size bpr seed beta theta solver trace metrics_out =
         theta;
       }
     in
-    let problem = Workload.Synth.instance ~params ~seed () in
+    let jobs = Exec.resolve_jobs ?jobs () in
+    Exec.with_pool_opt ~jobs (fun pool ->
+    let problem = Workload.Synth.instance ?pool ~params ~seed () in
     Printf.printf "%s\n" (Optimize.Problem.to_string problem);
     with_obs ~trace ~metrics_out (fun obs ->
-    let out = Optimize.Solver.solve ~algorithm:solver ?obs problem in
+    let out = Optimize.Solver.solve ~algorithm:solver ?obs ?pool problem in
     (match out.Optimize.Solver.solution with
     | Some increments ->
       Printf.printf
@@ -259,7 +266,7 @@ let run_solve size bpr seed beta theta solver trace metrics_out =
     (match (trace, obs) with
     | true, Some o -> print_string (Obs.report o)
     | _ -> ());
-    Ok ())
+    Ok ()))
   in
   match result with
   | Ok () -> 0
@@ -352,6 +359,17 @@ let solver_arg =
           "Strategy-finding algorithm: heuristic, heuristic-seeded, greedy, \
            greedy-1p, dnc, or annealing.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Parallelism for strategy finding (and synthetic-instance \
+           generation): $(docv) domains, 0 = one per core.  Defaults to \
+           the PCQE_JOBS environment variable, else 1.  Results are \
+           identical at every level.")
+
 let trace_arg =
   Arg.(
     value & flag
@@ -413,8 +431,8 @@ let query_cmd =
     (Cmd.info "query" ~doc)
     Term.(
       const run_query $ workspace_arg $ data_opt_arg $ rbac_arg $ policy_arg
-      $ costs_arg $ user_arg $ purpose_arg $ perc_arg $ solver_arg $ apply_arg
-      $ trace_arg $ metrics_out_arg $ sql_arg)
+      $ costs_arg $ user_arg $ purpose_arg $ perc_arg $ solver_arg $ jobs_arg
+      $ apply_arg $ trace_arg $ metrics_out_arg $ sql_arg)
 
 let plan_cmd =
   let doc = "print the relational-algebra plan of a SQL query" in
@@ -447,7 +465,7 @@ let solve_cmd =
     (Cmd.info "solve" ~doc)
     Term.(
       const run_solve $ size_arg $ bpr_arg $ seed_arg $ beta_arg $ theta_arg
-      $ solver_arg $ trace_arg $ metrics_out_arg)
+      $ solver_arg $ jobs_arg $ trace_arg $ metrics_out_arg)
 
 let repl_cmd =
   let ws_arg =

@@ -1,0 +1,28 @@
+module Pool = Pool
+
+let default_jobs = Pool.default_jobs
+
+let env_var = "PCQE_JOBS"
+
+let env_jobs () =
+  match Sys.getenv_opt env_var with
+  | None -> None
+  | Some s -> (
+    match String.trim s with
+    | "" -> None
+    | "auto" -> Some (default_jobs ())
+    | s -> (
+      match int_of_string_opt s with
+      | Some 0 -> Some (default_jobs ())
+      | Some j when j > 0 -> Some j
+      | _ -> None))
+
+let resolve_jobs ?jobs () =
+  match jobs with
+  | Some 0 -> default_jobs ()
+  | Some j when j > 0 -> j
+  | Some _ -> 1
+  | None -> ( match env_jobs () with Some j -> j | None -> 1)
+
+let with_pool_opt ~jobs f =
+  if jobs <= 1 then f None else Pool.with_pool ~jobs (fun p -> f (Some p))

@@ -1,0 +1,34 @@
+(** Multicore execution subsystem.
+
+    A thin, dependency-free layer over stdlib [Domain]: {!Pool} provides a
+    fixed-size domain pool with chunked fork-join combinators and a hard
+    determinism contract (results are a pure function of inputs and seed,
+    independent of the jobs count — see {!Pool}).  This module adds the
+    process-wide jobs-count policy shared by the engine, the CLI and the
+    benchmarks.
+
+    Parallelism is opt-in everywhere: the resolved default is [1] unless
+    the [PCQE_JOBS] environment variable or an explicit [--jobs]/[?jobs]
+    request says otherwise, so library users, tests, and existing callers
+    keep today's single-threaded behaviour bit for bit. *)
+
+module Pool = Pool
+
+val default_jobs : unit -> int
+(** [max 1 (Domain.recommended_domain_count () - 1)]. *)
+
+val env_var : string
+(** ["PCQE_JOBS"].  Accepted values: a positive integer, or [0] / ["auto"]
+    for {!default_jobs}.  Anything else is ignored. *)
+
+val env_jobs : unit -> int option
+(** The jobs count requested by [PCQE_JOBS], if any. *)
+
+val resolve_jobs : ?jobs:int -> unit -> int
+(** The effective jobs count: an explicit [?jobs] wins ([0] means auto),
+    then [PCQE_JOBS], then [1].  Always at least 1. *)
+
+val with_pool_opt : jobs:int -> (Pool.t option -> 'a) -> 'a
+(** [with_pool_opt ~jobs f] is [f None] when [jobs <= 1] (no domains are
+    spawned), otherwise it runs [f (Some pool)] with a fresh [jobs]-wide
+    pool, shutting it down on the way out. *)

@@ -1,0 +1,77 @@
+(** Fixed-size domain pool with fork-join combinators.
+
+    A pool owns [jobs - 1] worker domains; the caller of a combinator is
+    always the [jobs]-th worker, so a pool with [jobs = 1] spawns no
+    domains at all and every combinator degenerates to the plain
+    sequential loop — single-threaded behaviour is byte-identical to code
+    that never heard of this module.
+
+    {2 Determinism contract}
+
+    Every combinator writes each item's output into its own slot and
+    joins before returning, so as long as the task function is a pure
+    function of its item (no shared mutable state, no ambient RNG), the
+    result is a pure function of the inputs — independent of the jobs
+    count, the chunk size and the scheduling order.  Callers that need
+    randomness must pre-split deterministic per-chunk streams
+    ({!Prng.Splitmix.split_n}) {e before} forking, never share one
+    generator across tasks.
+
+    {2 Exception safety}
+
+    A raising task never kills a worker domain and never poisons the
+    pool: the combinator runs every remaining chunk, then re-raises the
+    exception of the {e lowest-indexed} failing chunk (deterministic
+    regardless of which domain observed it first).  The pool stays usable
+    afterwards.
+
+    {2 Nesting}
+
+    Combinators may be called from inside pool tasks (the inner call's
+    submitting worker participates in the inner work, so progress never
+    depends on a free worker being available).  {!shutdown} must only be
+    called once no combinator is in flight. *)
+
+type t
+
+val default_jobs : unit -> int
+(** [max 1 (Domain.recommended_domain_count () - 1)] — leave one core to
+    the rest of the process. *)
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] spawns [jobs - 1] worker domains ([jobs] is clamped
+    to at least 1; default {!default_jobs}). *)
+
+val jobs : t -> int
+(** Total parallelism, counting the participating caller. *)
+
+val shutdown : t -> unit
+(** Drain queued tasks, stop the workers, and join their domains.
+    Idempotent.  Submitting work to a shut-down pool raises
+    [Invalid_argument]. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] with a fresh pool and shuts it down on the way
+    out, exceptions included. *)
+
+val run_chunks : t -> chunks:int -> (int -> unit) -> unit
+(** [run_chunks t ~chunks f] runs [f 0 .. f (chunks - 1)], distributing
+    chunk indices over the workers and the caller.  The primitive under
+    every other combinator. *)
+
+val map_array : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map]; results are positionally ordered.  [chunk] is
+    the number of consecutive items claimed at a time (default: enough
+    for ~4 chunks per job; use [~chunk:1] when items are heavy and
+    uneven, like solver groups). *)
+
+val mapi_array : ?chunk:int -> t -> (int -> 'a -> 'b) -> 'a array -> 'b array
+
+val map_list : ?chunk:int -> t -> ('a -> 'b) -> 'a list -> 'b list
+
+val parallel_for : ?chunk:int -> t -> lo:int -> hi:int -> (int -> unit) -> unit
+(** [parallel_for t ~lo ~hi f] runs [f i] for [lo <= i < hi].  [f] must
+    tolerate any execution order across indices. *)
+
+val fork_join : t -> (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
+(** Run both thunks, possibly concurrently, and return both results. *)

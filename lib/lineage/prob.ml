@@ -84,18 +84,43 @@ let shannon_cost_estimate f =
   let repeated = Tid.Table.fold (fun _ n acc -> if n > 1 then acc + 1 else acc) occ 0 in
   if repeated >= 60 then max_int / 2 else 1 lsl repeated
 
-let monte_carlo rng ~samples p f =
+(* Sampling is chunked: the caller's generator is split into one child
+   stream per fixed-size chunk up front, and both the sequential and the
+   pooled path consume exactly those streams — so the estimate is a pure
+   function of (seed, samples, chunk), never of the jobs count. *)
+let monte_carlo ?pool ?(chunk = 4096) rng ~samples p f =
   if samples <= 0 then invalid_arg "Prob.monte_carlo: samples must be positive";
+  if chunk <= 0 then invalid_arg "Prob.monte_carlo: chunk must be positive";
   let vars = Tid.Set.elements (Formula.vars f) in
-  let world = Tid.Table.create (List.length vars) in
-  let hits = ref 0 in
-  for _ = 1 to samples do
-    List.iter
-      (fun v -> Tid.Table.replace world v (Prng.Splitmix.coin rng (p v)))
-      vars;
-    if Formula.eval (fun v -> Tid.Table.find world v) f then incr hits
-  done;
-  float_of_int !hits /. float_of_int samples
+  let num_chunks = (samples + chunk - 1) / chunk in
+  let rngs = Prng.Splitmix.split_n rng num_chunks in
+  let run_chunk ci =
+    let rng = rngs.(ci) in
+    let n = min chunk (samples - (ci * chunk)) in
+    let world = Tid.Table.create (List.length vars) in
+    let hits = ref 0 in
+    for _ = 1 to n do
+      List.iter
+        (fun v -> Tid.Table.replace world v (Prng.Splitmix.coin rng (p v)))
+        vars;
+      if Formula.eval (fun v -> Tid.Table.find world v) f then incr hits
+    done;
+    !hits
+  in
+  let hits =
+    match pool with
+    | None ->
+      let total = ref 0 in
+      for ci = 0 to num_chunks - 1 do
+        total := !total + run_chunk ci
+      done;
+      !total
+    | Some pool ->
+      Array.fold_left ( + ) 0
+        (Exec.Pool.map_array ~chunk:1 pool run_chunk
+           (Array.init num_chunks Fun.id))
+  in
+  float_of_int hits /. float_of_int samples
 
 let derivative p f v =
   if not (Tid.Set.mem v (Formula.vars f)) then 0.0

@@ -34,10 +34,24 @@ val shannon_cost_estimate : Formula.t -> int
     to decide between {!exact} and {!monte_carlo}. *)
 
 val monte_carlo :
-  Prng.Splitmix.t -> samples:int -> (Tid.t -> float) -> Formula.t -> float
+  ?pool:Exec.Pool.t ->
+  ?chunk:int ->
+  Prng.Splitmix.t ->
+  samples:int ->
+  (Tid.t -> float) ->
+  Formula.t ->
+  float
 (** [monte_carlo rng ~samples p f] estimates the probability of [f] by
     drawing [samples] independent worlds.  Standard error is at most
-    [0.5 / sqrt samples]. *)
+    [0.5 / sqrt samples].
+
+    Samples are drawn in chunks of [chunk] (default 4096) worlds, each
+    chunk from its own generator split off [rng] up front — with [pool],
+    chunks are evaluated across the pool's domains, and because the
+    per-chunk streams are fixed before forking, the estimate is {e
+    identical} at every parallelism level (including no pool at all) for
+    a given seed and [chunk].  [p] is called concurrently under [pool]
+    and must be pure. *)
 
 val derivative : (Tid.t -> float) -> Formula.t -> Tid.t -> float
 (** [derivative p f v] is the partial derivative of the confidence of [f]

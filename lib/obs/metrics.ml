@@ -87,6 +87,21 @@ let histograms t =
     t.histograms []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+let merge ~into src =
+  (* name-sorted iteration so the merged registry's contents never depend
+     on hashtable iteration order *)
+  List.iter (fun (name, v) -> incr into ~by:v name) (counters src);
+  let series =
+    Hashtbl.fold (fun name s acc -> (name, s) :: acc) src.histograms []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  List.iter
+    (fun (name, s) ->
+      for i = 0 to s.len - 1 do
+        observe into name s.data.(i)
+      done)
+    series
+
 let reset t =
   Hashtbl.reset t.counters;
   Hashtbl.reset t.histograms

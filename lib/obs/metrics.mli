@@ -7,7 +7,17 @@
 
     Recording is cheap — one hashtable probe plus an integer add or an
     array push — so solvers can bump counters inside their inner loops.
-    Registries are not thread-safe; use one per engine context. *)
+
+    {2 Concurrency: one writer per registry}
+
+    Registries are deliberately unsynchronized (no per-record locking on
+    the hot path), so the rule is {e single writer per registry}: a
+    registry is only ever recorded into from one domain at a time.
+    Parallel code gives each task its own private registry and aggregates
+    after the join with {!merge} — the divide-and-conquer solver's
+    per-group registries are the canonical example.  Reading ({!counter},
+    {!histogram}, {!render}, …) is only safe once the writers have been
+    joined. *)
 
 type t
 
@@ -45,6 +55,14 @@ val counters : t -> (string * int) list
 
 val histograms : t -> (string * histogram) list
 (** All non-empty histograms, sorted by name. *)
+
+val merge : into:t -> t -> unit
+(** [merge ~into src] folds [src] into [into]: counters add, histogram
+    observations append (per histogram, in recording order).  Metric
+    names are visited in sorted order, so merging the same registries in
+    the same sequence always produces the same aggregate — merge forked
+    registries back in task order after a parallel join and the combined
+    registry is deterministic.  [src] is left untouched. *)
 
 val reset : t -> unit
 

@@ -116,10 +116,58 @@ let refine st =
     order;
   !rollbacks
 
-let solve ?(config = default_config) ?metrics problem =
+(* One partition group solved end to end.  Each invocation builds its own
+   sub-problem, its own solver state, and (when the caller records
+   metrics) its own private registry — nothing here touches shared mutable
+   state, which is what lets the groups run on separate domains with
+   bit-identical results to the sequential order. *)
+type group_outcome = {
+  g_cost : float;
+  g_members : int list;
+  g_solution : (Tid.t * float) list;
+  g_heuristic : bool;  (** the branch-and-bound refinement ran *)
+  g_metrics : Obs.Metrics.t option;
+}
+
+let solve_group config problem parts ~with_metrics ~now gid members =
+  let metrics = if with_metrics then Some (Obs.Metrics.create ()) else None in
+  let t0 = match now with Some clock -> clock () | None -> 0.0 in
+  let group_bids = parts.Partition.group_bases.(gid) in
+  let sub = subproblem config problem members group_bids in
+  let greedy_out = Greedy.solve ~config:config.greedy ?metrics sub in
+  let g_heuristic = List.length group_bids < config.tau in
+  let g_solution, g_cost =
+    if g_heuristic then begin
+      let bound =
+        if greedy_out.Greedy.feasible then Some greedy_out.Greedy.cost
+        else None
+      in
+      let h_out =
+        Heuristic.solve
+          ~config:
+            {
+              Heuristic.heuristics = Heuristic.all_heuristics;
+              initial_bound = bound;
+              max_nodes = config.heuristic_max_nodes;
+            }
+          ?metrics sub
+      in
+      match h_out.Heuristic.solution with
+      | Some s when h_out.Heuristic.cost < greedy_out.Greedy.cost ->
+        (s, h_out.Heuristic.cost)
+      | _ -> (greedy_out.Greedy.solution, greedy_out.Greedy.cost)
+    end
+    else (greedy_out.Greedy.solution, greedy_out.Greedy.cost)
+  in
+  (match (now, metrics) with
+  | Some clock, Some m ->
+    Obs.Metrics.observe m "dnc.group_solve_s" (clock () -. t0)
+  | _ -> ());
+  { g_cost; g_members = members; g_solution; g_heuristic; g_metrics = metrics }
+
+let solve ?(config = default_config) ?metrics ?pool ?now problem =
   let parts = Partition.partition ~config:config.partition problem in
   let num_groups = Partition.num_groups parts in
-  let heuristic_groups = ref 0 in
   let group_sizes =
     Array.map (fun bids -> List.length bids) parts.Partition.group_bases
   in
@@ -129,39 +177,34 @@ let solve ?(config = default_config) ?metrics problem =
     Array.iter
       (fun size -> Obs.Metrics.observe m "dnc.group_size" (float_of_int size))
       group_sizes);
+  let solve_group =
+    solve_group config problem parts ~with_metrics:(metrics <> None) ~now
+  in
+  let group_outcomes =
+    match pool with
+    | Some pool when Exec.Pool.jobs pool > 1 ->
+      (* chunk = 1: groups are heavy and uneven, claim them one by one *)
+      Exec.Pool.mapi_array ~chunk:1 pool solve_group parts.Partition.groups
+    | _ -> Array.mapi solve_group parts.Partition.groups
+  in
+  (* deterministic post-join aggregation: fold the per-group registries
+     into the caller's in group order, count refinements in group order *)
+  (match metrics with
+  | None -> ()
+  | Some m ->
+    Array.iter
+      (fun g ->
+        match g.g_metrics with
+        | Some gm -> Obs.Metrics.merge ~into:m gm
+        | None -> ())
+      group_outcomes);
+  let heuristic_groups = ref 0 in
+  Array.iter
+    (fun g -> if g.g_heuristic then incr heuristic_groups)
+    group_outcomes;
   (* per-group solutions: (cost, members, increments) *)
   let group_solutions =
-    Array.mapi
-      (fun gid members ->
-        let group_bids = parts.Partition.group_bases.(gid) in
-        let sub = subproblem config problem members group_bids in
-        let greedy_out = Greedy.solve ~config:config.greedy ?metrics sub in
-        let solution, cost =
-          if List.length group_bids < config.tau then begin
-            incr heuristic_groups;
-            let bound =
-              if greedy_out.Greedy.feasible then Some greedy_out.Greedy.cost
-              else None
-            in
-            let h_out =
-              Heuristic.solve
-                ~config:
-                  {
-                    Heuristic.heuristics = Heuristic.all_heuristics;
-                    initial_bound = bound;
-                    max_nodes = config.heuristic_max_nodes;
-                  }
-                ?metrics sub
-            in
-            match h_out.Heuristic.solution with
-            | Some s when h_out.Heuristic.cost < greedy_out.Greedy.cost ->
-              (s, h_out.Heuristic.cost)
-            | _ -> (greedy_out.Greedy.solution, greedy_out.Greedy.cost)
-          end
-          else (greedy_out.Greedy.solution, greedy_out.Greedy.cost)
-        in
-        (cost, members, solution))
-      parts.Partition.groups
+    Array.map (fun g -> (g.g_cost, g.g_members, g.g_solution)) group_outcomes
   in
   (* combination on the global instance: overlapping bases take the max
      target across groups *)

@@ -67,8 +67,26 @@ type outcome = {
   stats : stats;
 }
 
-val solve : ?config:config -> ?metrics:Obs.Metrics.t -> Problem.t -> outcome
+val solve :
+  ?config:config ->
+  ?metrics:Obs.Metrics.t ->
+  ?pool:Exec.Pool.t ->
+  ?now:(unit -> float) ->
+  Problem.t ->
+  outcome
 (** [metrics] additionally receives a [dnc.group_size] histogram (one
-    observation per partition group), [dnc.*] counters, and — because the
-    per-group sub-solvers share the registry — aggregated [greedy.*] and
-    [heuristic.*] counters across all groups. *)
+    observation per partition group), [dnc.*] counters, and aggregated
+    [greedy.*] and [heuristic.*] counters across all groups: each group's
+    sub-solvers write into a private registry which is merged back in
+    group order ({!Obs.Metrics.merge}), so the totals are identical
+    whether groups run sequentially or on [pool].
+
+    [pool] solves the partition groups on the pool's domains.  Every
+    group builds its own sub-problem, solver state, and registry, so the
+    outcome — solution, cost, stats, and merged metrics — is bit-identical
+    to the sequential run at any pool size.
+
+    [now] is a wall clock (e.g. [Unix.gettimeofday]); when given together
+    with [metrics], each group's solve time is observed into a
+    [dnc.group_solve_s] histogram.  It is off by default so that metrics
+    stay deterministic. *)

@@ -102,8 +102,33 @@ let satisfied_of_solution problem solution =
     solution;
   State.satisfied_results st
 
-let solve ?(algorithm = divide_conquer) ?obs problem =
+let solve ?(algorithm = divide_conquer) ?obs ?jobs ?pool ?now problem =
   let metrics = Option.map (fun (o : Obs.t) -> o.Obs.metrics) obs in
+  let jobs =
+    match pool with
+    | Some p -> Exec.Pool.jobs p
+    | None -> Exec.resolve_jobs ?jobs ()
+  in
+  (* Only divide-and-conquer has a parallel phase; run it under a
+     [parallel] span recording the requested jobs and, post-join, the
+     number of chunks (partition groups) the work was split into. *)
+  let solve_dnc cfg =
+    let run_groups pool =
+      Obs.span obs
+        ~attrs:[ ("jobs", string_of_int jobs) ]
+        "parallel"
+        (fun () ->
+          let out = Divide_conquer.solve ~config:cfg ?metrics ?pool ?now problem in
+          Obs.add_attr obs "chunks"
+            (string_of_int out.Divide_conquer.num_groups);
+          out)
+    in
+    match pool with
+    | Some _ -> run_groups pool
+    | None when jobs > 1 ->
+      Exec.Pool.with_pool ~jobs (fun p -> run_groups (Some p))
+    | None -> run_groups None
+  in
   let run () =
     match algorithm with
     | Heuristic cfg ->
@@ -148,7 +173,7 @@ let solve ?(algorithm = divide_conquer) ?obs problem =
         detail = render_stats stats;
       }
     | Divide_conquer cfg ->
-      let out = Divide_conquer.solve ~config:cfg ?metrics problem in
+      let out = solve_dnc cfg in
       let stats = Divide_conquer_stats out.Divide_conquer.stats in
       {
         solution =

@@ -53,9 +53,31 @@ type outcome = {
   detail : string;  (** [render_stats stats], kept for display call sites *)
 }
 
-val solve : ?algorithm:algorithm -> ?obs:Obs.t -> Problem.t -> outcome
+val solve :
+  ?algorithm:algorithm ->
+  ?obs:Obs.t ->
+  ?jobs:int ->
+  ?pool:Exec.Pool.t ->
+  ?now:(unit -> float) ->
+  Problem.t ->
+  outcome
 (** [solve problem] runs the chosen algorithm (default {!divide_conquer} —
     the paper's best scaling choice) and times it.  With [obs], the run is
     recorded as a ["solve"] span (attribute [algorithm]) and the solver's
     counters/histograms land in the registry — including the sub-solver
-    telemetry divide-and-conquer generates per group. *)
+    telemetry divide-and-conquer generates per group.
+
+    Parallelism (divide-and-conquer only; the other algorithms are
+    inherently sequential and ignore it):
+
+    - [pool]: run partition groups on this pool (caller keeps ownership);
+    - [jobs]: otherwise, resolve a level via {!Exec.resolve_jobs} — an
+      explicit [jobs] wins ([0] = auto), then the [PCQE_JOBS] environment
+      variable, defaulting to [1] — and spin up a transient pool when it
+      exceeds 1.
+
+    The outcome is bit-identical at every parallelism level.  The
+    parallel phase is recorded as a ["parallel"] span with attributes
+    [jobs] and [chunks] (number of partition groups).  [now] (a wall
+    clock) additionally enables the [dnc.group_solve_s] histogram; see
+    {!Divide_conquer.solve}. *)

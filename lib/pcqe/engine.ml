@@ -10,12 +10,13 @@ type context = {
   cap_of : Tid.t -> float;
   solver : Optimize.Solver.algorithm;
   delta : float;
+  jobs : int;
   obs : Obs.t option;
 }
 
 let make_context ?(solver = Optimize.Solver.divide_conquer) ?(delta = 0.1)
-    ?cost_of ?cap_of ?(views = Relational.Views.empty) ?obs ~db ~rbac ~policies
-    () =
+    ?jobs ?cost_of ?cap_of ?(views = Relational.Views.empty) ?obs ~db ~rbac
+    ~policies () =
   let default_cost = Cost.Cost_model.linear ~rate:100.0 in
   {
     db;
@@ -26,6 +27,7 @@ let make_context ?(solver = Optimize.Solver.divide_conquer) ?(delta = 0.1)
     cap_of = Option.value cap_of ~default:(fun _ -> 1.0);
     solver;
     delta;
+    jobs = Exec.resolve_jobs ?jobs ();
     obs;
   }
 
@@ -170,7 +172,8 @@ let answer_common ctx ~check_access ~roles ~query ~purpose ~perc =
                   ~beta ~cost_of:ctx.cost_of ~cap_of:ctx.cap_of ctx.db res
               in
               let out =
-                Optimize.Solver.solve ~algorithm:ctx.solver ?obs problem
+                Optimize.Solver.solve ~algorithm:ctx.solver ?obs
+                  ~jobs:ctx.jobs problem
               in
               match out.Optimize.Solver.solution with
               | Some increments ->

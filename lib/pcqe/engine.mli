@@ -24,6 +24,9 @@ type context = {
   cap_of : Lineage.Tid.t -> float;
   solver : Optimize.Solver.algorithm;
   delta : float;
+  jobs : int;
+      (** parallelism for strategy finding; [1] = single-threaded.
+          Outcomes are bit-identical at every level (see {!Exec}). *)
   obs : Obs.t option;
       (** observability handle; [None] (the default) disables tracing and
           metrics entirely — the engine then allocates no spans *)
@@ -32,6 +35,7 @@ type context = {
 val make_context :
   ?solver:Optimize.Solver.algorithm ->
   ?delta:float ->
+  ?jobs:int ->
   ?cost_of:(Lineage.Tid.t -> Cost.Cost_model.t) ->
   ?cap_of:(Lineage.Tid.t -> float) ->
   ?views:Relational.Views.t ->
@@ -42,7 +46,11 @@ val make_context :
   unit ->
   context
 (** Defaults: divide-and-conquer solver, δ = 0.1, linear cost of rate 100,
-    cap 1.0 for every tuple, observability off. *)
+    cap 1.0 for every tuple, observability off.
+
+    [jobs] resolves via {!Exec.resolve_jobs}: an explicit value wins
+    ([0] = one per core), then the [PCQE_JOBS] environment variable,
+    defaulting to [1]. *)
 
 type request = {
   query : Query.t;  (** SQL text or a prebuilt algebra plan *)

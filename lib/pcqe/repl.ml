@@ -37,6 +37,7 @@ let help_text =
   \purpose <purpose>  set the query purpose
   \perc <fraction>    set the required result fraction (theta)
   \solver <name>      heuristic | greedy | dnc | annealing
+  \jobs <n>           parallelism for strategy finding (0 = one per core)
   \apply              accept the last improvement proposal
   \explain            lineage explanations for the last query
   \timing on|off      print the per-stage timed plan after each query
@@ -124,6 +125,14 @@ let meta t line =
         ( { t with ctx = { t.ctx with Engine.solver } },
           "solver set to " ^ Optimize.Solver.algorithm_name solver )
     | None -> Reply (t, Printf.sprintf "unknown solver %S" name))
+  | [ "\\jobs"; n ] -> (
+    match int_of_string_opt n with
+    | Some j when j >= 0 ->
+      let jobs = Exec.resolve_jobs ~jobs:j () in
+      Reply
+        ( { t with ctx = { t.ctx with Engine.jobs } },
+          Printf.sprintf "jobs set to %d" jobs )
+    | _ -> Reply (t, Printf.sprintf "invalid jobs count %S" n))
   | [ "\\apply" ] -> (
     match t.last_proposal with
     | None -> Reply (t, "no pending proposal")
@@ -231,10 +240,11 @@ let meta t line =
   | [ "\\whoami" ] ->
     Reply
       ( t,
-        Printf.sprintf "user=%s purpose=%s perc=%g solver=%s"
+        Printf.sprintf "user=%s purpose=%s perc=%g solver=%s jobs=%d"
           (Option.value ~default:"(unset)" t.user)
           t.purpose t.perc
-          (Optimize.Solver.algorithm_name t.ctx.Engine.solver) )
+          (Optimize.Solver.algorithm_name t.ctx.Engine.solver)
+          t.ctx.Engine.jobs )
   | cmd :: _ -> Reply (t, Printf.sprintf "unknown command %s (try \\help)" cmd)
   | [] -> Reply (t, "")
 

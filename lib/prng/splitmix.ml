@@ -22,6 +22,19 @@ let split t =
   let seed = next_int64 t in
   create (mix64 seed)
 
+let split_n t k =
+  if k < 0 then invalid_arg "Splitmix.split_n: negative count";
+  if k = 0 then [||]
+  else begin
+    (* explicit loop: Array.init's evaluation order is unspecified, and
+       each split advances [t] *)
+    let arr = Array.make k t in
+    for i = 0 to k - 1 do
+      arr.(i) <- split t
+    done;
+    arr
+  end
+
 let bits30 t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 34)
 
 let int t bound =

@@ -24,6 +24,13 @@ val split : t -> t
 (** [split t] advances [t] and returns a new generator whose stream is
     statistically independent from the remainder of [t]'s stream. *)
 
+val split_n : t -> int -> t array
+(** [split_n t k] advances [t] [k] times and returns [k] mutually
+    independent child generators, in split order — the seeding primitive
+    for deterministic parallel chunking: split one stream per chunk
+    up front, and the per-chunk draws no longer depend on how chunks are
+    scheduled across domains.  [k] must be non-negative. *)
+
 val next_int64 : t -> int64
 (** [next_int64 t] returns the next raw 64-bit output. *)
 

@@ -42,15 +42,48 @@ let make_bases rng ~count ~p0_lo ~p0_hi =
         cost = Cost.Cost_model.random rng;
       })
 
-let make_formulas rng ~bases ~num_results ~bases_per_result =
+(* Formulas are generated in fixed-size chunks, each from its own stream
+   split off [rng] before any work starts.  The chunk size is a constant
+   (not a function of the pool size) so the generated instance is a pure
+   function of the seed — identical with no pool, or a pool of any size. *)
+let formula_chunk = 256
+
+let make_formulas ?pool rng ~bases ~num_results ~bases_per_result =
   let tids = Array.of_list (List.map (fun b -> b.Optimize.Problem.tid) bases) in
   let k = Array.length tids in
-  List.init num_results (fun _ ->
-      let chosen =
-        Sm.sample_without_replacement rng (min bases_per_result k) k
-      in
-      let leaves = Array.to_list (Array.map (fun i -> tids.(i)) chosen) in
-      Dag_query.random_monotone_tree rng leaves)
+  if num_results <= 0 then []
+  else begin
+    let num_chunks = (num_results + formula_chunk - 1) / formula_chunk in
+    let rngs = Sm.split_n rng num_chunks in
+    let run_chunk ci =
+      let rng = rngs.(ci) in
+      let n = min formula_chunk (num_results - (ci * formula_chunk)) in
+      let out = Array.make n Lineage.Formula.True in
+      for j = 0 to n - 1 do
+        let chosen =
+          Sm.sample_without_replacement rng (min bases_per_result k) k
+        in
+        let leaves = Array.to_list (Array.map (fun i -> tids.(i)) chosen) in
+        out.(j) <- Dag_query.random_monotone_tree rng leaves
+      done;
+      out
+    in
+    let chunks =
+      match pool with
+      | Some pool when Exec.Pool.jobs pool > 1 ->
+        Exec.Pool.map_array ~chunk:1 pool run_chunk
+          (Array.init num_chunks Fun.id)
+      | _ ->
+        (* explicit loop: each chunk has a pre-forked stream, but keep the
+           evaluation order obvious anyway *)
+        let arr = Array.make num_chunks [||] in
+        for ci = 0 to num_chunks - 1 do
+          arr.(ci) <- run_chunk ci
+        done;
+        arr
+    in
+    List.concat_map Array.to_list (Array.to_list chunks)
+  end
 
 let required_of ~theta ~beta bases formulas =
   (* theta' = fraction initially above beta; required = (theta - theta')*n *)
@@ -68,7 +101,7 @@ let required_of ~theta ~beta bases formulas =
   let want = int_of_float (ceil (theta *. float_of_int n)) in
   max 0 (min (n - satisfied) (want - satisfied))
 
-let instance ?(params = default_params) ~seed () =
+let instance ?pool ?(params = default_params) ~seed () =
   let rng = Sm.of_int seed in
   let num_results =
     max 4
@@ -82,7 +115,7 @@ let instance ?(params = default_params) ~seed () =
       ~p0_hi:params.p0_hi
   in
   let formulas =
-    make_formulas rng ~bases ~num_results
+    make_formulas ?pool rng ~bases ~num_results
       ~bases_per_result:params.bases_per_result
   in
   let required = required_of ~theta:params.theta ~beta:params.beta bases formulas in

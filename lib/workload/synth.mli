@@ -31,8 +31,12 @@ val default_params : params
 val table4 : params -> (string * string) list
 (** Parameter table (name, value) as printed by the bench harness. *)
 
-val instance : ?params:params -> seed:int -> unit -> Optimize.Problem.t
-(** [instance ~seed ()] generates one deterministic instance. *)
+val instance :
+  ?pool:Exec.Pool.t -> ?params:params -> seed:int -> unit -> Optimize.Problem.t
+(** [instance ~seed ()] generates one deterministic instance.  With
+    [pool], per-result lineage DAGs are generated in parallel from
+    pre-split generator streams (fixed chunk size), so the instance is
+    {e identical} to the sequential one for the same seed. *)
 
 val small_instance :
   ?num_bases:int -> ?num_results:int -> ?required:int -> ?beta:float ->

@@ -1,0 +1,159 @@
+(* Tests for the Exec domain pool: determinism, exception safety,
+   nesting, and the jobs-resolution policy. *)
+
+module Pool = Exec.Pool
+
+let test_default_jobs () =
+  Alcotest.(check bool) "at least one" true (Pool.default_jobs () >= 1)
+
+let test_jobs_clamped () =
+  Pool.with_pool ~jobs:0 (fun p ->
+      Alcotest.(check int) "clamped to 1" 1 (Pool.jobs p));
+  Pool.with_pool ~jobs:3 (fun p ->
+      Alcotest.(check int) "as requested" 3 (Pool.jobs p))
+
+let test_map_matches_sequential () =
+  let input = Array.init 1000 (fun i -> i) in
+  let f x = (x * x) + 1 in
+  let expected = Array.map f input in
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun p ->
+          Alcotest.(check (array int))
+            (Printf.sprintf "map_array at jobs=%d" jobs)
+            expected (Pool.map_array p f input);
+          Alcotest.(check (list int))
+            (Printf.sprintf "map_list at jobs=%d" jobs)
+            (Array.to_list expected)
+            (Pool.map_list p f (Array.to_list input))))
+    [ 1; 2; 4; 8 ]
+
+let test_mapi () =
+  Pool.with_pool ~jobs:4 (fun p ->
+      let out = Pool.mapi_array p (fun i x -> i + x) (Array.make 100 7) in
+      Alcotest.(check (array int)) "mapi" (Array.init 100 (fun i -> i + 7)) out)
+
+let test_parallel_for () =
+  Pool.with_pool ~jobs:4 (fun p ->
+      let slots = Array.make 500 0 in
+      Pool.parallel_for p ~lo:0 ~hi:500 (fun i -> slots.(i) <- i * 2);
+      Alcotest.(check (array int))
+        "every index visited once"
+        (Array.init 500 (fun i -> i * 2))
+        slots)
+
+let test_fork_join () =
+  Pool.with_pool ~jobs:2 (fun p ->
+      let a, b = Pool.fork_join p (fun () -> 6 * 7) (fun () -> "ok") in
+      Alcotest.(check int) "left" 42 a;
+      Alcotest.(check string) "right" "ok" b)
+
+let test_empty_and_tiny_inputs () =
+  Pool.with_pool ~jobs:4 (fun p ->
+      Alcotest.(check (array int)) "empty" [||] (Pool.map_array p succ [||]);
+      Alcotest.(check (array int)) "singleton" [| 2 |]
+        (Pool.map_array p succ [| 1 |]))
+
+exception Boom of int
+
+let test_exception_propagates () =
+  Pool.with_pool ~jobs:4 (fun p ->
+      (* the lowest-index failure is the one re-raised, regardless of
+         which domain hits its exception first *)
+      (try
+         ignore
+           (Pool.map_array ~chunk:1 p
+              (fun i -> if i >= 3 then raise (Boom i) else i)
+              (Array.init 64 Fun.id));
+         Alcotest.fail "expected Boom"
+       with Boom i -> Alcotest.(check int) "lowest failing index" 3 i);
+      (* the pool survives a raising task and runs later work fine *)
+      let out = Pool.map_array p succ (Array.init 10 Fun.id) in
+      Alcotest.(check (array int))
+        "pool not poisoned"
+        (Array.init 10 (fun i -> i + 1))
+        out)
+
+let test_no_domain_leak_after_raise () =
+  (* shutting down a pool whose tasks raised must still join all domains;
+     if a domain leaked, with_pool would hang or shutdown would raise *)
+  for _ = 1 to 5 do
+    Pool.with_pool ~jobs:4 (fun p ->
+        try ignore (Pool.map_array ~chunk:1 p (fun _ -> raise Exit) [| 1; 2; 3; 4 |])
+        with Exit -> ())
+  done;
+  Alcotest.(check pass) "repeated raise+shutdown" () ()
+
+let test_shutdown_idempotent () =
+  let p = Pool.create ~jobs:3 () in
+  ignore (Pool.map_array p succ [| 1; 2; 3 |]);
+  Pool.shutdown p;
+  Pool.shutdown p;
+  Alcotest.(check pass) "double shutdown" () ()
+
+let test_nested_run () =
+  (* a task may itself drive the pool: the caller participates in the
+     work, so progress never requires a free worker *)
+  Pool.with_pool ~jobs:2 (fun p ->
+      let out =
+        Pool.map_array ~chunk:1 p
+          (fun i ->
+            Array.fold_left ( + ) 0
+              (Pool.map_array ~chunk:1 p (fun j -> i * j) [| 1; 2; 3 |]))
+          [| 1; 2; 3; 4 |]
+      in
+      Alcotest.(check (array int)) "nested" [| 6; 12; 18; 24 |] out)
+
+let test_with_pool_returns_and_cleans () =
+  let r = Pool.with_pool ~jobs:2 (fun _ -> 99) in
+  Alcotest.(check int) "result through" 99 r;
+  (try ignore (Pool.with_pool ~jobs:2 (fun _ -> failwith "body")) with
+  | Failure m -> Alcotest.(check string) "body exn through" "body" m);
+  Alcotest.(check pass) "no hang after body raise" () ()
+
+let test_resolve_jobs () =
+  (* explicit value wins; 0 means auto; negatives clamp to 1 *)
+  Alcotest.(check int) "explicit" 5 (Exec.resolve_jobs ~jobs:5 ());
+  Alcotest.(check int) "auto" (Pool.default_jobs ()) (Exec.resolve_jobs ~jobs:0 ());
+  Alcotest.(check int) "negative" 1 (Exec.resolve_jobs ~jobs:(-2) ());
+  (* no request, no env: single-threaded *)
+  if Sys.getenv_opt Exec.env_var = None then
+    Alcotest.(check int) "default" 1 (Exec.resolve_jobs ())
+
+let qcheck_run_chunks_covers =
+  QCheck.Test.make ~name:"run_chunks visits each chunk exactly once" ~count:30
+    QCheck.(pair (int_range 1 8) (int_range 0 50))
+    (fun (jobs, chunks) ->
+      Pool.with_pool ~jobs (fun p ->
+          let hits = Array.make (max chunks 1) 0 in
+          Pool.run_chunks p ~chunks (fun ci -> hits.(ci) <- hits.(ci) + 1);
+          Array.for_all (fun h -> h = 1) (Array.sub hits 0 chunks)
+          || chunks = 0))
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "default_jobs" `Quick test_default_jobs;
+          Alcotest.test_case "jobs clamped" `Quick test_jobs_clamped;
+          Alcotest.test_case "map = sequential" `Quick
+            test_map_matches_sequential;
+          Alcotest.test_case "mapi" `Quick test_mapi;
+          Alcotest.test_case "parallel_for" `Quick test_parallel_for;
+          Alcotest.test_case "fork_join" `Quick test_fork_join;
+          Alcotest.test_case "empty/tiny inputs" `Quick
+            test_empty_and_tiny_inputs;
+          Alcotest.test_case "exception propagates" `Quick
+            test_exception_propagates;
+          Alcotest.test_case "no leak after raise" `Quick
+            test_no_domain_leak_after_raise;
+          Alcotest.test_case "shutdown idempotent" `Quick
+            test_shutdown_idempotent;
+          Alcotest.test_case "nested run" `Quick test_nested_run;
+          Alcotest.test_case "with_pool" `Quick test_with_pool_returns_and_cleans;
+          Alcotest.test_case "resolve_jobs" `Quick test_resolve_jobs;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest qcheck_run_chunks_covers ] );
+    ]

@@ -162,6 +162,63 @@ let test_exponential_mean () =
   let mean = !sum /. float_of_int n in
   Alcotest.(check bool) "mean ~ 0.5" true (Float.abs (mean -. 0.5) < 0.05)
 
+let test_split_n_basic () =
+  Alcotest.(check int) "zero count" 0 (Array.length (Sm.split_n (Sm.of_int 1) 0));
+  Alcotest.check_raises "negative count"
+    (Invalid_argument "Splitmix.split_n: negative count") (fun () ->
+      ignore (Sm.split_n (Sm.of_int 1) (-1)));
+  let rng = Sm.of_int 5 in
+  Alcotest.(check int) "length" 8 (Array.length (Sm.split_n rng 8));
+  (* split_n is just n splits: a twin generator split by hand agrees *)
+  let a = Sm.of_int 9 and b = Sm.of_int 9 in
+  let xs = Sm.split_n a 4 in
+  let ys = Array.make 4 b in
+  for i = 0 to 3 do
+    ys.(i) <- Sm.split b
+  done;
+  Array.iteri
+    (fun i x ->
+      Alcotest.(check int64)
+        (Printf.sprintf "sibling %d" i)
+        (Sm.next_int64 ys.(i)) (Sm.next_int64 x))
+    xs
+
+let test_split_n_independence () =
+  (* sibling streams: no collisions in raw output, negligible pairwise
+     correlation of uniform floats *)
+  let k = 16 and n = 2000 in
+  let rngs = Sm.split_n (Sm.of_int 77) k in
+  let outputs = Array.map (fun rng -> Array.init n (fun _ -> Sm.float rng 1.0)) rngs in
+  let seen = Hashtbl.create (k * n) in
+  let rngs' = Sm.split_n (Sm.of_int 77) k in
+  Array.iter
+    (fun rng ->
+      for _ = 1 to n do
+        let v = Sm.next_int64 rng in
+        Alcotest.(check bool) "no int64 collisions" false (Hashtbl.mem seen v);
+        Hashtbl.add seen v ()
+      done)
+    rngs';
+  let mean xs = Array.fold_left ( +. ) 0.0 xs /. float_of_int n in
+  let corr xs ys =
+    let mx = mean xs and my = mean ys in
+    let sxy = ref 0.0 and sxx = ref 0.0 and syy = ref 0.0 in
+    for i = 0 to n - 1 do
+      let dx = xs.(i) -. mx and dy = ys.(i) -. my in
+      sxy := !sxy +. (dx *. dy);
+      sxx := !sxx +. (dx *. dx);
+      syy := !syy +. (dy *. dy)
+    done;
+    !sxy /. sqrt (!sxx *. !syy)
+  in
+  for i = 0 to k - 1 do
+    for j = i + 1 to k - 1 do
+      let c = corr outputs.(i) outputs.(j) in
+      if Float.abs c >= 0.1 then
+        Alcotest.failf "siblings %d,%d correlate: %f" i j c
+    done
+  done
+
 let qcheck_int_uniformish =
   QCheck.Test.make ~name:"choice picks every element eventually" ~count:50
     QCheck.(int_range 1 20)
@@ -183,6 +240,9 @@ let () =
           Alcotest.test_case "seeds differ" `Quick test_different_seeds_differ;
           Alcotest.test_case "copy" `Quick test_copy_is_independent;
           Alcotest.test_case "split" `Quick test_split_independence;
+          Alcotest.test_case "split_n basic" `Quick test_split_n_basic;
+          Alcotest.test_case "split_n independence" `Quick
+            test_split_n_independence;
           Alcotest.test_case "int bounds" `Quick test_int_bounds_exhaustive;
           Alcotest.test_case "int rejects <=0" `Quick test_int_rejects_nonpositive;
           Alcotest.test_case "int_in" `Quick test_int_in;
