@@ -19,6 +19,9 @@
                  (restrict with --jobs N); writes BENCH_parallel.json
      solvers-json  write BENCH_solvers.json: structured solver telemetry
                    and engine per-stage span timings, machine-readable
+     sweep-incremental  A/B of incremental confidence re-evaluation
+                   (affine coefficient caches + lineage dedup) vs the
+                   forced-off baseline; writes BENCH_incremental.json
      smoke       every panel at tiny sizes (run by `dune runtest`)
      micro       Bechamel micro-benchmarks of the hot paths
 
@@ -651,6 +654,168 @@ let solvers_json ?(size = 1000) () =
     solvers_json_path
 
 (* ------------------------------------------------------------------ *)
+(* sweep-incremental: A/B of incremental confidence re-evaluation (affine
+   coefficient caches + lineage dedup) against the forced-off baseline.
+   Both sides must return identical solutions, satisfied sets and costs —
+   the panel fails hard otherwise — and on every non-trivial point (where
+   the baseline re-evaluates beyond the initial pass) the incremental side
+   must perform strictly fewer full lineage evaluations.  Writes
+   BENCH_incremental.json. *)
+
+let incremental_json_path = "BENCH_incremental.json"
+
+(* Entangled-lineage instance for the branch-and-bound point: result [j]'s
+   formula is an Or of pairwise Ands over a sliding window of [width]
+   bases, so every variable occurs in several clauses.  Non-read-once
+   lineage compiles to an OBDD whose probability evaluation allocates a
+   fresh memo table per call — exactly the regime where replacing
+   re-evaluations with cached affine coefficients pays in wall time, not
+   just in counters. *)
+let entangled_problem ~incremental ~num_bases ~num_results ~width ~required
+    ~seed () =
+  let rng = Prng.Splitmix.of_int seed in
+  let bases =
+    List.init num_bases (fun i ->
+        {
+          Problem.tid = Lineage.Tid.make "ent" i;
+          p0 = Prng.Splitmix.float_in rng 0.05 0.15;
+          cap = 1.0;
+          cost = Cost.Cost_model.random rng;
+        })
+  in
+  let tids = Array.of_list (List.map (fun b -> b.Problem.tid) bases) in
+  let formulas =
+    List.init num_results (fun j ->
+        Lineage.Formula.disj
+          (List.init (width - 1) (fun i ->
+               let a = tids.((j + i) mod num_bases) in
+               let b = tids.((j + i + 1) mod num_bases) in
+               Lineage.Formula.conj
+                 [ Lineage.Formula.var a; Lineage.Formula.var b ])))
+  in
+  Problem.make_exn ~delta:0.1 ~incremental ~beta:0.6 ~required ~bases
+    ~formulas ()
+
+(* self-join-style companion instance: every lineage formula appears
+   [copies] times, the shape hash-consing collapses into shared classes *)
+let dup_problem ~incremental ~copies ~size ~seed () =
+  let p =
+    Synth.instance
+      ~params:{ Synth.default_params with data_size = size }
+      ~seed ()
+  in
+  let bases = Array.to_list (Problem.bases p) in
+  let formulas =
+    Array.to_list (Problem.results p)
+    |> List.map (fun r -> r.Problem.formula)
+  in
+  let formulas = List.concat (List.init copies (fun _ -> formulas)) in
+  Problem.make_exn ~delta:(Problem.delta p) ~incremental
+    ~beta:(Problem.beta p)
+    ~required:(copies * Problem.required p)
+    ~bases ~formulas ()
+
+let sweep_incremental ?(size = 1000) ?(bases_per_result = 25)
+    ?(annealing_iters = 100_000) ?(bb_max_nodes = None) () =
+  header "sweep-incremental: affine caches + lineage dedup vs full re-evaluation";
+  row "  %-22s %6s %11s %11s %11s %8s %7s %8s\n" "solver" "bases" "full(off)"
+    "full(on)" "incr(on)" "invalid" "dedup" "speedup";
+  let field out name =
+    match
+      List.assoc_opt name
+        (Optimize.Solver.stats_fields out.Optimize.Solver.stats)
+    with
+    | Some v -> int_of_float v
+    | None -> 0
+  in
+  (* probe-heavy solvers (greedy, D&C) get the wide-lineage regime
+     ([bases_per_result], Table 4 row 2 sweep) where evaluations are
+     expensive; the annealing random walk gets the Table 4 default — its
+     cache hits come from same-base revisits, which need bases that occur
+     in many formulas *)
+  let synth_point ?bpr incremental =
+    let bases_per_result =
+      match bpr with Some b -> b | None -> bases_per_result
+    in
+    Synth.instance
+      ~params:{ Synth.default_params with data_size = size; bases_per_result }
+      ~incremental ~seed:11 ()
+  in
+  let entries =
+    List.map
+      (fun (label, algorithm, make_problem) ->
+        let pb_on = make_problem true in
+        let pb_off = make_problem false in
+        let out_on, t_on =
+          time (fun () -> Optimize.Solver.solve ~algorithm pb_on)
+        in
+        let out_off, t_off =
+          time (fun () -> Optimize.Solver.solve ~algorithm pb_off)
+        in
+        (* identical outputs, or the A/B comparison is meaningless *)
+        if out_on.Optimize.Solver.solution <> out_off.Optimize.Solver.solution
+        then failwith (label ^ ": solutions differ between cache on and off");
+        if
+          out_on.Optimize.Solver.satisfied
+          <> out_off.Optimize.Solver.satisfied
+        then
+          failwith (label ^ ": satisfied sets differ between cache on and off");
+        if out_on.Optimize.Solver.cost <> out_off.Optimize.Solver.cost then
+          failwith (label ^ ": costs differ between cache on and off");
+        let full_on = field out_on "full_evals" in
+        let full_off = field out_off "full_evals" in
+        let incr_on = field out_on "incremental_evals" in
+        let invalid = field out_on "coeff_invalidations" in
+        let dedup = field out_on "dedup_formulas" in
+        (* non-trivial = the baseline re-evaluated beyond its initial
+           per-result pass; there the cache must win outright *)
+        if full_off > Problem.num_results pb_off && full_on >= full_off then
+          failwith
+            (Printf.sprintf
+               "%s: incremental path did %d full evals, baseline %d" label
+               full_on full_off);
+        let speedup = if t_on > 0.0 then t_off /. t_on else 1.0 in
+        let nb = Problem.num_bases pb_on in
+        row "  %-22s %6d %11d %11d %11d %8d %7d %7.2fx\n" label nb full_off
+          full_on incr_on invalid dedup speedup;
+        Printf.sprintf
+          "    {\"solver\":%S,\"bases\":%d,\"results\":%d,\"feasible\":%b,\"cost\":%g,\"full_evals_baseline\":%d,\"full_evals_incremental\":%d,\"incremental_evals\":%d,\"coeff_invalidations\":%d,\"dedup_formulas\":%d,\"elapsed_s_baseline\":%g,\"elapsed_s_incremental\":%g,\"speedup\":%g,\"identical_outputs\":true}"
+          label nb (Problem.num_results pb_on)
+          (out_on.Optimize.Solver.solution <> None)
+          out_on.Optimize.Solver.cost full_off full_on incr_on invalid dedup
+          t_off t_on speedup)
+      [
+        ("greedy", Optimize.Solver.greedy, fun i -> synth_point i);
+        ( "divide-and-conquer",
+          Optimize.Solver.divide_conquer,
+          fun i -> synth_point i );
+        ( "simulated-annealing",
+          Optimize.Solver.Annealing
+            {
+              Optimize.Annealing.default_config with
+              iterations = annealing_iters;
+            },
+          synth_point ~bpr:Synth.default_params.Synth.bases_per_result );
+        ( "heuristic(entangled)",
+          Optimize.Solver.Heuristic
+            { Optimize.Heuristic.default_config with max_nodes = bb_max_nodes },
+          fun incremental ->
+            entangled_problem ~incremental ~num_bases:12 ~num_results:10
+              ~width:5 ~required:4 ~seed:11 () );
+        ( "greedy(self-join x4)",
+          Optimize.Solver.greedy,
+          fun incremental ->
+            dup_problem ~incremental ~copies:4 ~size:(size / 2) ~seed:11 () );
+      ]
+  in
+  let oc = open_out incremental_json_path in
+  output_string oc "{\n  \"points\": [\n";
+  output_string oc (String.concat ",\n" entries);
+  output_string oc "\n  ]\n}\n";
+  close_out oc;
+  row "  wrote %d points to %s\n" (List.length entries) incremental_json_path
+
+(* ------------------------------------------------------------------ *)
 
 (* smoke: every panel at tiny sizes, cheap enough to run under `dune
    runtest` — keeps the harness and both JSON artifact writers honest *)
@@ -667,6 +832,8 @@ let smoke () =
   sweep_rewrite ~rows:40 ();
   sweep_jobs ~sizes:[ 500 ] ~jobs_levels:[ 1; 2 ] ~mc_samples:20_000 ();
   solvers_json ~size:200 ();
+  sweep_incremental ~size:200 ~annealing_iters:5_000
+    ~bb_max_nodes:(Some 5_000) ();
   micro ~quota:0.05 ~size:200 ()
 
 let all_panels ~full ~jobs_levels () =
@@ -684,6 +851,7 @@ let all_panels ~full ~jobs_levels () =
     ~sizes:(if full then [ 10_000; 50_000; 100_000 ] else [ 10_000 ])
     ~jobs_levels ();
   solvers_json ();
+  sweep_incremental ();
   micro ()
 
 let () =
@@ -730,6 +898,7 @@ let () =
         | "sweep-rewrite" -> sweep_rewrite ()
         | "sweep-jobs" -> sweep_jobs ~jobs_levels ()
         | "solvers-json" -> solvers_json ()
+        | "sweep-incremental" -> sweep_incremental ()
         | "smoke" -> smoke ()
         | "micro" -> micro ()
         | other -> Printf.eprintf "unknown panel %S\n" other)

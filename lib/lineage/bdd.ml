@@ -119,21 +119,36 @@ let rec apply m op cache unit_a absorb a b =
 let band m a b = apply m ( && ) m.and_cache true false a b
 let bor m a b = apply m ( || ) m.or_cache false true a b
 
-let of_formula m f =
+exception Size_cap_exceeded
+
+let of_formula ?size_cap m f =
   (* Intern all variables in sorted order first so the manager's variable
      order matches [m.order] for this formula. *)
   let vs = Tid.Set.elements (Formula.vars f) in
   let vs = List.sort m.order vs in
   List.iter (fun v -> ignore (intern m v)) vs;
+  (* With [size_cap], abort as soon as the construction has allocated that
+     many fresh nodes: a pathological formula whose OBDD blows up is
+     abandoned mid-build instead of paying the full exponential cost and
+     only then being discarded by the caller's size check.  The budget is
+     on *allocated* nodes (including intermediates later garbage), so it is
+     checked between combining steps, where [next_id] is current. *)
+  let start_id = m.next_id in
+  let check b =
+    (match size_cap with
+    | Some cap when m.next_id - start_id > cap -> raise Size_cap_exceeded
+    | _ -> ());
+    b
+  in
   let rec go = function
     | Formula.True -> Leaf true
     | Formula.False -> Leaf false
     | Formula.Var v -> var m v
-    | Formula.Not g -> bnot m (go g)
+    | Formula.Not g -> check (bnot m (go g))
     | Formula.And fs ->
-      List.fold_left (fun acc g -> band m acc (go g)) (Leaf true) fs
+      List.fold_left (fun acc g -> check (band m acc (go g))) (Leaf true) fs
     | Formula.Or fs ->
-      List.fold_left (fun acc g -> bor m acc (go g)) (Leaf false) fs
+      List.fold_left (fun acc g -> check (bor m acc (go g))) (Leaf false) fs
   in
   go f
 

@@ -28,8 +28,19 @@ val bnot : manager -> t -> t
 val band : manager -> t -> t -> t
 val bor : manager -> t -> t -> t
 
-val of_formula : manager -> Formula.t -> t
-(** [of_formula m f] compiles [f] bottom-up. *)
+exception Size_cap_exceeded
+(** Raised by {!of_formula} when a [size_cap] budget runs out. *)
+
+val of_formula : ?size_cap:int -> manager -> Formula.t -> t
+(** [of_formula m f] compiles [f] bottom-up.
+
+    [size_cap] bounds the number of fresh nodes the construction may
+    allocate in [m]; when exceeded, {!Size_cap_exceeded} is raised
+    immediately instead of completing an exponentially large build the
+    caller would only discard.  The budget counts {e allocations} during
+    this call (including intermediate nodes that end up unreachable from
+    the final root), so callers wanting a final {!size} of at most [n]
+    should pass a small multiple of [n] as headroom. *)
 
 val equal : t -> t -> bool
 (** Constant time thanks to hash-consing: semantic equivalence of BDDs

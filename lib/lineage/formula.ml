@@ -28,6 +28,22 @@ let rec compare a b =
 
 let equal a b = compare a b = 0
 
+(* Structural hash, consistent with [equal]: equal formulas hash equally.
+   Unlike the polymorphic [Hashtbl.hash] it folds over the *whole* tree, so
+   deep formulas that differ only far from the root still get distinct
+   hashes — the property the hash-consing dedup in [Optimize.Problem]
+   relies on to bucket structurally equal lineage together. *)
+let hash f =
+  let rec go acc = function
+    | True -> (acc * 31) + 1
+    | False -> (acc * 31) + 2
+    | Var v -> (((acc * 31) + 3) * 31) + Tid.hash v
+    | Not g -> go ((acc * 31) + 5) g
+    | And fs -> List.fold_left go ((acc * 31) + 7) fs
+    | Or fs -> List.fold_left go ((acc * 31) + 11) fs
+  in
+  go 0 f land max_int
+
 (* Deduplicate a sorted-insertion list while preserving first-occurrence
    order; n is small in practice (lineage width). *)
 let dedup fs =
@@ -200,3 +216,12 @@ let to_string f =
   Buffer.contents buf
 
 let pp ppf f = Format.pp_print_string ppf (to_string f)
+
+module Hashed = struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end
+
+module Table = Hashtbl.Make (Hashed)

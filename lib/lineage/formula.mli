@@ -36,6 +36,11 @@ val neg : t -> t
 val compare : t -> t -> int
 val equal : t -> t -> bool
 
+val hash : t -> int
+(** Structural hash consistent with {!equal} ([equal a b] implies
+    [hash a = hash b]).  Folds over the whole tree — linear in {!size} —
+    unlike the depth-bounded polymorphic [Hashtbl.hash]. *)
+
 val vars : t -> Tid.Set.t
 (** [vars f] is the set of base tuples mentioned by [f]. *)
 
@@ -75,3 +80,8 @@ val to_string : t -> string
 (** Human-readable infix form, e.g. ["(Proposal#2 | Proposal#3) & Info#1"]. *)
 
 val pp : Format.formatter -> t -> unit
+
+module Table : Hashtbl.S with type key = t
+(** Hash tables keyed by formula {e structure} ({!equal} + {!hash}) — the
+    building block for hash-consing structurally equal lineage (self-joins
+    and grouped outputs produce many duplicates). *)

@@ -9,12 +9,13 @@ let rec read_once p = function
     1.0 -. List.fold_left (fun acc f -> acc *. (1.0 -. read_once p f)) 1.0 fs
 
 (* Variables occurring in more than one sibling subformula.  When there are
-   none, siblings are independent and probabilities compose directly. *)
-let shared_vars fs =
+   none, siblings are independent and probabilities compose directly.
+   [vars_of] is the caller's (memoized) variable-set function. *)
+let shared_vars vars_of fs =
   let seen = ref Tid.Set.empty and shared = ref Tid.Set.empty in
   List.iter
     (fun f ->
-      let vs = Formula.vars f in
+      let vs = vars_of f in
       shared := Tid.Set.union !shared (Tid.Set.inter !seen vs);
       seen := Tid.Set.union !seen vs)
     fs;
@@ -22,13 +23,13 @@ let shared_vars fs =
 
 (* Pick the variable occurring in the largest number of sibling subformulas:
    expanding on it maximally decouples the rest. *)
-let most_shared fs shared =
+let most_shared vars_of fs shared =
   let best = ref None and best_count = ref 0 in
   Tid.Set.iter
     (fun v ->
       let count =
         List.fold_left
-          (fun acc f -> if Tid.Set.mem v (Formula.vars f) then acc + 1 else acc)
+          (fun acc f -> if Tid.Set.mem v (vars_of f) then acc + 1 else acc)
           0 fs
       in
       if count > !best_count then begin
@@ -40,6 +41,29 @@ let most_shared fs shared =
 
 let exact p f =
   let memo : (Formula.t, float) Hashtbl.t = Hashtbl.create 64 in
+  (* Variable sets are needed at every decomposition step for every sibling;
+     recomputing them bottom-up each time is quadratic in the tree.  One
+     memo table per [exact] call caches them per subformula — restriction
+     rebuilds syntactically equal subtrees, so structural keying shares the
+     sets across Shannon branches too. *)
+  let vars_memo : (Formula.t, Tid.Set.t) Hashtbl.t = Hashtbl.create 64 in
+  let rec vars_of f =
+    match f with
+    | Formula.True | Formula.False -> Tid.Set.empty
+    | Formula.Var v -> Tid.Set.singleton v
+    | Formula.Not g -> vars_of g
+    | Formula.And fs | Formula.Or fs -> (
+      match Hashtbl.find_opt vars_memo f with
+      | Some s -> s
+      | None ->
+        let s =
+          List.fold_left
+            (fun acc g -> Tid.Set.union acc (vars_of g))
+            Tid.Set.empty fs
+        in
+        Hashtbl.add vars_memo f s;
+        s)
+  in
   let rec go f =
     match f with
     | Formula.True -> 1.0
@@ -54,7 +78,7 @@ let exact p f =
         Hashtbl.add memo f r;
         r)
   and go_nary f fs =
-    let shared = shared_vars fs in
+    let shared = shared_vars vars_of fs in
     if Tid.Set.is_empty shared then
       match f with
       | Formula.And _ -> List.fold_left (fun acc g -> acc *. go g) 1.0 fs
@@ -62,7 +86,7 @@ let exact p f =
         1.0 -. List.fold_left (fun acc g -> acc *. (1.0 -. go g)) 1.0 fs
       | _ -> assert false
     else begin
-      let v = most_shared fs shared in
+      let v = most_shared vars_of fs shared in
       let pv = p v in
       let f1 = Formula.restrict v true f and f0 = Formula.restrict v false f in
       (pv *. go f1) +. ((1.0 -. pv) *. go f0)

@@ -25,6 +25,8 @@ type stats = {
   uphill_accepts : int;  (** accepted moves that increased the energy *)
   restarts : int;
   final_temperature : float;  (** temperature when the last walk ended *)
+  evals : State.evals;  (** summed over all restarts' walk states *)
+  dedup_formulas : int;
 }
 
 let empty_stats =
@@ -34,6 +36,8 @@ let empty_stats =
     uphill_accepts = 0;
     restarts = 0;
     final_temperature = 0.0;
+    evals = State.no_evals;
+    dedup_formulas = 0;
   }
 
 type outcome = {
@@ -163,6 +167,7 @@ let solve ?(config = default_config) ?metrics problem =
   let total_uphill = ref 0 in
   let restarts_run = ref 0 in
   let last_temperature = ref config.initial_temperature in
+  let total_evals = ref State.no_evals in
   for r = 0 to max 0 (config.restarts - 1) do
     let rng = Sm.of_int (config.seed + (r * 7919)) in
     let st, accepted, rejected, uphill, final_temp = walk config problem rng in
@@ -170,6 +175,7 @@ let solve ?(config = default_config) ?metrics problem =
     total_accepted := !total_accepted + accepted;
     total_rejected := !total_rejected + rejected;
     total_uphill := !total_uphill + uphill;
+    total_evals := State.add_evals !total_evals (State.evals st);
     last_temperature := final_temp;
     let better =
       match !best with
@@ -190,6 +196,8 @@ let solve ?(config = default_config) ?metrics problem =
       uphill_accepts = !total_uphill;
       restarts = !restarts_run;
       final_temperature = !last_temperature;
+      evals = !total_evals;
+      dedup_formulas = Problem.dedup_formulas problem;
     }
   in
   (match metrics with
@@ -198,7 +206,10 @@ let solve ?(config = default_config) ?metrics problem =
     Obs.Metrics.incr m ~by:!total_accepted "annealing.accepted_moves";
     Obs.Metrics.incr m ~by:!total_rejected "annealing.rejected_moves";
     Obs.Metrics.incr m ~by:!total_uphill "annealing.uphill_accepts";
-    Obs.Metrics.incr m ~by:!restarts_run "annealing.restarts");
+    Obs.Metrics.incr m ~by:!restarts_run "annealing.restarts";
+    State.record_evals m !total_evals;
+    Obs.Metrics.observe m "problem.dedup_formulas"
+      (float_of_int (Problem.dedup_formulas problem)));
   match !best with
   | None ->
     {

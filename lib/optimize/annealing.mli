@@ -37,6 +37,9 @@ type stats = {
           Metropolis rule buys; collapses towards 0 as the walk cools *)
   restarts : int;  (** walks actually run *)
   final_temperature : float;  (** temperature when the last walk ended *)
+  evals : State.evals;
+      (** lineage-evaluation counters summed over all restarts *)
+  dedup_formulas : int;  (** {!Problem.dedup_formulas} of the instance *)
 }
 
 val empty_stats : stats

@@ -28,6 +28,8 @@ type stats = {
   mean_group_size : float;
   repair_iterations : int;  (** greedy increments spent closing the quota gap *)
   swaps_applied : int;  (** local-search group replacements kept *)
+  evals : State.evals;  (** group sub-solves plus the global combine state *)
+  dedup_formulas : int;  (** of the global instance *)
 }
 
 let empty_stats =
@@ -40,6 +42,8 @@ let empty_stats =
     mean_group_size = 0.0;
     repair_iterations = 0;
     swaps_applied = 0;
+    evals = State.no_evals;
+    dedup_formulas = 0;
   }
 
 type outcome = {
@@ -83,6 +87,7 @@ let subproblem config problem members group_bids =
   in
   Problem.make_exn
     ~delta:(Problem.delta problem)
+    ~incremental:(Problem.incremental problem)
     ~beta:(Problem.beta problem)
     ~required ~bases ~formulas ()
 
@@ -127,6 +132,7 @@ type group_outcome = {
   g_solution : (Tid.t * float) list;
   g_heuristic : bool;  (** the branch-and-bound refinement ran *)
   g_metrics : Obs.Metrics.t option;
+  g_evals : State.evals;  (** greedy + branch-and-bound sub-solve evals *)
 }
 
 let solve_group config problem parts ~with_metrics ~now gid members =
@@ -136,7 +142,7 @@ let solve_group config problem parts ~with_metrics ~now gid members =
   let sub = subproblem config problem members group_bids in
   let greedy_out = Greedy.solve ~config:config.greedy ?metrics sub in
   let g_heuristic = List.length group_bids < config.tau in
-  let g_solution, g_cost =
+  let g_solution, g_cost, g_evals =
     if g_heuristic then begin
       let bound =
         if greedy_out.Greedy.feasible then Some greedy_out.Greedy.cost
@@ -152,18 +158,32 @@ let solve_group config problem parts ~with_metrics ~now gid members =
             }
           ?metrics sub
       in
+      let evals =
+        State.add_evals greedy_out.Greedy.stats.Greedy.evals
+          h_out.Heuristic.stats.Heuristic.evals
+      in
       match h_out.Heuristic.solution with
       | Some s when h_out.Heuristic.cost < greedy_out.Greedy.cost ->
-        (s, h_out.Heuristic.cost)
-      | _ -> (greedy_out.Greedy.solution, greedy_out.Greedy.cost)
+        (s, h_out.Heuristic.cost, evals)
+      | _ -> (greedy_out.Greedy.solution, greedy_out.Greedy.cost, evals)
     end
-    else (greedy_out.Greedy.solution, greedy_out.Greedy.cost)
+    else
+      ( greedy_out.Greedy.solution,
+        greedy_out.Greedy.cost,
+        greedy_out.Greedy.stats.Greedy.evals )
   in
   (match (now, metrics) with
   | Some clock, Some m ->
     Obs.Metrics.observe m "dnc.group_solve_s" (clock () -. t0)
   | _ -> ());
-  { g_cost; g_members = members; g_solution; g_heuristic; g_metrics = metrics }
+  {
+    g_cost;
+    g_members = members;
+    g_solution;
+    g_heuristic;
+    g_metrics = metrics;
+    g_evals;
+  }
 
 let solve ?(config = default_config) ?metrics ?pool ?now problem =
   let parts = Partition.partition ~config:config.partition problem in
@@ -274,9 +294,13 @@ let solve ?(config = default_config) ?metrics ?pool ?now problem =
     { config.greedy with Greedy.selection = Greedy.Incremental }
   in
   let repair_iterations = ref 0 in
+  (* evals the repair greedy already reported to [metrics] (deltas per
+     [solve_state] call), so the final emission below does not recount them *)
+  let repair_evals = ref State.no_evals in
   if State.satisfied_count st < Problem.required problem then begin
     let out = Greedy.solve_state ~config:repair_config ?metrics st in
-    repair_iterations := !repair_iterations + out.Greedy.iterations
+    repair_iterations := !repair_iterations + out.Greedy.iterations;
+    repair_evals := State.add_evals !repair_evals out.Greedy.stats.Greedy.evals
   end;
   (* swap local search: partition-local quotas can strand effort in groups
      whose results are expensive to lift.  Tentatively zero out the worst
@@ -307,7 +331,9 @@ let solve ?(config = default_config) ?metrics ?pool ?now problem =
       List.iter (fun (tid, _) -> sync_base tid) solution;
       if State.satisfied_count st < Problem.required problem then begin
         let out = Greedy.solve_state ~config:repair_config ?metrics st in
-        repair_iterations := !repair_iterations + out.Greedy.iterations
+        repair_iterations := !repair_iterations + out.Greedy.iterations;
+        repair_evals :=
+          State.add_evals !repair_evals out.Greedy.stats.Greedy.evals
       end;
       if
         State.satisfied_count st >= Problem.required problem
@@ -326,6 +352,14 @@ let solve ?(config = default_config) ?metrics ?pool ?now problem =
   swap_loop 0 by_realized_cost;
   (* final polish: the paper's per-base delta rollback *)
   let rollbacks = refine st in
+  (* total evals: group sub-solves plus everything on the global combine
+     state (whose lifetime counters already include the repair passes) *)
+  let group_evals =
+    Array.fold_left
+      (fun acc g -> State.add_evals acc g.g_evals)
+      State.no_evals group_outcomes
+  in
+  let evals = State.add_evals group_evals (State.evals st) in
   let stats =
     {
       num_groups;
@@ -341,6 +375,8 @@ let solve ?(config = default_config) ?metrics ?pool ?now problem =
            /. float_of_int num_groups);
       repair_iterations = !repair_iterations;
       swaps_applied = !swaps_applied;
+      evals;
+      dedup_formulas = Problem.dedup_formulas problem;
     }
   in
   (match metrics with
@@ -350,7 +386,13 @@ let solve ?(config = default_config) ?metrics ?pool ?now problem =
     Obs.Metrics.incr m ~by:!heuristic_groups "dnc.heuristic_groups";
     Obs.Metrics.incr m ~by:rollbacks "dnc.rollbacks";
     Obs.Metrics.incr m ~by:!repair_iterations "dnc.repair_iterations";
-    Obs.Metrics.incr m ~by:!swaps_applied "dnc.swaps_applied");
+    Obs.Metrics.incr m ~by:!swaps_applied "dnc.swaps_applied";
+    (* group registries (merged above) and the repair greedy already
+       carry their own [state.*] increments; emit only the global combine
+       state's remainder *)
+    State.record_evals m (State.evals_since st !repair_evals);
+    Obs.Metrics.observe m "problem.dedup_formulas"
+      (float_of_int (Problem.dedup_formulas problem)));
   {
     solution = State.solution st;
     cost = State.cost st;

@@ -52,6 +52,11 @@ type stats = {
       (** greedy increments spent closing the proportional-quota shortfall
           (global repair plus swap-local-search repairs) *)
   swaps_applied : int;  (** local-search group replacements kept *)
+  evals : State.evals;
+      (** lineage-evaluation counters: group sub-solves plus the global
+          combine/repair/refine state, aggregated in group order (so the
+          totals are identical at any [jobs] level) *)
+  dedup_formulas : int;  (** {!Problem.dedup_formulas} of the global instance *)
 }
 
 val empty_stats : stats

@@ -15,6 +15,8 @@ type stats = {
   gain_evaluations : int;
   heap_pushes : int;
   stale_pops : int;
+  evals : State.evals;
+  dedup_formulas : int;
 }
 
 let empty_stats =
@@ -24,6 +26,8 @@ let empty_stats =
     gain_evaluations = 0;
     heap_pushes = 0;
     stale_pops = 0;
+    evals = State.no_evals;
+    dedup_formulas = 0;
   }
 
 (* selection-work counters threaded through both phase-1 variants *)
@@ -167,6 +171,9 @@ let solve_state ?(config = default_config) ?metrics st =
   let nb = Problem.num_bases problem in
   let last_gain = Array.make nb 0.0 in
   let cnt = { c_gain_evals = 0; c_heap_pushes = 0; c_stale_pops = 0 } in
+  (* counter snapshot: callers hand in already-used states (the D&C repair
+     pass), so the stats report this solve's delta, not lifetime totals *)
+  let evals0 = State.evals st in
   let iterations, feasible =
     match config.selection with
     | Full_rescan -> phase1_full_rescan config cnt st last_gain
@@ -175,6 +182,7 @@ let solve_state ?(config = default_config) ?metrics st =
   let rollbacks =
     if config.two_phase && feasible then phase2 st last_gain else 0
   in
+  let evals = State.evals_since st evals0 in
   let stats =
     {
       iterations;
@@ -182,6 +190,8 @@ let solve_state ?(config = default_config) ?metrics st =
       gain_evaluations = cnt.c_gain_evals;
       heap_pushes = cnt.c_heap_pushes;
       stale_pops = cnt.c_stale_pops;
+      evals;
+      dedup_formulas = Problem.dedup_formulas problem;
     }
   in
   (match metrics with
@@ -191,7 +201,8 @@ let solve_state ?(config = default_config) ?metrics st =
     Obs.Metrics.incr m ~by:rollbacks "greedy.rollbacks";
     Obs.Metrics.incr m ~by:cnt.c_gain_evals "greedy.gain_evaluations";
     Obs.Metrics.incr m ~by:cnt.c_heap_pushes "greedy.heap_pushes";
-    Obs.Metrics.incr m ~by:cnt.c_stale_pops "greedy.stale_pops");
+    Obs.Metrics.incr m ~by:cnt.c_stale_pops "greedy.stale_pops";
+    State.record_evals m evals);
   {
     solution = State.solution st;
     cost = State.cost st;
@@ -203,4 +214,9 @@ let solve_state ?(config = default_config) ?metrics st =
   }
 
 let solve ?config ?metrics problem =
+  (match metrics with
+  | None -> ()
+  | Some m ->
+    Obs.Metrics.observe m "problem.dedup_formulas"
+      (float_of_int (Problem.dedup_formulas problem)));
   solve_state ?config ?metrics (State.create problem)

@@ -36,6 +36,10 @@ type stats = {
           invalidated neighborhood *)
   heap_pushes : int;  (** incremental selection only *)
   stale_pops : int;  (** version-stamped entries discarded on pop *)
+  evals : State.evals;
+      (** lineage-evaluation counters for this solve (deltas when run via
+          {!solve_state} on an already-used state) *)
+  dedup_formulas : int;  (** {!Problem.dedup_formulas} of the instance *)
 }
 
 val empty_stats : stats

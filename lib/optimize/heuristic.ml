@@ -26,6 +26,8 @@ type stats = {
   h2_prunes : int;
   h3_prunes : int;
   h4_prunes : int;
+  evals : State.evals;
+  dedup_formulas : int;
 }
 
 let empty_stats =
@@ -37,6 +39,8 @@ let empty_stats =
     h2_prunes = 0;
     h3_prunes = 0;
     h4_prunes = 0;
+    evals = State.no_evals;
+    dedup_formulas = 0;
   }
 
 type outcome = {
@@ -205,6 +209,7 @@ let solve ?(config = default_config) ?metrics problem =
     with Node_budget_exhausted -> false
   in
   let cost = match !best_solution with Some _ -> !best_cost | None -> infinity in
+  let evals = State.evals st in
   let stats =
     {
       nodes = !nodes;
@@ -214,6 +219,8 @@ let solve ?(config = default_config) ?metrics problem =
       h2_prunes = !h2_prunes;
       h3_prunes = !h3_prunes;
       h4_prunes = !h4_prunes;
+      evals;
+      dedup_formulas = Problem.dedup_formulas problem;
     }
   in
   (match metrics with
@@ -224,5 +231,8 @@ let solve ?(config = default_config) ?metrics problem =
     Obs.Metrics.incr m ~by:!incumbent_prunes "heuristic.incumbent_prunes";
     Obs.Metrics.incr m ~by:!h2_prunes "heuristic.h2_prunes";
     Obs.Metrics.incr m ~by:!h3_prunes "heuristic.h3_prunes";
-    Obs.Metrics.incr m ~by:!h4_prunes "heuristic.h4_prunes");
+    Obs.Metrics.incr m ~by:!h4_prunes "heuristic.h4_prunes";
+    State.record_evals m evals;
+    Obs.Metrics.observe m "problem.dedup_formulas"
+      (float_of_int (Problem.dedup_formulas problem)));
   { solution = !best_solution; cost; optimal; nodes = !nodes; stats }

@@ -56,6 +56,10 @@ type stats = {
   h2_prunes : int;  (** right-sibling cuts (all affected already above β) *)
   h3_prunes : int;  (** infeasible-subtree cuts *)
   h4_prunes : int;  (** cheapest-future-step cost-bound cuts *)
+  evals : State.evals;
+      (** lineage-evaluation counters of the search state (H1/H3 scratch
+          evaluations bypass the state and are not counted) *)
+  dedup_formulas : int;  (** {!Problem.dedup_formulas} of the instance *)
 }
 
 val empty_stats : stats

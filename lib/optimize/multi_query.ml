@@ -73,6 +73,7 @@ type outcome = {
   satisfied_per_query : int list;
   feasible : bool;
   iterations : int;
+  evals : State.evals;
 }
 
 let solve ?(two_phase = true) t =
@@ -196,4 +197,8 @@ let solve ?(two_phase = true) t =
       Array.to_list (Array.map State.satisfied_count states);
     feasible = !feasible && all_satisfied ();
     iterations = !iterations;
+    evals =
+      Array.fold_left
+        (fun acc st -> State.add_evals acc (State.evals st))
+        State.no_evals states;
   }

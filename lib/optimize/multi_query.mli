@@ -28,6 +28,10 @@ type outcome = {
   satisfied_per_query : int list;  (** satisfied count per query, in order *)
   feasible : bool;  (** every query meets its requirement *)
   iterations : int;
+  evals : State.evals;
+      (** lineage-evaluation counters summed over the per-query states —
+          the joint gain* probes go through the same affine caches as the
+          single-query solvers *)
 }
 
 val solve : ?two_phase:bool -> t -> outcome

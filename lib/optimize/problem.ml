@@ -9,13 +9,24 @@ type t = {
   beta : float;
   required : int;
   delta : float;
+  incremental : bool;
   bases : base array;
   results : result_tuple array;
   base_index : int Tid.Table.t;
   results_of_base : int list array;
   bases_of_result : int list array;
+  (* Structurally equal formulas (self-joins, grouped outputs) are deduped
+     into evaluation *classes*: one compiled evaluator, one confidence
+     slot and one affine-coefficient cache per class, shared by all its
+     member results.  With [incremental = false] every result is its own
+     class and behavior is identical to the pre-dedup code. *)
+  class_of_result : int array; (* rid -> cid *)
+  class_members : int list array; (* cid -> member rids, ascending *)
+  classes_of_base : int list array; (* bid -> cids mentioning it, ascending *)
+  bases_of_class : int list array; (* cid -> bids of the class formula *)
+  dedup_formulas : int; (* results sharing another result's class *)
   compiled : (float array -> float) array;
-      (* per-result confidence evaluator over the bid-indexed level array *)
+      (* per-class confidence evaluator over the bid-indexed level array *)
 }
 
 (* Compile a formula into a closure over the level array.  Read-once
@@ -25,6 +36,11 @@ type t = {
    different assignments); pathological formulas whose BDD explodes fall
    back to per-call Shannon expansion. *)
 let bdd_size_cap = 10_000
+
+(* Allocation headroom for the OBDD build: the construction may allocate
+   intermediate nodes that the final reduced root does not reach, so the
+   early-abort budget is a multiple of the reachable-size cap. *)
+let bdd_construction_slack = 4
 
 let compile base_index formula =
   if Formula.is_read_once formula then begin
@@ -66,21 +82,32 @@ let compile base_index formula =
       Lineage.Prob.exact lookup formula
     in
     let manager = Lineage.Bdd.manager () in
-    let bdd = Lineage.Bdd.of_formula manager formula in
-    if Lineage.Bdd.size bdd > bdd_size_cap then shannon
-    else
-      fun levels ->
-        Lineage.Bdd.prob manager
-          (fun tid ->
-            match Tid.Table.find_opt base_index tid with
-            | Some bid -> levels.(bid)
-            | None -> 0.0)
-          bdd
+    (* Abort the OBDD build as soon as it allocates past the budget (a
+       pathological formula used to pay the full blowup and then discard
+       it); a completed build still goes through the reachable-size check
+       that decided the fallback before the early abort existed. *)
+    match
+      Lineage.Bdd.of_formula
+        ~size_cap:(bdd_size_cap * bdd_construction_slack)
+        manager formula
+    with
+    | exception Lineage.Bdd.Size_cap_exceeded -> shannon
+    | bdd ->
+      if Lineage.Bdd.size bdd > bdd_size_cap then shannon
+      else
+        fun levels ->
+          Lineage.Bdd.prob manager
+            (fun tid ->
+              match Tid.Table.find_opt base_index tid with
+              | Some bid -> levels.(bid)
+              | None -> 0.0)
+            bdd
   end
 
 let ( let* ) = Result.bind
 
-let make ?(delta = 0.1) ~beta ~required ~bases ~formulas () =
+let make ?(delta = 0.1) ?(incremental = true) ~beta ~required ~bases ~formulas
+    () =
   let* () =
     if not (beta >= 0.0 && beta <= 1.0) then
       Error (Printf.sprintf "beta %g outside [0,1]" beta)
@@ -148,27 +175,80 @@ let make ?(delta = 0.1) ~beta ~required ~bases ~formulas () =
   in
   Array.iteri (fun i l -> results_of_base.(i) <- List.rev l) results_of_base;
   Array.iteri (fun i l -> bases_of_result.(i) <- List.rev l) bases_of_result;
-  let compiled = Array.map (fun r -> compile base_index r.formula) results in
+  (* Evaluation classes: hash-cons structurally equal formulas so duplicate
+     results share one compiled evaluator (and, in State, one confidence
+     slot and one coefficient cache).  [incremental = false] keeps the
+     identity mapping — one class per result, exactly the old layout. *)
+  let nr = Array.length results in
+  let class_of_result = Array.make nr 0 in
+  let class_formulas =
+    if incremental then begin
+      let tbl : int Formula.Table.t = Formula.Table.create (max 16 nr) in
+      let rev_formulas = ref [] and count = ref 0 in
+      Array.iter
+        (fun r ->
+          match Formula.Table.find_opt tbl r.formula with
+          | Some cid -> class_of_result.(r.rid) <- cid
+          | None ->
+            let cid = !count in
+            incr count;
+            Formula.Table.add tbl r.formula cid;
+            rev_formulas := r.formula :: !rev_formulas;
+            class_of_result.(r.rid) <- cid)
+        results;
+      Array.of_list (List.rev !rev_formulas)
+    end
+    else begin
+      Array.iteri (fun rid _ -> class_of_result.(rid) <- rid) results;
+      Array.map (fun r -> r.formula) results
+    end
+  in
+  let num_classes = Array.length class_formulas in
+  let class_members = Array.make num_classes [] in
+  for rid = nr - 1 downto 0 do
+    let cid = class_of_result.(rid) in
+    class_members.(cid) <- rid :: class_members.(cid)
+  done;
+  let classes_of_base = Array.make (Array.length bases) [] in
+  let bases_of_class = Array.make num_classes [] in
+  Array.iteri
+    (fun cid f ->
+      Tid.Set.iter
+        (fun v ->
+          let bid = Tid.Table.find base_index v in
+          classes_of_base.(bid) <- cid :: classes_of_base.(bid);
+          bases_of_class.(cid) <- bid :: bases_of_class.(cid))
+        (Formula.vars f))
+    class_formulas;
+  Array.iteri (fun i l -> classes_of_base.(i) <- List.rev l) classes_of_base;
+  Array.iteri (fun i l -> bases_of_class.(i) <- List.rev l) bases_of_class;
+  let compiled = Array.map (compile base_index) class_formulas in
   Ok
     {
       beta;
       required;
       delta;
+      incremental;
       bases;
       results;
       base_index;
       results_of_base;
       bases_of_result;
+      class_of_result;
+      class_members;
+      classes_of_base;
+      bases_of_class;
+      dedup_formulas = nr - num_classes;
       compiled;
     }
 
-let make_exn ?delta ~beta ~required ~bases ~formulas () =
-  match make ?delta ~beta ~required ~bases ~formulas () with
+let make_exn ?delta ?incremental ~beta ~required ~bases ~formulas () =
+  match make ?delta ?incremental ~beta ~required ~bases ~formulas () with
   | Ok t -> t
   | Error msg -> invalid_arg ("Problem.make: " ^ msg)
 
-let of_query_results ?delta ?required ~theta ~beta ~cost_of ~cap_of db
-    (res : Relational.Eval.annotated) =
+let of_query_results ?delta ?incremental ?required ~theta ~beta ~cost_of
+    ~cap_of db (res : Relational.Eval.annotated) =
   let* () =
     if not (theta >= 0.0 && theta <= 1.0) then
       Error (Printf.sprintf "theta %g outside [0,1]" theta)
@@ -214,12 +294,13 @@ let of_query_results ?delta ?required ~theta ~beta ~cost_of ~cap_of db
         })
       (Tid.Set.elements tid_set)
   in
-  let* t = make ?delta ~beta ~required ~bases ~formulas () in
+  let* t = make ?delta ?incremental ~beta ~required ~bases ~formulas () in
   Ok (t, failing)
 
 let beta t = t.beta
 let required t = t.required
 let delta t = t.delta
+let incremental t = t.incremental
 let num_bases t = Array.length t.bases
 let num_results t = Array.length t.results
 let base t i = t.bases.(i)
@@ -229,8 +310,16 @@ let results t = t.results
 let bid_of_tid t tid = Tid.Table.find_opt t.base_index tid
 let results_of_base t i = t.results_of_base.(i)
 let bases_of_result t i = t.bases_of_result.(i)
+let num_classes t = Array.length t.compiled
+let class_of_result t rid = t.class_of_result.(rid)
+let class_members t cid = t.class_members.(cid)
+let classes_of_base t bid = t.classes_of_base.(bid)
+let bases_of_class t cid = t.bases_of_class.(cid)
+let dedup_formulas t = t.dedup_formulas
 
-let eval_result t levels rid = t.compiled.(rid) levels
+let eval_class t levels cid = t.compiled.(cid) levels
+
+let eval_result t levels rid = t.compiled.(t.class_of_result.(rid)) levels
 
 let grid_levels t bid =
   let b = t.bases.(bid) in

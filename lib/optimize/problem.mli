@@ -29,6 +29,7 @@ type t
 
 val make :
   ?delta:float ->
+  ?incremental:bool ->
   beta:float ->
   required:int ->
   bases:base list ->
@@ -38,10 +39,18 @@ val make :
 (** [make ~beta ~required ~bases ~formulas ()] validates and indexes an
     instance.  Every variable of every formula must be listed in [bases];
     [required] must be in [\[0, length formulas\]]; each base must satisfy
-    [0 <= p0 <= cap <= 1].  [delta] defaults to 0.1. *)
+    [0 <= p0 <= cap <= 1].  [delta] defaults to 0.1.
+
+    [incremental] (default [true]) enables the incremental-evaluation
+    machinery: structurally equal formulas are hash-consed into shared
+    {e evaluation classes} (see {!class_of_result}) and {!State.t} routes
+    single-base changes through affine coefficient caches.  [false] forces
+    the baseline layout — one class per result, every re-evaluation a full
+    compiled-evaluator call — used by the A/B bench panel and tests. *)
 
 val make_exn :
   ?delta:float ->
+  ?incremental:bool ->
   beta:float ->
   required:int ->
   bases:base list ->
@@ -51,6 +60,7 @@ val make_exn :
 
 val of_query_results :
   ?delta:float ->
+  ?incremental:bool ->
   ?required:int ->
   theta:float ->
   beta:float ->
@@ -72,6 +82,11 @@ val of_query_results :
 val beta : t -> float
 val required : t -> int
 val delta : t -> float
+
+val incremental : t -> bool
+(** Whether the incremental-evaluation machinery (dedup classes + affine
+    caches in {!State}) is enabled for this instance. *)
+
 val num_bases : t -> int
 val num_results : t -> int
 val base : t -> int -> base
@@ -86,12 +101,44 @@ val results_of_base : t -> int -> int list
 
 val bases_of_result : t -> int -> int list
 
+(** {1 Evaluation classes}
+
+    Structurally equal lineage formulas (self-joins, grouped outputs) are
+    deduplicated at {!make} time into shared evaluation classes: one
+    compiled evaluator per class, shared by every member result.  With
+    [~incremental:false] the mapping is the identity ([cid = rid]). *)
+
+val num_classes : t -> int
+
+val class_of_result : t -> int -> int
+(** Class of a result ([rid -> cid]). *)
+
+val class_members : t -> int -> int list
+(** Member results of a class, ascending rids (never empty). *)
+
+val classes_of_base : t -> int -> int list
+(** Classes whose formula mentions the base — the class-level inverted
+    index driving incremental re-evaluation (every member of each listed
+    class is affected). *)
+
+val bases_of_class : t -> int -> int list
+(** Bases mentioned by the class formula, ascending bids. *)
+
+val dedup_formulas : t -> int
+(** Number of results that share another result's class
+    ([num_results - num_classes]; [0] when [incremental] is off). *)
+
+val eval_class : t -> float array -> int -> float
+(** [eval_class t levels cid] evaluates one class's compiled formula over
+    the bid-indexed level array.  One call covers every member result. *)
+
 val eval_result : t -> float array -> int -> float
 (** [eval_result t levels rid] is the confidence of result [rid] when base
     [bid] has confidence [levels.(bid)].  Formulas are compiled once at
     {!make} time: read-once lineage evaluates in linear time directly over
     the array; entangled lineage falls back to exact Shannon expansion.
-    This is the hot path of every solver. *)
+    This is the hot path of every solver; equals
+    [eval_class t levels (class_of_result t rid)]. *)
 
 val grid_levels : t -> int -> float list
 (** [grid_levels t bid] is the increasing list of confidence levels the

@@ -34,6 +34,15 @@ type stats =
   | Divide_conquer_stats of Divide_conquer.stats
   | Annealing_stats of Annealing.stats
 
+(* trailing incremental-evaluation fields shared by every algorithm *)
+let eval_fields (e : State.evals) dedup =
+  [
+    ("incremental_evals", float_of_int e.State.incremental_evals);
+    ("full_evals", float_of_int e.State.full_evals);
+    ("coeff_invalidations", float_of_int e.State.coeff_invalidations);
+    ("dedup_formulas", float_of_int dedup);
+  ]
+
 let stats_fields = function
   | Heuristic_stats s ->
     [
@@ -45,6 +54,7 @@ let stats_fields = function
       ("h3_prunes", float_of_int s.Heuristic.h3_prunes);
       ("h4_prunes", float_of_int s.Heuristic.h4_prunes);
     ]
+    @ eval_fields s.Heuristic.evals s.Heuristic.dedup_formulas
   | Greedy_stats s ->
     [
       ("iterations", float_of_int s.Greedy.iterations);
@@ -53,6 +63,7 @@ let stats_fields = function
       ("heap_pushes", float_of_int s.Greedy.heap_pushes);
       ("stale_pops", float_of_int s.Greedy.stale_pops);
     ]
+    @ eval_fields s.Greedy.evals s.Greedy.dedup_formulas
   | Divide_conquer_stats s ->
     [
       ("groups", float_of_int s.Divide_conquer.num_groups);
@@ -64,6 +75,7 @@ let stats_fields = function
       ("repair_iterations", float_of_int s.Divide_conquer.repair_iterations);
       ("swaps_applied", float_of_int s.Divide_conquer.swaps_applied);
     ]
+    @ eval_fields s.Divide_conquer.evals s.Divide_conquer.dedup_formulas
   | Annealing_stats s ->
     [
       ("accepted_moves", float_of_int s.Annealing.accepted_moves);
@@ -72,6 +84,7 @@ let stats_fields = function
       ("restarts", float_of_int s.Annealing.restarts);
       ("final_temperature", s.Annealing.final_temperature);
     ]
+    @ eval_fields s.Annealing.evals s.Annealing.dedup_formulas
 
 let render_stats stats =
   String.concat " "

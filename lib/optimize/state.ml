@@ -13,12 +13,60 @@ type t = {
   cost_contrib : float array;
   mutable finite_cost : float;
   mutable infinite_contribs : int;
+  (* Affine-coefficient caches (empty arrays when the problem opts out).
+     Result confidence is multilinear in base levels under tuple
+     independence, so for a fixed assignment of the other variables it is
+     [a + b * x] in any one base's level.  Per class, one slot per
+     variable of its formula (ascending bids), held in flat parallel
+     arrays — the probe path is the solvers' innermost loop and must not
+     allocate.  A slot is valid iff its snapshot equals
+     [class_version - base_commits bid], the number of committed changes
+     to the class's *other* variables since computation (the cached
+     values only depend on those).
+
+     Coefficients are filled *lazily from observed points*, so a miss
+     costs one evaluation — never more than the non-incremental baseline
+     pays for the same request: the first evaluation at level [x0] is
+     cached as the point [(x0, f0)] ([coeff_b] = nan); a later request at
+     a sufficiently different level completes the pair [(a, b)] from the
+     two points, after which every request is a multiply-add. *)
+  incremental : bool;
+  class_version : int array; (* per class: committed changes to its vars *)
+  base_commits : int array; (* per base: committed level changes *)
+  coeff_bids : int array array; (* per class: its formula's bids, ascending *)
+  coeff_a : float array array; (* intercept — or the point value while
+                                  the slope is unknown *)
+  coeff_b : float array array; (* slope; nan = point-only slot *)
+  coeff_x : float array array; (* the point's level while point-only *)
+  coeff_snap : int array array; (* validity snapshot; min_int = empty *)
+  mutable probe_exact : bool; (* last class_conf_at came from the
+                                 evaluator, not the cache *)
+  mutable incremental_evals : int;
+  mutable full_evals : int;
+  mutable coeff_invalidations : int;
 }
+
+(* Results within [beta_eps] of the threshold are re-evaluated with the
+   full compiled evaluator: the affine form agrees with it only to float
+   tolerance, and the satisfied/unsatisfied decision (conf > beta) must be
+   identical to the baseline's.  Away from the band, the affine error
+   (~1e-13 at worst) cannot flip the strict comparison. *)
+let beta_eps = 1e-9
 
 let eval_result st rid = Problem.eval_result st.problem st.p rid
 
+let eval_class_full st cid =
+  st.full_evals <- st.full_evals + 1;
+  Problem.eval_class st.problem st.p cid
+
 let create problem =
   let nb = Problem.num_bases problem and nr = Problem.num_results problem in
+  let incremental = Problem.incremental problem in
+  let nc = if incremental then Problem.num_classes problem else 0 in
+  let coeff_bids =
+    Array.init nc (fun cid ->
+        Array.of_list (Problem.bases_of_class problem cid))
+  in
   let st =
     {
       problem;
@@ -29,26 +77,59 @@ let create problem =
       cost_contrib = Array.make nb 0.0;
       finite_cost = 0.0;
       infinite_contribs = 0;
+      incremental;
+      class_version = Array.make nc 0;
+      base_commits = Array.make (if incremental then nb else 0) 0;
+      coeff_bids;
+      coeff_a =
+        Array.map (fun bids -> Array.make (Array.length bids) 0.0) coeff_bids;
+      coeff_b =
+        Array.map (fun bids -> Array.make (Array.length bids) 0.0) coeff_bids;
+      coeff_x =
+        Array.map (fun bids -> Array.make (Array.length bids) 0.0) coeff_bids;
+      coeff_snap =
+        Array.map
+          (fun bids -> Array.make (Array.length bids) min_int)
+          coeff_bids;
+      probe_exact = false;
+      incremental_evals = 0;
+      full_evals = 0;
+      coeff_invalidations = 0;
     }
   in
   let beta = Problem.beta problem in
-  for rid = 0 to nr - 1 do
-    let c = eval_result st rid in
-    st.conf.(rid) <- c;
-    if c > beta then begin
-      st.sat.(rid) <- true;
-      st.satisfied <- st.satisfied + 1
-    end
-  done;
+  if incremental then
+    (* one evaluation per class, shared by every member result *)
+    for cid = 0 to Problem.num_classes problem - 1 do
+      let c = eval_class_full st cid in
+      let now_sat = c > beta in
+      List.iter
+        (fun rid ->
+          st.conf.(rid) <- c;
+          if now_sat then begin
+            st.sat.(rid) <- true;
+            st.satisfied <- st.satisfied + 1
+          end)
+        (Problem.class_members problem cid)
+    done
+  else
+    for rid = 0 to nr - 1 do
+      st.full_evals <- st.full_evals + 1;
+      let c = eval_result st rid in
+      st.conf.(rid) <- c;
+      if c > beta then begin
+        st.sat.(rid) <- true;
+        st.satisfied <- st.satisfied + 1
+      end
+    done;
   st
 
 let problem st = st.problem
 
 let base_level st bid = st.p.(bid)
 
-let refresh_result st rid =
+let set_result_conf st rid c =
   let beta = Problem.beta st.problem in
-  let c = eval_result st rid in
   st.conf.(rid) <- c;
   let now_sat = c > beta in
   if now_sat && not st.sat.(rid) then begin
@@ -59,6 +140,113 @@ let refresh_result st rid =
     st.sat.(rid) <- false;
     st.satisfied <- st.satisfied - 1
   end
+
+let refresh_result st rid =
+  st.full_evals <- st.full_evals + 1;
+  set_result_conf st rid (eval_result st rid)
+
+(* Index of [bid] in the ascending [bids] (the caller guarantees
+   membership: [bid] is a variable of the class's formula). *)
+let slot_of bids bid =
+  let lo = ref 0 and hi = ref (Array.length bids - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) lsr 1 in
+    if bids.(mid) < bid then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let eval_pinned st cid bid x =
+  let saved = st.p.(bid) in
+  st.p.(bid) <- x;
+  let f = eval_class_full st cid in
+  st.p.(bid) <- saved;
+  f
+
+(* Levels closer than [point_eps] are served from the cached point: the
+   slope is at most 1 in magnitude (confidence is affine over [0,1] with
+   both endpoints in [0,1]), so the value error is below [point_eps] —
+   inside the [beta_eps] fallback band whenever it could matter.  The
+   pair is only derived from two points at least [derive_eps] apart:
+   dividing by a smaller gap would amplify the evaluators' ~1e-16
+   rounding past the band (grid steps are far larger than this). *)
+let point_eps = 1e-12
+
+let derive_eps = 1e-4
+
+(* Confidence of class [cid] with [bid]'s level at [x] (other variables
+   at their current committed levels).  A cached slot is valid iff no
+   *other* variable of the class changed since it was filled:
+   [class_version - base_commits bid] counts exactly those commits, so a
+   matching snapshot is proof of validity — and conversely a fresh
+   computation under the same other-levels would produce the same
+   floats, which is what makes the cache transparent.  Sets
+   [probe_exact] so callers deciding satisfaction know whether to apply
+   the near-beta exact fallback. *)
+let class_conf_at st cid bid x =
+  let s = slot_of st.coeff_bids.(cid) bid in
+  let snap_now = st.class_version.(cid) - st.base_commits.(bid) in
+  let snaps = st.coeff_snap.(cid) in
+  if snaps.(s) <> snap_now then begin
+    (* stale or empty: one evaluation, cache the observed point *)
+    if snaps.(s) <> min_int then
+      st.coeff_invalidations <- st.coeff_invalidations + 1;
+    let f = eval_pinned st cid bid x in
+    st.coeff_a.(cid).(s) <- f;
+    st.coeff_b.(cid).(s) <- Float.nan;
+    st.coeff_x.(cid).(s) <- x;
+    snaps.(s) <- snap_now;
+    st.probe_exact <- true;
+    f
+  end
+  else begin
+    let b = st.coeff_b.(cid).(s) in
+    if Float.is_nan b then begin
+      let x0 = st.coeff_x.(cid).(s) and f0 = st.coeff_a.(cid).(s) in
+      let dx = x -. x0 in
+      if Float.abs dx <= point_eps then begin
+        st.incremental_evals <- st.incremental_evals + 1;
+        st.probe_exact <- false;
+        f0
+      end
+      else begin
+        let f = eval_pinned st cid bid x in
+        if Float.abs dx >= derive_eps then begin
+          let b = (f -. f0) /. dx in
+          st.coeff_b.(cid).(s) <- b;
+          st.coeff_a.(cid).(s) <- f -. (b *. x)
+        end
+        else begin
+          (* too close to derive a trustworthy slope: keep the fresher
+             point *)
+          st.coeff_a.(cid).(s) <- f;
+          st.coeff_x.(cid).(s) <- x
+        end;
+        st.probe_exact <- true;
+        f
+      end
+    end
+    else begin
+      st.incremental_evals <- st.incremental_evals + 1;
+      st.probe_exact <- false;
+      st.coeff_a.(cid).(s) +. (b *. x)
+    end
+  end
+
+(* Re-evaluate class [cid] after a committed change of [bid] to [p]:
+   at most one evaluation (O(1) once the slot holds a pair), with the
+   exact fallback near beta whenever the value came from the cache. *)
+let refresh_class st cid bid p =
+  let c = class_conf_at st cid bid p in
+  let c =
+    if
+      (not st.probe_exact)
+      && Float.abs (c -. Problem.beta st.problem) <= beta_eps
+    then eval_class_full st cid
+    else c
+  in
+  List.iter
+    (fun rid -> set_result_conf st rid c)
+    (Problem.class_members st.problem cid)
 
 let set_base st bid p =
   let b = Problem.base st.problem bid in
@@ -82,7 +270,18 @@ let set_base st bid p =
     else st.finite_cost <- st.finite_cost +. new_contrib;
     st.cost_contrib.(bid) <- new_contrib;
     st.p.(bid) <- p;
-    List.iter (refresh_result st) (Problem.results_of_base st.problem bid)
+    if st.incremental then begin
+      (* commit stamps first: [bid]'s own entries stay valid
+         (class_version - base_commits bid is unchanged), every other
+         variable's entries in the affected classes go stale *)
+      st.base_commits.(bid) <- st.base_commits.(bid) + 1;
+      let classes = Problem.classes_of_base st.problem bid in
+      List.iter
+        (fun cid -> st.class_version.(cid) <- st.class_version.(cid) + 1)
+        classes;
+      List.iter (fun cid -> refresh_class st cid bid p) classes
+    end
+    else List.iter (refresh_result st) (Problem.results_of_base st.problem bid)
   end
 
 (* Delta steps stay on the grid {p0 + k*delta} ∪ {cap}: a step down from a
@@ -153,12 +352,21 @@ let reset st =
     if st.p.(bid) <> p0 then set_base st bid p0
   done
 
+(* The inner probe of greedy selection and the multi-query combiner: with
+   the affine cache this is a coefficient lookup and one multiply-add —
+   the state is never touched (coefficient computation pins and restores
+   the level slot internally). *)
 let confidence_with_override st ~rid ~bid ~level =
-  let saved = st.p.(bid) in
-  st.p.(bid) <- level;
-  let f = Problem.eval_result st.problem st.p rid in
-  st.p.(bid) <- saved;
-  f
+  if st.incremental then
+    class_conf_at st (Problem.class_of_result st.problem rid) bid level
+  else begin
+    let saved = st.p.(bid) in
+    st.p.(bid) <- level;
+    st.full_evals <- st.full_evals + 1;
+    let f = Problem.eval_result st.problem st.p rid in
+    st.p.(bid) <- saved;
+    f
+  end
 
 let gain st bid ?(only_unsatisfied = false) dp =
   let b = Problem.base st.problem bid in
@@ -170,16 +378,67 @@ let gain st bid ?(only_unsatisfied = false) dp =
     if dcost <= 0.0 || Float.is_nan dcost || dcost = infinity then 0.0
     else begin
       let sum = ref 0.0 in
-      let saved = st.p.(bid) in
-      st.p.(bid) <- target;
-      List.iter
-        (fun rid ->
-          if not (only_unsatisfied && st.sat.(rid)) then begin
-            let f_new = Problem.eval_result st.problem st.p rid in
-            sum := !sum +. (f_new -. st.conf.(rid))
-          end)
-        (Problem.results_of_base st.problem bid);
-      st.p.(bid) <- saved;
+      if st.incremental then
+        (* same rid iteration order as the baseline, but each probe is an
+           affine lookup shared across the class's members *)
+        List.iter
+          (fun rid ->
+            if not (only_unsatisfied && st.sat.(rid)) then begin
+              let f_new = confidence_with_override st ~rid ~bid ~level:target in
+              sum := !sum +. (f_new -. st.conf.(rid))
+            end)
+          (Problem.results_of_base st.problem bid)
+      else begin
+        let saved = st.p.(bid) in
+        st.p.(bid) <- target;
+        List.iter
+          (fun rid ->
+            if not (only_unsatisfied && st.sat.(rid)) then begin
+              st.full_evals <- st.full_evals + 1;
+              let f_new = Problem.eval_result st.problem st.p rid in
+              sum := !sum +. (f_new -. st.conf.(rid))
+            end)
+          (Problem.results_of_base st.problem bid);
+        st.p.(bid) <- saved
+      end;
       !sum /. dcost
     end
   end
+
+let incremental_evals st = st.incremental_evals
+let full_evals st = st.full_evals
+let coeff_invalidations st = st.coeff_invalidations
+
+type evals = {
+  incremental_evals : int;
+  full_evals : int;
+  coeff_invalidations : int;
+}
+
+let no_evals = { incremental_evals = 0; full_evals = 0; coeff_invalidations = 0 }
+
+let evals (st : t) =
+  {
+    incremental_evals = st.incremental_evals;
+    full_evals = st.full_evals;
+    coeff_invalidations = st.coeff_invalidations;
+  }
+
+let evals_since (st : t) (e0 : evals) =
+  {
+    incremental_evals = st.incremental_evals - e0.incremental_evals;
+    full_evals = st.full_evals - e0.full_evals;
+    coeff_invalidations = st.coeff_invalidations - e0.coeff_invalidations;
+  }
+
+let add_evals a b =
+  {
+    incremental_evals = a.incremental_evals + b.incremental_evals;
+    full_evals = a.full_evals + b.full_evals;
+    coeff_invalidations = a.coeff_invalidations + b.coeff_invalidations;
+  }
+
+let record_evals m e =
+  Obs.Metrics.incr m ~by:e.incremental_evals "state.incremental_evals";
+  Obs.Metrics.incr m ~by:e.full_evals "state.full_evals";
+  Obs.Metrics.incr m ~by:e.coeff_invalidations "state.coeff_invalidations"

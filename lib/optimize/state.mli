@@ -9,7 +9,20 @@
 type t
 
 val create : Problem.t -> t
-(** Fresh state at the initial confidences. *)
+(** Fresh state at the initial confidences.  When the problem was built
+    with [~incremental:true] (the default), single-base updates are routed
+    through per-class {e affine coefficient caches}: result confidence is
+    multilinear in base levels, so for a fixed assignment of the other
+    variables it is [a + b * level] in any one base's level.  The
+    coefficients are filled lazily from observed evaluations — a cache
+    miss costs {e one} full evaluation (cached as a point), a later
+    request at a different level completes [(a, b)] from the two points —
+    so a state never evaluates more than the non-incremental baseline,
+    and every re-evaluation and probe against a base with a completed
+    pair is O(1) until a {e different} variable of the formula changes.
+    Results whose affine value lands within [1e-9] of β are re-evaluated
+    with the full compiled evaluator so satisfied / unsatisfied decisions
+    are identical to the non-incremental baseline. *)
 
 val problem : t -> Problem.t
 
@@ -68,3 +81,46 @@ val gain : t -> int -> ?only_unsatisfied:bool -> float -> float
     [only_unsatisfied] (default [false], the paper's definition) restricts
     the sum to results not yet above β.  Returns 0 when the base cannot be
     raised or the cost of the step is infinite. *)
+
+(** {1 Evaluation counters}
+
+    Monotone counters over the state's lifetime, for observability and the
+    incremental-vs-baseline bench panel.  Reading them never changes
+    behavior. *)
+
+val incremental_evals : t -> int
+(** Confidence probes served from a cached affine coefficient pair
+    (an O(1) multiply-add instead of a full lineage evaluation). *)
+
+val full_evals : t -> int
+(** Full compiled-evaluator calls (initial evaluation, coefficient
+    computation, β-neighborhood fallbacks — and, with incremental
+    evaluation off, every re-evaluation and probe). *)
+
+val coeff_invalidations : t -> int
+(** Cached coefficient pairs found stale (a different variable of the
+    class's formula had changed) and recomputed. *)
+
+type evals = {
+  incremental_evals : int;
+  full_evals : int;
+  coeff_invalidations : int;
+}
+(** The three counters as one value, for solver [stats] records. *)
+
+val no_evals : evals
+
+val evals : t -> evals
+(** Current totals. *)
+
+val evals_since : t -> evals -> evals
+(** [evals_since st e0] is the per-field difference between the current
+    totals and the earlier snapshot [e0] — solvers that operate on a
+    caller-supplied state (e.g. the divide-and-conquer repair pass calling
+    {!Greedy.solve_state}) report deltas, not lifetime totals. *)
+
+val add_evals : evals -> evals -> evals
+
+val record_evals : Obs.Metrics.t -> evals -> unit
+(** Bump the [state.incremental_evals] / [state.full_evals] /
+    [state.coeff_invalidations] counters of a metrics registry. *)

@@ -101,7 +101,7 @@ let required_of ~theta ~beta bases formulas =
   let want = int_of_float (ceil (theta *. float_of_int n)) in
   max 0 (min (n - satisfied) (want - satisfied))
 
-let instance ?pool ?(params = default_params) ~seed () =
+let instance ?pool ?(params = default_params) ?incremental ~seed () =
   let rng = Sm.of_int seed in
   let num_results =
     max 4
@@ -119,14 +119,15 @@ let instance ?pool ?(params = default_params) ~seed () =
       ~bases_per_result:params.bases_per_result
   in
   let required = required_of ~theta:params.theta ~beta:params.beta bases formulas in
-  Optimize.Problem.make_exn ~delta:params.delta ~beta:params.beta ~required
-    ~bases ~formulas ()
+  Optimize.Problem.make_exn ~delta:params.delta ?incremental ~beta:params.beta
+    ~required ~bases ~formulas ()
 
 let small_instance ?(num_bases = 10) ?(num_results = 8) ?(required = 3)
-    ?(beta = 0.6) ?(bases_per_result = 5) ~seed () =
+    ?(beta = 0.6) ?(bases_per_result = 5) ?incremental ~seed () =
   let rng = Sm.of_int seed in
   let bases = make_bases rng ~count:num_bases ~p0_lo:0.05 ~p0_hi:0.15 in
   let formulas =
     make_formulas rng ~bases ~num_results ~bases_per_result
   in
-  Optimize.Problem.make_exn ~delta:0.1 ~beta ~required ~bases ~formulas ()
+  Optimize.Problem.make_exn ~delta:0.1 ?incremental ~beta ~required ~bases
+    ~formulas ()

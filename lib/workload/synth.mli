@@ -32,14 +32,18 @@ val table4 : params -> (string * string) list
 (** Parameter table (name, value) as printed by the bench harness. *)
 
 val instance :
-  ?pool:Exec.Pool.t -> ?params:params -> seed:int -> unit -> Optimize.Problem.t
+  ?pool:Exec.Pool.t -> ?params:params -> ?incremental:bool -> seed:int ->
+  unit -> Optimize.Problem.t
 (** [instance ~seed ()] generates one deterministic instance.  With
     [pool], per-result lineage DAGs are generated in parallel from
     pre-split generator streams (fixed chunk size), so the instance is
-    {e identical} to the sequential one for the same seed. *)
+    {e identical} to the sequential one for the same seed.  [incremental]
+    is forwarded to {!Optimize.Problem.make} — the incremental-vs-baseline
+    bench panel generates the same seed twice, once per setting. *)
 
 val small_instance :
   ?num_bases:int -> ?num_results:int -> ?required:int -> ?beta:float ->
-  ?bases_per_result:int -> seed:int -> unit -> Optimize.Problem.t
+  ?bases_per_result:int -> ?incremental:bool -> seed:int -> unit ->
+  Optimize.Problem.t
 (** The Fig. 11 (a)/(d) micro-instance: 10 base tuples, 8 results of 5
     base tuples each, at least 3 results above β=0.6. *)
