@@ -22,6 +22,10 @@
      sweep-incremental  A/B of incremental confidence re-evaluation
                    (affine coefficient caches + lineage dedup) vs the
                    forced-off baseline; writes BENCH_incremental.json
+     sweep-resilience  solve-latency distribution with a wall deadline
+                   vs unbounded, over many seeds: the deadline bounds
+                   the tail (p99) while every partial answer stays
+                   feasible; writes BENCH_resilience.json
      smoke       every panel at tiny sizes (run by `dune runtest`)
      micro       Bechamel micro-benchmarks of the hot paths
 
@@ -817,6 +821,110 @@ let sweep_incremental ?(size = 1000) ?(bases_per_result = 25)
 
 (* ------------------------------------------------------------------ *)
 
+(* sweep-resilience: the deadline's contract, measured.  Solve many
+   seeded instances twice — unbounded, and under a wall deadline — and
+   compare the latency distributions.  The deadline must bound the tail
+   (p99) at roughly the budget, and every deadline-cut answer that
+   reports a solution must still be feasible (degraded optimality, never
+   degraded compliance).  Writes BENCH_resilience.json. *)
+
+let resilience_json_path = "BENCH_resilience.json"
+
+let percentile xs p =
+  match xs with
+  | [] -> nan
+  | _ ->
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    let n = Array.length a in
+    let i = int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1 in
+    a.(max 0 (min (n - 1) i))
+
+let sweep_resilience ?(size = 2000) ?(seeds = 20) ?(deadline_ms = 100.0) () =
+  header
+    (Printf.sprintf
+       "sweep-resilience: solve latency, %gms wall deadline vs unbounded"
+       deadline_ms);
+  row "  %-6s %14s %14s %10s %10s\n" "seed" "unbounded(ms)" "deadline(ms)"
+    "partial" "feasible";
+  let solve ~ms problem =
+    let deadline =
+      match ms with
+      | None -> Resilience.Deadline.never
+      | Some ms -> Resilience.Deadline.wall_ms ms
+    in
+    time (fun () ->
+        Optimize.Solver.solve ~algorithm:Optimize.Solver.divide_conquer
+          ~deadline problem)
+  in
+  let entries =
+    List.init seeds (fun i ->
+        let seed = 100 + i in
+        let problem =
+          Synth.instance
+            ~params:{ Synth.default_params with data_size = size }
+            ~seed ()
+        in
+        let out_u, t_u = solve ~ms:None problem in
+        let out_d, t_d = solve ~ms:(Some deadline_ms) problem in
+        let partial =
+          match out_d.Optimize.Solver.resolution with
+          | Optimize.Solver.Complete -> false
+          | Optimize.Solver.Partial _ -> true
+        in
+        (* the resilience contract: a reported solution is feasible even
+           when the deadline cut the solve short *)
+        (match out_d.Optimize.Solver.solution with
+        | Some _
+          when List.length out_d.Optimize.Solver.satisfied
+               < Problem.required problem ->
+          failwith
+            (Printf.sprintf
+               "seed %d: deadline-cut solution is infeasible (%d < %d)" seed
+               (List.length out_d.Optimize.Solver.satisfied)
+               (Problem.required problem))
+        | _ -> ());
+        row "  %-6d %14.2f %14.2f %10b %10b\n" seed (1000.0 *. t_u)
+          (1000.0 *. t_d) partial
+          (out_d.Optimize.Solver.solution <> None);
+        ( t_u,
+          t_d,
+          partial,
+          Printf.sprintf
+            "    \
+             {\"seed\":%d,\"elapsed_unbounded_s\":%g,\"elapsed_deadline_s\":%g,\"partial\":%b,\"feasible_unbounded\":%b,\"feasible_deadline\":%b}"
+            seed t_u t_d partial
+            (out_u.Optimize.Solver.solution <> None)
+            (out_d.Optimize.Solver.solution <> None) ))
+  in
+  let t_us = List.map (fun (t, _, _, _) -> t) entries in
+  let t_ds = List.map (fun (_, t, _, _) -> t) entries in
+  let partials =
+    List.length (List.filter (fun (_, _, p, _) -> p) entries)
+  in
+  let p50_u = percentile t_us 50.0 and p99_u = percentile t_us 99.0 in
+  let p50_d = percentile t_ds 50.0 and p99_d = percentile t_ds 99.0 in
+  row "  p50: unbounded %.2fms, deadline %.2fms\n" (1000.0 *. p50_u)
+    (1000.0 *. p50_d);
+  row "  p99: unbounded %.2fms, deadline %.2fms (budget %gms), %d/%d partial\n"
+    (1000.0 *. p99_u) (1000.0 *. p99_d) deadline_ms partials seeds;
+  let oc = open_out resilience_json_path in
+  Printf.fprintf oc "{\n  \"deadline_ms\": %g,\n  \"points\": [\n" deadline_ms;
+  output_string oc
+    (String.concat ",\n" (List.map (fun (_, _, _, j) -> j) entries));
+  Printf.fprintf oc
+    "\n\
+    \  ],\n\
+    \  \"summary\": {\"p50_unbounded_s\": %g, \"p99_unbounded_s\": %g, \
+     \"p50_deadline_s\": %g, \"p99_deadline_s\": %g, \"partials\": %d, \
+     \"seeds\": %d}\n\
+     }\n"
+    p50_u p99_u p50_d p99_d partials seeds;
+  close_out oc;
+  row "  wrote %d points to %s\n" seeds resilience_json_path
+
+(* ------------------------------------------------------------------ *)
+
 (* smoke: every panel at tiny sizes, cheap enough to run under `dune
    runtest` — keeps the harness and both JSON artifact writers honest *)
 let smoke () =
@@ -834,6 +942,7 @@ let smoke () =
   solvers_json ~size:200 ();
   sweep_incremental ~size:200 ~annealing_iters:5_000
     ~bb_max_nodes:(Some 5_000) ();
+  sweep_resilience ~size:200 ~seeds:3 ~deadline_ms:5.0 ();
   micro ~quota:0.05 ~size:200 ()
 
 let all_panels ~full ~jobs_levels () =
@@ -852,6 +961,7 @@ let all_panels ~full ~jobs_levels () =
     ~jobs_levels ();
   solvers_json ();
   sweep_incremental ();
+  sweep_resilience ();
   micro ()
 
 let () =
@@ -899,6 +1009,7 @@ let () =
         | "sweep-jobs" -> sweep_jobs ~jobs_levels ()
         | "solvers-json" -> solvers_json ()
         | "sweep-incremental" -> sweep_incremental ()
+        | "sweep-resilience" -> sweep_resilience ()
         | "smoke" -> smoke ()
         | "micro" -> micro ()
         | other -> Printf.eprintf "unknown panel %S\n" other)

@@ -160,8 +160,13 @@ let with_obs ~trace ~metrics_out f =
         | Error _ -> result))
   end
 
+let deadline_spec_of_ms = function
+  | None -> Ok Resilience.Deadline.No_deadline
+  | Some ms when ms > 0.0 -> Ok (Resilience.Deadline.Wall_ms ms)
+  | Some ms -> Error (Printf.sprintf "--deadline-ms %g: need a positive budget" ms)
+
 let run_query workspace data_dir rbac_file policy_file costs_file user purpose
-    perc solver jobs apply trace metrics_out sql =
+    perc solver jobs deadline_ms mc_fallback apply trace metrics_out sql =
   let result =
     let* ctx =
       build_context workspace data_dir rbac_file policy_file costs_file solver
@@ -171,6 +176,8 @@ let run_query workspace data_dir rbac_file policy_file costs_file user purpose
       | None -> ctx
       | Some j -> { ctx with Pcqe.Engine.jobs = Exec.resolve_jobs ~jobs:j () }
     in
+    let* deadline = deadline_spec_of_ms deadline_ms in
+    let ctx = { ctx with Pcqe.Engine.deadline; mc_fallback } in
     with_obs ~trace ~metrics_out (fun obs ->
         let ctx = { ctx with Pcqe.Engine.obs } in
         let request =
@@ -232,9 +239,10 @@ let run_plan data_dir sql =
 (* ------------------------------------------------------------------ *)
 (* solve subcommand *)
 
-let run_solve size bpr seed beta theta solver jobs trace metrics_out =
+let run_solve size bpr seed beta theta solver jobs deadline_ms trace metrics_out =
   let result =
     let* solver = solver_of_string solver in
+    let* deadline_spec = deadline_spec_of_ms deadline_ms in
     let params =
       {
         Workload.Synth.default_params with
@@ -249,20 +257,30 @@ let run_solve size bpr seed beta theta solver jobs trace metrics_out =
     let problem = Workload.Synth.instance ?pool ~params ~seed () in
     Printf.printf "%s\n" (Optimize.Problem.to_string problem);
     with_obs ~trace ~metrics_out (fun obs ->
-    let out = Optimize.Solver.solve ~algorithm:solver ?obs ?pool problem in
+    let deadline = Resilience.Deadline.start deadline_spec in
+    let out =
+      Optimize.Solver.solve ~algorithm:solver ?obs ?pool ~deadline problem
+    in
+    let resolution =
+      match out.Optimize.Solver.resolution with
+      | Optimize.Solver.Complete -> "complete"
+      | Optimize.Solver.Partial { reason } ->
+        Printf.sprintf "partial (%s)" reason
+    in
     (match out.Optimize.Solver.solution with
     | Some increments ->
       Printf.printf
-        "solver: %s\nfeasible: yes\ncost: %.2f\nraised tuples: %d\nsatisfied results: %d\nelapsed: %.3fs\ndetail: %s\n"
+        "solver: %s\nfeasible: yes\nresolution: %s\ncost: %.2f\nraised tuples: %d\nsatisfied results: %d\nelapsed: %.3fs\ndetail: %s\n"
         (Optimize.Solver.algorithm_name solver)
-        out.Optimize.Solver.cost
+        resolution out.Optimize.Solver.cost
         (List.length increments)
         (List.length out.Optimize.Solver.satisfied)
         out.Optimize.Solver.elapsed_s out.Optimize.Solver.detail
     | None ->
-      Printf.printf "solver: %s\nfeasible: no\nelapsed: %.3fs\ndetail: %s\n"
+      Printf.printf
+        "solver: %s\nfeasible: no\nresolution: %s\nelapsed: %.3fs\ndetail: %s\n"
         (Optimize.Solver.algorithm_name solver)
-        out.Optimize.Solver.elapsed_s out.Optimize.Solver.detail);
+        resolution out.Optimize.Solver.elapsed_s out.Optimize.Solver.detail);
     (match (trace, obs) with
     | true, Some o -> print_string (Obs.report o)
     | _ -> ());
@@ -370,6 +388,16 @@ let jobs_arg =
            the PCQE_JOBS environment variable, else 1.  Results are \
            identical at every level.")
 
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Wall-clock budget in milliseconds.  On expiry the solver stops \
+           at its best-so-far feasible answer and the result is reported \
+           as partial (degraded) instead of running unbounded.")
+
 let trace_arg =
   Arg.(
     value & flag
@@ -426,13 +454,25 @@ let query_cmd =
       & info [ "apply" ]
           ~doc:"Accept the improvement proposal and show the improved answer.")
   in
+  let mc_fallback_arg =
+    Arg.(
+      value & flag
+      & info [ "mc-fallback" ]
+          ~doc:
+            "Confidence degradation ladder: when exact confidence \
+             computation is too expensive, fall back to a Monte-Carlo \
+             (epsilon, delta) interval.  Fail-closed: a result whose \
+             interval straddles the policy threshold is withheld and \
+             counted as ambiguous.")
+  in
   let doc = "run a SQL query under RBAC and confidence policies" in
   Cmd.v
     (Cmd.info "query" ~doc)
     Term.(
       const run_query $ workspace_arg $ data_opt_arg $ rbac_arg $ policy_arg
       $ costs_arg $ user_arg $ purpose_arg $ perc_arg $ solver_arg $ jobs_arg
-      $ apply_arg $ trace_arg $ metrics_out_arg $ sql_arg)
+      $ deadline_arg $ mc_fallback_arg $ apply_arg $ trace_arg
+      $ metrics_out_arg $ sql_arg)
 
 let plan_cmd =
   let doc = "print the relational-algebra plan of a SQL query" in
@@ -465,7 +505,7 @@ let solve_cmd =
     (Cmd.info "solve" ~doc)
     Term.(
       const run_solve $ size_arg $ bpr_arg $ seed_arg $ beta_arg $ theta_arg
-      $ solver_arg $ jobs_arg $ trace_arg $ metrics_out_arg)
+      $ solver_arg $ jobs_arg $ deadline_arg $ trace_arg $ metrics_out_arg)
 
 let repl_cmd =
   let ws_arg =

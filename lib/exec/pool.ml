@@ -83,10 +83,15 @@ let submit t task =
   Condition.signal t.has_work;
   Mutex.unlock t.mutex
 
+(* Chaos-testable injection point: models a worker task blowing up.  A
+   no-op unless the test suite armed a [Resilience.Fault] plan. *)
+let chunk_fault () = Resilience.Fault.hit Resilience.Fault.site_pool_chunk
+
 let run_chunks t ~chunks f =
   if chunks > 0 then begin
     if t.jobs = 1 || chunks = 1 then
       for i = 0 to chunks - 1 do
+        chunk_fault ();
         f i
       done
     else begin
@@ -116,7 +121,10 @@ let run_chunks t ~chunks f =
       let rec claim () =
         let i = Atomic.fetch_and_add next 1 in
         if i < chunks then begin
-          (try f i with e -> record i e);
+          (try
+             chunk_fault ();
+             f i
+           with e -> record i e);
           finish_one ();
           claim ()
         end

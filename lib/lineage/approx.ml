@@ -1,0 +1,54 @@
+type estimate =
+  | Exact of float
+  | Interval of { lo : float; hi : float; estimate : float; samples : int }
+  | Failed of string
+
+type mc = { eps : float; delta : float; seed : int; samples_cap : int }
+
+let default_mc = { eps = 0.02; delta = 1e-4; seed = 0; samples_cap = 2_000_000 }
+
+let samples_for mc =
+  if not (mc.eps > 0.0 && mc.eps < 1.0) then
+    invalid_arg (Printf.sprintf "Approx.samples_for: eps %g outside (0,1)" mc.eps);
+  if not (mc.delta > 0.0 && mc.delta < 1.0) then
+    invalid_arg
+      (Printf.sprintf "Approx.samples_for: delta %g outside (0,1)" mc.delta);
+  let n = ceil (log (2.0 /. mc.delta) /. (2.0 *. mc.eps *. mc.eps)) in
+  max 1 (min mc.samples_cap (int_of_float n))
+
+let exact_threshold = 4096
+
+let confidence ?pool ?(exact_node_cap = 20_000) ?(mc = default_mc) p f =
+  if Formula.is_read_once f then Exact (Prob.read_once p f)
+  else if Prob.shannon_cost_estimate f <= exact_threshold then
+    Exact (Prob.exact p f)
+  else begin
+    let m = Bdd.manager () in
+    match Bdd.of_formula ~size_cap:exact_node_cap m f with
+    | b -> Exact (Bdd.prob m p b)
+    | exception Bdd.Size_cap_exceeded -> (
+      let samples = samples_for mc in
+      (* per-formula stream: reproducible, order- and pool-independent *)
+      let rng = Prng.Splitmix.of_int (mc.seed lxor Formula.hash f) in
+      match Prob.monte_carlo ?pool rng ~samples p f with
+      | est ->
+        Interval
+          {
+            lo = Float.max 0.0 (est -. mc.eps);
+            hi = Float.min 1.0 (est +. mc.eps);
+            estimate = est;
+            samples;
+          }
+      | exception e ->
+        (* fail closed: an unanswerable confidence is a withheld tuple,
+           never a released one *)
+        Failed (Printexc.to_string e))
+  end
+
+let releasable ~beta = function
+  | Exact c -> if c > beta then `Release else `Withhold
+  | Interval { lo; hi; _ } ->
+    if lo > beta then `Release
+    else if hi > beta then `Ambiguous
+    else `Withhold
+  | Failed _ -> `Withhold

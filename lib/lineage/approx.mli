@@ -1,0 +1,76 @@
+(** Graceful degradation ladder for confidence computation.
+
+    Exact confidence is #P-hard in general: {!Prob.exact} is exponential
+    in entangled lineage and an OBDD build can blow past any size cap.
+    For a bounded-latency deployment the engine needs a confidence
+    answer it can {e act on} even when the exact tiers are too
+    expensive — and the compliance contract (release iff confidence
+    strictly above β) must never be weakened by the approximation.
+
+    The ladder tries, in order:
+
+    + {b read-once} — linear, exact ({!Prob.read_once});
+    + {b exact decomposition} — {!Prob.exact}, taken only when
+      {!Prob.shannon_cost_estimate} is small;
+    + {b OBDD} — {!Bdd.of_formula} under [exact_node_cap]
+      ({!Bdd.Size_cap_exceeded} aborts the build early);
+    + {b Monte-Carlo} — an (ε, δ) estimate: with [samples_for mc] worlds
+      a Hoeffding bound puts the true confidence inside
+      [estimate ± mc.eps] with probability at least [1 - mc.delta].
+
+    The first three tiers return [Exact]; the Monte-Carlo tier returns
+    an [Interval] — the caller decides {e conservatively} (fail-closed):
+    release only when the whole interval clears β, withhold when it
+    straddles.  If even sampling fails, [Failed] is returned and the
+    caller must withhold. *)
+
+type estimate =
+  | Exact of float  (** an exact tier answered *)
+  | Interval of { lo : float; hi : float; estimate : float; samples : int }
+      (** Monte-Carlo: true confidence in [\[lo, hi\]] with probability
+          [>= 1 - delta]; [estimate] is the point estimate. *)
+  | Failed of string
+      (** no tier could answer (e.g. the sampler itself raised); the
+          caller must treat the tuple as not releasable *)
+
+type mc = {
+  eps : float;  (** interval half-width, in (0, 1) *)
+  delta : float;  (** failure probability, in (0, 1) *)
+  seed : int;  (** base seed; each formula derives its own stream *)
+  samples_cap : int;  (** hard ceiling on the sample count *)
+}
+
+val default_mc : mc
+(** [eps = 0.02], [delta = 1e-4], [seed = 0], [samples_cap = 2_000_000]:
+    ~12.4k samples per formula. *)
+
+val samples_for : mc -> int
+(** Hoeffding sample size [⌈ln (2/δ) / (2 ε²)⌉], clamped to
+    [\[1, samples_cap\]]. *)
+
+val exact_threshold : int
+(** {!Prob.exact} is attempted only when
+    [Prob.shannon_cost_estimate f <= exact_threshold]. *)
+
+val confidence :
+  ?pool:Exec.Pool.t ->
+  ?exact_node_cap:int ->
+  ?mc:mc ->
+  (Tid.t -> float) ->
+  Formula.t ->
+  estimate
+(** [confidence p f] runs the ladder.  [exact_node_cap] (default
+    [20_000]) bounds the OBDD tier's node allocations; [mc] (default
+    {!default_mc}) parameterizes the sampling tier.  The Monte-Carlo
+    seed is derived from [mc.seed] and {!Formula.hash}[ f], so the
+    estimate for a given formula is reproducible and independent of
+    evaluation order and of [pool].  Never raises: any exception from
+    the sampling tier is converted to [Failed]. *)
+
+val releasable : beta:float -> estimate -> [ `Release | `Withhold | `Ambiguous ]
+(** The fail-closed decision rule: [`Release] iff the estimate proves
+    confidence strictly above [beta] ([Exact c] with [c > beta], or an
+    interval with [lo > beta]); [`Ambiguous] when an interval straddles
+    [beta] ([lo <= beta < hi] — the tuple is withheld and should be
+    counted separately); [`Withhold] otherwise (provably at-or-below
+    [beta], or [Failed]). *)

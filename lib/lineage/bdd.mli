@@ -40,7 +40,20 @@ val of_formula : ?size_cap:int -> manager -> Formula.t -> t
     caller would only discard.  The budget counts {e allocations} during
     this call (including intermediate nodes that end up unreachable from
     the final root), so callers wanting a final {!size} of at most [n]
-    should pass a small multiple of [n] as headroom. *)
+    should pass a small multiple of [n] as headroom.
+
+    Boundary contract (pinned by [test_bdd]): the cap is {e inclusive}.
+    The budget window opens {e after} the formula's variables are
+    interned (variable nodes never count), and the check runs between
+    combining steps, raising only when strictly {e more} than [size_cap]
+    fresh nodes have been allocated — a build that needs exactly
+    [size_cap] allocations succeeds, and [~size_cap:0] still compiles
+    constants and bare literals.  Consequently, if a build succeeds with
+    [~size_cap:c], it succeeds with every cap [>= c] and produces the
+    same BDD; if it raises at [c], it raises at every cap [< c].  On
+    [Size_cap_exceeded] the manager remains usable: already-interned
+    nodes are valid, but the partial allocations of the aborted build
+    are {e not} reclaimed. *)
 
 val equal : t -> t -> bool
 (** Constant time thanks to hash-consing: semantic equivalence of BDDs

@@ -119,6 +119,8 @@ let monte_carlo ?pool ?(chunk = 4096) rng ~samples p f =
   let num_chunks = (samples + chunk - 1) / chunk in
   let rngs = Prng.Splitmix.split_n rng num_chunks in
   let run_chunk ci =
+    (* chaos-testable injection point: models the sampler being cut off *)
+    Resilience.Fault.hit Resilience.Fault.site_prob_mc;
     let rng = rngs.(ci) in
     let n = min chunk (samples - (ci * chunk)) in
     let world = Tid.Table.create (List.length vars) in

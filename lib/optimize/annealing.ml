@@ -45,6 +45,7 @@ type outcome = {
   cost : float;
   satisfied : int list;
   feasible : bool;
+  stopped : string option;
   accepted_moves : int;
   stats : stats;
 }
@@ -87,7 +88,7 @@ let rollback st =
       done)
     (State.raised_bases st)
 
-let walk config problem rng =
+let walk config problem rng deadline =
   let st = State.create problem in
   let nb = Problem.num_bases problem in
   let nr = Problem.num_results problem in
@@ -105,8 +106,13 @@ let walk config problem rng =
   let best_energy = ref !current_energy in
   let best_snapshot = ref (State.snapshot st) in
   let temperature = ref config.initial_temperature in
-  if nb > 0 then
-    for _ = 1 to config.iterations do
+  if nb > 0 then begin
+    let moves = ref 0 in
+    while
+      !moves < config.iterations && not (Resilience.Deadline.expired deadline)
+    do
+      incr moves;
+      Resilience.Deadline.tick deadline;
       let bid = Sm.int rng nb in
       (* drift: push up while the requirement is unmet, down afterwards *)
       let up_bias =
@@ -154,12 +160,19 @@ let walk config problem rng =
         end
       end;
       temperature := !temperature *. config.cooling
-    done;
+    done
+  end;
   State.restore st !best_snapshot;
-  if State.satisfied_count st >= required then rollback st;
+  (* rollback is optimization, not correctness: skip it once the deadline
+     is gone (the restored best snapshot is already feasible or not) *)
+  if
+    State.satisfied_count st >= required
+    && not (Resilience.Deadline.expired deadline)
+  then rollback st;
   (st, !accepted, !rejected, !uphill, !temperature)
 
-let solve ?(config = default_config) ?metrics problem =
+let solve ?(config = default_config) ?metrics
+    ?(deadline = Resilience.Deadline.never) problem =
   let required = Problem.required problem in
   let best : (State.t * int) option ref = ref None in
   let total_accepted = ref 0 in
@@ -169,9 +182,13 @@ let solve ?(config = default_config) ?metrics problem =
   let last_temperature = ref config.initial_temperature in
   let total_evals = ref State.no_evals in
   for r = 0 to max 0 (config.restarts - 1) do
-    let rng = Sm.of_int (config.seed + (r * 7919)) in
-    let st, accepted, rejected, uphill, final_temp = walk config problem rng in
-    incr restarts_run;
+    (* an expired deadline skips the remaining restarts entirely *)
+    if not (Resilience.Deadline.expired deadline) then begin
+      let rng = Sm.of_int (config.seed + (r * 7919)) in
+      let st, accepted, rejected, uphill, final_temp =
+        walk config problem rng deadline
+      in
+      incr restarts_run;
     total_accepted := !total_accepted + accepted;
     total_rejected := !total_rejected + rejected;
     total_uphill := !total_uphill + uphill;
@@ -187,8 +204,14 @@ let solve ?(config = default_config) ?metrics problem =
         else if fp && not fc then false
         else State.cost st < State.cost prev
     in
-    if better then best := Some (st, accepted)
+      if better then best := Some (st, accepted)
+    end
   done;
+  let stopped =
+    if Resilience.Deadline.expired deadline then
+      Some (Resilience.Deadline.reason deadline)
+    else None
+  in
   let stats =
     {
       accepted_moves = !total_accepted;
@@ -217,6 +240,7 @@ let solve ?(config = default_config) ?metrics problem =
       cost = 0.0;
       satisfied = [];
       feasible = required = 0;
+      stopped;
       accepted_moves = 0;
       stats;
     }
@@ -227,6 +251,7 @@ let solve ?(config = default_config) ?metrics problem =
       cost = State.cost st;
       satisfied = State.satisfied_results st;
       feasible;
+      stopped;
       accepted_moves = accepted;
       stats;
     }

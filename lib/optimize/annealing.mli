@@ -49,10 +49,22 @@ type outcome = {
   cost : float;
   satisfied : int list;
   feasible : bool;
+  stopped : string option;
+      (** [Some reason] when the caller's deadline cut the walk short;
+          the best snapshot seen up to the cut is still returned (and
+          [feasible] reports whether it meets the quota) *)
   accepted_moves : int;  (** of the winning restart only *)
   stats : stats;
 }
 
-val solve : ?config:config -> ?metrics:Obs.Metrics.t -> Problem.t -> outcome
+val solve :
+  ?config:config ->
+  ?metrics:Obs.Metrics.t ->
+  ?deadline:Resilience.Deadline.t ->
+  Problem.t ->
+  outcome
 (** [metrics] additionally accumulates the same telemetry as
-    [annealing.*] counters. *)
+    [annealing.*] counters.  [deadline] (default
+    {!Resilience.Deadline.never}) is ticked once per move; expiry stops
+    the current walk at the next move, skips the remaining restarts and
+    the rollback polish, and reports [stopped]. *)

@@ -51,6 +51,7 @@ type outcome = {
   cost : float;
   satisfied : int list;
   feasible : bool;
+  stopped : string option;
   num_groups : int;
   heuristic_groups : int;
   rollbacks : int;
@@ -94,7 +95,7 @@ let subproblem config problem members group_bids =
 (* Phase-2 style rollback on the combined global state: walk raised bases
    in ascending current-gain* order and undo increments that are not
    needed to keep [required] results satisfied. *)
-let refine st =
+let refine deadline st =
   let problem = State.problem st in
   let required = Problem.required problem in
   let delta = Problem.delta problem in
@@ -109,7 +110,14 @@ let refine st =
   List.iter
     (fun bid ->
       let continue_ = ref true in
-      while !continue_ && State.satisfied_count st >= required do
+      (* rollback only strips redundant increments, so stopping on expiry
+         keeps the solution feasible *)
+      while
+        !continue_
+        && State.satisfied_count st >= required
+        && not (Resilience.Deadline.expired deadline)
+      do
+        Resilience.Deadline.tick deadline;
         if State.lower_by_delta st bid then
           if State.satisfied_count st < required then begin
             ignore (State.raise_by_delta st bid);
@@ -135,12 +143,12 @@ type group_outcome = {
   g_evals : State.evals;  (** greedy + branch-and-bound sub-solve evals *)
 }
 
-let solve_group config problem parts ~with_metrics ~now gid members =
+let solve_group config problem parts ~with_metrics ~now ~deadline gid members =
   let metrics = if with_metrics then Some (Obs.Metrics.create ()) else None in
   let t0 = match now with Some clock -> clock () | None -> 0.0 in
   let group_bids = parts.Partition.group_bases.(gid) in
   let sub = subproblem config problem members group_bids in
-  let greedy_out = Greedy.solve ~config:config.greedy ?metrics sub in
+  let greedy_out = Greedy.solve ~config:config.greedy ?metrics ~deadline sub in
   let g_heuristic = List.length group_bids < config.tau in
   let g_solution, g_cost, g_evals =
     if g_heuristic then begin
@@ -156,7 +164,7 @@ let solve_group config problem parts ~with_metrics ~now gid members =
               initial_bound = bound;
               max_nodes = config.heuristic_max_nodes;
             }
-          ?metrics sub
+          ?metrics ~deadline sub
       in
       let evals =
         State.add_evals greedy_out.Greedy.stats.Greedy.evals
@@ -185,7 +193,8 @@ let solve_group config problem parts ~with_metrics ~now gid members =
     g_evals;
   }
 
-let solve ?(config = default_config) ?metrics ?pool ?now problem =
+let solve ?(config = default_config) ?metrics ?pool ?now
+    ?(deadline = Resilience.Deadline.never) problem =
   let parts = Partition.partition ~config:config.partition problem in
   let num_groups = Partition.num_groups parts in
   let group_sizes =
@@ -197,8 +206,17 @@ let solve ?(config = default_config) ?metrics ?pool ?now problem =
     Array.iter
       (fun size -> Obs.Metrics.observe m "dnc.group_size" (float_of_int size))
       group_sizes);
-  let solve_group =
+  (* Carve the remaining budget into one independent sub-token per group
+     *before* the fan-out: each group's cut point is then a function of
+     its own share, never of how groups were scheduled across domains, so
+     logical-budget runs stay bit-identical at any jobs level. *)
+  let subs =
+    if num_groups > 0 then Resilience.Deadline.split deadline num_groups
+    else [||]
+  in
+  let solve_group gid members =
     solve_group config problem parts ~with_metrics:(metrics <> None) ~now
+      ~deadline:subs.(gid) gid members
   in
   let group_outcomes =
     match pool with
@@ -207,6 +225,8 @@ let solve ?(config = default_config) ?metrics ?pool ?now problem =
       Exec.Pool.mapi_array ~chunk:1 pool solve_group parts.Partition.groups
     | _ -> Array.mapi solve_group parts.Partition.groups
   in
+  Resilience.Deadline.absorb deadline subs;
+  let groups_stopped = Array.exists Resilience.Deadline.expired subs in
   (* deterministic post-join aggregation: fold the per-group registries
      into the caller's in group order, count refinements in group order *)
   (match metrics with
@@ -278,8 +298,12 @@ let solve ?(config = default_config) ?metrics ?pool ?now problem =
   List.iter
     (fun gid ->
       let cost, _, solution = group_solutions.(gid) in
-      if cost > 0.0 && solution <> [] && State.satisfied_count st > required
+      if
+        cost > 0.0 && solution <> []
+        && State.satisfied_count st > required
+        && not (Resilience.Deadline.expired deadline)
       then begin
+        Resilience.Deadline.tick deadline;
         kept.(gid) <- false;
         List.iter (fun (tid, _) -> sync_base tid) solution;
         if State.satisfied_count st < required then begin
@@ -298,7 +322,7 @@ let solve ?(config = default_config) ?metrics ?pool ?now problem =
      [solve_state] call), so the final emission below does not recount them *)
   let repair_evals = ref State.no_evals in
   if State.satisfied_count st < Problem.required problem then begin
-    let out = Greedy.solve_state ~config:repair_config ?metrics st in
+    let out = Greedy.solve_state ~config:repair_config ?metrics ~deadline st in
     repair_iterations := !repair_iterations + out.Greedy.iterations;
     repair_evals := State.add_evals !repair_evals out.Greedy.stats.Greedy.evals
   end;
@@ -323,14 +347,15 @@ let solve ?(config = default_config) ?metrics ?pool ?now problem =
   let swaps_applied = ref 0 in
   let rec swap_loop tried = function
     | [] -> ()
-    | gid :: rest when tried < trials ->
+    | gid :: rest
+      when tried < trials && not (Resilience.Deadline.expired deadline) ->
       let _, _, solution = group_solutions.(gid) in
       let before_cost = State.cost st in
       let saved = State.snapshot st in
       kept.(gid) <- false;
       List.iter (fun (tid, _) -> sync_base tid) solution;
       if State.satisfied_count st < Problem.required problem then begin
-        let out = Greedy.solve_state ~config:repair_config ?metrics st in
+        let out = Greedy.solve_state ~config:repair_config ?metrics ~deadline st in
         repair_iterations := !repair_iterations + out.Greedy.iterations;
         repair_evals :=
           State.add_evals !repair_evals out.Greedy.stats.Greedy.evals
@@ -351,7 +376,22 @@ let solve ?(config = default_config) ?metrics ?pool ?now problem =
   in
   swap_loop 0 by_realized_cost;
   (* final polish: the paper's per-base delta rollback *)
-  let rollbacks = refine st in
+  let rollbacks = refine deadline st in
+  let stopped =
+    if Resilience.Deadline.expired deadline then
+      Some (Resilience.Deadline.reason deadline)
+    else if groups_stopped then
+      (* a per-group share ran out even though the parent still has
+         budget (integer division of the remainder) *)
+      Some
+        (match
+           Array.to_list subs
+           |> List.find_opt Resilience.Deadline.expired
+         with
+        | Some sub -> Resilience.Deadline.reason sub
+        | None -> "group budget exhausted")
+    else None
+  in
   (* total evals: group sub-solves plus everything on the global combine
      state (whose lifetime counters already include the repair passes) *)
   let group_evals =
@@ -398,6 +438,7 @@ let solve ?(config = default_config) ?metrics ?pool ?now problem =
     cost = State.cost st;
     satisfied = State.satisfied_results st;
     feasible = State.satisfied_count st >= Problem.required problem;
+    stopped;
     num_groups;
     heuristic_groups = !heuristic_groups;
     rollbacks;

@@ -66,6 +66,12 @@ type outcome = {
   cost : float;
   satisfied : int list;
   feasible : bool;
+  stopped : string option;
+      (** [Some reason] when a deadline cut any phase short — a per-group
+          share during the parallel sub-solves, or the parent token during
+          combine/repair/swap/refine.  The combined best-so-far solution
+          is still returned and [feasible] reports whether it meets the
+          requirement. *)
   num_groups : int;  (** = [stats.num_groups] *)
   heuristic_groups : int;  (** groups small enough for branch-and-bound *)
   rollbacks : int;  (** refinement decrements kept *)
@@ -77,6 +83,7 @@ val solve :
   ?metrics:Obs.Metrics.t ->
   ?pool:Exec.Pool.t ->
   ?now:(unit -> float) ->
+  ?deadline:Resilience.Deadline.t ->
   Problem.t ->
   outcome
 (** [metrics] additionally receives a [dnc.group_size] histogram (one
@@ -94,4 +101,12 @@ val solve :
     [now] is a wall clock (e.g. [Unix.gettimeofday]); when given together
     with [metrics], each group's solve time is observed into a
     [dnc.group_solve_s] histogram.  It is off by default so that metrics
-    stay deterministic. *)
+    stay deterministic.
+
+    [deadline] (default {!Resilience.Deadline.never}) bounds the whole
+    solve.  The remaining budget is {!Resilience.Deadline.split} into one
+    independent sub-token per partition group {e before} the fan-out and
+    {!Resilience.Deadline.absorb}ed after the join, so each group's cut
+    point depends only on its own share — logical-budget outcomes stay
+    bit-identical at any [jobs] level.  The sequential
+    combine/repair/swap/refine phases poll the parent token. *)

@@ -30,11 +30,14 @@ let empty_stats =
     dedup_formulas = 0;
   }
 
-(* selection-work counters threaded through both phase-1 variants *)
+(* selection-work counters threaded through both phase-1 variants, plus
+   the caller's deadline token (ticked once per gain evaluation — the
+   dominant unit of selection work) *)
 type counters = {
   mutable c_gain_evals : int;
   mutable c_heap_pushes : int;
   mutable c_stale_pops : int;
+  c_deadline : Resilience.Deadline.t;
 }
 
 type outcome = {
@@ -42,6 +45,7 @@ type outcome = {
   cost : float;
   satisfied : int list;
   feasible : bool;
+  stopped : string option;
   iterations : int;
   rollbacks : int;
   stats : stats;
@@ -49,6 +53,7 @@ type outcome = {
 
 let compute_gain cfg cnt st bid =
   cnt.c_gain_evals <- cnt.c_gain_evals + 1;
+  Resilience.Deadline.tick cnt.c_deadline;
   State.gain st bid
     ~only_unsatisfied:cfg.only_unsatisfied_gain
     (Problem.delta (State.problem st))
@@ -73,7 +78,11 @@ let phase1_full_rescan cfg cnt st last_gain =
   let required = Problem.required problem in
   let iterations = ref 0 in
   let feasible = ref true in
-  while State.satisfied_count st < required && !feasible do
+  while
+    State.satisfied_count st < required
+    && !feasible
+    && not (Resilience.Deadline.expired cnt.c_deadline)
+  do
     match select_full_rescan cfg cnt st with
     | None -> feasible := false
     | Some (bid, g) ->
@@ -119,7 +128,11 @@ let phase1_incremental cfg cnt st last_gain =
   done;
   let iterations = ref 0 in
   let feasible = ref true in
-  while State.satisfied_count st < required && !feasible do
+  while
+    State.satisfied_count st < required
+    && !feasible
+    && not (Resilience.Deadline.expired cnt.c_deadline)
+  do
     match Heap.pop heap with
     | None -> feasible := false
     | Some (g, (bid, s)) ->
@@ -140,7 +153,7 @@ let phase1_incremental cfg cnt st last_gain =
 (* ------------------------------------------------------------------ *)
 (* Phase 2: rollback in ascending latest-gain* order (Fig. 6, lines 12-19) *)
 
-let phase2 st last_gain =
+let phase2 deadline st last_gain =
   let problem = State.problem st in
   let required = Problem.required problem in
   let raised = State.raised_bases st in
@@ -153,7 +166,14 @@ let phase2 st last_gain =
   List.iter
     (fun bid ->
       let continue_ = ref true in
-      while !continue_ && State.satisfied_count st >= required do
+      (* an expiring deadline just stops the rollback early: phase 2 only
+         strips redundant increments, so the solution stays feasible *)
+      while
+        !continue_
+        && State.satisfied_count st >= required
+        && not (Resilience.Deadline.expired deadline)
+      do
+        Resilience.Deadline.tick deadline;
         if State.lower_by_delta st bid then
           if State.satisfied_count st < required then begin
             (* one step too far: undo *)
@@ -166,21 +186,39 @@ let phase2 st last_gain =
     order;
   !rollbacks
 
-let solve_state ?(config = default_config) ?metrics st =
+let solve_state ?(config = default_config) ?metrics
+    ?(deadline = Resilience.Deadline.never) st =
   let problem = State.problem st in
   let nb = Problem.num_bases problem in
+  let required = Problem.required problem in
   let last_gain = Array.make nb 0.0 in
-  let cnt = { c_gain_evals = 0; c_heap_pushes = 0; c_stale_pops = 0 } in
+  let cnt =
+    {
+      c_gain_evals = 0;
+      c_heap_pushes = 0;
+      c_stale_pops = 0;
+      c_deadline = deadline;
+    }
+  in
   (* counter snapshot: callers hand in already-used states (the D&C repair
      pass), so the stats report this solve's delta, not lifetime totals *)
   let evals0 = State.evals st in
-  let iterations, feasible =
+  let iterations, _ =
     match config.selection with
     | Full_rescan -> phase1_full_rescan config cnt st last_gain
     | Incremental -> phase1_incremental config cnt st last_gain
   in
+  (* feasibility is a property of the reached state, not of how phase 1
+     ended: a deadline can stop it mid-climb (infeasible partial), and
+     gain exhaustion with the quota already met is still feasible *)
+  let feasible = State.satisfied_count st >= required in
   let rollbacks =
-    if config.two_phase && feasible then phase2 st last_gain else 0
+    if config.two_phase && feasible then phase2 deadline st last_gain else 0
+  in
+  let stopped =
+    if Resilience.Deadline.expired deadline then
+      Some (Resilience.Deadline.reason deadline)
+    else None
   in
   let evals = State.evals_since st evals0 in
   let stats =
@@ -208,15 +246,16 @@ let solve_state ?(config = default_config) ?metrics st =
     cost = State.cost st;
     satisfied = State.satisfied_results st;
     feasible;
+    stopped;
     iterations;
     rollbacks;
     stats;
   }
 
-let solve ?config ?metrics problem =
+let solve ?config ?metrics ?deadline problem =
   (match metrics with
   | None -> ()
   | Some m ->
     Obs.Metrics.observe m "problem.dedup_formulas"
       (float_of_int (Problem.dedup_formulas problem)));
-  solve_state ?config ?metrics (State.create problem)
+  solve_state ?config ?metrics ?deadline (State.create problem)

@@ -50,18 +50,38 @@ type outcome = {
   cost : float;
   satisfied : int list;  (** rids above β under the solution *)
   feasible : bool;
-      (** [false] when even raising everything to the caps cannot satisfy
-          [required] results; the partial best effort is still returned *)
+      (** [required] results are satisfied by [solution].  [false] when
+          gains are exhausted (even the caps cannot satisfy the quota) or
+          a deadline stopped phase 1 mid-climb; the partial best effort
+          is still returned *)
+  stopped : string option;
+      (** [Some reason] when the caller's deadline cut the solve short
+          ([None] = ran to completion).  A phase-2 cut leaves [feasible]
+          [true] — rollback only strips redundant increments — while a
+          phase-1 cut usually leaves the quota unmet *)
   iterations : int;  (** phase-1 increments applied (= [stats.iterations]) *)
   rollbacks : int;  (** phase-2 decrements kept (= [stats.rollbacks]) *)
   stats : stats;
 }
 
-val solve : ?config:config -> ?metrics:Obs.Metrics.t -> Problem.t -> outcome
+val solve :
+  ?config:config ->
+  ?metrics:Obs.Metrics.t ->
+  ?deadline:Resilience.Deadline.t ->
+  Problem.t ->
+  outcome
 (** Run on a fresh state.  [metrics] additionally accumulates the same
-    telemetry as [greedy.*] counters. *)
+    telemetry as [greedy.*] counters.  [deadline] (default
+    {!Resilience.Deadline.never}) is ticked once per gain evaluation and
+    per phase-2 step; on expiry the solve stops at the next loop head
+    and reports [stopped]. *)
 
-val solve_state : ?config:config -> ?metrics:Obs.Metrics.t -> State.t -> outcome
+val solve_state :
+  ?config:config ->
+  ?metrics:Obs.Metrics.t ->
+  ?deadline:Resilience.Deadline.t ->
+  State.t ->
+  outcome
 (** Run on an existing (possibly pre-modified) state; the state is left at
     the solution assignment — callers that need the original state back
     should {!State.snapshot} first. *)

@@ -26,6 +26,8 @@ type stats = {
   h2_prunes : int;
   h3_prunes : int;
   h4_prunes : int;
+  budget_exhausted : bool;
+  stop_reason : string option;
   evals : State.evals;
   dedup_formulas : int;
 }
@@ -39,6 +41,8 @@ let empty_stats =
     h2_prunes = 0;
     h3_prunes = 0;
     h4_prunes = 0;
+    budget_exhausted = false;
+    stop_reason = None;
     evals = State.no_evals;
     dedup_formulas = 0;
   }
@@ -47,6 +51,7 @@ type outcome = {
   solution : (Lineage.Tid.t * float) list option;
   cost : float;
   optimal : bool;
+  stopped : string option;
   nodes : int;
   stats : stats;
 }
@@ -97,9 +102,13 @@ let initial_levels problem =
 let compute_cost_beta problem bid =
   compute_cost_beta_scratch problem (initial_levels problem) bid
 
-exception Node_budget_exhausted
+(* Cooperative stop: raised at the next node after the node budget or the
+   caller's deadline runs out; the incumbent (best-so-far feasible
+   solution) is returned as a partial answer. *)
+exception Stop of string
 
-let solve ?(config = default_config) ?metrics problem =
+let solve ?(config = default_config) ?metrics
+    ?(deadline = Resilience.Deadline.never) problem =
   let h = config.heuristics in
   let nb = Problem.num_bases problem in
   let required = Problem.required problem in
@@ -138,6 +147,7 @@ let solve ?(config = default_config) ?metrics problem =
   let h3_prunes = ref 0 in
   let h4_prunes = ref 0 in
   let budget = Option.value ~default:max_int config.max_nodes in
+  let budget_exhausted = ref false in
   (* H3: can the subtree below order position [i] still satisfy [required]
      results?  Evaluate every unsatisfied result with all not-yet-assigned
      bases forced to their caps. *)
@@ -184,7 +194,14 @@ let solve ?(config = default_config) ?metrics problem =
            List.iter
              (fun level ->
                incr nodes;
-               if !nodes > budget then raise Node_budget_exhausted;
+               Resilience.Deadline.tick deadline;
+               if !nodes > budget then begin
+                 budget_exhausted := true;
+                 raise
+                   (Stop (Printf.sprintf "node budget (%d) exhausted" budget))
+               end;
+               if Resilience.Deadline.expired deadline then
+                 raise (Stop (Resilience.Deadline.reason deadline));
                State.set_base st bid level;
                search (i + 1);
                (* H2: if every affected result is already above beta, higher
@@ -202,12 +219,13 @@ let solve ?(config = default_config) ?metrics problem =
       end
     end
   in
-  let optimal =
+  let stopped =
     try
       search 0;
-      true
-    with Node_budget_exhausted -> false
+      None
+    with Stop reason -> Some reason
   in
+  let optimal = stopped = None in
   let cost = match !best_solution with Some _ -> !best_cost | None -> infinity in
   let evals = State.evals st in
   let stats =
@@ -219,6 +237,8 @@ let solve ?(config = default_config) ?metrics problem =
       h2_prunes = !h2_prunes;
       h3_prunes = !h3_prunes;
       h4_prunes = !h4_prunes;
+      budget_exhausted = !budget_exhausted;
+      stop_reason = stopped;
       evals;
       dedup_formulas = Problem.dedup_formulas problem;
     }
@@ -232,7 +252,8 @@ let solve ?(config = default_config) ?metrics problem =
     Obs.Metrics.incr m ~by:!h2_prunes "heuristic.h2_prunes";
     Obs.Metrics.incr m ~by:!h3_prunes "heuristic.h3_prunes";
     Obs.Metrics.incr m ~by:!h4_prunes "heuristic.h4_prunes";
+    if !budget_exhausted then Obs.Metrics.incr m "heuristic.budget_exhausted";
     State.record_evals m evals;
     Obs.Metrics.observe m "problem.dedup_formulas"
       (float_of_int (Problem.dedup_formulas problem)));
-  { solution = !best_solution; cost; optimal; nodes = !nodes; stats }
+  { solution = !best_solution; cost; optimal; stopped; nodes = !nodes; stats }

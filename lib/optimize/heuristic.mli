@@ -56,6 +56,12 @@ type stats = {
   h2_prunes : int;  (** right-sibling cuts (all affected already above β) *)
   h3_prunes : int;  (** infeasible-subtree cuts *)
   h4_prunes : int;  (** cheapest-future-step cost-bound cuts *)
+  budget_exhausted : bool;
+      (** the [max_nodes] budget stopped the search (as opposed to a
+          deadline, or running to completion) *)
+  stop_reason : string option;
+      (** why the search stopped early ([None] = ran to completion);
+          mirrors [outcome.stopped] *)
   evals : State.evals;
       (** lineage-evaluation counters of the search state (H1/H3 scratch
           evaluations bypass the state and are not counted) *)
@@ -69,8 +75,13 @@ type outcome = {
       (** [None] when no feasible assignment was found *)
   cost : float;  (** cost of [solution]; [infinity] when none *)
   optimal : bool;
-      (** the search ran to completion (no [max_nodes] cutoff), so
-          [solution] is a global optimum of the discretized problem *)
+      (** the search ran to completion (no [max_nodes] cutoff, no
+          deadline expiry), so [solution] is a global optimum of the
+          discretized problem *)
+  stopped : string option;
+      (** [Some reason] when the node budget or the caller's deadline cut
+          the search short; [solution] is then the best incumbent found —
+          feasible whenever non-[None] — i.e. an anytime partial answer *)
   nodes : int;  (** search-tree nodes explored (= [stats.nodes]) *)
   stats : stats;  (** per-heuristic telemetry for Fig. 11-style ablations *)
 }
@@ -78,8 +89,18 @@ type outcome = {
 val compute_cost_beta : Problem.t -> int -> float
 (** The H1 ordering key costβ of one base tuple (exposed for tests). *)
 
-val solve : ?config:config -> ?metrics:Obs.Metrics.t -> Problem.t -> outcome
+val solve :
+  ?config:config ->
+  ?metrics:Obs.Metrics.t ->
+  ?deadline:Resilience.Deadline.t ->
+  Problem.t ->
+  outcome
 (** [metrics], when given, also receives the same telemetry as
     [heuristic.*] counters and a [heuristic.nodes] histogram — useful when
     one registry aggregates over many solves (divide-and-conquer calls
-    this per group). *)
+    this per group).
+
+    [deadline] (default {!Resilience.Deadline.never}) is ticked once per
+    search node; on expiry the search stops at the next node and returns
+    the incumbent with [stopped = Some reason].  With a logical budget
+    the cut point — and hence the outcome — is deterministic. *)

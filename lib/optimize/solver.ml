@@ -53,6 +53,7 @@ let stats_fields = function
       ("h2_prunes", float_of_int s.Heuristic.h2_prunes);
       ("h3_prunes", float_of_int s.Heuristic.h3_prunes);
       ("h4_prunes", float_of_int s.Heuristic.h4_prunes);
+      ("budget_exhausted", if s.Heuristic.budget_exhausted then 1.0 else 0.0);
     ]
     @ eval_fields s.Heuristic.evals s.Heuristic.dedup_formulas
   | Greedy_stats s ->
@@ -87,19 +88,29 @@ let stats_fields = function
     @ eval_fields s.Annealing.evals s.Annealing.dedup_formulas
 
 let render_stats stats =
-  String.concat " "
-    (List.map
-       (fun (k, v) ->
-         if Float.is_integer v && Float.abs v < 1e15 then
-           Printf.sprintf "%s=%d" k (int_of_float v)
-         else Printf.sprintf "%s=%g" k v)
-       (stats_fields stats))
+  let fields =
+    String.concat " "
+      (List.map
+         (fun (k, v) ->
+           if Float.is_integer v && Float.abs v < 1e15 then
+             Printf.sprintf "%s=%d" k (int_of_float v)
+           else Printf.sprintf "%s=%g" k v)
+         (stats_fields stats))
+  in
+  (* the one non-numeric field: why the search stopped early, if it did *)
+  match stats with
+  | Heuristic_stats { Heuristic.stop_reason = Some r; _ } ->
+    Printf.sprintf "%s stop_reason=%S" fields r
+  | _ -> fields
+
+type resolution = Complete | Partial of { reason : string }
 
 type outcome = {
   solution : (Lineage.Tid.t * float) list option;
   cost : float;
   satisfied : int list;
   optimal : bool;
+  resolution : resolution;
   elapsed_s : float;
   stats : stats;
   detail : string;
@@ -115,7 +126,12 @@ let satisfied_of_solution problem solution =
     solution;
   State.satisfied_results st
 
-let solve ?(algorithm = divide_conquer) ?obs ?jobs ?pool ?now problem =
+let resolution_of_stopped = function
+  | None -> Complete
+  | Some reason -> Partial { reason }
+
+let solve ?(algorithm = divide_conquer) ?obs ?jobs ?pool ?now
+    ?(deadline = Resilience.Deadline.never) problem =
   let metrics = Option.map (fun (o : Obs.t) -> o.Obs.metrics) obs in
   let jobs =
     match pool with
@@ -131,7 +147,10 @@ let solve ?(algorithm = divide_conquer) ?obs ?jobs ?pool ?now problem =
         ~attrs:[ ("jobs", string_of_int jobs) ]
         "parallel"
         (fun () ->
-          let out = Divide_conquer.solve ~config:cfg ?metrics ?pool ?now problem in
+          let out =
+            Divide_conquer.solve ~config:cfg ?metrics ?pool ?now ~deadline
+              problem
+          in
           Obs.add_attr obs "chunks"
             (string_of_int out.Divide_conquer.num_groups);
           out)
@@ -148,8 +167,9 @@ let solve ?(algorithm = divide_conquer) ?obs ?jobs ?pool ?now problem =
       let cfg =
         match cfg.Heuristic.initial_bound with
         | Some b when Float.is_nan b ->
-          (* seeded variant: run greedy first for the upper bound *)
-          let g = Greedy.solve ?metrics problem in
+          (* seeded variant: run greedy first for the upper bound (the
+             shared deadline covers both runs) *)
+          let g = Greedy.solve ?metrics ~deadline problem in
           {
             cfg with
             Heuristic.initial_bound =
@@ -157,7 +177,7 @@ let solve ?(algorithm = divide_conquer) ?obs ?jobs ?pool ?now problem =
           }
         | _ -> cfg
       in
-      let out = Heuristic.solve ~config:cfg ?metrics problem in
+      let out = Heuristic.solve ~config:cfg ?metrics ~deadline problem in
       let satisfied =
         match out.Heuristic.solution with
         | Some s -> satisfied_of_solution problem s
@@ -169,18 +189,20 @@ let solve ?(algorithm = divide_conquer) ?obs ?jobs ?pool ?now problem =
         cost = out.Heuristic.cost;
         satisfied;
         optimal = out.Heuristic.optimal && out.Heuristic.solution <> None;
+        resolution = resolution_of_stopped out.Heuristic.stopped;
         elapsed_s = 0.0;
         stats;
         detail = render_stats stats;
       }
     | Greedy cfg ->
-      let out = Greedy.solve ~config:cfg ?metrics problem in
+      let out = Greedy.solve ~config:cfg ?metrics ~deadline problem in
       let stats = Greedy_stats out.Greedy.stats in
       {
         solution = (if out.Greedy.feasible then Some out.Greedy.solution else None);
         cost = (if out.Greedy.feasible then out.Greedy.cost else infinity);
         satisfied = out.Greedy.satisfied;
         optimal = false;
+        resolution = resolution_of_stopped out.Greedy.stopped;
         elapsed_s = 0.0;
         stats;
         detail = render_stats stats;
@@ -197,12 +219,13 @@ let solve ?(algorithm = divide_conquer) ?obs ?jobs ?pool ?now problem =
            else infinity);
         satisfied = out.Divide_conquer.satisfied;
         optimal = false;
+        resolution = resolution_of_stopped out.Divide_conquer.stopped;
         elapsed_s = 0.0;
         stats;
         detail = render_stats stats;
       }
     | Annealing cfg ->
-      let out = Annealing.solve ~config:cfg ?metrics problem in
+      let out = Annealing.solve ~config:cfg ?metrics ~deadline problem in
       let stats = Annealing_stats out.Annealing.stats in
       {
         solution =
@@ -210,6 +233,7 @@ let solve ?(algorithm = divide_conquer) ?obs ?jobs ?pool ?now problem =
         cost = (if out.Annealing.feasible then out.Annealing.cost else infinity);
         satisfied = out.Annealing.satisfied;
         optimal = false;
+        resolution = resolution_of_stopped out.Annealing.stopped;
         elapsed_s = 0.0;
         stats;
         detail = render_stats stats;
@@ -219,6 +243,16 @@ let solve ?(algorithm = divide_conquer) ?obs ?jobs ?pool ?now problem =
   let outcome =
     Obs.span obs
       ~attrs:[ ("algorithm", algorithm_name algorithm) ]
-      "solve" run
+      "solve"
+      (fun () ->
+        let out = run () in
+        (match out.resolution with
+        | Complete -> ()
+        | Partial { reason } ->
+          Obs.add_attr obs "resolution" (Printf.sprintf "partial: %s" reason);
+          match metrics with
+          | None -> ()
+          | Some m -> Obs.Metrics.incr m "resilience.solver_partial");
+        out)
   in
   { outcome with elapsed_s = Unix.gettimeofday () -. t0 }

@@ -40,7 +40,18 @@ val stats_fields : stats -> (string * float) list
     (booleans become 0/1). *)
 
 val render_stats : stats -> string
-(** ["k1=v1 k2=v2 …"] — the human-readable one-liner. *)
+(** ["k1=v1 k2=v2 …"] — the human-readable one-liner.  The heuristic's
+    [stop_reason], when present, is appended as a quoted
+    [stop_reason="…"] field. *)
+
+type resolution =
+  | Complete  (** the algorithm ran to its natural end *)
+  | Partial of { reason : string }
+      (** a deadline or budget stopped it early; the outcome carries the
+          best-so-far answer.  [solution], when [Some], is still {e
+          feasible} — an infeasible best effort is reported as [None] —
+          so a partial resolution degrades optimality, never
+          compliance. *)
 
 type outcome = {
   solution : (Lineage.Tid.t * float) list option;
@@ -48,6 +59,7 @@ type outcome = {
   cost : float;  (** [infinity] when infeasible *)
   satisfied : int list;  (** rids satisfied under the solution *)
   optimal : bool;  (** guaranteed optimal on the δ-grid (heuristic only) *)
+  resolution : resolution;
   elapsed_s : float;
   stats : stats;  (** structured solver telemetry *)
   detail : string;  (** [render_stats stats], kept for display call sites *)
@@ -59,6 +71,7 @@ val solve :
   ?jobs:int ->
   ?pool:Exec.Pool.t ->
   ?now:(unit -> float) ->
+  ?deadline:Resilience.Deadline.t ->
   Problem.t ->
   outcome
 (** [solve problem] runs the chosen algorithm (default {!divide_conquer} —
@@ -80,4 +93,13 @@ val solve :
     parallel phase is recorded as a ["parallel"] span with attributes
     [jobs] and [chunks] (number of partition groups).  [now] (a wall
     clock) additionally enables the [dnc.group_solve_s] histogram; see
-    {!Divide_conquer.solve}. *)
+    {!Divide_conquer.solve}.
+
+    [deadline] (default {!Resilience.Deadline.never}) makes the solve
+    {e anytime}: each algorithm polls the token cooperatively and, on
+    expiry, returns its best-so-far feasible solution with
+    [resolution = Partial].  A logical-budget token gives bit-identical
+    cut points at any [jobs] level (divide-and-conquer splits the budget
+    per group up front); a wall-clock token bounds latency.  A partial
+    solve bumps the [resilience.solver_partial] counter and tags the
+    ["solve"] span with a [resolution] attribute. *)

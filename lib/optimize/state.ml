@@ -53,9 +53,16 @@ type t = {
    (~1e-13 at worst) cannot flip the strict comparison. *)
 let beta_eps = 1e-9
 
-let eval_result st rid = Problem.eval_result st.problem st.p rid
+(* Chaos-testable injection point, armed only by the fault suite: every
+   full compiled-evaluator call models "the evaluator can raise". *)
+let eval_fault () = Resilience.Fault.hit Resilience.Fault.site_state_eval
+
+let eval_result st rid =
+  eval_fault ();
+  Problem.eval_result st.problem st.p rid
 
 let eval_class_full st cid =
+  eval_fault ();
   st.full_evals <- st.full_evals + 1;
   Problem.eval_class st.problem st.p cid
 
@@ -158,9 +165,13 @@ let slot_of bids bid =
 let eval_pinned st cid bid x =
   let saved = st.p.(bid) in
   st.p.(bid) <- x;
-  let f = eval_class_full st cid in
-  st.p.(bid) <- saved;
-  f
+  match eval_class_full st cid with
+  | f ->
+    st.p.(bid) <- saved;
+    f
+  | exception e ->
+    st.p.(bid) <- saved;
+    raise e
 
 (* Levels closer than [point_eps] are served from the cached point: the
    slope is at most 1 in magnitude (confidence is affine over [0,1] with
@@ -262,6 +273,8 @@ let set_base st bid p =
       Cost.Cost_model.eval b.Problem.cost ~from_:b.Problem.p0 ~to_:p
     in
     let old_contrib = st.cost_contrib.(bid) in
+    let saved_finite = st.finite_cost
+    and saved_infinite = st.infinite_contribs in
     if old_contrib = infinity then
       st.infinite_contribs <- st.infinite_contribs - 1
     else st.finite_cost <- st.finite_cost -. old_contrib;
@@ -270,18 +283,37 @@ let set_base st bid p =
     else st.finite_cost <- st.finite_cost +. new_contrib;
     st.cost_contrib.(bid) <- new_contrib;
     st.p.(bid) <- p;
-    if st.incremental then begin
-      (* commit stamps first: [bid]'s own entries stay valid
-         (class_version - base_commits bid is unchanged), every other
-         variable's entries in the affected classes go stale *)
-      st.base_commits.(bid) <- st.base_commits.(bid) + 1;
-      let classes = Problem.classes_of_base st.problem bid in
-      List.iter
-        (fun cid -> st.class_version.(cid) <- st.class_version.(cid) + 1)
-        classes;
-      List.iter (fun cid -> refresh_class st cid bid p) classes
-    end
-    else List.iter (refresh_result st) (Problem.results_of_base st.problem bid)
+    let refresh level =
+      if st.incremental then begin
+        (* commit stamps first: [bid]'s own entries stay valid
+           (class_version - base_commits bid is unchanged), every other
+           variable's entries in the affected classes go stale *)
+        st.base_commits.(bid) <- st.base_commits.(bid) + 1;
+        let classes = Problem.classes_of_base st.problem bid in
+        List.iter
+          (fun cid -> st.class_version.(cid) <- st.class_version.(cid) + 1)
+          classes;
+        List.iter (fun cid -> refresh_class st cid bid level) classes
+      end
+      else
+        List.iter (refresh_result st) (Problem.results_of_base st.problem bid)
+    in
+    try refresh p
+    with e ->
+      (* Aborted commit (the evaluator raised mid-refresh, leaving some
+         cached confidences at the new level and the rest stale): put the
+         state back exactly as it was before the call — level, cost
+         accounting (restored to the saved values, not re-derived, so no
+         float drift), and every affected confidence recomputed at the
+         old level.  Fault injection is suppressed for the rollback: it
+         models the world failing, not the cleanup handler. *)
+      Resilience.Fault.protect (fun () ->
+          st.p.(bid) <- old;
+          st.cost_contrib.(bid) <- old_contrib;
+          st.finite_cost <- saved_finite;
+          st.infinite_contribs <- saved_infinite;
+          refresh old);
+      raise e
   end
 
 (* Delta steps stay on the grid {p0 + k*delta} ∪ {cap}: a step down from a
@@ -363,9 +395,13 @@ let confidence_with_override st ~rid ~bid ~level =
     let saved = st.p.(bid) in
     st.p.(bid) <- level;
     st.full_evals <- st.full_evals + 1;
-    let f = Problem.eval_result st.problem st.p rid in
-    st.p.(bid) <- saved;
-    f
+    match eval_result st rid with
+    | f ->
+      st.p.(bid) <- saved;
+      f
+    | exception e ->
+      st.p.(bid) <- saved;
+      raise e
   end
 
 let gain st bid ?(only_unsatisfied = false) dp =
@@ -391,15 +427,21 @@ let gain st bid ?(only_unsatisfied = false) dp =
       else begin
         let saved = st.p.(bid) in
         st.p.(bid) <- target;
-        List.iter
-          (fun rid ->
-            if not (only_unsatisfied && st.sat.(rid)) then begin
-              st.full_evals <- st.full_evals + 1;
-              let f_new = Problem.eval_result st.problem st.p rid in
-              sum := !sum +. (f_new -. st.conf.(rid))
-            end)
-          (Problem.results_of_base st.problem bid);
-        st.p.(bid) <- saved
+        let probe () =
+          List.iter
+            (fun rid ->
+              if not (only_unsatisfied && st.sat.(rid)) then begin
+                st.full_evals <- st.full_evals + 1;
+                let f_new = eval_result st rid in
+                sum := !sum +. (f_new -. st.conf.(rid))
+              end)
+            (Problem.results_of_base st.problem bid)
+        in
+        (match probe () with
+        | () -> st.p.(bid) <- saved
+        | exception e ->
+          st.p.(bid) <- saved;
+          raise e)
       end;
       !sum /. dcost
     end

@@ -9,6 +9,7 @@ type event =
       released : int;
       withheld : int;
       proposal_cost : float option;
+      degraded : string option;
     }
   | Improvement of {
       user : string;
@@ -41,6 +42,7 @@ let record_answer t ~user ~purpose ~sql (resp : Engine.response) =
          withheld = resp.Engine.withheld;
          proposal_cost =
            Option.map (fun p -> p.Engine.cost) resp.Engine.proposal;
+         degraded = resp.Engine.degraded;
        })
 
 let record_acceptance t ~user (proposal : Engine.proposal) =
@@ -61,15 +63,27 @@ let events_for_user t user =
   List.filter (fun e -> String.equal (event_user e.event) user) (entries t)
 
 let event_to_string = function
-  | Query { user; purpose; sql; threshold; released; withheld; proposal_cost }
-    ->
+  | Query
+      {
+        user;
+        purpose;
+        sql;
+        threshold;
+        released;
+        withheld;
+        proposal_cost;
+        degraded;
+      } ->
     Printf.sprintf
-      "query user=%s purpose=%s threshold=%s released=%d withheld=%d%s sql=%s"
+      "query user=%s purpose=%s threshold=%s released=%d withheld=%d%s%s sql=%s"
       user purpose
       (match threshold with Some b -> Printf.sprintf "%g" b | None -> "-")
       released withheld
       (match proposal_cost with
       | Some c -> Printf.sprintf " proposal_cost=%.2f" c
+      | None -> "")
+      (match degraded with
+      | Some reason -> Printf.sprintf " degraded=%S" reason
       | None -> "")
       sql
   | Improvement { user; cost; increments } ->
@@ -98,13 +112,25 @@ let render t =
     (List.map
        (fun e ->
          match e.event with
-         | Query { user; purpose; sql; threshold; released; withheld; proposal_cost } ->
-           Printf.sprintf "Q\t%d\t%s\t%s\t%s\t%d\t%d\t%s\t%s" e.seq user purpose
+         | Query
+             {
+               user;
+               purpose;
+               sql;
+               threshold;
+               released;
+               withheld;
+               proposal_cost;
+               degraded;
+             } ->
+           Printf.sprintf "Q\t%d\t%s\t%s\t%s\t%d\t%d\t%s\t%s\t%s" e.seq user
+             purpose
              (match threshold with Some b -> Printf.sprintf "%g" b | None -> "-")
              released withheld
              (match proposal_cost with
              | Some c -> Printf.sprintf "%g" c
              | None -> "-")
+             (match degraded with Some reason -> reason | None -> "-")
              sql
          | Improvement { user; cost; increments } ->
            Printf.sprintf "I\t%d\t%s\t%g\t%s" e.seq user cost
@@ -147,8 +173,9 @@ let parse text =
     let fields = String.split_on_char '\t' line in
     match fields with
     | "Q" :: seq :: user :: purpose :: threshold :: released :: withheld
-      :: proposal_cost :: sql_parts ->
+      :: proposal_cost :: degraded :: sql_parts ->
       let sql = String.concat "\t" sql_parts in
+      let degraded = if degraded = "-" then None else Some degraded in
       let* seq =
         Option.to_result ~none:(Printf.sprintf "line %d: bad seq" lineno)
           (int_of_string_opt seq)
@@ -167,7 +194,17 @@ let parse text =
         {
           seq;
           event =
-            Query { user; purpose; sql; threshold; released; withheld; proposal_cost };
+            Query
+              {
+                user;
+                purpose;
+                sql;
+                threshold;
+                released;
+                withheld;
+                proposal_cost;
+                degraded;
+              };
         }
     | [ "I"; seq; user; cost; increments ] ->
       let* seq =

@@ -20,6 +20,10 @@ type event =
       released : int;
       withheld : int;
       proposal_cost : float option;
+      degraded : string option;
+          (** why strategy finding was cut short (deadline expiry), when
+              it was — the compliance evidence that a proposal is
+              best-so-far rather than the solver's natural answer *)
     }  (** one {!Engine.answer} call and its policy outcome *)
   | Improvement of {
       user : string;

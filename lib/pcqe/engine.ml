@@ -11,11 +11,14 @@ type context = {
   solver : Optimize.Solver.algorithm;
   delta : float;
   jobs : int;
+  deadline : Resilience.Deadline.spec;
+  mc_fallback : bool;
   obs : Obs.t option;
 }
 
 let make_context ?(solver = Optimize.Solver.divide_conquer) ?(delta = 0.1)
-    ?jobs ?cost_of ?cap_of ?(views = Relational.Views.empty) ?obs ~db ~rbac
+    ?jobs ?(deadline = Resilience.Deadline.No_deadline) ?(mc_fallback = false)
+    ?cost_of ?cap_of ?(views = Relational.Views.empty) ?obs ~db ~rbac
     ~policies () =
   let default_cost = Cost.Cost_model.linear ~rate:100.0 in
   {
@@ -28,6 +31,8 @@ let make_context ?(solver = Optimize.Solver.divide_conquer) ?(delta = 0.1)
     solver;
     delta;
     jobs = Exec.resolve_jobs ?jobs ();
+    deadline;
+    mc_fallback;
     obs;
   }
 
@@ -47,18 +52,27 @@ type proposal = {
   solver_stats : Optimize.Solver.stats;
   solver_detail : string;
   elapsed_s : float;
+  resolution : Optimize.Solver.resolution;
 }
 
 type response = {
   schema : Relational.Schema.t;
   released : released list;
   withheld : int;
+  ambiguous : int;
   requested : int;
   threshold : float option;
   applied_policies : Rbac.Policy.t list;
   proposal : proposal option;
   infeasible : bool;
+  degraded : string option;
 }
+
+(* point value used for display; release decisions never use it *)
+let point_estimate = function
+  | Lineage.Approx.Exact c -> c
+  | Lineage.Approx.Interval { estimate; _ } -> estimate
+  | Lineage.Approx.Failed _ -> Float.nan
 
 let ( let* ) = Result.bind
 
@@ -87,6 +101,9 @@ let answer_common ctx ~check_access ~roles ~query ~purpose ~perc =
   let obs = ctx.obs in
   Obs.span obs "answer" (fun () ->
       Obs.incr obs "engine.queries";
+      (* one token per answer: a wall budget covers everything from here,
+         so a slow evaluation leaves less time for strategy finding *)
+      let deadline = Resilience.Deadline.start ctx.deadline in
       let* () =
         if perc >= 0.0 && perc <= 1.0 then Ok ()
         else Error (Printf.sprintf "perc %g outside [0,1]" perc)
@@ -115,7 +132,18 @@ let answer_common ctx ~check_access ~roles ~query ~purpose ~perc =
       in
       let with_conf =
         Obs.span obs "confidence" (fun () ->
-            Relational.Eval.with_confidence ctx.db res)
+            if ctx.mc_fallback then
+              (* degradation ladder: exact tiers when cheap, Monte-Carlo
+                 intervals when the lineage is too entangled *)
+              let p = Db.confidence ctx.db in
+              List.map
+                (fun r ->
+                  (r, Lineage.Approx.confidence p r.Relational.Eval.lineage))
+                res.Relational.Eval.rows
+            else
+              List.map
+                (fun (r, c) -> (r, Lineage.Approx.Exact c))
+                (Relational.Eval.with_confidence ctx.db res))
       in
       (* (3) policy evaluation: select the policy by role and purpose *)
       let applied_policies =
@@ -124,46 +152,57 @@ let answer_common ctx ~check_access ~roles ~query ~purpose ~perc =
       let threshold =
         Rbac.Policy.effective_threshold ctx.policies ~roles ~purpose
       in
-      let released, withheld =
+      let released, withheld, ambiguous =
         Obs.span obs "policy-filter" (fun () ->
-            let released, withheld =
+            let mk r est =
+              {
+                tuple = r.Relational.Eval.tuple;
+                lineage = r.Relational.Eval.lineage;
+                confidence = point_estimate est;
+              }
+            in
+            let released, withheld, ambiguous =
               match threshold with
-              | None ->
-                ( List.map
-                    (fun (r, c) ->
-                      {
-                        tuple = r.Relational.Eval.tuple;
-                        lineage = r.Relational.Eval.lineage;
-                        confidence = c;
-                      })
-                    with_conf,
-                  0 )
+              | None -> (List.map (fun (r, est) -> mk r est) with_conf, 0, 0)
               | Some beta ->
-                let rel, wh =
-                  List.partition (fun (_, c) -> c > beta) with_conf
+                (* fail-closed: release only when the estimate proves the
+                   confidence strictly above beta; an interval straddling
+                   beta (or a failed estimate) withholds the tuple *)
+                let rel, wh, amb, failed =
+                  List.fold_left
+                    (fun (rel, wh, amb, failed) (r, est) ->
+                      match Lineage.Approx.releasable ~beta est with
+                      | `Release -> (mk r est :: rel, wh, amb, failed)
+                      | `Ambiguous -> (rel, wh + 1, amb + 1, failed)
+                      | `Withhold ->
+                        ( rel,
+                          wh + 1,
+                          amb,
+                          match est with
+                          | Lineage.Approx.Failed _ -> failed + 1
+                          | _ -> failed ))
+                    ([], 0, 0, 0) with_conf
                 in
-                ( List.map
-                    (fun (r, c) ->
-                      {
-                        tuple = r.Relational.Eval.tuple;
-                        lineage = r.Relational.Eval.lineage;
-                        confidence = c;
-                      })
-                    rel,
-                  List.length wh )
+                if failed > 0 then
+                  Obs.incr obs ~by:failed "resilience.confidence_failures";
+                (List.rev rel, wh, amb)
             in
             Obs.add_attr obs "released" (string_of_int (List.length released));
             Obs.add_attr obs "withheld" (string_of_int withheld);
             Obs.incr obs ~by:(List.length released) "engine.released";
             Obs.incr obs ~by:withheld "engine.withheld";
-            (released, withheld))
+            if ambiguous > 0 then begin
+              Obs.add_attr obs "ambiguous" (string_of_int ambiguous);
+              Obs.incr obs ~by:ambiguous "resilience.withheld_ambiguous"
+            end;
+            (released, withheld, ambiguous))
       in
       (* (4) strategy finding when fewer than perc of the results pass;
          [need] is the request's floor on released results and is reported
          back as [requested] so callers never recompute the ceil *)
       let n = List.length with_conf in
       let need = int_of_float (ceil (perc *. float_of_int n)) in
-      let* proposal, infeasible =
+      let* proposal, infeasible, degraded =
         match threshold with
         | Some beta when List.length released < need && withheld > 0 ->
           Obs.span obs "strategy-finding" (fun () ->
@@ -173,7 +212,15 @@ let answer_common ctx ~check_access ~roles ~query ~purpose ~perc =
               in
               let out =
                 Optimize.Solver.solve ~algorithm:ctx.solver ?obs
-                  ~jobs:ctx.jobs problem
+                  ~jobs:ctx.jobs ~deadline problem
+              in
+              let degraded =
+                match out.Optimize.Solver.resolution with
+                | Optimize.Solver.Complete -> None
+                | Optimize.Solver.Partial { reason } ->
+                  Obs.add_attr obs "degraded" reason;
+                  Obs.incr obs "resilience.degraded_answers";
+                  Some reason
               in
               match out.Optimize.Solver.solution with
               | Some increments ->
@@ -216,12 +263,19 @@ let answer_common ctx ~check_access ~roles ~query ~purpose ~perc =
                         solver_stats = out.Optimize.Solver.stats;
                         solver_detail = out.Optimize.Solver.detail;
                         elapsed_s = out.Optimize.Solver.elapsed_s;
+                        resolution = out.Optimize.Solver.resolution;
                       },
-                    false )
-              | None ->
-                Obs.incr obs "engine.infeasible";
-                Ok (None, true))
-        | _ -> Ok (None, false)
+                    false,
+                    degraded )
+              | None -> (
+                (* no feasible best-so-far: infeasible only when the solver
+                   ran to completion — a deadline cut proves nothing *)
+                match degraded with
+                | None ->
+                  Obs.incr obs "engine.infeasible";
+                  Ok (None, true, None)
+                | Some _ -> Ok (None, false, degraded)))
+        | _ -> Ok (None, false, None)
       in
       Obs.span obs "projection" (fun () ->
           Ok
@@ -229,11 +283,13 @@ let answer_common ctx ~check_access ~roles ~query ~purpose ~perc =
               schema = res.Relational.Eval.schema;
               released;
               withheld;
+              ambiguous;
               requested = need;
               threshold;
               applied_policies;
               proposal;
               infeasible;
+              degraded;
             }))
 
 let answer ctx request =

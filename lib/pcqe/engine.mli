@@ -27,6 +27,20 @@ type context = {
   jobs : int;
       (** parallelism for strategy finding; [1] = single-threaded.
           Outcomes are bit-identical at every level (see {!Exec}). *)
+  deadline : Resilience.Deadline.spec;
+      (** per-answer budget.  A fresh token is started for every
+          {!answer}; a wall budget covers evaluation {e and} strategy
+          finding, so the solver gets whatever remains.  On expiry the
+          solver returns its best-so-far {e feasible} proposal and the
+          response reports [degraded].  [No_deadline] (the default) is
+          unbounded. *)
+  mc_fallback : bool;
+      (** confidence degradation ladder: compute per-result confidence
+          with {!Lineage.Approx.confidence} (exact tiers first,
+          Monte-Carlo intervals when the lineage is too entangled) and
+          release {e fail-closed} — a tuple whose interval straddles the
+          threshold is withheld and counted in [response.ambiguous].
+          Off by default: exact confidence for every result. *)
   obs : Obs.t option;
       (** observability handle; [None] (the default) disables tracing and
           metrics entirely — the engine then allocates no spans *)
@@ -36,6 +50,8 @@ val make_context :
   ?solver:Optimize.Solver.algorithm ->
   ?delta:float ->
   ?jobs:int ->
+  ?deadline:Resilience.Deadline.spec ->
+  ?mc_fallback:bool ->
   ?cost_of:(Lineage.Tid.t -> Cost.Cost_model.t) ->
   ?cap_of:(Lineage.Tid.t -> float) ->
   ?views:Relational.Views.t ->
@@ -46,7 +62,8 @@ val make_context :
   unit ->
   context
 (** Defaults: divide-and-conquer solver, δ = 0.1, linear cost of rate 100,
-    cap 1.0 for every tuple, observability off.
+    cap 1.0 for every tuple, no deadline, exact confidence (no
+    Monte-Carlo fallback), observability off.
 
     [jobs] resolves via {!Exec.resolve_jobs}: an explicit value wins
     ([0] = one per core), then the [PCQE_JOBS] environment variable,
@@ -76,12 +93,20 @@ type proposal = {
       (** structured solver telemetry (nodes, prunes, iterations, …) *)
   solver_detail : string;  (** rendering of [solver_stats] *)
   elapsed_s : float;
+  resolution : Optimize.Solver.resolution;
+      (** [Partial] when a deadline stopped the solver early: the
+          increments are the best-so-far {e feasible} plan, possibly not
+          the cheapest — a degraded proposal never weakens compliance *)
 }
 
 type response = {
   schema : Relational.Schema.t;
   released : released list;  (** results above the threshold, returned now *)
   withheld : int;  (** results filtered out by the policy *)
+  ambiguous : int;
+      (** of [withheld]: results whose Monte-Carlo confidence interval
+          straddles the threshold — withheld fail-closed (only nonzero
+          with [mc_fallback]) *)
   requested : int;
       (** ⌈perc · n⌉ — how many results the request needs released; computed
           once here so callers and reports never redo the ceil *)
@@ -92,8 +117,14 @@ type response = {
       (** present when fewer than [perc] of the results were released and
           strategy finding found (or attempted) a remedy *)
   infeasible : bool;
-      (** [true] when strategy finding could not meet the requirement even
-          at the confidence caps *)
+      (** [true] when strategy finding ran to completion and could not
+          meet the requirement even at the confidence caps.  A
+          deadline-cut solve with no feasible best-so-far reports
+          [degraded] instead — an early stop proves nothing. *)
+  degraded : string option;
+      (** [Some reason] when the per-answer deadline stopped strategy
+          finding early (see {!proposal.resolution}); the reason also
+          lands in the audit log *)
 }
 
 val answer : context -> request -> (response, string) result

@@ -38,6 +38,10 @@ let help_text =
   \perc <fraction>    set the required result fraction (theta)
   \solver <name>      heuristic | greedy | dnc | annealing
   \jobs <n>           parallelism for strategy finding (0 = one per core)
+  \deadline <ms>|off  wall-clock budget per answer; expiry degrades the
+                      proposal to best-so-far (reported and audited)
+  \mc-fallback on|off Monte-Carlo confidence fallback (fail-closed:
+                      ambiguous intervals are withheld)
   \apply              accept the last improvement proposal
   \explain            lineage explanations for the last query
   \timing on|off      print the per-stage timed plan after each query
@@ -133,6 +137,39 @@ let meta t line =
         ( { t with ctx = { t.ctx with Engine.jobs } },
           Printf.sprintf "jobs set to %d" jobs )
     | _ -> Reply (t, Printf.sprintf "invalid jobs count %S" n))
+  | [ "\\deadline"; "off" ] ->
+    Reply
+      ( { t with ctx = { t.ctx with Engine.deadline = Resilience.Deadline.No_deadline } },
+        "deadline off" )
+  | [ "\\deadline"; v ] -> (
+    match float_of_string_opt v with
+    | Some ms when ms > 0.0 ->
+      Reply
+        ( { t with ctx = { t.ctx with Engine.deadline = Resilience.Deadline.Wall_ms ms } },
+          Printf.sprintf "deadline set to %gms per answer" ms )
+    | _ -> Reply (t, Printf.sprintf "bad deadline %S (need ms > 0, or off)" v))
+  | [ "\\deadline" ] ->
+    Reply
+      ( t,
+        match t.ctx.Engine.deadline with
+        | Resilience.Deadline.No_deadline -> "no deadline (\\deadline <ms>|off)"
+        | Resilience.Deadline.Wall_ms ms -> Printf.sprintf "deadline: %gms" ms
+        | Resilience.Deadline.Logical n ->
+          Printf.sprintf "deadline: %d logical ticks" n )
+  | [ "\\mc-fallback"; "on" ] ->
+    Reply
+      ( { t with ctx = { t.ctx with Engine.mc_fallback = true } },
+        "mc-fallback on: entangled lineage degrades to Monte-Carlo intervals \
+         (ambiguous results withheld)" )
+  | [ "\\mc-fallback"; "off" ] ->
+    Reply
+      ( { t with ctx = { t.ctx with Engine.mc_fallback = false } },
+        "mc-fallback off" )
+  | [ "\\mc-fallback" ] ->
+    Reply
+      ( t,
+        Printf.sprintf "mc-fallback is %s (\\mc-fallback on|off)"
+          (if t.ctx.Engine.mc_fallback then "on" else "off") )
   | [ "\\apply" ] -> (
     match t.last_proposal with
     | None -> Reply (t, "no pending proposal")
@@ -240,11 +277,18 @@ let meta t line =
   | [ "\\whoami" ] ->
     Reply
       ( t,
-        Printf.sprintf "user=%s purpose=%s perc=%g solver=%s jobs=%d"
+        Printf.sprintf "user=%s purpose=%s perc=%g solver=%s jobs=%d%s%s"
           (Option.value ~default:"(unset)" t.user)
           t.purpose t.perc
           (Optimize.Solver.algorithm_name t.ctx.Engine.solver)
-          t.ctx.Engine.jobs )
+          t.ctx.Engine.jobs
+          (match t.ctx.Engine.deadline with
+          | Resilience.Deadline.No_deadline -> ""
+          | Resilience.Deadline.Wall_ms ms ->
+            Printf.sprintf " deadline=%gms" ms
+          | Resilience.Deadline.Logical n ->
+            Printf.sprintf " deadline=%dticks" n)
+          (if t.ctx.Engine.mc_fallback then " mc-fallback=on" else "") )
   | cmd :: _ -> Reply (t, Printf.sprintf "unknown command %s (try \\help)" cmd)
   | [] -> Reply (t, "")
 

@@ -30,6 +30,14 @@ let proposal_to_string (p : Engine.proposal) =
        "Improvement proposal (%s, %.3fs, %s):\n  total cost: %.2f\n  would release %d result(s)\n"
        p.Engine.solver_name p.Engine.elapsed_s p.Engine.solver_detail
        p.Engine.cost p.Engine.projected_release);
+  (match p.Engine.resolution with
+  | Optimize.Solver.Complete -> ()
+  | Optimize.Solver.Partial { reason } ->
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  DEGRADED: %s — best feasible plan found so far, possibly not \
+          the cheapest\n"
+         reason));
   List.iter
     (fun (tid, target) ->
       Buffer.add_string buf
@@ -84,12 +92,27 @@ let response_to_string ?max_rows (r : Engine.response) =
          r.Engine.withheld
          (List.length r.Engine.released)
          r.Engine.requested);
+  if r.Engine.ambiguous > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf
+         "%d of the withheld result(s) had a confidence interval straddling \
+          the threshold (withheld fail-closed).\n"
+         r.Engine.ambiguous);
   (match r.Engine.proposal with
   | Some p -> Buffer.add_string buf (proposal_to_string p)
   | None ->
     if r.Engine.infeasible then
       Buffer.add_string buf
-        "No feasible confidence-improvement strategy exists (caps too low).\n");
+        "No feasible confidence-improvement strategy exists (caps too low).\n"
+    else (
+      match r.Engine.degraded with
+      | Some reason ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "DEGRADED: strategy finding stopped early (%s) with no feasible \
+              plan yet — retry with a larger budget.\n"
+             reason)
+      | None -> ()));
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
@@ -105,9 +128,12 @@ let timed_to_string ?response ?(with_metrics = false) (obs : Obs.t) =
   | None -> ()
   | Some (r : Engine.response) ->
     Buffer.add_string buf
-      (Printf.sprintf "released=%d withheld=%d requested=%d\n"
+      (Printf.sprintf "released=%d withheld=%d requested=%d%s\n"
          (List.length r.Engine.released)
-         r.Engine.withheld r.Engine.requested));
+         r.Engine.withheld r.Engine.requested
+         (if r.Engine.ambiguous > 0 then
+            Printf.sprintf " ambiguous=%d" r.Engine.ambiguous
+          else "")));
   if with_metrics then begin
     let metrics = Obs.Metrics.render obs.Obs.metrics in
     if metrics <> "" then begin

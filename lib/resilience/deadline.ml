@@ -1,0 +1,112 @@
+type spec = No_deadline | Wall_ms of float | Logical of int
+
+type mode =
+  | Unbounded
+  | Wall of { clock : Obs.Clock.t; expires_at : float; budget_ms : float }
+  | Budget of { budget : int }
+
+type t = {
+  mode : mode;
+  mutable ticks : int;
+  mutable tripped : bool;
+  mutable cancel_reason : string option;
+}
+
+let never = { mode = Unbounded; ticks = 0; tripped = false; cancel_reason = None }
+
+let start ?(clock = Obs.Clock.wall) spec =
+  match spec with
+  | No_deadline -> never
+  | Wall_ms b ->
+    if not (b > 0.0) then
+      invalid_arg (Printf.sprintf "Deadline.start: wall budget %g must be > 0" b);
+    {
+      mode = Wall { clock; expires_at = clock () +. (b /. 1000.0); budget_ms = b };
+      ticks = 0;
+      tripped = false;
+      cancel_reason = None;
+    }
+  | Logical n ->
+    if n < 0 then
+      invalid_arg (Printf.sprintf "Deadline.start: logical budget %d must be >= 0" n);
+    {
+      mode = Budget { budget = n };
+      ticks = 0;
+      tripped = false;
+      cancel_reason = None;
+    }
+
+let wall_ms ?clock b = start ?clock (Wall_ms b)
+let logical n = start (Logical n)
+
+let spec_of t =
+  match t.mode with
+  | Unbounded -> No_deadline
+  | Wall { budget_ms; _ } -> Wall_ms budget_ms
+  | Budget { budget } -> Logical budget
+
+let active t = t.mode <> Unbounded
+
+let tick ?(by = 1) t =
+  match t.mode with Unbounded -> () | Wall _ | Budget _ -> t.ticks <- t.ticks + by
+
+let used t = t.ticks
+
+let expired t =
+  match t.mode with
+  | Unbounded -> false
+  | _ when t.tripped -> true
+  | Wall { clock; expires_at; _ } ->
+    if clock () > expires_at then begin
+      t.tripped <- true;
+      true
+    end
+    else false
+  | Budget { budget } ->
+    if t.ticks >= budget then begin
+      t.tripped <- true;
+      true
+    end
+    else false
+
+let cancel t ?reason () =
+  match t.mode with
+  | Unbounded -> ()
+  | _ ->
+    t.tripped <- true;
+    (match reason with Some _ -> t.cancel_reason <- reason | None -> ())
+
+let reason t =
+  match t.cancel_reason with
+  | Some r -> r
+  | None -> (
+    match t.mode with
+    | Unbounded -> "no deadline"
+    | Wall { budget_ms; _ } ->
+      Printf.sprintf "wall deadline (%gms) exceeded" budget_ms
+    | Budget { budget } ->
+      Printf.sprintf "logical budget (%d ticks) exhausted" budget)
+
+let split t n =
+  if n <= 0 then invalid_arg "Deadline.split: n must be positive";
+  match t.mode with
+  | Unbounded -> Array.init n (fun _ -> never)
+  | Wall _ ->
+    Array.init n (fun _ ->
+        { mode = t.mode; ticks = 0; tripped = false; cancel_reason = None })
+  | Budget { budget } ->
+    let remaining = if t.tripped then 0 else max 0 (budget - t.ticks) in
+    let share = remaining / n in
+    Array.init n (fun _ ->
+        {
+          mode = Budget { budget = share };
+          ticks = 0;
+          tripped = false;
+          cancel_reason = None;
+        })
+
+let absorb t subs =
+  match t.mode with
+  | Unbounded -> ()
+  | Wall _ | Budget _ ->
+    Array.iter (fun s -> if s != never then t.ticks <- t.ticks + s.ticks) subs

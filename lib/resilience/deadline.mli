@@ -1,0 +1,97 @@
+(** Cooperative deadline / budget tokens.
+
+    A token bounds how much work a solver (or any cooperative loop) may
+    do before it must stop and return its best-so-far answer.  Expiry is
+    never delivered asynchronously: the worker polls {!expired} (or calls
+    {!tick}, which only updates accounting) at its own safe points, so a
+    loop is interrupted only at states it chose, and can always hand back
+    a consistent partial result.
+
+    Two bounded modes:
+
+    - {b Wall-clock} ([Wall_ms b]): expires once [clock () - t0] exceeds
+      [b] milliseconds.  The clock is an {!Obs.Clock.t}, so tests can
+      drive expiry deterministically with {!Obs.Clock.counter}.
+    - {b Logical} ([Logical n]): expires after [n] ticks, where a tick is
+      one unit of solver work (a branch-and-bound node, a greedy gain
+      probe, an annealing move).  Logical budgets are independent of
+      machine speed and of the [jobs] level, so budget-bounded runs are
+      bit-identical and reproducible — this is the mode tests and qcheck
+      properties use.
+
+    Tokens are single-writer: only the loop that owns a token may [tick]
+    it.  To bound a parallel phase, {!split} the remaining budget into
+    per-task sub-tokens {e before} the fan-out (each task owns its share,
+    so the outcome does not depend on scheduling) and {!absorb} the
+    children's consumption afterwards. *)
+
+type spec =
+  | No_deadline  (** unbounded — every check is a no-op *)
+  | Wall_ms of float  (** wall-clock budget in milliseconds, must be > 0 *)
+  | Logical of int  (** deterministic budget in ticks, must be >= 0 *)
+
+type t
+
+val never : t
+(** The unbounded token: [tick] is a no-op, [expired] is always [false].
+    Shared — safe to pass to concurrent tasks. *)
+
+val start : ?clock:Obs.Clock.t -> spec -> t
+(** Fresh token.  For [Wall_ms] the budget starts counting now, against
+    [clock] (default {!Obs.Clock.wall}).  [clock] is ignored for the
+    other modes.
+    @raise Invalid_argument on a non-positive wall budget or negative
+    logical budget. *)
+
+val wall_ms : ?clock:Obs.Clock.t -> float -> t
+(** [wall_ms b] is [start (Wall_ms b)]. *)
+
+val logical : int -> t
+(** [logical n] is [start (Logical n)]. *)
+
+val spec_of : t -> spec
+(** The spec this token was started from ([No_deadline] for {!never}). *)
+
+val active : t -> bool
+(** [true] iff the token can ever expire (i.e. not [No_deadline]) — lets
+    hot loops skip per-iteration polling entirely when unbounded. *)
+
+val tick : ?by:int -> t -> unit
+(** Record [by] (default 1) units of work.  Never raises; expiry is
+    observed with {!expired}.  No-op on unbounded tokens. *)
+
+val used : t -> int
+(** Ticks recorded so far (including those absorbed from sub-tokens). *)
+
+val expired : t -> bool
+(** Whether the budget is exhausted (or the token was {!cancel}ed).
+    Sticky: once [true], stays [true]. *)
+
+val cancel : t -> ?reason:string -> unit -> unit
+(** Force expiry now (e.g. user interrupt).  [reason] overrides the
+    default expiry message.  No-op on {!never}. *)
+
+val reason : t -> string
+(** Human-readable explanation of why the token expired, e.g.
+    ["wall deadline (50ms) exceeded"] or
+    ["logical budget (1000 ticks) exhausted"].  Meaningful once
+    {!expired} is [true]. *)
+
+val split : t -> int -> t array
+(** [split t n] carves [n] independent sub-tokens out of [t]'s remaining
+    budget, for bounding [n] parallel tasks deterministically:
+
+    - logical: each child gets [floor (remaining / n)] ticks (children of
+      an expired or starved parent get 0 ticks, i.e. are born expired);
+    - wall: each child counts against the {e same} absolute deadline as
+      the parent, with its own tick accounting;
+    - unbounded: children are unbounded.
+
+    The division is a function of the parent's state only, never of
+    scheduling, so logical-budget runs stay bit-identical at any [jobs]
+    level.  [n] must be positive. *)
+
+val absorb : t -> t array -> unit
+(** [absorb t subs] adds the children's consumed ticks back into [t]'s
+    accounting (and, for logical tokens, its budget consumption).  Call
+    once after joining the parallel tasks that owned [subs]. *)

@@ -1,0 +1,79 @@
+exception Injected of string
+
+let site_pool_chunk = "pool.chunk"
+let site_state_eval = "state.eval"
+let site_prob_mc = "prob.mc"
+let all_sites = [ site_pool_chunk; site_state_eval; site_prob_mc ]
+
+type plan = {
+  seed : int;
+  rate : float;
+  max_injections : int;
+  counters : (string * int Atomic.t) list;
+      (* fixed at creation: the hot path is read-only *)
+  injected : int Atomic.t;
+}
+
+let plan ?(rate = 0.05) ?max_injections ?sites ~seed () =
+  let rate = Float.min 1.0 (Float.max 0.0 rate) in
+  let sites =
+    match sites with
+    | None -> all_sites
+    | Some ss -> List.sort_uniq compare ss
+  in
+  {
+    seed;
+    rate;
+    max_injections = (match max_injections with None -> max_int | Some m -> m);
+    counters = List.map (fun s -> (s, Atomic.make 0)) sites;
+    injected = Atomic.make 0;
+  }
+
+let current : plan option Atomic.t = Atomic.make None
+let arm p = Atomic.set current (Some p)
+let disarm () = Atomic.set current None
+let armed () = Atomic.get current <> None
+
+let with_plan p f =
+  arm p;
+  Fun.protect ~finally:disarm f
+
+(* Per-domain suppression depth: recovery code must not be injectable. *)
+let suppress_key = Domain.DLS.new_key (fun () -> ref 0)
+
+let protect f =
+  let d = Domain.DLS.get suppress_key in
+  incr d;
+  Fun.protect ~finally:(fun () -> decr d) f
+
+(* Whether the [i]-th hit of [site] injects is a pure function of
+   (seed, site, i): a SplitMix64 generator keyed by mixing the three. *)
+let decides p site i =
+  let key =
+    Int64.add
+      (Int64.mul (Int64.of_int p.seed) 0x9E3779B97F4A7C15L)
+      (Int64.add
+         (Int64.mul (Int64.of_int (Hashtbl.hash site)) 0xBF58476D1CE4E5B9L)
+         (Int64.of_int i))
+  in
+  Prng.Splitmix.coin (Prng.Splitmix.create key) p.rate
+
+let hit site =
+  match Atomic.get current with
+  | None -> ()
+  | Some p -> (
+    if !(Domain.DLS.get suppress_key) = 0 then
+      match List.assoc_opt site p.counters with
+      | None -> ()
+      | Some c ->
+        let i = Atomic.fetch_and_add c 1 in
+        if Atomic.get p.injected < p.max_injections && decides p site i then begin
+          Atomic.incr p.injected;
+          raise (Injected (Printf.sprintf "%s#%d" site i))
+        end)
+
+let injected p = Atomic.get p.injected
+
+let hits p =
+  List.map (fun (s, c) -> (s, Atomic.get c)) p.counters
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

@@ -1,0 +1,5 @@
+(** Resilience primitives: cooperative deadlines and seeded fault
+    injection.  See {!Deadline} and {!Fault}. *)
+
+module Deadline = Deadline
+module Fault = Fault

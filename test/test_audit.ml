@@ -18,6 +18,7 @@ let sample_query ?(user = "alice") ?(withheld = 1) () =
       released = 2;
       withheld;
       proposal_cost = Some 10.0;
+      degraded = None;
     }
 
 let sample_improvement =

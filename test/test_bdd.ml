@@ -70,6 +70,53 @@ let test_sat_count () =
   Alcotest.(check (float 1e-9)) "free var doubles" 6.0
     (B.sat_count m (B.of_formula m f) ~vars:vars5)
 
+(* The documented cap contract is a strict boundary: a build needing
+   exactly [n] fresh nodes succeeds under [~size_cap:n] and raises under
+   [~size_cap:(n - 1)].  Find the minimal sufficient cap empirically
+   (fresh manager per attempt, since interned survivors would shrink the
+   next build's allocation count) and pin both sides of the line. *)
+let test_size_cap_boundary () =
+  let f =
+    F.disj
+      [ F.conj [ v 0; v 1 ]; F.conj [ v 1; v 2 ]; F.conj [ v 2; F.neg (v 0) ] ]
+  in
+  let builds cap =
+    let m = B.manager () in
+    match B.of_formula ~size_cap:cap m f with
+    | _ -> true
+    | exception B.Size_cap_exceeded -> false
+  in
+  let rec minimal cap = if builds cap then cap else minimal (cap + 1) in
+  let min_cap = minimal 0 in
+  Alcotest.(check bool) "formula needs some fresh nodes" true (min_cap > 0);
+  Alcotest.(check bool) "exactly the cap succeeds" true (builds min_cap);
+  Alcotest.(check bool) "one below the cap raises" false (builds (min_cap - 1));
+  (* an uncapped build is identical to the capped one *)
+  let m = B.manager () in
+  Alcotest.(check bool) "capped build is not truncated" true
+    (B.equal (B.of_formula m f) (B.of_formula ~size_cap:min_cap m f))
+
+let test_size_cap_zero_on_interned () =
+  (* after an uncapped build everything is interned, so a repeat build of
+     the same formula allocates nothing and [~size_cap:0] must pass *)
+  let f = F.disj [ F.conj [ v 0; v 1 ]; v 2 ] in
+  let m = B.manager () in
+  let b = B.of_formula m f in
+  Alcotest.(check bool) "cap 0 on fully interned formula" true
+    (B.equal b (B.of_formula ~size_cap:0 m f))
+
+let test_manager_usable_after_cap_exceeded () =
+  let m = B.manager () in
+  let hard = F.disj [ F.conj [ v 0; v 1 ]; F.conj [ v 2; v 3 ] ] in
+  (match B.of_formula ~size_cap:1 m hard with
+  | _ -> Alcotest.fail "cap 1 should not fit the disjunction"
+  | exception B.Size_cap_exceeded -> ());
+  (* the same manager still builds and answers correctly *)
+  let b = B.of_formula m hard in
+  let p tid = [| 0.5; 0.5; 0.5; 0.5 |].(tid.Tid.row) in
+  Alcotest.(check (float 1e-12)) "prob after aborted build"
+    (P.exact p hard) (B.prob m p b)
+
 let gen_formula =
   QCheck.Gen.(
     sized
@@ -128,6 +175,11 @@ let () =
           Alcotest.test_case "size" `Quick test_size;
           Alcotest.test_case "paper probability" `Quick test_prob_paper_example;
           Alcotest.test_case "sat count" `Quick test_sat_count;
+          Alcotest.test_case "size cap boundary" `Quick test_size_cap_boundary;
+          Alcotest.test_case "size cap 0 on interned" `Quick
+            test_size_cap_zero_on_interned;
+          Alcotest.test_case "manager usable after cap" `Quick
+            test_manager_usable_after_cap_exceeded;
         ] );
       ( "properties",
         [

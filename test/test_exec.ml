@@ -84,6 +84,53 @@ let test_no_domain_leak_after_raise () =
   done;
   Alcotest.(check pass) "repeated raise+shutdown" () ()
 
+let test_lowest_index_under_concurrent_failures () =
+  (* many chunks fail at once; whatever the domain interleaving, the
+     re-raised exception must carry the lowest failing index.  Vary the
+     failing set and repeat to shake scheduling orders. *)
+  Pool.with_pool ~jobs:4 (fun p ->
+      List.iter
+        (fun (lowest, fails) ->
+          for _trial = 1 to 10 do
+            match
+              Pool.map_array ~chunk:1 p
+                (fun i -> if List.mem i fails then raise (Boom i) else i)
+                (Array.init 48 Fun.id)
+            with
+            | _ -> Alcotest.fail "expected Boom"
+            | exception Boom i ->
+              Alcotest.(check int)
+                (Printf.sprintf "lowest of %d failures" (List.length fails))
+                lowest i
+          done)
+        [
+          (5, [ 5; 6; 7; 8 ]);
+          (0, [ 47; 23; 0; 11 ]);
+          (2, List.init 46 (fun i -> i + 2));
+        ])
+
+let test_reuse_across_successive_failures () =
+  (* one pool, alternating failing and clean batches: each failure must
+     leave the pool fully functional for the next batch *)
+  Pool.with_pool ~jobs:4 (fun p ->
+      for round = 0 to 9 do
+        (try
+           ignore
+             (Pool.map_array ~chunk:1 p
+                (fun i -> if i = round then raise (Boom i) else i)
+                (Array.init 10 Fun.id));
+           Alcotest.fail "expected Boom"
+         with Boom i ->
+           Alcotest.(check int)
+             (Printf.sprintf "round %d failure index" round)
+             round i);
+        let out = Pool.map_array p (fun x -> x * 2) (Array.init 20 Fun.id) in
+        Alcotest.(check (array int))
+          (Printf.sprintf "round %d clean batch" round)
+          (Array.init 20 (fun i -> i * 2))
+          out
+      done)
+
 let test_shutdown_idempotent () =
   let p = Pool.create ~jobs:3 () in
   ignore (Pool.map_array p succ [| 1; 2; 3 |]);
@@ -148,6 +195,10 @@ let () =
             test_exception_propagates;
           Alcotest.test_case "no leak after raise" `Quick
             test_no_domain_leak_after_raise;
+          Alcotest.test_case "lowest index under concurrent failures" `Quick
+            test_lowest_index_under_concurrent_failures;
+          Alcotest.test_case "reuse across successive failures" `Quick
+            test_reuse_across_successive_failures;
           Alcotest.test_case "shutdown idempotent" `Quick
             test_shutdown_idempotent;
           Alcotest.test_case "nested run" `Quick test_nested_run;

@@ -79,6 +79,7 @@ let test_proposal_lead_time () =
       solver_stats = Optimize.Solver.Greedy_stats Optimize.Greedy.empty_stats;
       solver_detail = "";
       elapsed_s = 0.0;
+      resolution = Optimize.Solver.Complete;
     }
   in
   (* improving takes 30 days per 0.1 of confidence *)
