@@ -26,6 +26,11 @@
                    vs unbounded, over many seeds: the deadline bounds
                    the tail (p99) while every partial answer stays
                    feasible; writes BENCH_resilience.json
+     sweep-serving  warm serving pipeline (prepared plans + per-epoch
+                   confidence caches) vs the cold per-request path:
+                   repeated query, 1/8/64 principals, and the re-answer
+                   after accept_proposal; every warm answer is checked
+                   identical to cold; writes BENCH_serving.json
      smoke       every panel at tiny sizes (run by `dune runtest`)
      micro       Bechamel micro-benchmarks of the hot paths
 
@@ -925,6 +930,238 @@ let sweep_resilience ?(size = 2000) ?(seeds = 20) ?(deadline_ms = 100.0) () =
 
 (* ------------------------------------------------------------------ *)
 
+(* sweep-serving: the staged serving pipeline (prepared plans, database
+   epochs, per-epoch confidence caches) against the cold per-request
+   path.  Three workloads: one query answered repeatedly by one
+   principal, one query for 1/8/64 principals, and a re-answer after
+   accepting an improvement proposal (only the dirtied lineage classes
+   may be recomputed).  Every warm response must be identical to its
+   cold counterpart — the panel fails hard otherwise; wall times,
+   speedups and the reuse counters go to BENCH_serving.json. *)
+
+let serving_json_path = "BENCH_serving.json"
+
+let resp_fingerprint (r : Pcqe.Engine.response) =
+  ( List.map
+      (fun (rel : Pcqe.Engine.released) ->
+        ( rel.Pcqe.Engine.tuple,
+          rel.Pcqe.Engine.lineage,
+          rel.Pcqe.Engine.confidence ))
+      r.Pcqe.Engine.released,
+    r.Pcqe.Engine.withheld,
+    r.Pcqe.Engine.ambiguous,
+    r.Pcqe.Engine.requested,
+    r.Pcqe.Engine.threshold,
+    (* elapsed_s is wall time and legitimately differs; everything the
+       requester acts on must not *)
+    Option.map
+      (fun (p : Pcqe.Engine.proposal) ->
+        ( p.Pcqe.Engine.increments,
+          p.Pcqe.Engine.cost,
+          p.Pcqe.Engine.projected_release ))
+      r.Pcqe.Engine.proposal,
+    r.Pcqe.Engine.infeasible,
+    r.Pcqe.Engine.degraded )
+
+let outcome_fingerprint = function
+  | Ok r -> Ok (resp_fingerprint r)
+  | Error m -> Error m
+
+let serving_context ~rows ~principals ~seed () =
+  let open Relational in
+  let r =
+    Relation.create "R" (Schema.of_list [ ("k", Value.TInt); ("n", Value.TInt) ])
+  in
+  let db = Database.add_relation Database.empty r in
+  let rng = Prng.Splitmix.of_int seed in
+  let db =
+    List.fold_left
+      (fun db i ->
+        fst
+          (Database.insert db "R"
+             [ Value.Int i; Value.Int (Prng.Splitmix.int rng 100) ]
+             ~conf:(Prng.Splitmix.float_in rng 0.35 0.95)))
+      db (List.init rows Fun.id)
+  in
+  let users = List.init principals (fun i -> Printf.sprintf "u%02d" i) in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "role Analyst\n";
+  List.iter
+    (fun u ->
+      Buffer.add_string buf (Printf.sprintf "user %s\nassign %s Analyst\n" u u))
+    users;
+  Buffer.add_string buf "grant Analyst select *\n";
+  let rbac =
+    match Rbac.Config.parse (Buffer.contents buf) with
+    | Ok r -> r
+    | Error m -> failwith m
+  in
+  let policies =
+    match Rbac.Policy.parse_store "Analyst, serve, 0.6" with
+    | Ok s -> s
+    | Error m -> failwith m
+  in
+  (Pcqe.Engine.make_context ~db ~rbac ~policies (), users)
+
+let serving_sql = "SELECT k FROM R WHERE n < 70"
+
+let assert_identical label colds warms =
+  List.iteri
+    (fun i (c, w) ->
+      if outcome_fingerprint c <> outcome_fingerprint w then
+        failwith
+          (Printf.sprintf "%s: response %d differs between cold and warm"
+             label (i + 1)))
+    (List.combine colds warms)
+
+(* cold = per-request Engine.answer without caches; warm = a second
+   Session.batch round over the same requests (the first round, which
+   fills the caches, is also checked against cold) *)
+let serving_ab label ctx requests =
+  let cold, t_cold =
+    time (fun () -> List.map (fun r -> Pcqe.Engine.answer ctx r) requests)
+  in
+  let session = Pcqe.Engine.Session.create ctx in
+  let first = Pcqe.Engine.Session.batch session requests in
+  let warm, t_warm =
+    time (fun () -> Pcqe.Engine.Session.batch session requests)
+  in
+  assert_identical (label ^ " (filling round)") cold first;
+  assert_identical (label ^ " (warm round)") cold warm;
+  (t_cold, t_warm, t_cold /. Float.max t_warm 1e-9)
+
+let sweep_serving ?(rows = 2000) ?(reps = 64)
+    ?(principal_counts = [ 1; 8; 64 ]) ?(seed = 41) () =
+  header
+    "sweep-serving: prepared plans + per-epoch confidence caches vs cold path";
+  row "  every warm answer is checked identical to its cold counterpart\n";
+  (* (1) one principal repeats one query [reps] times *)
+  let repeated_entry =
+    let ctx, users = serving_context ~rows ~principals:1 ~seed () in
+    let user = List.hd users in
+    let requests =
+      List.init reps (fun _ ->
+          {
+            Pcqe.Engine.query = Pcqe.Query.sql serving_sql;
+            user;
+            purpose = "serve";
+            perc = 0.3;
+          })
+    in
+    let t_cold, t_warm, speedup = serving_ab "repeated-query" ctx requests in
+    row "  %-24s cold %8.4fs  warm %8.4fs  %7.1fx\n"
+      (Printf.sprintf "repeated query x%d" reps)
+      t_cold t_warm speedup;
+    Printf.sprintf
+      "  \"repeated_query\": \
+       {\"rows\":%d,\"requests\":%d,\"cold_s\":%g,\"warm_s\":%g,\"speedup\":%g,\"identical\":true}"
+      rows reps t_cold t_warm speedup
+  in
+  (* (2) the same query for 1, 8, 64 principals: plans are shared across
+     users and identical lineage classes are computed once *)
+  let principal_entries =
+    List.map
+      (fun n ->
+        let ctx, users = serving_context ~rows ~principals:n ~seed () in
+        let requests =
+          List.map
+            (fun user ->
+              {
+                Pcqe.Engine.query = Pcqe.Query.sql serving_sql;
+                user;
+                purpose = "serve";
+                perc = 0.3;
+              })
+            users
+        in
+        let t_cold, t_warm, speedup =
+          serving_ab (Printf.sprintf "%d principals" n) ctx requests
+        in
+        row "  %-24s cold %8.4fs  warm %8.4fs  %7.1fx\n"
+          (Printf.sprintf "%d principal(s)" n)
+          t_cold t_warm speedup;
+        Printf.sprintf
+          "    \
+           {\"principals\":%d,\"rows\":%d,\"cold_s\":%g,\"warm_s\":%g,\"speedup\":%g,\"identical\":true}"
+          n rows t_cold t_warm speedup)
+      principal_counts
+  in
+  (* (3) accept_proposal then re-answer: the confidence epoch advances,
+     targeted invalidation drops exactly the raised tuples' classes, and
+     the warm re-answer recomputes only those (kept small so the number
+     of increments stays within the database's bounded change log) *)
+  let post_accept_entry =
+    let post_rows = min rows 400 in
+    let ctx, users = serving_context ~rows:post_rows ~principals:1 ~seed () in
+    let user = List.hd users in
+    let request =
+      {
+        Pcqe.Engine.query = Pcqe.Query.sql serving_sql;
+        user;
+        purpose = "serve";
+        perc = 0.8;
+      }
+    in
+    let session = Pcqe.Engine.Session.create ctx in
+    let proposal =
+      match Pcqe.Engine.Session.batch session [ request ] with
+      | [ Ok r ] -> (
+        match r.Pcqe.Engine.proposal with
+        | Some p -> p
+        | None -> failwith "sweep-serving: expected an improvement proposal")
+      | [ Error m ] -> failwith ("sweep-serving: post-accept setup: " ^ m)
+      | _ -> assert false
+    in
+    let stat stats name =
+      match List.assoc_opt name stats with Some v -> v | None -> 0
+    in
+    let before = Pcqe.Engine.Session.cache_stats session in
+    Pcqe.Engine.Session.accept_proposal session proposal;
+    let ctx_after = Pcqe.Engine.accept_proposal ctx proposal in
+    let cold, t_cold = time (fun () -> Pcqe.Engine.answer ctx_after request) in
+    let warm, t_warm =
+      time (fun () -> Pcqe.Engine.Session.answer session request)
+    in
+    assert_identical "post-accept" [ cold ] [ warm ];
+    let after = Pcqe.Engine.Session.cache_stats session in
+    let d name = stat after name - stat before name in
+    let reused = d "serving.reused_classes" in
+    let recomputed = d "serving.recomputed_classes" in
+    let invalidated = d "serving.invalidated_classes" in
+    (* the whole point of the epoch machinery: untouched classes survive
+       the accept and are served from cache *)
+    if reused = 0 then
+      failwith "sweep-serving: post-accept re-answer reused no classes";
+    if invalidated = 0 then
+      failwith "sweep-serving: accept_proposal invalidated no classes";
+    let speedup = t_cold /. Float.max t_warm 1e-9 in
+    row
+      "  %-24s cold %8.4fs  warm %8.4fs  %7.1fx  (%d reused, %d recomputed, \
+       %d invalidated)\n"
+      "post-accept re-answer" t_cold t_warm speedup reused recomputed
+      invalidated;
+    Printf.sprintf
+      "  \"post_accept\": \
+       {\"rows\":%d,\"increments\":%d,\"reused_classes\":%d,\"recomputed_classes\":%d,\"invalidated_classes\":%d,\"cold_s\":%g,\"warm_s\":%g,\"speedup\":%g,\"identical\":true}"
+      post_rows
+      (List.length proposal.Pcqe.Engine.increments)
+      reused recomputed invalidated t_cold t_warm speedup
+  in
+  let oc = open_out serving_json_path in
+  output_string oc "{\n";
+  output_string oc (repeated_entry ^ ",\n");
+  output_string oc "  \"principals\": [\n";
+  output_string oc (String.concat ",\n" principal_entries);
+  output_string oc "\n  ],\n";
+  output_string oc (post_accept_entry ^ "\n");
+  output_string oc "}\n";
+  close_out oc;
+  row "  wrote %d workloads to %s\n"
+    (2 + List.length principal_entries)
+    serving_json_path
+
+(* ------------------------------------------------------------------ *)
+
 (* smoke: every panel at tiny sizes, cheap enough to run under `dune
    runtest` — keeps the harness and both JSON artifact writers honest *)
 let smoke () =
@@ -943,6 +1180,7 @@ let smoke () =
   sweep_incremental ~size:200 ~annealing_iters:5_000
     ~bb_max_nodes:(Some 5_000) ();
   sweep_resilience ~size:200 ~seeds:3 ~deadline_ms:5.0 ();
+  sweep_serving ~rows:300 ~reps:16 ~principal_counts:[ 1; 8 ] ();
   micro ~quota:0.05 ~size:200 ()
 
 let all_panels ~full ~jobs_levels () =
@@ -962,6 +1200,7 @@ let all_panels ~full ~jobs_levels () =
   solvers_json ();
   sweep_incremental ();
   sweep_resilience ();
+  sweep_serving ();
   micro ()
 
 let () =
@@ -1010,6 +1249,7 @@ let () =
         | "solvers-json" -> solvers_json ()
         | "sweep-incremental" -> sweep_incremental ()
         | "sweep-resilience" -> sweep_resilience ()
+        | "sweep-serving" -> sweep_serving ()
         | "smoke" -> smoke ()
         | "micro" -> micro ()
         | other -> Printf.eprintf "unknown panel %S\n" other)

@@ -4,8 +4,11 @@
      query   run a SQL query over CSV relations under a confidence policy
              (accepts --workspace DIR or individual --data/--rbac/
              --policies/--costs flags; --apply accepts the proposal)
-     repl    interactive SQL session over a workspace, with \apply,
-             \explain, \audit and \save
+     batch   answer a 'user|purpose|perc|SQL' request file through one
+             warm serving session (prepared plans + confidence caches;
+             --repeat N re-runs the file, --stats prints cache counters)
+     repl    interactive SQL session over a workspace, with \prepare,
+             \exec, \caches, \apply, \explain, \audit and \save
      plan    show the relational-algebra plan of a SQL query
      solve   generate a synthetic confidence-increment instance (Table 4
              parameters) and run one of the four strategy-finding
@@ -201,6 +204,115 @@ let run_query workspace data_dir rbac_file policy_file costs_file user purpose
           print_endline "\n(no proposal to apply)";
           Ok ()
         | false, _ -> Ok ())
+  in
+  match result with
+  | Ok () -> 0
+  | Error msg ->
+    Printf.eprintf "pcqe: %s\n" msg;
+    1
+
+(* ------------------------------------------------------------------ *)
+(* batch subcommand: answer a file of requests through one serving
+   session, so repeated query texts share prepared plans and identical
+   lineage classes share one confidence computation *)
+
+(* request file: one "user|purpose|perc|SQL" per line, '#' comments *)
+let parse_requests text =
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+      let trimmed = String.trim line in
+      if trimmed = "" || trimmed.[0] = '#' then go (lineno + 1) acc rest
+      else
+        match String.split_on_char '|' trimmed with
+        | user :: purpose :: perc :: (_ :: _ as sql) -> (
+          let sql = String.trim (String.concat "|" sql) in
+          match float_of_string_opt (String.trim perc) with
+          | Some perc when perc >= 0.0 && perc <= 1.0 ->
+            let req =
+              {
+                Pcqe.Engine.query = Pcqe.Query.sql sql;
+                user = String.trim user;
+                purpose = String.trim purpose;
+                perc;
+              }
+            in
+            go (lineno + 1) (req :: acc) rest
+          | _ ->
+            Error
+              (Printf.sprintf "requests line %d: bad perc %S (need [0,1])"
+                 lineno (String.trim perc)))
+        | _ ->
+          Error
+            (Printf.sprintf
+               "requests line %d: need 'user|purpose|perc|SQL'" lineno))
+  in
+  go 1 [] lines
+
+let print_batch_outcome i (req : Pcqe.Engine.request) = function
+  | Error msg ->
+    Printf.printf "[%d] %s/%s: error: %s\n" i req.Pcqe.Engine.user
+      req.Pcqe.Engine.purpose msg
+  | Ok (r : Pcqe.Engine.response) ->
+    let released = List.length r.Pcqe.Engine.released in
+    Printf.printf "[%d] %s/%s: released %d/%d, withheld %d%s%s%s\n" i
+      req.Pcqe.Engine.user req.Pcqe.Engine.purpose released
+      (released + r.Pcqe.Engine.withheld)
+      r.Pcqe.Engine.withheld
+      (match r.Pcqe.Engine.proposal with
+      | Some p -> Printf.sprintf ", proposal cost %.2f" p.Pcqe.Engine.cost
+      | None -> "")
+      (if r.Pcqe.Engine.infeasible then ", infeasible" else "")
+      (match r.Pcqe.Engine.degraded with
+      | Some reason -> Printf.sprintf ", degraded (%s)" reason
+      | None -> "")
+
+let run_batch workspace data_dir rbac_file policy_file costs_file solver jobs
+    deadline_ms mc_fallback repeat stats trace metrics_out requests_file =
+  let result =
+    let* ctx =
+      build_context workspace data_dir rbac_file policy_file costs_file solver
+    in
+    let ctx =
+      match jobs with
+      | None -> ctx
+      | Some j -> { ctx with Pcqe.Engine.jobs = Exec.resolve_jobs ~jobs:j () }
+    in
+    let* deadline = deadline_spec_of_ms deadline_ms in
+    let ctx = { ctx with Pcqe.Engine.deadline; mc_fallback } in
+    let* text = read_file requests_file in
+    let* requests = parse_requests text in
+    let* () =
+      if requests = [] then
+        Error (Printf.sprintf "no requests in %s" requests_file)
+      else Ok ()
+    in
+    let* () =
+      if repeat < 1 then
+        Error (Printf.sprintf "--repeat %d: need at least 1" repeat)
+      else Ok ()
+    in
+    with_obs ~trace ~metrics_out (fun obs ->
+        let ctx = { ctx with Pcqe.Engine.obs } in
+        let session = Pcqe.Engine.Session.create ctx in
+        for round = 1 to repeat do
+          if repeat > 1 then Printf.printf "-- round %d\n" round;
+          let responses = Pcqe.Engine.Session.batch session requests in
+          List.iteri
+            (fun i (req, resp) -> print_batch_outcome (i + 1) req resp)
+            (List.combine requests responses)
+        done;
+        (match (trace, obs) with
+        | true, Some o -> print_string (Obs.report o)
+        | _ -> ());
+        if stats then begin
+          print_endline "serving caches:";
+          List.iter
+            (fun (k, v) -> Printf.printf "  %-28s %d\n" k v)
+            (Pcqe.Engine.Session.cache_stats session)
+        end;
+        Ok ())
   in
   match result with
   | Ok () -> 0
@@ -474,6 +586,78 @@ let query_cmd =
       $ deadline_arg $ mc_fallback_arg $ apply_arg $ trace_arg
       $ metrics_out_arg $ sql_arg)
 
+let batch_cmd =
+  let rbac_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "rbac" ] ~docv:"FILE" ~doc:"RBAC definition file.")
+  in
+  let policy_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "policies" ] ~docv:"FILE" ~doc:"Confidence policy file.")
+  in
+  let costs_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "costs" ] ~docv:"FILE" ~doc:"Per-tuple cost functions.")
+  in
+  let mc_fallback_arg =
+    Arg.(
+      value & flag
+      & info [ "mc-fallback" ]
+          ~doc:"Monte-Carlo confidence fallback (fail-closed).")
+  in
+  let repeat_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "repeat" ] ~docv:"N"
+          ~doc:
+            "Answer the request file $(docv) times through the same \
+             session; rounds after the first run entirely against the warm \
+             caches.")
+  in
+  let stats_arg =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Print the serving-cache statistics (prepared-plan hits, \
+             reused vs recomputed confidence classes) after the batch.")
+  in
+  let requests_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"REQUESTS"
+          ~doc:
+            "Request file: one 'user|purpose|perc|SQL' per line, '#' \
+             comments.")
+  in
+  let doc = "answer a file of requests through one warm serving session" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Answers every ⟨query, user, purpose, perc⟩ request in the file, \
+         in order, through a single serving session: each distinct query \
+         text is parsed, view-expanded and rewritten once (the prepared \
+         plan cache), each distinct lineage class gets one confidence \
+         computation (the per-epoch confidence cache), and the prewarm \
+         runs in parallel under --jobs.  Responses are bit-identical to \
+         answering each request cold.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "batch" ~doc ~man)
+    Term.(
+      const run_batch $ workspace_arg $ data_opt_arg $ rbac_arg $ policy_arg
+      $ costs_arg $ solver_arg $ jobs_arg $ deadline_arg $ mc_fallback_arg
+      $ repeat_arg $ stats_arg $ trace_arg $ metrics_out_arg $ requests_arg)
+
 let plan_cmd =
   let doc = "print the relational-algebra plan of a SQL query" in
   Cmd.v (Cmd.info "plan" ~doc) Term.(const run_plan $ data_arg $ sql_arg)
@@ -528,6 +712,6 @@ let main_cmd =
   let doc = "policy-compliant query evaluation over confidence-annotated data" in
   Cmd.group
     (Cmd.info "pcqe" ~version:"1.0.0" ~doc)
-    [ query_cmd; plan_cmd; solve_cmd; export_cmd; repl_cmd ]
+    [ query_cmd; batch_cmd; plan_cmd; solve_cmd; export_cmd; repl_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

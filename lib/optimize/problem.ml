@@ -247,8 +247,8 @@ let make_exn ?delta ?incremental ~beta ~required ~bases ~formulas () =
   | Ok t -> t
   | Error msg -> invalid_arg ("Problem.make: " ^ msg)
 
-let of_query_results ?delta ?incremental ?required ~theta ~beta ~cost_of
-    ~cap_of db (res : Relational.Eval.annotated) =
+let of_query_results ?delta ?incremental ?required ?conf_of ~theta ~beta
+    ~cost_of ~cap_of db (res : Relational.Eval.annotated) =
   let* () =
     if not (theta >= 0.0 && theta <= 1.0) then
       Error (Printf.sprintf "theta %g outside [0,1]" theta)
@@ -257,9 +257,12 @@ let of_query_results ?delta ?incremental ?required ~theta ~beta ~cost_of
   let rows = Array.of_list res.Relational.Eval.rows in
   let n = Array.length rows in
   let conf_of row =
-    Lineage.Prob.confidence
-      (Relational.Database.confidence_fn db)
-      row.Relational.Eval.lineage
+    match conf_of with
+    | Some conf -> conf row.Relational.Eval.lineage
+    | None ->
+      Lineage.Prob.confidence
+        (Relational.Database.confidence_fn db)
+        row.Relational.Eval.lineage
   in
   let failing = ref [] and satisfied = ref 0 in
   Array.iteri

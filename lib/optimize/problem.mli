@@ -62,6 +62,7 @@ val of_query_results :
   ?delta:float ->
   ?incremental:bool ->
   ?required:int ->
+  ?conf_of:(Lineage.Formula.t -> float) ->
   theta:float ->
   beta:float ->
   cost_of:(Lineage.Tid.t -> Cost.Cost_model.t) ->
@@ -75,7 +76,15 @@ val of_query_results :
     results; [required] defaults to [⌈θ*n⌉ - satisfied] where [n] counts all
     results (the paper's [(θ - θ′)*n]), clamped to the number of failing
     results.  Also returns the indices (into [res.rows]) of the failing
-    rows, in instance order. *)
+    rows, in instance order.
+
+    [conf_of] overrides how each row's current confidence is obtained
+    (default: {!Lineage.Prob.confidence} against [db]) — the serving
+    pipeline passes its per-epoch confidence-cache lookup here so
+    problem construction reuses the values the policy filter just
+    computed.  The override must return exactly what the default would
+    (it is a cache, not an approximation); feasibility classification
+    depends on it. *)
 
 (** {1 Accessors} *)
 

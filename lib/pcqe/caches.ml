@@ -1,0 +1,30 @@
+type t = { plans : Plan_cache.t; conf : Conf_cache.t }
+
+let create ?plan_capacity ?conf_max_entries () =
+  {
+    plans = Plan_cache.create ?capacity:plan_capacity ();
+    conf = Conf_cache.create ?max_entries:conf_max_entries ();
+  }
+
+let plans t = t.plans
+let conf t = t.conf
+
+let stats t =
+  [
+    ("plans.entries", Plan_cache.length t.plans);
+    ("prepared.hit", Plan_cache.hits t.plans);
+    ("prepared.miss", Plan_cache.misses t.plans);
+    ("prepared.evict", Plan_cache.evictions t.plans);
+    ("conf.entries", Conf_cache.length t.conf);
+    ("serving.reused_classes", Conf_cache.reused t.conf);
+    ("serving.recomputed_classes", Conf_cache.recomputed t.conf);
+    ("serving.invalidated_classes", Conf_cache.invalidated t.conf);
+  ]
+
+let stats_to_string t =
+  String.concat "\n"
+    (List.map (fun (k, v) -> Printf.sprintf "  %-28s %d" k v) (stats t))
+
+let clear t =
+  Plan_cache.clear t.plans;
+  Conf_cache.clear t.conf

@@ -1,0 +1,25 @@
+(** The serving caches: one {!Plan_cache} + one {!Conf_cache}.
+
+    A [Caches.t] plugs into {!Engine.context} ([caches] field) to turn
+    the one-shot answer path into a warm serving pipeline; the engine's
+    outputs are bit-identical with or without it (property-tested), the
+    caches only remove repeated work.  The handle is mutable and safely
+    shared across the immutable context copies the engine returns
+    ({!Engine.accept_proposal}); it must only be used from one domain at
+    a time (like {!Obs.Metrics}, single-writer). *)
+
+type t
+
+val create : ?plan_capacity:int -> ?conf_max_entries:int -> unit -> t
+(** Defaults: 128 prepared plans, 65 536 cached confidence classes. *)
+
+val plans : t -> Plan_cache.t
+val conf : t -> Conf_cache.t
+
+val stats : t -> (string * int) list
+(** Entry counts plus cumulative hit/miss/evict/invalidation counters,
+    in a stable order — the [\caches] REPL view. *)
+
+val stats_to_string : t -> string
+
+val clear : t -> unit

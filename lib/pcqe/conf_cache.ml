@@ -1,0 +1,143 @@
+module Db = Relational.Database
+module F = Lineage.Formula
+module Tid = Lineage.Tid
+
+type value = Exact of float | Estimate of Lineage.Approx.estimate
+
+type t = {
+  max_entries : int;
+  mutable epoch : int; (* confidence epoch the entries are valid for *)
+  exact : float F.Table.t;
+  ladder : Lineage.Approx.estimate F.Table.t;
+  by_base : (Tid.t, F.t list ref) Hashtbl.t;
+  mutable reused : int;
+  mutable recomputed : int;
+  mutable invalidated : int;
+}
+
+let create ?(max_entries = 65_536) () =
+  if max_entries < 1 then
+    invalid_arg
+      (Printf.sprintf "Conf_cache.create: max_entries %d < 1" max_entries);
+  {
+    max_entries;
+    epoch = 0;
+    exact = F.Table.create 256;
+    ladder = F.Table.create 64;
+    by_base = Hashtbl.create 256;
+    reused = 0;
+    recomputed = 0;
+    invalidated = 0;
+  }
+
+let epoch t = t.epoch
+let length t = F.Table.length t.exact + F.Table.length t.ladder
+let mem_exact t f = F.Table.mem t.exact f
+let mem_estimate t f = F.Table.mem t.ladder f
+let reused t = t.reused
+let recomputed t = t.recomputed
+let invalidated t = t.invalidated
+
+let clear t =
+  F.Table.reset t.exact;
+  F.Table.reset t.ladder;
+  Hashtbl.reset t.by_base
+
+(* drop every cached class whose formula mentions a dirty base tuple;
+   formulas are counted once even when several of their variables are
+   dirty (the membership test sees them gone after the first drop) *)
+let invalidate_bases ?obs t dirty =
+  let dropped = ref 0 in
+  Tid.Set.iter
+    (fun tid ->
+      match Hashtbl.find_opt t.by_base tid with
+      | None -> ()
+      | Some formulas ->
+        List.iter
+          (fun f ->
+            let present = F.Table.mem t.exact f || F.Table.mem t.ladder f in
+            if present then begin
+              F.Table.remove t.exact f;
+              F.Table.remove t.ladder f;
+              incr dropped
+            end)
+          !formulas;
+        Hashtbl.remove t.by_base tid)
+    dirty;
+  if !dropped > 0 then begin
+    t.invalidated <- t.invalidated + !dropped;
+    Obs.incr obs ~by:!dropped "serving.invalidated_classes"
+  end
+
+let sync ?obs t ~db =
+  let live = Db.confidence_epoch db in
+  if t.epoch <> live then begin
+    (match Db.changed_since db ~since:t.epoch with
+    | Some dirty when Tid.Set.is_empty dirty -> ()
+    | Some dirty -> invalidate_bases ?obs t dirty
+    | None ->
+      (* the change log does not reach back to our epoch (or the
+         database diverged from the history we cached against):
+         correctness demands a wholesale flush *)
+      clear t);
+    t.epoch <- live
+  end
+
+let index t f =
+  Tid.Set.iter
+    (fun tid ->
+      match Hashtbl.find_opt t.by_base tid with
+      | Some fs -> fs := f :: !fs
+      | None -> Hashtbl.replace t.by_base tid (ref [ f ]))
+    (F.vars f)
+
+let store t f value =
+  if length t >= t.max_entries then clear t;
+  (match value with
+  | Exact c -> F.Table.replace t.exact f c
+  | Estimate e -> F.Table.replace t.ladder f e);
+  index t f
+
+let confidence ?obs t ~db f =
+  sync ?obs t ~db;
+  match F.Table.find_opt t.exact f with
+  | Some c ->
+    t.reused <- t.reused + 1;
+    Obs.incr obs "serving.reused_classes";
+    c
+  | None ->
+    let c = Lineage.Prob.confidence (Db.confidence_fn db) f in
+    store t f (Exact c);
+    t.recomputed <- t.recomputed + 1;
+    Obs.incr obs "serving.recomputed_classes";
+    c
+
+let estimate ?obs ?pool t ~db f =
+  sync ?obs t ~db;
+  match F.Table.find_opt t.ladder f with
+  | Some e ->
+    t.reused <- t.reused + 1;
+    Obs.incr obs "serving.reused_classes";
+    e
+  | None ->
+    let e = Lineage.Approx.confidence ?pool (Db.confidence_fn db) f in
+    store t f (Estimate e);
+    t.recomputed <- t.recomputed + 1;
+    Obs.incr obs "serving.recomputed_classes";
+    e
+
+let warm ?obs t ~db entries =
+  sync ?obs t ~db;
+  List.iter
+    (fun (f, value) ->
+      let present =
+        match value with
+        | Exact _ -> F.Table.mem t.exact f
+        | Estimate _ -> F.Table.mem t.ladder f
+      in
+      if not present then begin
+        store t f value;
+        t.recomputed <- t.recomputed + 1;
+        Obs.incr obs "serving.recomputed_classes"
+      end)
+    entries

@@ -1,0 +1,92 @@
+(** Per-epoch confidence cache, keyed by deduplicated lineage class.
+
+    Result confidence depends only on the lineage formula and the
+    database's confidence vector — not on the principal.  This cache
+    memoizes confidence per formula {e structure} (via
+    {!Lineage.Formula.Table}, the same hash-consing notion the solver
+    stack uses for its evaluation classes), so answering one query for N
+    principals — or re-answering it after a proposal was accepted —
+    computes each distinct lineage class once.
+
+    {b Invalidation} is driven by the database's confidence epoch.  On
+    every access the cache compares its synced epoch with the live one;
+    when they differ it asks {!Relational.Database.changed_since} for
+    the dirty base tuples and drops exactly the classes whose formula
+    mentions one (counted as [serving.invalidated_classes]).  When the
+    bounded change log cannot answer — the cache fell too far behind, or
+    the database diverged from the cached history — the cache flushes
+    wholesale.  Either way a lookup never returns a confidence computed
+    from a stale vector; property tests pin warm results bit-identical
+    to cold recomputation.
+
+    Exact confidences ({!confidence}) and degradation-ladder estimates
+    ({!estimate}) live in separate tables: the two modes answer
+    different questions for entangled lineage, and a request must never
+    observe the other mode's value.  Hits count
+    [serving.reused_classes], misses [serving.recomputed_classes]. *)
+
+type value = Exact of float | Estimate of Lineage.Approx.estimate
+
+type t
+
+val create : ?max_entries:int -> unit -> t
+(** [max_entries] (default 65 536, counting both tables) bounds memory:
+    reaching it flushes the cache wholesale before the next store.
+    @raise Invalid_argument when [max_entries < 1]. *)
+
+val confidence :
+  ?obs:Obs.t -> t -> db:Relational.Database.t -> Lineage.Formula.t -> float
+(** The exact confidence of the formula under [db]'s confidence vector —
+    cached, or computed via {!Lineage.Prob.confidence} (the cold path's
+    evaluator) and stored. *)
+
+val estimate :
+  ?obs:Obs.t ->
+  ?pool:Exec.Pool.t ->
+  t ->
+  db:Relational.Database.t ->
+  Lineage.Formula.t ->
+  Lineage.Approx.estimate
+(** Ladder ({!Lineage.Approx.confidence}) analogue of {!confidence}, for
+    the [mc_fallback] path.  Estimates are reproducible per formula
+    (the Monte-Carlo seed derives from the formula hash), so a cached
+    estimate is bit-identical to recomputation — with or without
+    [pool]. *)
+
+val warm :
+  ?obs:Obs.t ->
+  t ->
+  db:Relational.Database.t ->
+  (Lineage.Formula.t * value) list ->
+  unit
+(** Install precomputed values (e.g. computed in parallel over an
+    {!Exec.Pool} by the batch stage) for formulas not already cached.
+    Each install counts as a recompute; the values must have been
+    computed against [db]'s current confidence vector. *)
+
+val sync : ?obs:Obs.t -> t -> db:Relational.Database.t -> unit
+(** Catch up with [db]'s confidence epoch now (also done implicitly by
+    every lookup): targeted invalidation when the change log covers the
+    gap, wholesale flush otherwise. *)
+
+val epoch : t -> int
+val length : t -> int
+
+val mem_exact : t -> Lineage.Formula.t -> bool
+(** Whether the exact table holds the formula's class.  Does {e not}
+    {!sync} — callers deciding what to prewarm must sync first so the
+    answer reflects the live confidence epoch. *)
+
+val mem_estimate : t -> Lineage.Formula.t -> bool
+(** {!mem_exact} for the degradation-ladder table. *)
+
+val reused : t -> int
+(** Total cache hits (classes whose confidence was reused). *)
+
+val recomputed : t -> int
+(** Total misses + warm installs (classes actually computed). *)
+
+val invalidated : t -> int
+(** Total entries dropped by targeted invalidation. *)
+
+val clear : t -> unit

@@ -14,11 +14,12 @@ type context = {
   deadline : Resilience.Deadline.spec;
   mc_fallback : bool;
   obs : Obs.t option;
+  caches : Caches.t option;
 }
 
 let make_context ?(solver = Optimize.Solver.divide_conquer) ?(delta = 0.1)
     ?jobs ?(deadline = Resilience.Deadline.No_deadline) ?(mc_fallback = false)
-    ?cost_of ?cap_of ?(views = Relational.Views.empty) ?obs ~db ~rbac
+    ?cost_of ?cap_of ?(views = Relational.Views.empty) ?obs ?caches ~db ~rbac
     ~policies () =
   let default_cost = Cost.Cost_model.linear ~rate:100.0 in
   {
@@ -34,6 +35,7 @@ let make_context ?(solver = Optimize.Solver.divide_conquer) ?(delta = 0.1)
     deadline;
     mc_fallback;
     obs;
+    caches;
   }
 
 type request = { query : Query.t; user : string; purpose : string; perc : float }
@@ -108,20 +110,25 @@ let answer_common ctx ~check_access ~roles ~query ~purpose ~perc =
         if perc >= 0.0 && perc <= 1.0 then Ok ()
         else Error (Printf.sprintf "perc %g outside [0,1]" perc)
       in
-      let* plan = Obs.span obs "parse/plan" (fun () -> Query.to_plan query) in
-      let plan =
-        Obs.span obs "view-expand" (fun () ->
-            Relational.Views.expand ctx.views plan)
+      (* prepare stage: parse → view expansion → rewrite, compiled once
+         per ⟨query text, structural epoch, views epoch⟩.  With serving
+         caches the prepared plan comes from the LRU plan cache; without
+         them this is exactly the old inline front end (Prepared.compile
+         emits the same parse/plan, view-expand and rewrite spans). *)
+      let* prepared =
+        match ctx.caches with
+        | Some caches ->
+          Plan_cache.find_or_compile ?obs (Caches.plans caches) ~db:ctx.db
+            ~views:ctx.views query
+        | None -> Prepared.compile ?obs ~db:ctx.db ~views:ctx.views query
       in
-      let* plan =
-        Obs.span obs "rewrite" (fun () -> Relational.Rewrite.optimize ctx.db plan)
-      in
+      let plan = Prepared.plan prepared in
       (* (1) traditional access control over the base relations *)
       let* () = Obs.span obs "rbac" (fun () -> check_access plan) in
       (* (2) lineage-carrying query evaluation + confidence computation *)
       let* res =
         Obs.span obs "eval" (fun () ->
-            let r = Relational.Eval.run ctx.db plan in
+            let r = Prepared.eval ?obs prepared ~db:ctx.db in
             (match r with
             | Ok res ->
               let rows = List.length res.Relational.Eval.rows in
@@ -132,18 +139,39 @@ let answer_common ctx ~check_access ~roles ~query ~purpose ~perc =
       in
       let with_conf =
         Obs.span obs "confidence" (fun () ->
-            if ctx.mc_fallback then
-              (* degradation ladder: exact tiers when cheap, Monte-Carlo
-                 intervals when the lineage is too entangled *)
-              let p = Db.confidence ctx.db in
-              List.map
-                (fun r ->
-                  (r, Lineage.Approx.confidence p r.Relational.Eval.lineage))
-                res.Relational.Eval.rows
-            else
-              List.map
-                (fun (r, c) -> (r, Lineage.Approx.Exact c))
-                (Relational.Eval.with_confidence ctx.db res))
+            match ctx.caches with
+            | Some caches ->
+              (* per-epoch confidence cache: one computation per distinct
+                 lineage class, bit-identical to the cold paths below *)
+              let cache = Caches.conf caches in
+              if ctx.mc_fallback then
+                List.map
+                  (fun r ->
+                    ( r,
+                      Conf_cache.estimate ?obs cache ~db:ctx.db
+                        r.Relational.Eval.lineage ))
+                  res.Relational.Eval.rows
+              else
+                List.map
+                  (fun r ->
+                    ( r,
+                      Lineage.Approx.Exact
+                        (Conf_cache.confidence ?obs cache ~db:ctx.db
+                           r.Relational.Eval.lineage) ))
+                  res.Relational.Eval.rows
+            | None ->
+              if ctx.mc_fallback then
+                (* degradation ladder: exact tiers when cheap, Monte-Carlo
+                   intervals when the lineage is too entangled *)
+                let p = Db.confidence ctx.db in
+                List.map
+                  (fun r ->
+                    (r, Lineage.Approx.confidence p r.Relational.Eval.lineage))
+                  res.Relational.Eval.rows
+              else
+                List.map
+                  (fun (r, c) -> (r, Lineage.Approx.Exact c))
+                  (Relational.Eval.with_confidence ctx.db res))
       in
       (* (3) policy evaluation: select the policy by role and purpose *)
       let applied_policies =
@@ -206,9 +234,20 @@ let answer_common ctx ~check_access ~roles ~query ~purpose ~perc =
         match threshold with
         | Some beta when List.length released < need && withheld > 0 ->
           Obs.span obs "strategy-finding" (fun () ->
+              (* problem construction re-derives every row's current
+                 confidence; with serving caches it reuses the classes the
+                 policy filter just computed (or stored) instead *)
+              let conf_of =
+                Option.map
+                  (fun caches f ->
+                    Conf_cache.confidence ?obs (Caches.conf caches) ~db:ctx.db
+                      f)
+                  ctx.caches
+              in
               let* problem, _failing =
-                Optimize.Problem.of_query_results ~delta:ctx.delta ~theta:perc
-                  ~beta ~cost_of:ctx.cost_of ~cap_of:ctx.cap_of ctx.db res
+                Optimize.Problem.of_query_results ?conf_of ~delta:ctx.delta
+                  ~theta:perc ~beta ~cost_of:ctx.cost_of ~cap_of:ctx.cap_of
+                  ctx.db res
               in
               let out =
                 Optimize.Solver.solve ~algorithm:ctx.solver ?obs
@@ -316,3 +355,120 @@ let answer_session ctx session query ~purpose ~perc =
 
 let accept_proposal ctx proposal =
   { ctx with db = Db.apply_increments ctx.db proposal.increments }
+
+module Session = struct
+  type session = { mutable ctx : context }
+  type t = session
+
+  let create ?plan_capacity ?conf_max_entries ctx =
+    let caches =
+      match ctx.caches with
+      | Some caches -> caches
+      | None -> Caches.create ?plan_capacity ?conf_max_entries ()
+    in
+    { ctx = { ctx with caches = Some caches } }
+
+  let context t = t.ctx
+  let set_context t ctx = t.ctx <- { ctx with caches = t.ctx.caches }
+
+  let caches t =
+    match t.ctx.caches with Some c -> c | None -> assert false (* by create *)
+
+  let cache_stats t = Caches.stats (caches t)
+
+  let prepare t query =
+    Plan_cache.find_or_compile ?obs:t.ctx.obs
+      (Caches.plans (caches t))
+      ~db:t.ctx.db ~views:t.ctx.views query
+
+  let answer t request = answer t.ctx request
+
+  let accept_proposal t proposal = t.ctx <- accept_proposal t.ctx proposal
+
+  (* Prewarm then answer.  The prewarm compiles one prepared plan per
+     distinct query text, evaluates it once, and computes every distinct
+     uncached lineage class — in parallel over the {!Exec} pool when
+     [ctx.jobs > 1].  Per-class confidence is a pure function of the
+     formula and the confidence vector (Monte-Carlo seeds derive from the
+     formula hash), so the parallel computation is deterministic and the
+     single-threaded answers below read bit-identical values; the caches
+     themselves are only written from this orchestrator thread. *)
+  let batch t requests =
+    let ctx = t.ctx in
+    let obs = ctx.obs in
+    let conf = Caches.conf (caches t) in
+    Obs.span obs "batch" (fun () ->
+        (* distinct query texts in first-appearance order, with the
+           requests that issued them *)
+        let order = ref [] in
+        let groups : (string, Query.t * request list ref) Hashtbl.t =
+          Hashtbl.create 16
+        in
+        List.iter
+          (fun req ->
+            let key = Prepared.key_of_query req.query in
+            match Hashtbl.find_opt groups key with
+            | Some (_, reqs) -> reqs := req :: !reqs
+            | None ->
+              Hashtbl.add groups key (req.query, ref [ req ]);
+              order := key :: !order)
+          requests;
+        Conf_cache.sync ?obs conf ~db:ctx.db;
+        let fresh : unit Lineage.Formula.Table.t =
+          Lineage.Formula.Table.create 64
+        in
+        List.iter
+          (fun key ->
+            let query, reqs = Hashtbl.find groups key in
+            match prepare t query with
+            | Error _ -> () (* the per-request answer reports the error *)
+            | Ok p ->
+              (* warm only what some batch member may access: evaluation
+                 is RBAC-gated in the cold path, and the prewarm must not
+                 do work no request could trigger *)
+              let accessible =
+                List.exists
+                  (fun req ->
+                    check_rbac ctx ~user:req.user (Prepared.plan p) = Ok ())
+                  !reqs
+              in
+              if accessible then
+                match Prepared.eval ?obs p ~db:ctx.db with
+                | Error _ -> ()
+                | Ok res ->
+                  List.iter
+                    (fun r ->
+                      let f = r.Relational.Eval.lineage in
+                      let cached =
+                        if ctx.mc_fallback then Conf_cache.mem_estimate conf f
+                        else Conf_cache.mem_exact conf f
+                      in
+                      if not (cached || Lineage.Formula.Table.mem fresh f)
+                      then Lineage.Formula.Table.add fresh f ())
+                    res.Relational.Eval.rows)
+          (List.rev !order);
+        let distinct =
+          Array.of_list
+            (Lineage.Formula.Table.fold (fun f () acc -> f :: acc) fresh [])
+        in
+        let p = Db.confidence_fn ctx.db in
+        let compute f =
+          if ctx.mc_fallback then
+            (f, Conf_cache.Estimate (Lineage.Approx.confidence p f))
+          else (f, Conf_cache.Exact (Lineage.Prob.confidence p f))
+        in
+        let values =
+          if Array.length distinct = 0 then [||]
+          else
+            Exec.with_pool_opt ~jobs:ctx.jobs (fun pool ->
+                match pool with
+                | Some pool -> Exec.Pool.map_array pool compute distinct
+                | None -> Array.map compute distinct)
+        in
+        Conf_cache.warm ?obs conf ~db:ctx.db (Array.to_list values);
+        Obs.add_attr obs "requests" (string_of_int (List.length requests));
+        Obs.add_attr obs "prewarmed" (string_of_int (Array.length distinct));
+        (* answer every request in submission order; plans and confidence
+           classes now come from the warm caches *)
+        List.map (fun req -> answer t req) requests)
+end

@@ -44,6 +44,15 @@ type context = {
   obs : Obs.t option;
       (** observability handle; [None] (the default) disables tracing and
           metrics entirely — the engine then allocates no spans *)
+  caches : Caches.t option;
+      (** serving caches (prepared plans + per-epoch confidence classes).
+          [None] (the default) is the one-shot cold path.  With caches the
+          prepare stage goes through the {!Plan_cache} (keyed by query
+          text, validated against the database's structural epoch and the
+          view store's epoch) and the confidence stage through the
+          {!Conf_cache} (keyed by lineage class, invalidated by the
+          confidence epoch); responses are bit-identical either way
+          (property-tested) — the caches only remove repeated work. *)
 }
 
 val make_context :
@@ -56,6 +65,7 @@ val make_context :
   ?cap_of:(Lineage.Tid.t -> float) ->
   ?views:Relational.Views.t ->
   ?obs:Obs.t ->
+  ?caches:Caches.t ->
   db:Relational.Database.t ->
   rbac:Rbac.Core_rbac.t ->
   policies:Rbac.Policy.store ->
@@ -151,3 +161,63 @@ val accept_proposal : context -> proposal -> context
 (** Data-quality improvement: apply the proposal's increments to the
     database (respecting caps) and return the updated context — re-run
     {!answer} to get the improved result set. *)
+
+(** {1 Serving}
+
+    A {!Session} is the warm, long-lived face of the engine: it owns a
+    {!Caches.t} and keeps it plugged into every answer, so repeated
+    queries reuse prepared plans and re-answers after
+    {!Session.accept_proposal} recompute only the lineage classes the
+    accepted increments dirtied (the rest are served from the per-epoch
+    confidence cache).  Answers are bit-identical to cold
+    {!val-answer} calls — property-tested across solvers, jobs levels,
+    deadlines and the Monte-Carlo fallback. *)
+
+module Session : sig
+  type t
+
+  val create : ?plan_capacity:int -> ?conf_max_entries:int -> context -> t
+  (** Wrap a context for serving.  If [ctx.caches] is already set those
+      caches are reused (the size options are then ignored); otherwise a
+      fresh {!Caches.t} is created — defaults as {!Caches.create}. *)
+
+  val context : t -> context
+  (** The current context (advanced in place by
+      {!Session.accept_proposal}). *)
+
+  val set_context : t -> context -> unit
+  (** Replace the wrapped context, e.g. after external database edits.
+      The session's caches are kept plugged in (epoch validation makes
+      stale entries unreachable); the [caches] field of the argument is
+      ignored. *)
+
+  val answer : t -> request -> (response, string) result
+  (** {!val-answer} with the session's caches. *)
+
+  val prepare : t -> Query.t -> (Prepared.t, string) result
+  (** Compile (or fetch) the prepared plan for a query without running
+      it — the REPL's [\prepare].  Counted as [prepared.hit]/[.miss]
+      like any other lookup. *)
+
+  val batch : t -> request list -> (response, string) result list
+  (** Answer a list of ⟨Q, principal, purpose, perc⟩ requests, in order.
+      Before answering, the batch stage compiles one prepared plan per
+      distinct query text, evaluates each once, and computes all
+      distinct uncached lineage classes — in parallel over the
+      {!Exec} pool when [ctx.jobs > 1] (per-class confidence is a pure,
+      seed-stable function of the formula, so results are independent of
+      the jobs level; cache writes stay on the calling thread).  Queries
+      no batch member may access are not prewarmed.  The response list
+      is element-for-element identical to mapping cold {!val-answer}
+      over the requests. *)
+
+  val accept_proposal : t -> proposal -> unit
+  (** Apply an increment proposal to the session's database in place.
+      The confidence epoch advances; the next lookup invalidates exactly
+      the cached classes mentioning a raised tuple, so the follow-up
+      re-answer reuses every untouched class ([serving.reused_classes]
+      vs [serving.recomputed_classes]). *)
+
+  val cache_stats : t -> (string * int) list
+  (** {!Caches.stats} of the session's caches — the REPL's [\caches]. *)
+end

@@ -1,0 +1,66 @@
+type t = {
+  capacity : int;
+  table : (string, Prepared.t) Hashtbl.t;
+  mutable recency : string list; (* most-recently-used first *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let ( let* ) = Result.bind
+
+let create ?(capacity = 128) () =
+  if capacity < 1 then
+    invalid_arg (Printf.sprintf "Plan_cache.create: capacity %d < 1" capacity);
+  {
+    capacity;
+    table = Hashtbl.create (min capacity 64);
+    recency = [];
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let length t = Hashtbl.length t.table
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions
+
+let touch t key =
+  t.recency <- key :: List.filter (fun k -> not (String.equal k key)) t.recency
+
+let drop t key =
+  Hashtbl.remove t.table key;
+  t.recency <- List.filter (fun k -> not (String.equal k key)) t.recency
+
+let evict_lru ?obs t =
+  match List.rev t.recency with
+  | [] -> ()
+  | lru :: _ ->
+    drop t lru;
+    t.evictions <- t.evictions + 1;
+    Obs.incr obs "prepared.evict"
+
+let find_or_compile ?obs t ~db ~views query =
+  let key = Prepared.key_of_query query in
+  match Hashtbl.find_opt t.table key with
+  | Some p when Prepared.valid p ~db ~views ->
+    t.hits <- t.hits + 1;
+    Obs.incr obs "prepared.hit";
+    touch t key;
+    Ok p
+  | stale ->
+    (* a stale entry (epoch moved on) is retired silently: the recompile
+       below replaces it, and the request is accounted a miss *)
+    (match stale with Some _ -> drop t key | None -> ());
+    t.misses <- t.misses + 1;
+    Obs.incr obs "prepared.miss";
+    let* p = Prepared.compile ?obs ~db ~views query in
+    Hashtbl.replace t.table key p;
+    touch t key;
+    if Hashtbl.length t.table > t.capacity then evict_lru ?obs t;
+    Ok p
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.recency <- []

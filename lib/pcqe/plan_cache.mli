@@ -1,0 +1,36 @@
+(** Bounded LRU cache of {!Prepared} queries, keyed by query text.
+
+    One cache serves every principal: the prepared front of the pipeline
+    is principal-independent, so N users issuing the same SQL share one
+    compile.  Entries whose epoch stamps no longer match the live
+    database/view store are retired on lookup (a miss that recompiles in
+    place); when the cache grows past its capacity the least-recently
+    used entry is evicted.
+
+    Lookups count [prepared.hit] / [prepared.miss] / [prepared.evict] on
+    the optional [Obs.t], and mirror the totals in plain counters for
+    cache-stats displays ([\caches], [pcqe batch]). *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 128 entries.
+    @raise Invalid_argument when [capacity < 1]. *)
+
+val find_or_compile :
+  ?obs:Obs.t ->
+  t ->
+  db:Relational.Database.t ->
+  views:Relational.Views.t ->
+  Query.t ->
+  (Prepared.t, string) result
+(** The cached prepared query when present {e and} still valid for
+    [(db, views)]; otherwise compiles, stores (evicting the LRU entry if
+    over capacity) and returns the fresh one.  Compile errors are not
+    cached. *)
+
+val length : t -> int
+val hits : t -> int
+val misses : t -> int
+val evictions : t -> int
+val clear : t -> unit

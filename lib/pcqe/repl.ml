@@ -1,4 +1,5 @@
 module Db = Relational.Database
+module StrMap = Map.Make (String)
 
 type t = {
   ctx : Engine.context;
@@ -7,6 +8,7 @@ type t = {
   perc : float;
   last_proposal : Engine.proposal option;
   last_sql : string option;
+  prepared : string StrMap.t;  (* \prepare name -> SQL text *)
   audit : Audit.t;
   obs : Obs.t;  (* session-lifetime registry; trace reset per query *)
   timing : bool;
@@ -15,6 +17,14 @@ type t = {
 type outcome = Reply of t * string | Quit
 
 let create ctx =
+  (* the REPL is a serving session: plug in caches once so repeated
+     queries reuse prepared plans and confidence classes (\caches shows
+     the counters); a context that already carries caches keeps them *)
+  let ctx =
+    match ctx.Engine.caches with
+    | Some _ -> ctx
+    | None -> { ctx with Engine.caches = Some (Caches.create ()) }
+  in
   {
     ctx;
     user = None;
@@ -22,6 +32,7 @@ let create ctx =
     perc = 1.0;
     last_proposal = None;
     last_sql = None;
+    prepared = StrMap.empty;
     audit = Audit.empty;
     obs = Obs.wall ();
     timing = false;
@@ -43,6 +54,9 @@ let help_text =
   \mc-fallback on|off Monte-Carlo confidence fallback (fail-closed:
                       ambiguous intervals are withheld)
   \apply              accept the last improvement proposal
+  \prepare <name> <sql>  compile a named query once (plan cache)
+  \exec <name>        answer a prepared query under the current settings
+  \caches             show serving-cache statistics (plans + confidences)
   \explain            lineage explanations for the last query
   \timing on|off      print the per-stage timed plan after each query
   \metrics            show the counters and histograms accumulated so far
@@ -185,6 +199,37 @@ let meta t line =
           Printf.sprintf "applied %d increment(s) at cost %.2f"
             (List.length proposal.Engine.increments)
             proposal.Engine.cost ))
+  | "\\prepare" :: name :: (_ :: _ as sql_words) -> (
+    let sql = String.concat " " sql_words in
+    let session = Engine.Session.create t.ctx in
+    match Engine.Session.prepare session (Query.sql sql) with
+    | Ok p ->
+      Reply
+        ( { t with prepared = StrMap.add name sql t.prepared },
+          Printf.sprintf "prepared %s over %s" name
+            (String.concat ", " (Prepared.base_relations p)) )
+    | Error msg -> Reply (t, "error: " ^ msg))
+  | [ "\\prepare" ] | [ "\\prepare"; _ ] ->
+    Reply (t, "usage: \\prepare <name> <sql>")
+  | [ "\\exec"; name ] -> (
+    match StrMap.find_opt name t.prepared with
+    | Some sql -> run_sql t sql
+    | None ->
+      Reply
+        ( t,
+          Printf.sprintf "no prepared query %S (\\prepare <name> <sql>)" name ))
+  | [ "\\exec" ] ->
+    let names = List.map fst (StrMap.bindings t.prepared) in
+    Reply
+      ( t,
+        if names = [] then "no prepared queries (\\prepare <name> <sql>)"
+        else
+          "prepared queries:\n"
+          ^ String.concat "\n" (List.map (fun n -> "  " ^ n) names) )
+  | [ "\\caches" ] -> (
+    match t.ctx.Engine.caches with
+    | Some caches -> Reply (t, String.trim (Caches.stats_to_string caches))
+    | None -> Reply (t, "serving caches are off"))
   | [ "\\explain" ] -> (
     match t.last_sql with
     | None -> Reply (t, "no previous query to explain")

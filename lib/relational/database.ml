@@ -1,17 +1,92 @@
 module Tid = Lineage.Tid
 module StrMap = Map.Make (String)
 
+(* The confidence change log is bounded: callers that fall behind by more
+   than this many mutations get [None] from [changed_since] and must
+   invalidate wholesale. *)
+let conf_log_capacity = 256
+
 type t = {
   relations : Relation.t StrMap.t;
   confidences : float Tid.Map.t;
   caps : float Tid.Map.t;
+  structural_epoch : int;
+      (* advances on schema/tuple mutation: cached plans and cached
+         evaluation results keyed on this stamp *)
+  confidence_epoch : int;
+      (* advances on confidence/cap mutation: cached per-formula
+         confidences keyed on this stamp *)
+  conf_log : (int * Tid.t list) list;
+      (* newest-first: (stamp, tuples whose confidence changed at that
+         stamp); bounded to [conf_log_capacity] entries *)
+  conf_log_floor : int;
+      (* largest stamp ever dropped from the log (0 = nothing dropped):
+         history at or below it is unrecoverable *)
 }
 
 let empty =
-  { relations = StrMap.empty; confidences = Tid.Map.empty; caps = Tid.Map.empty }
+  {
+    relations = StrMap.empty;
+    confidences = Tid.Map.empty;
+    caps = Tid.Map.empty;
+    structural_epoch = 0;
+    confidence_epoch = 0;
+    conf_log = [];
+    conf_log_floor = 0;
+  }
+
+let structural_epoch db = db.structural_epoch
+let confidence_epoch db = db.confidence_epoch
+
+let bump_structural db = { db with structural_epoch = Epoch.next () }
+
+let bump_confidence db tids =
+  let stamp = Epoch.next () in
+  let log = (stamp, tids) :: db.conf_log in
+  let rec take n = function
+    | [] -> ([], None)
+    | (stamp, _) :: _ when n = 0 -> ([], Some stamp)
+    | entry :: rest ->
+      let kept, dropped = take (n - 1) rest in
+      (entry :: kept, dropped)
+  in
+  let log, dropped = take conf_log_capacity log in
+  {
+    db with
+    confidence_epoch = stamp;
+    conf_log = log;
+    conf_log_floor =
+      (match dropped with
+      | Some s -> max s db.conf_log_floor
+      | None -> db.conf_log_floor);
+  }
+
+let changed_since db ~since =
+  if since = db.confidence_epoch then Some Tid.Set.empty
+  else if since < db.conf_log_floor then None
+  else
+    (* [since] must be a stamp this database actually passed through —
+       the current epoch, a stamp recorded in the log, or 0 (the empty
+       database, ancestor of every chain) with nothing dropped.  A stamp
+       from a divergent history (a sibling copy mutated independently) is
+       not found, and the caller must invalidate wholesale. *)
+    let rec collect acc = function
+      | [] ->
+        if (since = 0 && db.conf_log_floor = 0) || since = db.conf_log_floor
+        then Some acc
+        else None
+      | (stamp, _) :: _ when stamp = since -> Some acc
+      | (stamp, _) :: _ when stamp < since -> None
+      | (_, tids) :: rest ->
+        collect
+          (List.fold_left (fun acc tid -> Tid.Set.add tid acc) acc tids)
+          rest
+    in
+    collect Tid.Set.empty db.conf_log
 
 let add_relation db r =
-  { db with relations = StrMap.add (Relation.name r) r db.relations }
+  bump_structural
+    { db with relations = StrMap.add (Relation.name r) r db.relations }
 
 let relation db name = StrMap.find_opt name db.relations
 
@@ -31,12 +106,14 @@ let insert db rel_name vs ~conf =
   check_conf "confidence" conf;
   let r = relation_exn db rel_name in
   let r, tid = Relation.insert_values r vs in
-  ( {
+  let db =
+    {
       db with
       relations = StrMap.add rel_name r db.relations;
       confidences = Tid.Map.add tid conf db.confidences;
-    },
-    tid )
+    }
+  in
+  (bump_confidence (bump_structural db) [ tid ], tid)
 
 let seed_confidence db tid p =
   check_conf "confidence" p;
@@ -49,7 +126,7 @@ let seed_confidence db tid p =
     invalid_arg
       (Printf.sprintf "Database.seed_confidence: tuple %s not stored"
          (Tid.to_string tid));
-  { db with confidences = Tid.Map.add tid p db.confidences }
+  bump_confidence { db with confidences = Tid.Map.add tid p db.confidences } [ tid ]
 
 let confidence db tid =
   Option.value ~default:0.0 (Tid.Map.find_opt tid db.confidences)
@@ -68,7 +145,9 @@ let set_confidence db tid p =
     invalid_arg
       (Printf.sprintf "Database.set_confidence: %g exceeds cap %g of %s" p cap
          (Tid.to_string tid));
-  { db with confidences = Tid.Map.add tid (Float.min p cap) db.confidences }
+  bump_confidence
+    { db with confidences = Tid.Map.add tid (Float.min p cap) db.confidences }
+    [ tid ]
 
 let set_confidence_cap db tid cap =
   check_conf "cap" cap;
@@ -78,7 +157,10 @@ let set_confidence_cap db tid cap =
       (Printf.sprintf
          "Database.set_confidence_cap: cap %g below current confidence %g" cap
          current);
-  { db with caps = Tid.Map.add tid cap db.caps }
+  (* caps feed strategy finding, not stored confidences, but bumping the
+     confidence epoch (with the touched tuple) keeps every cache layer
+     honest at the cost of one targeted invalidation *)
+  bump_confidence { db with caps = Tid.Map.add tid cap db.caps } [ tid ]
 
 let confidence_fn db tid = confidence db tid
 

@@ -11,6 +11,34 @@ type t
 
 val empty : t
 
+(** {1 Epochs}
+
+    Two stamp counters (see {!Epoch}) let cache layers distinguish "the
+    plan is still valid" from "the confidences are still valid":
+
+    - the {e structural} epoch advances on schema/tuple mutation
+      ({!add_relation}, {!insert}) — cached plans and cached evaluation
+      results key on it;
+    - the {e confidence} epoch advances on confidence/cap mutation
+      ({!insert}, {!seed_confidence}, {!set_confidence},
+      {!set_confidence_cap}, {!apply_increments}) — cached per-formula
+      confidences key on it.
+
+    Stamps are process-globally unique: equality with a cached stamp
+    proves the cached snapshot is this exact version. *)
+
+val structural_epoch : t -> int
+val confidence_epoch : t -> int
+
+val changed_since : t -> since:int -> Lineage.Tid.Set.t option
+(** [changed_since db ~since] is the set of tuples whose confidence (or
+    cap) changed after the confidence epoch [since] — the targeted
+    invalidation set for a cache synced at [since].  [None] when the
+    answer is unknowable and the caller must invalidate wholesale:
+    [since] is older than the bounded change log reaches, or is not a
+    stamp of this database's history (a divergent sibling copy).
+    [Some Tid.Set.empty] iff the cache is already current. *)
+
 val add_relation : t -> Relation.t -> t
 (** [add_relation db r] adds or replaces the relation named [Relation.name r]. *)
 

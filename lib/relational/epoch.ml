@@ -1,0 +1,8 @@
+(* Process-global monotonic stamp source.  Epoch stamps are unique across
+   every database and view store in the process, so an equality check
+   between a cached stamp and a live one can never confuse two values
+   that merely happen to have seen the same number of mutations. *)
+
+let counter = Atomic.make 1
+
+let next () = Atomic.fetch_and_add counter 1

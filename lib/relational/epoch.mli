@@ -1,0 +1,17 @@
+(** Process-global epoch stamps for cache invalidation.
+
+    {!Database} and {!Views} stamp every mutated copy with a fresh value
+    from this counter.  Two properties matter to cache layers:
+
+    - {b uniqueness}: no two mutations anywhere in the process share a
+      stamp, so [cached_epoch = live_epoch] proves the cached snapshot
+      and the live value are the {e same} immutable version — even
+      across databases with divergent histories;
+    - {b monotonicity}: along any chain of mutations stamps strictly
+      increase, so "changes after stamp [s]" is well defined.
+
+    The counter is an [Atomic] and safe to use from multiple domains. *)
+
+val next : unit -> int
+(** A fresh stamp, strictly greater than every stamp handed out before
+    (within this process). *)

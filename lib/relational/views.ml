@@ -1,41 +1,46 @@
 module StrMap = Map.Make (String)
 module StrSet = Set.Make (String)
 
-type t = Algebra.t StrMap.t
+type t = { defs : Algebra.t StrMap.t; epoch : int }
 
-let empty = StrMap.empty
+let empty = { defs = StrMap.empty; epoch = 0 }
 
-let find views name = StrMap.find_opt name views
-let names views = List.map fst (StrMap.bindings views)
-let remove views name = StrMap.remove name views
+let epoch views = views.epoch
+
+let find views name = StrMap.find_opt name views.defs
+let names views = List.map fst (StrMap.bindings views.defs)
+
+let remove views name =
+  if StrMap.mem name views.defs then
+    { defs = StrMap.remove name views.defs; epoch = Epoch.next () }
+  else views
 
 (* All view names reachable from [plan] through the store. *)
-let rec reachable views seen plan =
+let rec reachable defs seen plan =
   List.fold_left
     (fun seen name ->
       if StrSet.mem name seen then seen
       else
-        match StrMap.find_opt name views with
+        match StrMap.find_opt name defs with
         | None -> seen
-        | Some definition ->
-          reachable views (StrSet.add name seen) definition)
+        | Some definition -> reachable defs (StrSet.add name seen) definition)
     seen
     (Algebra.base_relations plan)
 
 let add views name plan =
   (* adding [name := plan] is safe iff [name] is not reachable from [plan]
      through the store as it will be after the update *)
-  let candidate = StrMap.add name plan views in
+  let candidate = StrMap.add name plan views.defs in
   let reached = reachable candidate StrSet.empty plan in
   if StrSet.mem name reached then
     Error (Printf.sprintf "view %S would be recursive" name)
-  else Ok candidate
+  else Ok { defs = candidate; epoch = Epoch.next () }
 
 let expand views plan =
   let rec go expanding plan =
     match plan with
     | Algebra.Scan name -> (
-      match StrMap.find_opt name views with
+      match StrMap.find_opt name views.defs with
       | Some definition when not (StrSet.mem name expanding) ->
         Algebra.Rename (name, go (StrSet.add name expanding) definition)
       | _ -> plan)

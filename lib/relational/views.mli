@@ -18,6 +18,12 @@ type t
 
 val empty : t
 
+val epoch : t -> int
+(** Epoch stamp of this store version (see {!Epoch}): advances on every
+    {!add} and effective {!remove}, so prepared plans that expanded a
+    view can detect that any definition changed.  [0] for {!empty};
+    removing an unknown name does not advance it. *)
+
 val add : t -> string -> Algebra.t -> (t, string) result
 (** [add views name plan] registers or replaces a view.  Fails when the
     definition would make [name] (mutually) recursive through other

@@ -112,6 +112,30 @@ let test_all_confidences () =
   let db, _ = Db.insert db "R" [ V.Int 2 ] ~conf:0.4 in
   Alcotest.(check int) "two entries" 2 (List.length (Db.all_confidences db))
 
+(* the epoch split that the serving caches key on: structure vs
+   confidence advance independently, and apply_increments logs one
+   change per raised tuple (so changed_since can answer exactly) *)
+let test_epochs_advance_independently () =
+  let db = db_with_r () in
+  let se0 = Db.structural_epoch db and ce0 = Db.confidence_epoch db in
+  let db, t0 = Db.insert db "R" [ V.Int 1 ] ~conf:0.2 in
+  let db, t1 = Db.insert db "R" [ V.Int 2 ] ~conf:0.3 in
+  Alcotest.(check bool) "insert bumps structural" true
+    (Db.structural_epoch db > se0);
+  Alcotest.(check bool) "insert bumps confidence" true
+    (Db.confidence_epoch db > ce0);
+  let se1 = Db.structural_epoch db and ce1 = Db.confidence_epoch db in
+  let db = Db.apply_increments db [ (t0, 0.5); (t1, 0.6) ] in
+  Alcotest.(check int) "increments leave structure" se1
+    (Db.structural_epoch db);
+  Alcotest.(check bool) "increments bump confidence" true
+    (Db.confidence_epoch db > ce1);
+  match Db.changed_since db ~since:ce1 with
+  | Some dirty ->
+    Alcotest.(check int) "both raised tuples logged" 2
+      (Lineage.Tid.Set.cardinal dirty)
+  | None -> Alcotest.fail "a 2-increment gap must be answerable"
+
 let () =
   Alcotest.run "database"
     [
@@ -126,5 +150,6 @@ let () =
           Alcotest.test_case "apply increments" `Quick test_apply_increments;
           Alcotest.test_case "cap clamping" `Quick test_apply_increments_clamps_to_cap;
           Alcotest.test_case "all confidences" `Quick test_all_confidences;
+          Alcotest.test_case "epochs" `Quick test_epochs_advance_independently;
         ] );
     ]

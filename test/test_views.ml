@@ -172,6 +172,20 @@ let test_ecount_star_only () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "ECOUNT(col) must be rejected"
 
+(* every definition change must move the epoch — prepared plans that
+   expanded a view are validated against it *)
+let test_epoch_tracks_definitions () =
+  let v0 = Vw.empty in
+  let v1 = ok (Vw.of_sql v0 ~name:"Big" "SELECT cust FROM Orders") in
+  let v2 = ok (Vw.of_sql v1 ~name:"Big" "SELECT cust FROM Orders WHERE total > 10") in
+  let v3 = Vw.remove v2 "Big" in
+  Alcotest.(check bool) "add < redefine < remove" true
+    (Vw.epoch v0 < Vw.epoch v1
+    && Vw.epoch v1 < Vw.epoch v2
+    && Vw.epoch v2 < Vw.epoch v3);
+  Alcotest.(check int) "no-op remove keeps the epoch" (Vw.epoch v3)
+    (Vw.epoch (Vw.remove v3 "Big"))
+
 let () =
   Alcotest.run "views"
     [
@@ -183,6 +197,7 @@ let () =
           Alcotest.test_case "recursion rejected" `Quick test_recursion_rejected;
           Alcotest.test_case "remove/find" `Quick test_remove_and_find;
           Alcotest.test_case "engine integration" `Quick test_engine_uses_views;
+          Alcotest.test_case "epoch" `Quick test_epoch_tracks_definitions;
         ] );
       ( "expected-aggregates",
         [

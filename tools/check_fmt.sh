@@ -1,0 +1,17 @@
+#!/bin/sh
+# Guarded ocamlformat check: verifies the listed sources are formatted
+# when the ocamlformat binary is available, and is a no-op otherwise
+# (CI images without the formatter must not fail the build over it).
+set -eu
+if ! command -v ocamlformat >/dev/null 2>&1; then
+  echo "check_fmt: ocamlformat not installed; skipping" >&2
+  exit 0
+fi
+status=0
+for f in "$@"; do
+  if ! ocamlformat --check "$f"; then
+    echo "check_fmt: $f is not formatted (run: ocamlformat -i $f)" >&2
+    status=1
+  fi
+done
+exit $status
