@@ -1049,13 +1049,30 @@ let sweep_serving ?(rows = 2000) ?(reps = 64)
           })
     in
     let t_cold, t_warm, speedup = serving_ab "repeated-query" ctx requests in
-    row "  %-24s cold %8.4fs  warm %8.4fs  %7.1fx\n"
+    (* warm per-answer latency distribution, read back from the serving
+       path's bounded [serving.answer_s] histogram — the same fixed-memory
+       sketch the CLI exports, so the panel also keeps the metrics
+       plumbing honest *)
+    let warm_p50, warm_p99 =
+      let obs = Obs.wall () in
+      let session =
+        Pcqe.Engine.Session.create { ctx with Pcqe.Engine.obs = Some obs }
+      in
+      ignore (Pcqe.Engine.Session.batch session requests);
+      List.iter
+        (fun r -> ignore (Pcqe.Engine.Session.answer session r))
+        requests;
+      match Obs.Metrics.histogram obs.Obs.metrics "serving.answer_s" with
+      | Some h -> (h.Obs.Metrics.p50, h.Obs.Metrics.p99)
+      | None -> failwith "sweep-serving: serving.answer_s histogram missing"
+    in
+    row "  %-24s cold %8.4fs  warm %8.4fs  %7.1fx  (warm p50 %.2gs p99 %.2gs)\n"
       (Printf.sprintf "repeated query x%d" reps)
-      t_cold t_warm speedup;
+      t_cold t_warm speedup warm_p50 warm_p99;
     Printf.sprintf
       "  \"repeated_query\": \
-       {\"rows\":%d,\"requests\":%d,\"cold_s\":%g,\"warm_s\":%g,\"speedup\":%g,\"identical\":true}"
-      rows reps t_cold t_warm speedup
+       {\"rows\":%d,\"requests\":%d,\"cold_s\":%g,\"warm_s\":%g,\"warm_p50_s\":%g,\"warm_p99_s\":%g,\"speedup\":%g,\"identical\":true}"
+      rows reps t_cold t_warm warm_p50 warm_p99 speedup
   in
   (* (2) the same query for 1, 8, 64 principals: plans are shared across
      users and identical lineage classes are computed once *)

@@ -8,7 +8,10 @@
              warm serving session (prepared plans + confidence caches;
              --repeat N re-runs the file, --stats prints cache counters)
      repl    interactive SQL session over a workspace, with \prepare,
-             \exec, \caches, \apply, \explain, \audit and \save
+             \exec, \caches, \apply, \explain, \profile, \audit and \save
+     explain profile a query through a warm serving session: annotated
+             plan with per-stage elapsed time, allocation, cache
+             attribution and confidence-ladder rungs
      plan    show the relational-algebra plan of a SQL query
      solve   generate a synthetic confidence-increment instance (Table 4
              parameters) and run one of the four strategy-finding
@@ -143,8 +146,22 @@ let build_context workspace data_dir rbac_file policy_file costs_file solver =
     Ok (Pcqe.Engine.make_context ~solver ~cost_of ~db ~rbac ~policies ())
 
 (* when --trace or --metrics-out asks for observability, build a
-   wall-clock handle and write the JSONL records out on exit *)
-let with_obs ~trace ~metrics_out f =
+   wall-clock handle and write the records out on exit in the requested
+   exposition format *)
+let with_obs ~trace ~metrics_out ~metrics_format f =
+  let* write =
+    match metrics_format with
+    | "json" -> Ok (fun obs oc -> Obs.drain obs (Obs.Sink.jsonl oc))
+    | "openmetrics" ->
+      Ok
+        (fun (obs : Obs.t) oc ->
+          output_string oc (Obs.Metrics.to_openmetrics obs.Obs.metrics))
+    | "text" -> Ok (fun obs oc -> output_string oc (Obs.report obs))
+    | s ->
+      Error
+        (Printf.sprintf
+           "--metrics-format %S: need text, json, or openmetrics" s)
+  in
   if (not trace) && metrics_out = None then f None
   else begin
     let obs = Obs.wall () in
@@ -154,7 +171,7 @@ let with_obs ~trace ~metrics_out f =
     | Some path -> (
       try
         let oc = open_out path in
-        Obs.drain obs (Obs.Sink.jsonl oc);
+        write obs oc;
         close_out oc;
         result
       with Sys_error msg -> (
@@ -169,7 +186,8 @@ let deadline_spec_of_ms = function
   | Some ms -> Error (Printf.sprintf "--deadline-ms %g: need a positive budget" ms)
 
 let run_query workspace data_dir rbac_file policy_file costs_file user purpose
-    perc solver jobs deadline_ms mc_fallback apply trace metrics_out sql =
+    perc solver jobs deadline_ms mc_fallback apply trace metrics_out
+    metrics_format sql =
   let result =
     let* ctx =
       build_context workspace data_dir rbac_file policy_file costs_file solver
@@ -181,7 +199,7 @@ let run_query workspace data_dir rbac_file policy_file costs_file user purpose
     in
     let* deadline = deadline_spec_of_ms deadline_ms in
     let ctx = { ctx with Pcqe.Engine.deadline; mc_fallback } in
-    with_obs ~trace ~metrics_out (fun obs ->
+    with_obs ~trace ~metrics_out ~metrics_format (fun obs ->
         let ctx = { ctx with Pcqe.Engine.obs } in
         let request =
           { Pcqe.Engine.query = Pcqe.Query.sql sql; user; purpose; perc }
@@ -269,7 +287,8 @@ let print_batch_outcome i (req : Pcqe.Engine.request) = function
       | None -> "")
 
 let run_batch workspace data_dir rbac_file policy_file costs_file solver jobs
-    deadline_ms mc_fallback repeat stats trace metrics_out requests_file =
+    deadline_ms mc_fallback repeat stats trace metrics_out metrics_format
+    requests_file =
   let result =
     let* ctx =
       build_context workspace data_dir rbac_file policy_file costs_file solver
@@ -293,7 +312,7 @@ let run_batch workspace data_dir rbac_file policy_file costs_file solver jobs
         Error (Printf.sprintf "--repeat %d: need at least 1" repeat)
       else Ok ()
     in
-    with_obs ~trace ~metrics_out (fun obs ->
+    with_obs ~trace ~metrics_out ~metrics_format (fun obs ->
         let ctx = { ctx with Pcqe.Engine.obs } in
         let session = Pcqe.Engine.Session.create ctx in
         for round = 1 to repeat do
@@ -313,6 +332,67 @@ let run_batch workspace data_dir rbac_file policy_file costs_file solver jobs
             (Pcqe.Engine.Session.cache_stats session)
         end;
         Ok ())
+  in
+  match result with
+  | Ok () -> 0
+  | Error msg ->
+    Printf.eprintf "pcqe: %s\n" msg;
+    1
+
+(* ------------------------------------------------------------------ *)
+(* explain subcommand: the per-request profiler over a warm serving
+   session.  The query is answered once to warm the caches, then again
+   with profiling on — the profile therefore shows serving behaviour
+   (plan-cache hits, reused confidence classes) rather than cold-start
+   compilation, plus per-stage wall time and allocation and the
+   confidence-ladder rungs the request used. *)
+
+let run_explain workspace data_dir rbac_file policy_file costs_file user
+    purpose perc solver jobs deadline_ms mc_fallback cold sql =
+  let result =
+    let* ctx =
+      build_context workspace data_dir rbac_file policy_file costs_file solver
+    in
+    let ctx =
+      match jobs with
+      | None -> ctx
+      | Some j -> { ctx with Pcqe.Engine.jobs = Exec.resolve_jobs ~jobs:j () }
+    in
+    let* deadline = deadline_spec_of_ms deadline_ms in
+    let obs = Obs.wall () in
+    let ctx =
+      {
+        ctx with
+        Pcqe.Engine.deadline;
+        mc_fallback;
+        obs = Some obs;
+        profile = true;
+      }
+    in
+    let session = Pcqe.Engine.Session.create ctx in
+    let request =
+      { Pcqe.Engine.query = Pcqe.Query.sql sql; user; purpose; perc }
+    in
+    let* () =
+      if cold then Ok ()
+      else
+        let* _warm = Pcqe.Engine.Session.answer session request in
+        Ok ()
+    in
+    Obs.Trace.reset obs.Obs.trace;
+    let* resp = Pcqe.Engine.Session.answer session request in
+    Printf.printf "Profile (%s serving answer):\n"
+      (if cold then "cold" else "warm");
+    (match resp.Pcqe.Engine.profile with
+    | Some p -> print_string (Pcqe.Report.profile_to_string p)
+    | None -> print_endline "no profile recorded");
+    Printf.printf "released=%d withheld=%d requested=%d%s\n"
+      (List.length resp.Pcqe.Engine.released)
+      resp.Pcqe.Engine.withheld resp.Pcqe.Engine.requested
+      (if resp.Pcqe.Engine.ambiguous > 0 then
+         Printf.sprintf " ambiguous=%d" resp.Pcqe.Engine.ambiguous
+       else "");
+    Ok ()
   in
   match result with
   | Ok () -> 0
@@ -351,7 +431,8 @@ let run_plan data_dir sql =
 (* ------------------------------------------------------------------ *)
 (* solve subcommand *)
 
-let run_solve size bpr seed beta theta solver jobs deadline_ms trace metrics_out =
+let run_solve size bpr seed beta theta solver jobs deadline_ms trace metrics_out
+    metrics_format =
   let result =
     let* solver = solver_of_string solver in
     let* deadline_spec = deadline_spec_of_ms deadline_ms in
@@ -368,7 +449,7 @@ let run_solve size bpr seed beta theta solver jobs deadline_ms trace metrics_out
     Exec.with_pool_opt ~jobs (fun pool ->
     let problem = Workload.Synth.instance ?pool ~params ~seed () in
     Printf.printf "%s\n" (Optimize.Problem.to_string problem);
-    with_obs ~trace ~metrics_out (fun obs ->
+    with_obs ~trace ~metrics_out ~metrics_format (fun obs ->
     let deadline = Resilience.Deadline.start deadline_spec in
     let out =
       Optimize.Solver.solve ~algorithm:solver ?obs ?pool ~deadline problem
@@ -523,7 +604,19 @@ let metrics_out_arg =
     value
     & opt (some string) None
     & info [ "metrics-out" ] ~docv:"FILE"
-        ~doc:"Write the recorded spans, counters and histograms as JSONL.")
+        ~doc:
+          "Write the recorded observability data to $(docv) (format per \
+           --metrics-format).")
+
+let metrics_format_arg =
+  Arg.(
+    value & opt string "json"
+    & info [ "metrics-format" ] ~docv:"FORMAT"
+        ~doc:
+          "Exposition format for --metrics-out: $(b,json) (JSONL spans, \
+           counters, gauges and histograms), $(b,openmetrics) (OpenMetrics \
+           text: counters, gauges, and histogram quantile summaries, for \
+           scrapers), or $(b,text) (the human-readable report).")
 
 let query_cmd =
   let rbac_arg =
@@ -584,7 +677,77 @@ let query_cmd =
       const run_query $ workspace_arg $ data_opt_arg $ rbac_arg $ policy_arg
       $ costs_arg $ user_arg $ purpose_arg $ perc_arg $ solver_arg $ jobs_arg
       $ deadline_arg $ mc_fallback_arg $ apply_arg $ trace_arg
-      $ metrics_out_arg $ sql_arg)
+      $ metrics_out_arg $ metrics_format_arg $ sql_arg)
+
+let explain_cmd =
+  let rbac_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "rbac" ] ~docv:"FILE" ~doc:"RBAC definition file.")
+  in
+  let policy_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "policies" ] ~docv:"FILE" ~doc:"Confidence policy file.")
+  in
+  let costs_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "costs" ] ~docv:"FILE" ~doc:"Per-tuple cost functions.")
+  in
+  let user_arg =
+    Arg.(required & opt (some string) None & info [ "user" ] ~docv:"USER")
+  in
+  let purpose_arg =
+    Arg.(required & opt (some string) None & info [ "purpose" ] ~docv:"PURPOSE")
+  in
+  let perc_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "perc" ] ~docv:"FRACTION"
+          ~doc:"Fraction of results the user needs (theta).")
+  in
+  let mc_fallback_arg =
+    Arg.(
+      value & flag
+      & info [ "mc-fallback" ]
+          ~doc:"Monte-Carlo confidence fallback (fail-closed).")
+  in
+  let cold_arg =
+    Arg.(
+      value & flag
+      & info [ "cold" ]
+          ~doc:
+            "Profile the first (cold) answer instead of warming the \
+             serving caches first; shows compilation and confidence \
+             computation rather than cache reuse.")
+  in
+  let doc = "profile a query: annotated plan with per-stage cost attribution" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Answers the query twice through one serving session — once to \
+         warm the prepared-plan and confidence caches, once with the \
+         per-request profiler on — and prints the annotated plan: one row \
+         per engine stage with elapsed wall time, allocated bytes and \
+         span attributes (rows, released, withheld), parallel task spans \
+         (solver groups, Monte-Carlo chunks) stitched under their stage, \
+         followed by the request's counter deltas grouped into cache \
+         attribution, confidence-ladder rungs, engine, solver and \
+         resilience sections.  Profiling is observe-only: the answer is \
+         bit-identical with it on or off.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "explain" ~doc ~man)
+    Term.(
+      const run_explain $ workspace_arg $ data_opt_arg $ rbac_arg $ policy_arg
+      $ costs_arg $ user_arg $ purpose_arg $ perc_arg $ solver_arg $ jobs_arg
+      $ deadline_arg $ mc_fallback_arg $ cold_arg $ sql_arg)
 
 let batch_cmd =
   let rbac_arg =
@@ -656,7 +819,8 @@ let batch_cmd =
     Term.(
       const run_batch $ workspace_arg $ data_opt_arg $ rbac_arg $ policy_arg
       $ costs_arg $ solver_arg $ jobs_arg $ deadline_arg $ mc_fallback_arg
-      $ repeat_arg $ stats_arg $ trace_arg $ metrics_out_arg $ requests_arg)
+      $ repeat_arg $ stats_arg $ trace_arg $ metrics_out_arg
+      $ metrics_format_arg $ requests_arg)
 
 let plan_cmd =
   let doc = "print the relational-algebra plan of a SQL query" in
@@ -689,7 +853,8 @@ let solve_cmd =
     (Cmd.info "solve" ~doc)
     Term.(
       const run_solve $ size_arg $ bpr_arg $ seed_arg $ beta_arg $ theta_arg
-      $ solver_arg $ jobs_arg $ deadline_arg $ trace_arg $ metrics_out_arg)
+      $ solver_arg $ jobs_arg $ deadline_arg $ trace_arg $ metrics_out_arg
+      $ metrics_format_arg)
 
 let repl_cmd =
   let ws_arg =
@@ -712,6 +877,14 @@ let main_cmd =
   let doc = "policy-compliant query evaluation over confidence-annotated data" in
   Cmd.group
     (Cmd.info "pcqe" ~version:"1.0.0" ~doc)
-    [ query_cmd; batch_cmd; plan_cmd; solve_cmd; export_cmd; repl_cmd ]
+    [
+      query_cmd;
+      batch_cmd;
+      explain_cmd;
+      plan_cmd;
+      solve_cmd;
+      export_cmd;
+      repl_cmd;
+    ]
 
 let () = exit (Cmd.eval' main_cmd)

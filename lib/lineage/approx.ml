@@ -18,19 +18,36 @@ let samples_for mc =
 
 let exact_threshold = 4096
 
-let confidence ?pool ?(exact_node_cap = 20_000) ?(mc = default_mc) p f =
-  if Formula.is_read_once f then Exact (Prob.read_once p f)
-  else if Prob.shannon_cost_estimate f <= exact_threshold then
+type tier = Read_once | Shannon | Obdd | Monte_carlo
+
+let tier_name = function
+  | Read_once -> "read_once"
+  | Shannon -> "shannon"
+  | Obdd -> "obdd"
+  | Monte_carlo -> "monte_carlo"
+
+let confidence ?pool ?fork ?(on_tier = fun (_ : tier) -> ()) ?(exact_node_cap = 20_000)
+    ?(mc = default_mc) p f =
+  if Formula.is_read_once f then begin
+    on_tier Read_once;
+    Exact (Prob.read_once p f)
+  end
+  else if Prob.shannon_cost_estimate f <= exact_threshold then begin
+    on_tier Shannon;
     Exact (Prob.exact p f)
+  end
   else begin
     let m = Bdd.manager () in
     match Bdd.of_formula ~size_cap:exact_node_cap m f with
-    | b -> Exact (Bdd.prob m p b)
+    | b ->
+      on_tier Obdd;
+      Exact (Bdd.prob m p b)
     | exception Bdd.Size_cap_exceeded -> (
+      on_tier Monte_carlo;
       let samples = samples_for mc in
       (* per-formula stream: reproducible, order- and pool-independent *)
       let rng = Prng.Splitmix.of_int (mc.seed lxor Formula.hash f) in
-      match Prob.monte_carlo ?pool rng ~samples p f with
+      match Prob.monte_carlo ?pool ?fork rng ~samples p f with
       | est ->
         Interval
           {

@@ -52,8 +52,18 @@ val exact_threshold : int
 (** {!Prob.exact} is attempted only when
     [Prob.shannon_cost_estimate f <= exact_threshold]. *)
 
+type tier = Read_once | Shannon | Obdd | Monte_carlo
+    (** the ladder rung that actually answered, in ladder order *)
+
+val tier_name : tier -> string
+(** Stable lower-snake name of a rung ([read_once], [shannon], [obdd],
+    [monte_carlo]) — used as the [ladder.<tier>] counter suffix by
+    callers that account rung usage. *)
+
 val confidence :
   ?pool:Exec.Pool.t ->
+  ?fork:Obs.task_ctx ->
+  ?on_tier:(tier -> unit) ->
   ?exact_node_cap:int ->
   ?mc:mc ->
   (Tid.t -> float) ->
@@ -65,7 +75,15 @@ val confidence :
     seed is derived from [mc.seed] and {!Formula.hash}[ f], so the
     estimate for a given formula is reproducible and independent of
     evaluation order and of [pool].  Never raises: any exception from
-    the sampling tier is converted to [Failed]. *)
+    the sampling tier is converted to [Failed].
+
+    [on_tier] is called exactly once, with the rung selected to answer,
+    {e before} that rung runs (so a rung that subsequently raises still
+    reports — the [Failed] path counts under the rung that failed).
+    Observation-only: callers use it to bump [ladder.*] counters.
+
+    [fork] is passed through to {!Prob.monte_carlo} so sampling chunks
+    appear as task spans under the caller's captured span. *)
 
 val releasable : beta:float -> estimate -> [ `Release | `Withhold | `Ambiguous ]
 (** The fail-closed decision rule: [`Release] iff the estimate proves

@@ -112,7 +112,7 @@ let shannon_cost_estimate f =
    stream per fixed-size chunk up front, and both the sequential and the
    pooled path consume exactly those streams — so the estimate is a pure
    function of (seed, samples, chunk), never of the jobs count. *)
-let monte_carlo ?pool ?(chunk = 4096) rng ~samples p f =
+let monte_carlo ?pool ?fork ?(chunk = 4096) rng ~samples p f =
   if samples <= 0 then invalid_arg "Prob.monte_carlo: samples must be positive";
   if chunk <= 0 then invalid_arg "Prob.monte_carlo: chunk must be positive";
   let vars = Tid.Set.elements (Formula.vars f) in
@@ -133,19 +133,23 @@ let monte_carlo ?pool ?(chunk = 4096) rng ~samples p f =
     done;
     !hits
   in
-  let hits =
-    match pool with
-    | None ->
-      let total = ref 0 in
-      for ci = 0 to num_chunks - 1 do
-        total := !total + run_chunk ci
-      done;
-      !total
-    | Some pool ->
-      Array.fold_left ( + ) 0
-        (Exec.Pool.map_array ~chunk:1 pool run_chunk
-           (Array.init num_chunks Fun.id))
+  (* each chunk runs inside a per-task span when the caller forked a trace
+     context; span lists come back with the chunk results and are stitched
+     in chunk order, so the tree never depends on scheduling *)
+  let traced ci =
+    Obs.task fork
+      ~attrs:[ ("chunk", string_of_int ci) ]
+      "mc-chunk"
+      (fun _ -> run_chunk ci)
   in
+  let outs =
+    match pool with
+    | None -> Array.init num_chunks traced
+    | Some pool ->
+      Exec.Pool.map_array ~chunk:1 pool traced (Array.init num_chunks Fun.id)
+  in
+  Obs.stitch fork (Array.map snd outs);
+  let hits = Array.fold_left (fun acc (h, _) -> acc + h) 0 outs in
   float_of_int hits /. float_of_int samples
 
 let derivative p f v =

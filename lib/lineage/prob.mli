@@ -35,6 +35,7 @@ val shannon_cost_estimate : Formula.t -> int
 
 val monte_carlo :
   ?pool:Exec.Pool.t ->
+  ?fork:Obs.task_ctx ->
   ?chunk:int ->
   Prng.Splitmix.t ->
   samples:int ->
@@ -51,7 +52,12 @@ val monte_carlo :
     per-chunk streams are fixed before forking, the estimate is {e
     identical} at every parallelism level (including no pool at all) for
     a given seed and [chunk].  [p] is called concurrently under [pool]
-    and must be pure. *)
+    and must be pure.
+
+    [fork] (an {!Obs.fork} capture taken while the caller's span is
+    open) makes each chunk record an ["mc-chunk"] task span; the spans
+    are stitched under the captured span in chunk order after the join,
+    so the trace tree is identical at any parallelism level. *)
 
 val derivative : (Tid.t -> float) -> Formula.t -> Tid.t -> float
 (** [derivative p f v] is the partial derivative of the confidence of [f]

@@ -1,0 +1,104 @@
+(* Bounded log-bucketed histogram (DDSketch-style).
+
+   Bucket [k] covers the interval (gamma^(k-1), gamma^k] with
+   gamma = (1 + alpha) / (1 - alpha).  Reporting the representative value
+   r_k = 2 * gamma^k / (gamma + 1) = gamma^k * (1 - alpha) for any
+   observation in the bucket keeps the relative error at most alpha at
+   both bucket edges, hence everywhere inside.  The index range is fixed
+   up front (covering [v_min, v_max]), so memory never grows with the
+   number of observations — unlike the exact series in [Metrics], which
+   keeps every sample. *)
+
+type t = {
+  alpha : float;
+  log_gamma : float;
+  min_idx : int; (* absolute bucket index of the first array slot *)
+  buckets : int array; (* fixed size, set at creation *)
+  mutable low : int; (* observations <= v_min (zeros, negatives, tiny) *)
+  mutable count : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+(* trackable value range: nanoseconds to ~10^12 covers every latency,
+   byte count and cardinality we record *)
+let v_min = 1e-9
+let v_max = 1e12
+
+let create ?(alpha = 0.01) () =
+  if not (alpha > 0.0 && alpha < 1.0) then
+    invalid_arg "Hdr.create: alpha must be in (0, 1)";
+  let gamma = (1.0 +. alpha) /. (1.0 -. alpha) in
+  let log_gamma = log gamma in
+  let min_idx = int_of_float (Float.ceil (log v_min /. log_gamma)) in
+  let max_idx = int_of_float (Float.ceil (log v_max /. log_gamma)) in
+  {
+    alpha;
+    log_gamma;
+    min_idx;
+    buckets = Array.make (max_idx - min_idx + 1) 0;
+    low = 0;
+    count = 0;
+    sum = 0.0;
+    min_v = infinity;
+    max_v = neg_infinity;
+  }
+
+let alpha t = t.alpha
+let bucket_count t = Array.length t.buckets
+let count t = t.count
+let sum t = t.sum
+let min_value t = t.min_v
+let max_value t = t.max_v
+
+let observe t v =
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. v;
+  if v < t.min_v then t.min_v <- v;
+  if v > t.max_v then t.max_v <- v;
+  if v <= v_min then t.low <- t.low + 1
+  else begin
+    let idx = int_of_float (Float.ceil (log v /. t.log_gamma)) - t.min_idx in
+    let last = Array.length t.buckets - 1 in
+    let idx = if idx < 0 then 0 else if idx > last then last else idx in
+    t.buckets.(idx) <- t.buckets.(idx) + 1
+  end
+
+(* representative value of the bucket at array slot [i] *)
+let representative t i =
+  exp (float_of_int (i + t.min_idx) *. t.log_gamma) *. (1.0 -. t.alpha)
+
+let quantile t q =
+  if t.count = 0 then nan
+  else begin
+    let rank = int_of_float (Float.ceil (q *. float_of_int t.count)) in
+    let rank = Stdlib.max 1 (Stdlib.min t.count rank) in
+    if rank <= t.low then t.min_v
+    else begin
+      let rem = ref (rank - t.low) in
+      let i = ref 0 in
+      while !rem > t.buckets.(!i) do
+        rem := !rem - t.buckets.(!i);
+        incr i
+      done;
+      (* clamp to the exact extremes: the true value lies within them, so
+         clamping never worsens the alpha bound *)
+      Float.min t.max_v (Float.max t.min_v (representative t !i))
+    end
+  end
+
+let iter t f =
+  if t.low > 0 then f (Float.min t.min_v v_min) t.low;
+  Array.iteri (fun i c -> if c > 0 then f (representative t i) c) t.buckets
+
+let merge ~into src =
+  if into.alpha <> src.alpha then invalid_arg "Hdr.merge: alpha mismatch";
+  Array.iteri
+    (fun i c -> into.buckets.(i) <- into.buckets.(i) + c)
+    src.buckets;
+  into.low <- into.low + src.low;
+  into.count <- into.count + src.count;
+  into.sum <- into.sum +. src.sum;
+  if src.min_v < into.min_v then into.min_v <- src.min_v;
+  if src.max_v > into.max_v then into.max_v <- src.max_v

@@ -1,0 +1,56 @@
+(** Bounded log-bucketed histogram with a fixed memory footprint.
+
+    An HDR/DDSketch-style sketch: observations land in logarithmically
+    spaced buckets chosen so that any quantile read back is within a
+    relative error of [alpha] of the exact quantile, for values inside
+    the trackable range [[1e-9, 1e12]] (values at or below the lower
+    bound are pooled and report the exact minimum; values above the
+    upper bound clamp into the last bucket).
+
+    {2 Error bound}
+
+    With [gamma = (1 + alpha) / (1 - alpha)], bucket [k] covers
+    [(gamma^(k-1), gamma^k]] and reports the representative
+    [gamma^k * (1 - alpha)], which is within [alpha] relative error of
+    every value in the bucket.  Since the sketch's nearest-rank quantile
+    lands in the bucket containing the exact nearest-rank sample,
+    [|quantile t q - exact_q| <= alpha * exact_q] for in-range streams.
+    [count], [sum], [min_value] and [max_value] are exact.
+
+    {2 Memory}
+
+    The bucket array size is fixed at creation ([bucket_count], about
+    4840 slots at the default [alpha = 0.01]) and never grows, no matter
+    how many observations are recorded — this is what qualifies it for
+    long-running serving paths where the exact series in {!Metrics}
+    would grow without bound. *)
+
+type t
+
+val create : ?alpha:float -> unit -> t
+(** Fresh empty sketch.  [alpha] (default [0.01], i.e. 1% relative
+    error) must lie in [(0, 1)]. *)
+
+val observe : t -> float -> unit
+
+val count : t -> int
+val sum : t -> float
+val min_value : t -> float
+val max_value : t -> float
+
+val quantile : t -> float -> float
+(** Nearest-rank quantile ([q] in [0,1]), subject to the error bound
+    above; [nan] when empty. *)
+
+val alpha : t -> float
+
+val bucket_count : t -> int
+(** Size of the fixed bucket array — constant for a given [alpha]. *)
+
+val iter : t -> (float -> int -> unit) -> unit
+(** [iter t f] calls [f representative count] for every non-empty
+    bucket, in increasing value order. *)
+
+val merge : into:t -> t -> unit
+(** Add [src]'s buckets into [into].  Raises [Invalid_argument] when the
+    two sketches were built with different [alpha]. *)

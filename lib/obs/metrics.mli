@@ -1,9 +1,18 @@
-(** Named counters and histograms.
+(** Named counters, gauges and histograms.
 
     A registry is a mutable bag of metrics identified by dotted names
     (["engine.queries"], ["heuristic.h3_prunes"], ["dnc.group_size"]).
-    Counters are monotone integers; histograms record every observation
-    and report order statistics on demand (nearest-rank percentiles).
+    Counters are monotone integers; gauges are last-write-wins floats
+    (cache sizes, epochs); histograms record observations and report
+    order statistics on demand (nearest-rank percentiles).
+
+    Histograms come in two flavours behind the same name space:
+    {!observe} keeps every observation exactly (right for bounded bench
+    and test series), while {!observe_bounded} sketches into a
+    fixed-memory log-bucketed {!Hdr} histogram with a documented
+    relative error bound — the serving paths use it so a long-running
+    process never grows its registry without bound.  A name's flavour is
+    fixed by whichever call touches it first.
 
     Recording is cheap — one hashtable probe plus an integer add or an
     array push — so solvers can bump counters inside their inner loops.
@@ -27,10 +36,23 @@ val incr : t -> ?by:int -> string -> unit
 (** Add [by] (default 1) to the named counter, creating it at 0 first. *)
 
 val observe : t -> string -> float -> unit
-(** Record one observation into the named histogram. *)
+(** Record one observation into the named histogram (exact flavour when
+    the name is new). *)
+
+val observe_bounded : t -> ?alpha:float -> string -> float -> unit
+(** Record one observation into the named histogram, creating it as a
+    bounded {!Hdr} sketch (relative quantile error [alpha], default 1%)
+    when the name is new.  Fixed memory per name regardless of the
+    observation count. *)
+
+val set_gauge : t -> string -> float -> unit
+(** Set the named gauge (last write wins). *)
 
 val counter : t -> string -> int
 (** Current value of the counter; [0] when it was never incremented. *)
+
+val gauge : t -> string -> float option
+(** Current value of the gauge; [None] when it was never set. *)
 
 type histogram = {
   count : int;
@@ -44,7 +66,9 @@ type histogram = {
 }
 
 val histogram : t -> string -> histogram option
-(** Summary of the named histogram; [None] when it has no observations. *)
+(** Summary of the named histogram; [None] when it has no observations.
+    For bounded histograms, [count]/[sum]/[min]/[max]/[mean] are exact
+    and the percentiles carry the {!Hdr} error bound. *)
 
 val percentile : float array -> float -> float
 (** [percentile sorted q] is the nearest-rank [q]-percentile ([q] in
@@ -53,18 +77,31 @@ val percentile : float array -> float -> float
 val counters : t -> (string * int) list
 (** All counters, sorted by name. *)
 
+val gauges : t -> (string * float) list
+(** All gauges, sorted by name. *)
+
 val histograms : t -> (string * histogram) list
 (** All non-empty histograms, sorted by name. *)
 
 val merge : into:t -> t -> unit
-(** [merge ~into src] folds [src] into [into]: counters add, histogram
-    observations append (per histogram, in recording order).  Metric
-    names are visited in sorted order, so merging the same registries in
-    the same sequence always produces the same aggregate — merge forked
-    registries back in task order after a parallel join and the combined
-    registry is deterministic.  [src] is left untouched. *)
+(** [merge ~into src] folds [src] into [into]: counters add, gauges
+    overwrite, histogram observations append (per histogram, in
+    recording order; bounded sketches of equal [alpha] merge
+    bucket-wise).  Metric names are visited in sorted order, so merging
+    the same registries in the same sequence always produces the same
+    aggregate — merge forked registries back in task order after a
+    parallel join and the combined registry is deterministic.  [src] is
+    left untouched. *)
 
 val reset : t -> unit
 
 val render : t -> string
-(** Human-readable dump: counters first, then histogram summaries. *)
+(** Human-readable dump: counters first, then gauges, then histogram
+    summaries. *)
+
+val to_openmetrics : t -> string
+(** OpenMetrics text exposition: every metric name is mangled to
+    [pcqe_<name with non-alphanumerics as '_'>]; counters expose
+    [<name>_total], gauges a bare sample, histograms a [summary] with
+    [quantile] labels (0.5/0.9/0.99) plus [_sum] and [_count]; the
+    output ends with [# EOF] as the standard requires. *)

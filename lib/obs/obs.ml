@@ -1,13 +1,32 @@
 module Clock = Clock
 module Trace = Trace
 module Metrics = Metrics
+module Hdr = Hdr
+module Profile = Profile
 module Sink = Sink
 
-type t = { trace : Trace.t; metrics : Metrics.t }
+type t = { trace : Trace.t; metrics : Metrics.t; clock : Clock.t }
 
 let create ?clock () =
-  let clock = match clock with Some c -> c | None -> Clock.counter () in
-  { trace = Trace.create ~clock (); metrics = Metrics.create () }
+  match clock with
+  | Some c ->
+    (* explicit clock (wall time, usually): forked task subtracers share
+       it, so task spans carry real timings too *)
+    {
+      trace = Trace.create ~clock:c ~fresh:(fun () -> c) ();
+      metrics = Metrics.create ();
+      clock = c;
+    }
+  | None ->
+    (* deterministic default: the main tracer gets one counter and every
+       forked task gets a fresh one, so a task's subtree is a pure
+       function of the task body regardless of scheduling *)
+    let c = Clock.counter () in
+    {
+      trace = Trace.create ~clock:c ~fresh:(fun () -> Clock.counter ()) ();
+      metrics = Metrics.create ();
+      clock = c;
+    }
 
 let deterministic () = create ()
 
@@ -24,6 +43,35 @@ let incr t ?by name =
 
 let observe t name v =
   match t with None -> () | Some o -> Metrics.observe o.metrics name v
+
+let observe_bounded t ?alpha name v =
+  match t with
+  | None -> ()
+  | Some o -> Metrics.observe_bounded o.metrics ?alpha name v
+
+let set_gauge t name v =
+  match t with None -> () | Some o -> Metrics.set_gauge o.metrics name v
+
+let now t = match t with None -> 0.0 | Some o -> o.clock ()
+
+(* --- cross-task propagation --- *)
+
+type task_ctx = Trace.ctx
+
+let fork t = match t with None -> None | Some o -> Some (Trace.fork o.trace)
+
+let task ctx ?attrs name f =
+  match ctx with
+  | None -> (f None, [])
+  | Some c ->
+    let sub = Trace.branch c in
+    let v = Trace.span sub ?attrs name (fun () -> f (Some sub)) in
+    (v, Trace.roots sub)
+
+let stitch ctx groups =
+  match ctx with
+  | None -> ()
+  | Some c -> Array.iter (fun spans -> Trace.stitch c spans) groups
 
 let drain t sink = Sink.drain ~trace:t.trace ~metrics:t.metrics sink
 

@@ -3,19 +3,34 @@
     The engine, the solvers, the CLI and the benchmarks all take an
     optional [Obs.t].  [None] means observability is fully disabled: the
     option-taking helpers below ({!span}, {!incr}, {!observe},
-    {!add_attr}) are no-ops that allocate nothing, so the instrumented
+    {!add_attr}, …) are no-ops that allocate nothing, so the instrumented
     code pays a single [match] per call site when tracing is off.
 
     Clocks are pluggable ({!Clock}): {!deterministic} (the default) never
     reads wall time, so enabling observability cannot make a test run
-    nondeterministic; {!wall} is for the CLI, REPL and benchmarks. *)
+    nondeterministic; {!wall} is for the CLI, REPL and benchmarks.
+
+    {2 Cross-task propagation}
+
+    Work fanned out on an [Exec] pool must not record into the shared
+    tracer (single writer).  The orchestrator calls {!fork} while the
+    span that owns the parallel section is open, wraps each task body in
+    {!task} (which records into a private per-task subtracer), and after
+    the join calls {!stitch} with the per-task span lists {e in task
+    order} — the completed task spans then appear as children of the
+    forked span.  Subtracers draw fresh deterministic counter clocks by
+    default (each task subtree is a pure function of the task body, so
+    the stitched tree is identical at any jobs level), or share the wall
+    clock when the handle was built with one. *)
 
 module Clock = Clock
 module Trace = Trace
 module Metrics = Metrics
+module Hdr = Hdr
+module Profile = Profile
 module Sink = Sink
 
-type t = { trace : Trace.t; metrics : Metrics.t }
+type t = { trace : Trace.t; metrics : Metrics.t; clock : Clock.t }
 
 val create : ?clock:Clock.t -> unit -> t
 (** Fresh tracer + registry sharing [clock] (default: deterministic
@@ -34,6 +49,43 @@ val span : t option -> ?attrs:(string * string) list -> string -> (unit -> 'a) -
 val add_attr : t option -> string -> string -> unit
 val incr : t option -> ?by:int -> string -> unit
 val observe : t option -> string -> float -> unit
+
+val observe_bounded : t option -> ?alpha:float -> string -> float -> unit
+(** Like {!observe} but creates the histogram as a fixed-memory bounded
+    sketch ({!Hdr}) — use on serving paths that run indefinitely. *)
+
+val set_gauge : t option -> string -> float -> unit
+
+val now : t option -> float
+(** One reading of the handle's clock ([0.0] when disabled) — for
+    recording durations that span more than one span. *)
+
+type task_ctx
+(** Capture of the innermost open span plus the clock factory, taken on
+    the orchestrating domain with {!fork}. *)
+
+val fork : t option -> task_ctx option
+(** Capture the current innermost open span as the parent for task
+    spans.  Call while the owning span (e.g. ["parallel"], ["batch"])
+    is open. *)
+
+val task :
+  task_ctx option ->
+  ?attrs:(string * string) list ->
+  string ->
+  (Trace.t option -> 'a) ->
+  'a * Trace.span list
+(** [task ctx name f] runs [f] inside a span named [name] on a private
+    per-task subtracer (passed to [f] so the body can record child
+    spans), and returns the body's value together with the completed
+    task spans — hand those to {!stitch} after the join.  With [ctx =
+    None] it is a no-op wrapper: [(f None, [])].  Safe to call from any
+    domain. *)
+
+val stitch : task_ctx option -> Trace.span list array -> unit
+(** Graft the per-task span lists under the forked span, in array
+    order.  Call from the orchestrating domain, after the tasks have
+    joined and before the forked span closes. *)
 
 val drain : t -> Sink.t -> unit
 (** Stream completed spans and all metrics into the sink, then close it. *)

@@ -1,0 +1,88 @@
+(* Per-request profile: the completed span tree flattened into preorder
+   stage rows (wall time + allocation per stage) plus the counter deltas
+   recorded while the request ran.  Built by the engine from a
+   [before]-snapshot of the registry and the request's root span; strictly
+   observe-only — it reads completed spans and counter values, never
+   touches the answer path. *)
+
+type stage = {
+  path : string list; (* root-to-leaf span names *)
+  elapsed : float;
+  alloc_bytes : float;
+  attrs : (string * string) list;
+}
+
+type t = {
+  stages : stage list; (* preorder *)
+  counters : (string * int) list; (* deltas; zeros dropped; name-sorted *)
+  elapsed : float; (* the root span's elapsed *)
+  alloc_bytes : float; (* the root span's allocation *)
+}
+
+let snapshot m = Metrics.counters m
+
+let counter_deltas ~before after =
+  List.filter_map
+    (fun (name, v) ->
+      let prior = match List.assoc_opt name before with Some p -> p | None -> 0 in
+      if v = prior then None else Some (name, v - prior))
+    after
+
+let of_span ?(before = []) ?metrics (root : Trace.span) =
+  let rec flatten rev_path (s : Trace.span) acc =
+    let rev_path = s.Trace.name :: rev_path in
+    let stage =
+      {
+        path = List.rev rev_path;
+        elapsed = s.Trace.elapsed;
+        alloc_bytes = s.Trace.alloc;
+        attrs = s.Trace.attrs;
+      }
+    in
+    stage :: List.fold_right (flatten rev_path) s.Trace.children acc
+  in
+  let counters =
+    match metrics with
+    | None -> []
+    | Some m -> counter_deltas ~before (Metrics.counters m)
+  in
+  {
+    stages = flatten [] root [];
+    counters;
+    elapsed = root.Trace.elapsed;
+    alloc_bytes = root.Trace.alloc;
+  }
+
+let bytes_str b =
+  if Float.abs b < 1024.0 then Printf.sprintf "%.0f B" b
+  else if Float.abs b < 1024.0 *. 1024.0 then Printf.sprintf "%.1f kB" (b /. 1024.0)
+  else Printf.sprintf "%.2f MB" (b /. (1024.0 *. 1024.0))
+
+let default_time e = Printf.sprintf "%.3f ms" (1000.0 *. e)
+
+let render ?(time = default_time) t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-40s %12s %10s  %s\n" "stage" "elapsed" "alloc" "detail");
+  List.iter
+    (fun st ->
+      let depth = List.length st.path - 1 in
+      let name =
+        String.make (2 * depth) ' '
+        ^ (match List.rev st.path with last :: _ -> last | [] -> "?")
+      in
+      let detail =
+        String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) st.attrs)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%-40s %12s %10s  %s\n" name (time st.elapsed)
+           (bytes_str st.alloc_bytes) detail))
+    t.stages;
+  if t.counters <> [] then begin
+    Buffer.add_string buf "counter deltas:\n";
+    List.iter
+      (fun (name, d) ->
+        Buffer.add_string buf (Printf.sprintf "  %-38s %+d\n" name d))
+      t.counters
+  end;
+  Buffer.contents buf

@@ -1,0 +1,42 @@
+(** Per-request profile record.
+
+    A profile is a structured snapshot of one request's execution: the
+    span tree flattened into preorder stage rows (per-stage elapsed time
+    and per-stage allocated bytes, straight from {!Trace.span}) plus the
+    counter deltas accumulated in the registry while the request ran —
+    cache hits and misses, incremental vs. full evaluations, the
+    confidence-ladder rung reached, and anything else the pipeline
+    counts.  The engine attaches one to its response when profiling is
+    requested; it is strictly observe-only (built from completed spans
+    after the answer exists). *)
+
+type stage = {
+  path : string list;  (** root-to-leaf span names *)
+  elapsed : float;
+  alloc_bytes : float;
+  attrs : (string * string) list;
+}
+
+type t = {
+  stages : stage list;  (** preorder: parents before children *)
+  counters : (string * int) list;
+      (** counter deltas over the request, name-sorted, zeros dropped *)
+  elapsed : float;  (** the root span's elapsed time *)
+  alloc_bytes : float;  (** the root span's allocated bytes *)
+}
+
+val snapshot : Metrics.t -> (string * int) list
+(** Counter values now — take one before the request, hand it to
+    {!of_span} after. *)
+
+val of_span :
+  ?before:(string * int) list -> ?metrics:Metrics.t -> Trace.span -> t
+(** Build the profile of a completed root span.  When [metrics] is
+    given, [counters] holds the per-name difference between the registry
+    now and the [before] snapshot (names absent from [before] count from
+    zero). *)
+
+val render : ?time:(float -> string) -> t -> string
+(** Annotated per-stage table (indented stage name, elapsed, allocation,
+    attributes) followed by the counter deltas.  [time] formats elapsed
+    values (default milliseconds, right for the wall clock). *)

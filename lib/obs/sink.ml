@@ -3,9 +3,11 @@ type record =
       path : string list;
       start : float;
       elapsed : float;
+      alloc : float;
       attrs : (string * string) list;
     }
   | Counter of { name : string; value : int }
+  | Gauge of { name : string; value : float }
   | Histogram of { name : string; stats : Metrics.histogram }
 
 type t = { emit : record -> unit; close : unit -> unit }
@@ -27,6 +29,8 @@ let report buf =
       Buffer.add_char buf '\n'
     | Counter { name; value } ->
       Buffer.add_string buf (Printf.sprintf "count %-36s %10d\n" name value)
+    | Gauge { name; value } ->
+      Buffer.add_string buf (Printf.sprintf "gauge %-36s %10g\n" name value)
     | Histogram { name; stats } ->
       Buffer.add_string buf
         (Printf.sprintf
@@ -51,7 +55,9 @@ let escape s =
       | '\n' -> Buffer.add_string buf "\\n"
       | '\r' -> Buffer.add_string buf "\\r"
       | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
+      | c when Char.code c < 0x20 || Char.code c = 0x7f ->
+        (* every remaining control character (including DEL) as \uXXXX,
+           so any byte string yields a valid JSON line *)
         Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
       | c -> Buffer.add_char buf c)
     s;
@@ -63,7 +69,7 @@ let float_str f =
   else Printf.sprintf "%.17g" f
 
 let record_to_json = function
-  | Span { path; start; elapsed; attrs } ->
+  | Span { path; start; elapsed; alloc; attrs } ->
     let attrs_json =
       String.concat ","
         (List.map
@@ -71,12 +77,15 @@ let record_to_json = function
            attrs)
     in
     Printf.sprintf
-      "{\"type\":\"span\",\"path\":\"%s\",\"start\":%s,\"elapsed\":%s,\"attrs\":{%s}}"
+      "{\"type\":\"span\",\"path\":\"%s\",\"start\":%s,\"elapsed\":%s,\"alloc\":%s,\"attrs\":{%s}}"
       (escape (String.concat "/" path))
-      (float_str start) (float_str elapsed) attrs_json
+      (float_str start) (float_str elapsed) (float_str alloc) attrs_json
   | Counter { name; value } ->
     Printf.sprintf "{\"type\":\"counter\",\"name\":\"%s\",\"value\":%d}"
       (escape name) value
+  | Gauge { name; value } ->
+    Printf.sprintf "{\"type\":\"gauge\",\"name\":\"%s\",\"value\":%s}"
+      (escape name) (float_str value)
   | Histogram { name; stats } ->
     Printf.sprintf
       "{\"type\":\"histogram\",\"name\":\"%s\",\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s,\"mean\":%s,\"p50\":%s,\"p90\":%s,\"p99\":%s}"
@@ -212,6 +221,13 @@ let record_of_json line =
       | Some (Jnumber f) -> f
       | _ -> raise (Bad (Printf.sprintf "missing number field %S" key))
     in
+    (* lenient: absent numeric field reads as [default] so lines written
+       before a field existed still parse *)
+    let num_default key default =
+      match List.assoc_opt key fields with
+      | Some (Jnumber f) -> f
+      | _ -> default
+    in
     match str "type" with
     | "span" ->
       let attrs =
@@ -231,10 +247,12 @@ let record_of_json line =
              path = String.split_on_char '/' (str "path");
              start = num "start";
              elapsed = num "elapsed";
+             alloc = num_default "alloc" 0.0;
              attrs;
            })
     | "counter" ->
       Ok (Counter { name = str "name"; value = int_of_float (num "value") })
+    | "gauge" -> Ok (Gauge { name = str "name"; value = num "value" })
     | "histogram" ->
       Ok
         (Histogram
@@ -276,6 +294,7 @@ let drain ?trace ?metrics sink =
              path = List.rev rev_path;
              start = s.Trace.start;
              elapsed = s.Trace.elapsed;
+             alloc = s.Trace.alloc;
              attrs = s.Trace.attrs;
            });
       List.iter (go rev_path) s.Trace.children
@@ -285,6 +304,7 @@ let drain ?trace ?metrics sink =
   | None -> ()
   | Some m ->
     List.iter (fun (name, value) -> sink.emit (Counter { name; value })) (Metrics.counters m);
+    List.iter (fun (name, value) -> sink.emit (Gauge { name; value })) (Metrics.gauges m);
     List.iter
       (fun (name, stats) -> sink.emit (Histogram { name; stats }))
       (Metrics.histograms m));

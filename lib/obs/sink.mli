@@ -14,9 +14,11 @@ type record =
       path : string list;  (** root-to-leaf span names *)
       start : float;
       elapsed : float;
+      alloc : float;  (** bytes allocated while the span was open *)
       attrs : (string * string) list;
     }
   | Counter of { name : string; value : int }
+  | Gauge of { name : string; value : float }
   | Histogram of { name : string; stats : Metrics.histogram }
 
 type t = { emit : record -> unit; close : unit -> unit }
@@ -34,11 +36,14 @@ val jsonl : out_channel -> t
 
 val drain : ?trace:Trace.t -> ?metrics:Metrics.t -> t -> unit
 (** Walk the tracer's completed spans (preorder) and the registry's
-    counters and histograms into the sink, then [close] it. *)
+    counters, gauges and histograms into the sink, then [close] it. *)
 
 val record_to_json : record -> string
-(** Single-line JSON encoding of one record. *)
+(** Single-line JSON encoding of one record.  Every control character in
+    string fields (tab, NUL, …, DEL) is escaped, so the emitted line is
+    valid single-line JSON for arbitrary byte strings. *)
 
 val record_of_json : string -> (record, string) result
 (** Inverse of {!record_to_json} (used by tests and external readers of
-    the line protocol). *)
+    the line protocol).  Lenient about the [alloc] span field so lines
+    written by older versions still parse. *)

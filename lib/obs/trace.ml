@@ -2,6 +2,7 @@ type span = {
   name : string;
   start : float;
   elapsed : float;
+  alloc : float;
   attrs : (string * string) list;
   children : span list;
 }
@@ -10,19 +11,27 @@ type span = {
 type frame = {
   f_name : string;
   f_start : float;
+  f_alloc : float; (* Gc.allocated_bytes at open *)
   mutable f_attrs : (string * string) list;
   mutable f_children : span list;
 }
 
 type t = {
   clock : Clock.t;
-  mutable stack : frame list;  (* innermost first *)
+  fresh : unit -> Clock.t; (* clock factory for forked subtracers *)
+  mutable stack : frame list; (* innermost first *)
   mutable rev_roots : span list;
 }
 
-let create ?clock () =
+let create ?clock ?fresh () =
+  let fresh =
+    match (fresh, clock) with
+    | Some f, _ -> f
+    | None, Some c -> fun () -> c
+    | None, None -> fun () -> Clock.counter ()
+  in
   let clock = match clock with Some c -> c | None -> Clock.counter () in
-  { clock; stack = []; rev_roots = [] }
+  { clock; fresh; stack = []; rev_roots = [] }
 
 let add_attr t key value =
   match t.stack with
@@ -36,6 +45,7 @@ let close t frame =
       name = frame.f_name;
       start = frame.f_start;
       elapsed = stop -. frame.f_start;
+      alloc = Gc.allocated_bytes () -. frame.f_alloc;
       attrs = List.rev frame.f_attrs;
       children = List.rev frame.f_children;
     }
@@ -49,7 +59,13 @@ let close t frame =
 
 let span t ?(attrs = []) name f =
   let frame =
-    { f_name = name; f_start = t.clock (); f_attrs = List.rev attrs; f_children = [] }
+    {
+      f_name = name;
+      f_start = t.clock ();
+      f_alloc = Gc.allocated_bytes ();
+      f_attrs = List.rev attrs;
+      f_children = [];
+    }
   in
   t.stack <- frame :: t.stack;
   Fun.protect ~finally:(fun () -> close t frame) f
@@ -57,6 +73,35 @@ let span t ?(attrs = []) name f =
 let roots t = List.rev t.rev_roots
 
 let reset t = t.rev_roots <- []
+
+(* ------------------------------------------------------------------ *)
+(* Cross-task propagation.  A [ctx] captures the innermost open frame:
+   that frame is the parent every forked task's spans will be stitched
+   under.  Forked subtracers get their own clock from [fresh] (a new
+   deterministic counter per task by default), so a task's subtree is a
+   pure function of the task body — independent of which domain ran it
+   and of how tasks interleaved. *)
+
+type ctx = {
+  c_parent : frame option; (* None: graft as new roots *)
+  c_trace : t;
+  c_fresh : unit -> Clock.t;
+}
+
+let fork t =
+  {
+    c_parent = (match t.stack with [] -> None | f :: _ -> Some f);
+    c_trace = t;
+    c_fresh = t.fresh;
+  }
+
+let branch ctx = create ~clock:(ctx.c_fresh ()) ~fresh:ctx.c_fresh ()
+
+let stitch ctx spans =
+  match ctx.c_parent with
+  | Some f -> List.iter (fun s -> f.f_children <- s :: f.f_children) spans
+  | None ->
+    List.iter (fun s -> ctx.c_trace.rev_roots <- s :: ctx.c_trace.rev_roots) spans
 
 let default_time e = Printf.sprintf "%.3f ms" (1000.0 *. e)
 

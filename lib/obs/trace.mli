@@ -9,21 +9,42 @@
     Timing comes from the tracer's {!Clock.t}: two readings per span
     (open and close).  With the default deterministic counter clock the
     elapsed value of a leaf span is exactly [1.0] and every run of the
-    same code produces the same tree — tests can assert on it. *)
+    same code produces the same tree — tests can assert on it.  Each
+    span also records the bytes allocated while it was open
+    ([Gc.allocated_bytes] delta, per-domain), which the profiler reports
+    as per-stage allocation.
+
+    {2 Cross-task propagation}
+
+    Work handed to an [Exec] pool runs on other domains, where it must
+    not touch this tracer (single-writer).  Instead, the orchestrator
+    {!fork}s a context while the parent span is open, each task records
+    into its own {!branch}ed subtracer, and after the join the
+    orchestrator {!stitch}es the completed task spans back under the
+    captured parent — in task order, so the final tree is deterministic
+    at any jobs level.  Branched subtracers draw their clock from the
+    parent tracer's clock factory: a fresh deterministic counter per
+    task by default (each task subtree is then a pure function of the
+    task body), or the shared wall clock when the parent was built on
+    one. *)
 
 type span = {
   name : string;
   start : float;  (** clock reading when the span opened *)
   elapsed : float;  (** close reading minus [start] *)
+  alloc : float;  (** bytes allocated on the recording domain while open *)
   attrs : (string * string) list;  (** in the order they were added *)
   children : span list;  (** in the order they completed *)
 }
 
 type t
 
-val create : ?clock:Clock.t -> unit -> t
+val create : ?clock:Clock.t -> ?fresh:(unit -> Clock.t) -> unit -> t
 (** Fresh tracer with no spans.  [clock] defaults to a fresh
-    deterministic {!Clock.counter}. *)
+    deterministic {!Clock.counter}.  [fresh] is the clock factory handed
+    to {!branch}ed subtracers; it defaults to [fun () -> Clock.counter ()]
+    when [clock] was omitted, and to sharing [clock] when one was
+    given. *)
 
 val span : t -> ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
 (** [span t name f] runs [f ()] inside a new span.  Exception-safe: the
@@ -40,6 +61,29 @@ val roots : t -> span list
 val reset : t -> unit
 (** Drop all completed spans (open spans are unaffected and will be
     recorded into the cleared tracer when they close). *)
+
+type ctx
+(** A capture of the innermost open span, taken with {!fork} on the
+    orchestrating domain.  It identifies the parent under which task
+    spans will be grafted, and carries the clock factory for
+    {!branch}. *)
+
+val fork : t -> ctx
+(** Capture the current innermost open span (or "no span open", in
+    which case stitched spans become new roots).  Cheap; call it while
+    the span that should own the forked work is open. *)
+
+val branch : ctx -> t
+(** A fresh, completely independent subtracer for one task, with its
+    own clock from the context's factory.  Safe to use from any domain
+    (it shares no mutable state with the parent tracer). *)
+
+val stitch : ctx -> span list -> unit
+(** Graft completed spans (e.g. the {!roots} of a {!branch}ed
+    subtracer) under the captured parent, preserving list order.  Must
+    be called from the orchestrating domain, after the tasks have
+    joined and {e before} the captured span closes — spans stitched
+    after the parent closed are silently dropped. *)
 
 val render : ?time:(float -> string) -> t -> string
 (** Human-readable tree, one span per line, children indented under their

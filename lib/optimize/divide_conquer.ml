@@ -140,46 +140,74 @@ type group_outcome = {
   g_solution : (Tid.t * float) list;
   g_heuristic : bool;  (** the branch-and-bound refinement ran *)
   g_metrics : Obs.Metrics.t option;
+  g_spans : Obs.Trace.span list;
+      (** completed task spans, stitched under the caller post-join *)
   g_evals : State.evals;  (** greedy + branch-and-bound sub-solve evals *)
 }
 
-let solve_group config problem parts ~with_metrics ~now ~deadline gid members =
+let solve_group config problem parts ~with_metrics ~fork ~now ~deadline gid
+    members =
   let metrics = if with_metrics then Some (Obs.Metrics.create ()) else None in
   let t0 = match now with Some clock -> clock () | None -> 0.0 in
   let group_bids = parts.Partition.group_bases.(gid) in
-  let sub = subproblem config problem members group_bids in
-  let greedy_out = Greedy.solve ~config:config.greedy ?metrics ~deadline sub in
-  let g_heuristic = List.length group_bids < config.tau in
-  let g_solution, g_cost, g_evals =
-    if g_heuristic then begin
-      let bound =
-        if greedy_out.Greedy.feasible then Some greedy_out.Greedy.cost
-        else None
-      in
-      let h_out =
-        Heuristic.solve
-          ~config:
-            {
-              Heuristic.heuristics = Heuristic.all_heuristics;
-              initial_bound = bound;
-              max_nodes = config.heuristic_max_nodes;
-            }
-          ?metrics ~deadline sub
-      in
-      let evals =
-        State.add_evals greedy_out.Greedy.stats.Greedy.evals
-          h_out.Heuristic.stats.Heuristic.evals
-      in
-      match h_out.Heuristic.solution with
-      | Some s when h_out.Heuristic.cost < greedy_out.Greedy.cost ->
-        (s, h_out.Heuristic.cost, evals)
-      | _ -> (greedy_out.Greedy.solution, greedy_out.Greedy.cost, evals)
-    end
-    else
-      ( greedy_out.Greedy.solution,
-        greedy_out.Greedy.cost,
-        greedy_out.Greedy.stats.Greedy.evals )
+  (* the whole group solve runs inside one per-task span (recorded into a
+     private subtracer, safe on any domain); the spans come back in the
+     outcome and the orchestrator stitches them in group order *)
+  let out, g_spans =
+    Obs.task fork
+      ~attrs:
+        [
+          ("group", string_of_int gid);
+          ("bases", string_of_int (List.length group_bids));
+          ("results", string_of_int (List.length members));
+        ]
+      "group"
+      (fun sub_trace ->
+        let sub_span name f =
+          match sub_trace with
+          | Some tr -> Obs.Trace.span tr name f
+          | None -> f ()
+        in
+        let sub = subproblem config problem members group_bids in
+        let greedy_out =
+          sub_span "greedy" (fun () ->
+              Greedy.solve ~config:config.greedy ?metrics ~deadline sub)
+        in
+        let g_heuristic = List.length group_bids < config.tau in
+        let g_solution, g_cost, g_evals =
+          if g_heuristic then begin
+            let bound =
+              if greedy_out.Greedy.feasible then Some greedy_out.Greedy.cost
+              else None
+            in
+            let h_out =
+              sub_span "heuristic" (fun () ->
+                  Heuristic.solve
+                    ~config:
+                      {
+                        Heuristic.heuristics = Heuristic.all_heuristics;
+                        initial_bound = bound;
+                        max_nodes = config.heuristic_max_nodes;
+                      }
+                    ?metrics ~deadline sub)
+            in
+            let evals =
+              State.add_evals greedy_out.Greedy.stats.Greedy.evals
+                h_out.Heuristic.stats.Heuristic.evals
+            in
+            match h_out.Heuristic.solution with
+            | Some s when h_out.Heuristic.cost < greedy_out.Greedy.cost ->
+              (s, h_out.Heuristic.cost, evals)
+            | _ -> (greedy_out.Greedy.solution, greedy_out.Greedy.cost, evals)
+          end
+          else
+            ( greedy_out.Greedy.solution,
+              greedy_out.Greedy.cost,
+              greedy_out.Greedy.stats.Greedy.evals )
+        in
+        (g_solution, g_cost, g_heuristic, g_evals))
   in
+  let g_solution, g_cost, g_heuristic, g_evals = out in
   (match (now, metrics) with
   | Some clock, Some m ->
     Obs.Metrics.observe m "dnc.group_solve_s" (clock () -. t0)
@@ -190,10 +218,11 @@ let solve_group config problem parts ~with_metrics ~now ~deadline gid members =
     g_solution;
     g_heuristic;
     g_metrics = metrics;
+    g_spans;
     g_evals;
   }
 
-let solve ?(config = default_config) ?metrics ?pool ?now
+let solve ?(config = default_config) ?metrics ?fork ?pool ?now
     ?(deadline = Resilience.Deadline.never) problem =
   let parts = Partition.partition ~config:config.partition problem in
   let num_groups = Partition.num_groups parts in
@@ -215,7 +244,7 @@ let solve ?(config = default_config) ?metrics ?pool ?now
     else [||]
   in
   let solve_group gid members =
-    solve_group config problem parts ~with_metrics:(metrics <> None) ~now
+    solve_group config problem parts ~with_metrics:(metrics <> None) ~fork ~now
       ~deadline:subs.(gid) gid members
   in
   let group_outcomes =
@@ -226,6 +255,9 @@ let solve ?(config = default_config) ?metrics ?pool ?now
     | _ -> Array.mapi solve_group parts.Partition.groups
   in
   Resilience.Deadline.absorb deadline subs;
+  (* graft the per-group task spans under the caller's open span, in
+     group order: the stitched tree is then identical at any jobs level *)
+  Obs.stitch fork (Array.map (fun g -> g.g_spans) group_outcomes);
   let groups_stopped = Array.exists Resilience.Deadline.expired subs in
   (* deterministic post-join aggregation: fold the per-group registries
      into the caller's in group order, count refinements in group order *)

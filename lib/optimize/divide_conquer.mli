@@ -81,6 +81,7 @@ type outcome = {
 val solve :
   ?config:config ->
   ?metrics:Obs.Metrics.t ->
+  ?fork:Obs.task_ctx ->
   ?pool:Exec.Pool.t ->
   ?now:(unit -> float) ->
   ?deadline:Resilience.Deadline.t ->
@@ -92,6 +93,13 @@ val solve :
     sub-solvers write into a private registry which is merged back in
     group order ({!Obs.Metrics.merge}), so the totals are identical
     whether groups run sequentially or on [pool].
+
+    [fork] (an {!Obs.fork} capture taken while the caller's solve span is
+    open) makes each group solve record a ["group"] task span — with
+    [greedy]/[heuristic] child spans and group-size attributes — into a
+    private per-task subtracer; after the join the spans are stitched
+    under the captured span in group order, so the trace tree is the same
+    at any [jobs] level.
 
     [pool] solves the partition groups on the pool's domains.  Every
     group builds its own sub-problem, solver state, and registry, so the

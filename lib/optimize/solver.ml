@@ -147,9 +147,12 @@ let solve ?(algorithm = divide_conquer) ?obs ?jobs ?pool ?now
         ~attrs:[ ("jobs", string_of_int jobs) ]
         "parallel"
         (fun () ->
+          (* capture the open [parallel] span: the group task spans are
+             stitched under it after the join *)
+          let fork = Obs.fork obs in
           let out =
-            Divide_conquer.solve ~config:cfg ?metrics ?pool ?now ~deadline
-              problem
+            Divide_conquer.solve ~config:cfg ?metrics ?fork ?pool ?now
+              ~deadline problem
           in
           Obs.add_attr obs "chunks"
             (string_of_int out.Divide_conquer.num_groups);

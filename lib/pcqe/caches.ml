@@ -21,6 +21,13 @@ let stats t =
     ("serving.invalidated_classes", Conf_cache.invalidated t.conf);
   ]
 
+(* first-class gauges for metrics export: last-write-wins, so refreshing
+   after every served answer keeps the exported values live *)
+let export_gauges t obs =
+  List.iter
+    (fun (k, v) -> Obs.set_gauge obs ("cache." ^ k) (float_of_int v))
+    (stats t)
+
 let stats_to_string t =
   String.concat "\n"
     (List.map (fun (k, v) -> Printf.sprintf "  %-28s %d" k v) (stats t))

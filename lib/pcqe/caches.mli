@@ -20,6 +20,12 @@ val stats : t -> (string * int) list
 (** Entry counts plus cumulative hit/miss/evict/invalidation counters,
     in a stable order — the [\caches] REPL view. *)
 
+val export_gauges : t -> Obs.t option -> unit
+(** Publish every {!stats} entry as a [cache.<name>] gauge in the
+    handle's metrics registry (no-op on [None]).  The serving session
+    refreshes these after each answer so [--metrics-out] exports capture
+    live cache occupancy and hit/miss totals. *)
+
 val stats_to_string : t -> string
 
 val clear : t -> unit

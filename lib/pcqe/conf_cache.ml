@@ -112,7 +112,7 @@ let confidence ?obs t ~db f =
     Obs.incr obs "serving.recomputed_classes";
     c
 
-let estimate ?obs ?pool t ~db f =
+let estimate ?obs ?pool ?on_tier t ~db f =
   sync ?obs t ~db;
   match F.Table.find_opt t.ladder f with
   | Some e ->
@@ -120,7 +120,7 @@ let estimate ?obs ?pool t ~db f =
     Obs.incr obs "serving.reused_classes";
     e
   | None ->
-    let e = Lineage.Approx.confidence ?pool (Db.confidence_fn db) f in
+    let e = Lineage.Approx.confidence ?pool ?on_tier (Db.confidence_fn db) f in
     store t f (Estimate e);
     t.recomputed <- t.recomputed + 1;
     Obs.incr obs "serving.recomputed_classes";

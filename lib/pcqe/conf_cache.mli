@@ -43,6 +43,7 @@ val confidence :
 val estimate :
   ?obs:Obs.t ->
   ?pool:Exec.Pool.t ->
+  ?on_tier:(Lineage.Approx.tier -> unit) ->
   t ->
   db:Relational.Database.t ->
   Lineage.Formula.t ->
@@ -51,7 +52,8 @@ val estimate :
     the [mc_fallback] path.  Estimates are reproducible per formula
     (the Monte-Carlo seed derives from the formula hash), so a cached
     estimate is bit-identical to recomputation — with or without
-    [pool]. *)
+    [pool].  [on_tier] fires only on a miss (the rung that answered a
+    cached class was already reported when it was computed). *)
 
 val warm :
   ?obs:Obs.t ->

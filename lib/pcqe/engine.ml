@@ -15,12 +15,13 @@ type context = {
   mc_fallback : bool;
   obs : Obs.t option;
   caches : Caches.t option;
+  profile : bool;
 }
 
 let make_context ?(solver = Optimize.Solver.divide_conquer) ?(delta = 0.1)
     ?jobs ?(deadline = Resilience.Deadline.No_deadline) ?(mc_fallback = false)
-    ?cost_of ?cap_of ?(views = Relational.Views.empty) ?obs ?caches ~db ~rbac
-    ~policies () =
+    ?cost_of ?cap_of ?(views = Relational.Views.empty) ?obs ?caches
+    ?(profile = false) ~db ~rbac ~policies () =
   let default_cost = Cost.Cost_model.linear ~rate:100.0 in
   {
     db;
@@ -36,6 +37,7 @@ let make_context ?(solver = Optimize.Solver.divide_conquer) ?(delta = 0.1)
     mc_fallback;
     obs;
     caches;
+    profile;
   }
 
 type request = { query : Query.t; user : string; purpose : string; perc : float }
@@ -68,6 +70,7 @@ type response = {
   proposal : proposal option;
   infeasible : bool;
   degraded : string option;
+  profile : Obs.Profile.t option;
 }
 
 (* point value used for display; release decisions never use it *)
@@ -139,6 +142,12 @@ let answer_common ctx ~check_access ~roles ~query ~purpose ~perc =
       in
       let with_conf =
         Obs.span obs "confidence" (fun () ->
+            (* rung accounting: one [ladder.<tier>] tick per class actually
+               run through the degradation ladder (cache hits don't
+               re-count the rung that originally answered) *)
+            let on_tier tier =
+              Obs.incr obs ("ladder." ^ Lineage.Approx.tier_name tier)
+            in
             match ctx.caches with
             | Some caches ->
               (* per-epoch confidence cache: one computation per distinct
@@ -148,7 +157,7 @@ let answer_common ctx ~check_access ~roles ~query ~purpose ~perc =
                 List.map
                   (fun r ->
                     ( r,
-                      Conf_cache.estimate ?obs cache ~db:ctx.db
+                      Conf_cache.estimate ?obs ~on_tier cache ~db:ctx.db
                         r.Relational.Eval.lineage ))
                   res.Relational.Eval.rows
               else
@@ -166,7 +175,9 @@ let answer_common ctx ~check_access ~roles ~query ~purpose ~perc =
                 let p = Db.confidence ctx.db in
                 List.map
                   (fun r ->
-                    (r, Lineage.Approx.confidence p r.Relational.Eval.lineage))
+                    ( r,
+                      Lineage.Approx.confidence ~on_tier p
+                        r.Relational.Eval.lineage ))
                   res.Relational.Eval.rows
               else
                 List.map
@@ -329,29 +340,59 @@ let answer_common ctx ~check_access ~roles ~query ~purpose ~perc =
               proposal;
               infeasible;
               degraded;
+              profile = None;
             }))
 
+(* Profiling wrapper: run the answer with observability guaranteed on
+   (a private deterministic handle when the context has none), then build
+   the profile from the root span this answer recorded plus the counter
+   deltas over the run.  Strictly observe-only: the answer path is the
+   same code, and span/counter recording never feeds back into it — the
+   no-profile response is bit-identical (property-tested). *)
+let profiled (ctx : context) run =
+  if not ctx.profile then run ctx
+  else begin
+    let obs = match ctx.obs with Some o -> o | None -> Obs.deterministic () in
+    let before = Obs.Profile.snapshot obs.Obs.metrics in
+    (* roots recorded before this answer (e.g. earlier requests on a
+       shared handle) are not ours: remember where the forest ends *)
+    let mark = List.length (Obs.Trace.roots obs.Obs.trace) in
+    match run { ctx with obs = Some obs } with
+    | Error _ as e -> e
+    | Ok resp ->
+      let profile =
+        match List.nth_opt (Obs.Trace.roots obs.Obs.trace) mark with
+        | Some root ->
+          Some (Obs.Profile.of_span ~before ~metrics:obs.Obs.metrics root)
+        | None -> None
+      in
+      Ok { resp with profile }
+  end
+
 let answer ctx request =
-  let check_access plan = check_rbac ctx ~user:request.user plan in
-  let roles = Rbac.Core_rbac.authorized_roles ctx.rbac request.user in
-  answer_common ctx ~check_access ~roles ~query:request.query
-    ~purpose:request.purpose ~perc:request.perc
+  profiled ctx (fun ctx ->
+      let check_access plan = check_rbac ctx ~user:request.user plan in
+      let roles = Rbac.Core_rbac.authorized_roles ctx.rbac request.user in
+      answer_common ctx ~check_access ~roles ~query:request.query
+        ~purpose:request.purpose ~perc:request.perc)
 
 let answer_session ctx session query ~purpose ~perc =
-  let check_access plan =
-    check_rbac_with
-      ~who:
-        (Printf.sprintf "session of %S" (Rbac.Core_rbac.session_user session))
-      ~check:(fun p -> Rbac.Core_rbac.check_session ctx.rbac session p)
-      plan
-  in
-  (* session roles plus their juniors select the policies *)
-  let roles =
-    List.concat_map
-      (fun r -> r :: Rbac.Core_rbac.junior_roles ctx.rbac r)
-      (Rbac.Core_rbac.session_roles session)
-  in
-  answer_common ctx ~check_access ~roles ~query ~purpose ~perc
+  profiled ctx (fun ctx ->
+      let check_access plan =
+        check_rbac_with
+          ~who:
+            (Printf.sprintf "session of %S"
+               (Rbac.Core_rbac.session_user session))
+          ~check:(fun p -> Rbac.Core_rbac.check_session ctx.rbac session p)
+          plan
+      in
+      (* session roles plus their juniors select the policies *)
+      let roles =
+        List.concat_map
+          (fun r -> r :: Rbac.Core_rbac.junior_roles ctx.rbac r)
+          (Rbac.Core_rbac.session_roles session)
+      in
+      answer_common ctx ~check_access ~roles ~query ~purpose ~perc)
 
 let accept_proposal ctx proposal =
   { ctx with db = Db.apply_increments ctx.db proposal.increments }
@@ -381,7 +422,29 @@ module Session = struct
       (Caches.plans (caches t))
       ~db:t.ctx.db ~views:t.ctx.views query
 
-  let answer t request = answer t.ctx request
+  (* serving-grade gauges: cache occupancy/counters and the database
+     epochs, refreshed after every served answer so a metrics export
+     always reflects the live serving state *)
+  let export_gauges t =
+    let ctx = t.ctx in
+    match ctx.obs with
+    | None -> ()
+    | Some _ as obs ->
+      Caches.export_gauges (caches t) obs;
+      Obs.set_gauge obs "db.structural_epoch"
+        (float_of_int (Db.structural_epoch ctx.db));
+      Obs.set_gauge obs "db.confidence_epoch"
+        (float_of_int (Db.confidence_epoch ctx.db))
+
+  let answer t request =
+    let obs = t.ctx.obs in
+    let t0 = Obs.now obs in
+    let r = answer t.ctx request in
+    (* bounded sketch, not an exact series: sessions serve indefinitely
+       and the latency histogram must stay fixed-memory *)
+    Obs.observe_bounded obs "serving.answer_s" (Obs.now obs -. t0);
+    export_gauges t;
+    r
 
   let accept_proposal t proposal = t.ctx <- accept_proposal t.ctx proposal
 
@@ -397,7 +460,9 @@ module Session = struct
     let ctx = t.ctx in
     let obs = ctx.obs in
     let conf = Caches.conf (caches t) in
-    Obs.span obs "batch" (fun () ->
+    let t0 = Obs.now obs in
+    let responses =
+      Obs.span obs "batch" (fun () ->
         (* distinct query texts in first-appearance order, with the
            requests that issued them *)
         let order = ref [] in
@@ -452,23 +517,52 @@ module Session = struct
             (Lineage.Formula.Table.fold (fun f () acc -> f :: acc) fresh [])
         in
         let p = Db.confidence_fn ctx.db in
-        let compute f =
-          if ctx.mc_fallback then
-            (f, Conf_cache.Estimate (Lineage.Approx.confidence p f))
-          else (f, Conf_cache.Exact (Lineage.Prob.confidence p f))
+        (* each prewarmed class is a ["prewarm-class"] task span stitched
+           under the open [batch] span in class order; the rung a class
+           used comes back with its value and is counted post-join, so
+           worker domains never touch the shared registry *)
+        let fork = Obs.fork obs in
+        let compute i f =
+          Obs.task fork
+            ~attrs:[ ("class", string_of_int i) ]
+            "prewarm-class"
+            (fun _ ->
+              if ctx.mc_fallback then begin
+                let tier = ref None in
+                let e =
+                  Lineage.Approx.confidence
+                    ~on_tier:(fun rung -> tier := Some rung)
+                    p f
+                in
+                ((f, Conf_cache.Estimate e), !tier)
+              end
+              else ((f, Conf_cache.Exact (Lineage.Prob.confidence p f)), None))
         in
-        let values =
+        let outs =
           if Array.length distinct = 0 then [||]
           else
             Exec.with_pool_opt ~jobs:ctx.jobs (fun pool ->
                 match pool with
-                | Some pool -> Exec.Pool.map_array pool compute distinct
-                | None -> Array.map compute distinct)
+                | Some pool -> Exec.Pool.mapi_array pool compute distinct
+                | None -> Array.mapi compute distinct)
         in
+        Obs.stitch fork (Array.map snd outs);
+        Array.iter
+          (fun ((_, tier), _) ->
+            match tier with
+            | Some rung ->
+              Obs.incr obs ("ladder." ^ Lineage.Approx.tier_name rung)
+            | None -> ())
+          outs;
+        let values = Array.map (fun ((fv, _), _) -> fv) outs in
         Conf_cache.warm ?obs conf ~db:ctx.db (Array.to_list values);
         Obs.add_attr obs "requests" (string_of_int (List.length requests));
         Obs.add_attr obs "prewarmed" (string_of_int (Array.length distinct));
         (* answer every request in submission order; plans and confidence
            classes now come from the warm caches *)
         List.map (fun req -> answer t req) requests)
+    in
+    Obs.observe_bounded obs "serving.batch_s" (Obs.now obs -. t0);
+    export_gauges t;
+    responses
 end

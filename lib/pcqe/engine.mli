@@ -53,6 +53,14 @@ type context = {
           {!Conf_cache} (keyed by lineage class, invalidated by the
           confidence epoch); responses are bit-identical either way
           (property-tested) — the caches only remove repeated work. *)
+  profile : bool;
+      (** attach an {!Obs.Profile.t} to every response: per-stage wall
+          time and allocation from the request's span tree, plus the
+          counter deltas over the run (cache attribution, ladder rungs,
+          incremental vs full evaluations).  When [obs] is [None] a
+          private deterministic handle is used per answer, so profiling
+          needs no wiring.  Observe-only: answers are bit-identical with
+          profiling on or off (property-tested).  Off by default. *)
 }
 
 val make_context :
@@ -66,6 +74,7 @@ val make_context :
   ?views:Relational.Views.t ->
   ?obs:Obs.t ->
   ?caches:Caches.t ->
+  ?profile:bool ->
   db:Relational.Database.t ->
   rbac:Rbac.Core_rbac.t ->
   policies:Rbac.Policy.store ->
@@ -135,6 +144,10 @@ type response = {
       (** [Some reason] when the per-answer deadline stopped strategy
           finding early (see {!proposal.resolution}); the reason also
           lands in the audit log *)
+  profile : Obs.Profile.t option;
+      (** present iff [ctx.profile]: the request's per-stage profile —
+          span path, elapsed, allocated bytes and attributes per stage,
+          plus the counter deltas recorded while this answer ran *)
 }
 
 val answer : context -> request -> (response, string) result
@@ -192,7 +205,11 @@ module Session : sig
       ignored. *)
 
   val answer : t -> request -> (response, string) result
-  (** {!val-answer} with the session's caches. *)
+  (** {!val-answer} with the session's caches.  With [ctx.obs] set the
+      serving wrapper additionally observes the end-to-end latency into
+      the bounded [serving.answer_s] histogram (fixed memory, see
+      {!Obs.Hdr}) and refreshes the [cache.*] and [db.*_epoch] gauges
+      ({!Caches.export_gauges}). *)
 
   val prepare : t -> Query.t -> (Prepared.t, string) result
   (** Compile (or fetch) the prepared plan for a query without running
@@ -209,7 +226,14 @@ module Session : sig
       the jobs level; cache writes stay on the calling thread).  Queries
       no batch member may access are not prewarmed.  The response list
       is element-for-element identical to mapping cold {!val-answer}
-      over the requests. *)
+      over the requests.
+
+      With [ctx.obs] set, each prewarmed class records a
+      ["prewarm-class"] task span stitched under the ["batch"] span in
+      class order (identical at any jobs level), the ladder rung each
+      class used is counted post-join, the whole batch is observed into
+      the bounded [serving.batch_s] histogram, and the serving gauges
+      are refreshed. *)
 
   val accept_proposal : t -> proposal -> unit
   (** Apply an increment proposal to the session's database in place.

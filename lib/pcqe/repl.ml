@@ -58,6 +58,9 @@ let help_text =
   \exec <name>        answer a prepared query under the current settings
   \caches             show serving-cache statistics (plans + confidences)
   \explain            lineage explanations for the last query
+  \profile [sql]      re-run the last query (or the given SQL) with
+                      profiling on: annotated plan with per-stage time,
+                      allocation, cache attribution and ladder rungs
   \timing on|off      print the per-stage timed plan after each query
   \metrics            show the counters and histograms accumulated so far
   \tables             list relations (with cardinalities)
@@ -120,6 +123,27 @@ let run_sql t sql =
         | None -> text
       in
       Reply (t, String.trim text))
+
+(* Profile a query through the warm serving context, on the session's
+   wall-clock handle so the per-stage numbers are real timings.  The
+   answer itself is discarded (profiles are diagnostics; the response is
+   bit-identical to the unprofiled run, property-tested), only the
+   annotated plan is shown. *)
+let profile_sql t sql =
+  match t.user with
+  | None -> Reply (t, "no user set: \\user <name> first (see \\help)")
+  | Some user -> (
+    let request =
+      { Engine.query = Query.sql sql; user; purpose = t.purpose; perc = t.perc }
+    in
+    Obs.Trace.reset t.obs.Obs.trace;
+    let ctx = { t.ctx with Engine.profile = true; obs = Some t.obs } in
+    match Engine.answer ctx request with
+    | Error msg -> Reply (t, "error: " ^ msg)
+    | Ok resp -> (
+      match resp.Engine.profile with
+      | Some p -> Reply (t, String.trim (Report.profile_to_string p))
+      | None -> Reply (t, "no profile recorded")))
 
 let meta t line =
   let words =
@@ -260,6 +284,12 @@ let meta t line =
       match result with
       | Ok text -> Reply (t, String.trim text)
       | Error msg -> Reply (t, "error: " ^ msg)))
+  | [ "\\profile" ] -> (
+    match t.last_sql with
+    | None -> Reply (t, "no previous query to profile (run one first)")
+    | Some sql -> profile_sql t sql)
+  | "\\profile" :: (_ :: _ as sql_words) ->
+    profile_sql t (String.concat " " sql_words)
   | [ "\\timing"; "on" ] ->
     Reply ({ t with timing = true }, "timing on: every query prints its timed plan")
   | [ "\\timing"; "off" ] -> Reply ({ t with timing = false }, "timing off")

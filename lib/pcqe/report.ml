@@ -116,6 +116,42 @@ let response_to_string ?max_rows (r : Engine.response) =
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
+(* Per-request profile: the annotated plan (per-stage elapsed time and
+   allocation) followed by the counter deltas grouped by what they
+   attribute — cache behaviour, ladder rungs, engine accounting, solver
+   work — so a reader sees where the request's time, memory and cache
+   traffic went without knowing the counter namespace *)
+
+let profile_to_string ?time (p : Obs.Profile.t) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Obs.Profile.render ?time { p with Obs.Profile.counters = [] });
+  let remaining = ref p.Obs.Profile.counters in
+  let section title prefixes =
+    let mine, rest =
+      List.partition
+        (fun (name, _) ->
+          List.exists (fun prefix -> String.starts_with ~prefix name) prefixes)
+        !remaining
+    in
+    remaining := rest;
+    if mine <> [] then begin
+      Buffer.add_string buf (title ^ ":\n");
+      List.iter
+        (fun (name, d) ->
+          Buffer.add_string buf (Printf.sprintf "  %-38s %+d\n" name d))
+        mine
+    end
+  in
+  section "cache attribution" [ "prepared."; "serving."; "cache." ];
+  section "confidence ladder" [ "ladder." ];
+  section "engine" [ "engine." ];
+  section "solver" [ "dnc."; "greedy."; "heuristic."; "annealing." ];
+  section "resilience" [ "resilience." ];
+  section "other counters" [ "" ];
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
 (* EXPLAIN ANALYZE-style timed plan: the engine's span tree (per-stage
    elapsed time, rows in/out as span attributes) plus the release
    accounting of the response it timed *)

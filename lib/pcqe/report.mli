@@ -9,6 +9,14 @@ val response_to_string : ?max_rows:int -> Engine.response -> string
 
 val proposal_to_string : Engine.proposal -> string
 
+val profile_to_string : ?time:(float -> string) -> Obs.Profile.t -> string
+(** Render a per-request profile ({!Engine.response}[.profile]): the
+    annotated plan — one row per stage with elapsed time, allocated
+    bytes and span attributes — followed by the counter deltas grouped
+    into cache attribution ([prepared.*], [serving.*], [cache.*]),
+    confidence ladder ([ladder.*]), engine, solver and resilience
+    sections.  [time] formats elapsed values (default milliseconds). *)
+
 val timed_to_string :
   ?response:Engine.response -> ?with_metrics:bool -> Obs.t -> string
 (** EXPLAIN ANALYZE-style timed plan: the span tree recorded during

@@ -166,21 +166,40 @@ let qcheck_deterministic =
       | Error _, Error _ -> true
       | _ -> false)
 
+(* field-by-field response comparison shared by the observe-only
+   properties below (the [profile] field is deliberately not compared:
+   it is the one field profiling is allowed to add) *)
+let same_proposal (a : E.proposal option) (b : E.proposal option) =
+  match (a, b) with
+  | None, None -> true
+  | Some p, Some q ->
+    p.E.increments = q.E.increments
+    && Float.abs (p.E.cost -. q.E.cost) < 1e-12
+    && p.E.projected_release = q.E.projected_release
+    && p.E.solver_name = q.E.solver_name
+    && p.E.solver_detail = q.E.solver_detail
+  | _ -> false
+
+let same_response (a : E.response) (b : E.response) =
+  a.E.schema = b.E.schema
+  && a.E.withheld = b.E.withheld
+  && a.E.ambiguous = b.E.ambiguous
+  && a.E.requested = b.E.requested
+  && a.E.threshold = b.E.threshold
+  && a.E.infeasible = b.E.infeasible
+  && a.E.degraded = b.E.degraded
+  && List.length a.E.released = List.length b.E.released
+  && List.for_all2
+       (fun x y ->
+         x.E.tuple = y.E.tuple
+         && Float.abs (x.E.confidence -. y.E.confidence) < 1e-12)
+       a.E.released b.E.released
+  && same_proposal a.E.proposal b.E.proposal
+
 (* observability must be strictly observe-only: the same request answered
    with tracing and metrics enabled (deterministic counter clock) yields a
    response identical in every field to the plain one *)
 let qcheck_obs_transparent =
-  let same_proposal (a : E.proposal option) (b : E.proposal option) =
-    match (a, b) with
-    | None, None -> true
-    | Some p, Some q ->
-      p.E.increments = q.E.increments
-      && Float.abs (p.E.cost -. q.E.cost) < 1e-12
-      && p.E.projected_release = q.E.projected_release
-      && p.E.solver_name = q.E.solver_name
-      && p.E.solver_detail = q.E.solver_detail
-    | _ -> false
-  in
   QCheck.Test.make ~name:"enabling observability changes no answer" ~count:200
     QCheck.(int_range 0 100_000)
     (fun seed ->
@@ -189,24 +208,52 @@ let qcheck_obs_transparent =
       let traced = { ctx with E.obs = Some obs } in
       match (E.answer ctx request, E.answer traced request) with
       | Ok a, Ok b ->
-        a.E.schema = b.E.schema
-        && a.E.withheld = b.E.withheld
-        && a.E.requested = b.E.requested
-        && a.E.threshold = b.E.threshold
-        && a.E.infeasible = b.E.infeasible
-        && List.length a.E.released = List.length b.E.released
-        && List.for_all2
-             (fun x y ->
-               x.E.tuple = y.E.tuple
-               && Float.abs (x.E.confidence -. y.E.confidence) < 1e-12)
-             a.E.released b.E.released
-        && same_proposal a.E.proposal b.E.proposal
+        same_response a b
         (* and the traced run actually recorded the pipeline *)
         && (match Obs.Trace.roots obs.Obs.trace with
            | [ root ] -> root.Obs.Trace.name = "answer"
            | _ -> false)
       | Error a, Error b -> a = b
       | _ -> false)
+
+(* the per-request profiler is observe-only too, at every solver and
+   every jobs level (pool task spans and all): a profiled answer is
+   bit-identical to the plain one, and carries a profile rooted at the
+   answer span *)
+let qcheck_profile_transparent =
+  let solvers =
+    [
+      Optimize.Solver.heuristic;
+      Optimize.Solver.greedy;
+      Optimize.Solver.divide_conquer;
+      Optimize.Solver.annealing;
+    ]
+  in
+  QCheck.Test.make ~name:"profiling changes no answer (solvers x jobs)"
+    ~count:30
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      List.for_all
+        (fun solver ->
+          List.for_all
+            (fun jobs ->
+              let ctx, request, _ = scenario seed in
+              let ctx = { ctx with E.solver; jobs } in
+              let profiling = { ctx with E.profile = true } in
+              match (E.answer ctx request, E.answer profiling request) with
+              | Ok a, Ok b ->
+                same_response a b
+                && a.E.profile = None
+                && (match b.E.profile with
+                   | Some p -> (
+                     match p.Obs.Profile.stages with
+                     | root :: _ -> root.Obs.Profile.path = [ "answer" ]
+                     | [] -> false)
+                   | None -> false)
+              | Error a, Error b -> a = b
+              | _ -> false)
+            [ 1; 2; 4 ])
+        solvers)
 
 let () =
   Alcotest.run "engine-properties"
@@ -219,5 +266,6 @@ let () =
           QCheck_alcotest.to_alcotest qcheck_improvement_monotone;
           QCheck_alcotest.to_alcotest qcheck_deterministic;
           QCheck_alcotest.to_alcotest qcheck_obs_transparent;
+          QCheck_alcotest.to_alcotest qcheck_profile_transparent;
         ] );
     ]

@@ -1,10 +1,13 @@
 (* Unit tests for the observability library: deterministic clock, span
-   nesting (incl. exception safety), histogram percentiles, and the JSONL
-   record round-trip. *)
+   nesting (incl. exception safety), histogram percentiles, gauges, the
+   bounded log-bucketed histogram and its error bound, cross-task
+   fork/stitch propagation, and the JSONL record round-trip. *)
 
 module T = Obs.Trace
 module M = Obs.Metrics
+module Hdr = Obs.Hdr
 module Sink = Obs.Sink
+module Sm = Prng.Splitmix
 
 let contains ~needle haystack =
   let n = String.length needle and h = String.length haystack in
@@ -87,6 +90,108 @@ let test_render_and_reset () =
   T.reset t;
   Alcotest.(check int) "reset clears roots" 0 (List.length (T.roots t))
 
+let test_span_records_allocation () =
+  let t = T.create () in
+  let keep = ref [] in
+  T.span t "alloc" (fun () ->
+      (* allocate something unmistakably larger than the tracer's own
+         bookkeeping *)
+      keep := [ Array.make 4096 0.0 ]);
+  ignore !keep;
+  match T.roots t with
+  | [ s ] ->
+    Alcotest.(check bool)
+      "span saw at least the 32 kB array" true
+      (s.T.alloc >= 8.0 *. 4096.0)
+  | _ -> Alcotest.fail "expected one root"
+
+(* --- cross-task fork/stitch --- *)
+
+let test_fork_stitch_sequential () =
+  let obs = Obs.deterministic () in
+  Obs.span (Some obs) "parallel" (fun () ->
+      let fork = Obs.fork (Some obs) in
+      let spans =
+        Array.init 3 (fun i ->
+            let (), sp =
+              Obs.task fork
+                ~attrs:[ ("i", string_of_int i) ]
+                "group"
+                (fun sub ->
+                  match sub with
+                  | Some tr -> T.span tr "inner" (fun () -> ())
+                  | None -> Alcotest.fail "expected a subtracer")
+            in
+            sp)
+      in
+      Obs.stitch fork spans);
+  match T.roots obs.Obs.trace with
+  | [ root ] ->
+    Alcotest.(check string) "root" "parallel" root.T.name;
+    Alcotest.(check (list string))
+      "three stitched children in task order"
+      [ "group"; "group"; "group" ]
+      (List.map (fun s -> s.T.name) root.T.children);
+    List.iteri
+      (fun i s ->
+        Alcotest.(check (list (pair string string)))
+          "task attrs" [ ("i", string_of_int i) ] s.T.attrs;
+        Alcotest.(check (list string))
+          "task child spans survive" [ "inner" ]
+          (List.map (fun c -> c.T.name) s.T.children);
+        (* fresh counter clock per task: identical shape for every task *)
+        Alcotest.(check (float 0.0)) "task elapsed" 3.0 s.T.elapsed)
+      root.T.children
+  | roots -> Alcotest.failf "expected one root, got %d" (List.length roots)
+
+(* the stitched tree must not depend on the jobs level: run the same
+   fan-out sequentially and on 2- and 4-way pools and compare renders *)
+let test_fork_stitch_jobs_invariant () =
+  let run jobs =
+    let obs = Obs.deterministic () in
+    let results =
+      Obs.span (Some obs) "parallel" (fun () ->
+          let fork = Obs.fork (Some obs) in
+          let work i () =
+            Obs.task fork
+              ~attrs:[ ("i", string_of_int i) ]
+              "task"
+              (fun sub ->
+                (match sub with
+                | Some tr -> T.span tr "inner" (fun () -> ())
+                | None -> ());
+                i * i)
+          in
+          let out =
+            if jobs <= 1 then Array.init 8 (fun i -> work i ())
+            else
+              Exec.Pool.with_pool ~jobs (fun pool ->
+                  Exec.Pool.mapi_array ~chunk:1 pool work (Array.make 8 ()))
+          in
+          Obs.stitch fork (Array.map snd out);
+          Array.map fst out)
+    in
+    (results, T.render obs.Obs.trace)
+  in
+  let r1, t1 = run 1 in
+  let r2, t2 = run 2 in
+  let r4, t4 = run 4 in
+  Alcotest.(check (array int)) "results at jobs=2" r1 r2;
+  Alcotest.(check (array int)) "results at jobs=4" r1 r4;
+  Alcotest.(check string) "tree at jobs=2" t1 t2;
+  Alcotest.(check string) "tree at jobs=4" t1 t4;
+  Alcotest.(check bool) "tree has stitched tasks" true
+    (contains ~needle:"  task" t1)
+
+let test_task_disabled_is_noop () =
+  let v, spans = Obs.task None "task" (fun sub ->
+      Alcotest.(check bool) "no subtracer" true (sub = None);
+      7)
+  in
+  Alcotest.(check int) "body ran" 7 v;
+  Alcotest.(check int) "no spans" 0 (List.length spans);
+  Obs.stitch None [| [] |]
+
 (* --- metrics --- *)
 
 let test_counters () =
@@ -97,6 +202,24 @@ let test_counters () =
   Alcotest.(check int) "accumulated" 5 (M.counter m "a");
   Alcotest.(check int) "independent" 1 (M.counter m "b");
   Alcotest.(check int) "absent reads zero" 0 (M.counter m "c")
+
+let test_gauges () =
+  let m = M.create () in
+  M.set_gauge m "cache.entries" 3.0;
+  M.set_gauge m "cache.entries" 7.0;
+  M.set_gauge m "db.epoch" 1.0;
+  Alcotest.(check (option (float 0.0))) "last write wins" (Some 7.0)
+    (M.gauge m "cache.entries");
+  Alcotest.(check (option (float 0.0))) "absent" None (M.gauge m "nope");
+  Alcotest.(check (list (pair string (float 0.0))))
+    "sorted listing"
+    [ ("cache.entries", 7.0); ("db.epoch", 1.0) ]
+    (M.gauges m);
+  let into = M.create () in
+  M.set_gauge into "cache.entries" 1.0;
+  M.merge ~into m;
+  Alcotest.(check (option (float 0.0))) "merge overwrites" (Some 7.0)
+    (M.gauge into "cache.entries")
 
 let test_histogram_percentiles () =
   let m = M.create () in
@@ -126,6 +249,103 @@ let test_histogram_single_observation () =
       (fun (label, v) -> Alcotest.(check (float 0.0)) label 3.5 v)
       [ ("min", h.M.min); ("max", h.M.max); ("p50", h.M.p50); ("p99", h.M.p99) ]
 
+let test_openmetrics () =
+  let m = M.create () in
+  M.incr m ~by:3 "engine.queries";
+  M.set_gauge m "cache.plans.entries" 2.0;
+  M.observe m "engine.rows" 4.0;
+  M.observe m "engine.rows" 6.0;
+  let text = M.to_openmetrics m in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true (contains ~needle text))
+    [
+      "# TYPE pcqe_engine_queries counter";
+      "pcqe_engine_queries_total 3";
+      "# TYPE pcqe_cache_plans_entries gauge";
+      "pcqe_cache_plans_entries 2.0";
+      "# TYPE pcqe_engine_rows summary";
+      "pcqe_engine_rows{quantile=\"0.5\"} 4.0";
+      "pcqe_engine_rows_sum 10.0";
+      "pcqe_engine_rows_count 2";
+    ];
+  let eof = "# EOF\n" in
+  Alcotest.(check string) "ends with EOF"
+    eof
+    (String.sub text (String.length text - String.length eof) (String.length eof))
+
+(* --- bounded histogram --- *)
+
+let test_hdr_fixed_memory () =
+  let h = Hdr.create () in
+  let fixed = Hdr.bucket_count h in
+  let rng = Sm.of_int 7 in
+  for _ = 1 to 1_200_000 do
+    (* log-uniform over twelve decades, plus occasional out-of-range *)
+    let v = exp (Sm.float_in rng (log 1e-7) (log 1e5)) in
+    Hdr.observe h v
+  done;
+  Hdr.observe h 0.0;
+  Hdr.observe h (-3.0);
+  Hdr.observe h 1e15;
+  Alcotest.(check int) "count is exact" 1_200_003 (Hdr.count h);
+  Alcotest.(check int) "bucket array never grew" fixed (Hdr.bucket_count h);
+  Alcotest.(check int) "same footprint as a fresh sketch" fixed
+    (Hdr.bucket_count (Hdr.create ()));
+  Alcotest.(check (float 0.0)) "min exact" (-3.0) (Hdr.min_value h);
+  Alcotest.(check (float 0.0)) "max exact" 1e15 (Hdr.max_value h)
+
+(* pin the documented quantile error bound against the exact histogram
+   on random in-range streams *)
+let qcheck_hdr_error_bound =
+  QCheck.Test.make ~name:"bounded quantiles within alpha of exact" ~count:60
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Sm.of_int seed in
+      let n = 1 + Sm.int_in rng 1 4000 in
+      let alpha = 0.01 in
+      let h = Hdr.create ~alpha () in
+      let values = Array.init n (fun _ -> exp (Sm.float_in rng (log 1e-6) (log 1e6))) in
+      Array.iter (Hdr.observe h) values;
+      let sorted = Array.copy values in
+      Array.sort Float.compare sorted;
+      List.for_all
+        (fun q ->
+          let exact = M.percentile sorted q in
+          let approx = Hdr.quantile h q in
+          Float.abs (approx -. exact) <= (alpha *. exact) +. 1e-12)
+        [ 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 1.0 ])
+
+let test_hdr_merge () =
+  let a = Hdr.create () and b = Hdr.create () in
+  for i = 1 to 50 do
+    Hdr.observe a (float_of_int i)
+  done;
+  for i = 51 to 100 do
+    Hdr.observe b (float_of_int i)
+  done;
+  Hdr.merge ~into:a b;
+  Alcotest.(check int) "merged count" 100 (Hdr.count a);
+  Alcotest.(check (float 0.0)) "merged min" 1.0 (Hdr.min_value a);
+  Alcotest.(check (float 0.0)) "merged max" 100.0 (Hdr.max_value a);
+  let q = Hdr.quantile a 0.5 in
+  Alcotest.(check bool) "median within bound" true
+    (Float.abs (q -. 50.0) <= 0.01 *. 50.0 +. 1e-12)
+
+let test_observe_bounded_registry () =
+  let m = M.create () in
+  for i = 1 to 1000 do
+    M.observe_bounded m "serving.answer_s" (float_of_int i)
+  done;
+  match M.histogram m "serving.answer_s" with
+  | None -> Alcotest.fail "bounded histogram missing"
+  | Some h ->
+    Alcotest.(check int) "count" 1000 h.M.count;
+    Alcotest.(check (float 0.0)) "exact min" 1.0 h.M.min;
+    Alcotest.(check (float 0.0)) "exact max" 1000.0 h.M.max;
+    Alcotest.(check bool) "p50 within 1%" true
+      (Float.abs (h.M.p50 -. 500.0) <= 5.0 +. 1e-9)
+
 (* --- JSONL round-trip --- *)
 
 let roundtrip r =
@@ -140,7 +360,13 @@ let test_jsonl_roundtrip_span () =
         path = [ "answer"; "eval" ];
         start = 3.0;
         elapsed = 0.0012345678901234567;
-        attrs = [ ("rows", "42"); ("weird \"key\"", "line\nbreak\ttab\\") ];
+        alloc = 8192.0;
+        attrs =
+          [
+            ("rows", "42");
+            ("weird \"key\"", "line\nbreak\ttab\\");
+            ("control", "nul\x00bel\x07del\x7f");
+          ];
       }
   in
   Alcotest.(check bool) "span round-trips exactly" true (roundtrip r = r)
@@ -148,6 +374,8 @@ let test_jsonl_roundtrip_span () =
 let test_jsonl_roundtrip_counter_histogram () =
   let c = Sink.Counter { name = "engine.queries"; value = 17 } in
   Alcotest.(check bool) "counter round-trips" true (roundtrip c = c);
+  let g = Sink.Gauge { name = "cache.conf.entries"; value = 12.5 } in
+  Alcotest.(check bool) "gauge round-trips" true (roundtrip g = g);
   let h =
     Sink.Histogram
       {
@@ -167,6 +395,52 @@ let test_jsonl_roundtrip_counter_histogram () =
   in
   Alcotest.(check bool) "histogram round-trips" true (roundtrip h = h)
 
+(* qcheck: EVERY emitted line is valid single-line JSON that parses back
+   to the same record — arbitrary byte strings (control characters, DEL,
+   high bytes) in names, span paths and attrs included *)
+let record_gen =
+  let open QCheck.Gen in
+  (* any byte *)
+  let any_char = map Char.chr (int_range 0 255) in
+  let any_string = string_size ~gen:any_char (int_range 0 16) in
+  (* span path segments join on '/', so segments must not contain it *)
+  let seg_char =
+    map (fun i -> Char.chr (if i >= Char.code '/' then i + 1 else i)) (int_range 0 254)
+  in
+  let seg = string_size ~gen:seg_char (int_range 0 12) in
+  let fin = map (fun i -> float_of_int i /. 1024.0) (int_range (-1_000_000_000) 1_000_000_000) in
+  let pos = map (fun i -> float_of_int i /. 1024.0) (int_range 0 1_000_000_000) in
+  oneof
+    [
+      map3
+        (fun path times attrs ->
+          let start, elapsed, alloc = times in
+          Sink.Span { path; start; elapsed; alloc; attrs })
+        (list_size (int_range 1 4) seg)
+        (triple fin pos pos)
+        (list_size (int_range 0 4) (pair any_string any_string));
+      map2 (fun name value -> Sink.Counter { name; value }) any_string nat;
+      map2 (fun name value -> Sink.Gauge { name; value }) any_string fin;
+      map2
+        (fun name (count, (sum, mn, mx), (mean, p50, p90), p99) ->
+          Sink.Histogram
+            {
+              name;
+              stats = { M.count; sum; min = mn; max = mx; mean; p50; p90; p99 };
+            })
+        any_string
+        (quad (int_range 0 10000) (triple fin fin fin) (triple fin fin fin) fin);
+    ]
+
+let qcheck_jsonl_roundtrip =
+  QCheck.Test.make ~name:"every JSONL record round-trips" ~count:500
+    (QCheck.make record_gen)
+    (fun r ->
+      let line = Sink.record_to_json r in
+      (* single line: the encoder escaped every control character *)
+      String.for_all (fun c -> c <> '\n' && c <> '\r') line
+      && Sink.record_of_json line = Ok r)
+
 let test_jsonl_rejects_garbage () =
   (match Sink.record_of_json "{\"type\":\"martian\"}" with
   | Error _ -> ()
@@ -175,6 +449,16 @@ let test_jsonl_rejects_garbage () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "accepted non-JSON input"
 
+let test_jsonl_parses_legacy_span () =
+  (* lines written before the [alloc] field existed still parse *)
+  match
+    Sink.record_of_json
+      "{\"type\":\"span\",\"path\":\"a/b\",\"start\":1.0,\"elapsed\":2.0,\"attrs\":{}}"
+  with
+  | Ok (Sink.Span { path = [ "a"; "b" ]; alloc = 0.0; _ }) -> ()
+  | Ok _ -> Alcotest.fail "parsed into the wrong record"
+  | Error msg -> Alcotest.failf "legacy line rejected: %s" msg
+
 (* --- drain through a memory sink --- *)
 
 let test_drain_preorder () =
@@ -182,6 +466,7 @@ let test_drain_preorder () =
   Obs.span (Some obs) "answer" (fun () ->
       Obs.span (Some obs) "eval" (fun () -> ());
       Obs.incr (Some obs) "engine.queries";
+      Obs.set_gauge (Some obs) "cache.plans.entries" 1.0;
       Obs.observe (Some obs) "engine.rows" 4.0);
   let sink, get = Sink.memory () in
   Obs.drain obs sink;
@@ -198,7 +483,42 @@ let test_drain_preorder () =
       (get ())
   in
   Alcotest.(check (list (pair string int)))
-    "counter drained" [ ("engine.queries", 1) ] counters
+    "counter drained" [ ("engine.queries", 1) ] counters;
+  let gauges =
+    List.filter_map
+      (function Sink.Gauge { name; value } -> Some (name, value) | _ -> None)
+      (get ())
+  in
+  Alcotest.(check (list (pair string (float 0.0))))
+    "gauge drained" [ ("cache.plans.entries", 1.0) ] gauges
+
+(* --- profile --- *)
+
+let test_profile_of_span () =
+  let obs = Obs.deterministic () in
+  let before = Obs.Profile.snapshot obs.Obs.metrics in
+  Obs.span (Some obs) "answer" (fun () ->
+      Obs.span (Some obs) ~attrs:[ ("rows", "3") ] "eval" (fun () -> ());
+      Obs.incr (Some obs) "engine.queries";
+      Obs.incr (Some obs) ~by:3 "engine.released");
+  match Obs.Trace.roots obs.Obs.trace with
+  | [ root ] ->
+    let p = Obs.Profile.of_span ~before ~metrics:obs.Obs.metrics root in
+    Alcotest.(check (list string))
+      "preorder stage paths" [ "answer"; "answer/eval" ]
+      (List.map (fun s -> String.concat "/" s.Obs.Profile.path) p.Obs.Profile.stages);
+    Alcotest.(check (list (pair string int)))
+      "counter deltas"
+      [ ("engine.queries", 1); ("engine.released", 3) ]
+      p.Obs.Profile.counters;
+    Alcotest.(check (float 0.0)) "root elapsed" 3.0 p.Obs.Profile.elapsed;
+    let text = Obs.Profile.render p in
+    List.iter
+      (fun needle ->
+        Alcotest.(check bool) ("render mentions " ^ needle) true
+          (contains ~needle text))
+      [ "answer"; "  eval"; "rows=3"; "engine.released"; "+3" ]
+  | _ -> Alcotest.fail "expected one root"
 
 (* --- no-op helpers allocate nothing when disabled --- *)
 
@@ -206,6 +526,9 @@ let test_disabled_is_noop () =
   Alcotest.(check int) "span runs the body" 9 (Obs.span None "x" (fun () -> 9));
   Obs.incr None "c";
   Obs.observe None "h" 1.0;
+  Obs.observe_bounded None "h" 1.0;
+  Obs.set_gauge None "g" 1.0;
+  Alcotest.(check (float 0.0)) "now reads zero" 0.0 (Obs.now None);
   Obs.add_attr None "k" "v"
 
 let () =
@@ -218,19 +541,38 @@ let () =
           ("exception safety", `Quick, test_span_exception_safety);
           ("add_attr", `Quick, test_add_attr_targets_open_span);
           ("render/reset", `Quick, test_render_and_reset);
+          ("allocation", `Quick, test_span_records_allocation);
+        ] );
+      ( "fork/stitch",
+        [
+          ("sequential", `Quick, test_fork_stitch_sequential);
+          ("jobs invariant", `Quick, test_fork_stitch_jobs_invariant);
+          ("disabled is a no-op", `Quick, test_task_disabled_is_noop);
         ] );
       ( "metrics",
         [
           ("counters", `Quick, test_counters);
+          ("gauges", `Quick, test_gauges);
           ("percentiles", `Quick, test_histogram_percentiles);
           ("single observation", `Quick, test_histogram_single_observation);
+          ("openmetrics", `Quick, test_openmetrics);
+        ] );
+      ( "bounded histogram",
+        [
+          ("fixed memory under 1.2M observations", `Quick, test_hdr_fixed_memory);
+          QCheck_alcotest.to_alcotest qcheck_hdr_error_bound;
+          ("merge", `Quick, test_hdr_merge);
+          ("via the registry", `Quick, test_observe_bounded_registry);
         ] );
       ( "sink",
         [
           ("span round-trip", `Quick, test_jsonl_roundtrip_span);
-          ("counter/histogram round-trip", `Quick, test_jsonl_roundtrip_counter_histogram);
+          ("counter/gauge/histogram round-trip", `Quick, test_jsonl_roundtrip_counter_histogram);
+          QCheck_alcotest.to_alcotest qcheck_jsonl_roundtrip;
           ("rejects garbage", `Quick, test_jsonl_rejects_garbage);
+          ("legacy span line", `Quick, test_jsonl_parses_legacy_span);
           ("drain preorder", `Quick, test_drain_preorder);
           ("disabled is a no-op", `Quick, test_disabled_is_noop);
         ] );
+      ("profile", [ ("of_span + render", `Quick, test_profile_of_span) ]);
     ]

@@ -1,0 +1,367 @@
+(* bench_gate: compare a freshly generated BENCH_*.json artifact against
+   its committed baseline and fail loudly when the harness drifts.
+
+     bench_gate [--tol R] [--schema-only] BASELINE FRESH
+
+   Three gates, in order:
+
+   1. schema — the fresh file must have exactly the baseline's shape:
+      objects carry the same key sets, leaves keep their JSON type.
+      Arrays are length-tolerant (a smoke run sweeps fewer points than
+      the committed full run) but every fresh element must match the
+      schema of the baseline's first element.
+
+   2. identity assertions — the benches assert warm answers identical to
+      cold before writing ["identical": true]; the gate re-checks that
+      every such key survived in the fresh file and is [true] there, and
+      that a fresh file facing a baseline with assertions still carries
+      at least one.  A harness edit that silently drops the cold/warm
+      comparison fails here even if the schema is intact.
+
+   3. tolerance band (skipped with [--schema-only]) — numeric leaves at
+      matching paths must agree within relative tolerance R (default
+      0.10).  Wall-time fields are exempt: keys ending in ["_s"] and the
+      derived ["speedup"] legitimately vary between machines and runs.
+      Arrays compare pairwise up to the shorter length.
+
+   Deliberately dependency-free (its own minimal JSON reader) so it can
+   sit inside the tier-1 `dune runtest` gate without enlarging the
+   toolchain. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+(* ------------------------------------------------------------------ *)
+(* minimal JSON reader: enough for the artifacts the harness writes
+   (objects, arrays, strings with escapes, numbers, booleans, null) *)
+
+exception Parse_error of string
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word value =
+    String.iter expect word;
+    value
+  in
+  let hex c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> fail "bad \\u escape"
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+        advance ();
+        (match peek () with
+        | Some '"' -> Buffer.add_char buf '"'
+        | Some '\\' -> Buffer.add_char buf '\\'
+        | Some '/' -> Buffer.add_char buf '/'
+        | Some 'b' -> Buffer.add_char buf '\b'
+        | Some 'f' -> Buffer.add_char buf '\012'
+        | Some 'n' -> Buffer.add_char buf '\n'
+        | Some 'r' -> Buffer.add_char buf '\r'
+        | Some 't' -> Buffer.add_char buf '\t'
+        | Some 'u' ->
+          if !pos + 4 >= n then fail "truncated \\u escape";
+          let code =
+            (hex s.[!pos + 1] lsl 12)
+            lor (hex s.[!pos + 2] lsl 8)
+            lor (hex s.[!pos + 3] lsl 4)
+            lor hex s.[!pos + 4]
+          in
+          pos := !pos + 4;
+          (* the artifacts are ASCII; anything wider only needs to
+             round-trip as *some* string for schema purposes *)
+          if code < 128 then Buffer.add_char buf (Char.chr code)
+          else Buffer.add_char buf '?'
+        | _ -> fail "bad escape");
+        advance ();
+        go ())
+      | Some c ->
+        Buffer.add_char buf c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> num_char c | None -> false) do
+      advance ()
+    done;
+    let text = String.sub s start (!pos - start) in
+    match float_of_string_opt text with
+    | Some f -> Num f
+    | None -> fail (Printf.sprintf "bad number %S" text)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then (
+        advance ();
+        Obj [])
+      else
+        let rec members acc =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let value = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((key, value) :: acc)
+          | Some '}' ->
+            advance ();
+            Obj (List.rev ((key, value) :: acc))
+          | _ -> fail "expected ',' or '}'"
+        in
+        members []
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then (
+        advance ();
+        Arr [])
+      else
+        let rec elements acc =
+          let value = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements (value :: acc)
+          | Some ']' ->
+            advance ();
+            Arr (List.rev (value :: acc))
+          | _ -> fail "expected ',' or ']'"
+        in
+        elements []
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> parse_number ()
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let content = really_input_string ic len in
+  close_in ic;
+  content
+
+(* ------------------------------------------------------------------ *)
+(* the gates; every failure is collected with its path so one run
+   reports all drift at once *)
+
+let errors : string list ref = ref []
+let err path fmt = Printf.ksprintf (fun m -> errors := (path ^ ": " ^ m) :: !errors) fmt
+
+let type_name = function
+  | Null -> "null"
+  | Bool _ -> "bool"
+  | Num _ -> "number"
+  | Str _ -> "string"
+  | Arr _ -> "array"
+  | Obj _ -> "object"
+
+let rec check_schema path (baseline : json) (fresh : json) =
+  match (baseline, fresh) with
+  | Obj b, Obj f ->
+    let keys o = List.sort compare (List.map fst o) in
+    List.iter
+      (fun k ->
+        if not (List.mem_assoc k f) then err path "key %S missing from fresh file" k)
+      (keys b);
+    List.iter
+      (fun k ->
+        if not (List.mem_assoc k b) then err path "unexpected key %S in fresh file" k)
+      (keys f);
+    List.iter
+      (fun (k, bv) ->
+        match List.assoc_opt k f with
+        | Some fv -> check_schema (path ^ "." ^ k) bv fv
+        | None -> ())
+      b
+  | Arr (b0 :: _), Arr fs ->
+    if fs = [] then err path "array emptied (baseline has elements)"
+    else
+      List.iteri
+        (fun i fv -> check_schema (Printf.sprintf "%s[%d]" path i) b0 fv)
+        fs
+  | Arr [], Arr _ -> ()
+  | Null, Null | Bool _, Bool _ | Num _, Num _ | Str _, Str _ -> ()
+  | _ ->
+    err path "type changed: baseline %s, fresh %s" (type_name baseline)
+      (type_name fresh)
+
+(* keys named "identical" are the benches' cold-vs-warm identity
+   assertions; count them and require every fresh one to be [true] *)
+let rec check_identity path (j : json) =
+  match j with
+  | Obj members ->
+    List.fold_left
+      (fun acc (k, v) ->
+        let here = path ^ "." ^ k in
+        let acc =
+          if k = "identical" then begin
+            (if v <> Bool true then
+               err here "identity assertion is %s, expected true"
+                 (match v with
+                 | Bool false -> "false"
+                 | other -> type_name other));
+            acc + 1
+          end
+          else acc
+        in
+        acc + check_identity here v)
+      0 members
+  | Arr elems ->
+    List.fold_left (fun acc (i, e) -> acc + check_identity (Printf.sprintf "%s[%d]" path i) e) 0
+      (List.mapi (fun i e -> (i, e)) elems)
+  | _ -> 0
+
+let rec count_assertions = function
+  | Obj members ->
+    List.fold_left
+      (fun acc (k, v) ->
+        (if k = "identical" then 1 else 0) + count_assertions v + acc)
+      0 members
+  | Arr elems -> List.fold_left (fun acc e -> acc + count_assertions e) 0 elems
+  | _ -> 0
+
+(* wall-time fields vary across machines; everything else in the
+   artifacts is a count or a derived size that the tolerance band must
+   hold to *)
+let timing_key k =
+  k = "speedup"
+  || String.length k > 2 && String.sub k (String.length k - 2) 2 = "_s"
+
+let rec check_values ~tol path (baseline : json) (fresh : json) =
+  match (baseline, fresh) with
+  | Obj b, Obj f ->
+    List.iter
+      (fun (k, bv) ->
+        if not (timing_key k) then
+          match List.assoc_opt k f with
+          | Some fv -> check_values ~tol (path ^ "." ^ k) bv fv
+          | None -> ())
+      b
+  | Arr bs, Arr fs ->
+    let rec pairwise i bs fs =
+      match (bs, fs) with
+      | b :: bs', f :: fs' ->
+        check_values ~tol (Printf.sprintf "%s[%d]" path i) b f;
+        pairwise (i + 1) bs' fs'
+      | _ -> ()
+    in
+    pairwise 0 bs fs
+  | Num b, Num f ->
+    let denom = Float.max (Float.abs b) 1e-9 in
+    if Float.abs (f -. b) /. denom > tol then
+      err path "value %g drifted beyond %.0f%% of baseline %g" f (tol *. 100.) b
+  | Str b, Str f -> if b <> f then err path "string changed: %S -> %S" b f
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let usage () =
+    prerr_endline "usage: bench_gate [--tol R] [--schema-only] BASELINE FRESH";
+    exit 2
+  in
+  let tol = ref 0.10 in
+  let schema_only = ref false in
+  let positional = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "--schema-only" :: rest ->
+      schema_only := true;
+      parse_args rest
+    | "--tol" :: r :: rest -> (
+      match float_of_string_opt r with
+      | Some t when t >= 0.0 ->
+        tol := t;
+        parse_args rest
+      | _ -> usage ())
+    | arg :: rest ->
+      positional := arg :: !positional;
+      parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let baseline_path, fresh_path =
+    match List.rev !positional with [ b; f ] -> (b, f) | _ -> usage ()
+  in
+  let load what path =
+    try parse (read_file path) with
+    | Sys_error m ->
+      Printf.eprintf "bench_gate: cannot read %s file: %s\n" what m;
+      exit 2
+    | Parse_error m ->
+      Printf.eprintf "bench_gate: %s file %s: %s\n" what path m;
+      exit 2
+  in
+  let baseline = load "baseline" baseline_path in
+  let fresh = load "fresh" fresh_path in
+  check_schema "$" baseline fresh;
+  let fresh_assertions = check_identity "$" fresh in
+  let baseline_assertions = count_assertions baseline in
+  if baseline_assertions > 0 && fresh_assertions = 0 then
+    err "$" "all %d identity assertion(s) missing from fresh file"
+      baseline_assertions;
+  if not !schema_only then check_values ~tol:!tol "$" baseline fresh;
+  match List.rev !errors with
+  | [] ->
+    Printf.printf "bench_gate: %s matches %s (%s, %d identity assertion(s))\n"
+      fresh_path baseline_path
+      (if !schema_only then "schema"
+       else Printf.sprintf "schema + %.0f%% band" (!tol *. 100.))
+      fresh_assertions
+  | es ->
+    List.iter (fun e -> Printf.eprintf "bench_gate: %s\n" e) es;
+    Printf.eprintf "bench_gate: %s does not match %s (%d problem(s))\n"
+      fresh_path baseline_path (List.length es);
+    exit 1
