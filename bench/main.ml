@@ -31,6 +31,11 @@
                    repeated query, 1/8/64 principals, and the re-answer
                    after accept_proposal; every warm answer is checked
                    identical to cold; writes BENCH_serving.json
+     sweep-columnar  columnar batch engine vs the row engine: parallel
+                   bulk CSV ingest (MB/s), scan/filter/project
+                   throughput (rows/s), top-K-by-confidence heap vs
+                   full sort — identity-checked row-vs-columnar on
+                   every point; writes BENCH_columnar.json
      smoke       every panel at tiny sizes (run by `dune runtest`)
      micro       Bechamel micro-benchmarks of the hot paths
 
@@ -57,6 +62,14 @@ let mean xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
 
 let header title =
   Printf.printf "\n==================== %s ====================\n%!" title
+
+(* every artifact records the host's core count and the effective jobs
+   level ({!Exec.resolve_jobs}: PCQE_JOBS, else 1) so a reader can tell
+   an oversubscribed run from a parallel one without guessing *)
+let machine_fields () =
+  Printf.sprintf "\"cores\": %d,\n  \"jobs\": %d"
+    (Domain.recommended_domain_count ())
+    (Exec.resolve_jobs ())
 
 let row fmt = Printf.printf fmt
 
@@ -436,9 +449,19 @@ let sweep_jobs ?(sizes = [ 10_000; 50_000; 100_000 ])
     ?(jobs_levels = [ 1; 2; 4; 8 ]) ?(mc_samples = 400_000) () =
   header "sweep-jobs: parallel D&C / Monte-Carlo scaling";
   let cores = Domain.recommended_domain_count () in
+  (* requested levels go through the same clamp the library applies:
+     more domains than cores only measures contention (every point of an
+     oversubscribed sweep reports speedup < 1), so e.g. [1;2;4;8] on a
+     2-core host sweeps [1;2] *)
+  let jobs_levels =
+    List.sort_uniq compare
+      (List.map (fun j -> Exec.resolve_jobs ~jobs:j ()) jobs_levels)
+  in
   row "  host cores: %d (Domain.recommended_domain_count); speedups above\n"
     cores;
-  row "  the core count are not expected — identical outcomes are.\n";
+  row "  the core count are not expected — identical outcomes are;\n";
+  row "  jobs levels clamped to the core count: %s\n"
+    (String.concat ", " (List.map string_of_int jobs_levels));
   let dnc_entries = ref [] in
   List.iter
     (fun size ->
@@ -540,7 +563,7 @@ let sweep_jobs ?(sizes = [ 10_000; 50_000; 100_000 ])
         jobs_levels
   in
   let oc = open_out parallel_json_path in
-  Printf.fprintf oc "{\n  \"cores\": %d,\n  \"dnc\": [\n" cores;
+  Printf.fprintf oc "{\n  %s,\n  \"dnc\": [\n" (machine_fields ());
   output_string oc (String.concat ",\n" (List.rev !dnc_entries));
   output_string oc "\n  ],\n  \"monte_carlo\": [\n";
   output_string oc (String.concat ",\n" mc_entries);
@@ -651,7 +674,7 @@ let solvers_json ?(size = 1000) () =
       (get ())
   in
   let oc = open_out solvers_json_path in
-  output_string oc "{\n  \"solvers\": [\n";
+  Printf.fprintf oc "{\n  %s,\n  \"solvers\": [\n" (machine_fields ());
   output_string oc (String.concat ",\n" solver_entries);
   output_string oc "\n  ],\n  \"engine_stages\": [\n";
   output_string oc (String.concat ",\n" stage_entries);
@@ -818,7 +841,7 @@ let sweep_incremental ?(size = 1000) ?(bases_per_result = 25)
       ]
   in
   let oc = open_out incremental_json_path in
-  output_string oc "{\n  \"points\": [\n";
+  Printf.fprintf oc "{\n  %s,\n  \"points\": [\n" (machine_fields ());
   output_string oc (String.concat ",\n" entries);
   output_string oc "\n  ]\n}\n";
   close_out oc;
@@ -914,7 +937,8 @@ let sweep_resilience ?(size = 2000) ?(seeds = 20) ?(deadline_ms = 100.0) () =
   row "  p99: unbounded %.2fms, deadline %.2fms (budget %gms), %d/%d partial\n"
     (1000.0 *. p99_u) (1000.0 *. p99_d) deadline_ms partials seeds;
   let oc = open_out resilience_json_path in
-  Printf.fprintf oc "{\n  \"deadline_ms\": %g,\n  \"points\": [\n" deadline_ms;
+  Printf.fprintf oc "{\n  %s,\n  \"deadline_ms\": %g,\n  \"points\": [\n"
+    (machine_fields ()) deadline_ms;
   output_string oc
     (String.concat ",\n" (List.map (fun (_, _, _, j) -> j) entries));
   Printf.fprintf oc
@@ -1166,6 +1190,7 @@ let sweep_serving ?(rows = 2000) ?(reps = 64)
   in
   let oc = open_out serving_json_path in
   output_string oc "{\n";
+  output_string oc ("  " ^ machine_fields () ^ ",\n");
   output_string oc (repeated_entry ^ ",\n");
   output_string oc "  \"principals\": [\n";
   output_string oc (String.concat ",\n" principal_entries);
@@ -1176,6 +1201,221 @@ let sweep_serving ?(rows = 2000) ?(reps = 64)
   row "  wrote %d workloads to %s\n"
     (2 + List.length principal_entries)
     serving_json_path
+
+(* ------------------------------------------------------------------ *)
+
+(* sweep-columnar: the columnar batch engine against the row engine on
+   the storage-layer hot paths.  Four measurements per instance size:
+
+     ingest   — streaming CSV load vs the chunked-parallel bulk path
+                (MB/s); the loaded relations (tids, tuples, confidences,
+                order) must be identical
+     scan     — materialize-and-aggregate over every row: the row engine
+                walks the tuple map and unboxes per row, the columnar
+                side sums the cached Bigarray column directly
+     filter   — a selective predicate (x < 0.05), end-to-end through
+                Eval.run vs Col_eval.run
+     project  — duplicate-eliminating projection onto a low-cardinality
+                string column (dictionary codes vs boxed hashing)
+     top-K    — rank released rows by confidence: bounded heap
+                (Topk.by_score) vs full stable sort + take
+
+   Every point is identity-checked (results compared row for row,
+   lineage included; the panel fails hard on any mismatch) before its
+   ["identical": true] is written to BENCH_columnar.json. *)
+
+let columnar_json_path = "BENCH_columnar.json"
+
+(* synthetic instance: unique int key, 64-value string column, uniform
+   real in [0,1), per-tuple confidence — deterministic in [seed] *)
+let columnar_csv ~rows ~seed =
+  let rng = Prng.Splitmix.of_int seed in
+  let buf = Buffer.create ((rows * 28) + 64) in
+  Buffer.add_string buf "k:int,grp:string,x:real,__confidence:real\n";
+  for i = 0 to rows - 1 do
+    Buffer.add_string buf (string_of_int i);
+    Buffer.add_string buf
+      (Printf.sprintf ",g%02d,%.4f,%.4f\n"
+         (Prng.Splitmix.int rng 64)
+         (Prng.Splitmix.float_in rng 0.0 1.0)
+         (Prng.Splitmix.float_in rng 0.3 1.0))
+  done;
+  Buffer.contents buf
+
+(* best-of-[reps] wall time; the first run's result is returned so
+   identity checks see exactly what was timed *)
+let timed_best reps f =
+  let r, dt0 = time f in
+  let rec go best n =
+    if n <= 0 then best
+    else
+      let _, dt = time f in
+      go (Float.min best dt) (n - 1)
+  in
+  (r, go dt0 (reps - 1))
+
+let sweep_columnar ?(sizes = [ 100_000; 1_000_000 ]) ?(reps = 3) () =
+  header "sweep-columnar: columnar batch engine vs row engine";
+  let open Relational in
+  let jobs = Exec.resolve_jobs () in
+  row "  every point identity-checked against the row engine; effective\n";
+  row "  ingest jobs: %d\n" jobs;
+  let mrows n dt = float_of_int n /. 1e6 /. Float.max dt 1e-9 in
+  let entries =
+    List.map
+      (fun size ->
+        row "  -- %d rows --\n" size;
+        Col_eval.clear_cache ();
+        let text = columnar_csv ~rows:size ~seed:51 in
+        let mb = float_of_int (String.length text) /. 1048576.0 in
+        let load f =
+          match f () with Ok db -> db | Error m -> failwith m
+        in
+        (* ingest: one timed run each — parsing is deterministic and the
+           bulk path re-parses the whole document per call *)
+        let db_seq, t_stream =
+          time (fun () ->
+              load (fun () -> Csv.load_into Database.empty ~name:"r" text))
+        in
+        let db, t_bulk =
+          time (fun () ->
+              load (fun () ->
+                  Csv.load_string_bulk Database.empty ~name:"r" text))
+        in
+        let fingerprint db =
+          let r = Database.relation_exn db "r" in
+          Relation.fold
+            (fun acc tid tup -> (tid, tup, Database.confidence db tid) :: acc)
+            [] r
+        in
+        let ingest_ok = fingerprint db_seq = fingerprint db in
+        if not ingest_ok then
+          failwith "sweep-columnar: bulk ingest differs from sequential";
+        row "    ingest   stream %8.3fs (%7.1f MB/s)   bulk %8.3fs (%7.1f MB/s)\n"
+          t_stream
+          (mb /. Float.max t_stream 1e-9)
+          t_bulk
+          (mb /. Float.max t_bulk 1e-9);
+        (* columnarize once (reported), then the batch serves from cache *)
+        let (), t_build =
+          time (fun () -> ignore (Col_eval.scan_batch db "r"))
+        in
+        let batch =
+          match Col_eval.scan_batch db "r" with
+          | Some b -> b
+          | None -> failwith "sweep-columnar: relation declined columnarization"
+        in
+        let scan_plan = Algebra.scan "r" in
+        let xi = 2 (* index of x in (k, grp, x) *) in
+        (* scan: both sides touch every row of the x column and fold the
+           same additions in the same order, so the sums are bit-equal *)
+        let row_scan () =
+          let out = Eval.run_exn db scan_plan in
+          List.fold_left
+            (fun acc (r : Eval.row) ->
+              match Tuple.get r.Eval.tuple xi with
+              | Value.Float f -> acc +. f
+              | Value.Int i -> acc +. float_of_int i
+              | _ -> acc)
+            0.0 out.Eval.rows
+        in
+        let col_scan () =
+          match batch.Colbatch.cols.(xi) with
+          | Colbatch.FCol { data; _ } ->
+            let nulls = batch.Colbatch.nulls.(xi) in
+            let acc = ref 0.0 in
+            for p = 0 to batch.Colbatch.nrows - 1 do
+              if Bytes.get nulls p = '\000' then
+                acc := !acc +. Bigarray.Array1.get data p
+            done;
+            !acc
+          | _ -> failwith "sweep-columnar: expected a real column"
+        in
+        let row_sum, t_row_scan = timed_best reps row_scan in
+        let col_sum, t_col_scan = timed_best reps col_scan in
+        let scan_ok =
+          row_sum = col_sum
+          && (Eval.run_exn db scan_plan).Eval.rows = Colbatch.to_rows batch
+        in
+        if not scan_ok then
+          failwith "sweep-columnar: scan differs between row and columnar";
+        let scan_speedup = t_row_scan /. Float.max t_col_scan 1e-9 in
+        row "    scan     row %8.3fs (%6.1f Mrows/s)   col %8.3fs (%6.1f \
+             Mrows/s)  %6.1fx\n"
+          t_row_scan (mrows size t_row_scan) t_col_scan (mrows size t_col_scan)
+          scan_speedup;
+        (* filter and project: end-to-end Eval.run vs Col_eval.run *)
+        let ab label plan =
+          if not (Col_eval.vectorizes db plan) then
+            failwith ("sweep-columnar: " ^ label ^ " plan does not vectorize");
+          let run_row () = Eval.run_exn db plan in
+          let run_col () =
+            match Col_eval.run db plan with
+            | Ok a -> a
+            | Error m -> failwith ("sweep-columnar: " ^ label ^ ": " ^ m)
+          in
+          let ra, t_row = timed_best reps run_row in
+          let ca, t_col = timed_best reps run_col in
+          let ok =
+            ra.Eval.schema = ca.Eval.schema && ra.Eval.rows = ca.Eval.rows
+          in
+          if not ok then
+            failwith
+              ("sweep-columnar: " ^ label ^ " differs between row and columnar");
+          let speedup = t_row /. Float.max t_col 1e-9 in
+          row "    %-8s row %8.3fs (%6.1f Mrows/s)   col %8.3fs (%6.1f \
+               Mrows/s)  %6.1fx\n"
+            label t_row (mrows size t_row) t_col (mrows size t_col) speedup;
+          (ra, t_row, t_col, speedup)
+        in
+        let fa, t_row_filter, t_col_filter, filter_speedup =
+          ab "filter" (Algebra.Select (Expr.(col "x" <% float 0.05), scan_plan))
+        in
+        let selectivity =
+          float_of_int (List.length fa.Eval.rows) /. float_of_int size
+        in
+        let pa, t_row_project, t_col_project, project_speedup =
+          ab "project" (Algebra.Project ([ "grp" ], scan_plan))
+        in
+        let groups = List.length pa.Eval.rows in
+        (* top-K by confidence over the full scan's released rows *)
+        let k = min 100 size in
+        let scored = Eval.with_confidence db (Eval.run_exn db scan_plan) in
+        let take n xs = List.filteri (fun i _ -> i < n) xs in
+        let full_sort () =
+          take k
+            (List.stable_sort
+               (fun (_, a) (_, b) -> Float.compare b a)
+               scored)
+        in
+        let heap () = Topk.by_score ~k (fun (_, c) -> c) scored in
+        let sorted, t_sort = timed_best reps full_sort in
+        let heaped, t_heap = timed_best reps heap in
+        let topk_ok = sorted = heaped in
+        if not topk_ok then
+          failwith "sweep-columnar: top-K heap differs from full sort";
+        let topk_speedup = t_sort /. Float.max t_heap 1e-9 in
+        row "    top-%-4d sort %7.3fs               heap %8.3fs  %6.1fx\n" k
+          t_sort t_heap topk_speedup;
+        Printf.sprintf
+          "    \
+           {\"size\":%d,\"mb\":%g,\"build_s\":%g,\"ingest\":{\"stream_s\":%g,\"bulk_s\":%g,\"stream_mb_per_s\":%g,\"bulk_mb_per_s\":%g,\"speedup\":%g,\"identical\":%b},\"scan\":{\"row_s\":%g,\"col_s\":%g,\"row_mrows_per_s\":%g,\"col_mrows_per_s\":%g,\"speedup\":%g,\"identical\":%b},\"filter\":{\"selectivity\":%g,\"row_s\":%g,\"col_s\":%g,\"speedup\":%g,\"identical\":%b},\"project\":{\"groups\":%d,\"row_s\":%g,\"col_s\":%g,\"speedup\":%g,\"identical\":%b},\"topk\":{\"k\":%d,\"sort_s\":%g,\"heap_s\":%g,\"speedup\":%g,\"identical\":%b}}"
+          size mb t_build t_stream t_bulk
+          (mb /. Float.max t_stream 1e-9)
+          (mb /. Float.max t_bulk 1e-9)
+          (t_stream /. Float.max t_bulk 1e-9)
+          ingest_ok t_row_scan t_col_scan (mrows size t_row_scan)
+          (mrows size t_col_scan) scan_speedup scan_ok selectivity t_row_filter
+          t_col_filter filter_speedup true groups t_row_project t_col_project
+          project_speedup true k t_sort t_heap topk_speedup topk_ok)
+      sizes
+  in
+  let oc = open_out columnar_json_path in
+  Printf.fprintf oc "{\n  %s,\n  \"points\": [\n" (machine_fields ());
+  output_string oc (String.concat ",\n" entries);
+  output_string oc "\n  ]\n}\n";
+  close_out oc;
+  row "  wrote %d points to %s\n" (List.length entries) columnar_json_path
 
 (* ------------------------------------------------------------------ *)
 
@@ -1198,6 +1438,7 @@ let smoke () =
     ~bb_max_nodes:(Some 5_000) ();
   sweep_resilience ~size:200 ~seeds:3 ~deadline_ms:5.0 ();
   sweep_serving ~rows:300 ~reps:16 ~principal_counts:[ 1; 8 ] ();
+  sweep_columnar ~sizes:[ 2000 ] ~reps:1 ();
   micro ~quota:0.05 ~size:200 ()
 
 let all_panels ~full ~jobs_levels () =
@@ -1218,6 +1459,7 @@ let all_panels ~full ~jobs_levels () =
   sweep_incremental ();
   sweep_resilience ();
   sweep_serving ();
+  sweep_columnar ~sizes:(if full then [ 100_000; 1_000_000 ] else [ 100_000 ]) ();
   micro ()
 
 let () =
@@ -1267,6 +1509,7 @@ let () =
         | "sweep-incremental" -> sweep_incremental ()
         | "sweep-resilience" -> sweep_resilience ()
         | "sweep-serving" -> sweep_serving ()
+        | "sweep-columnar" -> sweep_columnar ()
         | "smoke" -> smoke ()
         | "micro" -> micro ()
         | other -> Printf.eprintf "unknown panel %S\n" other)

@@ -185,9 +185,22 @@ let deadline_spec_of_ms = function
   | Some ms when ms > 0.0 -> Ok (Resilience.Deadline.Wall_ms ms)
   | Some ms -> Error (Printf.sprintf "--deadline-ms %g: need a positive budget" ms)
 
+(* --top K: rank released rows by confidence with a bounded heap (O(n log
+   K)) instead of sorting the whole result. *)
+let print_top_released k (resp : Pcqe.Engine.response) =
+  let top =
+    Topk.by_score ~k (fun r -> r.Pcqe.Engine.confidence) resp.Pcqe.Engine.released
+  in
+  Printf.printf "\nTop %d released by confidence:\n" k;
+  List.iter
+    (fun (r : Pcqe.Engine.released) ->
+      Printf.printf "  %.6f  %s\n" r.Pcqe.Engine.confidence
+        (Relational.Tuple.to_string r.Pcqe.Engine.tuple))
+    top
+
 let run_query workspace data_dir rbac_file policy_file costs_file user purpose
     perc solver jobs deadline_ms mc_fallback apply trace metrics_out
-    metrics_format sql =
+    metrics_format top sql =
   let result =
     let* ctx =
       build_context workspace data_dir rbac_file policy_file costs_file solver
@@ -206,6 +219,7 @@ let run_query workspace data_dir rbac_file policy_file costs_file user purpose
         in
         let* resp = Pcqe.Engine.answer ctx request in
         print_string (Pcqe.Report.response_to_string resp);
+        (match top with Some k when k > 0 -> print_top_released k resp | _ -> ());
         (match (trace, obs) with
         | true, Some o ->
           print_string
@@ -670,6 +684,15 @@ let query_cmd =
              interval straddles the policy threshold is withheld and \
              counted as ambiguous.")
   in
+  let top_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "top" ] ~docv:"K"
+          ~doc:
+            "Also print the K released rows with the highest confidence \
+             (bounded-heap selection, no full sort).")
+  in
   let doc = "run a SQL query under RBAC and confidence policies" in
   Cmd.v
     (Cmd.info "query" ~doc)
@@ -677,7 +700,7 @@ let query_cmd =
       const run_query $ workspace_arg $ data_opt_arg $ rbac_arg $ policy_arg
       $ costs_arg $ user_arg $ purpose_arg $ perc_arg $ solver_arg $ jobs_arg
       $ deadline_arg $ mc_fallback_arg $ apply_arg $ trace_arg
-      $ metrics_out_arg $ metrics_format_arg $ sql_arg)
+      $ metrics_out_arg $ metrics_format_arg $ top_arg $ sql_arg)
 
 let explain_cmd =
   let rbac_arg =

@@ -17,10 +17,16 @@ let env_jobs () =
       | Some j when j > 0 -> Some j
       | _ -> None))
 
+(* Effective jobs are clamped to the host's core count: spawning more
+   domains than cores only adds contention (every point of an
+   oversubscribed sweep reports speedup < 1).  The PCQE_JOBS environment
+   variable is the explicit escape hatch and is taken verbatim. *)
+let clamp_to_cores j = max 1 (min j (Domain.recommended_domain_count ()))
+
 let resolve_jobs ?jobs () =
   match jobs with
   | Some 0 -> default_jobs ()
-  | Some j when j > 0 -> j
+  | Some j when j > 0 -> clamp_to_cores j
   | Some _ -> 1
   | None -> ( match env_jobs () with Some j -> j | None -> 1)
 

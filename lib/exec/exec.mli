@@ -26,7 +26,14 @@ val env_jobs : unit -> int option
 
 val resolve_jobs : ?jobs:int -> unit -> int
 (** The effective jobs count: an explicit [?jobs] wins ([0] means auto),
-    then [PCQE_JOBS], then [1].  Always at least 1. *)
+    then [PCQE_JOBS], then [1].  Always at least 1.
+
+    A positive [?jobs] request is clamped to
+    [Domain.recommended_domain_count ()] — more domains than cores only
+    adds contention (an oversubscribed bench sweep reports speedup < 1 on
+    every point).  [PCQE_JOBS] is the deliberate escape hatch: its value
+    is taken verbatim, unclamped, so operators (and the test suite) can
+    force any level. *)
 
 val with_pool_opt : jobs:int -> (Pool.t option -> 'a) -> 'a
 (** [with_pool_opt ~jobs f] is [f None] when [jobs <= 1] (no domains are

@@ -55,10 +55,9 @@ let top_witnesses ?(k = 5) p f =
         (fun t -> (t, Tid.Set.fold (fun tid acc -> acc *. p tid) t 1.0))
         terms
     in
-    let sorted =
-      List.stable_sort (fun (_, a) (_, b) -> Float.compare b a) scored
-    in
-    List.filteri (fun i _ -> i < k) sorted
+    (* bounded-heap selection: same output as a stable descending sort
+       followed by take-k, without sorting every term *)
+    Topk.by_score ~k snd scored
 
 let influence p f =
   Tid.Set.elements (Formula.vars f)

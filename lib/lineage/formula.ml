@@ -45,15 +45,32 @@ let hash f =
   go 0 f land max_int
 
 (* Deduplicate a sorted-insertion list while preserving first-occurrence
-   order; n is small in practice (lineage width). *)
+   order.  Short lists (the common constructor case) use a direct scan;
+   long ones — wide disjunctions such as a projection group's merged
+   lineage — bucket by {!hash} so the pass stays linear instead of
+   quadratic in the width. *)
 let dedup fs =
-  let rec go seen = function
-    | [] -> List.rev seen
-    | f :: rest ->
-      if List.exists (equal f) seen then go seen rest
-      else go (f :: seen) rest
-  in
-  go [] fs
+  let rec short n = function _ :: rest when n > 0 -> short (n - 1) rest | rest -> rest = [] in
+  if short 16 fs then
+    let rec go seen = function
+      | [] -> List.rev seen
+      | f :: rest ->
+        if List.exists (equal f) seen then go seen rest
+        else go (f :: seen) rest
+    in
+    go [] fs
+  else
+    let seen : (int, t list) Hashtbl.t = Hashtbl.create 64 in
+    List.filter
+      (fun f ->
+        let h = hash f in
+        let bucket = try Hashtbl.find seen h with Not_found -> [] in
+        if List.exists (equal f) bucket then false
+        else begin
+          Hashtbl.replace seen h (f :: bucket);
+          true
+        end)
+      fs
 
 let conj fs =
   let rec flatten acc = function

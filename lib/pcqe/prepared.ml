@@ -47,6 +47,8 @@ let eval ?obs t ~db =
     Obs.incr obs "serving.eval_reused";
     Ok res
   | _ ->
-    let* res = Relational.Eval.run db t.plan in
+    (* hybrid evaluator: vectorizable subtrees run columnar, the rest
+       falls back to the row engine (bit-identical results either way) *)
+    let* res = Relational.Col_eval.run db t.plan in
     t.evaluated <- Some (Db.structural_epoch db, res);
     Ok res

@@ -27,7 +27,37 @@ val load_into :
 
 val load_file :
   Database.t -> name:string -> ?default_conf:float -> string -> (Database.t, string) result
-(** [load_file db ~name path] reads [path] and delegates to {!load_into}. *)
+(** [load_file db ~name path] loads [path] streaming: one pass over the
+    channel, no whole-file string.  Same result as {!load_into} on the
+    file's contents (blank lines are skipped without consuming a line
+    number, exactly as the string path does). *)
+
+val load_string_bulk :
+  Database.t ->
+  name:string ->
+  ?default_conf:float ->
+  ?jobs:int ->
+  string ->
+  (Database.t, string) result
+(** Parallel bulk ingest.  The body is split into chunks at record
+    boundaries and parsed over a domain pool ([jobs] resolved by
+    {!Exec.resolve_jobs}); tuple ids are assigned in file order by
+    prefix-summing chunk row counts, so the loaded relation — ids,
+    ordering, confidences — is identical to what {!load_into} produces
+    for any jobs count.  On malformed input the reported error is the
+    one {!load_into} would give (lowest line number wins).  Registration
+    goes through {!Database.bulk_load}: one structural and one
+    confidence epoch bump for the whole load instead of per row. *)
+
+val load_file_bulk :
+  Database.t ->
+  name:string ->
+  ?default_conf:float ->
+  ?jobs:int ->
+  string ->
+  (Database.t, string) result
+(** [load_file_bulk db ~name path] reads [path] once and delegates to
+    {!load_string_bulk}. *)
 
 val to_string : Database.t -> Relation.t -> string
 (** Export a relation (with its [__confidence] column) as CSV. *)

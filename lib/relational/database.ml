@@ -128,6 +128,30 @@ let seed_confidence db tid p =
          (Tid.to_string tid));
   bump_confidence { db with confidences = Tid.Map.add tid p db.confidences } [ tid ]
 
+let bulk_load db r confs =
+  let name = Relation.name r in
+  let n = Relation.cardinality r in
+  if Array.length confs <> n then
+    invalid_arg
+      (Printf.sprintf
+         "Database.bulk_load(%s): %d confidences for %d tuples" name
+         (Array.length confs) n);
+  Array.iter (check_conf "confidence") confs;
+  (* one structural bump and one confidence bump for the whole load (the
+     per-tuple [insert] path bumps both epochs per row); the change-log
+     entry lists every loaded tuple so [changed_since] stays truthful
+     when an existing relation is replaced *)
+  let tids = List.init n (Tid.make name) in
+  let confidences =
+    List.fold_left
+      (fun m tid -> Tid.Map.add tid confs.(tid.Tid.row) m)
+      db.confidences tids
+  in
+  bump_confidence
+    (bump_structural
+       { db with relations = StrMap.add name r db.relations; confidences })
+    tids
+
 let confidence db tid =
   Option.value ~default:0.0 (Tid.Map.find_opt tid db.confidences)
 

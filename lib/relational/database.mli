@@ -62,6 +62,17 @@ val seed_confidence : t -> Lineage.Tid.t -> float -> t
     @raise Invalid_argument if [p] is outside [\[0,1\]] or the tuple does
     not exist in its relation. *)
 
+val bulk_load : t -> Relation.t -> float array -> t
+(** [bulk_load db r confs] adds (or replaces) relation [r] wholesale,
+    seeding the confidence of the tuple with id [i] from [confs.(i)] —
+    the bulk-ingest counterpart of per-row {!insert}.  Advances the
+    structural and confidence epochs {e once} each instead of per tuple;
+    the confidence change-log entry lists every loaded tuple, so
+    {!changed_since} remains truthful when an existing relation is
+    replaced.
+    @raise Invalid_argument if [Array.length confs] differs from the
+    relation's cardinality or any confidence is outside [\[0,1\]]. *)
+
 val confidence : t -> Lineage.Tid.t -> float
 (** [confidence db tid] is the stored confidence (0.0 for unknown tuples —
     an absent tuple is never present in any possible world). *)

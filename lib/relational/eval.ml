@@ -8,6 +8,12 @@ let ( let* ) = Result.bind
 
 (* Merge rows with equal tuples by OR-ing their lineage, preserving the
    first-occurrence order.  This implements set semantics. *)
+(* Each group collects its members' lineages (newest first) and merges
+   them with a single [Formula.disj] at the end — identical to folding
+   [disj] pairwise per row ([disj] splices nested [Or]s and [dedup]
+   keeps first occurrences either way), but linear in the group size
+   instead of quadratic.  A single-member group keeps its raw lineage,
+   exactly as the fold did. *)
 let dedup_rows rows =
   let table = Hashtbl.create 64 in
   let order = ref [] in
@@ -16,20 +22,24 @@ let dedup_rows rows =
       let key = r.tuple in
       match Hashtbl.find_opt table (Tuple.hash key) with
       | None ->
-        Hashtbl.add table (Tuple.hash key) [ (key, ref r.lineage) ];
+        Hashtbl.add table (Tuple.hash key) [ (key, ref [ r.lineage ]) ];
         order := (key, Tuple.hash key) :: !order
       | Some cells -> (
         match List.find_opt (fun (t, _) -> Tuple.equal t key) cells with
-        | Some (_, l) -> l := Formula.disj [ !l; r.lineage ]
+        | Some (_, ls) -> ls := r.lineage :: !ls
         | None ->
-          Hashtbl.replace table (Tuple.hash key) ((key, ref r.lineage) :: cells);
+          Hashtbl.replace table (Tuple.hash key)
+            ((key, ref [ r.lineage ]) :: cells);
           order := (key, Tuple.hash key) :: !order))
     rows;
   List.rev_map
     (fun (key, h) ->
       let cells = Hashtbl.find table h in
-      let _, l = List.find (fun (t, _) -> Tuple.equal t key) cells in
-      { tuple = key; lineage = !l })
+      let _, ls = List.find (fun (t, _) -> Tuple.equal t key) cells in
+      let lineage =
+        match !ls with [ l ] -> l | ls -> Formula.disj (List.rev ls)
+      in
+      { tuple = key; lineage })
     !order
 
 (* Find the merged lineage of [tup] among [rows], if present. *)
@@ -126,12 +136,21 @@ let compute_agg db schema (a : Algebra.agg) members =
       | Algebra.CountStar | Algebra.Expected_count | Algebra.Expected_sum ->
         assert false))
 
+(* The recursion over the plan is parametrized: [run_rows_via recurse]
+   evaluates one operator, delegating every child evaluation to
+   [recurse].  Tying the knot with [run_rows] itself gives the plain row
+   engine; a hybrid evaluator (see {!Col_eval}) ties it with a function
+   that intercepts vectorizable subtrees and falls back here for the
+   rest, so both engines share one set of operator semantics. *)
 let rec run db plan =
   let* schema = Algebra.output_schema db plan in
   let* rows = run_rows db plan in
   Ok { schema; rows }
 
-and run_rows db plan =
+and run_rows db plan = run_rows_via run_rows db plan
+
+and run_rows_via recurse db plan =
+  let run_rows = recurse in
   match plan with
   | Algebra.Scan name ->
     let r = Database.relation_exn db name in
@@ -154,12 +173,12 @@ and run_rows db plan =
     let* rows = run_rows db p in
     (* each (uncorrelated) subquery is evaluated once and cached by the
        physical identity of its plan *)
-    let cache : (Algebra.t * annotated) list ref = ref [] in
+    let cache : (Algebra.t * row list) list ref = ref [] in
     let sub_result sub =
       match List.find_opt (fun (p, _) -> p == sub) !cache with
       | Some (_, res) -> Ok res
       | None ->
-        let* res = run db sub in
+        let* res = recurse db sub in
         cache := (sub, res) :: !cache;
         Ok res
     in
@@ -180,14 +199,12 @@ and run_rows db plan =
         | v ->
           let* res = sub_result sub in
           let matches =
-            List.filter
-              (fun r -> Value.equal (Tuple.get r.tuple 0) v)
-              res.rows
+            List.filter (fun r -> Value.equal (Tuple.get r.tuple 0) v) res
           in
           Ok (Formula.disj (List.map (fun r -> r.lineage) matches)))
       | Algebra.Exists_sub sub ->
         let* res = sub_result sub in
-        Ok (Formula.disj (List.map (fun r -> r.lineage) res.rows))
+        Ok (Formula.disj (List.map (fun r -> r.lineage) res))
       | Algebra.Not_c c ->
         let* f = formula_of row c in
         Ok (Formula.neg f)

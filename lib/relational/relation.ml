@@ -42,6 +42,21 @@ let insert_all r tups =
   in
   (r, List.rev tids)
 
+let of_tuples name schema tups =
+  let rows, order, n =
+    List.fold_left
+      (fun (rows, order, i) tup ->
+        if not (Tuple.conforms tup schema) then
+          invalid_arg
+            (Printf.sprintf
+               "Relation.of_tuples(%s): tuple %s does not conform to (%s)" name
+               (Tuple.to_string tup) (Schema.to_string schema));
+        let tid = Tid.make name i in
+        (Tid.Map.add tid tup rows, tid :: order, i + 1))
+      (Tid.Map.empty, [], 0) tups
+  in
+  { name; schema; next_row = n; rows; order }
+
 let delete r tid =
   if Tid.Map.mem tid r.rows then
     {

@@ -23,6 +23,13 @@ val insert_values : t -> Value.t list -> t * Lineage.Tid.t
 
 val insert_all : t -> Tuple.t list -> t * Lineage.Tid.t list
 
+val of_tuples : string -> Schema.t -> Tuple.t list -> t
+(** [of_tuples name schema tups] builds a relation containing [tups] in
+    order, with tuple ids [0 .. n-1] — exactly the relation that
+    [create] followed by [n] {!insert}s would produce, in one pass
+    (bulk loaders).
+    @raise Invalid_argument if a tuple does not conform to the schema. *)
+
 val delete : t -> Lineage.Tid.t -> t
 (** [delete r tid] removes the tuple; a no-op if absent. *)
 

@@ -1,0 +1,18 @@
+(** Bounded-heap top-K selection.
+
+    [by_score ~k score xs] is observably identical to sorting [xs] by
+    score descending with a stable sort and keeping the first [k]
+    elements — equal scores preserve input order — but runs in
+    O(n log k) time and O(k) space instead of sorting all [n].  The
+    engine uses it wherever result rows are ranked by confidence
+    (lineage witnesses, the CLI's [--top], the columnar bench panel). *)
+
+val by_score : k:int -> ('a -> float) -> 'a list -> 'a list
+(** [by_score ~k score xs] is the [k] highest-scoring elements of [xs]
+    in score-descending order, ties broken by input position
+    (earlier first).  [k <= 0] is the empty list; [k >= length xs]
+    is a full descending stable sort.  NaN scores rank lowest, the
+    ordering [Float.compare] gives them. *)
+
+val by_score_arr : k:int -> ('a -> float) -> 'a array -> 'a list
+(** Array input variant of {!by_score}. *)

@@ -159,13 +159,24 @@ let test_with_pool_returns_and_cleans () =
   Alcotest.(check pass) "no hang after body raise" () ()
 
 let test_resolve_jobs () =
-  (* explicit value wins; 0 means auto; negatives clamp to 1 *)
-  Alcotest.(check int) "explicit" 5 (Exec.resolve_jobs ~jobs:5 ());
+  (* explicit value wins but is clamped to the host's cores; 0 means
+     auto; negatives clamp to 1; PCQE_JOBS is taken verbatim *)
+  let cores = Domain.recommended_domain_count () in
+  Alcotest.(check int) "explicit clamped to cores"
+    (max 1 (min 5 cores))
+    (Exec.resolve_jobs ~jobs:5 ());
+  Alcotest.(check int) "explicit within cores" 1 (Exec.resolve_jobs ~jobs:1 ());
   Alcotest.(check int) "auto" (Pool.default_jobs ()) (Exec.resolve_jobs ~jobs:0 ());
   Alcotest.(check int) "negative" 1 (Exec.resolve_jobs ~jobs:(-2) ());
   (* no request, no env: single-threaded *)
   if Sys.getenv_opt Exec.env_var = None then
-    Alcotest.(check int) "default" 1 (Exec.resolve_jobs ())
+    Alcotest.(check int) "default" 1 (Exec.resolve_jobs ());
+  (* the env override is deliberately unclamped, even above core count *)
+  let saved = Sys.getenv_opt Exec.env_var in
+  Unix.putenv Exec.env_var (string_of_int (cores + 7));
+  Alcotest.(check int) "env override unclamped" (cores + 7)
+    (Exec.resolve_jobs ());
+  Unix.putenv Exec.env_var (Option.value ~default:"" saved)
 
 let qcheck_run_chunks_covers =
   QCheck.Test.make ~name:"run_chunks visits each chunk exactly once" ~count:30

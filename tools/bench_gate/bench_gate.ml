@@ -275,10 +275,15 @@ let rec count_assertions = function
 
 (* wall-time fields vary across machines; everything else in the
    artifacts is a count or a derived size that the tolerance band must
-   hold to *)
+   hold to.  Timing keys are recognized uniformly by unit token: any
+   ["_"]-separated token ["s"] or ["ms"] marks a seconds/derived-rate
+   field (["solve_s"], ["deadline_ms"], ["stream_mb_per_s"], …), and
+   ["speedup"] is the derived ratio of two of them *)
 let timing_key k =
   k = "speedup"
-  || String.length k > 2 && String.sub k (String.length k - 2) 2 = "_s"
+  || List.exists
+       (fun tok -> tok = "s" || tok = "ms")
+       (String.split_on_char '_' k)
 
 let rec check_values ~tol path (baseline : json) (fresh : json) =
   match (baseline, fresh) with
