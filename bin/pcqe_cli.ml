@@ -406,6 +406,15 @@ let run_explain workspace data_dir rbac_file policy_file costs_file user
       (if resp.Pcqe.Engine.ambiguous > 0 then
          Printf.sprintf " ambiguous=%d" resp.Pcqe.Engine.ambiguous
        else "");
+    List.iteri
+      (fun i r ->
+        if i < 20 then
+          Printf.printf "  %s  confidence %.4f  tier=%s\n"
+            (Relational.Tuple.to_string r.Pcqe.Engine.tuple)
+            r.Pcqe.Engine.confidence r.Pcqe.Engine.conf_tier)
+      resp.Pcqe.Engine.released;
+    if List.length resp.Pcqe.Engine.released > 20 then
+      print_endline "  ... (first 20 rows only)";
     Ok ()
   in
   match result with

@@ -18,16 +18,26 @@ let samples_for mc =
 
 let exact_threshold = 4096
 
-type tier = Read_once | Shannon | Obdd | Monte_carlo
+type tier = Var | Read_once | Shannon | Circuit | Obdd | Monte_carlo
 
 let tier_name = function
+  | Var -> "var"
   | Read_once -> "read_once"
   | Shannon -> "shannon"
+  | Circuit -> "circuit"
   | Obdd -> "obdd"
   | Monte_carlo -> "monte_carlo"
 
 let confidence ?pool ?fork ?(on_tier = fun (_ : tier) -> ()) ?(exact_node_cap = 20_000)
     ?(mc = default_mc) p f =
+  match f with
+  | Formula.Var v when Circuit.enabled () ->
+    (* single-tuple lineage: the confidence IS the base confidence — no
+       ladder setup, no formula walk.  Gated with the circuit fast path
+       so PCQE_CIRCUITS=0 restores the read-once rung for these. *)
+    on_tier Var;
+    Exact (p v)
+  | _ ->
   if Formula.is_read_once f then begin
     on_tier Read_once;
     Exact (Prob.read_once p f)

@@ -52,13 +52,17 @@ val exact_threshold : int
 (** {!Prob.exact} is attempted only when
     [Prob.shannon_cost_estimate f <= exact_threshold]. *)
 
-type tier = Read_once | Shannon | Obdd | Monte_carlo
-    (** the ladder rung that actually answered, in ladder order *)
+type tier = Var | Read_once | Shannon | Circuit | Obdd | Monte_carlo
+    (** the rung that actually answered, in ladder order.  [Var] is the
+        single-variable short circuit (a direct base-confidence lookup,
+        taken only when {!Circuit.enabled}); [Circuit] is reported by
+        callers that answered from a compiled {!Circuit} instead of
+        running a rung — {!confidence} itself never selects it. *)
 
 val tier_name : tier -> string
-(** Stable lower-snake name of a rung ([read_once], [shannon], [obdd],
-    [monte_carlo]) — used as the [ladder.<tier>] counter suffix by
-    callers that account rung usage. *)
+(** Stable lower-snake name of a rung ([var], [read_once], [shannon],
+    [circuit], [obdd], [monte_carlo]) — used as the [ladder.<tier>]
+    counter suffix by callers that account rung usage. *)
 
 val confidence :
   ?pool:Exec.Pool.t ->
@@ -69,7 +73,10 @@ val confidence :
   (Tid.t -> float) ->
   Formula.t ->
   estimate
-(** [confidence p f] runs the ladder.  [exact_node_cap] (default
+(** [confidence p f] runs the ladder.  When [f] is a single [Var] and
+    {!Circuit.enabled}[ ()], the [Var] short circuit answers with the
+    base confidence directly (bitwise the value the read-once rung
+    would compute) before any ladder setup.  [exact_node_cap] (default
     [20_000]) bounds the OBDD tier's node allocations; [mc] (default
     {!default_mc}) parameterizes the sampling tier.  The Monte-Carlo
     seed is derived from [mc.seed] and {!Formula.hash}[ f], so the

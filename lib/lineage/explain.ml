@@ -64,8 +64,11 @@ let influence p f =
   |> List.map (fun tid -> (tid, Prob.derivative p f tid))
   |> List.stable_sort (fun (_, a) (_, b) -> Float.compare b a)
 
-let to_string p f =
+let to_string ?tier p f =
   let buf = Buffer.create 256 in
+  (match tier with
+  | Some t -> Buffer.add_string buf (Printf.sprintf "  confidence tier: %s\n" t)
+  | None -> ());
   (match top_witnesses p f with
   | [] ->
     Buffer.add_string buf

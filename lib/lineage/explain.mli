@@ -31,6 +31,8 @@ val influence : (Tid.t -> float) -> Formula.t -> (Tid.t * float) list
     [∂P(f)/∂p(t)], sorted by decreasing importance.  Works for any
     formula. *)
 
-val to_string : (Tid.t -> float) -> Formula.t -> string
+val to_string : ?tier:string -> (Tid.t -> float) -> Formula.t -> string
 (** Multi-line rendering: the witnesses (when monotone) and the top
-    influences — what a CLI "explain" command prints per row. *)
+    influences — what a CLI "explain" command prints per row.  [?tier]
+    (e.g. ["var"], ["read_once"], ["circuit"], ["shannon"]) prepends a
+    [confidence tier:] line naming the evaluator that priced the row. *)

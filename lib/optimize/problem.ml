@@ -27,6 +27,9 @@ type t = {
   dedup_formulas : int; (* results sharing another result's class *)
   compiled : (float array -> float) array;
       (* per-class confidence evaluator over the bid-indexed level array *)
+  kinds : string array;
+      (* per-class evaluator kind: "read_once", "circuit", "obdd" or
+         "shannon" — observability for [pcqe explain] and the bench *)
 }
 
 (* Compile a formula into a closure over the level array.  Read-once
@@ -70,38 +73,45 @@ let compile base_index formula =
           done;
           1.0 -. !acc
     in
-    go formula
+    (go formula, "read_once")
   end
   else begin
-    let shannon levels =
-      let lookup tid =
-        match Tid.Table.find_opt base_index tid with
-        | Some bid -> levels.(bid)
-        | None -> 0.0
-      in
-      Lineage.Prob.exact lookup formula
+    let lookup levels tid =
+      match Tid.Table.find_opt base_index tid with
+      | Some bid -> levels.(bid)
+      | None -> 0.0
     in
-    let manager = Lineage.Bdd.manager () in
-    (* Abort the OBDD build as soon as it allocates past the budget (a
-       pathological formula used to pay the full blowup and then discard
-       it); a completed build still goes through the reachable-size check
-       that decided the fallback before the early abort existed. *)
+    let shannon levels = Lineage.Prob.exact (lookup levels) formula in
+    let obdd_or_shannon () =
+      let manager = Lineage.Bdd.manager () in
+      (* Abort the OBDD build as soon as it allocates past the budget (a
+         pathological formula used to pay the full blowup and then discard
+         it); a completed build still goes through the reachable-size check
+         that decided the fallback before the early abort existed. *)
+      match
+        Lineage.Bdd.of_formula
+          ~size_cap:(bdd_size_cap * bdd_construction_slack)
+          manager formula
+      with
+      | exception Lineage.Bdd.Size_cap_exceeded -> (shannon, "shannon")
+      | bdd ->
+        if Lineage.Bdd.size bdd > bdd_size_cap then (shannon, "shannon")
+        else
+          ((fun levels -> Lineage.Bdd.prob manager (lookup levels) bdd), "obdd")
+    in
+    (* d-DNNF circuit first: one compile (the cost of one exact
+       evaluation), then every solver probe is a linear pass.  [eval]
+       allocates its scratch per call, so concurrent probes from a
+       pooled solver are safe — matching the per-call allocation of
+       [Bdd.prob] and the Shannon closure.  A node-cap overflow falls
+       back to the OBDD/Shannon pair exactly as before. *)
     match
-      Lineage.Bdd.of_formula
-        ~size_cap:(bdd_size_cap * bdd_construction_slack)
-        manager formula
+      if Lineage.Circuit.enabled () then Lineage.Circuit.compile_opt formula
+      else None
     with
-    | exception Lineage.Bdd.Size_cap_exceeded -> shannon
-    | bdd ->
-      if Lineage.Bdd.size bdd > bdd_size_cap then shannon
-      else
-        fun levels ->
-          Lineage.Bdd.prob manager
-            (fun tid ->
-              match Tid.Table.find_opt base_index tid with
-              | Some bid -> levels.(bid)
-              | None -> 0.0)
-            bdd
+    | Some c ->
+      ((fun levels -> Lineage.Circuit.eval c (lookup levels)), "circuit")
+    | None -> obdd_or_shannon ()
   end
 
 let ( let* ) = Result.bind
@@ -222,7 +232,9 @@ let make ?(delta = 0.1) ?(incremental = true) ~beta ~required ~bases ~formulas
     class_formulas;
   Array.iteri (fun i l -> classes_of_base.(i) <- List.rev l) classes_of_base;
   Array.iteri (fun i l -> bases_of_class.(i) <- List.rev l) bases_of_class;
-  let compiled = Array.map (compile base_index) class_formulas in
+  let compiled_kinds = Array.map (compile base_index) class_formulas in
+  let compiled = Array.map fst compiled_kinds in
+  let kinds = Array.map snd compiled_kinds in
   Ok
     {
       beta;
@@ -240,6 +252,7 @@ let make ?(delta = 0.1) ?(incremental = true) ~beta ~required ~bases ~formulas
       bases_of_class;
       dedup_formulas = nr - num_classes;
       compiled;
+      kinds;
     }
 
 let make_exn ?delta ?incremental ~beta ~required ~bases ~formulas () =
@@ -319,6 +332,7 @@ let class_members t cid = t.class_members.(cid)
 let classes_of_base t bid = t.classes_of_base.(bid)
 let bases_of_class t cid = t.bases_of_class.(cid)
 let dedup_formulas t = t.dedup_formulas
+let evaluator_kind t cid = t.kinds.(cid)
 
 let eval_class t levels cid = t.compiled.(cid) levels
 

@@ -137,6 +137,13 @@ val dedup_formulas : t -> int
 (** Number of results that share another result's class
     ([num_results - num_classes]; [0] when [incremental] is off). *)
 
+val evaluator_kind : t -> int -> string
+(** [evaluator_kind t cid] names the compiled evaluator backing class
+    [cid] — ["read_once"], ["circuit"], ["obdd"] or ["shannon"] —
+    observability for the bench panel and tests.  ["circuit"] appears
+    only when {!Lineage.Circuit.enabled} held at {!make} time and the
+    class compiled within the node cap. *)
+
 val eval_class : t -> float array -> int -> float
 (** [eval_class t levels cid] evaluates one class's compiled formula over
     the bid-indexed level array.  One call covers every member result. *)

@@ -9,6 +9,10 @@ type t = {
   mutable epoch : int; (* confidence epoch the entries are valid for *)
   exact : float F.Table.t;
   ladder : Lineage.Approx.estimate F.Table.t;
+  circuits : Lineage.Circuit.t F.Table.t;
+      (* compiled d-DNNF per class: structure-only, so confidence-epoch
+         invalidation drops the cached *values* above but keeps the
+         circuit — the next lookup re-evaluates it in one linear pass *)
   by_base : (Tid.t, F.t list ref) Hashtbl.t;
   mutable reused : int;
   mutable recomputed : int;
@@ -24,6 +28,7 @@ let create ?(max_entries = 65_536) () =
     epoch = 0;
     exact = F.Table.create 256;
     ladder = F.Table.create 64;
+    circuits = F.Table.create 64;
     by_base = Hashtbl.create 256;
     reused = 0;
     recomputed = 0;
@@ -41,6 +46,7 @@ let invalidated t = t.invalidated
 let clear t =
   F.Table.reset t.exact;
   F.Table.reset t.ladder;
+  F.Table.reset t.circuits;
   Hashtbl.reset t.by_base
 
 (* drop every cached class whose formula mentions a dirty base tuple;
@@ -98,33 +104,106 @@ let store t f value =
   | Estimate e -> F.Table.replace t.ladder f e);
   index t f
 
-let confidence ?obs t ~db f =
-  sync ?obs t ~db;
-  match F.Table.find_opt t.exact f with
-  | Some c ->
-    t.reused <- t.reused + 1;
-    Obs.incr obs "serving.reused_classes";
-    c
-  | None ->
-    let c = Lineage.Prob.confidence (Db.confidence_fn db) f in
-    store t f (Exact c);
-    t.recomputed <- t.recomputed + 1;
-    Obs.incr obs "serving.recomputed_classes";
-    c
+(* Circuits answer exactly where the ladder would take the Shannon rung
+   ([Prob.exact]): non-read-once lineage below the expansion-cost cap.
+   On that domain the circuit value is bitwise [Prob.exact]'s, so the
+   identity contract holds; the OBDD and Monte-Carlo rungs (different
+   float expressions) are never displaced. *)
+let circuit_eligible f =
+  (not (F.is_read_once f))
+  && Lineage.Prob.shannon_cost_estimate f <= Lineage.Approx.exact_threshold
+
+(* Compile-or-reuse the class circuit and evaluate it under [db]'s
+   current confidence vector.  [None] when the circuit path is off, the
+   class is outside the exactness domain, or the build hit the node cap
+   (counted as [ladder.circuit_fallback] — the ladder takes over). *)
+let circuit_value ?obs t ~db f =
+  if not (Lineage.Circuit.enabled () && circuit_eligible f) then None
+  else
+    let eval c =
+      Some (Lineage.Circuit.eval c (Db.confidence_fn db))
+    in
+    match F.Table.find_opt t.circuits f with
+    | Some c ->
+      Obs.incr obs "ladder.circuit_reeval";
+      eval c
+    | None -> (
+      match Lineage.Circuit.compile_opt f with
+      | Some c ->
+        if F.Table.length t.circuits >= t.max_entries then
+          F.Table.reset t.circuits;
+        F.Table.replace t.circuits f c;
+        Obs.incr obs "ladder.circuit_build";
+        eval c
+      | None ->
+        Obs.incr obs "ladder.circuit_fallback";
+        None)
+
+let confidence_tiered ?obs t ~db f =
+  match f with
+  | F.Var v when Lineage.Circuit.enabled () ->
+    (* single-tuple lineage: the answer is one base-confidence lookup —
+       no sync, no class bookkeeping *)
+    (Db.confidence db v, "var")
+  | _ -> (
+    sync ?obs t ~db;
+    match F.Table.find_opt t.exact f with
+    | Some c ->
+      t.reused <- t.reused + 1;
+      Obs.incr obs "serving.reused_classes";
+      (c, "cached")
+    | None ->
+      let c, tier =
+        match circuit_value ?obs t ~db f with
+        | Some c -> (c, "circuit")
+        | None ->
+          let c = Lineage.Prob.confidence (Db.confidence_fn db) f in
+          (c, if F.is_read_once f then "read_once" else "shannon")
+      in
+      store t f (Exact c);
+      t.recomputed <- t.recomputed + 1;
+      Obs.incr obs "serving.recomputed_classes";
+      (c, tier))
+
+let confidence ?obs t ~db f = fst (confidence_tiered ?obs t ~db f)
+
+let estimate_tiered ?obs ?pool ?(on_tier = fun (_ : Lineage.Approx.tier) -> ())
+    t ~db f =
+  match f with
+  | F.Var v when Lineage.Circuit.enabled () ->
+    on_tier Lineage.Approx.Var;
+    (Lineage.Approx.Exact (Db.confidence db v), "var")
+  | _ -> (
+    sync ?obs t ~db;
+    match F.Table.find_opt t.ladder f with
+    | Some e ->
+      t.reused <- t.reused + 1;
+      Obs.incr obs "serving.reused_classes";
+      (e, "cached")
+    | None ->
+      let e, tier =
+        match circuit_value ?obs t ~db f with
+        | Some c ->
+          on_tier Lineage.Approx.Circuit;
+          (Lineage.Approx.Exact c, "circuit")
+        | None ->
+          let name = ref "" in
+          let e =
+            Lineage.Approx.confidence ?pool
+              ~on_tier:(fun rung ->
+                name := Lineage.Approx.tier_name rung;
+                on_tier rung)
+              (Db.confidence_fn db) f
+          in
+          (e, !name)
+      in
+      store t f (Estimate e);
+      t.recomputed <- t.recomputed + 1;
+      Obs.incr obs "serving.recomputed_classes";
+      (e, tier))
 
 let estimate ?obs ?pool ?on_tier t ~db f =
-  sync ?obs t ~db;
-  match F.Table.find_opt t.ladder f with
-  | Some e ->
-    t.reused <- t.reused + 1;
-    Obs.incr obs "serving.reused_classes";
-    e
-  | None ->
-    let e = Lineage.Approx.confidence ?pool ?on_tier (Db.confidence_fn db) f in
-    store t f (Estimate e);
-    t.recomputed <- t.recomputed + 1;
-    Obs.incr obs "serving.recomputed_classes";
-    e
+  fst (estimate_tiered ?obs ?pool ?on_tier t ~db f)
 
 let warm ?obs t ~db entries =
   sync ?obs t ~db;

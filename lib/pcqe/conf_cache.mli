@@ -38,7 +38,25 @@ val confidence :
   ?obs:Obs.t -> t -> db:Relational.Database.t -> Lineage.Formula.t -> float
 (** The exact confidence of the formula under [db]'s confidence vector —
     cached, or computed via {!Lineage.Prob.confidence} (the cold path's
-    evaluator) and stored. *)
+    evaluator) and stored.  With the circuit fast path on
+    ({!Lineage.Circuit.enabled}), two shortcuts apply, both bitwise
+    value-preserving: a single-[Var] formula answers with one
+    base-confidence lookup (tier ["var"], no cache traffic), and a
+    non-read-once class inside the Shannon exactness domain evaluates a
+    compiled d-DNNF circuit — built once per class, kept across
+    confidence epochs, re-evaluated in one linear pass (counted as
+    [ladder.circuit_build] / [ladder.circuit_reeval]; a node-cap
+    overflow counts [ladder.circuit_fallback] and the ladder answers). *)
+
+val confidence_tiered :
+  ?obs:Obs.t ->
+  t ->
+  db:Relational.Database.t ->
+  Lineage.Formula.t ->
+  float * string
+(** {!confidence} plus the tier label that produced the value — ["var"],
+    ["cached"], ["circuit"], ["read_once"] or ["shannon"] — for
+    per-tuple auditability ([pcqe explain]). *)
 
 val estimate :
   ?obs:Obs.t ->
@@ -53,7 +71,22 @@ val estimate :
     (the Monte-Carlo seed derives from the formula hash), so a cached
     estimate is bit-identical to recomputation — with or without
     [pool].  [on_tier] fires only on a miss (the rung that answered a
-    cached class was already reported when it was computed). *)
+    cached class was already reported when it was computed).  The same
+    [var] and circuit shortcuts as {!confidence} apply when
+    {!Lineage.Circuit.enabled}; the circuit displaces only the Shannon
+    rung (whose value it reproduces bitwise) and reports
+    [on_tier Circuit]. *)
+
+val estimate_tiered :
+  ?obs:Obs.t ->
+  ?pool:Exec.Pool.t ->
+  ?on_tier:(Lineage.Approx.tier -> unit) ->
+  t ->
+  db:Relational.Database.t ->
+  Lineage.Formula.t ->
+  Lineage.Approx.estimate * string
+(** {!estimate} plus the tier label ( ["var"], ["cached"], ["circuit"],
+    or the ladder rung name) that produced the value. *)
 
 val warm :
   ?obs:Obs.t ->

@@ -46,6 +46,7 @@ type released = {
   tuple : Relational.Tuple.t;
   lineage : Lineage.Formula.t;
   confidence : float;
+  conf_tier : string;
 }
 
 type proposal = {
@@ -129,11 +130,11 @@ let answer_common ctx ~check_access ~roles ~query ~purpose ~perc =
       (* (1) traditional access control over the base relations *)
       let* () = Obs.span obs "rbac" (fun () -> check_access plan) in
       (* (2) lineage-carrying query evaluation + confidence computation *)
-      let* res =
+      let* res, safe_confs =
         Obs.span obs "eval" (fun () ->
-            let r = Prepared.eval ?obs prepared ~db:ctx.db in
+            let r = Prepared.eval_conf ?obs prepared ~db:ctx.db in
             (match r with
-            | Ok res ->
+            | Ok (res, _) ->
               let rows = List.length res.Relational.Eval.rows in
               Obs.add_attr obs "rows" (string_of_int rows);
               Obs.observe obs "engine.rows" (float_of_int rows)
@@ -148,41 +149,69 @@ let answer_common ctx ~check_access ~roles ~query ~purpose ~perc =
             let on_tier tier =
               Obs.incr obs ("ladder." ^ Lineage.Approx.tier_name tier)
             in
-            match ctx.caches with
-            | Some caches ->
-              (* per-epoch confidence cache: one computation per distinct
-                 lineage class, bit-identical to the cold paths below *)
-              let cache = Caches.conf caches in
-              if ctx.mc_fallback then
-                List.map
-                  (fun r ->
-                    ( r,
-                      Conf_cache.estimate ?obs ~on_tier cache ~db:ctx.db
-                        r.Relational.Eval.lineage ))
-                  res.Relational.Eval.rows
-              else
-                List.map
-                  (fun r ->
-                    ( r,
-                      Lineage.Approx.Exact
-                        (Conf_cache.confidence ?obs cache ~db:ctx.db
-                           r.Relational.Eval.lineage) ))
-                  res.Relational.Eval.rows
-            | None ->
-              if ctx.mc_fallback then
-                (* degradation ladder: exact tiers when cheap, Monte-Carlo
-                   intervals when the lineage is too entangled *)
-                let p = Db.confidence ctx.db in
-                List.map
-                  (fun r ->
-                    ( r,
-                      Lineage.Approx.confidence ~on_tier p
-                        r.Relational.Eval.lineage ))
-                  res.Relational.Eval.rows
-              else
-                List.map
-                  (fun (r, c) -> (r, Lineage.Approx.Exact c))
-                  (Relational.Eval.with_confidence ctx.db res))
+            match safe_confs with
+            | Some confs ->
+              (* safe-plan fast path: confidences came out of batch
+                 evaluation; the ladder and the class cache are idle for
+                 this answer.  Values are bitwise the ladder's. *)
+              Obs.incr obs "engine.safe_plan";
+              Obs.incr obs ~by:(Array.length confs) "engine.safe_plan_rows";
+              Obs.add_attr obs "conf" "safe_plan";
+              List.mapi
+                (fun i r -> (r, Lineage.Approx.Exact confs.(i), "safe_plan"))
+                res.Relational.Eval.rows
+            | None -> (
+              match ctx.caches with
+              | Some caches ->
+                (* per-epoch confidence cache: one computation per distinct
+                   lineage class, bit-identical to the cold paths below *)
+                let cache = Caches.conf caches in
+                if ctx.mc_fallback then
+                  List.map
+                    (fun r ->
+                      let est, tier =
+                        Conf_cache.estimate_tiered ?obs ~on_tier cache
+                          ~db:ctx.db r.Relational.Eval.lineage
+                      in
+                      (r, est, tier))
+                    res.Relational.Eval.rows
+                else
+                  List.map
+                    (fun r ->
+                      let c, tier =
+                        Conf_cache.confidence_tiered ?obs cache ~db:ctx.db
+                          r.Relational.Eval.lineage
+                      in
+                      (r, Lineage.Approx.Exact c, tier))
+                    res.Relational.Eval.rows
+              | None ->
+                if ctx.mc_fallback then
+                  (* degradation ladder: exact tiers when cheap, Monte-Carlo
+                     intervals when the lineage is too entangled *)
+                  let p = Db.confidence ctx.db in
+                  List.map
+                    (fun r ->
+                      let name = ref "" in
+                      let est =
+                        Lineage.Approx.confidence
+                          ~on_tier:(fun tier ->
+                            name := Lineage.Approx.tier_name tier;
+                            on_tier tier)
+                          p r.Relational.Eval.lineage
+                      in
+                      (r, est, !name))
+                    res.Relational.Eval.rows
+                else
+                  List.map
+                    (fun (r, c) ->
+                      let tier =
+                        if
+                          Lineage.Formula.is_read_once r.Relational.Eval.lineage
+                        then "read_once"
+                        else "shannon"
+                      in
+                      (r, Lineage.Approx.Exact c, tier))
+                    (Relational.Eval.with_confidence ctx.db res)))
       in
       (* (3) policy evaluation: select the policy by role and purpose *)
       let applied_policies =
@@ -193,25 +222,27 @@ let answer_common ctx ~check_access ~roles ~query ~purpose ~perc =
       in
       let released, withheld, ambiguous =
         Obs.span obs "policy-filter" (fun () ->
-            let mk r est =
+            let mk r est tier =
               {
                 tuple = r.Relational.Eval.tuple;
                 lineage = r.Relational.Eval.lineage;
                 confidence = point_estimate est;
+                conf_tier = tier;
               }
             in
             let released, withheld, ambiguous =
               match threshold with
-              | None -> (List.map (fun (r, est) -> mk r est) with_conf, 0, 0)
+              | None ->
+                (List.map (fun (r, est, tier) -> mk r est tier) with_conf, 0, 0)
               | Some beta ->
                 (* fail-closed: release only when the estimate proves the
                    confidence strictly above beta; an interval straddling
                    beta (or a failed estimate) withholds the tuple *)
                 let rel, wh, amb, failed =
                   List.fold_left
-                    (fun (rel, wh, amb, failed) (r, est) ->
+                    (fun (rel, wh, amb, failed) (r, est, tier) ->
                       match Lineage.Approx.releasable ~beta est with
-                      | `Release -> (mk r est :: rel, wh, amb, failed)
+                      | `Release -> (mk r est tier :: rel, wh, amb, failed)
                       | `Ambiguous -> (rel, wh + 1, amb + 1, failed)
                       | `Withhold ->
                         ( rel,

@@ -99,6 +99,11 @@ type released = {
   tuple : Relational.Tuple.t;
   lineage : Lineage.Formula.t;
   confidence : float;
+  conf_tier : string;
+      (** which confidence tier produced [confidence] — ["safe_plan"],
+          ["var"], ["circuit"], ["cached"], or a ladder rung name
+          ([read_once], [shannon], [obdd], [monte_carlo]) — so degraded
+          vs. exact answers are auditable per tuple *)
 }
 
 type proposal = {

@@ -4,9 +4,16 @@ type t = {
   key : string;
   plan : Relational.Algebra.t;
   base_relations : string list;
+  safe : bool;
+      (* Safe_plan verdict, decided once at compile time: the plan is
+         static, so safety is a property of the prepared entry *)
   structural_epoch : int;
   views_epoch : int;
   mutable evaluated : (int * Relational.Eval.annotated) option;
+  mutable confs : (int * float array) option;
+      (* safe-plan confidences, keyed by the confidence epoch they were
+         computed under (row memoization above is structural-epoch-keyed;
+         confidences go stale faster) *)
 }
 
 let ( let* ) = Result.bind
@@ -16,6 +23,7 @@ let key_of_query = Query.to_string
 let key t = t.key
 let plan t = t.plan
 let base_relations t = t.base_relations
+let safe t = t.safe
 let structural_epoch t = t.structural_epoch
 let views_epoch t = t.views_epoch
 
@@ -32,9 +40,11 @@ let compile ?obs ~db ~views query =
       key = key_of_query query;
       plan;
       base_relations = Relational.Algebra.base_relations plan;
+      safe = Relational.Safe_plan.analyze plan;
       structural_epoch = Db.structural_epoch db;
       views_epoch = Relational.Views.epoch views;
       evaluated = None;
+      confs = None;
     }
 
 let valid t ~db ~views =
@@ -52,3 +62,45 @@ let eval ?obs t ~db =
     let* res = Relational.Col_eval.run db t.plan in
     t.evaluated <- Some (Db.structural_epoch db, res);
     Ok res
+
+let row_confs db (res : Relational.Eval.annotated) =
+  let p = Db.confidence_fn db in
+  Array.of_list
+    (List.map
+       (fun (r : Relational.Eval.row) ->
+         Lineage.Prob.confidence p r.Relational.Eval.lineage)
+       res.Relational.Eval.rows)
+
+(* [eval] plus safe-plan confidences.  For a safe plan (with the circuit
+   fast path on), the cold evaluation computes confidences during batch
+   evaluation ([Col_eval.run_conf]); memo hits whose confidence epoch
+   moved refresh them with one linear read-once pass over the memoized
+   rows.  [None] confidences mean the caller runs the ladder as before. *)
+let eval_conf ?obs t ~db =
+  if not (t.safe && Lineage.Circuit.enabled ()) then
+    let* res = eval ?obs t ~db in
+    Ok (res, None)
+  else
+    let se = Db.structural_epoch db and ce = Db.confidence_epoch db in
+    match t.evaluated with
+    | Some (epoch, res) when epoch = se -> (
+      Obs.incr obs "serving.eval_reused";
+      match t.confs with
+      | Some (cepoch, confs) when cepoch = ce -> Ok (res, Some confs)
+      | _ ->
+        let confs = row_confs db res in
+        t.confs <- Some (ce, confs);
+        Ok (res, Some confs))
+    | _ -> (
+      let* res, confs = Relational.Col_eval.run_conf db t.plan in
+      t.evaluated <- Some (se, res);
+      match confs with
+      | Some confs ->
+        t.confs <- Some (ce, confs);
+        Ok (res, Some confs)
+      | None ->
+        (* [run_conf] re-checks the kill switch; if it flipped between
+           our check and the run, recompute inline for consistency *)
+        let confs = row_confs db res in
+        t.confs <- Some (ce, confs);
+        Ok (res, Some confs))

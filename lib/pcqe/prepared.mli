@@ -39,6 +39,11 @@ val plan : t -> Relational.Algebra.t
 val base_relations : t -> string list
 (** Base relations of the final plan — what RBAC checks per principal. *)
 
+val safe : t -> bool
+(** The {!Relational.Safe_plan} verdict for the compiled plan, decided
+    once at prepare time: [true] means every result row provably carries
+    read-once lineage, so {!eval_conf} can compute confidences inline. *)
+
 val structural_epoch : t -> int
 val views_epoch : t -> int
 
@@ -55,3 +60,18 @@ val eval :
     database's structural epoch still matches (counted as
     [serving.eval_reused]).  The cache holds one epoch: a structural
     mutation re-evaluates and replaces it. *)
+
+val eval_conf :
+  ?obs:Obs.t ->
+  t ->
+  db:Relational.Database.t ->
+  (Relational.Eval.annotated * float array option, string) result
+(** {!eval} plus the safe-plan confidence fast path: when {!safe} and
+    {!Lineage.Circuit.enabled}, also returns per-row confidences
+    (index-aligned with the result rows) computed during batch
+    evaluation — bitwise what the degradation ladder would report for
+    the same rows.  Confidences are memoized per confidence epoch
+    alongside the structural-epoch row memo; a confidence-only mutation
+    refreshes them with one linear pass.  [None] means the plan is not
+    safe (or the fast path is off) and the caller must price the
+    ladder/cache path as before. *)

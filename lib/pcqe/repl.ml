@@ -269,12 +269,20 @@ let meta t line =
         List.iteri
           (fun i row ->
             if i < 20 then begin
+              let tier = ref "read_once" in
+              let est =
+                Lineage.Approx.confidence
+                  ~on_tier:(fun t -> tier := Lineage.Approx.tier_name t)
+                  p row.Relational.Eval.lineage
+              in
+              ignore est;
               Buffer.add_string buf
                 (Printf.sprintf "%s  confidence %.4f\n"
                    (Relational.Tuple.to_string row.Relational.Eval.tuple)
                    (Relational.Eval.confidence t.ctx.Engine.db row));
               Buffer.add_string buf
-                (Lineage.Explain.to_string p row.Relational.Eval.lineage)
+                (Lineage.Explain.to_string ~tier:!tier p
+                   row.Relational.Eval.lineage)
             end)
           res.Relational.Eval.rows;
         if List.length res.Relational.Eval.rows > 20 then

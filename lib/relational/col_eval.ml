@@ -608,3 +608,52 @@ let run ?pool db plan =
   let* schema = Algebra.output_schema db plan in
   let* rows = run_rows ?pool db plan in
   Ok { Eval.schema; rows }
+
+(* Safe-plan fast path (see [Eval.run_conf]): confidences computed during
+   batch evaluation.  A fully vectorized plan keeps [Tids] lineage, whose
+   row confidence IS the cached base-confidence column — one array read
+   per row, no formula walk at all.  Dedup pipelines ([Forms]) and hybrid
+   fallbacks use the linear read-once evaluator per row.  Either way the
+   values are bitwise what the ladder's read-once rung returns. *)
+let run_conf ?pool db plan =
+  let safe () = Lineage.Circuit.enabled () && Safe_plan.analyze plan in
+  if not (enabled ()) then
+    if safe () then Eval.run_conf db plan
+    else
+      let* res = Eval.run db plan in
+      Ok (res, None)
+  else if not (safe ()) then
+    let* res = run ?pool db plan in
+    Ok (res, None)
+  else
+    let* schema = Algebra.output_schema db plan in
+    match compile_plan db plan with
+    | Some exec ->
+      (* scan batches are cached across confidence epochs; force the
+         refresh [scan_batch] performs so the conf column is current *)
+      List.iter
+        (fun name -> ignore (scan_batch db name))
+        (Algebra.base_relations plan);
+      let b = exec pool in
+      let rows = Colbatch.to_rows b in
+      let n = Colbatch.length b in
+      let confs =
+        match b.Colbatch.lin with
+        | Colbatch.Tids _ ->
+          Array.init n (fun i -> b.Colbatch.conf.(Colbatch.phys b i))
+        | Colbatch.Forms _ ->
+          let p = Database.confidence_fn db in
+          Array.init n (fun i ->
+              Lineage.Prob.confidence p (Colbatch.lineage b i))
+      in
+      Ok ({ Eval.schema; rows }, Some confs)
+    | None ->
+      let* rows = run_rows ?pool db plan in
+      let p = Database.confidence_fn db in
+      let confs =
+        Array.of_list
+          (List.map
+             (fun (r : Eval.row) -> Lineage.Prob.confidence p r.lineage)
+             rows)
+      in
+      Ok ({ Eval.schema; rows }, Some confs)

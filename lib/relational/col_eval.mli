@@ -53,6 +53,19 @@ val run_rows :
   (Eval.row list, string) result
 (** {!run} without the output schema. *)
 
+val run_conf :
+  ?pool:Exec.Pool.t ->
+  Database.t ->
+  Algebra.t ->
+  (Eval.annotated * float array option, string) result
+(** Columnar counterpart of {!Eval.run_conf}: evaluates [plan] and, when
+    the static {!Safe_plan} analysis proves it safe (and
+    {!Lineage.Circuit.enabled}), returns per-row confidences computed
+    during batch evaluation — for fully vectorized pipelines the values
+    come straight from the cached confidence column (one array read per
+    row, no formula walk); dedup and hybrid paths use the linear
+    read-once evaluator.  [None] means the ladder must be consulted. *)
+
 val scan_batch : Database.t -> string -> Colbatch.t option
 (** The cached columnar image of a base relation with its confidence
     column refreshed to the database's current confidence epoch, or

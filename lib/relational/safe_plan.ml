@@ -1,0 +1,52 @@
+module StrSet = Set.Make (String)
+
+(* per-subplan safety bits: [ro] — every output row's lineage read-once;
+   [pd] — distinct rows have pairwise-disjoint variable sets *)
+type bits = { ro : bool; pd : bool }
+
+let unsafe = { ro = false; pd = false }
+
+let rels plan = StrSet.of_list (Algebra.base_relations plan)
+let disjoint a b = StrSet.is_empty (StrSet.inter (rels a) (rels b))
+
+let rec go (plan : Algebra.t) : bits =
+  match plan with
+  | Scan _ -> { ro = true; pd = true }
+  (* per-row predicate: filters rows, lineage untouched *)
+  | Select (_, p) -> go p
+  (* membership events conjoin shared subquery lineage into every
+     surviving row — never safe *)
+  | Select_sub _ -> unsafe
+  (* duplicate elimination merges collapsed rows with a disjunction:
+     read-once iff the merged rows were read-once AND pairwise disjoint;
+     the resulting groups partition the input rows, so disjointness is
+     preserved too *)
+  | Project (_, p) | Distinct p | Group_by (_, _, p) ->
+    let b = go p in
+    if b.ro && b.pd then { ro = true; pd = true } else unsafe
+  (* join: sides over disjoint base relations cannot share variables, so
+     the conjunction of two read-once rows is read-once; one left row
+     may pair with many right rows, so row disjointness is lost *)
+  | Join (_, a, b) ->
+    let ba = go a and bb = go b in
+    if ba.ro && bb.ro && disjoint a b then { ro = true; pd = false }
+    else unsafe
+  (* left join: a padded row negates the disjunction of its matching
+     right lineages — that disjunction is read-once only if the right
+     rows are pairwise disjoint *)
+  | Left_join (_, a, b) ->
+    let ba = go a and bb = go b in
+    if ba.ro && bb.ro && bb.pd && disjoint a b then { ro = true; pd = false }
+    else unsafe
+  (* set operators pair/merge one row from each side: with disjoint
+     relations and both sides {ro, pd}, every combined formula is
+     read-once and the outputs stay disjoint *)
+  | Union (a, b) | Intersect (a, b) | Diff (a, b) ->
+    let ba = go a and bb = go b in
+    if ba.ro && ba.pd && bb.ro && bb.pd && disjoint a b then
+      { ro = true; pd = true }
+    else unsafe
+  (* lineage-transparent operators *)
+  | Rename (_, p) | Order_by (_, p) | Limit (_, p) -> go p
+
+let analyze plan = (go plan).ro

@@ -1,0 +1,29 @@
+(** Static safety analysis for confidence computation.
+
+    A plan is {e safe} (hierarchical, in the Dalvi–Suciu sense adapted to
+    this algebra) when every output row's lineage formula is provably
+    read-once: each base tuple variable occurs at most once in it.  For
+    such rows exact confidence is the linear independent-product
+    ({!Lineage.Prob.read_once}) — no Shannon expansion, no OBDD, no
+    sampling, no per-class caching.  The analysis is purely syntactic
+    over the compiled algebra, sound but incomplete: [false] only means
+    the ladder must be consulted, never that the plan is wrong.
+
+    The lattice tracks two bits per subplan:
+
+    - [ro] — every output row's lineage is read-once;
+    - [pd] — distinct output rows have pairwise-disjoint variable sets
+      (needed to keep [ro] through duplicate-eliminating operators,
+      whose merged lineage is a disjunction over the collapsed rows).
+
+    Scans give both.  Joins over disjoint base-relation sets keep [ro]
+    (the two sides' variables cannot collide) but lose [pd] (one left
+    row can pair with many right rows).  Projection, distinct, group-by
+    and the set operators need both bits below them.  Subquery
+    selections conjoin shared membership events into many rows and are
+    always unsafe.  A self-join — the same base relation on both sides —
+    fails the disjointness test and is correctly rejected. *)
+
+val analyze : Algebra.t -> bool
+(** [analyze plan] is [true] when every row produced by [plan] is
+    guaranteed to carry read-once lineage. *)

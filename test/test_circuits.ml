@@ -1,0 +1,271 @@
+(* Tests for d-DNNF lineage circuits: bitwise agreement with the exact
+   evaluator (the identity contract the serving layer relies on), the
+   node-cap fallback boundary, the kill switch, and end-to-end solver
+   identity — circuit-backed vs ladder-backed compiled evaluators must
+   produce the same strategy-finding outcome for every solver at every
+   jobs level. *)
+
+module F = Lineage.Formula
+module P = Lineage.Prob
+module C = Lineage.Circuit
+module Tid = Lineage.Tid
+module Problem = Optimize.Problem
+module Solver = Optimize.Solver
+
+let v i = F.var (Tid.make "t" i)
+let p_by_row values (tid : Tid.t) = values.(tid.Tid.row)
+
+let bitwise_equal a b = Int64.bits_of_float a = Int64.bits_of_float b
+
+let with_circuits on f =
+  C.force (Some on);
+  Fun.protect ~finally:(fun () -> C.force None) f
+
+(* ------------------------------------------------------------------ *)
+(* unit tests *)
+
+let test_paper_example () =
+  (* (t2 | t3) & t13 — read-once, decomposes without decisions *)
+  let f = F.conj [ F.disj [ v 2; v 3 ]; v 13 ] in
+  let p (tid : Tid.t) =
+    match tid.Tid.row with 2 -> 0.3 | 3 -> 0.4 | 13 -> 0.1 | _ -> 0.0
+  in
+  let c = C.compile f in
+  Alcotest.(check bool)
+    "bitwise vs exact" true
+    (bitwise_equal (C.eval c p) (P.exact p f));
+  Alcotest.(check (float 1e-12)) "value" 0.058 (C.eval c p);
+  Alcotest.(check int) "no decisions" 0 (C.decisions c)
+
+let test_shared_vars_need_decisions () =
+  (* (t0 & t1) | (t0 & t2): t0 is shared — the circuit must decide on it *)
+  let f = F.disj [ F.conj [ v 0; v 1 ]; F.conj [ v 0; v 2 ] ] in
+  let p = p_by_row [| 0.5; 0.4; 0.2 |] in
+  let c = C.compile f in
+  Alcotest.(check bool) "has decisions" true (C.decisions c > 0);
+  Alcotest.(check bool)
+    "bitwise vs exact" true
+    (bitwise_equal (C.eval c p) (P.exact p f))
+
+let test_reeval_under_new_confidences () =
+  (* the whole point: compile once, evaluate under many vectors *)
+  let f = F.disj [ F.conj [ v 0; v 1 ]; F.conj [ v 1; v 2 ]; v 0 ] in
+  let c = C.compile f in
+  List.iter
+    (fun values ->
+      let p = p_by_row values in
+      Alcotest.(check bool)
+        "bitwise vs exact" true
+        (bitwise_equal (C.eval c p) (P.exact p f)))
+    [
+      [| 0.1; 0.2; 0.3 |]; [| 0.9; 0.5; 0.05 |]; [| 0.0; 1.0; 0.5 |];
+      [| 0.25; 0.25; 0.25 |];
+    ]
+
+let test_constants_and_negation () =
+  let p = p_by_row [| 0.3 |] in
+  Alcotest.(check (float 0.0)) "true" 1.0 (C.eval (C.compile F.tru) p);
+  Alcotest.(check (float 0.0)) "false" 0.0 (C.eval (C.compile F.fls) p);
+  let f = F.neg (v 0) in
+  Alcotest.(check bool)
+    "negation" true
+    (bitwise_equal (C.eval (C.compile f) p) (P.exact p f))
+
+let test_node_cap_boundary () =
+  let f = F.disj [ F.conj [ v 0; v 1 ]; F.conj [ v 0; v 2 ] ] in
+  let full = C.compile f in
+  let n = C.size full in
+  (* exactly enough nodes compiles; one fewer must refuse *)
+  Alcotest.(check int) "cap = size compiles" n (C.size (C.compile ~node_cap:n f));
+  Alcotest.(check bool)
+    "cap - 1 raises" true
+    (match C.compile ~node_cap:(n - 1) f with
+    | exception C.Node_cap_exceeded -> true
+    | _ -> false);
+  Alcotest.(check bool)
+    "compile_opt returns None" true
+    (C.compile_opt ~node_cap:(n - 1) f = None);
+  Alcotest.(check bool)
+    "compile_opt at cap succeeds" true
+    (C.compile_opt ~node_cap:n f <> None)
+
+let test_force_overrides () =
+  C.force (Some false);
+  Alcotest.(check bool) "forced off" false (C.enabled ());
+  C.force (Some true);
+  Alcotest.(check bool) "forced on" true (C.enabled ());
+  C.force None;
+  Alcotest.(check bool) "default on" true (C.enabled ())
+
+let test_env_kill_switch () =
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "PCQE_CIRCUITS" "")
+    (fun () ->
+      Unix.putenv "PCQE_CIRCUITS" "0";
+      Alcotest.(check bool) "PCQE_CIRCUITS=0" false (C.enabled ());
+      Unix.putenv "PCQE_CIRCUITS" "off";
+      Alcotest.(check bool) "PCQE_CIRCUITS=off" false (C.enabled ());
+      Unix.putenv "PCQE_CIRCUITS" "1";
+      Alcotest.(check bool) "PCQE_CIRCUITS=1" true (C.enabled ());
+      (* force beats the environment *)
+      Unix.putenv "PCQE_CIRCUITS" "0";
+      C.force (Some true);
+      Alcotest.(check bool) "force beats env" true (C.enabled ());
+      C.force None)
+
+(* ------------------------------------------------------------------ *)
+(* properties: Circuit.eval ≡ Prob.exact, bit for bit *)
+
+(* random formulas over a small variable pool — repetition across
+   branches yields shared variables (decision nodes) and, with
+   hash-consing, shared subformulas (memoized circuit nodes) *)
+let gen_formula =
+  QCheck.Gen.(
+    sized
+    @@ fix (fun self n ->
+           if n <= 1 then map (fun i -> v i) (int_range 0 3)
+           else
+             frequency
+               [
+                 (2, map (fun i -> v i) (int_range 0 3));
+                 (1, map F.neg (self (n / 2)));
+                 (2, map F.conj (list_size (int_range 2 3) (self (n / 2))));
+                 (2, map F.disj (list_size (int_range 2 3) (self (n / 2))));
+               ]))
+
+let arb_formula = QCheck.make ~print:F.to_string gen_formula
+
+let qcheck_eval_bitwise_exact =
+  QCheck.Test.make ~name:"Circuit.eval is bitwise Prob.exact" ~count:500
+    arb_formula (fun f ->
+      let p = p_by_row [| 0.23; 0.48; 0.61; 0.87 |] in
+      bitwise_equal (C.eval (C.compile f) p) (P.exact p f))
+
+let qcheck_shared_subformulas =
+  (* duplicate the generated formula inside a conjunction/disjunction:
+     hash-consing makes both branches the same node, so the circuit must
+     share (memoize) the compiled subcircuit and still agree bitwise *)
+  QCheck.Test.make ~name:"shared subformulas agree bitwise" ~count:300
+    arb_formula (fun f ->
+      let g = F.disj [ F.conj [ f; v 0 ]; F.conj [ f; v 1 ]; f ] in
+      let p = p_by_row [| 0.31; 0.57; 0.79; 0.11 |] in
+      bitwise_equal (C.eval (C.compile g) p) (P.exact p g))
+
+let qcheck_cap_is_all_or_nothing =
+  (* a capped compile either yields a circuit that agrees bitwise, or
+     refuses cleanly — never a wrong value *)
+  QCheck.Test.make ~name:"node cap: agree or refuse" ~count:300
+    (QCheck.pair arb_formula QCheck.small_nat) (fun (f, cap) ->
+      let p = p_by_row [| 0.42; 0.17; 0.66; 0.93 |] in
+      match C.compile_opt ~node_cap:(cap + 1) f with
+      | None -> true
+      | Some c -> bitwise_equal (C.eval c p) (P.exact p f))
+
+(* ------------------------------------------------------------------ *)
+(* solver identity: circuit-backed vs ladder-backed compiled evaluators *)
+
+(* dyadic confidences and δ keep every evaluator's float arithmetic
+   exact, so outcomes can be compared with (=) rather than a tolerance *)
+let entangled_dyadic ~num_bases ~num_results ~width ~required ~seed () =
+  let rng = Prng.Splitmix.of_int seed in
+  let dyadics = [| 0.125; 0.25; 0.375; 0.5 |] in
+  let bases =
+    List.init num_bases (fun i ->
+        {
+          Problem.tid = Tid.make "cir" i;
+          p0 = dyadics.(Prng.Splitmix.int rng 4);
+          cap = 1.0;
+          cost = Cost.Cost_model.random rng;
+        })
+  in
+  let tids = Array.of_list (List.map (fun b -> b.Problem.tid) bases) in
+  let formulas =
+    List.init num_results (fun j ->
+        F.disj
+          (List.init (width - 1) (fun i ->
+               let a = tids.((j + i) mod num_bases) in
+               let b = tids.((j + i + 1) mod num_bases) in
+               F.conj [ F.var a; F.var b ])))
+  in
+  Problem.make_exn ~delta:0.25 ~incremental:true ~beta:0.6 ~required ~bases
+    ~formulas ()
+
+let solvers =
+  [
+    ("greedy", Solver.greedy);
+    ("divide-and-conquer", Solver.divide_conquer);
+    ( "annealing",
+      Solver.Annealing
+        { Optimize.Annealing.default_config with iterations = 20_000 } );
+    ("heuristic", Solver.Heuristic Optimize.Heuristic.default_config);
+  ]
+
+let test_solver_identity () =
+  let make on =
+    with_circuits on (fun () ->
+        entangled_dyadic ~num_bases:10 ~num_results:8 ~width:4 ~required:3
+          ~seed:7 ())
+  in
+  let pb_circ = make true in
+  let pb_ladder = make false in
+  (* the A/B is real: at least one class must actually be circuit-backed *)
+  let kind_count pb kind =
+    let n = ref 0 in
+    for cid = 0 to Problem.num_classes pb - 1 do
+      if Problem.evaluator_kind pb cid = kind then incr n
+    done;
+    !n
+  in
+  Alcotest.(check bool)
+    "some circuit-backed classes" true
+    (kind_count pb_circ "circuit" > 0);
+  Alcotest.(check int) "no circuits when forced off" 0
+    (kind_count pb_ladder "circuit");
+  List.iter
+    (fun (sname, algorithm) ->
+      List.iter
+        (fun jobs ->
+          let solve pb = Solver.solve ~algorithm ~jobs pb in
+          let oc = solve pb_circ in
+          let ol = solve pb_ladder in
+          let label = Printf.sprintf "%s jobs=%d" sname jobs in
+          Alcotest.(check bool)
+            (label ^ ": solutions equal") true
+            (oc.Solver.solution = ol.Solver.solution);
+          Alcotest.(check (list int))
+            (label ^ ": satisfied equal") ol.Solver.satisfied
+            oc.Solver.satisfied;
+          Alcotest.(check bool)
+            (label ^ ": costs bitwise equal") true
+            (bitwise_equal oc.Solver.cost ol.Solver.cost))
+        [ 1; 2; 4 ])
+    solvers
+
+let () =
+  Alcotest.run "circuits"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "paper example" `Quick test_paper_example;
+          Alcotest.test_case "shared vars decide" `Quick
+            test_shared_vars_need_decisions;
+          Alcotest.test_case "re-eval under new p" `Quick
+            test_reeval_under_new_confidences;
+          Alcotest.test_case "constants and negation" `Quick
+            test_constants_and_negation;
+          Alcotest.test_case "node-cap boundary" `Quick test_node_cap_boundary;
+          Alcotest.test_case "force overrides" `Quick test_force_overrides;
+          Alcotest.test_case "env kill switch" `Quick test_env_kill_switch;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest qcheck_eval_bitwise_exact;
+          QCheck_alcotest.to_alcotest qcheck_shared_subformulas;
+          QCheck_alcotest.to_alcotest qcheck_cap_is_all_or_nothing;
+        ] );
+      ( "solver identity",
+        [
+          Alcotest.test_case "four solvers x jobs 1/2/4" `Quick
+            test_solver_identity;
+        ] );
+    ]
