@@ -1719,6 +1719,308 @@ let sweep_circuits ?(rows = 2000) ?(reps = 3) ?(epochs = 48) ?(seed = 17) () =
 
 (* ------------------------------------------------------------------ *)
 
+(* sweep-server: the fault-tolerant serving tier end to end, over a
+   real unix-domain socket.  Three points:
+
+     identity    — every wire answer's canonical body is compared
+                   byte-for-byte against a per-principal in-process
+                   Engine.Session.batch over the same request streams
+                   (the wire adds framing, admission and sessions, but
+                   must never change an answer)
+     throughput  — a closed-loop Load_gen panel drives the server with
+                   concurrent principals; sustained QPS and p50/p99
+                   latency come from the generator's Hdr sketch, along
+                   with shed / timeout / retry counts
+     chaos       — with every net.* fault site armed, every request
+                   still reaches a terminal outcome (answer, shed,
+                   timeout or failure — never silence), and the first
+                   post-chaos answer is again bit-identical to a fresh
+                   in-process session
+
+   The identity and chaos points fail the panel hard; the numbers go
+   to BENCH_server.json. *)
+
+let server_json_path = "BENCH_server.json"
+
+let sweep_server ?(rows = 1500) ?(principals = 4) ?(requests = 30)
+    ?(chaos_requests = 8) ?(seed = 47) () =
+  header "sweep-server: wire serving tier — identity, throughput, chaos";
+  let sock =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pcqe_bench_srv_%d.sock" (Unix.getpid ()))
+  in
+  let with_server ?config ctx f =
+    if Sys.file_exists sock then Sys.remove sock;
+    let server = Net.Server.start ?config ~ctx (Net.Server.Unix_path sock) in
+    Fun.protect
+      ~finally:(fun () ->
+        Net.Server.stop server;
+        if Sys.file_exists sock then Sys.remove sock)
+      (fun () -> f server)
+  in
+  let purpose = "serve" in
+  let queries =
+    [| serving_sql; "SELECT k FROM R WHERE n < 40"; "SELECT k FROM R" |]
+  in
+  (* (1) identity over the wire *)
+  let identity_entry =
+    let reps = 4 in
+    let ctx, users = serving_context ~rows ~principals ~seed () in
+    let stream u =
+      List.concat
+        (List.init reps (fun _ ->
+             List.map (fun sql -> (u, sql)) (Array.to_list queries)))
+    in
+    let wire_bodies, t_wire =
+      time (fun () ->
+          with_server ctx (fun server ->
+              List.map
+                (fun u ->
+                  let client =
+                    Net.Client.create ~seed (Net.Server.address server)
+                  in
+                  Fun.protect
+                    ~finally:(fun () -> Net.Client.close client)
+                    (fun () ->
+                      List.map
+                        (fun (user, sql) ->
+                          match
+                            Net.Client.query client ~user ~purpose ~perc:0.6
+                              sql
+                          with
+                          | Net.Client.Answer a -> a.Net.Wire.body
+                          | o ->
+                              failwith
+                                (Printf.sprintf
+                                   "sweep-server: wire query for %s not \
+                                    answered (%s)"
+                                   user
+                                   (Net.Client.outcome_label o)))
+                        (stream u)))
+                users))
+    in
+    let local_bodies =
+      List.map
+        (fun u ->
+          let session = Pcqe.Engine.Session.create ctx in
+          Pcqe.Engine.Session.batch session
+            (List.map
+               (fun (user, sql) ->
+                 { Pcqe.Engine.query = Pcqe.Query.sql sql; user; purpose;
+                   perc = 0.6 })
+               (stream u))
+          |> List.map (fun r ->
+                 match r with
+                 | Ok resp -> Net.Wire.body_of_response resp
+                 | Error m -> failwith ("sweep-server: local error: " ^ m)))
+        users
+    in
+    let compared = ref 0 in
+    List.iter2
+      (fun ws ls ->
+        List.iteri
+          (fun i (w, l) ->
+            incr compared;
+            if not (String.equal w l) then
+              failwith
+                (Printf.sprintf
+                   "sweep-server: response %d differs between wire and \
+                    Session.batch"
+                   i))
+          (List.combine ws ls))
+      wire_bodies local_bodies;
+    row "  %-24s %d principals x %d requests  %7.4fs  (all bit-identical)\n"
+      "identity vs batch" principals (reps * Array.length queries) t_wire;
+    Printf.sprintf
+      "  \"identity\": \
+       {\"rows\":%d,\"principals\":%d,\"requests\":%d,\"wire_s\":%g,\"identical\":true}"
+      rows principals !compared t_wire
+  in
+  (* (2) closed-loop throughput *)
+  let throughput_entry =
+    let ctx, users = serving_context ~rows ~principals ~seed () in
+    let user_arr = Array.of_list users in
+    with_server ctx (fun server ->
+        let clients =
+          Array.init principals (fun i ->
+              Net.Client.create ~seed:(seed + (i * 7919))
+                (Net.Server.address server))
+        in
+        Fun.protect
+          ~finally:(fun () -> Array.iter Net.Client.close clients)
+          (fun () ->
+            let report =
+              Workload.Load_gen.run
+                {
+                  Workload.Load_gen.principals;
+                  requests_per_principal = requests;
+                  think_ms = 0.0;
+                  zipf_s = 1.1;
+                  seed;
+                }
+                ~queries
+                ~user_of:(fun i -> user_arr.(i mod Array.length user_arr))
+                ~exec:(fun ~principal ~user ~sql ->
+                  match
+                    Net.Client.query clients.(principal) ~user ~purpose
+                      ~perc:0.6 sql
+                  with
+                  | Net.Client.Answer a ->
+                      Workload.Load_gen.Answered
+                        { degraded = a.Net.Wire.degraded <> None }
+                  | Net.Client.Shed _ -> Workload.Load_gen.Shed
+                  | Net.Client.Timed_out _ -> Workload.Load_gen.Timed_out
+                  | Net.Client.Accepted _ ->
+                      Workload.Load_gen.Failed "unexpected accept"
+                  | Net.Client.Failed m -> Workload.Load_gen.Failed m)
+            in
+            let open Workload.Load_gen in
+            if report.failed > 0 then
+              failwith "sweep-server: unfaulted load run had failures";
+            if report.total <> principals * requests then
+              failwith "sweep-server: load run lost requests";
+            let retries =
+              Array.fold_left
+                (fun acc c -> acc + Net.Client.retries_used c)
+                0 clients
+            in
+            let p50 = Obs.Hdr.quantile report.latency 0.5 in
+            let p99 = Obs.Hdr.quantile report.latency 0.99 in
+            row
+              "  %-24s %d x %d requests  %7.1f qps  p50 %.2fms  p99 %.2fms  \
+               (%d shed, %d timed out)\n"
+              "closed-loop throughput" principals requests report.qps
+              (p50 *. 1e3) (p99 *. 1e3) report.shed report.timed_out;
+            Printf.sprintf
+              "  \"throughput\": \
+               {\"rows\":%d,\"principals\":%d,\"requests_per_principal\":%d,\"total\":%d,\"answered\":%d,\"degraded\":%d,\"shed\":%d,\"timed_out\":%d,\"failed\":%d,\"elapsed_s\":%g,\"qps\":%g,\"p50_s\":%g,\"p99_s\":%g,\"retries\":%d}"
+              rows principals requests report.total report.answered
+              report.degraded report.shed report.timed_out report.failed
+              report.elapsed_s report.qps p50 p99 retries))
+  in
+  (* (3) wire-level chaos: armed net.* faults, every request terminal *)
+  let chaos_entry =
+    let ctx, users = serving_context ~rows ~principals ~seed () in
+    let user_arr = Array.of_list users in
+    with_server ctx (fun server ->
+        let clients =
+          Array.init principals (fun i ->
+              Net.Client.create
+                ~config:
+                  {
+                    Net.Client.default_config with
+                    Net.Client.retries = 2;
+                    request_timeout_ms = 2000.0;
+                  }
+                ~seed:(seed + 13 + (i * 101))
+                (Net.Server.address server))
+        in
+        Fun.protect
+          ~finally:(fun () -> Array.iter Net.Client.close clients)
+          (fun () ->
+            let plan =
+              Resilience.Fault.plan ~rate:0.2
+                ~sites:
+                  [
+                    Resilience.Fault.site_net_accept;
+                    Resilience.Fault.site_net_read;
+                    Resilience.Fault.site_net_write;
+                    Resilience.Fault.site_net_delay;
+                  ]
+                ~seed ()
+            in
+            let report =
+              Resilience.Fault.with_plan plan (fun () ->
+                  Workload.Load_gen.run
+                    {
+                      Workload.Load_gen.principals;
+                      requests_per_principal = chaos_requests;
+                      think_ms = 0.0;
+                      zipf_s = 1.1;
+                      seed = seed + 1;
+                    }
+                    ~queries
+                    ~user_of:(fun i -> user_arr.(i mod Array.length user_arr))
+                    ~exec:(fun ~principal ~user ~sql ->
+                      match
+                        Net.Client.query clients.(principal) ~user ~purpose
+                          ~perc:0.6 sql
+                      with
+                      | Net.Client.Answer a ->
+                          Workload.Load_gen.Answered
+                            { degraded = a.Net.Wire.degraded <> None }
+                      | Net.Client.Shed _ -> Workload.Load_gen.Shed
+                      | Net.Client.Timed_out _ -> Workload.Load_gen.Timed_out
+                      | Net.Client.Accepted _ ->
+                          Workload.Load_gen.Failed "unexpected accept"
+                      | Net.Client.Failed m -> Workload.Load_gen.Failed m))
+            in
+            let open Workload.Load_gen in
+            (* terminality: chaos may shed, time out or fail individual
+               requests, but every single one must come back *)
+            if report.total <> principals * chaos_requests then
+              failwith "sweep-server: chaos run lost a request";
+            (* post-chaos identity: the server must still give the exact
+               in-process answer once the plan is disarmed *)
+            let probe =
+              Net.Client.create ~seed:(seed + 997)
+                (Net.Server.address server)
+            in
+            let wire_body =
+              Fun.protect
+                ~finally:(fun () -> Net.Client.close probe)
+                (fun () ->
+                  match
+                    Net.Client.query probe ~user:user_arr.(0) ~purpose
+                      ~perc:0.6 serving_sql
+                  with
+                  | Net.Client.Answer a -> a.Net.Wire.body
+                  | o ->
+                      failwith
+                        (Printf.sprintf
+                           "sweep-server: post-chaos probe not answered (%s)"
+                           (Net.Client.outcome_label o)))
+            in
+            let local_body =
+              let session = Pcqe.Engine.Session.create ctx in
+              match
+                Pcqe.Engine.Session.batch session
+                  [
+                    {
+                      Pcqe.Engine.query = Pcqe.Query.sql serving_sql;
+                      user = user_arr.(0);
+                      purpose;
+                      perc = 0.6;
+                    };
+                  ]
+              with
+              | [ Ok resp ] -> Net.Wire.body_of_response resp
+              | _ -> failwith "sweep-server: post-chaos local answer failed"
+            in
+            if not (String.equal wire_body local_body) then
+              failwith "sweep-server: post-chaos answer differs from batch";
+            let injected = Resilience.Fault.injected plan in
+            row
+              "  %-24s %d requests, %d faults injected  (%d answered, %d \
+               shed, %d timed out, %d failed; all terminal)\n"
+              "chaos, net.* armed" report.total injected report.answered
+              report.shed report.timed_out report.failed;
+            Printf.sprintf
+              "  \"chaos\": \
+               {\"rows\":%d,\"principals\":%d,\"requests_per_principal\":%d,\"total\":%d,\"answered\":%d,\"shed\":%d,\"timed_out\":%d,\"failed\":%d,\"injected\":%d,\"rate\":0.2,\"terminal\":true,\"post_chaos_identical\":true}"
+              rows principals chaos_requests report.total report.answered
+              report.shed report.timed_out report.failed injected))
+  in
+  let entries = [ identity_entry; throughput_entry; chaos_entry ] in
+  let oc = open_out server_json_path in
+  Printf.fprintf oc "{\n  %s,\n" (machine_fields ());
+  output_string oc (String.concat ",\n" entries);
+  output_string oc "\n}\n";
+  close_out oc;
+  row "  wrote %d points to %s\n" (List.length entries) server_json_path
+
+(* ------------------------------------------------------------------ *)
+
 (* smoke: every panel at tiny sizes, cheap enough to run under `dune
    runtest` — keeps the harness and both JSON artifact writers honest *)
 let smoke () =
@@ -1738,6 +2040,7 @@ let smoke () =
     ~bb_max_nodes:(Some 5_000) ();
   sweep_resilience ~size:200 ~seeds:3 ~deadline_ms:5.0 ();
   sweep_serving ~rows:300 ~reps:16 ~principal_counts:[ 1; 8 ] ();
+  sweep_server ~rows:200 ~principals:2 ~requests:6 ~chaos_requests:4 ();
   sweep_columnar ~sizes:[ 2000 ] ~reps:1 ();
   sweep_circuits ~rows:300 ~reps:1 ~epochs:4 ();
   micro ~quota:0.05 ~size:200 ()
@@ -1760,6 +2063,7 @@ let all_panels ~full ~jobs_levels () =
   sweep_incremental ();
   sweep_resilience ();
   sweep_serving ();
+  sweep_server ();
   sweep_columnar ~sizes:(if full then [ 100_000; 1_000_000 ] else [ 100_000 ]) ();
   sweep_circuits ();
   micro ()
@@ -1811,6 +2115,7 @@ let () =
         | "sweep-incremental" -> sweep_incremental ()
         | "sweep-resilience" -> sweep_resilience ()
         | "sweep-serving" -> sweep_serving ()
+        | "sweep-server" -> sweep_server ()
         | "sweep-columnar" -> sweep_columnar ()
         | "sweep-circuits" -> sweep_circuits ()
         | "smoke" -> smoke ()

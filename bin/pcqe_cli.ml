@@ -557,6 +557,143 @@ let run_export data_dir relation =
     1
 
 (* ------------------------------------------------------------------ *)
+(* serve subcommand: the fault-tolerant network serving tier *)
+
+let run_serve workspace data_dir rbac_file policy_file costs_file solver jobs
+    mc_fallback listen admit queue retry_after_ms default_deadline_ms
+    max_requests metrics_out metrics_format =
+  let result =
+    let* ctx =
+      build_context workspace data_dir rbac_file policy_file costs_file solver
+    in
+    let ctx =
+      match jobs with
+      | None -> ctx
+      | Some j -> { ctx with Pcqe.Engine.jobs = Exec.resolve_jobs ~jobs:j () }
+    in
+    let ctx = { ctx with Pcqe.Engine.mc_fallback } in
+    let* listen = Net.Server.listen_of_string listen in
+    let* default_deadline_ms =
+      match default_deadline_ms with
+      | Some ms when ms <= 0.0 ->
+        Error (Printf.sprintf "--default-deadline-ms %g: need a positive budget" ms)
+      | other -> Ok other
+    in
+    let config =
+      {
+        Net.Server.default_config with
+        admit;
+        queue;
+        retry_after_ms;
+        default_deadline_ms;
+      }
+    in
+    with_obs ~trace:false ~metrics_out ~metrics_format (fun obs ->
+        let server = Net.Server.start ?obs ~config ~ctx listen in
+        Printf.printf "pcqe: serving on %s (admit %d, queue %d)\n%!"
+          (Net.Server.listen_to_string (Net.Server.address server))
+          admit queue;
+        (* --max-requests N bounds the run (smoke tests, demos); 0 serves
+           until the process is killed *)
+        let rec wait () =
+          if max_requests > 0 && Net.Server.requests_served server >= max_requests
+          then ()
+          else begin
+            Thread.delay 0.05;
+            wait ()
+          end
+        in
+        wait ();
+        Net.Server.stop server;
+        print_endline "pcqe: server stopped; counters:";
+        List.iter
+          (fun (k, v) -> Printf.printf "  %-18s %d\n" k v)
+          (Net.Server.stats server);
+        Ok ())
+  in
+  match result with
+  | Ok () -> 0
+  | Error msg ->
+    Printf.eprintf "pcqe: %s\n" msg;
+    1
+
+(* ------------------------------------------------------------------ *)
+(* loadgen subcommand: closed-loop principals against a running server *)
+
+let run_loadgen connect users purpose perc sqls requests think_ms zipf_s
+    deadline_ms timeout_ms retries seed =
+  let result =
+    let* addr = Net.Server.listen_of_string connect in
+    let users =
+      String.split_on_char ',' users
+      |> List.map String.trim
+      |> List.filter (( <> ) "")
+      |> Array.of_list
+    in
+    let* () = if Array.length users = 0 then Error "--users: need at least one" else Ok () in
+    let* queries =
+      match sqls with
+      | [] -> Error "need at least one --sql"
+      | qs -> Ok (Array.of_list qs)
+    in
+    let* deadline_ms =
+      match deadline_ms with
+      | Some ms when ms <= 0.0 ->
+        Error (Printf.sprintf "--deadline-ms %g: need a positive budget" ms)
+      | other -> Ok other
+    in
+    let client_config =
+      {
+        Net.Client.default_config with
+        request_timeout_ms = timeout_ms;
+        retries;
+      }
+    in
+    let clients =
+      Array.init (Array.length users) (fun i ->
+          Net.Client.create ~config:client_config ~seed:(seed + (i * 7919)) addr)
+    in
+    let report =
+      Workload.Load_gen.run
+        {
+          Workload.Load_gen.principals = Array.length users;
+          requests_per_principal = requests;
+          think_ms;
+          zipf_s;
+          seed;
+        }
+        ~queries
+        ~user_of:(fun i -> users.(i))
+        ~exec:(fun ~principal ~user ~sql ->
+          match
+            Net.Client.query clients.(principal) ~user ~purpose ~perc
+              ?deadline_ms sql
+          with
+          | Net.Client.Answer a ->
+            Workload.Load_gen.Answered { degraded = a.Net.Wire.degraded <> None }
+          | Net.Client.Shed _ -> Workload.Load_gen.Shed
+          | Net.Client.Timed_out _ -> Workload.Load_gen.Timed_out
+          | Net.Client.Accepted _ -> Workload.Load_gen.Failed "unexpected accept"
+          | Net.Client.Failed m -> Workload.Load_gen.Failed m)
+    in
+    let retries_total =
+      Array.fold_left (fun acc c -> acc + Net.Client.retries_used c) 0 clients
+    in
+    let breaker_total =
+      Array.fold_left (fun acc c -> acc + Net.Client.breaker_opens c) 0 clients
+    in
+    Array.iter Net.Client.close clients;
+    print_endline (Workload.Load_gen.report_to_string report);
+    Printf.printf "retries %d  breaker-opens %d\n" retries_total breaker_total;
+    Ok ()
+  in
+  match result with
+  | Ok () -> 0
+  | Error msg ->
+    Printf.eprintf "pcqe: %s\n" msg;
+    1
+
+(* ------------------------------------------------------------------ *)
 (* cmdliner wiring *)
 
 open Cmdliner
@@ -905,6 +1042,181 @@ let export_cmd =
   let doc = "print a relation (with confidences) as CSV" in
   Cmd.v (Cmd.info "export" ~doc) Term.(const run_export $ data_arg $ rel_arg)
 
+let serve_cmd =
+  let rbac_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "rbac" ] ~docv:"FILE" ~doc:"RBAC definition file.")
+  in
+  let policy_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "policies" ] ~docv:"FILE" ~doc:"Confidence policy file.")
+  in
+  let costs_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "costs" ] ~docv:"FILE" ~doc:"Per-tuple cost functions.")
+  in
+  let mc_fallback_arg =
+    Arg.(
+      value & flag
+      & info [ "mc-fallback" ]
+          ~doc:"Monte-Carlo confidence fallback (fail-closed).")
+  in
+  let listen_arg =
+    Arg.(
+      value
+      & opt string "tcp:127.0.0.1:7419"
+      & info [ "listen" ] ~docv:"ADDR"
+          ~doc:"Listen address: $(b,tcp:HOST:PORT) (port 0 = ephemeral) or \
+                $(b,unix:PATH).")
+  in
+  let admit_arg =
+    Arg.(
+      value & opt int Net.Server.default_config.Net.Server.admit
+      & info [ "admit" ] ~docv:"N"
+          ~doc:"Maximum concurrently executing requests.")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int Net.Server.default_config.Net.Server.queue
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Maximum requests waiting for an execution slot; beyond this \
+             the server sheds load with an explicit Overloaded response.")
+  in
+  let retry_after_arg =
+    Arg.(
+      value & opt float Net.Server.default_config.Net.Server.retry_after_ms
+      & info [ "retry-after-ms" ] ~docv:"MS"
+          ~doc:"Retry hint carried in Overloaded responses.")
+  in
+  let default_deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "default-deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Deadline applied to requests that carry none; queue wait \
+             counts against it, and on expiry strategy finding degrades \
+             to best-so-far instead of hanging.")
+  in
+  let max_requests_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "max-requests" ] ~docv:"N"
+          ~doc:
+            "Stop after $(docv) terminal responses and print the \
+             counters (0 = serve until killed); for smoke tests and \
+             bounded demos.")
+  in
+  let doc = "serve queries over TCP or unix sockets with admission control" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Hosts per-principal warm serving sessions behind a length-framed, \
+         checksummed wire protocol.  At most --admit requests execute \
+         concurrently, --queue more wait (their deadline still running); \
+         past that the server sheds load explicitly.  Client deadlines \
+         travel in the frame and become engine deadlines, so overload \
+         degrades answers (fail-closed) instead of hanging them.  \
+         --metrics-out with --metrics-format=openmetrics exports the \
+         net.* counters and queue gauges for scrapers.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc ~man)
+    Term.(
+      const run_serve $ workspace_arg $ data_opt_arg $ rbac_arg $ policy_arg
+      $ costs_arg $ solver_arg $ jobs_arg $ mc_fallback_arg $ listen_arg
+      $ admit_arg $ queue_arg $ retry_after_arg $ default_deadline_arg
+      $ max_requests_arg $ metrics_out_arg $ metrics_format_arg)
+
+let loadgen_cmd =
+  let connect_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"ADDR"
+          ~doc:"Server address: $(b,tcp:HOST:PORT) or $(b,unix:PATH).")
+  in
+  let users_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "users" ] ~docv:"U1,U2,..."
+          ~doc:"Comma-separated principals; one closed-loop client each.")
+  in
+  let purpose_arg =
+    Arg.(value & opt string "serve" & info [ "purpose" ] ~docv:"PURPOSE")
+  in
+  let perc_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "perc" ] ~docv:"FRACTION"
+          ~doc:"Fraction of results each request needs (theta).")
+  in
+  let sql_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "sql" ] ~docv:"SQL"
+          ~doc:
+            "Query mix (repeatable); queries are drawn zipf-skewed in the \
+             order given (first = hottest).")
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "requests" ] ~docv:"N" ~doc:"Requests per principal.")
+  in
+  let think_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "think-ms" ] ~docv:"MS"
+          ~doc:"Mean think time between requests (exponential; 0 = none).")
+  in
+  let zipf_arg =
+    Arg.(
+      value & opt float 1.1
+      & info [ "zipf" ] ~docv:"S" ~doc:"Query-mix skew (0 = uniform).")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"Per-request deadline carried in the frame.")
+  in
+  let timeout_arg =
+    Arg.(
+      value
+      & opt float Net.Client.default_config.Net.Client.request_timeout_ms
+      & info [ "timeout-ms" ] ~docv:"MS" ~doc:"Client response timeout.")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int Net.Client.default_config.Net.Client.retries
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retry attempts for idempotent requests (capped exponential \
+             backoff with seeded jitter).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+  in
+  let doc = "drive a pcqe server with closed-loop concurrent principals" in
+  Cmd.v
+    (Cmd.info "loadgen" ~doc)
+    Term.(
+      const run_loadgen $ connect_arg $ users_arg $ purpose_arg $ perc_arg
+      $ sql_arg $ requests_arg $ think_arg $ zipf_arg $ deadline_arg
+      $ timeout_arg $ retries_arg $ seed_arg)
+
 let main_cmd =
   let doc = "policy-compliant query evaluation over confidence-annotated data" in
   Cmd.group
@@ -917,6 +1229,8 @@ let main_cmd =
       solve_cmd;
       export_cmd;
       repl_cmd;
+      serve_cmd;
+      loadgen_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,68 @@
+(** Wire client: timeouts, capped-exponential-backoff retries with
+    seeded jitter, and a circuit breaker.
+
+    {b Retry policy.}  Only idempotent operations retry: [Query] and
+    [Ping] are read-only, so a retry after a severed connection or an
+    [Overloaded] shed is safe.  {!accept} is {e never} retried — it
+    mutates the shared database, and a response lost on the wire leaves
+    the client unable to tell "not applied" from "applied but the ack
+    was severed"; single-use server-side tokens make an accidental
+    replay harmless, but the client still refuses to guess.  Backoff for
+    attempt [k] is [base · 2^k] capped at [cap], scaled by a jitter in
+    [0.5, 1.5) drawn from a seeded {!Prng.Splitmix} stream, so chaos
+    runs replay identically.
+
+    {b Circuit breaker.}  After [breaker_threshold] consecutive
+    transport failures the breaker opens: calls fail fast (no socket
+    touched) for [breaker_cooldown_ms], after which one probe attempt is
+    allowed through (half-open); success closes the breaker. *)
+
+type config = {
+  request_timeout_ms : float;  (** max wait for a response frame *)
+  retries : int;  (** retry attempts after the first try (idempotent ops only) *)
+  backoff_base_ms : float;
+  backoff_cap_ms : float;
+  breaker_threshold : int;  (** consecutive failures that open the breaker *)
+  breaker_cooldown_ms : float;
+}
+
+val default_config : config
+(** 2 s timeout, 3 retries, 5 ms base / 100 ms cap backoff, breaker at
+    5 failures with 250 ms cooldown. *)
+
+type t
+
+type outcome =
+  | Answer of Wire.answer
+  | Accepted of { applied : int; cost : float }
+  | Shed of { retry_after_ms : float }
+      (** still overloaded after all retries *)
+  | Timed_out of string  (** server-side deadline or response timeout *)
+  | Failed of string  (** semantic error, transport failure, open breaker *)
+
+val outcome_label : outcome -> string
+(** ["answer" | "accepted" | "shed" | "timeout" | "failed"]. *)
+
+val create : ?config:config -> ?seed:int -> Server.listen -> t
+(** No connection is opened until the first call. *)
+
+val query :
+  t ->
+  user:string ->
+  purpose:string ->
+  perc:float ->
+  ?deadline_ms:float ->
+  string ->
+  outcome
+(** [query t ~user ~purpose ~perc sql] — retried per the policy above. *)
+
+val accept : t -> user:string -> token:int -> outcome
+(** Apply a parked proposal.  Exactly one attempt, ever. *)
+
+val ping : t -> outcome
+
+val retries_used : t -> int
+(** Total retry attempts across the client's lifetime. *)
+
+val breaker_opens : t -> int
+val close : t -> unit

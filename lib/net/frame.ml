@@ -1,0 +1,121 @@
+let version = 1
+let header_len = 12
+let max_payload = 8 * 1024 * 1024
+let magic0 = 'P'
+let magic1 = 'Q'
+
+(* Table-driven CRC-32 (IEEE), computed once at load. *)
+let crc_table =
+  let t = Array.make 256 0l in
+  for n = 0 to 255 do
+    let c = ref (Int32.of_int n) in
+    for _ = 0 to 7 do
+      c :=
+        if Int32.logand !c 1l <> 0l then
+          Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+        else Int32.shift_right_logical !c 1
+    done;
+    t.(n) <- !c
+  done;
+  t
+
+let crc32 s =
+  let c = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      let idx =
+        Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl)
+      in
+      c := Int32.logxor crc_table.(idx) (Int32.shift_right_logical !c 8))
+    s;
+  Int32.logxor !c 0xFFFFFFFFl
+
+type error =
+  | Closed
+  | Torn of string
+  | Bad_magic
+  | Bad_version of int
+  | Too_large of int
+  | Bad_checksum
+
+let error_to_string = function
+  | Closed -> "connection closed"
+  | Torn what -> Printf.sprintf "torn frame: short read in %s" what
+  | Bad_magic -> "bad magic"
+  | Bad_version v -> Printf.sprintf "unsupported protocol version %d" v
+  | Too_large n -> Printf.sprintf "frame payload too large (%d bytes)" n
+  | Bad_checksum -> "payload checksum mismatch"
+
+let put_u32 b v =
+  Buffer.add_char b (Char.chr ((v lsr 24) land 0xff));
+  Buffer.add_char b (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char b (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char b (Char.chr (v land 0xff))
+
+let get_u32 s off =
+  (Char.code s.[off] lsl 24)
+  lor (Char.code s.[off + 1] lsl 16)
+  lor (Char.code s.[off + 2] lsl 8)
+  lor Char.code s.[off + 3]
+
+let encode ~typ payload =
+  if typ < 0 || typ > 255 then invalid_arg "Frame.encode: type out of range";
+  if String.length payload > max_payload then
+    invalid_arg "Frame.encode: payload too large";
+  let b = Buffer.create (header_len + String.length payload) in
+  Buffer.add_char b magic0;
+  Buffer.add_char b magic1;
+  Buffer.add_char b (Char.chr version);
+  Buffer.add_char b (Char.chr typ);
+  put_u32 b (String.length payload);
+  put_u32 b (Int32.to_int (crc32 payload) land 0xFFFFFFFF);
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+(* Read exactly [len] bytes; Ok true on success, Ok false on immediate
+   clean EOF, Error on EOF mid-way. *)
+let really_read recv buf len what =
+  let got = ref 0 in
+  let eof = ref false in
+  while (not !eof) && !got < len do
+    let n = recv buf !got (len - !got) in
+    if n = 0 then eof := true else got := !got + n
+  done;
+  if !got = len then Ok true
+  else if !got = 0 then Ok false
+  else Error (Torn what)
+
+let read recv =
+  let hdr = Bytes.create header_len in
+  match really_read recv hdr header_len "header" with
+  | Error e -> Error e
+  | Ok false -> Error Closed
+  | Ok true ->
+    let hdr = Bytes.to_string hdr in
+    if hdr.[0] <> magic0 || hdr.[1] <> magic1 then Error Bad_magic
+    else if Char.code hdr.[2] <> version then Error (Bad_version (Char.code hdr.[2]))
+    else begin
+      let len = get_u32 hdr 4 in
+      let crc = get_u32 hdr 8 in
+      if len > max_payload then Error (Too_large len)
+      else
+        let payload = Bytes.create len in
+        match really_read recv payload len "payload" with
+        | Error e -> Error e
+        | Ok false when len > 0 -> Error (Torn "payload")
+        | Ok _ ->
+          let payload = Bytes.to_string payload in
+          if Int32.to_int (crc32 payload) land 0xFFFFFFFF <> crc then
+            Error Bad_checksum
+          else Ok (Char.code hdr.[3], payload)
+    end
+
+let decode s =
+  let pos = ref 0 in
+  let recv buf off len =
+    let n = min len (String.length s - !pos) in
+    Bytes.blit_string s !pos buf off n;
+    pos := !pos + n;
+    n
+  in
+  read recv

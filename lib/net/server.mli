@@ -1,0 +1,84 @@
+(** The serving tier: per-principal [Engine.Session]s behind a socket.
+
+    One acceptor thread plus one thread per connection.  Every request
+    on a connection is answered in order with exactly one terminal
+    response frame: an answer, an explicit [Overloaded] shed, an
+    explicit queue-expired [Timeout], or an [Err] — never silence.
+
+    {b Admission.}  At most [config.admit] requests execute at once;
+    up to [config.queue] more wait in a bounded queue; beyond that the
+    request is shed immediately with [Overloaded {retry_after_ms}] —
+    overload produces fast explicit refusals, not unbounded queueing.
+    Queue wait is charged against the request's deadline: a request
+    whose deadline expires while queued gets [Timeout] without touching
+    the engine.
+
+    {b Deadline propagation.}  A [Query]'s [deadline_ms] (minus time
+    already spent queued) becomes [Resilience.Deadline.Wall_ms] on the
+    session context, so strategy finding degrades to [Partial] instead
+    of hanging; the degradation marker travels back in the answer.
+
+    {b Sessions.}  Each principal gets its own [Engine.Session] (own
+    caches), created lazily and guarded by a per-session mutex; the
+    underlying database is shared, so an accepted proposal is visible to
+    every principal — there is one database.  Proposals returned by
+    answers are parked server-side under single-use tokens; [Accept]
+    quotes a token, which makes replayed/retried accepts harmless.
+
+    {b Chaos.}  The [net.accept]/[net.read]/[net.write]/[net.delay]
+    fault sites fire here, so an armed {!Resilience.Fault} plan severs
+    connections and stalls requests mid-flight.  Malformed or torn
+    frames kill at most their own connection, never the server. *)
+
+type listen =
+  | Tcp of string * int  (** host, port (0 = ephemeral) *)
+  | Unix_path of string  (** unix-domain socket path *)
+
+val listen_to_string : listen -> string
+
+val listen_of_string : string -> (listen, string) result
+(** Parses ["tcp:HOST:PORT"] or ["unix:PATH"]. *)
+
+type config = {
+  admit : int;  (** max concurrently executing requests *)
+  queue : int;  (** max requests waiting for an execution slot *)
+  retry_after_ms : float;  (** hint carried in [Overloaded] responses *)
+  default_deadline_ms : float option;
+      (** applied to [Query] requests that carry no deadline *)
+  poll_interval_s : float;
+      (** how often idle connection readers re-check the stop flag *)
+  fault_stall_s : float;
+      (** how long an injected [net.delay] fault stalls a request while
+          it holds its admission slot — the chaos knob for overload *)
+}
+
+val default_config : config
+(** admit 4, queue 16, retry after 50 ms, no default deadline. *)
+
+type t
+
+val start :
+  ?obs:Obs.t -> ?config:config -> ctx:Pcqe.Engine.context -> listen -> t
+(** Bind, listen and start the acceptor thread.  [ctx] is the base
+    context cloned into per-principal sessions; its [obs]/[profile]
+    fields are ignored for sessions (the engine registry is
+    single-writer, so connection threads must not share it) — pass
+    [?obs] for the server's own [net.*] counters and gauges, updated
+    under the server lock.  @raise Unix.Unix_error on bind failure. *)
+
+val address : t -> listen
+(** The bound address — with the real port when [Tcp (_, 0)] was
+    requested. *)
+
+val stop : t -> unit
+(** Stop accepting, sever live connections, join every thread.
+    Idempotent. *)
+
+val requests_served : t -> int
+(** Terminal responses produced so far (answers, sheds, timeouts,
+    errors, pongs). *)
+
+val stats : t -> (string * int) list
+(** Counter snapshot, sorted by name: [net.answers], [net.shed],
+    [net.timeouts], [net.errors], [net.malformed], [net.pings],
+    [net.accepted], [net.connections], [net.fault.*]. *)

@@ -1,0 +1,267 @@
+type request =
+  | Query of {
+      user : string;
+      purpose : string;
+      perc : float;
+      sql : string;
+      deadline_ms : float option;
+    }
+  | Accept of { user : string; token : int }
+  | Ping
+
+type answer = {
+  released : int;
+  withheld : int;
+  requested : int;
+  degraded : string option;
+  proposal_token : int option;
+  body : string;
+}
+
+type response =
+  | Answer of answer
+  | Accepted of { applied : int; cost : float }
+  | Pong
+  | Overloaded of { retry_after_ms : float }
+  | Timeout of { reason : string }
+  | Err of string
+
+(* Frame type bytes: requests 1-9, responses 10-19. *)
+let t_query = 1
+let t_accept = 2
+let t_ping = 3
+let t_answer = 10
+let t_accepted = 11
+let t_pong = 12
+let t_overloaded = 13
+let t_timeout = 14
+let t_err = 15
+
+(* --- encoding primitives ------------------------------------------- *)
+
+let put_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+let put_u32 b v =
+  put_u8 b (v lsr 24);
+  put_u8 b (v lsr 16);
+  put_u8 b (v lsr 8);
+  put_u8 b v
+
+let put_i64 b (v : int64) =
+  for shift = 7 downto 0 do
+    put_u8 b (Int64.to_int (Int64.shift_right_logical v (shift * 8)) land 0xff)
+  done
+
+let put_float b f = put_i64 b (Int64.bits_of_float f)
+
+let put_str b s =
+  put_u32 b (String.length s);
+  Buffer.add_string b s
+
+let put_opt put b = function
+  | None -> put_u8 b 0
+  | Some v ->
+    put_u8 b 1;
+    put b v
+
+exception Malformed of string
+
+type cursor = { s : string; mutable pos : int }
+
+let need c n what =
+  if c.pos + n > String.length c.s then
+    raise (Malformed (Printf.sprintf "truncated payload reading %s" what))
+
+let get_u8 c what =
+  need c 1 what;
+  let v = Char.code c.s.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let get_u32 c what =
+  need c 4 what;
+  let v =
+    (Char.code c.s.[c.pos] lsl 24)
+    lor (Char.code c.s.[c.pos + 1] lsl 16)
+    lor (Char.code c.s.[c.pos + 2] lsl 8)
+    lor Char.code c.s.[c.pos + 3]
+  in
+  c.pos <- c.pos + 4;
+  v
+
+let get_i64 c what =
+  need c 8 what;
+  let v = ref 0L in
+  for i = 0 to 7 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code c.s.[c.pos + i]))
+  done;
+  c.pos <- c.pos + 8;
+  !v
+
+let get_float c what = Int64.float_of_bits (get_i64 c what)
+
+let get_str c what =
+  let n = get_u32 c what in
+  need c n what;
+  let s = String.sub c.s c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let get_opt get c what =
+  match get_u8 c what with
+  | 0 -> None
+  | 1 -> Some (get c what)
+  | n -> raise (Malformed (Printf.sprintf "bad option tag %d for %s" n what))
+
+let finish c v =
+  if c.pos <> String.length c.s then
+    raise (Malformed "trailing bytes after message")
+  else v
+
+let decoding s f =
+  try Ok (f { s; pos = 0 }) with
+  | Malformed m -> Error m
+
+(* --- requests ------------------------------------------------------ *)
+
+let encode_request = function
+  | Query { user; purpose; perc; sql; deadline_ms } ->
+    let b = Buffer.create 64 in
+    put_str b user;
+    put_str b purpose;
+    put_float b perc;
+    put_str b sql;
+    put_opt (fun b f -> put_float b f) b deadline_ms;
+    (t_query, Buffer.contents b)
+  | Accept { user; token } ->
+    let b = Buffer.create 32 in
+    put_str b user;
+    put_i64 b (Int64.of_int token);
+    (t_accept, Buffer.contents b)
+  | Ping -> (t_ping, "")
+
+let decode_request ~typ payload =
+  decoding payload (fun c ->
+      if typ = t_query then begin
+        let user = get_str c "user" in
+        let purpose = get_str c "purpose" in
+        let perc = get_float c "perc" in
+        let sql = get_str c "sql" in
+        let deadline_ms = get_opt get_float c "deadline" in
+        finish c (Query { user; purpose; perc; sql; deadline_ms })
+      end
+      else if typ = t_accept then begin
+        let user = get_str c "user" in
+        let token = Int64.to_int (get_i64 c "token") in
+        finish c (Accept { user; token })
+      end
+      else if typ = t_ping then finish c Ping
+      else raise (Malformed (Printf.sprintf "unknown request type %d" typ)))
+
+(* --- responses ----------------------------------------------------- *)
+
+let encode_response = function
+  | Answer a ->
+    let b = Buffer.create (128 + String.length a.body) in
+    put_u32 b a.released;
+    put_u32 b a.withheld;
+    put_u32 b a.requested;
+    put_opt (fun b s -> put_str b s) b a.degraded;
+    put_opt (fun b t -> put_i64 b (Int64.of_int t)) b a.proposal_token;
+    put_str b a.body;
+    (t_answer, Buffer.contents b)
+  | Accepted { applied; cost } ->
+    let b = Buffer.create 16 in
+    put_u32 b applied;
+    put_float b cost;
+    (t_accepted, Buffer.contents b)
+  | Pong -> (t_pong, "")
+  | Overloaded { retry_after_ms } ->
+    let b = Buffer.create 8 in
+    put_float b retry_after_ms;
+    (t_overloaded, Buffer.contents b)
+  | Timeout { reason } ->
+    let b = Buffer.create 32 in
+    put_str b reason;
+    (t_timeout, Buffer.contents b)
+  | Err msg ->
+    let b = Buffer.create 32 in
+    put_str b msg;
+    (t_err, Buffer.contents b)
+
+let decode_response ~typ payload =
+  decoding payload (fun c ->
+      if typ = t_answer then begin
+        let released = get_u32 c "released" in
+        let withheld = get_u32 c "withheld" in
+        let requested = get_u32 c "requested" in
+        let degraded = get_opt get_str c "degraded" in
+        let proposal_token =
+          get_opt (fun c w -> Int64.to_int (get_i64 c w)) c "token"
+        in
+        let body = get_str c "body" in
+        finish c
+          (Answer { released; withheld; requested; degraded; proposal_token; body })
+      end
+      else if typ = t_accepted then begin
+        let applied = get_u32 c "applied" in
+        let cost = get_float c "cost" in
+        finish c (Accepted { applied; cost })
+      end
+      else if typ = t_pong then finish c Pong
+      else if typ = t_overloaded then
+        let retry_after_ms = get_float c "retry_after" in
+        finish c (Overloaded { retry_after_ms })
+      else if typ = t_timeout then finish c (Timeout { reason = get_str c "reason" })
+      else if typ = t_err then finish c (Err (get_str c "err"))
+      else raise (Malformed (Printf.sprintf "unknown response type %d" typ)))
+
+(* --- engine response body ------------------------------------------ *)
+
+let body_of_response (r : Pcqe.Engine.response) =
+  let b = Buffer.create 256 in
+  put_str b (Relational.Schema.to_string r.schema);
+  put_opt (fun b f -> put_float b f) b r.threshold;
+  put_u32 b (List.length r.released);
+  List.iter
+    (fun (rel : Pcqe.Engine.released) ->
+      put_str b (Relational.Tuple.to_string rel.tuple);
+      put_str b (Lineage.Formula.to_string rel.lineage);
+      put_float b rel.confidence;
+      put_str b rel.conf_tier)
+    r.released;
+  put_u32 b r.withheld;
+  put_u32 b r.ambiguous;
+  put_u32 b r.requested;
+  put_u32 b (List.length r.applied_policies);
+  List.iter (fun p -> put_str b (Rbac.Policy.to_string p)) r.applied_policies;
+  put_u8 b (if r.infeasible then 1 else 0);
+  put_opt (fun b s -> put_str b s) b r.degraded;
+  (* elapsed_s and solver stats are wall-time telemetry and excluded:
+     the same logical answer must always encode to the same bytes *)
+  put_opt
+    (fun b (p : Pcqe.Engine.proposal) ->
+      put_str b p.solver_name;
+      put_float b p.cost;
+      put_u32 b p.projected_release;
+      (match p.resolution with
+      | Optimize.Solver.Complete -> put_str b "complete"
+      | Optimize.Solver.Partial { reason } -> put_str b ("partial:" ^ reason));
+      put_u32 b (List.length p.increments);
+      List.iter
+        (fun (tid, target) ->
+          put_str b (Lineage.Tid.to_string tid);
+          put_float b target)
+        p.increments)
+    b r.proposal;
+  Buffer.contents b
+
+let answer_of_response ?proposal_token (r : Pcqe.Engine.response) =
+  {
+    released = List.length r.released;
+    withheld = r.withheld;
+    requested = r.requested;
+    degraded = r.degraded;
+    proposal_token;
+    body = body_of_response r;
+  }

@@ -12,6 +12,7 @@ type t = {
   audit : Audit.t;
   obs : Obs.t;  (* session-lifetime registry; trace reset per query *)
   timing : bool;
+  faults : Resilience.Fault.plan option;  (* \faults — armed chaos plan *)
 }
 
 type outcome = Reply of t * string | Quit
@@ -36,6 +37,7 @@ let create ctx =
     audit = Audit.empty;
     obs = Obs.wall ();
     timing = false;
+    faults = None;
   }
 
 let context t = t.ctx
@@ -57,6 +59,10 @@ let help_text =
   \prepare <name> <sql>  compile a named query once (plan cache)
   \exec <name>        answer a prepared query under the current settings
   \caches             show serving-cache statistics (plans + confidences)
+  \faults <seed> <site>[,<site>...] [max]  arm a seeded fault-injection
+                      plan (rate 0.05) over the named sites, optionally
+                      capped at <max> injections; \faults shows the armed
+                      plan with per-site hit counts; \faults off disarms
   \explain            lineage explanations for the last query
   \profile [sql]      re-run the last query (or the given SQL) with
                       profiling on: annotated plan with per-stage time,
@@ -97,6 +103,17 @@ let run_sql t sql =
       else t.ctx
     in
     match Engine.answer ctx request with
+    | exception Resilience.Fault.Injected what ->
+      (* an armed \faults plan fired: the query aborts, the session
+         survives — exactly what the chaos harness asserts *)
+      Reply
+        ( {
+            t with
+            audit =
+              Audit.record_denial t.audit ~user ~reason:("fault injected: " ^ what);
+          },
+          Printf.sprintf "fault injected: %s (nothing released; \\faults shows the plan)"
+            what )
     | Error msg ->
       Reply
         ( { t with audit = Audit.record_denial t.audit ~user ~reason:msg },
@@ -254,6 +271,65 @@ let meta t line =
     match t.ctx.Engine.caches with
     | Some caches -> Reply (t, String.trim (Caches.stats_to_string caches))
     | None -> Reply (t, "serving caches are off"))
+  | [ "\\faults"; "off" ] ->
+    Resilience.Fault.disarm ();
+    Reply
+      ( { t with faults = None },
+        match t.faults with
+        | Some p ->
+          Printf.sprintf "faults disarmed (%d injected)"
+            (Resilience.Fault.injected p)
+        | None -> "faults disarmed" )
+  | [ "\\faults" ] -> (
+    match t.faults with
+    | None ->
+      Reply
+        ( t,
+          "no fault plan armed (\\faults <seed> <site>[,<site>...] [max])\n"
+          ^ "registered sites: "
+          ^ String.concat ", " (Resilience.Fault.registered_sites ()) )
+    | Some p ->
+      let module F = Resilience.Fault in
+      let lines =
+        [
+          Printf.sprintf "  %-24s %d" "seed" (F.seed p);
+          Printf.sprintf "  %-24s %g" "rate" (F.rate p);
+          Printf.sprintf "  %-24s %s" "max-injections"
+            (match F.max_injections p with
+            | None -> "unlimited"
+            | Some m -> string_of_int m);
+          Printf.sprintf "  %-24s %d" "injected" (F.injected p);
+        ]
+        @ List.map
+            (fun (site, n) -> Printf.sprintf "  %-24s %d hit(s)" site n)
+            (F.hits p)
+      in
+      Reply (t, "armed fault plan:\n" ^ String.concat "\n" lines))
+  | "\\faults" :: seed :: sites :: rest -> (
+    match
+      ( int_of_string_opt seed,
+        match rest with
+        | [] -> Some None
+        | [ m ] -> Option.map Option.some (int_of_string_opt m)
+        | _ -> None )
+    with
+    | Some seed, Some max_injections -> (
+      let sites = String.split_on_char ',' sites |> List.filter (( <> ) "") in
+      match
+        Resilience.Fault.plan ?max_injections ~sites ~seed ()
+      with
+      | p ->
+        Resilience.Fault.arm p;
+        Reply
+          ( { t with faults = Some p },
+            Printf.sprintf "fault plan armed: seed %d over %s%s" seed
+              (String.concat ", " sites)
+              (match max_injections with
+              | None -> ""
+              | Some m -> Printf.sprintf ", at most %d injection(s)" m) )
+      | exception Invalid_argument msg -> Reply (t, "error: " ^ msg))
+    | _ ->
+      Reply (t, "usage: \\faults <seed> <site>[,<site>...] [max] | \\faults off"))
   | [ "\\explain" ] -> (
     match t.last_sql with
     | None -> Reply (t, "no previous query to explain")

@@ -3,7 +3,43 @@ exception Injected of string
 let site_pool_chunk = "pool.chunk"
 let site_state_eval = "state.eval"
 let site_prob_mc = "prob.mc"
-let all_sites = [ site_pool_chunk; site_state_eval; site_prob_mc ]
+let site_net_accept = "net.accept"
+let site_net_read = "net.read"
+let site_net_write = "net.write"
+let site_net_delay = "net.delay"
+
+let all_sites =
+  [
+    site_pool_chunk;
+    site_state_eval;
+    site_prob_mc;
+    site_net_accept;
+    site_net_read;
+    site_net_write;
+    site_net_delay;
+  ]
+
+(* Registry of known sites.  Plans are validated against it so a typo in
+   a chaos plan fails loudly instead of silently never firing. *)
+let registry : string list Atomic.t = Atomic.make all_sites
+
+let rec register_site s =
+  let cur = Atomic.get registry in
+  if not (List.mem s cur) then
+    if not (Atomic.compare_and_set registry cur (s :: cur)) then register_site s
+
+let registered_sites () = List.sort compare (Atomic.get registry)
+
+let validate_sites sites =
+  let known = Atomic.get registry in
+  match List.filter (fun s -> not (List.mem s known)) sites with
+  | [] -> ()
+  | unknown ->
+    invalid_arg
+      (Printf.sprintf "Fault: unknown site%s %s (registered: %s)"
+         (if List.length unknown > 1 then "s" else "")
+         (String.concat ", " unknown)
+         (String.concat ", " (registered_sites ())))
 
 type plan = {
   seed : int;
@@ -18,8 +54,10 @@ let plan ?(rate = 0.05) ?max_injections ?sites ~seed () =
   let rate = Float.min 1.0 (Float.max 0.0 rate) in
   let sites =
     match sites with
-    | None -> all_sites
-    | Some ss -> List.sort_uniq compare ss
+    | None -> registered_sites ()
+    | Some ss ->
+      validate_sites ss;
+      List.sort_uniq compare ss
   in
   {
     seed;
@@ -30,7 +68,11 @@ let plan ?(rate = 0.05) ?max_injections ?sites ~seed () =
   }
 
 let current : plan option Atomic.t = Atomic.make None
-let arm p = Atomic.set current (Some p)
+
+let arm p =
+  validate_sites (List.map fst p.counters);
+  Atomic.set current (Some p)
+
 let disarm () = Atomic.set current None
 let armed () = Atomic.get current <> None
 
@@ -77,3 +119,10 @@ let injected p = Atomic.get p.injected
 let hits p =
   List.map (fun (s, c) -> (s, Atomic.get c)) p.counters
   |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let sites p = List.map fst p.counters |> List.sort compare
+let seed p = p.seed
+let rate p = p.rate
+
+let max_injections p =
+  if p.max_injections = max_int then None else Some p.max_injections

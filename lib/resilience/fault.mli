@@ -41,7 +41,31 @@ val site_prob_mc : string
 (** ["prob.mc"] — before each Monte-Carlo sampling chunk in
     [Lineage.Prob.monte_carlo] (models the sampler being cut off). *)
 
+val site_net_accept : string
+(** ["net.accept"] — after each accepted server connection (models the
+    peer vanishing before its first byte). *)
+
+val site_net_read : string
+(** ["net.read"] — before each request frame read in [Net.Server]
+    (models a connection severed mid-request). *)
+
+val site_net_write : string
+(** ["net.write"] — before each response frame write (models a
+    connection severed before the response lands). *)
+
+val site_net_delay : string
+(** ["net.delay"] — before request execution (models a stalled peer or
+    network; injection stalls rather than raises at the call site). *)
+
 val all_sites : string list
+(** The built-in sites above. *)
+
+val register_site : string -> unit
+(** Add a site name to the registered-site list so plans naming it
+    validate.  Idempotent; built-in sites are pre-registered. *)
+
+val registered_sites : unit -> string list
+(** All currently registered sites, sorted. *)
 
 (** {1 Plans} *)
 
@@ -52,10 +76,15 @@ val plan :
 (** [plan ~seed ()] is a fresh plan injecting each hit independently
     with probability [rate] (default [0.05], clamped to [0,1]), at most
     [max_injections] times in total (default unlimited), restricted to
-    [sites] (default: every site). *)
+    [sites] (default: every registered site).
+
+    @raise Invalid_argument if any of [sites] is not registered — a
+    typo'd site would otherwise silently never fire. *)
 
 val arm : plan -> unit
-(** Make [p] the active plan (global, visible to every domain). *)
+(** Make [p] the active plan (global, visible to every domain).
+    Re-validates the plan's sites against {!registered_sites}.
+    @raise Invalid_argument on an unknown site. *)
 
 val disarm : unit -> unit
 (** Deactivate injection; hits become no-ops again. *)
@@ -85,3 +114,12 @@ val injected : plan -> int
 
 val hits : plan -> (string * int) list
 (** Per-site hit counts (injected or not), sorted by site name. *)
+
+val sites : plan -> string list
+(** The sites this plan covers, sorted. *)
+
+val seed : plan -> int
+val rate : plan -> float
+
+val max_injections : plan -> int option
+(** [None] when unlimited. *)

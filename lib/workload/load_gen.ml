@@ -1,0 +1,147 @@
+type outcome =
+  | Answered of { degraded : bool }
+  | Shed
+  | Timed_out
+  | Failed of string
+
+type params = {
+  principals : int;
+  requests_per_principal : int;
+  think_ms : float;
+  zipf_s : float;
+  seed : int;
+}
+
+let default_params =
+  {
+    principals = 4;
+    requests_per_principal = 25;
+    think_ms = 0.0;
+    zipf_s = 1.1;
+    seed = 42;
+  }
+
+type report = {
+  total : int;
+  answered : int;
+  degraded : int;
+  shed : int;
+  timed_out : int;
+  failed : int;
+  elapsed_s : float;
+  qps : float;
+  latency : Obs.Hdr.t;
+}
+
+let report_to_string r =
+  Printf.sprintf
+    "total %d  answered %d (degraded %d)  shed %d  timed_out %d  failed %d  \
+     %.1f qps  p50 %.2fms  p99 %.2fms"
+    r.total r.answered r.degraded r.shed r.timed_out r.failed r.qps
+    (Obs.Hdr.quantile r.latency 0.5 *. 1000.0)
+    (Obs.Hdr.quantile r.latency 0.99 *. 1000.0)
+
+(* Inverse-CDF draw over 1/(k+1)^s weights; n is small (a query mix),
+   so the cumulative table is rebuilt per call site once. *)
+let zipf_cdf ~s ~n =
+  let w = Array.init n (fun k -> 1.0 /. Float.pow (float_of_int (k + 1)) s) in
+  let total = Array.fold_left ( +. ) 0.0 w in
+  let acc = ref 0.0 in
+  Array.map
+    (fun x ->
+      acc := !acc +. (x /. total);
+      !acc)
+    w
+
+let pick_from_cdf cdf u =
+  let n = Array.length cdf in
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if u <= cdf.(mid) then go lo mid else go (mid + 1) hi
+  in
+  go 0 (n - 1)
+
+let zipf_pick rng ~s ~n =
+  if n <= 0 then invalid_arg "Load_gen.zipf_pick: n must be > 0";
+  if s <= 0.0 then Prng.Splitmix.int rng n
+  else pick_from_cdf (zipf_cdf ~s ~n) (Prng.Splitmix.float rng 1.0)
+
+type thread_result = {
+  mutable outcomes : (outcome * float) list;  (* reverse request order *)
+}
+
+let run params ~queries ~user_of ~exec =
+  if params.principals <= 0 then invalid_arg "Load_gen.run: principals <= 0";
+  if Array.length queries = 0 then invalid_arg "Load_gen.run: empty query mix";
+  let n_q = Array.length queries in
+  let cdf = if params.zipf_s > 0.0 then Some (zipf_cdf ~s:params.zipf_s ~n:n_q) else None in
+  let rngs =
+    Prng.Splitmix.split_n (Prng.Splitmix.of_int params.seed) params.principals
+  in
+  let results =
+    Array.init params.principals (fun _ -> { outcomes = [] })
+  in
+  let principal i () =
+    let rng = rngs.(i) in
+    let user = user_of i in
+    for _ = 1 to params.requests_per_principal do
+      let q =
+        match cdf with
+        | Some cdf -> pick_from_cdf cdf (Prng.Splitmix.float rng 1.0)
+        | None -> Prng.Splitmix.int rng n_q
+      in
+      let t0 = Unix.gettimeofday () in
+      let out =
+        try exec ~principal:i ~user ~sql:queries.(q)
+        with exn -> Failed (Printexc.to_string exn)
+      in
+      let dt = Unix.gettimeofday () -. t0 in
+      results.(i).outcomes <- (out, dt) :: results.(i).outcomes;
+      if params.think_ms > 0.0 then
+        Unix.sleepf
+          (Prng.Splitmix.exponential rng ~rate:(1000.0 /. params.think_ms))
+    done
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads =
+    Array.init params.principals (fun i -> Thread.create (principal i) ())
+  in
+  Array.iter Thread.join threads;
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  (* merge in principal order so the report is stable given the same
+     per-principal outcome streams *)
+  let latency = Obs.Hdr.create () in
+  let answered = ref 0
+  and degraded = ref 0
+  and shed = ref 0
+  and timed_out = ref 0
+  and failed = ref 0
+  and total = ref 0 in
+  Array.iter
+    (fun r ->
+      List.iter
+        (fun (out, dt) ->
+          incr total;
+          Obs.Hdr.observe latency dt;
+          match out with
+          | Answered { degraded = d } ->
+            incr answered;
+            if d then incr degraded
+          | Shed -> incr shed
+          | Timed_out -> incr timed_out
+          | Failed _ -> incr failed)
+        (List.rev r.outcomes))
+    results;
+  {
+    total = !total;
+    answered = !answered;
+    degraded = !degraded;
+    shed = !shed;
+    timed_out = !timed_out;
+    failed = !failed;
+    elapsed_s;
+    qps = (if elapsed_s > 0.0 then float_of_int !total /. elapsed_s else 0.0);
+    latency;
+  }

@@ -1,0 +1,59 @@
+(** Closed-loop load generator: N concurrent principals, each issuing a
+    zipf-skewed query mix with think time between requests.
+
+    Transport-agnostic — the caller supplies [exec] (typically a
+    [Net.Client] call per principal, or an in-process session for
+    baselines), and the generator owns the principal threads, the
+    deterministic per-principal query/think-time streams (seeded
+    {!Prng.Splitmix}, split per principal), and the merged report.
+    Latencies go into a bounded {!Obs.Hdr} sketch; outcome counts and
+    sustained QPS come back in the {!report}. *)
+
+type outcome =
+  | Answered of { degraded : bool }
+  | Shed
+  | Timed_out
+  | Failed of string
+
+type params = {
+  principals : int;  (** concurrent closed-loop clients *)
+  requests_per_principal : int;
+  think_ms : float;
+      (** mean think time between a response and the next request,
+          exponentially distributed (0 = none) *)
+  zipf_s : float;
+      (** skew of the query mix: rank [k] drawn ∝ 1/k^s (0 = uniform) *)
+  seed : int;
+}
+
+val default_params : params
+(** 4 principals × 25 requests, no think time, zipf 1.1, seed 42. *)
+
+type report = {
+  total : int;
+  answered : int;
+  degraded : int;  (** of [answered]: deadline-degraded responses *)
+  shed : int;
+  timed_out : int;
+  failed : int;
+  elapsed_s : float;
+  qps : float;  (** terminal outcomes per second of wall time *)
+  latency : Obs.Hdr.t;  (** per-request latency in seconds, all outcomes *)
+}
+
+val report_to_string : report -> string
+
+val zipf_pick : Prng.Splitmix.t -> s:float -> n:int -> int
+(** Draw a rank in [0, n): rank [k] with probability ∝ 1/(k+1)^s. *)
+
+val run :
+  params ->
+  queries:string array ->
+  user_of:(int -> string) ->
+  exec:(principal:int -> user:string -> sql:string -> outcome) ->
+  report
+(** Run the closed loop.  [exec] is called concurrently from
+    [params.principals] threads (one per principal, each with its own
+    client); it must be thread-safe across principals.
+    @raise Invalid_argument on an empty [queries] or
+    [principals <= 0]. *)

@@ -164,6 +164,34 @@ let test_unknown_meta_and_blank () =
   let _, text = step s "   " in
   Alcotest.(check string) "blank line" "" text
 
+let test_faults_command () =
+  let s = mk_state () in
+  (* status while disarmed lists the registered sites *)
+  let s, text = step s "\\faults" in
+  Alcotest.(check bool) "lists sites" true (contains ~needle:"state.eval" text);
+  (* a typo'd site fails loudly *)
+  let s, text = step s "\\faults 7 state.evil" in
+  Alcotest.(check bool) "typo rejected" true (contains ~needle:"state.evil" text);
+  Alcotest.(check bool) "still disarmed" false (Resilience.Fault.armed ());
+  let s, text = step s "\\faults 7 state.eval,prob.mc 3" in
+  Alcotest.(check bool) "armed reply" true (contains ~needle:"seed 7" text);
+  Alcotest.(check bool) "plan armed" true (Resilience.Fault.armed ());
+  (* status now shows the plan and hit counters *)
+  let s, text = step s "\\faults" in
+  Alcotest.(check bool) "shows seed" true (contains ~needle:"seed" text);
+  Alcotest.(check bool) "shows max" true (contains ~needle:"3" text);
+  Alcotest.(check bool) "shows sites" true (contains ~needle:"state.eval" text);
+  (* queries keep working (or fail as injected faults) with the plan on *)
+  let s, _ = step s "\\user u" in
+  let s, _ = step s "\\purpose p" in
+  let s, text = step s "SELECT x FROM T" in
+  Alcotest.(check bool) "query terminal under faults" true
+    (String.length text > 0);
+  let s, text = step s "\\faults off" in
+  Alcotest.(check bool) "disarm reply" true (contains ~needle:"disarmed" text);
+  Alcotest.(check bool) "plan disarmed" false (Resilience.Fault.armed ());
+  ignore s
+
 let () =
   Alcotest.run "repl"
     [
@@ -181,5 +209,6 @@ let () =
           Alcotest.test_case "audit" `Quick test_audit_trail;
           Alcotest.test_case "save" `Quick test_save;
           Alcotest.test_case "unknown meta" `Quick test_unknown_meta_and_blank;
+          Alcotest.test_case "faults arm/disarm" `Quick test_faults_command;
         ] );
     ]

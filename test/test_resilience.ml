@@ -108,6 +108,80 @@ let test_split_never () =
     (fun s -> Alcotest.(check bool) "unbounded children" false (DL.active s))
     (DL.split DL.never 5)
 
+let test_split_remainder_uneven () =
+  (* budget 10, 3 used: 7 remain, split 3 ways -> floor(7/3) = 2 each;
+     the remainder tick is conservative slack, not lost budget *)
+  let t = DL.logical 10 in
+  DL.tick ~by:3 t;
+  let subs = DL.split t 3 in
+  Array.iter
+    (fun s ->
+      DL.tick ~by:2 s;
+      Alcotest.(check bool) "child expired at its share" true (DL.expired s))
+    subs;
+  DL.absorb t subs;
+  (* 3 + 3·2 = 9 of 10: the undistributed remainder is still spendable *)
+  Alcotest.(check int) "remainder accounted" 9 (DL.used t);
+  Alcotest.(check bool) "parent survives on the remainder" false (DL.expired t);
+  DL.tick t;
+  Alcotest.(check bool) "and expires exactly on budget" true (DL.expired t);
+  (* more children than remaining ticks: floor share is 0, every child
+     is born expired — never a negative or inflated budget *)
+  let t = DL.logical 3 in
+  DL.tick ~by:1 t;
+  Array.iter
+    (fun s -> Alcotest.(check bool) "zero-share child born expired" true (DL.expired s))
+    (DL.split t 5)
+
+let test_split_after_cancel_sticky () =
+  let t = DL.logical 50 in
+  DL.tick t;
+  DL.cancel t ~reason:"operator abort" ();
+  Alcotest.(check bool) "cancel is expiry" true (DL.expired t);
+  Alcotest.(check string) "reason survives" "operator abort" (DL.reason t);
+  (* children of a cancelled token are born expired, at any depth *)
+  let subs = DL.split t 2 in
+  Array.iter
+    (fun s ->
+      Alcotest.(check bool) "child of cancelled born expired" true (DL.expired s);
+      Array.iter
+        (fun g ->
+          Alcotest.(check bool) "grandchild born expired" true (DL.expired g))
+        (DL.split s 2))
+    subs;
+  DL.absorb t subs;
+  Alcotest.(check bool) "still expired after absorb" true (DL.expired t);
+  Alcotest.(check string) "reason sticks through absorb" "operator abort"
+    (DL.reason t)
+
+let test_nested_split_absorb_accounting () =
+  (* two levels of split/absorb: tick totals flow back up undistorted,
+     and a cancelled grandchild stays expired while its siblings and
+     ancestors keep their arithmetic *)
+  let t = DL.logical 100 in
+  DL.tick ~by:4 t;
+  let children = DL.split t 2 in
+  (* each child owns floor(96/2) = 48 *)
+  let grandkids = DL.split children.(0) 3 in
+  (* each grandchild owns floor(48/3) = 16 *)
+  DL.tick ~by:16 grandkids.(0);
+  Alcotest.(check bool) "grandchild spent its share" true (DL.expired grandkids.(0));
+  DL.tick ~by:5 grandkids.(1);
+  DL.cancel grandkids.(1) ();
+  Alcotest.(check bool) "cancelled under budget, still expired" true
+    (DL.expired grandkids.(1));
+  DL.tick ~by:7 grandkids.(2);
+  DL.absorb children.(0) grandkids;
+  Alcotest.(check int) "child absorbed 16+5+7" 28 (DL.used children.(0));
+  Alcotest.(check bool) "child not expired (28 < 48)" false
+    (DL.expired children.(0));
+  (* the cancelled grandchild's expiry is sticky and local *)
+  Alcotest.(check bool) "cancellation still sticky" true (DL.expired grandkids.(1));
+  DL.tick ~by:9 children.(1);
+  DL.absorb t children;
+  Alcotest.(check int) "root: 4 + 28 + 9" 41 (DL.used t);
+  Alcotest.(check bool) "root alive" false (DL.expired t)
+
 (* ------------------------------------------------------------------ *)
 (* fault plans *)
 
@@ -119,6 +193,31 @@ let injected_indices plan site n =
           | () -> (i, false)
           | exception Fault.Injected _ -> (i, true))
       |> List.filter_map (fun (i, inj) -> if inj then Some i else None))
+
+let test_fault_unknown_site_rejected () =
+  (* a typo'd site must fail loudly at plan construction, not silently
+     never fire *)
+  (match Fault.plan ~sites:[ "pool.chnk" ] ~seed:1 () with
+  | _ -> Alcotest.fail "unknown site accepted"
+  | exception Invalid_argument msg ->
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "message names the bad site" true
+      (contains msg "pool.chnk"));
+  (* the net.* sites ship registered *)
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) ("registered: " ^ s) true
+        (List.mem s (Fault.registered_sites ())))
+    [ "net.accept"; "net.read"; "net.write"; "net.delay" ];
+  (* registering a custom site makes it plannable *)
+  Fault.register_site "test.custom";
+  let p = Fault.plan ~sites:[ "test.custom" ] ~seed:1 () in
+  Fault.arm p;
+  Fault.disarm ()
 
 let test_fault_noop_when_disarmed () =
   Alcotest.(check bool) "disarmed" false (Fault.armed ());
@@ -173,7 +272,7 @@ let test_fault_protect () =
   Alcotest.(check int) "nothing injected under protect" 0 (Fault.injected p);
   Alcotest.(check (list (pair string int)))
     "suppressed hits are not counted"
-    (List.map (fun s -> (s, 0)) (List.sort compare Fault.all_sites))
+    (List.map (fun s -> (s, 0)) (Fault.registered_sites ()))
     (Fault.hits p)
 
 (* ------------------------------------------------------------------ *)
@@ -418,9 +517,17 @@ let () =
           Alcotest.test_case "split of expired parent" `Quick
             test_split_of_expired_parent;
           Alcotest.test_case "split of never" `Quick test_split_never;
+          Alcotest.test_case "uneven split remainder" `Quick
+            test_split_remainder_uneven;
+          Alcotest.test_case "cancel sticky through split" `Quick
+            test_split_after_cancel_sticky;
+          Alcotest.test_case "nested split/absorb accounting" `Quick
+            test_nested_split_absorb_accounting;
         ] );
       ( "fault",
         [
+          Alcotest.test_case "unknown site rejected" `Quick
+            test_fault_unknown_site_rejected;
           Alcotest.test_case "disarmed no-op" `Quick test_fault_noop_when_disarmed;
           Alcotest.test_case "seeded determinism" `Quick test_fault_determinism;
           Alcotest.test_case "rates 0 and 1" `Quick test_fault_rates;
