@@ -2021,6 +2021,206 @@ let sweep_server ?(rows = 1500) ?(principals = 4) ?(requests = 30)
 
 (* ------------------------------------------------------------------ *)
 
+(* sweep-shards: the key-sharded store behind the serving tier.  Two
+   entries, both identity-asserted against the cold unsharded path:
+
+   (1) invalidation — a session warms its per-epoch confidence cache
+       over a sharded store, then a flood of accepted improvement
+       proposals lands entirely on one shard (enough raises to overflow
+       that shard's bounded change log).  On the next answer the cache
+       must flush the flooded shard's classes and nothing else: at one
+       shard the flood takes the whole cache down, at 4/8 shards the
+       recomputed/total ratio drops towards 1/shards.
+
+   (2) loadgen — per-principal requests (>= 1024 principals in the full
+       run) served from one session over the shared sharded store;
+       QPS and p50/p99 latency per shard count, every answer checked
+       against its cold counterpart.  Cores and jobs come from
+       [machine_fields]. *)
+
+let shards_json_path = "BENCH_shards.json"
+
+let sweep_shards ?(rows = 2000) ?(principals = 1024)
+    ?(requests_per_principal = 2) ?(shard_counts = [ 1; 4; 8 ]) ?(seed = 43)
+    () =
+  header "sweep-shards: per-shard epochs - localized invalidation + loadgen";
+  let stat name stats =
+    match List.assoc_opt name stats with Some v -> v | None -> 0
+  in
+  (* the flood set: tuples owned by shard 0 under the *largest* shard
+     count.  shard_of is [hash mod n], so for n | m the shard-0-of-m
+     tuples are shard-0 tuples at every n in the sweep — the same flood
+     is single-shard at each point, which is what makes the ratios
+     comparable *)
+  let flood_mod =
+    List.fold_left max 1 shard_counts
+  in
+  let flood_tids =
+    List.filter
+      (fun i ->
+        Relational.Database.shard_of ~shards:flood_mod
+          (Lineage.Tid.make "R" i)
+        = 0)
+      (List.init rows Fun.id)
+    |> List.map (fun i -> Lineage.Tid.make "R" i)
+  in
+  if flood_tids = [] then failwith "sweep-shards: empty flood set";
+  (* enough single-tuple raises to overflow the owning shard's bounded
+     change log (capacity 256), forcing the wholesale-flush path rather
+     than the targeted one *)
+  let flood_rounds = 2 + (520 / List.length flood_tids) in
+  let flood_target k = 0.955 +. (0.0001 *. float_of_int k) in
+  let invalidation_points =
+    with_circuits false @@ fun () ->
+    (* circuits off: the var fast path would answer single-tuple classes
+       straight from the base vector with no cache traffic, and this
+       entry is precisely about what the cache invalidates *)
+    List.map
+      (fun shards ->
+        let ctx, users = serving_context ~rows ~principals:1 ~seed () in
+        let user = List.hd users in
+        let req =
+          {
+            Pcqe.Engine.query = Pcqe.Query.sql serving_sql;
+            user;
+            purpose = "serve";
+            perc = 0.3;
+          }
+        in
+        (* a real proposal from the engine, used as the template the
+           flood's accepted increments ride in on *)
+        let template =
+          match Pcqe.Engine.answer ctx { req with Pcqe.Engine.perc = 0.98 } with
+          | Ok { Pcqe.Engine.proposal = Some p; _ } -> p
+          | Ok _ -> failwith "sweep-shards: engine proposed nothing to accept"
+          | Error m -> failwith ("sweep-shards: " ^ m)
+        in
+        let sctx =
+          {
+            ctx with
+            Pcqe.Engine.db =
+              Relational.Database.with_shards ctx.Pcqe.Engine.db shards;
+          }
+        in
+        let session = Pcqe.Engine.Session.create sctx in
+        let warm0 = Pcqe.Engine.Session.answer session req in
+        assert_identical
+          (Printf.sprintf "sweep-shards warm (shards=%d)" shards)
+          [ Pcqe.Engine.answer ctx req ]
+          [ warm0 ];
+        let classes =
+          stat "conf.entries" (Pcqe.Engine.Session.cache_stats session)
+        in
+        for k = 0 to flood_rounds - 1 do
+          let incs =
+            List.map (fun tid -> (tid, flood_target k)) flood_tids
+          in
+          Pcqe.Engine.Session.accept_proposal session
+            { template with Pcqe.Engine.increments = incs }
+        done;
+        let before = Pcqe.Engine.Session.cache_stats session in
+        let warm1 = Pcqe.Engine.Session.answer session req in
+        let after = Pcqe.Engine.Session.cache_stats session in
+        let flooded_db =
+          Relational.Database.apply_increments ctx.Pcqe.Engine.db
+            (List.map
+               (fun tid -> (tid, flood_target (flood_rounds - 1)))
+               flood_tids)
+        in
+        assert_identical
+          (Printf.sprintf "sweep-shards post-flood (shards=%d)" shards)
+          [ Pcqe.Engine.answer { ctx with Pcqe.Engine.db = flooded_db } req ]
+          [ warm1 ];
+        let delta name = stat name after - stat name before in
+        let recomputed = delta "serving.recomputed_classes" in
+        let reused = delta "serving.reused_classes" in
+        let ratio =
+          float_of_int recomputed
+          /. float_of_int (max 1 (recomputed + reused))
+        in
+        row
+          "  shards=%d  classes=%4d  flood=%d tuples x %d rounds  \
+           recomputed=%4d reused=%4d  ratio=%.3f\n"
+          shards classes (List.length flood_tids) flood_rounds recomputed
+          reused ratio;
+        Printf.sprintf
+          "    \
+           {\"shards\":%d,\"classes\":%d,\"flood_tuples\":%d,\"flood_rounds\":%d,\"recomputed\":%d,\"reused\":%d,\"invalidated_ratio\":%.4f,\"identical\":true}"
+          shards classes (List.length flood_tids) flood_rounds recomputed
+          reused ratio)
+      shard_counts
+  in
+  let loadgen_points =
+    List.map
+      (fun shards ->
+        let ctx, users = serving_context ~rows ~principals ~seed:(seed + 1) () in
+        let user_arr = Array.of_list users in
+        let sctx =
+          {
+            ctx with
+            Pcqe.Engine.db =
+              Relational.Database.with_shards ctx.Pcqe.Engine.db shards;
+          }
+        in
+        let total = principals * requests_per_principal in
+        let reqs =
+          List.init total (fun i ->
+              {
+                Pcqe.Engine.query = Pcqe.Query.sql serving_sql;
+                user = user_arr.(i mod principals);
+                purpose = "serve";
+                perc = 0.3;
+              })
+        in
+        let colds = List.map (fun r -> Pcqe.Engine.answer ctx r) reqs in
+        let session = Pcqe.Engine.Session.create sctx in
+        let lats = Array.make total 0.0 in
+        let warms, wall =
+          time (fun () ->
+              List.mapi
+                (fun i r ->
+                  let a, dt =
+                    time (fun () -> Pcqe.Engine.Session.answer session r)
+                  in
+                  lats.(i) <- dt;
+                  a)
+                reqs)
+        in
+        assert_identical
+          (Printf.sprintf "sweep-shards loadgen (shards=%d)" shards)
+          colds warms;
+        Array.sort compare lats;
+        let pct p = lats.(int_of_float (p *. float_of_int (total - 1))) in
+        let qps = float_of_int total /. Float.max wall 1e-9 in
+        row
+          "  shards=%d  principals=%d  requests=%d  qps=%.0f  p50=%.6fs  \
+           p99=%.6fs\n"
+          shards principals total qps (pct 0.50) (pct 0.99);
+        Printf.sprintf
+          "    \
+           {\"shards\":%d,\"principals\":%d,\"requests\":%d,\"qps\":%.1f,\"p50_s\":%g,\"p99_s\":%g,\"identical\":true}"
+          shards principals total qps (pct 0.50) (pct 0.99))
+      shard_counts
+  in
+  let entries =
+    [
+      Printf.sprintf "  \"invalidation\": [\n%s\n  ]"
+        (String.concat ",\n" invalidation_points);
+      Printf.sprintf "  \"loadgen\": [\n%s\n  ]"
+        (String.concat ",\n" loadgen_points);
+    ]
+  in
+  let oc = open_out shards_json_path in
+  Printf.fprintf oc "{\n  %s,\n" (machine_fields ());
+  output_string oc (String.concat ",\n" entries);
+  output_string oc "\n}\n";
+  close_out oc;
+  row "  wrote %d points to %s\n"
+    (List.length invalidation_points + List.length loadgen_points)
+    shards_json_path
+
+(* ------------------------------------------------------------------ *)
+
 (* smoke: every panel at tiny sizes, cheap enough to run under `dune
    runtest` — keeps the harness and both JSON artifact writers honest *)
 let smoke () =
@@ -2041,6 +2241,8 @@ let smoke () =
   sweep_resilience ~size:200 ~seeds:3 ~deadline_ms:5.0 ();
   sweep_serving ~rows:300 ~reps:16 ~principal_counts:[ 1; 8 ] ();
   sweep_server ~rows:200 ~principals:2 ~requests:6 ~chaos_requests:4 ();
+  sweep_shards ~rows:240 ~principals:16 ~requests_per_principal:1
+    ~shard_counts:[ 1; 4 ] ();
   sweep_columnar ~sizes:[ 2000 ] ~reps:1 ();
   sweep_circuits ~rows:300 ~reps:1 ~epochs:4 ();
   micro ~quota:0.05 ~size:200 ()
@@ -2064,6 +2266,7 @@ let all_panels ~full ~jobs_levels () =
   sweep_resilience ();
   sweep_serving ();
   sweep_server ();
+  sweep_shards ();
   sweep_columnar ~sizes:(if full then [ 100_000; 1_000_000 ] else [ 100_000 ]) ();
   sweep_circuits ();
   micro ()
@@ -2116,6 +2319,7 @@ let () =
         | "sweep-resilience" -> sweep_resilience ()
         | "sweep-serving" -> sweep_serving ()
         | "sweep-server" -> sweep_server ()
+        | "sweep-shards" -> sweep_shards ()
         | "sweep-columnar" -> sweep_columnar ()
         | "sweep-circuits" -> sweep_circuits ()
         | "smoke" -> smoke ()

@@ -115,6 +115,16 @@ let solver_of_string = function
 (* ------------------------------------------------------------------ *)
 (* query subcommand *)
 
+(* --shards N: hash-partition the loaded database before serving.
+   Pure routing — answers are bit-identical at any shard count — so it
+   is applied once at context build, after the data is loaded. *)
+let apply_shards shards ctx =
+  match shards with
+  | None -> Ok ctx
+  | Some n when n >= 1 ->
+    Ok { ctx with Pcqe.Engine.db = Db.with_shards ctx.Pcqe.Engine.db n }
+  | Some n -> Error (Printf.sprintf "--shards %d: need at least 1" n)
+
 let build_context workspace data_dir rbac_file policy_file costs_file solver =
   let* solver = solver_of_string solver in
   match workspace with
@@ -199,12 +209,13 @@ let print_top_released k (resp : Pcqe.Engine.response) =
     top
 
 let run_query workspace data_dir rbac_file policy_file costs_file user purpose
-    perc solver jobs deadline_ms mc_fallback apply trace metrics_out
+    perc solver jobs shards deadline_ms mc_fallback apply trace metrics_out
     metrics_format top sql =
   let result =
     let* ctx =
       build_context workspace data_dir rbac_file policy_file costs_file solver
     in
+    let* ctx = apply_shards shards ctx in
     let ctx =
       match jobs with
       | None -> ctx
@@ -301,12 +312,13 @@ let print_batch_outcome i (req : Pcqe.Engine.request) = function
       | None -> "")
 
 let run_batch workspace data_dir rbac_file policy_file costs_file solver jobs
-    deadline_ms mc_fallback repeat stats trace metrics_out metrics_format
+    shards deadline_ms mc_fallback repeat stats trace metrics_out metrics_format
     requests_file =
   let result =
     let* ctx =
       build_context workspace data_dir rbac_file policy_file costs_file solver
     in
+    let* ctx = apply_shards shards ctx in
     let ctx =
       match jobs with
       | None -> ctx
@@ -362,11 +374,12 @@ let run_batch workspace data_dir rbac_file policy_file costs_file solver jobs
    confidence-ladder rungs the request used. *)
 
 let run_explain workspace data_dir rbac_file policy_file costs_file user
-    purpose perc solver jobs deadline_ms mc_fallback cold sql =
+    purpose perc solver jobs shards deadline_ms mc_fallback cold sql =
   let result =
     let* ctx =
       build_context workspace data_dir rbac_file policy_file costs_file solver
     in
+    let* ctx = apply_shards shards ctx in
     let ctx =
       match jobs with
       | None -> ctx
@@ -560,12 +573,13 @@ let run_export data_dir relation =
 (* serve subcommand: the fault-tolerant network serving tier *)
 
 let run_serve workspace data_dir rbac_file policy_file costs_file solver jobs
-    mc_fallback listen admit queue retry_after_ms default_deadline_ms
-    max_requests metrics_out metrics_format =
+    shards mc_fallback listen admit queue retry_after_ms default_deadline_ms
+    max_requests drain_deadline_s metrics_out metrics_format =
   let result =
     let* ctx =
       build_context workspace data_dir rbac_file policy_file costs_file solver
     in
+    let* ctx = apply_shards shards ctx in
     let ctx =
       match jobs with
       | None -> ctx
@@ -590,13 +604,26 @@ let run_serve workspace data_dir rbac_file policy_file costs_file solver jobs
     in
     with_obs ~trace:false ~metrics_out ~metrics_format (fun obs ->
         let server = Net.Server.start ?obs ~config ~ctx listen in
-        Printf.printf "pcqe: serving on %s (admit %d, queue %d)\n%!"
+        Printf.printf "pcqe: serving on %s (admit %d, queue %d, shards %d)\n%!"
           (Net.Server.listen_to_string (Net.Server.address server))
-          admit queue;
+          admit queue
+          (Db.shard_count ctx.Pcqe.Engine.db);
+        (* graceful shutdown: SIGINT/SIGTERM flip a flag observed by the
+           wait loop; the server then drains in-flight requests under the
+           bounded deadline before severing connections *)
+        let stopping = Atomic.make false in
+        let install s =
+          try Sys.set_signal s (Sys.Signal_handle (fun _ -> Atomic.set stopping true))
+          with Invalid_argument _ | Sys_error _ -> ()
+        in
+        install Sys.sigint;
+        install Sys.sigterm;
         (* --max-requests N bounds the run (smoke tests, demos); 0 serves
-           until the process is killed *)
+           until a signal arrives *)
         let rec wait () =
-          if max_requests > 0 && Net.Server.requests_served server >= max_requests
+          if Atomic.get stopping then ()
+          else if
+            max_requests > 0 && Net.Server.requests_served server >= max_requests
           then ()
           else begin
             Thread.delay 0.05;
@@ -604,11 +631,28 @@ let run_serve workspace data_dir rbac_file policy_file costs_file solver jobs
           end
         in
         wait ();
-        Net.Server.stop server;
+        if Atomic.get stopping then
+          Printf.printf
+            "pcqe: signal received; draining in-flight requests (deadline %.1fs)\n%!"
+            drain_deadline_s;
+        Net.Server.stop ~drain_deadline_s server;
+        (* the per-shard series are refreshed on demand, not per request
+           — right before the metrics flush is the moment that matters *)
+        Net.Server.refresh_shard_gauges server;
+        (* one final metrics line, whatever stopped us: scrapers and log
+           tails get the closing counter totals even without --metrics-out *)
+        let stats = Net.Server.stats server in
+        let v name =
+          match List.assoc_opt name stats with Some n -> n | None -> 0
+        in
+        Printf.printf
+          "pcqe: final served=%d answers=%d accepted=%d shed=%d timeouts=%d \
+           errors=%d connections=%d\n%!"
+          (Net.Server.requests_served server)
+          (v "net.answers") (v "net.accepted") (v "net.shed") (v "net.timeouts")
+          (v "net.errors") (v "net.connections");
         print_endline "pcqe: server stopped; counters:";
-        List.iter
-          (fun (k, v) -> Printf.printf "  %-18s %d\n" k v)
-          (Net.Server.stats server);
+        List.iter (fun (k, v) -> Printf.printf "  %-18s %d\n" k v) stats;
         Ok ())
   in
   match result with
@@ -741,6 +785,18 @@ let jobs_arg =
            the PCQE_JOBS environment variable, else 1.  Results are \
            identical at every level.")
 
+let shards_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Hash-partition the database across $(docv) shards: scans and \
+           filters scatter per shard (in parallel under --jobs) and gather \
+           in global row order, and confidence-cache invalidation is \
+           per-shard.  Pure routing: answers, lineage and solver outcomes \
+           are bit-identical at every shard count.  Default 1 (unsharded).")
+
 let deadline_arg =
   Arg.(
     value
@@ -845,7 +901,7 @@ let query_cmd =
     Term.(
       const run_query $ workspace_arg $ data_opt_arg $ rbac_arg $ policy_arg
       $ costs_arg $ user_arg $ purpose_arg $ perc_arg $ solver_arg $ jobs_arg
-      $ deadline_arg $ mc_fallback_arg $ apply_arg $ trace_arg
+      $ shards_arg $ deadline_arg $ mc_fallback_arg $ apply_arg $ trace_arg
       $ metrics_out_arg $ metrics_format_arg $ top_arg $ sql_arg)
 
 let explain_cmd =
@@ -916,7 +972,7 @@ let explain_cmd =
     Term.(
       const run_explain $ workspace_arg $ data_opt_arg $ rbac_arg $ policy_arg
       $ costs_arg $ user_arg $ purpose_arg $ perc_arg $ solver_arg $ jobs_arg
-      $ deadline_arg $ mc_fallback_arg $ cold_arg $ sql_arg)
+      $ shards_arg $ deadline_arg $ mc_fallback_arg $ cold_arg $ sql_arg)
 
 let batch_cmd =
   let rbac_arg =
@@ -987,8 +1043,8 @@ let batch_cmd =
     (Cmd.info "batch" ~doc ~man)
     Term.(
       const run_batch $ workspace_arg $ data_opt_arg $ rbac_arg $ policy_arg
-      $ costs_arg $ solver_arg $ jobs_arg $ deadline_arg $ mc_fallback_arg
-      $ repeat_arg $ stats_arg $ trace_arg $ metrics_out_arg
+      $ costs_arg $ solver_arg $ jobs_arg $ shards_arg $ deadline_arg
+      $ mc_fallback_arg $ repeat_arg $ stats_arg $ trace_arg $ metrics_out_arg
       $ metrics_format_arg $ requests_arg)
 
 let plan_cmd =
@@ -1111,8 +1167,18 @@ let serve_cmd =
       & info [ "max-requests" ] ~docv:"N"
           ~doc:
             "Stop after $(docv) terminal responses and print the \
-             counters (0 = serve until killed); for smoke tests and \
+             counters (0 = serve until signalled); for smoke tests and \
              bounded demos.")
+  in
+  let drain_arg =
+    Arg.(
+      value & opt float 5.0
+      & info [ "drain-deadline-s" ] ~docv:"S"
+          ~doc:
+            "On shutdown (SIGINT/SIGTERM or --max-requests), let requests \
+             already executing finish for up to $(docv) seconds before \
+             severing their connections; queued and new requests are \
+             refused immediately.")
   in
   let doc = "serve queries over TCP or unix sockets with admission control" in
   let man =
@@ -1133,9 +1199,10 @@ let serve_cmd =
     (Cmd.info "serve" ~doc ~man)
     Term.(
       const run_serve $ workspace_arg $ data_opt_arg $ rbac_arg $ policy_arg
-      $ costs_arg $ solver_arg $ jobs_arg $ mc_fallback_arg $ listen_arg
-      $ admit_arg $ queue_arg $ retry_after_arg $ default_deadline_arg
-      $ max_requests_arg $ metrics_out_arg $ metrics_format_arg)
+      $ costs_arg $ solver_arg $ jobs_arg $ shards_arg $ mc_fallback_arg
+      $ listen_arg $ admit_arg $ queue_arg $ retry_after_arg
+      $ default_deadline_arg $ max_requests_arg $ drain_arg $ metrics_out_arg
+      $ metrics_format_arg)
 
 let loadgen_cmd =
   let connect_arg =

@@ -60,6 +60,11 @@ type t = {
   obs : Obs.t option;
   lsock : Unix.file_descr;
   bound : listen;
+  mutable published : Relational.Database.t;
+      (* the one true database: accepted proposals are applied against
+         it (serialized under [m]) and every query pulls it before
+         answering, so an accept by one principal is visible to all —
+         per-session caches revalidate through the epoch vectors *)
   m : Mutex.t;
   cond : Condition.t;  (* admission slots; also connection drain *)
   mutable running : bool;
@@ -221,7 +226,14 @@ let run_query t fd ~user ~purpose ~perc ~sql ~deadline_ms ~queued_ms =
     let slot = slot_for t user in
     let outcome =
       with_slot slot (fun () ->
+          (* serve against the latest published database: another
+             principal's accepted proposal must be visible here *)
+          let published = locked t (fun () -> t.published) in
           let base = Pcqe.Engine.Session.context slot.session in
+          let base =
+            if base.Pcqe.Engine.db == published then base
+            else { base with Pcqe.Engine.db = published }
+          in
           let ctx =
             match remaining with
             | Some r -> { base with Pcqe.Engine.deadline = Resilience.Deadline.Wall_ms r }
@@ -265,7 +277,18 @@ let run_accept t fd ~user ~token =
           match slot.pending with
           | Some (tok, p) when tok = token ->
             slot.pending <- None (* single-use: a replay cannot re-apply *);
-            (match Pcqe.Engine.Session.accept_proposal slot.session p with
+            (* apply against the latest published database and publish
+               the result, all under the server lock: concurrent accepts
+               by different principals form one linear history *)
+            (match
+               locked t (fun () ->
+                   let ctx = Pcqe.Engine.Session.context slot.session in
+                   Pcqe.Engine.Session.set_context slot.session
+                     { ctx with Pcqe.Engine.db = t.published };
+                   Pcqe.Engine.Session.accept_proposal slot.session p;
+                   t.published <-
+                     (Pcqe.Engine.Session.context slot.session).Pcqe.Engine.db)
+             with
             | () ->
               Ok
                 (Wire.Accepted
@@ -416,6 +439,7 @@ let start ?obs ?(config = default_config) ~ctx spec =
       obs;
       lsock;
       bound;
+      published = ctx.Pcqe.Engine.db;
       m = Mutex.create ();
       cond = Condition.create ();
       running = true;
@@ -434,17 +458,35 @@ let start ?obs ?(config = default_config) ~ctx spec =
 
 let address t = t.bound
 
-let stop t =
-  let conns =
+let stop ?(drain_deadline_s = 0.0) t =
+  let was_running =
     locked t (fun () ->
-        if not t.running then []
+        if not t.running then false
         else begin
           t.running <- false;
+          (* wake queued admitters: they observe the stop flag and answer
+             "server stopping" instead of waiting for a slot *)
           Condition.broadcast t.cond;
-          t.live_conns
+          true
         end)
   in
-  if conns <> [] || t.acceptor <> None then begin
+  if was_running || t.acceptor <> None then begin
+    (* graceful drain: in-flight requests (already admitted) run to
+       their terminal response, bounded by the deadline — new frames
+       are refused the moment the flag flips, so in_flight is monotone
+       non-increasing here *)
+    if was_running && drain_deadline_s > 0.0 then begin
+      let deadline = Unix.gettimeofday () +. drain_deadline_s in
+      let rec drain () =
+        let busy = locked t (fun () -> t.in_flight > 0 || t.queued > 0) in
+        if busy && Unix.gettimeofday () < deadline then begin
+          Unix.sleepf 0.002;
+          drain ()
+        end
+      in
+      drain ()
+    end;
+    let conns = locked t (fun () -> t.live_conns) in
     List.iter
       (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
       conns;
@@ -477,3 +519,44 @@ let stats t =
   locked t (fun () ->
       Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
       |> List.sort (fun (a, _) (b, _) -> compare a b))
+
+(* shard-level serving gauges, refreshed on demand — a metrics export is
+   the natural moment; a per-request refresh would cost a scan of every
+   session's cache.  Epochs and owned-tuple counts come from the
+   published database; conf-cache occupancy is summed across the live
+   per-principal sessions, each read under its own slot mutex. *)
+let refresh_shard_gauges t =
+  match t.obs with
+  | None -> ()
+  | Some o ->
+    let db, slots =
+      locked t (fun () ->
+          (t.published, Hashtbl.fold (fun _ s acc -> s :: acc) t.sessions []))
+    in
+    let shards = Relational.Database.shard_count db in
+    let epochs = Relational.Database.confidence_vector db in
+    let tuples = Relational.Database.shard_tuples db in
+    let sizes = Array.make shards 0 in
+    List.iter
+      (fun slot ->
+        Mutex.lock slot.sm;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock slot.sm)
+          (fun () ->
+            match
+              (Pcqe.Engine.Session.context slot.session).Pcqe.Engine.caches
+            with
+            | None -> ()
+            | Some c ->
+              Array.iteri
+                (fun i n -> sizes.(i) <- sizes.(i) + n)
+                (Pcqe.Conf_cache.shard_sizes (Pcqe.Caches.conf c) ~shards)))
+      slots;
+    for i = 0 to shards - 1 do
+      let g name = Printf.sprintf "shard.%s{shard=\"%d\"}" name i in
+      Obs.Metrics.set_gauge o.Obs.metrics (g "epoch") (float_of_int epochs.(i));
+      Obs.Metrics.set_gauge o.Obs.metrics (g "tuples")
+        (float_of_int tuples.(i));
+      Obs.Metrics.set_gauge o.Obs.metrics (g "conf_cache_size")
+        (float_of_int sizes.(i))
+    done

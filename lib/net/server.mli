@@ -19,9 +19,15 @@
     of hanging; the degradation marker travels back in the answer.
 
     {b Sessions.}  Each principal gets its own [Engine.Session] (own
-    caches), created lazily and guarded by a per-session mutex; the
-    underlying database is shared, so an accepted proposal is visible to
-    every principal — there is one database.  Proposals returned by
+    caches), created lazily and guarded by a per-session mutex, all
+    serving one {e published} database held by the server: every query
+    pulls the latest published value before answering, and [Accept]
+    applies its increments against it — serialized under the server
+    lock, so concurrent accepts by different principals form one linear
+    history and each accept is visible to every principal's next query.
+    Per-session caches revalidate through the database's per-shard
+    epoch vectors, so an accept invalidates only the cached classes
+    whose lineage lives on the mutated shard(s).  Proposals returned by
     answers are parked server-side under single-use tokens; [Accept]
     quotes a token, which makes replayed/retried accepts harmless.
 
@@ -70,9 +76,13 @@ val address : t -> listen
 (** The bound address — with the real port when [Tcp (_, 0)] was
     requested. *)
 
-val stop : t -> unit
+val stop : ?drain_deadline_s:float -> t -> unit
 (** Stop accepting, sever live connections, join every thread.
-    Idempotent. *)
+    Idempotent.  With [drain_deadline_s > 0] (default [0.]), requests
+    already admitted when the flag flips are allowed up to that many
+    seconds to reach their terminal response before connections are
+    severed — the graceful path [pcqe serve] takes on SIGINT/SIGTERM;
+    queued and new requests are refused immediately either way. *)
 
 val requests_served : t -> int
 (** Terminal responses produced so far (answers, sheds, timeouts,
@@ -82,3 +92,11 @@ val stats : t -> (string * int) list
 (** Counter snapshot, sorted by name: [net.answers], [net.shed],
     [net.timeouts], [net.errors], [net.malformed], [net.pings],
     [net.accepted], [net.connections], [net.fault.*]. *)
+
+val refresh_shard_gauges : t -> unit
+(** Refresh the per-shard serving gauges — [shard.epoch],
+    [shard.tuples] and [shard.conf_cache_size], one [{shard="i"}]
+    labelled series each — from the published database and the live
+    per-principal session caches.  On demand rather than per request
+    (summing cache occupancy scans every session's cache); [pcqe serve]
+    calls it before flushing metrics.  No-op without an observer. *)

@@ -6,7 +6,10 @@ type value = Exact of float | Estimate of Lineage.Approx.estimate
 
 type t = {
   max_entries : int;
-  mutable epoch : int; (* confidence epoch the entries are valid for *)
+  mutable epochs : int array;
+      (* per-shard synced confidence epochs, index-aligned with the
+         database's shard numbers; [[||]] until the first sync adopts a
+         shard layout *)
   exact : float F.Table.t;
   ladder : Lineage.Approx.estimate F.Table.t;
   circuits : Lineage.Circuit.t F.Table.t;
@@ -25,7 +28,7 @@ let create ?(max_entries = 65_536) () =
       (Printf.sprintf "Conf_cache.create: max_entries %d < 1" max_entries);
   {
     max_entries;
-    epoch = 0;
+    epochs = [||];
     exact = F.Table.create 256;
     ladder = F.Table.create 64;
     circuits = F.Table.create 64;
@@ -35,7 +38,7 @@ let create ?(max_entries = 65_536) () =
     invalidated = 0;
   }
 
-let epoch t = t.epoch
+let synced_epochs t = Array.copy t.epochs
 let length t = F.Table.length t.exact + F.Table.length t.ladder
 let mem_exact t f = F.Table.mem t.exact f
 let mem_estimate t f = F.Table.mem t.ladder f
@@ -75,19 +78,53 @@ let invalidate_bases ?obs t dirty =
     Obs.incr obs ~by:!dropped "serving.invalidated_classes"
   end
 
+(* Wholesale flush restricted to one shard: drop every cached class that
+   mentions a base tuple the shard owns.  Classes indexed only under
+   foreign tuples cannot have been dirtied by this shard's mutations, so
+   they survive — this is what keeps one principal's flood of accepted
+   proposals on shard [i] from evicting the serving state of everyone
+   whose lineage lives elsewhere. *)
+let flush_shard ?obs t ~db shard =
+  let dirty =
+    Hashtbl.fold
+      (fun tid _ acc ->
+        if Db.shard_of_tid db tid = shard then Tid.Set.add tid acc else acc)
+      t.by_base Tid.Set.empty
+  in
+  invalidate_bases ?obs t dirty
+
 let sync ?obs t ~db =
-  let live = Db.confidence_epoch db in
-  if t.epoch <> live then begin
-    (match Db.changed_since db ~since:t.epoch with
-    | Some dirty when Tid.Set.is_empty dirty -> ()
-    | Some dirty -> invalidate_bases ?obs t dirty
-    | None ->
-      (* the change log does not reach back to our epoch (or the
-         database diverged from the history we cached against):
-         correctness demands a wholesale flush *)
-      clear t);
-    t.epoch <- live
+  let live = Db.confidence_vector db in
+  if t.epochs <> live then begin
+    if Array.length t.epochs <> Array.length live then
+      (* first sync, or the shard layout changed underneath us: there is
+         no per-shard history across a re-partition — flush wholesale *)
+      clear t
+    else
+      Array.iteri
+        (fun i since ->
+          if since <> live.(i) then
+            match Db.shard_changed_since db ~shard:i ~since with
+            | Some dirty when Tid.Set.is_empty dirty -> ()
+            | Some dirty -> invalidate_bases ?obs t dirty
+            | None ->
+              (* shard [i]'s change log does not reach back to our epoch
+                 (or the database diverged from the history we cached
+                 against): correctness demands a flush — of this shard's
+                 classes only *)
+              flush_shard ?obs t ~db i)
+        t.epochs;
+    t.epochs <- live
   end
+
+let shard_sizes t ~shards =
+  let sizes = Array.make (max 1 shards) 0 in
+  Hashtbl.iter
+    (fun tid _ ->
+      let i = Db.shard_of ~shards tid in
+      sizes.(i) <- sizes.(i) + 1)
+    t.by_base;
+  sizes
 
 let index t f =
   Tid.Set.iter

@@ -8,16 +8,21 @@
     principals — or re-answering it after a proposal was accepted —
     computes each distinct lineage class once.
 
-    {b Invalidation} is driven by the database's confidence epoch.  On
-    every access the cache compares its synced epoch with the live one;
-    when they differ it asks {!Relational.Database.changed_since} for
-    the dirty base tuples and drops exactly the classes whose formula
-    mentions one (counted as [serving.invalidated_classes]).  When the
-    bounded change log cannot answer — the cache fell too far behind, or
-    the database diverged from the cached history — the cache flushes
-    wholesale.  Either way a lookup never returns a confidence computed
-    from a stale vector; property tests pin warm results bit-identical
-    to cold recomputation.
+    {b Invalidation} is driven per shard.  On every access the cache
+    compares its synced epoch vector with the live
+    {!Relational.Database.confidence_vector}; for each shard whose slot
+    moved it asks {!Relational.Database.shard_changed_since} for the
+    dirty base tuples and drops exactly the classes whose formula
+    mentions one (counted as [serving.invalidated_classes]).  When a
+    shard's bounded change log cannot answer — the cache fell too far
+    behind, or the database diverged from the cached history — only that
+    shard's classes are flushed (every class indexed under a base tuple
+    the shard owns); classes whose lineage lives entirely on other
+    shards survive.  A shard-layout change
+    ({!Relational.Database.with_shards}) flushes wholesale: per-shard
+    history does not span a re-partition.  Either way a lookup never
+    returns a confidence computed from a stale vector; property tests
+    pin warm results bit-identical to cold recomputation.
 
     Exact confidences ({!confidence}) and degradation-ladder estimates
     ({!estimate}) live in separate tables: the two modes answer
@@ -100,11 +105,22 @@ val warm :
     computed against [db]'s current confidence vector. *)
 
 val sync : ?obs:Obs.t -> t -> db:Relational.Database.t -> unit
-(** Catch up with [db]'s confidence epoch now (also done implicitly by
-    every lookup): targeted invalidation when the change log covers the
-    gap, wholesale flush otherwise. *)
+(** Catch up with [db]'s confidence epoch vector now (also done
+    implicitly by every lookup): per shard, targeted invalidation when
+    that shard's change log covers the gap, a per-shard flush otherwise;
+    wholesale only across a shard-layout change. *)
 
-val epoch : t -> int
+val synced_epochs : t -> int array
+(** The per-shard confidence epochs the cache last synced to (a copy);
+    [[||]] before the first {!sync}. *)
+
+val shard_sizes : t -> shards:int -> int array
+(** Per-shard count of indexed base tuples (tuples with live cached
+    classes mentioning them), bucketed by {!Relational.Database.shard_of}
+    under a [shards]-way layout — the [pcqe_shard_conf_cache_size]
+    gauge.  An upper bound per shard: a tuple's index entry lingers
+    until the tuple itself is dirtied. *)
+
 val length : t -> int
 
 val mem_exact : t -> Lineage.Formula.t -> bool

@@ -465,7 +465,24 @@ module Session = struct
       Obs.set_gauge obs "db.structural_epoch"
         (float_of_int (Db.structural_epoch ctx.db));
       Obs.set_gauge obs "db.confidence_epoch"
-        (float_of_int (Db.confidence_epoch ctx.db))
+        (float_of_int (Db.confidence_epoch ctx.db));
+      (* per-shard serving state: confidence epoch, owned tuples, and
+         conf-cache occupancy, labelled by shard number — one series per
+         shard in the OpenMetrics export *)
+      let shards = Db.shard_count ctx.db in
+      let epochs = Db.confidence_vector ctx.db in
+      let tuples = Db.shard_tuples ctx.db in
+      let cache_sizes =
+        Conf_cache.shard_sizes (Caches.conf (caches t)) ~shards
+      in
+      for i = 0 to shards - 1 do
+        let labelled name = Printf.sprintf "shard.%s{shard=\"%d\"}" name i in
+        Obs.set_gauge obs (labelled "epoch") (float_of_int epochs.(i));
+        Obs.set_gauge obs (labelled "tuples") (float_of_int tuples.(i));
+        Obs.set_gauge obs
+          (labelled "conf_cache_size")
+          (float_of_int cache_sizes.(i))
+      done
 
   let answer t request =
     let obs = t.ctx.obs in

@@ -8,23 +8,26 @@ type t = {
       (* Safe_plan verdict, decided once at compile time: the plan is
          static, so safety is a property of the prepared entry *)
   structural_epoch : int;
+  structural_vector : int array;
+      (* composite per-shard stamp: validity is vector equality, so a
+         re-partition (same contents, new shard layout) retires the
+         entry even though the scalar epoch never moved *)
   views_epoch : int;
-  mutable evaluated : (int * Relational.Eval.annotated) option;
-  mutable confs : (int * float array) option;
-      (* safe-plan confidences, keyed by the confidence epoch they were
-         computed under (row memoization above is structural-epoch-keyed;
+  mutable evaluated : (int array * Relational.Eval.annotated) option;
+  mutable confs : (int array * float array) option;
+      (* safe-plan confidences, keyed by the confidence vector they were
+         computed under (row memoization above is structural-vector-keyed;
          confidences go stale faster) *)
 }
 
 let ( let* ) = Result.bind
-
 let key_of_query = Query.to_string
-
 let key t = t.key
 let plan t = t.plan
 let base_relations t = t.base_relations
 let safe t = t.safe
 let structural_epoch t = t.structural_epoch
+let structural_vector t = t.structural_vector
 let views_epoch t = t.views_epoch
 
 let compile ?obs ~db ~views query =
@@ -42,25 +45,27 @@ let compile ?obs ~db ~views query =
       base_relations = Relational.Algebra.base_relations plan;
       safe = Relational.Safe_plan.analyze plan;
       structural_epoch = Db.structural_epoch db;
+      structural_vector = Db.structural_vector db;
       views_epoch = Relational.Views.epoch views;
       evaluated = None;
       confs = None;
     }
 
 let valid t ~db ~views =
-  t.structural_epoch = Db.structural_epoch db
+  t.structural_vector = Db.structural_vector db
   && t.views_epoch = Relational.Views.epoch views
 
-let eval ?obs t ~db =
+let eval ?obs ?pool t ~db =
   match t.evaluated with
-  | Some (epoch, res) when epoch = Db.structural_epoch db ->
+  | Some (vec, res) when vec = Db.structural_vector db ->
     Obs.incr obs "serving.eval_reused";
     Ok res
   | _ ->
-    (* hybrid evaluator: vectorizable subtrees run columnar, the rest
-       falls back to the row engine (bit-identical results either way) *)
-    let* res = Relational.Col_eval.run db t.plan in
-    t.evaluated <- Some (Db.structural_epoch db, res);
+    (* sharded scatter/gather over the hybrid evaluator: vectorizable
+       fragments run columnar per shard, the rest falls back to the row
+       engine (bit-identical results on every path) *)
+    let* res = Relational.Sharded.run ?pool db t.plan in
+    t.evaluated <- Some (Db.structural_vector db, res);
     Ok res
 
 let row_confs db (res : Relational.Eval.annotated) =
@@ -73,34 +78,34 @@ let row_confs db (res : Relational.Eval.annotated) =
 
 (* [eval] plus safe-plan confidences.  For a safe plan (with the circuit
    fast path on), the cold evaluation computes confidences during batch
-   evaluation ([Col_eval.run_conf]); memo hits whose confidence epoch
+   evaluation ([Sharded.run_conf]); memo hits whose confidence vector
    moved refresh them with one linear read-once pass over the memoized
-   rows.  [None] confidences mean the caller runs the ladder as before. *)
-let eval_conf ?obs t ~db =
+   rows. [None] confidences mean the caller runs the ladder as before. *)
+let eval_conf ?obs ?pool t ~db =
   if not (t.safe && Lineage.Circuit.enabled ()) then
-    let* res = eval ?obs t ~db in
+    let* res = eval ?obs ?pool t ~db in
     Ok (res, None)
   else
-    let se = Db.structural_epoch db and ce = Db.confidence_epoch db in
+    let sv = Db.structural_vector db and cv = Db.confidence_vector db in
     match t.evaluated with
-    | Some (epoch, res) when epoch = se -> (
+    | Some (vec, res) when vec = sv -> (
       Obs.incr obs "serving.eval_reused";
       match t.confs with
-      | Some (cepoch, confs) when cepoch = ce -> Ok (res, Some confs)
+      | Some (cvec, confs) when cvec = cv -> Ok (res, Some confs)
       | _ ->
         let confs = row_confs db res in
-        t.confs <- Some (ce, confs);
+        t.confs <- Some (cv, confs);
         Ok (res, Some confs))
     | _ -> (
-      let* res, confs = Relational.Col_eval.run_conf db t.plan in
-      t.evaluated <- Some (se, res);
+      let* res, confs = Relational.Sharded.run_conf ?pool db t.plan in
+      t.evaluated <- Some (sv, res);
       match confs with
       | Some confs ->
-        t.confs <- Some (ce, confs);
+        t.confs <- Some (cv, confs);
         Ok (res, Some confs)
       | None ->
         (* [run_conf] re-checks the kill switch; if it flipped between
            our check and the run, recompute inline for consistency *)
         let confs = row_confs db res in
-        t.confs <- Some (ce, confs);
+        t.confs <- Some (cv, confs);
         Ok (res, Some confs))

@@ -45,24 +45,39 @@ val safe : t -> bool
     read-once lineage, so {!eval_conf} can compute confidences inline. *)
 
 val structural_epoch : t -> int
+
+val structural_vector : t -> int array
+(** The per-shard structural epoch vector pinned at compile time
+    ({!Relational.Database.structural_vector}).  Validity and the
+    evaluation memo key on this composite stamp, not the scalar: a
+    shard re-partition retires the entry even though contents (and the
+    scalar epoch) never moved, while an insert into one shard retires
+    it through that shard's slot alone. *)
+
 val views_epoch : t -> int
 
 val valid : t -> db:Relational.Database.t -> views:Relational.Views.t -> bool
-(** [true] iff both epoch stamps still match — the plan (and any cached
-    evaluation) may be reused against this database and view store. *)
+(** [true] iff the structural vector and the views stamp still match —
+    the plan (and any cached evaluation) may be reused against this
+    database and view store. *)
 
 val eval :
   ?obs:Obs.t ->
+  ?pool:Exec.Pool.t ->
   t ->
   db:Relational.Database.t ->
   (Relational.Eval.annotated, string) result
-(** Evaluate the plan, reusing the cached annotated result when the
-    database's structural epoch still matches (counted as
-    [serving.eval_reused]).  The cache holds one epoch: a structural
-    mutation re-evaluates and replaces it. *)
+(** Evaluate the plan through the sharded scatter/gather engine
+    ({!Relational.Sharded}), reusing the cached annotated result when
+    the database's structural vector still matches (counted as
+    [serving.eval_reused]).  The cache holds one vector: a structural
+    mutation re-evaluates and replaces it.  [pool] parallelizes the
+    per-shard scatter (and columnar mask filling); results are
+    independent of the jobs count. *)
 
 val eval_conf :
   ?obs:Obs.t ->
+  ?pool:Exec.Pool.t ->
   t ->
   db:Relational.Database.t ->
   (Relational.Eval.annotated * float array option, string) result
@@ -70,8 +85,8 @@ val eval_conf :
     {!Lineage.Circuit.enabled}, also returns per-row confidences
     (index-aligned with the result rows) computed during batch
     evaluation — bitwise what the degradation ladder would report for
-    the same rows.  Confidences are memoized per confidence epoch
-    alongside the structural-epoch row memo; a confidence-only mutation
+    the same rows.  Confidences are memoized per confidence vector
+    alongside the structural-vector row memo; a confidence-only mutation
     refreshes them with one linear pass.  [None] means the plan is not
     safe (or the fast path is off) and the caller must price the
     ladder/cache path as before. *)

@@ -486,29 +486,32 @@ let eval_mask (p : pred) b pool =
 (* ------------------------------------------------------------------ *)
 
 type centry = {
-  structural : int;
   mutable conf_epoch : int;
   batch : Colbatch.t option; (* [None]: the relation declined *)
 }
 
-let cache : (string, centry) Hashtbl.t = Hashtbl.create 16
+(* Keyed by (relation name, structural epoch): per-shard views of the
+   same relation carry distinct shard-structural stamps, so each shard's
+   batch gets its own slot instead of evicting the others on every
+   alternation.  Stamps are process-globally unique, so a key can never
+   alias a different row set. *)
+let cache : (string * int, centry) Hashtbl.t = Hashtbl.create 16
 let cache_mutex = Mutex.create ()
-let cache_capacity = 32
+let cache_capacity = 64
 
 let clear_cache () =
   Mutex.protect cache_mutex (fun () -> Hashtbl.reset cache)
 
 let cached_batch db r =
-  let name = Relation.name r in
-  let structural = Database.structural_epoch db in
+  let key = (Relation.name r, Database.structural_epoch db) in
   Mutex.protect cache_mutex (fun () ->
-      match Hashtbl.find_opt cache name with
-      | Some e when e.structural = structural -> e.batch
-      | _ ->
+      match Hashtbl.find_opt cache key with
+      | Some e -> e.batch
+      | None ->
         if Hashtbl.length cache >= cache_capacity then Hashtbl.reset cache;
         let batch = Colbatch.of_relation db r in
-        Hashtbl.replace cache name
-          { structural; conf_epoch = Database.confidence_epoch db; batch };
+        Hashtbl.replace cache key
+          { conf_epoch = Database.confidence_epoch db; batch };
         batch)
 
 let scan_batch db name =
@@ -518,9 +521,10 @@ let scan_batch db name =
     match cached_batch db r with
     | None -> None
     | Some b ->
+      let key = (name, Database.structural_epoch db) in
       let ce = Database.confidence_epoch db in
       Mutex.protect cache_mutex (fun () ->
-          match Hashtbl.find_opt cache name with
+          match Hashtbl.find_opt cache key with
           | Some e when e.conf_epoch <> ce ->
             Colbatch.refresh_confidences db b;
             e.conf_epoch <- ce

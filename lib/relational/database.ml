@@ -3,8 +3,21 @@ module StrMap = Map.Make (String)
 
 (* The confidence change log is bounded: callers that fall behind by more
    than this many mutations get [None] from [changed_since] and must
-   invalidate wholesale. *)
+   invalidate wholesale.  The same capacity applies independently to each
+   shard's log, which is why a multi-shard database keeps targeted
+   invalidation alive under write volumes that overflow a single log. *)
 let conf_log_capacity = 256
+
+(* Per-shard epoch state.  Every shard owns its own structural/confidence
+   stamp pair plus a bounded change log restricted to the tuples it owns;
+   stamps come from the same process-global {!Epoch} counter as the
+   database-wide ones, so equality is still exact version identity. *)
+type shard = {
+  sh_structural : int;
+  sh_confidence : int;
+  sh_log : (int * Tid.t list) list; (* newest-first, shard-owned tids only *)
+  sh_floor : int; (* largest stamp dropped from [sh_log]; 0 = none *)
+}
 
 type t = {
   relations : Relation.t StrMap.t;
@@ -22,7 +35,18 @@ type t = {
   conf_log_floor : int;
       (* largest stamp ever dropped from the log (0 = nothing dropped):
          history at or below it is unrecoverable *)
+  shards : shard array; (* length >= 1; length 1 = unsharded *)
+  partition : Relation.t StrMap.t array option Atomic.t;
+      (* memoized per-shard relation maps, recomputed lazily after each
+         structural mutation.  Confidence-only copies share the cell —
+         their relation maps are physically identical, so the memoized
+         value is valid for every copy that can see it. *)
 }
+
+let fresh_partition () = Atomic.make None
+
+let empty_shard =
+  { sh_structural = 0; sh_confidence = 0; sh_log = []; sh_floor = 0 }
 
 let empty =
   {
@@ -33,16 +57,49 @@ let empty =
     confidence_epoch = 0;
     conf_log = [];
     conf_log_floor = 0;
+    shards = [| empty_shard |];
+    partition = fresh_partition ();
   }
 
 let structural_epoch db = db.structural_epoch
 let confidence_epoch db = db.confidence_epoch
+let shard_count db = Array.length db.shards
 
-let bump_structural db = { db with structural_epoch = Epoch.next () }
+(* Deterministic hash routing: a pure function of the tuple id and the
+   shard count, identical across processes and runs (no randomized
+   hashing), so a re-opened database routes every tuple to the same
+   shard. *)
+let shard_of ~shards (tid : Tid.t) =
+  if shards <= 1 then 0
+  else
+    let h = Hashtbl.hash tid.Tid.rel lxor (tid.Tid.row * 0x9e3779b1) in
+    (h land max_int) mod shards
 
-let bump_confidence db tids =
-  let stamp = Epoch.next () in
-  let log = (stamp, tids) :: db.conf_log in
+let shard_of_tid db tid = shard_of ~shards:(Array.length db.shards) tid
+let structural_vector db = Array.map (fun s -> s.sh_structural) db.shards
+let confidence_vector db = Array.map (fun s -> s.sh_confidence) db.shards
+
+(* [only = Some i] stamps just the owning shard (a row landed there; the
+   other shards' views are untouched, so their caches stay valid);
+   [None] stamps every shard (relation-level mutation). *)
+let bump_structural ?only db =
+  let shards =
+    Array.mapi
+      (fun i s ->
+        match only with
+        | Some j when j <> i -> s
+        | _ -> { s with sh_structural = Epoch.next () })
+      db.shards
+  in
+  {
+    db with
+    structural_epoch = Epoch.next ();
+    shards;
+    partition = fresh_partition ();
+  }
+
+let push_log ~log ~floor stamp tids =
+  let log = (stamp, tids) :: log in
   let rec take n = function
     | [] -> ([], None)
     | (stamp, _) :: _ when n = 0 -> ([], Some stamp)
@@ -51,30 +108,50 @@ let bump_confidence db tids =
       (entry :: kept, dropped)
   in
   let log, dropped = take conf_log_capacity log in
-  {
-    db with
-    confidence_epoch = stamp;
-    conf_log = log;
-    conf_log_floor =
-      (match dropped with
-      | Some s -> max s db.conf_log_floor
-      | None -> db.conf_log_floor);
-  }
+  (log, match dropped with Some s -> max s floor | None -> floor)
 
-let changed_since db ~since =
-  if since = db.confidence_epoch then Some Tid.Set.empty
-  else if since < db.conf_log_floor then None
+let bump_confidence db tids =
+  let stamp = Epoch.next () in
+  let conf_log, conf_log_floor =
+    push_log ~log:db.conf_log ~floor:db.conf_log_floor stamp tids
+  in
+  (* route the dirty tuples to their owning shards: each touched shard
+     gets its own stamp and one log entry listing only its tuples, so a
+     per-shard cache falling behind on shard [i] never pays for traffic
+     that only ever dirtied shard [j] *)
+  let count = Array.length db.shards in
+  let by_shard = Array.make count [] in
+  List.iter
+    (fun tid ->
+      let i = shard_of ~shards:count tid in
+      by_shard.(i) <- tid :: by_shard.(i))
+    tids;
+  let shards =
+    Array.mapi
+      (fun i s ->
+        match by_shard.(i) with
+        | [] -> s
+        | rev ->
+          let stamp = Epoch.next () in
+          let sh_log, sh_floor =
+            push_log ~log:s.sh_log ~floor:s.sh_floor stamp (List.rev rev)
+          in
+          { s with sh_confidence = stamp; sh_log; sh_floor })
+      db.shards
+  in
+  { db with confidence_epoch = stamp; conf_log; conf_log_floor; shards }
+
+(* [since] must be a stamp the logged history actually passed through —
+   the current epoch, a stamp recorded in the log, or 0 (the empty
+   state, ancestor of every chain) with nothing dropped.  A stamp from
+   a divergent history (a sibling copy mutated independently) is not
+   found, and the caller must invalidate wholesale. *)
+let log_changed_since ~current ~log ~floor ~since =
+  if since = current then Some Tid.Set.empty
+  else if since < floor then None
   else
-    (* [since] must be a stamp this database actually passed through —
-       the current epoch, a stamp recorded in the log, or 0 (the empty
-       database, ancestor of every chain) with nothing dropped.  A stamp
-       from a divergent history (a sibling copy mutated independently) is
-       not found, and the caller must invalidate wholesale. *)
     let rec collect acc = function
-      | [] ->
-        if (since = 0 && db.conf_log_floor = 0) || since = db.conf_log_floor
-        then Some acc
-        else None
+      | [] -> if (since = 0 && floor = 0) || since = floor then Some acc else None
       | (stamp, _) :: _ when stamp = since -> Some acc
       | (stamp, _) :: _ when stamp < since -> None
       | (_, tids) :: rest ->
@@ -82,7 +159,98 @@ let changed_since db ~since =
           (List.fold_left (fun acc tid -> Tid.Set.add tid acc) acc tids)
           rest
     in
-    collect Tid.Set.empty db.conf_log
+    collect Tid.Set.empty log
+
+let changed_since db ~since =
+  log_changed_since ~current:db.confidence_epoch ~log:db.conf_log
+    ~floor:db.conf_log_floor ~since
+
+let shard_changed_since db ~shard ~since =
+  let s = db.shards.(shard) in
+  log_changed_since ~current:s.sh_confidence ~log:s.sh_log ~floor:s.sh_floor
+    ~since
+
+let with_shards db n =
+  if n < 1 then
+    invalid_arg (Printf.sprintf "Database.with_shards: shard count %d < 1" n);
+  if n = Array.length db.shards then db
+  else
+    let shards =
+      Array.init n (fun _ ->
+          (* fresh shards carry no per-shard history: the floor equals the
+             starting confidence stamp, so any cache synced against the
+             old layout flushes wholesale instead of trusting a log that
+             never saw the re-partition *)
+          let sc = Epoch.next () in
+          {
+            sh_structural = Epoch.next ();
+            sh_confidence = sc;
+            sh_log = [];
+            sh_floor = sc;
+          })
+    in
+    { db with shards; partition = fresh_partition () }
+
+(* ------------------------------------------------------------------ *)
+(* Shard views                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let compute_partition relations ~count =
+  let owner tid = shard_of ~shards:count tid in
+  let parts = Array.make count StrMap.empty in
+  StrMap.iter
+    (fun name r ->
+      let rs = Relation.partition_rows r ~count ~owner in
+      Array.iteri (fun i ri -> parts.(i) <- StrMap.add name ri parts.(i)) rs)
+    relations;
+  parts
+
+let partition db =
+  match Atomic.get db.partition with
+  | Some p -> p
+  | None ->
+    let count = Array.length db.shards in
+    let p =
+      if count = 1 then [| db.relations |]
+      else compute_partition db.relations ~count
+    in
+    (* idempotent publish: racing writers compute the same value from the
+       same immutable relation maps *)
+    Atomic.set db.partition (Some p);
+    p
+
+let shard_view db i =
+  let count = Array.length db.shards in
+  if i < 0 || i >= count then
+    invalid_arg
+      (Printf.sprintf "Database.shard_view: shard %d outside [0,%d)" i count);
+  if count = 1 then db
+  else
+    let p = partition db in
+    let s = db.shards.(i) in
+    {
+      relations = p.(i);
+      (* the full confidence/cap tables: entries for foreign tuples are
+         unreachable from this view's lineage, and sharing the maps keeps
+         view construction O(1) past the memoized partition *)
+      confidences = db.confidences;
+      caps = db.caps;
+      structural_epoch = s.sh_structural;
+      confidence_epoch = s.sh_confidence;
+      conf_log = s.sh_log;
+      conf_log_floor = s.sh_floor;
+      shards = [| s |];
+      partition = Atomic.make (Some [| p.(i) |]);
+    }
+
+let shard_tuples db =
+  Array.map
+    (fun m -> StrMap.fold (fun _ r acc -> acc + Relation.cardinality r) m 0)
+    (partition db)
+
+(* ------------------------------------------------------------------ *)
+(* Relations and mutators                                              *)
+(* ------------------------------------------------------------------ *)
 
 let add_relation db r =
   bump_structural
@@ -113,7 +281,8 @@ let insert db rel_name vs ~conf =
       confidences = Tid.Map.add tid conf db.confidences;
     }
   in
-  (bump_confidence (bump_structural db) [ tid ], tid)
+  let only = shard_of_tid db tid in
+  (bump_confidence (bump_structural ~only db) [ tid ], tid)
 
 let seed_confidence db tid p =
   check_conf "confidence" p;
@@ -126,31 +295,51 @@ let seed_confidence db tid p =
     invalid_arg
       (Printf.sprintf "Database.seed_confidence: tuple %s not stored"
          (Tid.to_string tid));
-  bump_confidence { db with confidences = Tid.Map.add tid p db.confidences } [ tid ]
+  bump_confidence
+    { db with confidences = Tid.Map.add tid p db.confidences }
+    [ tid ]
 
 let bulk_load db r confs =
   let name = Relation.name r in
   let n = Relation.cardinality r in
   if Array.length confs <> n then
     invalid_arg
-      (Printf.sprintf
-         "Database.bulk_load(%s): %d confidences for %d tuples" name
-         (Array.length confs) n);
+      (Printf.sprintf "Database.bulk_load(%s): %d confidences for %d tuples"
+         name (Array.length confs) n);
   Array.iter (check_conf "confidence") confs;
   (* one structural bump and one confidence bump for the whole load (the
      per-tuple [insert] path bumps both epochs per row); the change-log
-     entry lists every loaded tuple so [changed_since] stays truthful
-     when an existing relation is replaced *)
+     entries list every loaded tuple — one entry per owning shard — so
+     [changed_since] and [shard_changed_since] stay truthful when an
+     existing relation is replaced *)
   let tids = List.init n (Tid.make name) in
   let confidences =
     List.fold_left
       (fun m tid -> Tid.Map.add tid confs.(tid.Tid.row) m)
       db.confidences tids
   in
-  bump_confidence
-    (bump_structural
-       { db with relations = StrMap.add name r db.relations; confidences })
-    tids
+  let had = Atomic.get db.partition in
+  let db' =
+    bump_structural
+      { db with relations = StrMap.add name r db.relations; confidences }
+  in
+  let count = Array.length db'.shards in
+  if count > 1 then begin
+    (* route the loaded rows directly to their owning shards in one pass,
+       extending (or building) the partition in place of a later lazy
+       re-partitioning scan of the whole database *)
+    let parts_r =
+      Relation.partition_rows r ~count ~owner:(shard_of ~shards:count)
+    in
+    let base =
+      match had with
+      | Some old when Array.length old = count -> old
+      | _ -> compute_partition (StrMap.remove name db.relations) ~count
+    in
+    let seeded = Array.mapi (fun i m -> StrMap.add name parts_r.(i) m) base in
+    Atomic.set db'.partition (Some seeded)
+  end;
+  bump_confidence db' tids
 
 let confidence db tid =
   Option.value ~default:0.0 (Tid.Map.find_opt tid db.confidences)

@@ -39,6 +39,64 @@ val changed_since : t -> since:int -> Lineage.Tid.Set.t option
     stamp of this database's history (a divergent sibling copy).
     [Some Tid.Set.empty] iff the cache is already current. *)
 
+(** {1 Sharding}
+
+    A database is horizontally partitioned into [N >= 1] shards by a
+    deterministic hash of each tuple id ({!shard_of}).  Each shard owns
+    its {e own} structural/confidence epoch pair and its own bounded
+    change log restricted to the tuples it owns; the database-wide
+    scalar epochs above keep advancing exactly as before, so unsharded
+    callers are unaffected.  A mutation stamps only the shards it
+    touches: one principal's confidence bump on shard [i] never moves
+    shard [j]'s epochs, which is what lets per-shard caches skip
+    invalidation entirely for foreign traffic.  [N = 1] (the default
+    everywhere) is the unsharded database, bit for bit. *)
+
+val with_shards : t -> int -> t
+(** [with_shards db n] re-partitions [db] over [n] shards.  Contents are
+    unchanged — answers, lineage, and solver outcomes are identical at
+    any shard count — but every shard receives fresh epoch stamps and an
+    empty change log whose floor blocks reuse, so caches pinned against
+    the old layout revalidate from scratch.
+    @raise Invalid_argument when [n < 1]. *)
+
+val shard_count : t -> int
+
+val shard_of : shards:int -> Lineage.Tid.t -> int
+(** Pure deterministic routing: the shard owning a tuple id under a
+    given shard count.  Stable across runs and processes. *)
+
+val shard_of_tid : t -> Lineage.Tid.t -> int
+(** [shard_of ~shards:(shard_count db)]. *)
+
+val structural_vector : t -> int array
+(** Per-shard structural epochs, index-aligned with shard numbers.  The
+    composite stamp prepared queries pin: equality (as a vector) proves
+    no shard's row set moved. *)
+
+val confidence_vector : t -> int array
+(** Per-shard confidence epochs — the composite stamp confidence caches
+    revalidate against, one slot at a time. *)
+
+val shard_changed_since :
+  t -> shard:int -> since:int -> Lineage.Tid.Set.t option
+(** {!changed_since} against one shard's log: the dirty tuples owned by
+    [shard] since its confidence epoch [since].  Same contract —
+    [None] demands a wholesale flush {e of that shard's classes only}. *)
+
+val shard_view : t -> int -> t
+(** [shard_view db i] is a read-only single-shard database holding
+    exactly the rows shard [i] owns (every relation name stays visible,
+    possibly empty), with the shard's epochs as its scalar epochs —
+    scatter execution evaluates plan fragments against these views.
+    Views are cheap: the row partition is memoized per structural epoch
+    and the confidence tables are shared.  Mutating a view is not
+    meaningful; route mutations through the parent database. *)
+
+val shard_tuples : t -> int array
+(** Per-shard stored-row counts (across all relations) — the
+    [pcqe_shard_tuples] gauge. *)
+
 val add_relation : t -> Relation.t -> t
 (** [add_relation db r] adds or replaces the relation named [Relation.name r]. *)
 

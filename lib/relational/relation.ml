@@ -77,6 +77,22 @@ let update r tid tup =
 
 let find r tid = Tid.Map.find_opt tid r.rows
 
+(* One pass over the stored rows: each lands in [owner tid]'s bucket with
+   its original id, so per-bucket insertion order is the global insertion
+   order restricted to the bucket.  [tuples] yields ascending insertion
+   order and [order] is kept newest-first, so prepending as we walk
+   rebuilds each bucket's reverse-insertion list directly. *)
+let partition_rows r ~count ~owner =
+  let rows = Array.make count Tid.Map.empty in
+  let order = Array.make count [] in
+  List.iter
+    (fun (tid, tup) ->
+      let i = owner tid in
+      rows.(i) <- Tid.Map.add tid tup rows.(i);
+      order.(i) <- tid :: order.(i))
+    (List.rev_map (fun tid -> (tid, Tid.Map.find tid r.rows)) r.order);
+  Array.init count (fun i -> { r with rows = rows.(i); order = order.(i) })
+
 let tuples r =
   List.rev_map (fun tid -> (tid, Tid.Map.find tid r.rows)) r.order
 

@@ -39,6 +39,13 @@ val update : t -> Lineage.Tid.t -> Tuple.t -> t
 
 val find : t -> Lineage.Tid.t -> Tuple.t option
 
+val partition_rows : t -> count:int -> owner:(Lineage.Tid.t -> int) -> t array
+(** [partition_rows r ~count ~owner] splits [r] into [count] relations in
+    one pass, routing each stored row to index [owner tid].  Every part
+    keeps the name, schema and row ids of [r]; part [i]'s {!tuples} order
+    is the global insertion order restricted to its rows.  The shard
+    router builds its per-shard views with this. *)
+
 val tuples : t -> (Lineage.Tid.t * Tuple.t) list
 (** In insertion order. *)
 
